@@ -1,0 +1,133 @@
+//! Linear interpolation over gaps (batch).
+//!
+//! The paper discusses interpolation as the classic per-series fallback: it
+//! works well for isolated missing values but degrades badly on long gaps
+//! ("if an entire period of a sine wave is missing, linear interpolation
+//! would replace the gap with a straight line").  Besides serving as a
+//! baseline, linear interpolation is the initialisation step of the CD and
+//! SVD recovery algorithms.
+
+use crate::traits::{matrix_shape, BatchImputer};
+
+/// Fills gaps of a single series by linear interpolation between the nearest
+/// observed neighbours; leading/trailing gaps are filled with the nearest
+/// observed value; an all-missing series is filled with `0.0`.
+pub fn interpolate_series(values: &[Option<f64>]) -> Vec<f64> {
+    let n = values.len();
+    let mut out = vec![0.0; n];
+    // Indices of observed samples.
+    let observed: Vec<usize> = (0..n).filter(|&i| values[i].is_some()).collect();
+    if observed.is_empty() {
+        return out;
+    }
+    for i in 0..n {
+        if let Some(v) = values[i] {
+            out[i] = v;
+            continue;
+        }
+        // Find the nearest observed neighbours on each side.
+        let prev = observed.partition_point(|&o| o < i).checked_sub(1).map(|p| observed[p]);
+        let next_pos = observed.partition_point(|&o| o < i);
+        let next = observed.get(next_pos).copied();
+        out[i] = match (prev, next) {
+            (Some(p), Some(q)) => {
+                let vp = values[p].expect("observed");
+                let vq = values[q].expect("observed");
+                let frac = (i - p) as f64 / (q - p) as f64;
+                vp + frac * (vq - vp)
+            }
+            (Some(p), None) => values[p].expect("observed"),
+            (None, Some(q)) => values[q].expect("observed"),
+            (None, None) => unreachable!("observed is non-empty"),
+        };
+    }
+    out
+}
+
+/// Batch imputer that applies [`interpolate_series`] independently per series.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinearInterpolationImputer;
+
+impl LinearInterpolationImputer {
+    /// Creates the imputer.
+    pub fn new() -> Self {
+        LinearInterpolationImputer
+    }
+}
+
+impl BatchImputer for LinearInterpolationImputer {
+    fn name(&self) -> &str {
+        "LinearInterp"
+    }
+
+    fn impute_matrix(&self, data: &[Vec<Option<f64>>]) -> Vec<Vec<f64>> {
+        let _ = matrix_shape(data);
+        data.iter().map(|s| interpolate_series(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_gap_is_linearly_interpolated() {
+        let v = vec![Some(0.0), None, None, None, Some(4.0)];
+        assert_eq!(interpolate_series(&v), vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn leading_and_trailing_gaps_use_nearest_value() {
+        let v = vec![None, None, Some(2.0), Some(3.0), None];
+        assert_eq!(interpolate_series(&v), vec![2.0, 2.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn fully_observed_series_is_unchanged() {
+        let v = vec![Some(1.0), Some(2.0), Some(3.0)];
+        assert_eq!(interpolate_series(&v), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn all_missing_series_becomes_zero() {
+        let v = vec![None, None];
+        assert_eq!(interpolate_series(&v), vec![0.0, 0.0]);
+        assert!(interpolate_series(&[]).is_empty());
+    }
+
+    #[test]
+    fn long_gap_over_a_sine_period_is_a_straight_line() {
+        // Illustrates the paper's criticism: a whole period missing yields a
+        // line, far from the true sine values.
+        let period = 40usize;
+        let truth: Vec<f64> = (0..3 * period)
+            .map(|t| (t as f64 / period as f64 * std::f64::consts::TAU).sin())
+            .collect();
+        let mut incomplete: Vec<Option<f64>> = truth.iter().copied().map(Some).collect();
+        for slot in incomplete.iter_mut().skip(period).take(period) {
+            *slot = None;
+        }
+        let filled = interpolate_series(&incomplete);
+        // RMSE over the gap should be large (the sine has RMS ~0.707 and the
+        // interpolation is nearly flat).
+        let rmse = (period..2 * period)
+            .map(|t| (filled[t] - truth[t]).powi(2))
+            .sum::<f64>()
+            .sqrt()
+            / (period as f64).sqrt();
+        assert!(rmse > 0.4, "rmse {rmse} unexpectedly small");
+    }
+
+    #[test]
+    fn batch_imputer_applies_per_series() {
+        let data = vec![
+            vec![Some(0.0), None, Some(2.0)],
+            vec![None, Some(5.0), None],
+        ];
+        let imp = LinearInterpolationImputer::new();
+        assert_eq!(imp.name(), "LinearInterp");
+        let out = imp.impute_matrix(&data);
+        assert_eq!(out[0], vec![0.0, 1.0, 2.0]);
+        assert_eq!(out[1], vec![5.0, 5.0, 5.0]);
+    }
+}

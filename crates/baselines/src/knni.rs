@@ -1,0 +1,211 @@
+//! k-Nearest-Neighbour Imputation (kNNI), batch variant.
+//!
+//! Following Batista & Monard (and the weighted extension of Troyanskaya et
+//! al.), a missing value of series `s` at tick `t` is estimated from the `k`
+//! ticks whose *other-series* value vectors are most similar to the vector at
+//! `t` (Euclidean distance over the commonly observed coordinates).  The
+//! estimate is the (optionally similarity-weighted) average of `s` at those
+//! neighbour ticks.
+//!
+//! Unlike TKCM this method compares only a single time point per candidate
+//! (no trend / pattern of length `l`), so it shares the weakness of linear
+//! methods on phase-shifted data.
+
+use crate::traits::{matrix_shape, BatchImputer};
+
+/// Batch k-nearest-neighbour imputer.
+#[derive(Clone, Copy, Debug)]
+pub struct KnnImputer {
+    /// Number of neighbours to average.
+    pub k: usize,
+    /// Whether neighbours are weighted by inverse distance.
+    pub weighted: bool,
+}
+
+impl KnnImputer {
+    /// Creates an unweighted kNNI with `k` neighbours.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        KnnImputer { k, weighted: false }
+    }
+
+    /// Creates a distance-weighted kNNI with `k` neighbours.
+    pub fn weighted(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        KnnImputer { k, weighted: true }
+    }
+
+    /// Distance between two ticks over the coordinates (series) that are
+    /// observed in both, excluding the target series.  Returns `None` if no
+    /// common coordinate exists.
+    fn tick_distance(
+        data: &[Vec<Option<f64>>],
+        target: usize,
+        t_query: usize,
+        t_candidate: usize,
+    ) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (s, series) in data.iter().enumerate() {
+            if s == target {
+                continue;
+            }
+            if let (Some(a), Some(b)) = (series[t_query], series[t_candidate]) {
+                sum += (a - b) * (a - b);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            None
+        } else {
+            // Normalise by the number of common coordinates so ticks with
+            // more common observations are not penalised.
+            Some((sum / count as f64).sqrt())
+        }
+    }
+}
+
+impl BatchImputer for KnnImputer {
+    fn name(&self) -> &str {
+        if self.weighted {
+            "kNNI-w"
+        } else {
+            "kNNI"
+        }
+    }
+
+    fn impute_matrix(&self, data: &[Vec<Option<f64>>]) -> Vec<Vec<f64>> {
+        let (n_series, n_ticks) = matrix_shape(data);
+        let mut out: Vec<Vec<f64>> = data
+            .iter()
+            .map(|s| s.iter().map(|v| v.unwrap_or(0.0)).collect())
+            .collect();
+
+        for target in 0..n_series {
+            // Global fallback: mean of the observed values of the target.
+            let observed: Vec<f64> = data[target].iter().flatten().copied().collect();
+            let fallback = if observed.is_empty() {
+                0.0
+            } else {
+                observed.iter().sum::<f64>() / observed.len() as f64
+            };
+
+            for t in 0..n_ticks {
+                if data[target][t].is_some() {
+                    continue;
+                }
+                // Candidate neighbours: ticks where the target is observed.
+                let mut neighbours: Vec<(f64, f64)> = Vec::new(); // (distance, value)
+                for c in 0..n_ticks {
+                    let Some(value) = data[target][c] else { continue };
+                    if let Some(dist) = Self::tick_distance(data, target, t, c) {
+                        neighbours.push((dist, value));
+                    }
+                }
+                if neighbours.is_empty() {
+                    out[target][t] = fallback;
+                    continue;
+                }
+                neighbours.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+                neighbours.truncate(self.k);
+                out[target][t] = if self.weighted {
+                    let mut wsum = 0.0;
+                    let mut vsum = 0.0;
+                    for (d, v) in &neighbours {
+                        let w = 1.0 / (d + 1e-9);
+                        wsum += w;
+                        vsum += w * v;
+                    }
+                    vsum / wsum
+                } else {
+                    neighbours.iter().map(|(_, v)| v).sum::<f64>() / neighbours.len() as f64
+                };
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_value_from_identical_historical_situation() {
+        // Series 1 and 2 are references; the query tick (3) has reference
+        // values identical to tick 0, so the imputed value must equal the
+        // target's value at tick 0.
+        let data = vec![
+            vec![Some(10.0), Some(20.0), Some(30.0), None],
+            vec![Some(1.0), Some(2.0), Some(3.0), Some(1.0)],
+            vec![Some(5.0), Some(6.0), Some(7.0), Some(5.0)],
+        ];
+        let out = KnnImputer::new(1).impute_matrix(&data);
+        assert_eq!(out[0][3], 10.0);
+        // Observed entries are untouched.
+        assert_eq!(out[0][0], 10.0);
+        assert_eq!(out[1][3], 1.0);
+    }
+
+    #[test]
+    fn k_larger_than_one_averages_neighbours() {
+        let data = vec![
+            vec![Some(10.0), Some(12.0), Some(30.0), None],
+            vec![Some(1.0), Some(1.1), Some(9.0), Some(1.0)],
+        ];
+        // Nearest two neighbours of the query (r=1.0) are ticks 0 and 1.
+        let out = KnnImputer::new(2).impute_matrix(&data);
+        assert!((out[0][3] - 11.0).abs() < 1e-9);
+        // Weighted variant leans towards the closer neighbour (tick 0).
+        let outw = KnnImputer::weighted(2).impute_matrix(&data);
+        assert!(outw[0][3] < 11.0);
+        assert!(outw[0][3] >= 10.0);
+    }
+
+    #[test]
+    fn falls_back_to_mean_when_no_references_observed() {
+        let data = vec![
+            vec![Some(4.0), Some(6.0), None],
+            vec![None, None, None],
+        ];
+        let out = KnnImputer::new(3).impute_matrix(&data);
+        assert_eq!(out[0][2], 5.0);
+        // All-missing reference series is filled with 0 (its own fallback).
+        assert_eq!(out[1][0], 0.0);
+    }
+
+    #[test]
+    fn names_reflect_weighting() {
+        assert_eq!(KnnImputer::new(3).name(), "kNNI");
+        assert_eq!(KnnImputer::weighted(3).name(), "kNNI-w");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_panics() {
+        let _ = KnnImputer::new(0);
+    }
+
+    #[test]
+    fn periodic_data_is_recovered_reasonably() {
+        let period = 24usize;
+        let len = 24 * 6;
+        let truth: Vec<f64> = (0..len)
+            .map(|t| (t as f64 / period as f64 * std::f64::consts::TAU).sin())
+            .collect();
+        let mut target: Vec<Option<f64>> = truth.iter().copied().map(Some).collect();
+        for slot in target.iter_mut().skip(len - period).take(period) {
+            *slot = None;
+        }
+        // Reference is in phase (linearly correlated) -> kNNI should do well.
+        let reference: Vec<Option<f64>> = truth.iter().map(|v| Some(*v * 2.0 + 1.0)).collect();
+        let data = vec![target, reference];
+        let out = KnnImputer::new(3).impute_matrix(&data);
+        let rmse = (len - period..len)
+            .map(|t| (out[0][t] - truth[t]).powi(2))
+            .sum::<f64>()
+            .sqrt()
+            / (period as f64).sqrt();
+        assert!(rmse < 0.1, "rmse = {rmse}");
+    }
+}

@@ -1,0 +1,46 @@
+//! # tkcm-baselines
+//!
+//! Re-implementations of the imputation algorithms the TKCM paper compares
+//! against (Section 2 and Section 7.3.3), plus the simple baselines it
+//! discusses:
+//!
+//! * [`spirit`] — SPIRIT (Papadimitriou et al.): online PCA with a small
+//!   number of hidden variables, each forecast by an auto-regressive model.
+//! * [`muscles`] — MUSCLES (Yi et al.): multivariate auto-regression fitted
+//!   online with Recursive Least Squares.
+//! * [`cd`] — iterative recovery based on the Centroid Decomposition
+//!   (Khayati et al.).
+//! * [`svd_impute`] — REBOM-style iterative recovery based on a truncated
+//!   SVD.
+//! * [`knni`] — k-nearest-neighbour imputation (Batista & Monard,
+//!   Troyanskaya et al.).
+//! * [`interpolation`] / [`simple`] — linear interpolation, last observation
+//!   carried forward, running mean.
+//!
+//! Two traits organise the algorithms by how they consume data:
+//! [`OnlineImputer`] processes the stream tick by tick (SPIRIT, MUSCLES,
+//! LOCF, running mean, and TKCM itself via an adapter in `tkcm-eval`), while
+//! [`BatchImputer`] sees the whole incomplete matrix at once (CD, SVD, kNNI,
+//! interpolation) — mirroring the paper's remark that CD is an offline
+//! algorithm.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cd;
+pub mod interpolation;
+pub mod knni;
+pub mod muscles;
+pub mod simple;
+pub mod spirit;
+pub mod svd_impute;
+pub mod traits;
+
+pub use cd::CdImputer;
+pub use interpolation::LinearInterpolationImputer;
+pub use knni::KnnImputer;
+pub use muscles::MusclesImputer;
+pub use simple::{LocfImputer, RunningMeanImputer};
+pub use spirit::SpiritImputer;
+pub use svd_impute::SvdImputer;
+pub use traits::{BatchImputer, OnlineImputer};

@@ -1,0 +1,179 @@
+//! Simple online baselines: last observation carried forward and running mean.
+//!
+//! These correspond to the "mean imputation" family of techniques discussed
+//! in the related-work section of the paper (Batista & Monard).  They are
+//! cheap, purely per-series (no reference streams) and serve as a sanity
+//! floor in the comparison experiments.
+
+use tkcm_timeseries::{SeriesId, Timestamp};
+
+use crate::traits::{Estimate, OnlineImputer};
+
+/// Last Observation Carried Forward: a missing value is imputed with the most
+/// recent present value of the same series (0 if none seen yet).
+#[derive(Clone, Debug, Default)]
+pub struct LocfImputer {
+    last_seen: Vec<Option<f64>>,
+}
+
+impl LocfImputer {
+    /// Creates a LOCF imputer.
+    pub fn new() -> Self {
+        LocfImputer::default()
+    }
+}
+
+impl OnlineImputer for LocfImputer {
+    fn name(&self) -> &str {
+        "LOCF"
+    }
+
+    fn process_tick(&mut self, time: Timestamp, values: &[Option<f64>]) -> Vec<Estimate> {
+        if self.last_seen.len() < values.len() {
+            self.last_seen.resize(values.len(), None);
+        }
+        let mut estimates = Vec::new();
+        for (i, v) in values.iter().enumerate() {
+            match v {
+                Some(x) => self.last_seen[i] = Some(*x),
+                None => {
+                    let value = self.last_seen[i].unwrap_or(0.0);
+                    estimates.push(Estimate {
+                        series: SeriesId::from(i),
+                        time,
+                        value,
+                    });
+                }
+            }
+        }
+        estimates
+    }
+
+    fn reset(&mut self) {
+        self.last_seen.clear();
+    }
+}
+
+/// Running mean: a missing value is imputed with the mean of all *observed*
+/// values of the same series so far (0 if none seen yet).
+#[derive(Clone, Debug, Default)]
+pub struct RunningMeanImputer {
+    sums: Vec<f64>,
+    counts: Vec<usize>,
+}
+
+impl RunningMeanImputer {
+    /// Creates a running-mean imputer.
+    pub fn new() -> Self {
+        RunningMeanImputer::default()
+    }
+}
+
+impl OnlineImputer for RunningMeanImputer {
+    fn name(&self) -> &str {
+        "Mean"
+    }
+
+    fn process_tick(&mut self, time: Timestamp, values: &[Option<f64>]) -> Vec<Estimate> {
+        if self.sums.len() < values.len() {
+            self.sums.resize(values.len(), 0.0);
+            self.counts.resize(values.len(), 0);
+        }
+        let mut estimates = Vec::new();
+        for (i, v) in values.iter().enumerate() {
+            match v {
+                Some(x) => {
+                    self.sums[i] += *x;
+                    self.counts[i] += 1;
+                }
+                None => {
+                    let value = if self.counts[i] == 0 {
+                        0.0
+                    } else {
+                        self.sums[i] / self.counts[i] as f64
+                    };
+                    estimates.push(Estimate {
+                        series: SeriesId::from(i),
+                        time,
+                        value,
+                    });
+                }
+            }
+        }
+        estimates
+    }
+
+    fn reset(&mut self) {
+        self.sums.clear();
+        self.counts.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: i64) -> Timestamp {
+        Timestamp::new(i)
+    }
+
+    #[test]
+    fn locf_carries_last_value_forward() {
+        let mut locf = LocfImputer::new();
+        assert!(locf.process_tick(t(0), &[Some(5.0), Some(1.0)]).is_empty());
+        let est = locf.process_tick(t(1), &[None, Some(2.0)]);
+        assert_eq!(est.len(), 1);
+        assert_eq!(est[0].series, SeriesId(0));
+        assert_eq!(est[0].value, 5.0);
+        // Still 5.0 two ticks later (the observation at t0 is the last one).
+        let est = locf.process_tick(t(2), &[None, None]);
+        assert_eq!(est.len(), 2);
+        assert_eq!(est[0].value, 5.0);
+        assert_eq!(est[1].value, 2.0);
+        assert_eq!(locf.name(), "LOCF");
+    }
+
+    #[test]
+    fn locf_before_any_observation_returns_zero() {
+        let mut locf = LocfImputer::new();
+        let est = locf.process_tick(t(0), &[None]);
+        assert_eq!(est[0].value, 0.0);
+    }
+
+    #[test]
+    fn locf_reset_clears_state() {
+        let mut locf = LocfImputer::new();
+        locf.process_tick(t(0), &[Some(9.0)]);
+        locf.reset();
+        let est = locf.process_tick(t(1), &[None]);
+        assert_eq!(est[0].value, 0.0);
+    }
+
+    #[test]
+    fn running_mean_averages_observed_values_only() {
+        let mut mean = RunningMeanImputer::new();
+        mean.process_tick(t(0), &[Some(2.0)]);
+        mean.process_tick(t(1), &[Some(4.0)]);
+        let est = mean.process_tick(t(2), &[None]);
+        assert_eq!(est[0].value, 3.0);
+        // The imputed value is NOT fed back into the mean.
+        mean.process_tick(t(3), &[Some(9.0)]);
+        let est = mean.process_tick(t(4), &[None]);
+        assert_eq!(est[0].value, 5.0);
+        assert_eq!(mean.name(), "Mean");
+    }
+
+    #[test]
+    fn running_mean_handles_multiple_series_and_reset() {
+        let mut mean = RunningMeanImputer::new();
+        mean.process_tick(t(0), &[Some(1.0), Some(10.0)]);
+        let est = mean.process_tick(t(1), &[None, None]);
+        assert_eq!(est.len(), 2);
+        assert_eq!(est[0].value, 1.0);
+        assert_eq!(est[1].value, 10.0);
+        mean.reset();
+        let est = mean.process_tick(t(2), &[None, None]);
+        assert_eq!(est[0].value, 0.0);
+        assert_eq!(est[1].value, 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Common interfaces for imputation algorithms.
+//!
+//! The evaluation harness replays a dataset as a stream.  Algorithms that can
+//! keep up with the stream (SPIRIT, MUSCLES, TKCM, LOCF, running mean)
+//! implement [`OnlineImputer`]; algorithms that need the whole matrix (CD,
+//! SVD, kNNI, interpolation) implement [`BatchImputer`] and are run once at
+//! the end, exactly as the paper treats CD ("an offline algorithm and not
+//! applicable to streams").
+
+use tkcm_timeseries::{SeriesId, Timestamp};
+
+/// An estimate produced for a missing value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Estimate {
+    /// The series the estimate is for.
+    pub series: SeriesId,
+    /// The time point the estimate is for.
+    pub time: Timestamp,
+    /// The estimated value.
+    pub value: f64,
+}
+
+/// An imputation algorithm that processes the stream one tick at a time.
+pub trait OnlineImputer {
+    /// Name used in reports (e.g. "TKCM", "SPIRIT").
+    fn name(&self) -> &str;
+
+    /// Processes one tick.  `values[i]` is the observation of series `i` at
+    /// `time`, or `None` if it is missing.  The imputer returns an estimate
+    /// for every missing series it can impute (it may return fewer).
+    fn process_tick(&mut self, time: Timestamp, values: &[Option<f64>]) -> Vec<Estimate>;
+
+    /// Resets the internal state so the imputer can be reused on another run.
+    fn reset(&mut self);
+}
+
+/// An imputation algorithm that needs to see the whole (incomplete) matrix.
+pub trait BatchImputer {
+    /// Name used in reports (e.g. "CD").
+    fn name(&self) -> &str;
+
+    /// Fills the missing entries of `data`, where `data[series][tick]` is the
+    /// (possibly missing) value of series `series` at tick `tick`.  The
+    /// returned matrix has the same shape with every entry present.
+    fn impute_matrix(&self, data: &[Vec<Option<f64>>]) -> Vec<Vec<f64>>;
+}
+
+/// Helper shared by batch imputers: asserts that all series have the same
+/// length and returns `(n_series, n_ticks)`.
+pub fn matrix_shape(data: &[Vec<Option<f64>>]) -> (usize, usize) {
+    let n_series = data.len();
+    let n_ticks = data.first().map(|s| s.len()).unwrap_or(0);
+    assert!(
+        data.iter().all(|s| s.len() == n_ticks),
+        "all series must have the same length"
+    );
+    (n_series, n_ticks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_shape_checks_lengths() {
+        assert_eq!(matrix_shape(&[]), (0, 0));
+        assert_eq!(
+            matrix_shape(&[vec![Some(1.0), None], vec![None, Some(2.0)]]),
+            (2, 2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn matrix_shape_rejects_ragged_input() {
+        let _ = matrix_shape(&[vec![Some(1.0)], vec![Some(1.0), Some(2.0)]]);
+    }
+
+    #[test]
+    fn estimate_is_plain_data() {
+        let e = Estimate {
+            series: SeriesId(1),
+            time: Timestamp::new(5),
+            value: 3.5,
+        };
+        let e2 = e;
+        assert_eq!(e, e2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Criterion benchmarks comparing the per-stream-replay cost of the online
+//! imputation algorithms (TKCM, SPIRIT, MUSCLES) and the cost of one batch CD
+//! run — the quantitative counterpart of the Section 7.4 remarks that SPIRIT
+//! and MUSCLES impute in about a millisecond while TKCM pays for scanning the
+//! window and CD is an offline algorithm.
+//!
+//! The workload is deliberately small (a truncated SBR-1d stand-in with a
+//! short outage) so the benchmark finishes quickly; the relative ordering of
+//! the algorithms is what matters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tkcm_baselines::traits::{BatchImputer, OnlineImputer};
+use tkcm_baselines::{CdImputer, MusclesImputer, SpiritImputer};
+use tkcm_core::TkcmConfig;
+use tkcm_datasets::{DatasetKind, SbrConfig};
+use tkcm_eval::{Scenario, TkcmOnlineAdapter};
+use tkcm_timeseries::{SeriesId, StreamSource};
+
+fn small_scenario() -> Scenario {
+    // Two days of 5-minute data at 5 stations, last ~2.5 hours of station 0 missing.
+    let dataset = SbrConfig {
+        stations: 5,
+        days: 2,
+        seed: 1,
+        ..SbrConfig::default()
+    }
+    .shifted()
+    .generate();
+    assert_eq!(dataset.kind, DatasetKind::SbrShifted);
+    Scenario::tail_block(dataset, SeriesId(0), 0.05)
+}
+
+fn bench_online_algorithms(c: &mut Criterion) {
+    let scenario = small_scenario();
+    let width = scenario.dataset.width();
+    let len = scenario.dataset.len();
+    let ticks: Vec<_> = scenario.dataset.to_stream().ticks().collect();
+    let config = TkcmConfig::builder()
+        .window_length(len)
+        .pattern_length(12)
+        .anchor_count(5)
+        .reference_count(3)
+        .build()
+        .expect("valid config");
+
+    let mut group = c.benchmark_group("online_stream_replay");
+    group.sample_size(10);
+
+    group.bench_function("TKCM", |b| {
+        b.iter(|| {
+            let mut imp = TkcmOnlineAdapter::new(width, config.clone(), scenario.catalog.clone());
+            let mut count = 0usize;
+            for tick in &ticks {
+                count += imp.process_tick(tick.time, &tick.values).len();
+            }
+            count
+        })
+    });
+    group.bench_function("SPIRIT", |b| {
+        b.iter(|| {
+            let mut imp = SpiritImputer::new(width);
+            let mut count = 0usize;
+            for tick in &ticks {
+                count += imp.process_tick(tick.time, &tick.values).len();
+            }
+            count
+        })
+    });
+    group.bench_function("MUSCLES", |b| {
+        b.iter(|| {
+            let mut imp = MusclesImputer::new(width);
+            let mut count = 0usize;
+            for tick in &ticks {
+                count += imp.process_tick(tick.time, &tick.values).len();
+            }
+            count
+        })
+    });
+    group.finish();
+}
+
+fn bench_cd_batch(c: &mut Criterion) {
+    let scenario = small_scenario();
+    let data: Vec<Vec<Option<f64>>> = scenario
+        .dataset
+        .series
+        .iter()
+        .map(|s| s.values().to_vec())
+        .collect();
+    let mut group = c.benchmark_group("batch_recovery");
+    group.sample_size(10);
+    group.bench_function("CD", |b| {
+        b.iter(|| CdImputer::new().impute_matrix(&data).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_online_algorithms, bench_cd_batch);
+criterion_main!(benches);

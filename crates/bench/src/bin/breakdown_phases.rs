@@ -1,0 +1,11 @@
+//! Regenerates the Section 7.4 phase breakdown (pattern extraction vs
+//! pattern selection share of the runtime).
+fn main() {
+    let scale = tkcm_bench::scale_from_args(std::env::args());
+    let report = tkcm_eval::experiments::runtime::run(scale);
+    // The phase breakdown is the last table of the runtime report.
+    if let Some(table) = report.tables.last() {
+        println!("{table}");
+    }
+    println!("(scale: {scale:?}; pass --paper for the paper-proportioned workload)");
+}

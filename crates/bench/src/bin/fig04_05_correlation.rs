@@ -1,0 +1,6 @@
+//! Regenerates Figures 4 and 5: linear vs phase-shifted sine correlation.
+fn main() {
+    let scale = tkcm_bench::scale_from_args(std::env::args());
+    let report = tkcm_eval::experiments::analysis::run(scale);
+    tkcm_bench::print_report(&report, scale);
+}

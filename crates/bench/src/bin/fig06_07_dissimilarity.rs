@@ -1,0 +1,7 @@
+//! Regenerates Figures 6 and 7: dissimilarity profiles for l = 1 vs l = 60.
+//! (The analysis experiment produces Figures 4-7 together.)
+fn main() {
+    let scale = tkcm_bench::scale_from_args(std::env::args());
+    let report = tkcm_eval::experiments::analysis::run(scale);
+    tkcm_bench::print_report(&report, scale);
+}

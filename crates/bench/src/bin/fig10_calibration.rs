@@ -1,0 +1,6 @@
+//! Regenerates Figure 10: calibration of d and k.
+fn main() {
+    let scale = tkcm_bench::scale_from_args(std::env::args());
+    let report = tkcm_eval::experiments::calibration::run(scale);
+    tkcm_bench::print_report(&report, scale);
+}

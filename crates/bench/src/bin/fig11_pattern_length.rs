@@ -1,0 +1,6 @@
+//! Regenerates Figure 11: RMSE vs pattern length l.
+fn main() {
+    let scale = tkcm_bench::scale_from_args(std::env::args());
+    let report = tkcm_eval::experiments::pattern_length::run(scale);
+    tkcm_bench::print_report(&report, scale);
+}

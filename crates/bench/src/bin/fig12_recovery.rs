@@ -1,0 +1,6 @@
+//! Regenerates Figure 12: qualitative recovery with l = 1 vs l = 72.
+fn main() {
+    let scale = tkcm_bench::scale_from_args(std::env::args());
+    let report = tkcm_eval::experiments::recovery::run(scale);
+    tkcm_bench::print_report(&report, scale);
+}

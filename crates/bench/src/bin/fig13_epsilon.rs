@@ -1,0 +1,6 @@
+//! Regenerates Figure 13: scatterplot and average epsilon vs l (Chlorine).
+fn main() {
+    let scale = tkcm_bench::scale_from_args(std::env::args());
+    let report = tkcm_eval::experiments::epsilon::run(scale);
+    tkcm_bench::print_report(&report, scale);
+}

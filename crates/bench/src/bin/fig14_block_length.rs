@@ -1,0 +1,6 @@
+//! Regenerates Figure 14: RMSE vs missing block length.
+fn main() {
+    let scale = tkcm_bench::scale_from_args(std::env::args());
+    let report = tkcm_eval::experiments::block_length::run(scale);
+    tkcm_bench::print_report(&report, scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 15: recovered signals of TKCM, SPIRIT, MUSCLES and CD.
+fn main() {
+    let scale = tkcm_bench::scale_from_args(std::env::args());
+    let report = tkcm_eval::experiments::comparison::run(scale);
+    tkcm_bench::print_report(&report, scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 16: RMSE comparison of all algorithms on all datasets.
+fn main() {
+    let scale = tkcm_bench::scale_from_args(std::env::args());
+    let report = tkcm_eval::experiments::comparison::run(scale);
+    tkcm_bench::print_report(&report, scale);
+}

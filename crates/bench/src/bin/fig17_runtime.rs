@@ -1,0 +1,6 @@
+//! Regenerates Figure 17: runtime linearity in l, d, k and L.
+fn main() {
+    let scale = tkcm_bench::scale_from_args(std::env::args());
+    let report = tkcm_eval::experiments::runtime::run(scale);
+    tkcm_bench::print_report(&report, scale);
+}

@@ -1,0 +1,20 @@
+//! Runs every experiment in sequence and prints all reports — the one-shot
+//! way to regenerate the full evaluation section.
+fn main() {
+    let scale = tkcm_bench::scale_from_args(std::env::args());
+    use tkcm_eval::experiments as ex;
+    let reports = vec![
+        ex::analysis::run(scale),
+        ex::calibration::run(scale),
+        ex::pattern_length::run(scale),
+        ex::recovery::run(scale),
+        ex::epsilon::run(scale),
+        ex::block_length::run(scale),
+        ex::comparison::run(scale),
+        ex::runtime::run(scale),
+    ];
+    for report in &reports {
+        tkcm_bench::print_report(report, scale);
+        println!();
+    }
+}

@@ -1,0 +1,47 @@
+//! # tkcm-bench
+//!
+//! Benchmark and experiment-regeneration harness.
+//!
+//! * `src/bin/` — one binary per figure of the paper.  Each binary prints the
+//!   corresponding [`tkcm_eval::Report`]; pass `--paper` to run the
+//!   paper-proportioned workload instead of the quick one.
+//! * `benches/` — Criterion benchmarks for the runtime experiments
+//!   (Figure 17 and the per-imputation cost of the phase breakdown).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tkcm_eval::experiments::Scale;
+
+/// Parses the common CLI arguments of the experiment binaries.
+///
+/// `--paper` selects [`Scale::Paper`]; anything else (including no argument)
+/// selects [`Scale::Quick`].
+pub fn scale_from_args<I: IntoIterator<Item = String>>(args: I) -> Scale {
+    if args.into_iter().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Quick
+    }
+}
+
+/// Prints a report with a standard footer naming the scale that was used.
+pub fn print_report(report: &tkcm_eval::Report, scale: Scale) {
+    println!("{report}");
+    println!("(scale: {scale:?}; pass --paper for the paper-proportioned workload)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(scale_from_args(vec![]), Scale::Quick);
+        assert_eq!(scale_from_args(vec!["--quick".to_string()]), Scale::Quick);
+        assert_eq!(
+            scale_from_args(vec!["prog".to_string(), "--paper".to_string()]),
+            Scale::Paper
+        );
+    }
+}

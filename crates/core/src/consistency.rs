@@ -1,0 +1,139 @@
+//! Pattern-determination diagnostics (Definition 5).
+//!
+//! The reference series pattern-determine `s` at `t_n` with tolerance ε when
+//! the values of `s` at the k most similar anchor points are all within ε of
+//! each other.  The smaller ε, the more confident the imputation; Figure 13b
+//! of the paper plots the *average* ε against the pattern length `l` on the
+//! Chlorine dataset and shows it shrinking until `l ≈ 72`.
+
+use tkcm_timeseries::Timestamp;
+
+/// ε of a set of anchor values: the maximum pairwise absolute difference,
+/// i.e. `max(values) − min(values)`.  Returns `None` for an empty set.
+pub fn epsilon_of_anchors(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut lo = values[0];
+    let mut hi = values[0];
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    Some(hi - lo)
+}
+
+/// Consistency report for one imputation: the anchors, their values and the
+/// resulting ε.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConsistencyReport {
+    /// Anchor time points used for the imputation.
+    pub anchors: Vec<Timestamp>,
+    /// Values of the incomplete series at those anchors.
+    pub anchor_values: Vec<f64>,
+    /// The ε of Definition 5 (`None` when no anchors were found).
+    pub epsilon: Option<f64>,
+    /// The imputed value.
+    pub imputed: f64,
+}
+
+impl ConsistencyReport {
+    /// Builds a report from the anchors and the imputed value.
+    pub fn new(anchors: Vec<Timestamp>, anchor_values: Vec<f64>, imputed: f64) -> Self {
+        let epsilon = epsilon_of_anchors(&anchor_values);
+        ConsistencyReport {
+            anchors,
+            anchor_values,
+            epsilon,
+            imputed,
+        }
+    }
+
+    /// Whether the references pattern-determine the series within `tolerance`
+    /// (Definition 5 with ε = `tolerance`).
+    pub fn is_pattern_determining(&self, tolerance: f64) -> bool {
+        match self.epsilon {
+            Some(e) => e <= tolerance,
+            None => false,
+        }
+    }
+
+    /// Whether the imputed series is *consistent* per Definition 6: every
+    /// anchor value is within ε of the imputed value.  By Lemma 5.2 this
+    /// always holds when the imputed value is the anchor mean; the check is
+    /// exposed so tests and the harness can verify the lemma empirically.
+    pub fn is_consistent(&self) -> bool {
+        match self.epsilon {
+            None => false,
+            Some(e) => self
+                .anchor_values
+                .iter()
+                .all(|v| (v - self.imputed).abs() <= e + 1e-12),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_is_value_range() {
+        assert_eq!(epsilon_of_anchors(&[]), None);
+        assert_eq!(epsilon_of_anchors(&[3.0]), Some(0.0));
+        let eps = epsilon_of_anchors(&[21.9, 21.8]).unwrap();
+        assert!((eps - 0.1).abs() < 1e-9);
+        assert_eq!(epsilon_of_anchors(&[1.0, 5.0, 3.0]), Some(4.0));
+    }
+
+    #[test]
+    fn example_9_of_the_paper() {
+        // Anchors 14:00 and 13:35 with values 21.9 °C and 21.8 °C give
+        // ε = 0.1 °C; the imputed value is their mean 21.85 °C.
+        let report = ConsistencyReport::new(
+            vec![Timestamp::new(7), Timestamp::new(2)],
+            vec![21.9, 21.8],
+            21.85,
+        );
+        assert!((report.epsilon.unwrap() - 0.1).abs() < 1e-9);
+        assert!(report.is_pattern_determining(0.1 + 1e-9));
+        assert!(!report.is_pattern_determining(0.05));
+        assert!(report.is_consistent());
+    }
+
+    #[test]
+    fn lemma_5_2_mean_imputation_is_consistent() {
+        // For any anchor values, imputing their mean yields a consistent
+        // series: |mean - v_i| <= max_j v_j - min_j v_j.
+        let cases = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![-5.0, 5.0],
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![10.0, 10.5, 9.5, 10.2, 9.9],
+        ];
+        for values in cases {
+            let mean = values.iter().sum::<f64>() / values.len() as f64;
+            let report = ConsistencyReport::new(
+                (0..values.len()).map(|i| Timestamp::new(i as i64)).collect(),
+                values,
+                mean,
+            );
+            assert!(report.is_consistent(), "{report:?}");
+        }
+    }
+
+    #[test]
+    fn inconsistent_when_imputed_value_is_far_from_anchors() {
+        let report =
+            ConsistencyReport::new(vec![Timestamp::new(0), Timestamp::new(5)], vec![1.0, 1.2], 9.0);
+        assert!(!report.is_consistent());
+    }
+
+    #[test]
+    fn empty_report_is_neither_determining_nor_consistent() {
+        let report = ConsistencyReport::new(vec![], vec![], 0.0);
+        assert_eq!(report.epsilon, None);
+        assert!(!report.is_pattern_determining(1.0));
+        assert!(!report.is_consistent());
+    }
+}

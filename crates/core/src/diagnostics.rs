@@ -1,0 +1,182 @@
+//! Phase timing diagnostics.
+//!
+//! Section 7.4 of the paper breaks TKCM's runtime into the pattern-extraction
+//! (PE) phase — fetching window data and computing dissimilarities — and the
+//! pattern-selection (PS) phase — the dynamic program.  With the default
+//! parameters PE accounts for ~92 % of the runtime; raising `k` to 300 pushes
+//! PS to ~25 %.  [`PhaseTimer`] collects the same breakdown for our
+//! implementation so the experiment harness can reproduce that analysis.
+
+use std::time::{Duration, Instant};
+
+/// Accumulated wall-clock time per TKCM phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Pattern extraction: reading the window and computing dissimilarities.
+    pub extraction: Duration,
+    /// Pattern selection: the dynamic program (or greedy) over `D`.
+    pub selection: Duration,
+    /// Value imputation: averaging the anchor values and writing back.
+    pub imputation: Duration,
+    /// Number of imputations the breakdown was accumulated over.
+    pub imputations: usize,
+}
+
+impl PhaseBreakdown {
+    /// Total time across all phases.
+    pub fn total(&self) -> Duration {
+        self.extraction + self.selection + self.imputation
+    }
+
+    /// Fraction of the total spent in pattern extraction (0 when no time was
+    /// recorded at all).
+    pub fn extraction_share(&self) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.extraction.as_secs_f64() / total
+        }
+    }
+
+    /// Fraction of the total spent in pattern selection.
+    pub fn selection_share(&self) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.selection.as_secs_f64() / total
+        }
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &PhaseBreakdown) {
+        self.extraction += other.extraction;
+        self.selection += other.selection;
+        self.imputation += other.imputation;
+        self.imputations += other.imputations;
+    }
+}
+
+/// Stopwatch that attributes elapsed time to the TKCM phases.
+#[derive(Debug)]
+pub struct PhaseTimer {
+    breakdown: PhaseBreakdown,
+    started: Option<(Phase, Instant)>,
+}
+
+/// The three phases of Algorithm 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Pattern extraction (step 1).
+    Extraction,
+    /// Pattern selection (step 2).
+    Selection,
+    /// Value imputation (step 3).
+    Imputation,
+}
+
+impl PhaseTimer {
+    /// Creates an idle timer with an empty breakdown.
+    pub fn new() -> Self {
+        PhaseTimer {
+            breakdown: PhaseBreakdown::default(),
+            started: None,
+        }
+    }
+
+    /// Starts (or switches to) a phase, closing the previously running one.
+    pub fn start(&mut self, phase: Phase) {
+        self.stop();
+        self.started = Some((phase, Instant::now()));
+    }
+
+    /// Stops the currently running phase, attributing its elapsed time.
+    pub fn stop(&mut self) {
+        if let Some((phase, at)) = self.started.take() {
+            let elapsed = at.elapsed();
+            match phase {
+                Phase::Extraction => self.breakdown.extraction += elapsed,
+                Phase::Selection => self.breakdown.selection += elapsed,
+                Phase::Imputation => self.breakdown.imputation += elapsed,
+            }
+        }
+    }
+
+    /// Marks that one complete imputation has been timed.
+    pub fn finish_imputation(&mut self) {
+        self.stop();
+        self.breakdown.imputations += 1;
+    }
+
+    /// The breakdown accumulated so far.
+    pub fn breakdown(&self) -> PhaseBreakdown {
+        self.breakdown
+    }
+}
+
+impl Default for PhaseTimer {
+    fn default() -> Self {
+        PhaseTimer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_attributes_time_to_phases() {
+        let mut timer = PhaseTimer::new();
+        timer.start(Phase::Extraction);
+        std::thread::sleep(Duration::from_millis(2));
+        timer.start(Phase::Selection);
+        std::thread::sleep(Duration::from_millis(1));
+        timer.start(Phase::Imputation);
+        timer.finish_imputation();
+
+        let b = timer.breakdown();
+        assert!(b.extraction > Duration::ZERO);
+        assert!(b.selection > Duration::ZERO);
+        assert_eq!(b.imputations, 1);
+        assert!(b.total() >= b.extraction + b.selection);
+        let shares = b.extraction_share() + b.selection_share();
+        assert!(shares <= 1.0 + 1e-9);
+        assert!(b.extraction_share() > 0.0);
+    }
+
+    #[test]
+    fn empty_breakdown_has_zero_shares() {
+        let b = PhaseBreakdown::default();
+        assert_eq!(b.total(), Duration::ZERO);
+        assert_eq!(b.extraction_share(), 0.0);
+        assert_eq!(b.selection_share(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = PhaseBreakdown {
+            extraction: Duration::from_millis(10),
+            selection: Duration::from_millis(5),
+            imputation: Duration::from_millis(1),
+            imputations: 2,
+        };
+        let mut b = PhaseBreakdown {
+            extraction: Duration::from_millis(1),
+            selection: Duration::from_millis(1),
+            imputation: Duration::from_millis(1),
+            imputations: 1,
+        };
+        b.merge(&a);
+        assert_eq!(b.extraction, Duration::from_millis(11));
+        assert_eq!(b.selection, Duration::from_millis(6));
+        assert_eq!(b.imputations, 3);
+    }
+
+    #[test]
+    fn stop_without_start_is_a_noop() {
+        let mut timer = PhaseTimer::default();
+        timer.stop();
+        assert_eq!(timer.breakdown(), PhaseBreakdown::default());
+    }
+}

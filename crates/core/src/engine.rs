@@ -1,0 +1,350 @@
+//! Streaming TKCM engine: continuous imputation over a set of streams.
+//!
+//! The engine owns the streaming window, pushes every arriving tick into it,
+//! and — for every series whose value is missing at the current time — runs
+//! the TKCM imputer with the reference set selected from the catalog
+//! (Section 3: the first `d` ranked candidates whose current value is not
+//! missing).  Imputed values are written back into the window so that later
+//! imputations can treat them as history, exactly as in Example 1 of the
+//! paper where `r2(13:40)` is an imputed value.
+
+use tkcm_timeseries::{Catalog, SeriesId, StreamTick, StreamingWindow, Timestamp, TsError};
+
+use crate::config::TkcmConfig;
+use crate::diagnostics::PhaseBreakdown;
+use crate::imputer::{ImputationDetail, TkcmImputer};
+
+/// One imputation performed by the engine at a tick.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Imputation {
+    /// The series that was imputed.
+    pub series: SeriesId,
+    /// The time point imputed.
+    pub time: Timestamp,
+    /// The imputed value.
+    pub value: f64,
+    /// Full detail (anchors, ε, timing).
+    pub detail: ImputationDetail,
+}
+
+/// Result of processing one tick.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EngineOutcome {
+    /// All imputations performed at this tick (one per missing series).
+    pub imputations: Vec<Imputation>,
+    /// Series that were missing but could not be imputed because no reference
+    /// candidate was alive (the value stays missing in the window).
+    pub skipped: Vec<SeriesId>,
+}
+
+impl EngineOutcome {
+    /// Convenience lookup of the imputed value of a series at this tick.
+    pub fn imputed_value(&self, series: SeriesId) -> Option<f64> {
+        self.imputations
+            .iter()
+            .find(|i| i.series == series)
+            .map(|i| i.value)
+    }
+}
+
+/// Continuous TKCM imputation engine over a fixed set of streams.
+pub struct TkcmEngine {
+    imputer: TkcmImputer,
+    window: StreamingWindow,
+    catalog: Catalog,
+    breakdown: PhaseBreakdown,
+    imputation_count: usize,
+    tick_count: usize,
+}
+
+impl TkcmEngine {
+    /// Creates an engine for `width` streams.
+    ///
+    /// The engine's window length is taken from `config.window_length`.
+    pub fn new(width: usize, config: TkcmConfig, catalog: Catalog) -> Result<Self, TsError> {
+        config.validate()?;
+        if width == 0 {
+            return Err(TsError::invalid("width", "need at least one stream"));
+        }
+        let window = StreamingWindow::new(width, config.window_length);
+        Ok(TkcmEngine {
+            imputer: TkcmImputer::new(config)?,
+            window,
+            catalog,
+            breakdown: PhaseBreakdown::default(),
+            imputation_count: 0,
+            tick_count: 0,
+        })
+    }
+
+    /// Creates an engine with a pre-built imputer (custom dissimilarity).
+    pub fn with_imputer(
+        width: usize,
+        imputer: TkcmImputer,
+        catalog: Catalog,
+    ) -> Result<Self, TsError> {
+        if width == 0 {
+            return Err(TsError::invalid("width", "need at least one stream"));
+        }
+        let window = StreamingWindow::new(width, imputer.config().window_length);
+        Ok(TkcmEngine {
+            imputer,
+            window,
+            catalog,
+            breakdown: PhaseBreakdown::default(),
+            imputation_count: 0,
+            tick_count: 0,
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &TkcmConfig {
+        self.imputer.config()
+    }
+
+    /// Read access to the streaming window (e.g. for inspecting history).
+    pub fn window(&self) -> &StreamingWindow {
+        &self.window
+    }
+
+    /// The reference catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Number of ticks processed so far.
+    pub fn ticks_processed(&self) -> usize {
+        self.tick_count
+    }
+
+    /// Number of values imputed so far.
+    pub fn imputations_performed(&self) -> usize {
+        self.imputation_count
+    }
+
+    /// Accumulated phase-timing breakdown over all imputations (Section 7.4).
+    pub fn phase_breakdown(&self) -> PhaseBreakdown {
+        self.breakdown
+    }
+
+    /// Processes one arriving tick: pushes it into the window, imputes every
+    /// missing series and writes the imputed values back into the window.
+    pub fn process_tick(&mut self, tick: &StreamTick) -> Result<EngineOutcome, TsError> {
+        self.window.push_tick(tick)?;
+        self.tick_count += 1;
+
+        let mut outcome = EngineOutcome::default();
+        let missing = self.window.currently_missing();
+        for target in missing {
+            // Reference selection per Section 3: the first d ranked candidates
+            // that are alive right now (observed at this tick, or already
+            // imputed earlier in this loop).
+            let d = self.imputer.config().reference_count;
+            let window = &self.window;
+            let selection = self.catalog.select_references(target, d, |cand| {
+                window
+                    .value_recent(cand, 0)
+                    .map(|v| v.is_some())
+                    .unwrap_or(false)
+            });
+            if selection.references.is_empty() {
+                outcome.skipped.push(target);
+                continue;
+            }
+            let detail = self
+                .imputer
+                .impute(&self.window, target, &selection.references)?;
+            self.window.write_imputed(target, 0, detail.value)?;
+            self.breakdown.merge(&detail.breakdown);
+            self.imputation_count += 1;
+            outcome.imputations.push(Imputation {
+                series: target,
+                time: detail.time,
+                value: detail.value,
+                detail,
+            });
+        }
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TkcmConfig;
+
+    fn catalog_for(width: usize) -> Catalog {
+        Catalog::ring_neighbours(width)
+    }
+
+    fn sine(t: usize, period: f64, shift: f64) -> f64 {
+        ((t as f64 - shift) / period * std::f64::consts::TAU).sin()
+    }
+
+    fn small_config(window: usize, l: usize, k: usize, d: usize) -> TkcmConfig {
+        TkcmConfig::builder()
+            .window_length(window)
+            .pattern_length(l)
+            .anchor_count(k)
+            .reference_count(d)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn engine_imputes_missing_block_and_writes_back() {
+        let width = 3;
+        let period = 32.0;
+        let config = small_config(256, 4, 3, 2);
+        let mut engine = TkcmEngine::new(width, config, catalog_for(width)).unwrap();
+
+        let total = 256usize;
+        let gap_start = 200usize;
+        let mut errors = Vec::new();
+        for t in 0..total {
+            let truth = sine(t, period, 0.0);
+            let s0 = if (gap_start..gap_start + 20).contains(&t) {
+                None
+            } else {
+                Some(truth)
+            };
+            let tick = StreamTick::new(
+                Timestamp::new(t as i64),
+                vec![s0, Some(sine(t, period, 5.0)), Some(sine(t, period, 11.0))],
+            );
+            let outcome = engine.process_tick(&tick).unwrap();
+            if s0.is_none() {
+                let imputed = outcome.imputed_value(SeriesId(0)).expect("should impute");
+                errors.push((imputed - truth).abs());
+                // Write-back: the window now holds the imputed value.
+                assert_eq!(
+                    engine.window().value_recent(SeriesId(0), 0).unwrap(),
+                    Some(imputed)
+                );
+            } else {
+                assert!(outcome.imputations.is_empty());
+            }
+        }
+        assert_eq!(errors.len(), 20);
+        let rmse = (errors.iter().map(|e| e * e).sum::<f64>() / errors.len() as f64).sqrt();
+        assert!(rmse < 0.1, "rmse = {rmse}");
+        assert_eq!(engine.imputations_performed(), 20);
+        assert_eq!(engine.ticks_processed(), total);
+        assert_eq!(engine.phase_breakdown().imputations, 20);
+    }
+
+    #[test]
+    fn multiple_series_missing_at_the_same_tick() {
+        let width = 4;
+        let config = small_config(128, 3, 2, 2);
+        let mut engine = TkcmEngine::new(width, config, catalog_for(width)).unwrap();
+        for t in 0..100usize {
+            let base = sine(t, 25.0, 0.0);
+            let missing_tick = t == 99;
+            let tick = StreamTick::new(
+                Timestamp::new(t as i64),
+                vec![
+                    if missing_tick { None } else { Some(base) },
+                    if missing_tick { None } else { Some(base * 2.0) },
+                    Some(sine(t, 25.0, 3.0)),
+                    Some(sine(t, 25.0, 7.0)),
+                ],
+            );
+            let outcome = engine.process_tick(&tick).unwrap();
+            if missing_tick {
+                assert_eq!(outcome.imputations.len(), 2);
+                assert!(outcome.imputed_value(SeriesId(0)).is_some());
+                assert!(outcome.imputed_value(SeriesId(1)).is_some());
+                assert!(outcome.skipped.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn series_without_alive_references_is_skipped() {
+        // Catalog where series 0 has only series 1 as candidate, and both are
+        // missing at the same tick -> no imputation possible for series 0
+        // until series 1 recovers... but series 1 has series 0 as candidate,
+        // so both get skipped.
+        let mut catalog = Catalog::new();
+        catalog.set_candidates(SeriesId(0), vec![SeriesId(1)]).unwrap();
+        catalog.set_candidates(SeriesId(1), vec![SeriesId(0)]).unwrap();
+        let config = small_config(64, 2, 2, 1);
+        let mut engine = TkcmEngine::new(2, config, catalog).unwrap();
+        for t in 0..20usize {
+            let missing = t == 19;
+            let v = if missing { None } else { Some(t as f64) };
+            let outcome = engine
+                .process_tick(&StreamTick::new(Timestamp::new(t as i64), vec![v, v]))
+                .unwrap();
+            if missing {
+                assert_eq!(outcome.skipped.len(), 2);
+                assert!(outcome.imputations.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn imputed_reference_can_serve_later_imputations() {
+        // Series 1 goes missing first and is imputed; at a later tick series 0
+        // goes missing and uses (previously imputed) series 1 values inside
+        // its patterns — the engine must not reject them.
+        let width = 3;
+        let config = small_config(128, 3, 2, 2);
+        let mut catalog = Catalog::new();
+        catalog
+            .set_candidates(SeriesId(0), vec![SeriesId(1), SeriesId(2)])
+            .unwrap();
+        catalog
+            .set_candidates(SeriesId(1), vec![SeriesId(2), SeriesId(0)])
+            .unwrap();
+        catalog
+            .set_candidates(SeriesId(2), vec![SeriesId(1), SeriesId(0)])
+            .unwrap();
+        let mut engine = TkcmEngine::new(width, config, catalog).unwrap();
+        for t in 0..120usize {
+            let base = sine(t, 20.0, 0.0);
+            let s1_missing = (60..70).contains(&t);
+            let s0_missing = t == 119;
+            let tick = StreamTick::new(
+                Timestamp::new(t as i64),
+                vec![
+                    if s0_missing { None } else { Some(base) },
+                    if s1_missing { None } else { Some(sine(t, 20.0, 4.0)) },
+                    Some(sine(t, 20.0, 9.0)),
+                ],
+            );
+            let outcome = engine.process_tick(&tick).unwrap();
+            if s0_missing {
+                assert_eq!(outcome.imputations.len(), 1);
+                let imputed = outcome.imputed_value(SeriesId(0)).unwrap();
+                assert!((imputed - base).abs() < 0.2, "imputed {imputed} vs {base}");
+            }
+        }
+        assert_eq!(engine.imputations_performed(), 11);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        let config = small_config(64, 2, 2, 1);
+        assert!(TkcmEngine::new(0, config.clone(), Catalog::new()).is_err());
+        let bad = TkcmConfig {
+            pattern_length: 0,
+            ..TkcmConfig::default()
+        };
+        assert!(TkcmEngine::new(2, bad, Catalog::new()).is_err());
+        let imputer = TkcmImputer::new(config).unwrap();
+        assert!(TkcmEngine::with_imputer(0, imputer, Catalog::new()).is_err());
+    }
+
+    #[test]
+    fn accessors_expose_state() {
+        let config = small_config(64, 2, 2, 1);
+        let engine = TkcmEngine::new(2, config.clone(), catalog_for(2)).unwrap();
+        assert_eq!(engine.config().window_length, 64);
+        assert_eq!(engine.window().width(), 2);
+        assert_eq!(engine.catalog().len(), 2);
+        assert_eq!(engine.ticks_processed(), 0);
+        assert_eq!(engine.imputations_performed(), 0);
+    }
+}

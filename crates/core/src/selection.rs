@@ -1,0 +1,401 @@
+//! Selection of the k most similar non-overlapping patterns.
+//!
+//! Definition 3 of the paper asks for a set `A` of `k` anchor points such
+//! that (1) every anchored pattern lies inside the window and does not
+//! overlap the query pattern, (2) the patterns do not overlap each other
+//! (pairwise anchor distance ≥ `l`) and (3) the sum of dissimilarities to the
+//! query pattern is minimal.
+//!
+//! A greedy algorithm that repeatedly picks the most similar pattern that
+//! does not overlap the already chosen ones fails to minimise the sum
+//! (Section 6.1), so the paper proposes a dynamic program over the matrix
+//!
+//! ```text
+//! M[i][j] = 0                                            if i = 0
+//!         = ∞                                            if i > j
+//!         = min( M[i][j−1],  D[j] + M[i−1][max(j−l,0)] ) otherwise
+//! ```
+//!
+//! where `D[j]` is the dissimilarity of the `j`-th candidate pattern
+//! (Equation 5, Algorithm 1, Figure 8).  This module implements both the DP
+//! and the greedy heuristic (for ablation), plus an "overlapping top-k"
+//! variant that demonstrates the near-duplicate problem motivating the
+//! non-overlap constraint.
+
+/// Which algorithm is used to pick the anchors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SelectionStrategy {
+    /// The dynamic program of Section 6 (paper default): minimises the sum of
+    /// dissimilarities subject to the non-overlap constraint.
+    #[default]
+    DynamicProgramming,
+    /// Greedy: repeatedly take the most similar pattern that does not overlap
+    /// the already selected ones.  May fail to minimise the sum.
+    Greedy,
+    /// Plain top-k by dissimilarity ignoring the non-overlap constraint.
+    /// Only useful to demonstrate the near-duplicate problem.
+    OverlappingTopK,
+}
+
+/// Result of a pattern-selection run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnchorSelection {
+    /// 0-based candidate indices of the selected patterns, in increasing
+    /// index order (candidate `j` in the paper is index `j − 1` here).
+    pub indices: Vec<usize>,
+    /// Sum of the dissimilarities of the selected patterns.
+    pub total_dissimilarity: f64,
+    /// Whether the requested number of anchors could be selected.
+    pub complete: bool,
+}
+
+impl AnchorSelection {
+    fn empty() -> Self {
+        AnchorSelection {
+            indices: Vec::new(),
+            total_dissimilarity: 0.0,
+            complete: false,
+        }
+    }
+}
+
+/// Selects up to `k` non-overlapping candidates minimising the dissimilarity
+/// sum using the dynamic program of the paper.
+///
+/// * `dissimilarities[j]` is `D[j+1]` of the paper: the dissimilarity of the
+///   candidate anchored `j` positions after the first valid anchor.
+///   Candidates whose dissimilarity is `+∞` (e.g. because the pattern
+///   contained missing values) are never selected.
+/// * `pattern_length` is `l`; two candidates `i < j` overlap iff `j − i < l`.
+///
+/// If fewer than `k` non-overlapping finite candidates exist, the selection
+/// contains as many as possible and `complete` is `false`.
+pub fn select_anchors_dp(
+    dissimilarities: &[f64],
+    pattern_length: usize,
+    k: usize,
+) -> AnchorSelection {
+    assert!(pattern_length > 0, "pattern length must be positive");
+    let j_max = dissimilarities.len();
+    if k == 0 || j_max == 0 {
+        return AnchorSelection::empty();
+    }
+
+    // The largest feasible number of anchors given the candidate count: with
+    // J candidates and spacing l the maximum is ceil(J / l).
+    let feasible_k = k.min(j_max.div_ceil(pattern_length));
+
+    // M has (k+1) x (J+1) entries; row 0 is all zeros. Column 0 represents
+    // "no candidates considered yet".
+    let cols = j_max + 1;
+    let mut m = vec![vec![0.0_f64; cols]; feasible_k + 1];
+    for (i, row) in m.iter_mut().enumerate().skip(1) {
+        for (j, cell) in row.iter_mut().enumerate() {
+            if i > j {
+                *cell = f64::INFINITY;
+            }
+        }
+    }
+    for i in 1..=feasible_k {
+        for j in 1..=j_max {
+            if i > j {
+                continue;
+            }
+            let skip = m[i][j - 1];
+            let pred = j.saturating_sub(pattern_length);
+            let take = dissimilarities[j - 1] + m[i - 1][pred];
+            m[i][j] = skip.min(take);
+        }
+    }
+
+    // Find the largest i ≤ feasible_k with a finite optimum (infinite D values
+    // can make even feasible_k unattainable).
+    let mut best_i = 0;
+    for i in (1..=feasible_k).rev() {
+        if m[i][j_max].is_finite() {
+            best_i = i;
+            break;
+        }
+    }
+    if best_i == 0 {
+        return AnchorSelection::empty();
+    }
+
+    // Backtrack (lines 15–23 of Algorithm 1).
+    let mut indices = Vec::with_capacity(best_i);
+    let mut i = best_i;
+    let mut j = j_max;
+    while i > 0 && j > 0 {
+        if m[i][j] == m[i][j - 1] {
+            j -= 1;
+        } else {
+            indices.push(j - 1);
+            i -= 1;
+            j = j.saturating_sub(pattern_length);
+        }
+    }
+    indices.reverse();
+
+    AnchorSelection {
+        total_dissimilarity: m[best_i][j_max],
+        complete: best_i == k,
+        indices,
+    }
+}
+
+/// Greedy selection: repeatedly pick the most similar candidate that does not
+/// overlap any already selected one.  Kept for the ablation study — the paper
+/// notes this does *not* minimise the dissimilarity sum in general.
+pub fn select_anchors_greedy(
+    dissimilarities: &[f64],
+    pattern_length: usize,
+    k: usize,
+) -> AnchorSelection {
+    assert!(pattern_length > 0, "pattern length must be positive");
+    let mut order: Vec<usize> = (0..dissimilarities.len())
+        .filter(|&j| dissimilarities[j].is_finite())
+        .collect();
+    order.sort_by(|&a, &b| {
+        dissimilarities[a]
+            .partial_cmp(&dissimilarities[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    let mut selected: Vec<usize> = Vec::with_capacity(k);
+    for j in order {
+        if selected.len() == k {
+            break;
+        }
+        if selected
+            .iter()
+            .all(|&s| s.abs_diff(j) >= pattern_length)
+        {
+            selected.push(j);
+        }
+    }
+    selected.sort_unstable();
+    let total = selected.iter().map(|&j| dissimilarities[j]).sum();
+    AnchorSelection {
+        complete: selected.len() == k,
+        total_dissimilarity: total,
+        indices: selected,
+    }
+}
+
+/// Top-k by dissimilarity with no overlap constraint at all.  Demonstrates
+/// the near-duplicate problem described in Section 4.1.
+pub fn select_anchors_overlapping(dissimilarities: &[f64], k: usize) -> AnchorSelection {
+    let mut order: Vec<usize> = (0..dissimilarities.len())
+        .filter(|&j| dissimilarities[j].is_finite())
+        .collect();
+    order.sort_by(|&a, &b| {
+        dissimilarities[a]
+            .partial_cmp(&dissimilarities[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut selected: Vec<usize> = order.into_iter().take(k).collect();
+    selected.sort_unstable();
+    let total = selected.iter().map(|&j| dissimilarities[j]).sum();
+    AnchorSelection {
+        complete: selected.len() == k,
+        total_dissimilarity: total,
+        indices: selected,
+    }
+}
+
+/// Dispatches to the strategy chosen in the configuration.
+pub fn select_anchors(
+    strategy: SelectionStrategy,
+    dissimilarities: &[f64],
+    pattern_length: usize,
+    k: usize,
+) -> AnchorSelection {
+    match strategy {
+        SelectionStrategy::DynamicProgramming => {
+            select_anchors_dp(dissimilarities, pattern_length, k)
+        }
+        SelectionStrategy::Greedy => select_anchors_greedy(dissimilarities, pattern_length, k),
+        SelectionStrategy::OverlappingTopK => {
+            select_anchors_overlapping(dissimilarities, k)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_8_worked_example() {
+        // D = [0.5, 0.3, 2.1, 0.7, 4.0], l = 3, k = 2.
+        // The paper's DP selects patterns j = 1 (P(t6), δ=0.5) and j = 4
+        // (P(t9), δ=0.7) with total dissimilarity 1.2.
+        let d = [0.5, 0.3, 2.1, 0.7, 4.0];
+        let sel = select_anchors_dp(&d, 3, 2);
+        assert!(sel.complete);
+        assert_eq!(sel.indices, vec![0, 3]);
+        assert!((sel.total_dissimilarity - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_fails_on_figure_8_example() {
+        // Greedy first grabs j = 2 (δ=0.3), which overlaps both neighbours of
+        // the optimal solution; its best completion is j = 5 (δ=4.0), total 4.3.
+        let d = [0.5, 0.3, 2.1, 0.7, 4.0];
+        let greedy = select_anchors_greedy(&d, 3, 2);
+        assert!(greedy.complete);
+        assert_eq!(greedy.indices, vec![1, 4]);
+        assert!(greedy.total_dissimilarity > 4.0);
+        // The DP is strictly better.
+        let dp = select_anchors_dp(&d, 3, 2);
+        assert!(dp.total_dissimilarity < greedy.total_dissimilarity);
+    }
+
+    #[test]
+    fn dp_never_selects_overlapping_candidates() {
+        let d = [1.0, 0.1, 0.2, 0.15, 3.0, 0.05, 0.5];
+        for k in 1..=4 {
+            let sel = select_anchors_dp(&d, 2, k);
+            for w in sel.indices.windows(2) {
+                assert!(w[1] - w[0] >= 2, "overlap in {:?}", sel.indices);
+            }
+        }
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_small_inputs() {
+        // Exhaustive check of optimality over all non-overlapping subsets.
+        fn brute_force(d: &[f64], l: usize, k: usize) -> Option<f64> {
+            fn rec(d: &[f64], l: usize, k: usize, start: usize) -> Option<f64> {
+                if k == 0 {
+                    return Some(0.0);
+                }
+                let mut best: Option<f64> = None;
+                for j in start..d.len() {
+                    if !d[j].is_finite() {
+                        continue;
+                    }
+                    if let Some(rest) = rec(d, l, k - 1, j + l) {
+                        let total = d[j] + rest;
+                        best = Some(best.map_or(total, |b: f64| b.min(total)));
+                    }
+                }
+                best
+            }
+            rec(d, l, k, 0)
+        }
+
+        let cases: Vec<(Vec<f64>, usize, usize)> = vec![
+            (vec![0.5, 0.3, 2.1, 0.7, 4.0], 3, 2),
+            (vec![1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4], 2, 3),
+            (vec![5.0, 1.0, 1.0, 5.0, 1.0, 1.0, 5.0], 3, 2),
+            (vec![0.2, 0.1, 0.2, 0.1, 0.2, 0.1], 1, 4),
+            (vec![3.0, 2.0, 1.0], 2, 2),
+            (vec![1.0, f64::INFINITY, 2.0, 3.0, f64::INFINITY, 0.5], 2, 2),
+        ];
+        for (d, l, k) in cases {
+            let dp = select_anchors_dp(&d, l, k);
+            let expected = brute_force(&d, l, k);
+            match expected {
+                Some(total) if dp.complete => {
+                    assert!(
+                        (dp.total_dissimilarity - total).abs() < 1e-9,
+                        "dp {} vs brute {} for {:?} l={} k={}",
+                        dp.total_dissimilarity,
+                        total,
+                        d,
+                        l,
+                        k
+                    );
+                }
+                Some(_) => panic!("dp incomplete but brute force found a solution: {d:?}"),
+                None => assert!(!dp.complete, "brute force found no solution but dp claims one"),
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_k_returns_partial_selection() {
+        // Only 3 candidates with l = 2: at most 2 non-overlapping patterns.
+        let d = [1.0, 2.0, 3.0];
+        let sel = select_anchors_dp(&d, 2, 5);
+        assert!(!sel.complete);
+        assert_eq!(sel.indices.len(), 2);
+        // Greedy behaves the same way.
+        let greedy = select_anchors_greedy(&d, 2, 5);
+        assert!(!greedy.complete);
+        assert_eq!(greedy.indices.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert_eq!(select_anchors_dp(&[], 3, 2), AnchorSelection::empty());
+        assert_eq!(select_anchors_dp(&[1.0, 2.0], 3, 0), AnchorSelection::empty());
+        let all_inf = [f64::INFINITY, f64::INFINITY];
+        assert!(select_anchors_dp(&all_inf, 1, 1).indices.is_empty());
+        assert!(select_anchors_greedy(&all_inf, 1, 1).indices.is_empty());
+        assert!(select_anchors_overlapping(&all_inf, 1).indices.is_empty());
+    }
+
+    #[test]
+    fn k_equals_one_picks_the_minimum() {
+        let d = [0.9, 0.4, 0.6, 0.2, 0.8];
+        let sel = select_anchors_dp(&d, 4, 1);
+        assert_eq!(sel.indices, vec![3]);
+        assert!((sel.total_dissimilarity - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_candidates_are_skipped() {
+        let d = [f64::INFINITY, 0.5, f64::INFINITY, 0.7, f64::INFINITY];
+        let sel = select_anchors_dp(&d, 2, 2);
+        assert!(sel.complete);
+        assert_eq!(sel.indices, vec![1, 3]);
+        assert!((sel.total_dissimilarity - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_topk_demonstrates_near_duplicates() {
+        // A smooth dissimilarity profile with a single minimum at index 5:
+        // without the overlap constraint the top-3 are 4, 5, 6 — adjacent
+        // near-duplicates, exactly the problem described in Section 4.1.
+        let d: Vec<f64> = (0..11).map(|j| ((j as f64) - 5.0).abs()).collect();
+        let overlapping = select_anchors_overlapping(&d, 3);
+        assert_eq!(overlapping.indices, vec![4, 5, 6]);
+        let dp = select_anchors_dp(&d, 3, 3);
+        for w in dp.indices.windows(2) {
+            assert!(w[1] - w[0] >= 3);
+        }
+    }
+
+    #[test]
+    fn strategy_dispatch() {
+        let d = [0.5, 0.3, 2.1, 0.7, 4.0];
+        let dp = select_anchors(SelectionStrategy::DynamicProgramming, &d, 3, 2);
+        let greedy = select_anchors(SelectionStrategy::Greedy, &d, 3, 2);
+        let overl = select_anchors(SelectionStrategy::OverlappingTopK, &d, 3, 2);
+        assert_eq!(dp.indices, vec![0, 3]);
+        assert_eq!(greedy.indices, vec![1, 4]);
+        // Without the overlap constraint the two smallest dissimilarities win
+        // (indices 1 and 0), even though they are adjacent.
+        assert_eq!(overl.indices, vec![0, 1]);
+    }
+
+    #[test]
+    fn ties_are_resolved_deterministically() {
+        let d = [1.0, 1.0, 1.0, 1.0];
+        let a = select_anchors_dp(&d, 2, 2);
+        let b = select_anchors_dp(&d, 2, 2);
+        assert_eq!(a, b);
+        assert!(a.complete);
+        assert!((a.total_dissimilarity - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_pattern_length_panics() {
+        let _ = select_anchors_dp(&[1.0], 0, 1);
+    }
+}

@@ -1,0 +1,213 @@
+//! Synthetic Chlorine-like water-distribution streams.
+//!
+//! The Chlorine dataset used by SPIRIT and the TKCM paper was produced by the
+//! EPANET simulator: it records the chlorine concentration at 166 junctions
+//! of a drinking-water network over 15 days at a 5-minute sample rate.  The
+//! salient property is that the chlorine level follows the (roughly daily)
+//! demand pattern at the source and *propagates* through the network, so
+//! junctions further from the source see the same wave later — a phase shift
+//! that drives the Pearson correlation towards zero while the series remain
+//! pattern-determining.
+//!
+//! The generator models a source concentration wave (two daily demand peaks)
+//! that travels along a chain/tree of junctions.  Each junction has a
+//! transport delay proportional to its distance from the source, an
+//! attenuation factor (chlorine decays in the pipes), a small local mixing
+//! smoothing and measurement noise.  Values stay within `[0, ~0.25]`, the
+//! paper's plotted range.
+
+use rand::Rng;
+use tkcm_timeseries::{SampleInterval, TimeSeries, Timestamp};
+
+use crate::generator::{Dataset, DatasetKind};
+use crate::rng::{normal, seeded};
+
+/// Configuration of the Chlorine-like generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChlorineConfig {
+    /// Number of junctions (series); the real dataset has 166.
+    pub junctions: usize,
+    /// Number of days; the real dataset covers ~15 days (4310 ticks).
+    pub days: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Source chlorine concentration peak.
+    pub source_peak: f64,
+    /// Maximum transport delay (in ticks) from the source to the farthest
+    /// junction.
+    pub max_delay_ticks: usize,
+    /// Standard deviation of the measurement noise.
+    pub noise_std: f64,
+}
+
+impl Default for ChlorineConfig {
+    fn default() -> Self {
+        ChlorineConfig {
+            junctions: 12,
+            days: 15,
+            seed: 2005,
+            source_peak: 0.2,
+            max_delay_ticks: 120,
+            noise_std: 0.003,
+        }
+    }
+}
+
+impl ChlorineConfig {
+    /// Small configuration for unit tests.
+    pub fn small(seed: u64) -> Self {
+        ChlorineConfig {
+            junctions: 5,
+            days: 6,
+            seed,
+            ..ChlorineConfig::default()
+        }
+    }
+
+    /// Number of ticks the dataset will contain (5-minute sampling).
+    pub fn ticks(&self) -> usize {
+        self.days * SampleInterval::FIVE_MINUTES.ticks_per_day() as usize
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> Dataset {
+        assert!(self.junctions > 0, "need at least one junction");
+        assert!(self.days > 0, "need at least one day");
+        let interval = SampleInterval::FIVE_MINUTES;
+        let ticks_per_day = interval.ticks_per_day() as f64;
+        let len = self.ticks();
+        let mut rng = seeded(self.seed);
+
+        // Source concentration: chlorine is dosed against demand, producing
+        // two daily peaks (morning and evening) plus a slow day-to-day drift.
+        let source = |t: f64, drift: f64| -> f64 {
+            let minute_of_day = (t % ticks_per_day) / ticks_per_day * 24.0 * 60.0;
+            let bump = |center: f64, width: f64| {
+                let d = (minute_of_day - center) / width;
+                (-0.5 * d * d).exp()
+            };
+            let daily = 0.35 + 0.5 * bump(7.0 * 60.0, 150.0) + 0.4 * bump(19.0 * 60.0, 180.0);
+            (self.source_peak * daily * (1.0 + drift)).max(0.0)
+        };
+
+        // Slow multi-day drift of the dosing level.
+        let drift: Vec<f64> = (0..len)
+            .map(|t| 0.08 * ((t as f64 / (ticks_per_day * 5.0)) * std::f64::consts::TAU).sin())
+            .collect();
+        let source_series: Vec<f64> = (0..len).map(|t| source(t as f64, drift[t])).collect();
+
+        let mut series = Vec::with_capacity(self.junctions);
+        for id in 0..self.junctions {
+            // Junction distance grows with id (a chain layout), plus jitter so
+            // adjacent junctions are similar but not identical.
+            let frac = if self.junctions == 1 {
+                0.0
+            } else {
+                id as f64 / (self.junctions - 1) as f64
+            };
+            let delay =
+                ((frac * self.max_delay_ticks as f64) + rng.gen::<f64>() * 6.0).round() as usize;
+            let attenuation = (1.0 - 0.45 * frac) * (0.95 + rng.gen::<f64>() * 0.1);
+            let smoothing = 2 + (frac * 6.0) as usize;
+
+            let values: Vec<f64> = (0..len)
+                .map(|t| {
+                    // Average a few delayed source samples to model mixing.
+                    let mut acc = 0.0;
+                    let mut n = 0.0;
+                    for s in 0..=smoothing {
+                        let idx = t.saturating_sub(delay + s);
+                        acc += source_series[idx];
+                        n += 1.0;
+                    }
+                    let level = attenuation * acc / n;
+                    (level + normal(&mut rng, 0.0, self.noise_std)).max(0.0)
+                })
+                .collect();
+            series.push(TimeSeries::from_values(
+                id as u32,
+                format!("junction-{id:03}"),
+                Timestamp::new(0),
+                interval,
+                values,
+            ));
+        }
+        Dataset::new(DatasetKind::Chlorine, interval, series)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkcm_timeseries::stats::pearson;
+
+    #[test]
+    fn shape_and_range() {
+        let d = ChlorineConfig::default().generate();
+        assert_eq!(d.width(), 12);
+        assert_eq!(d.len(), 15 * 288);
+        assert_eq!(d.kind, DatasetKind::Chlorine);
+        for s in &d.series {
+            let (lo, hi) = s.min_max().unwrap();
+            assert!(lo >= 0.0, "negative concentration {lo}");
+            assert!(hi <= 0.3, "concentration {hi} outside the paper's range");
+            assert!(hi > 0.02, "no signal in junction {}", s.name());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ChlorineConfig::small(3).generate();
+        let b = ChlorineConfig::small(3).generate();
+        assert_eq!(a.series[1].values(), b.series[1].values());
+    }
+
+    #[test]
+    fn daily_pattern_repeats() {
+        let d = ChlorineConfig::small(1).generate();
+        let v = d.series[0].to_dense(0.0);
+        let day = 288usize;
+        let rho = pearson(&v[..v.len() - day], &v[day..]).unwrap();
+        assert!(rho > 0.7, "daily autocorrelation {rho}");
+    }
+
+    #[test]
+    fn distant_junctions_are_phase_shifted() {
+        // The first and last junctions observe the same wave with a large
+        // delay; their instantaneous Pearson correlation must be clearly
+        // lower than that of two adjacent junctions.
+        let d = ChlorineConfig {
+            junctions: 10,
+            days: 10,
+            ..ChlorineConfig::default()
+        }
+        .generate();
+        let first = d.series[0].to_dense(0.0);
+        let second = d.series[1].to_dense(0.0);
+        let last = d.series[9].to_dense(0.0);
+        let near = pearson(&first, &second).unwrap();
+        let far = pearson(&first, &last).unwrap();
+        assert!(near > far + 0.1, "near {near} should exceed far {far}");
+
+        // Aligning the far junction by its delay should restore correlation.
+        let delay = 120usize;
+        let aligned = pearson(&first[..first.len() - delay], &last[delay..]).unwrap();
+        assert!(aligned > far, "aligned {aligned} should exceed unaligned {far}");
+    }
+
+    #[test]
+    fn ticks_helper_matches_generated_length() {
+        let cfg = ChlorineConfig::small(8);
+        assert_eq!(cfg.ticks(), cfg.generate().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one junction")]
+    fn zero_junctions_panics() {
+        let cfg = ChlorineConfig {
+            junctions: 0,
+            ..ChlorineConfig::default()
+        };
+        let _ = cfg.generate();
+    }
+}

@@ -1,0 +1,223 @@
+//! Minimal CSV import/export for generated datasets.
+//!
+//! The format is deliberately simple: one header row (`tick,<name0>,<name1>,
+//! ...`), one row per tick, empty cells for missing values.  It is enough to
+//! inspect generated data in external tools and to round-trip datasets
+//! between runs; it is not a general-purpose CSV parser.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use tkcm_timeseries::{SampleInterval, TimeSeries, Timestamp, TsError};
+
+use crate::generator::{Dataset, DatasetKind};
+
+/// Writes a dataset to CSV.
+pub fn write_csv<W: Write>(dataset: &Dataset, writer: W) -> Result<(), TsError> {
+    let mut out = BufWriter::new(writer);
+    // Header
+    let mut header = String::from("tick");
+    for s in &dataset.series {
+        header.push(',');
+        header.push_str(s.name());
+    }
+    writeln!(out, "{header}")?;
+
+    let len = dataset.len();
+    let start = dataset.start();
+    for i in 0..len {
+        let t = start + i as i64;
+        let mut row = format!("{}", t.tick());
+        for s in &dataset.series {
+            row.push(',');
+            if let Some(v) = s.value_at(t) {
+                row.push_str(&format!("{v}"));
+            }
+        }
+        writeln!(out, "{row}")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Writes a dataset to a CSV file at `path`.
+pub fn save_csv(dataset: &Dataset, path: impl AsRef<Path>) -> Result<(), TsError> {
+    let file = std::fs::File::create(path)?;
+    write_csv(dataset, file)
+}
+
+/// Reads a dataset from CSV (the format produced by [`write_csv`]).
+///
+/// `kind` and `interval` are not stored in the file and must be supplied.
+pub fn read_csv<R: BufRead>(
+    reader: R,
+    kind: DatasetKind,
+    interval: SampleInterval,
+) -> Result<Dataset, TsError> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| TsError::Io("empty CSV input".to_string()))??;
+    let names: Vec<String> = header.split(',').skip(1).map(|s| s.to_string()).collect();
+    if names.is_empty() {
+        return Err(TsError::Io("CSV header has no series columns".to_string()));
+    }
+
+    let mut columns: Vec<Vec<Option<f64>>> = vec![Vec::new(); names.len()];
+    let mut start_tick: Option<i64> = None;
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let tick: i64 = fields
+            .next()
+            .ok_or_else(|| TsError::Io("missing tick column".to_string()))?
+            .trim()
+            .parse()
+            .map_err(|e| TsError::Io(format!("bad tick value: {e}")))?;
+        if start_tick.is_none() {
+            start_tick = Some(tick);
+        }
+        for (c, field) in fields.enumerate() {
+            if c >= columns.len() {
+                return Err(TsError::Io(format!(
+                    "row has more columns than the header ({} > {})",
+                    c + 2,
+                    columns.len() + 1
+                )));
+            }
+            let trimmed = field.trim();
+            if trimmed.is_empty() {
+                columns[c].push(None);
+            } else {
+                let v: f64 = trimmed
+                    .parse()
+                    .map_err(|e| TsError::Io(format!("bad value `{trimmed}`: {e}")))?;
+                columns[c].push(Some(v));
+            }
+        }
+        // Rows with fewer columns than the header: pad with missing.
+        let row_len = columns.iter().map(|c| c.len()).max().unwrap_or(0);
+        for col in columns.iter_mut() {
+            while col.len() < row_len {
+                col.push(None);
+            }
+        }
+    }
+
+    let start = Timestamp::new(start_tick.unwrap_or(0));
+    let series = names
+        .into_iter()
+        .enumerate()
+        .map(|(id, name)| TimeSeries::new(id as u32, name, start, interval, columns[id].clone()))
+        .collect();
+    Ok(Dataset::new(kind, interval, series))
+}
+
+/// Loads a dataset from a CSV file at `path`.
+pub fn load_csv(
+    path: impl AsRef<Path>,
+    kind: DatasetKind,
+    interval: SampleInterval,
+) -> Result<Dataset, TsError> {
+    let file = std::fs::File::open(path)?;
+    read_csv(std::io::BufReader::new(file), kind, interval)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkcm_timeseries::SeriesId;
+
+    fn toy_dataset() -> Dataset {
+        let s0 = TimeSeries::new(
+            0u32,
+            "a",
+            Timestamp::new(5),
+            SampleInterval::FIVE_MINUTES,
+            vec![Some(1.0), None, Some(3.5)],
+        );
+        let s1 = TimeSeries::new(
+            1u32,
+            "b",
+            Timestamp::new(5),
+            SampleInterval::FIVE_MINUTES,
+            vec![Some(-1.0), Some(2.0), None],
+        );
+        Dataset::new(DatasetKind::Sine, SampleInterval::FIVE_MINUTES, vec![s0, s1])
+    }
+
+    #[test]
+    fn roundtrip_preserves_values_and_missing() {
+        let d = toy_dataset();
+        let mut buf = Vec::new();
+        write_csv(&d, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("tick,a,b\n"));
+        assert!(text.contains("5,1,-1"));
+        assert!(text.contains("6,,2"));
+
+        let parsed = read_csv(
+            std::io::BufReader::new(&buf[..]),
+            DatasetKind::Sine,
+            SampleInterval::FIVE_MINUTES,
+        )
+        .unwrap();
+        assert_eq!(parsed.width(), 2);
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed.start(), Timestamp::new(5));
+        assert_eq!(parsed.series[0].value_at(Timestamp::new(5)), Some(1.0));
+        assert_eq!(parsed.series[0].value_at(Timestamp::new(6)), None);
+        assert_eq!(parsed.series[1].value_at(Timestamp::new(7)), None);
+        assert_eq!(parsed.series[1].value_at(Timestamp::new(6)), Some(2.0));
+        assert_eq!(parsed.series[0].id(), SeriesId(0));
+        assert_eq!(parsed.series[1].name(), "b");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let d = toy_dataset();
+        let dir = std::env::temp_dir().join("tkcm_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.csv");
+        save_csv(&d, &path).unwrap();
+        let parsed = load_csv(&path, DatasetKind::Sine, SampleInterval::FIVE_MINUTES).unwrap();
+        assert_eq!(parsed.len(), d.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        let empty: &[u8] = b"";
+        assert!(read_csv(empty, DatasetKind::Sine, SampleInterval::FIVE_MINUTES).is_err());
+
+        let no_series: &[u8] = b"tick\n0\n";
+        assert!(read_csv(no_series, DatasetKind::Sine, SampleInterval::FIVE_MINUTES).is_err());
+
+        let bad_value: &[u8] = b"tick,a\n0,xyz\n";
+        assert!(read_csv(bad_value, DatasetKind::Sine, SampleInterval::FIVE_MINUTES).is_err());
+
+        let bad_tick: &[u8] = b"tick,a\nfoo,1\n";
+        assert!(read_csv(bad_tick, DatasetKind::Sine, SampleInterval::FIVE_MINUTES).is_err());
+
+        let too_many_cols: &[u8] = b"tick,a\n0,1,2,3\n";
+        assert!(read_csv(too_many_cols, DatasetKind::Sine, SampleInterval::FIVE_MINUTES).is_err());
+    }
+
+    #[test]
+    fn short_rows_are_padded_with_missing() {
+        let input: &[u8] = b"tick,a,b\n0,1\n1,2,3\n";
+        let d = read_csv(input, DatasetKind::Sine, SampleInterval::FIVE_MINUTES).unwrap();
+        assert_eq!(d.series[1].value_at(Timestamp::new(0)), None);
+        assert_eq!(d.series[1].value_at(Timestamp::new(1)), Some(3.0));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let input: &[u8] = b"tick,a\n0,1\n\n1,2\n";
+        let d = read_csv(input, DatasetKind::Sine, SampleInterval::FIVE_MINUTES).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+}

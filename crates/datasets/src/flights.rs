@@ -1,0 +1,188 @@
+//! Synthetic Flights-like departure-count streams.
+//!
+//! The Flights dataset used in the paper consists of eight time series of
+//! length 8801 (six days at a 1-minute sample rate); each series reports how
+//! many airplanes that departed from a given airport are currently in the
+//! air.  The generator reproduces the structural properties that matter:
+//!
+//! * a strong **diurnal profile** with a morning and an evening peak and
+//!   almost no traffic at night,
+//! * **per-airport phase offsets** (hubs in different time zones peak at
+//!   different absolute times) — these are the shifts that hurt the linear
+//!   baselines,
+//! * per-airport traffic volumes, a mild weekday/weekend effect and
+//!   non-negative integer-ish noise,
+//! * a short six-day duration, which is what makes large `k` useless on this
+//!   dataset (Section 7.2).
+
+use rand::Rng;
+use tkcm_timeseries::{SampleInterval, TimeSeries, Timestamp};
+
+use crate::generator::{Dataset, DatasetKind};
+use crate::rng::{normal, seeded};
+
+/// Configuration of the Flights-like generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlightsConfig {
+    /// Number of airports (series); the paper's dataset has 8.
+    pub airports: usize,
+    /// Number of days; the paper's dataset covers 6 days.
+    pub days: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Peak number of airborne flights for the busiest airport.
+    pub peak_traffic: f64,
+    /// Standard deviation of the per-tick noise, relative to the local level.
+    pub noise_level: f64,
+}
+
+impl Default for FlightsConfig {
+    fn default() -> Self {
+        FlightsConfig {
+            airports: 8,
+            days: 6,
+            seed: 2014,
+            peak_traffic: 70.0,
+            noise_level: 0.06,
+        }
+    }
+}
+
+impl FlightsConfig {
+    /// Small configuration for unit tests.
+    pub fn small(seed: u64) -> Self {
+        FlightsConfig {
+            airports: 4,
+            days: 3,
+            seed,
+            ..FlightsConfig::default()
+        }
+    }
+
+    /// Number of ticks of the generated dataset (1-minute sampling).
+    pub fn ticks(&self) -> usize {
+        self.days * SampleInterval::ONE_MINUTE.ticks_per_day() as usize
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> Dataset {
+        assert!(self.airports > 0, "need at least one airport");
+        assert!(self.days > 0, "need at least one day");
+        let interval = SampleInterval::ONE_MINUTE;
+        let ticks_per_day = interval.ticks_per_day() as f64;
+        let len = self.ticks();
+        let mut rng = seeded(self.seed);
+
+        // Diurnal double-peak profile built from two Gaussian bumps (morning
+        // ~08:30 and evening ~18:00) on top of a low base level.
+        let profile = |minute_of_day: f64| -> f64 {
+            let bump = |center: f64, width: f64| {
+                let d = (minute_of_day - center) / width;
+                (-0.5 * d * d).exp()
+            };
+            0.05 + 0.9 * bump(8.5 * 60.0, 140.0) + 0.75 * bump(18.0 * 60.0, 170.0)
+        };
+
+        let mut series = Vec::with_capacity(self.airports);
+        for id in 0..self.airports {
+            // Per-airport character: volume, time-zone-like phase offset (up
+            // to ±4 hours), weekday modulation.
+            let volume = self.peak_traffic * (0.35 + rng.gen::<f64>() * 0.65);
+            let phase_offset_min = rng.gen_range(-240.0_f64..240.0);
+            let weekend_factor = 0.75 + rng.gen::<f64>() * 0.2;
+
+            let values: Vec<f64> = (0..len)
+                .map(|t| {
+                    let tf = t as f64;
+                    let day = (tf / ticks_per_day).floor() as usize;
+                    let minute_of_day = (tf - phase_offset_min).rem_euclid(ticks_per_day);
+                    let weekday = day % 7;
+                    let day_scale = if weekday >= 5 { weekend_factor } else { 1.0 };
+                    let level = volume * day_scale * profile(minute_of_day);
+                    let noisy = level + normal(&mut rng, 0.0, self.noise_level * (level + 1.0));
+                    noisy.max(0.0).round()
+                })
+                .collect();
+            series.push(TimeSeries::from_values(
+                id as u32,
+                format!("airport-{id}"),
+                Timestamp::new(0),
+                interval,
+                values,
+            ));
+        }
+        Dataset::new(DatasetKind::Flights, interval, series)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkcm_timeseries::stats::pearson;
+
+    #[test]
+    fn shape_matches_configuration() {
+        let cfg = FlightsConfig::default();
+        let d = cfg.generate();
+        assert_eq!(d.width(), 8);
+        assert_eq!(d.len(), 6 * 1440);
+        assert_eq!(d.kind, DatasetKind::Flights);
+        assert_eq!(d.interval, SampleInterval::ONE_MINUTE);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = FlightsConfig::small(5).generate();
+        let b = FlightsConfig::small(5).generate();
+        assert_eq!(a.series[2].values(), b.series[2].values());
+    }
+
+    #[test]
+    fn counts_are_non_negative_and_peaky() {
+        let d = FlightsConfig::small(1).generate();
+        for s in &d.series {
+            let (lo, hi) = s.min_max().unwrap();
+            assert!(lo >= 0.0, "negative flight count {lo}");
+            assert!(hi > 5.0, "no traffic peak, max = {hi}");
+            // Night-time lulls exist: minimum well below the peak.
+            assert!(lo < hi * 0.3, "no diurnal variation: [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn daily_pattern_repeats() {
+        let d = FlightsConfig::small(9).generate();
+        let v = d.series[0].to_dense(0.0);
+        let day = 1440usize;
+        let rho = pearson(&v[..v.len() - day], &v[day..]).unwrap();
+        assert!(rho > 0.7, "daily autocorrelation {rho}");
+    }
+
+    #[test]
+    fn airports_have_different_phases() {
+        // Because of the per-airport phase offsets at least one pair should
+        // be noticeably less correlated than the best pair.
+        let d = FlightsConfig::default().generate();
+        let mut correlations = Vec::new();
+        for i in 0..d.width() {
+            for j in (i + 1)..d.width() {
+                let a = d.series[i].to_dense(0.0);
+                let b = d.series[j].to_dense(0.0);
+                correlations.push(pearson(&a, &b).unwrap());
+            }
+        }
+        let max = correlations.iter().cloned().fold(f64::MIN, f64::max);
+        let min = correlations.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max - min > 0.2, "correlation spread too small: [{min}, {max}]");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one airport")]
+    fn zero_airports_panics() {
+        let cfg = FlightsConfig {
+            airports: 0,
+            ..FlightsConfig::default()
+        };
+        let _ = cfg.generate();
+    }
+}

@@ -1,0 +1,211 @@
+//! Injection of missing values into generated datasets.
+//!
+//! The experiments of the paper simulate sensor failures by removing *blocks*
+//! of consecutive values (e.g. one week on the SBR datasets, 20 % of the
+//! dataset on Flights/Chlorine) and then asking every algorithm to impute
+//! them.  This module removes the values while keeping the ground truth so
+//! the harness can compute the RMSE afterwards.
+
+use rand::Rng;
+use tkcm_timeseries::{SeriesId, TimeSeries, Timestamp};
+
+use crate::generator::Dataset;
+use crate::rng::seeded;
+
+/// Description of a block of consecutive missing values in one series.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockSpec {
+    /// The series the block is removed from.
+    pub series: SeriesId,
+    /// First missing tick.
+    pub start: Timestamp,
+    /// Number of consecutive missing ticks.
+    pub length: usize,
+}
+
+impl BlockSpec {
+    /// One-past-the-end timestamp of the block.
+    pub fn end(&self) -> Timestamp {
+        self.start + self.length as i64
+    }
+}
+
+/// Removes the block from the dataset and returns the ground-truth values
+/// that were removed (in chronological order, skipping values that were
+/// already missing).
+///
+/// # Panics
+/// Panics if the series id does not exist in the dataset.
+pub fn inject_block(dataset: &mut Dataset, block: BlockSpec) -> Vec<(Timestamp, f64)> {
+    let series: &mut TimeSeries = dataset
+        .series
+        .get_mut(block.series.index())
+        .unwrap_or_else(|| panic!("series {} not in dataset", block.series));
+    let mut truth = Vec::with_capacity(block.length);
+    let mut t = block.start;
+    while t < block.end() {
+        if let Some(v) = series.value_at(t) {
+            truth.push((t, v));
+        }
+        t += 1;
+    }
+    series.mark_missing_range(block.start, block.end());
+    truth
+}
+
+/// Removes a block at the *end* of the dataset covering `fraction` of its
+/// length (the Chlorine block-length experiment of Figure 14b uses 10 %–80 %).
+/// Returns the block spec and the removed ground truth.
+pub fn inject_tail_fraction(
+    dataset: &mut Dataset,
+    series: SeriesId,
+    fraction: f64,
+) -> (BlockSpec, Vec<(Timestamp, f64)>) {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    let len = dataset.len();
+    let block_len = ((len as f64) * fraction).round() as usize;
+    let start = dataset.start() + (len - block_len) as i64;
+    let block = BlockSpec {
+        series,
+        start,
+        length: block_len,
+    };
+    let truth = inject_block(dataset, block);
+    (block, truth)
+}
+
+/// Randomly removes individual values of one series with probability `rate`.
+/// Returns the removed ground truth.  Used for robustness tests; the paper's
+/// experiments use blocks.
+pub fn inject_random_missing(
+    dataset: &mut Dataset,
+    series: SeriesId,
+    rate: f64,
+    seed: u64,
+) -> Vec<(Timestamp, f64)> {
+    assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+    let mut rng = seeded(seed);
+    let s = dataset
+        .series
+        .get_mut(series.index())
+        .unwrap_or_else(|| panic!("series {series} not in dataset"));
+    let mut truth = Vec::new();
+    let start = s.start();
+    for i in 0..s.len() {
+        if rng.gen::<f64>() < rate {
+            let t = start + i as i64;
+            if let Some(v) = s.value_at(t) {
+                truth.push((t, v));
+                s.set_value_at(t, None).expect("t inside series");
+            }
+        }
+    }
+    truth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::DatasetKind;
+    use tkcm_timeseries::SampleInterval;
+
+    fn toy_dataset(len: usize) -> Dataset {
+        let series = (0..3u32)
+            .map(|id| {
+                TimeSeries::from_values(
+                    id,
+                    format!("s{id}"),
+                    Timestamp::new(0),
+                    SampleInterval::FIVE_MINUTES,
+                    (0..len).map(|t| (id as f64) * 100.0 + t as f64),
+                )
+            })
+            .collect();
+        Dataset::new(DatasetKind::Sine, SampleInterval::FIVE_MINUTES, series)
+    }
+
+    #[test]
+    fn block_injection_removes_values_and_returns_truth() {
+        let mut d = toy_dataset(50);
+        let block = BlockSpec {
+            series: SeriesId(1),
+            start: Timestamp::new(10),
+            length: 5,
+        };
+        assert_eq!(block.end(), Timestamp::new(15));
+        let truth = inject_block(&mut d, block);
+        assert_eq!(truth.len(), 5);
+        assert_eq!(truth[0], (Timestamp::new(10), 110.0));
+        assert_eq!(truth[4], (Timestamp::new(14), 114.0));
+        // The values are gone from the dataset.
+        assert_eq!(d.series[1].value_at(Timestamp::new(12)), None);
+        assert_eq!(d.series[1].missing_count(), 5);
+        // Other series untouched.
+        assert_eq!(d.series[0].missing_count(), 0);
+        assert_eq!(d.series[2].missing_count(), 0);
+    }
+
+    #[test]
+    fn block_injection_skips_already_missing_values() {
+        let mut d = toy_dataset(20);
+        d.series[0]
+            .set_value_at(Timestamp::new(5), None)
+            .unwrap();
+        let truth = inject_block(
+            &mut d,
+            BlockSpec {
+                series: SeriesId(0),
+                start: Timestamp::new(4),
+                length: 3,
+            },
+        );
+        // Tick 5 was already missing: only 2 ground-truth values returned.
+        assert_eq!(truth.len(), 2);
+    }
+
+    #[test]
+    fn tail_fraction_block_covers_the_requested_share() {
+        let mut d = toy_dataset(100);
+        let (block, truth) = inject_tail_fraction(&mut d, SeriesId(2), 0.2);
+        assert_eq!(block.length, 20);
+        assert_eq!(block.start, Timestamp::new(80));
+        assert_eq!(truth.len(), 20);
+        assert_eq!(d.series[2].missing_count(), 20);
+        assert_eq!(d.series[2].value_at(Timestamp::new(79)), Some(279.0));
+        assert_eq!(d.series[2].value_at(Timestamp::new(80)), None);
+    }
+
+    #[test]
+    fn random_missing_rate_is_roughly_respected() {
+        let mut d = toy_dataset(2000);
+        let truth = inject_random_missing(&mut d, SeriesId(0), 0.1, 7);
+        let removed = d.series[0].missing_count();
+        assert_eq!(removed, truth.len());
+        assert!(removed > 120 && removed < 280, "removed {removed} of 2000");
+        // Deterministic for the same seed.
+        let mut d2 = toy_dataset(2000);
+        let truth2 = inject_random_missing(&mut d2, SeriesId(0), 0.1, 7);
+        assert_eq!(truth, truth2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in dataset")]
+    fn unknown_series_panics() {
+        let mut d = toy_dataset(10);
+        inject_block(
+            &mut d,
+            BlockSpec {
+                series: SeriesId(9),
+                start: Timestamp::new(0),
+                length: 1,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn invalid_fraction_panics() {
+        let mut d = toy_dataset(10);
+        let _ = inject_tail_fraction(&mut d, SeriesId(0), 1.5);
+    }
+}

@@ -1,0 +1,271 @@
+//! Synthetic SBR-like meteorological streams.
+//!
+//! The real SBR dataset (Südtiroler Beratungsring) consists of more than 130
+//! weather stations sampling ~20 parameters every five minutes; the paper
+//! uses the 1-metre air temperature.  The generator below reproduces the
+//! structural properties that the experiments depend on:
+//!
+//! * **Annual seasonality** — a slow sinusoid over the year (winter/summer).
+//! * **Diurnal seasonality** — a faster sinusoid over the day (night/day),
+//!   whose amplitude is itself modulated by a slow component so that not
+//!   every day looks identical.
+//! * **Weather fronts** — an AR(1) process *shared by all stations* (weather
+//!   moves across the whole region), giving nearby stations the strong
+//!   linear correlation the paper observes.
+//! * **Per-station character** — altitude offset, amplitude scaling, small
+//!   phase lag and independent measurement noise.
+//!
+//! The SBR-1d variant of the paper shifts every station by a random amount up
+//! to one day; [`SbrConfig::shifted`] applies exactly that transformation.
+
+use rand::Rng;
+use tkcm_timeseries::{SampleInterval, TimeSeries, Timestamp};
+
+use crate::generator::{Dataset, DatasetKind};
+use crate::rng::{normal, seeded, Ar1Noise};
+
+/// Configuration of the SBR-like generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SbrConfig {
+    /// Number of weather stations (series).
+    pub stations: usize,
+    /// Number of days to generate (at 5-minute sampling, 288 ticks/day).
+    pub days: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Mean annual temperature in °C.
+    pub annual_mean: f64,
+    /// Amplitude of the annual cycle in °C.
+    pub annual_amplitude: f64,
+    /// Amplitude of the diurnal cycle in °C.
+    pub diurnal_amplitude: f64,
+    /// Standard deviation of the per-tick measurement noise in °C.
+    pub noise_std: f64,
+    /// Whether to apply per-station random shifts of up to one day (SBR-1d).
+    pub shift_up_to_one_day: bool,
+}
+
+impl Default for SbrConfig {
+    fn default() -> Self {
+        SbrConfig {
+            stations: 6,
+            days: 60,
+            seed: 2017,
+            annual_mean: 12.0,
+            annual_amplitude: 10.0,
+            diurnal_amplitude: 5.0,
+            noise_std: 0.25,
+            shift_up_to_one_day: false,
+        }
+    }
+}
+
+impl SbrConfig {
+    /// A small configuration suitable for unit tests (4 stations, 20 days).
+    pub fn small(seed: u64) -> Self {
+        SbrConfig {
+            stations: 4,
+            days: 20,
+            seed,
+            ..SbrConfig::default()
+        }
+    }
+
+    /// Returns the same configuration with SBR-1d shifting enabled.
+    pub fn shifted(mut self) -> Self {
+        self.shift_up_to_one_day = true;
+        self
+    }
+
+    /// Number of ticks the generated dataset will contain.
+    pub fn ticks(&self) -> usize {
+        self.days * SampleInterval::FIVE_MINUTES.ticks_per_day() as usize
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> Dataset {
+        assert!(self.stations > 0, "need at least one station");
+        assert!(self.days > 0, "need at least one day");
+        let interval = SampleInterval::FIVE_MINUTES;
+        let ticks_per_day = interval.ticks_per_day() as f64;
+        let ticks_per_year = interval.ticks_per_year() as f64;
+        let len = self.ticks();
+        let mut rng = seeded(self.seed);
+
+        // Shared regional components.
+        let mut front = Ar1Noise::new(0.999, 0.02);
+        let mut diurnal_mod = Ar1Noise::new(0.9995, 0.004);
+        let shared_front: Vec<f64> = (0..len).map(|_| front.next(&mut rng) * 10.0).collect();
+        let diurnal_scale: Vec<f64> = (0..len)
+            .map(|_| 1.0 + (diurnal_mod.next(&mut rng) * 6.0).clamp(-0.6, 0.6))
+            .collect();
+
+        // Per-station character.
+        struct Station {
+            offset: f64,
+            scale: f64,
+            lag: usize,
+            noise_std: f64,
+            shift: usize,
+        }
+        let stations: Vec<Station> = (0..self.stations)
+            .map(|_| Station {
+                offset: normal(&mut rng, 0.0, 1.5),
+                scale: 1.0 + normal(&mut rng, 0.0, 0.08),
+                lag: rng.gen_range(0..4),
+                noise_std: self.noise_std * (0.8 + rng.gen::<f64>() * 0.4),
+                shift: if self.shift_up_to_one_day {
+                    rng.gen_range(0..ticks_per_day as usize)
+                } else {
+                    0
+                },
+            })
+            .collect();
+
+        let base_value = |t: usize, lag: usize| -> f64 {
+            let tf = t as f64;
+            let annual = self.annual_amplitude
+                * ((tf / ticks_per_year) * std::f64::consts::TAU - std::f64::consts::FRAC_PI_2)
+                    .sin();
+            let idx = t.saturating_sub(lag);
+            let diurnal = self.diurnal_amplitude
+                * diurnal_scale[idx.min(len - 1)]
+                * (((tf - lag as f64) / ticks_per_day) * std::f64::consts::TAU
+                    - std::f64::consts::FRAC_PI_2)
+                    .sin();
+            self.annual_mean + annual + diurnal + shared_front[idx.min(len - 1)]
+        };
+
+        let mut series = Vec::with_capacity(self.stations);
+        let mut station_rng = seeded(self.seed ^ 0x5b5b_5b5b);
+        for (id, st) in stations.iter().enumerate() {
+            let values: Vec<f64> = (0..len)
+                .map(|t| {
+                    // The SBR-1d shift: station reports the value it would have
+                    // reported `shift` ticks ago.
+                    let tt = t.saturating_sub(st.shift);
+                    let v = base_value(tt, st.lag) * st.scale + st.offset;
+                    v + normal(&mut station_rng, 0.0, st.noise_std)
+                })
+                .collect();
+            series.push(TimeSeries::from_values(
+                id as u32,
+                format!("station-{id:02}"),
+                Timestamp::new(0),
+                interval,
+                values,
+            ));
+        }
+
+        let kind = if self.shift_up_to_one_day {
+            DatasetKind::SbrShifted
+        } else {
+            DatasetKind::Sbr
+        };
+        Dataset::new(kind, interval, series)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkcm_timeseries::stats::pearson;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SbrConfig::small(1).generate();
+        let b = SbrConfig::small(1).generate();
+        assert_eq!(a.series[0].values(), b.series[0].values());
+        let c = SbrConfig::small(2).generate();
+        assert_ne!(a.series[0].values(), c.series[0].values());
+    }
+
+    #[test]
+    fn shape_and_metadata() {
+        let cfg = SbrConfig::small(7);
+        let d = cfg.generate();
+        assert_eq!(d.width(), 4);
+        assert_eq!(d.len(), 20 * 288);
+        assert_eq!(d.kind, DatasetKind::Sbr);
+        assert_eq!(cfg.ticks(), d.len());
+        assert_eq!(d.interval, SampleInterval::FIVE_MINUTES);
+        // No missing values are generated.
+        assert!(d.series.iter().all(|s| s.missing_count() == 0));
+    }
+
+    #[test]
+    fn temperatures_are_in_a_plausible_range() {
+        let d = SbrConfig::small(3).generate();
+        for s in &d.series {
+            let (lo, hi) = s.min_max().unwrap();
+            // The paper's range is -20.3 .. +40.3 °C; our 20-day excerpt must
+            // stay well inside a generous physical range.
+            assert!(lo > -40.0 && hi < 60.0, "range [{lo}, {hi}] implausible");
+            assert!(hi - lo > 3.0, "diurnal variation too small: [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn unshifted_stations_are_highly_linearly_correlated() {
+        let d = SbrConfig::small(11).generate();
+        let a = d.series[0].to_dense(0.0);
+        let b = d.series[1].to_dense(0.0);
+        let rho = pearson(&a, &b).unwrap();
+        assert!(rho > 0.9, "expected strong linear correlation, got {rho}");
+    }
+
+    #[test]
+    fn shifting_lowers_the_pearson_correlation() {
+        let base = SbrConfig {
+            stations: 5,
+            days: 12,
+            seed: 99,
+            ..SbrConfig::default()
+        };
+        let plain = base.clone().generate();
+        let shifted = base.shifted().generate();
+        assert_eq!(shifted.kind, DatasetKind::SbrShifted);
+
+        let mean_abs_corr = |d: &Dataset| {
+            let mut sum = 0.0;
+            let mut n = 0;
+            for i in 0..d.width() {
+                for j in (i + 1)..d.width() {
+                    let a = d.series[i].to_dense(0.0);
+                    let b = d.series[j].to_dense(0.0);
+                    sum += pearson(&a, &b).unwrap().abs();
+                    n += 1;
+                }
+            }
+            sum / n as f64
+        };
+        let corr_plain = mean_abs_corr(&plain);
+        let corr_shifted = mean_abs_corr(&shifted);
+        assert!(
+            corr_shifted < corr_plain,
+            "shifted correlation {corr_shifted} should be below plain {corr_plain}"
+        );
+    }
+
+    #[test]
+    fn diurnal_pattern_repeats_daily() {
+        // The autocorrelation at a one-day lag must be clearly positive.
+        let d = SbrConfig::small(5).generate();
+        let v = d.series[0].to_dense(0.0);
+        let day = 288usize;
+        let a = &v[..v.len() - day];
+        let b = &v[day..];
+        let rho = pearson(a, b).unwrap();
+        assert!(rho > 0.6, "daily autocorrelation {rho}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one station")]
+    fn zero_stations_panics() {
+        let cfg = SbrConfig {
+            stations: 0,
+            ..SbrConfig::default()
+        };
+        let _ = cfg.generate();
+    }
+}

@@ -1,0 +1,169 @@
+//! Analytic sine-wave families (Section 5 of the paper).
+//!
+//! The correlation analysis of the paper uses sine waves of the form
+//! `f(t) = A · sind(t · 360 / P + φ) + o` with amplitude `A`, period `P`
+//! (minutes), phase shift `φ` (degrees) and offset `o`.  `sind` is the sine
+//! of an angle given in *degrees*.  Lemma 5.3 shows that such waves are
+//! pattern-determining for any pattern length `l > 1`.
+
+use tkcm_timeseries::{SampleInterval, TimeSeries, Timestamp};
+
+use crate::generator::{Dataset, DatasetKind};
+
+/// Sine of an angle in degrees (the paper's `sind`).
+pub fn sind(degrees: f64) -> f64 {
+    degrees.to_radians().sin()
+}
+
+/// Parameters of one sine wave `f(t) = A · sind(t · 360/P + φ) + o`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SineSpec {
+    /// Amplitude `A`.
+    pub amplitude: f64,
+    /// Period `P` in ticks.
+    pub period: f64,
+    /// Phase shift `φ` in degrees.
+    pub phase_deg: f64,
+    /// Offset `o`.
+    pub offset: f64,
+}
+
+impl SineSpec {
+    /// The unit sine `sind(t · 360/P)` with the given period.
+    pub fn unit(period: f64) -> Self {
+        SineSpec {
+            amplitude: 1.0,
+            period,
+            phase_deg: 0.0,
+            offset: 0.0,
+        }
+    }
+
+    /// Returns a copy with a different amplitude and offset (the `r1` of
+    /// Example 5: `1.5 · sind(t) + 1`).
+    pub fn scaled(mut self, amplitude: f64, offset: f64) -> Self {
+        self.amplitude = amplitude;
+        self.offset = offset;
+        self
+    }
+
+    /// Returns a copy phase-shifted by `degrees` (the `r2` of Example 6:
+    /// `sind(t − 90)` is a shift of −90°).
+    pub fn phase_shifted(mut self, degrees: f64) -> Self {
+        self.phase_deg += degrees;
+        self
+    }
+
+    /// Value of the wave at tick `t`.
+    pub fn value(&self, t: f64) -> f64 {
+        self.amplitude * sind(t * 360.0 / self.period + self.phase_deg) + self.offset
+    }
+
+    /// Generates `len` ticks of the wave as a fully observed series.
+    pub fn generate(&self, id: u32, name: &str, len: usize) -> TimeSeries {
+        TimeSeries::from_values(
+            id,
+            name,
+            Timestamp::new(0),
+            SampleInterval::ONE_MINUTE,
+            (0..len).map(|t| self.value(t as f64)),
+        )
+    }
+}
+
+/// Builds the three-series dataset of Section 5:
+///
+/// * series 0: `s(t)   = sind(t · 360/P)`
+/// * series 1: `r1(t)  = 1.5 · sind(t · 360/P) + 1` (linearly correlated)
+/// * series 2: `r2(t)  = sind((t − P/4) · 360/P)` (quarter-period shift,
+///   Pearson correlation ≈ 0)
+///
+/// With `period = 360` ticks this matches Figures 4 and 5 exactly
+/// (`r2(t) = sind(t − 90)`).
+pub fn analysis_dataset(period: f64, len: usize) -> Dataset {
+    let s = SineSpec::unit(period);
+    let r1 = SineSpec::unit(period).scaled(1.5, 1.0);
+    let r2 = SineSpec::unit(period).phase_shifted(-90.0);
+    Dataset::new(
+        DatasetKind::Sine,
+        SampleInterval::ONE_MINUTE,
+        vec![
+            s.generate(0, "s", len),
+            r1.generate(1, "r1", len),
+            r2.generate(2, "r2", len),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkcm_timeseries::stats::pearson;
+
+    #[test]
+    fn sind_is_degree_based() {
+        assert!((sind(0.0)).abs() < 1e-12);
+        assert!((sind(90.0) - 1.0).abs() < 1e-12);
+        assert!((sind(180.0)).abs() < 1e-12);
+        assert!((sind(270.0) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example_5_values() {
+        // r1(t) = 1.5 sind(t) + 1 at t = 840 equals 2.3; s(840) = 0.86.
+        let s = SineSpec::unit(360.0);
+        let r1 = SineSpec::unit(360.0).scaled(1.5, 1.0);
+        assert!((s.value(840.0) - 0.866).abs() < 1e-2);
+        assert!((r1.value(840.0) - 2.299).abs() < 1e-2);
+    }
+
+    #[test]
+    fn example_6_values() {
+        // r2(t) = sind(t - 90) at t = 840 equals 0.5.
+        let r2 = SineSpec::unit(360.0).phase_shifted(-90.0);
+        assert!((r2.value(840.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_pair_has_high_pearson_and_shifted_pair_near_zero() {
+        let d = analysis_dataset(360.0, 1440);
+        let s = d.series[0].to_dense(0.0);
+        let r1 = d.series[1].to_dense(0.0);
+        let r2 = d.series[2].to_dense(0.0);
+        let rho_lin = pearson(&s, &r1).unwrap();
+        let rho_shift = pearson(&s, &r2).unwrap();
+        assert!(rho_lin > 0.999, "rho_lin = {rho_lin}");
+        assert!(rho_shift.abs() < 0.05, "rho_shift = {rho_shift}");
+    }
+
+    #[test]
+    fn generated_series_metadata() {
+        let s = SineSpec::unit(60.0).generate(3, "wave", 100);
+        assert_eq!(s.id().index(), 3);
+        assert_eq!(s.name(), "wave");
+        assert_eq!(s.len(), 100);
+        assert_eq!(s.missing_count(), 0);
+        // Periodicity: value repeats every period.
+        assert!((s.value_at(Timestamp::new(10)).unwrap()
+            - s.value_at(Timestamp::new(70)).unwrap())
+        .abs()
+            < 1e-9);
+    }
+
+    #[test]
+    fn analysis_dataset_shape() {
+        let d = analysis_dataset(360.0, 900);
+        assert_eq!(d.width(), 3);
+        assert_eq!(d.len(), 900);
+        assert_eq!(d.kind, DatasetKind::Sine);
+    }
+
+    #[test]
+    fn amplitude_and_offset_are_applied() {
+        let w = SineSpec::unit(100.0).scaled(2.0, 5.0);
+        let series = w.generate(0, "w", 200);
+        let (min, max) = series.min_max().unwrap();
+        assert!((max - 7.0).abs() < 1e-3);
+        assert!((min - 3.0).abs() < 1e-3);
+    }
+}

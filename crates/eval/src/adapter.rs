@@ -1,0 +1,111 @@
+//! Adapter exposing the TKCM streaming engine through the common
+//! [`OnlineImputer`] interface used by the comparison harness.
+
+use tkcm_baselines::traits::{Estimate, OnlineImputer};
+use tkcm_core::{TkcmConfig, TkcmEngine};
+use tkcm_timeseries::{Catalog, StreamTick, Timestamp};
+
+/// TKCM wrapped as an [`OnlineImputer`].
+pub struct TkcmOnlineAdapter {
+    width: usize,
+    config: TkcmConfig,
+    catalog: Catalog,
+    engine: TkcmEngine,
+}
+
+impl TkcmOnlineAdapter {
+    /// Creates the adapter for `width` streams.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid for the engine.
+    pub fn new(width: usize, config: TkcmConfig, catalog: Catalog) -> Self {
+        let engine = TkcmEngine::new(width, config.clone(), catalog.clone())
+            .expect("invalid TKCM configuration");
+        TkcmOnlineAdapter {
+            width,
+            config,
+            catalog,
+            engine,
+        }
+    }
+
+    /// Read access to the wrapped engine (e.g. for the phase breakdown).
+    pub fn engine(&self) -> &TkcmEngine {
+        &self.engine
+    }
+}
+
+impl OnlineImputer for TkcmOnlineAdapter {
+    fn name(&self) -> &str {
+        "TKCM"
+    }
+
+    fn process_tick(&mut self, time: Timestamp, values: &[Option<f64>]) -> Vec<Estimate> {
+        let tick = StreamTick::new(time, values.to_vec());
+        let outcome = self
+            .engine
+            .process_tick(&tick)
+            .expect("engine rejected a tick");
+        outcome
+            .imputations
+            .into_iter()
+            .map(|i| Estimate {
+                series: i.series,
+                time: i.time,
+                value: i.value,
+            })
+            .collect()
+    }
+
+    fn reset(&mut self) {
+        self.engine = TkcmEngine::new(self.width, self.config.clone(), self.catalog.clone())
+            .expect("invalid TKCM configuration");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkcm_timeseries::SeriesId;
+
+    fn adapter(width: usize, window: usize) -> TkcmOnlineAdapter {
+        let config = TkcmConfig::builder()
+            .window_length(window)
+            .pattern_length(3)
+            .anchor_count(2)
+            .reference_count(1)
+            .build()
+            .unwrap();
+        TkcmOnlineAdapter::new(width, config, Catalog::ring_neighbours(width))
+    }
+
+    #[test]
+    fn adapter_imputes_like_the_engine() {
+        let mut a = adapter(2, 64);
+        assert_eq!(a.name(), "TKCM");
+        for t in 0..63i64 {
+            let v = (t as f64 * 0.3).sin();
+            let est = a.process_tick(Timestamp::new(t), &[Some(v), Some(v * 2.0)]);
+            assert!(est.is_empty());
+        }
+        let est = a.process_tick(Timestamp::new(63), &[None, Some((63.0_f64 * 0.3).sin() * 2.0)]);
+        assert_eq!(est.len(), 1);
+        assert_eq!(est[0].series, SeriesId(0));
+        assert!(est[0].value.is_finite());
+        assert_eq!(a.engine().imputations_performed(), 1);
+    }
+
+    #[test]
+    fn reset_gives_a_fresh_engine() {
+        let mut a = adapter(2, 32);
+        for t in 0..10i64 {
+            a.process_tick(Timestamp::new(t), &[Some(1.0), Some(2.0)]);
+        }
+        assert_eq!(a.engine().ticks_processed(), 10);
+        a.reset();
+        assert_eq!(a.engine().ticks_processed(), 0);
+        // Time can restart after a reset.
+        let est = a.process_tick(Timestamp::new(0), &[Some(1.0), Some(2.0)]);
+        assert!(est.is_empty());
+    }
+}

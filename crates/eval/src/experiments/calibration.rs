@@ -1,0 +1,142 @@
+//! Figure 10: calibration of the number of reference series `d` and the
+//! number of anchor points `k`.
+//!
+//! The paper sweeps `d` and `k` from 1 to 10 on SBR-1d, Flights and Chlorine
+//! and finds that `d = 3` and `k = 5` are good defaults: accuracy improves
+//! markedly up to `d = 3` and saturates afterwards, while large `k` can hurt
+//! on short datasets (Flights) because fewer than `k` genuinely similar
+//! situations exist.
+
+use tkcm_core::TkcmConfig;
+use tkcm_datasets::DatasetKind;
+use tkcm_timeseries::SeriesId;
+
+use crate::adapter::TkcmOnlineAdapter;
+use crate::harness::run_online_scenario;
+use crate::report::{Report, Table};
+use crate::scenario::Scenario;
+
+use super::{dataset_for, default_config, Scale};
+
+/// Datasets used by the calibration figure (the paper omits SBR because it
+/// behaves like SBR-1d).
+pub fn calibration_datasets() -> [DatasetKind; 3] {
+    [
+        DatasetKind::SbrShifted,
+        DatasetKind::Flights,
+        DatasetKind::Chlorine,
+    ]
+}
+
+fn scenario_for(kind: DatasetKind, scale: Scale) -> Scenario {
+    let dataset = dataset_for(kind, scale, 42);
+    // One missing block on series 0 covering ~10 % of the dataset tail —
+    // enough missing points for a stable RMSE without dominating the window.
+    Scenario::tail_block(dataset, SeriesId(0), 0.1)
+}
+
+fn rmse_with(scenario: &Scenario, config: TkcmConfig) -> f64 {
+    let width = scenario.dataset.width();
+    let mut tkcm = TkcmOnlineAdapter::new(width, config, scenario.catalog.clone());
+    run_online_scenario(&mut tkcm, scenario).rmse
+}
+
+/// Values of `d` (and `k`) swept by the experiment at a given scale.
+pub fn sweep_values(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![1, 2, 3, 5],
+        Scale::Paper => vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+    }
+}
+
+/// Runs the calibration sweep and returns one table per parameter.
+pub fn run(scale: Scale) -> Report {
+    let mut report = Report::new("Figure 10: calibration of d and k");
+    report.note("RMSE of TKCM while sweeping one parameter and keeping the others at their defaults");
+    let values = sweep_values(scale);
+
+    let mut d_table = Table::new(
+        "RMSE vs number of reference series d",
+        std::iter::once("dataset".to_string())
+            .chain(values.iter().map(|v| format!("d={v}")))
+            .collect(),
+    );
+    let mut k_table = Table::new(
+        "RMSE vs number of anchor points k",
+        std::iter::once("dataset".to_string())
+            .chain(values.iter().map(|v| format!("k={v}")))
+            .collect(),
+    );
+
+    for kind in calibration_datasets() {
+        let scenario = scenario_for(kind, scale);
+        let base = default_config(scale, scenario.dataset.len());
+        let max_d = scenario.dataset.width() - 1;
+
+        let d_row: Vec<f64> = values
+            .iter()
+            .map(|&d| {
+                let mut config = base.clone();
+                config.reference_count = d.min(max_d);
+                rmse_with(&scenario, config)
+            })
+            .collect();
+        d_table.push_row(kind.name(), d_row);
+
+        let k_row: Vec<f64> = values
+            .iter()
+            .map(|&k| {
+                let mut config = base.clone();
+                config.anchor_count = k;
+                // Keep the window constraint L >= (k+1) l satisfied.
+                config.window_length = config.window_length.max((k + 1) * config.pattern_length);
+                rmse_with(&scenario, config)
+            })
+            .collect();
+        k_table.push_row(kind.name(), k_row);
+    }
+
+    report.add_table(d_table);
+    report.add_table(k_table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_references_do_not_hurt_much() {
+        // The paper's finding: accuracy improves (or stays) as d grows from 1
+        // to 3.  We check d=3 is no worse than d=1 by more than 20 % on the
+        // shifted dataset.
+        let report = run(Scale::Quick);
+        let table = report.table("RMSE vs number of reference series d").unwrap();
+        let d1 = table.cell("SBR-1d", "d=1").unwrap();
+        let d3 = table.cell("SBR-1d", "d=3").unwrap();
+        assert!(d3 <= d1 * 1.2, "d=3 rmse {d3} much worse than d=1 rmse {d1}");
+        assert!(d1.is_finite() && d3.is_finite());
+    }
+
+    #[test]
+    fn all_cells_are_finite_and_positive() {
+        let report = run(Scale::Quick);
+        for table in &report.tables {
+            for (label, values) in &table.rows {
+                for v in values {
+                    assert!(v.is_finite() && *v >= 0.0, "{label}: bad rmse {v}");
+                }
+            }
+        }
+        // Three datasets per table, one table per parameter.
+        assert_eq!(report.tables.len(), 2);
+        assert_eq!(report.tables[0].rows.len(), 3);
+        assert_eq!(report.tables[1].rows.len(), 3);
+    }
+
+    #[test]
+    fn sweep_values_depend_on_scale() {
+        assert_eq!(sweep_values(Scale::Quick).len(), 4);
+        assert_eq!(sweep_values(Scale::Paper).len(), 10);
+    }
+}

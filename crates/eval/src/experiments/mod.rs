@@ -1,0 +1,192 @@
+//! One module per figure of the paper's evaluation (Section 7).
+//!
+//! Every experiment exposes a `run(scale) -> Report` function.  The
+//! [`Scale::Quick`] variant shrinks the datasets and parameter grids so the
+//! whole suite runs in seconds (it is exercised by the integration tests);
+//! [`Scale::Paper`] uses workloads proportioned like the paper's (days to
+//! months of 5-minute data) and is what the `tkcm-bench` binaries run.
+
+pub mod analysis;
+pub mod block_length;
+pub mod calibration;
+pub mod comparison;
+pub mod epsilon;
+pub mod pattern_length;
+pub mod recovery;
+pub mod runtime;
+
+use tkcm_core::TkcmConfig;
+use tkcm_datasets::{ChlorineConfig, Dataset, DatasetKind, FlightsConfig, SbrConfig};
+
+/// Workload size of an experiment run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small datasets and coarse parameter grids; finishes in seconds.
+    Quick,
+    /// Paper-proportioned workloads (minutes of compute).
+    Paper,
+}
+
+impl Scale {
+    /// Number of days of SBR-like data to generate.
+    pub fn sbr_days(self) -> usize {
+        match self {
+            Scale::Quick => 8,
+            Scale::Paper => 120,
+        }
+    }
+
+    /// Number of SBR stations.
+    pub fn sbr_stations(self) -> usize {
+        match self {
+            Scale::Quick => 5,
+            Scale::Paper => 10,
+        }
+    }
+
+    /// Number of days of Flights data.
+    pub fn flights_days(self) -> usize {
+        match self {
+            Scale::Quick => 3,
+            Scale::Paper => 6,
+        }
+    }
+
+    /// Number of days of Chlorine data.
+    pub fn chlorine_days(self) -> usize {
+        match self {
+            Scale::Quick => 5,
+            Scale::Paper => 15,
+        }
+    }
+
+    /// Number of Chlorine junctions.
+    pub fn chlorine_junctions(self) -> usize {
+        match self {
+            Scale::Quick => 8,
+            Scale::Paper => 12,
+        }
+    }
+
+    /// Default pattern length `l` for a dataset at this scale (the paper uses
+    /// 72 five-minute ticks = 6 h on SBR; the quick scale shrinks it so the
+    /// smaller windows still hold k + 1 patterns).
+    pub fn default_pattern_length(self) -> usize {
+        match self {
+            Scale::Quick => 24,
+            Scale::Paper => 72,
+        }
+    }
+
+    /// Default number of anchors `k`.
+    pub fn default_anchor_count(self) -> usize {
+        5
+    }
+
+    /// Default number of reference series `d`.
+    pub fn default_reference_count(self) -> usize {
+        3
+    }
+}
+
+/// Generates the synthetic stand-in for one of the paper's datasets.
+pub fn dataset_for(kind: DatasetKind, scale: Scale, seed: u64) -> Dataset {
+    match kind {
+        DatasetKind::Sbr => SbrConfig {
+            stations: scale.sbr_stations(),
+            days: scale.sbr_days(),
+            seed,
+            ..SbrConfig::default()
+        }
+        .generate(),
+        DatasetKind::SbrShifted => SbrConfig {
+            stations: scale.sbr_stations(),
+            days: scale.sbr_days(),
+            seed,
+            ..SbrConfig::default()
+        }
+        .shifted()
+        .generate(),
+        DatasetKind::Flights => FlightsConfig {
+            days: scale.flights_days(),
+            seed,
+            ..FlightsConfig::default()
+        }
+        .generate(),
+        DatasetKind::Chlorine => ChlorineConfig {
+            days: scale.chlorine_days(),
+            junctions: scale.chlorine_junctions(),
+            seed,
+            ..ChlorineConfig::default()
+        }
+        .generate(),
+        DatasetKind::Sine => tkcm_datasets::sine::analysis_dataset(360.0, 1440),
+    }
+}
+
+/// Default TKCM configuration for a dataset of `len` ticks at this scale.
+///
+/// The streaming window covers the whole generated dataset (the paper uses a
+/// one-year window on SBR and the entire time range on Flights/Chlorine).
+pub fn default_config(scale: Scale, len: usize) -> TkcmConfig {
+    let l = scale.default_pattern_length();
+    let k = scale.default_anchor_count();
+    // Keep the window valid even for very short datasets.
+    let window = len.max((k + 1) * l);
+    TkcmConfig::builder()
+        .window_length(window)
+        .pattern_length(l)
+        .anchor_count(k)
+        .reference_count(scale.default_reference_count())
+        .build()
+        .expect("default experiment configuration is valid")
+}
+
+/// The four evaluation datasets of the paper, in presentation order.
+pub fn evaluation_datasets() -> [DatasetKind; 4] {
+    [
+        DatasetKind::Sbr,
+        DatasetKind::SbrShifted,
+        DatasetKind::Flights,
+        DatasetKind::Chlorine,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_produces_small_datasets() {
+        for kind in evaluation_datasets() {
+            let d = dataset_for(kind, Scale::Quick, 1);
+            assert!(d.len() > 500, "{kind:?} too short: {}", d.len());
+            assert!(d.len() < 20_000, "{kind:?} too long for quick scale: {}", d.len());
+            assert!(d.width() >= 4);
+        }
+    }
+
+    #[test]
+    fn default_config_is_valid_for_every_quick_dataset() {
+        for kind in evaluation_datasets() {
+            let d = dataset_for(kind, Scale::Quick, 1);
+            let c = default_config(Scale::Quick, d.len());
+            assert!(c.validate().is_ok());
+            assert!(c.window_length >= d.len());
+        }
+    }
+
+    #[test]
+    fn paper_scale_is_larger_than_quick() {
+        assert!(Scale::Paper.sbr_days() > Scale::Quick.sbr_days());
+        assert!(Scale::Paper.default_pattern_length() > Scale::Quick.default_pattern_length());
+        assert_eq!(Scale::Paper.default_anchor_count(), 5);
+        assert_eq!(Scale::Paper.default_reference_count(), 3);
+    }
+
+    #[test]
+    fn sine_dataset_is_available_through_dataset_for() {
+        let d = dataset_for(DatasetKind::Sine, Scale::Quick, 0);
+        assert_eq!(d.width(), 3);
+    }
+}

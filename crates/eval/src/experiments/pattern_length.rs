@@ -1,0 +1,103 @@
+//! Figure 11: RMSE as a function of the pattern length `l`.
+//!
+//! The paper varies `l` from 1 to 144 on all four datasets.  On the
+//! non-shifted SBR dataset `l` has little effect; on the shifted SBR-1d,
+//! Flights and Chlorine datasets the error drops substantially once the
+//! pattern is long enough to capture the local trend.
+
+use tkcm_datasets::DatasetKind;
+use tkcm_timeseries::SeriesId;
+
+use crate::adapter::TkcmOnlineAdapter;
+use crate::harness::run_online_scenario;
+use crate::report::{Report, Table};
+use crate::scenario::Scenario;
+
+use super::{dataset_for, default_config, evaluation_datasets, Scale};
+
+/// Pattern lengths swept at a given scale (the paper uses 1..144).
+pub fn sweep_lengths(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![1, 4, 12, 24],
+        Scale::Paper => vec![1, 36, 72, 108, 144],
+    }
+}
+
+/// RMSE of TKCM on `kind` with pattern length `l` (all other parameters at
+/// their defaults), using a tail block of ~10 % of the dataset.
+pub fn rmse_for_length(kind: DatasetKind, scale: Scale, l: usize) -> f64 {
+    let dataset = dataset_for(kind, scale, 42);
+    let scenario = Scenario::tail_block(dataset, SeriesId(0), 0.1);
+    let mut config = default_config(scale, scenario.dataset.len());
+    config.pattern_length = l;
+    config.window_length = config
+        .window_length
+        .max((config.anchor_count + 1) * l);
+    let mut tkcm = TkcmOnlineAdapter::new(
+        scenario.dataset.width(),
+        config,
+        scenario.catalog.clone(),
+    );
+    run_online_scenario(&mut tkcm, &scenario).rmse
+}
+
+/// Runs the pattern-length sweep over all four datasets.
+pub fn run(scale: Scale) -> Report {
+    let mut report = Report::new("Figure 11: pattern length l");
+    report.note("RMSE of TKCM as l grows; the shifted datasets benefit the most");
+    let lengths = sweep_lengths(scale);
+
+    let mut table = Table::new(
+        "RMSE vs pattern length l",
+        std::iter::once("dataset".to_string())
+            .chain(lengths.iter().map(|l| format!("l={l}")))
+            .collect(),
+    );
+    for kind in evaluation_datasets() {
+        let row: Vec<f64> = lengths
+            .iter()
+            .map(|&l| rmse_for_length(kind, scale, l))
+            .collect();
+        table.push_row(kind.name(), row);
+    }
+    report.add_table(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longer_patterns_help_on_the_shifted_dataset() {
+        // Figure 11b: on SBR-1d the RMSE at l = 12 (quick scale) must be
+        // below the RMSE at l = 1.
+        let short = rmse_for_length(DatasetKind::SbrShifted, Scale::Quick, 1);
+        let long = rmse_for_length(DatasetKind::SbrShifted, Scale::Quick, 12);
+        assert!(
+            long < short,
+            "l=12 rmse {long} should be below l=1 rmse {short} on SBR-1d"
+        );
+    }
+
+    #[test]
+    fn longer_patterns_help_on_chlorine() {
+        let short = rmse_for_length(DatasetKind::Chlorine, Scale::Quick, 1);
+        let long = rmse_for_length(DatasetKind::Chlorine, Scale::Quick, 12);
+        assert!(
+            long <= short,
+            "l=12 rmse {long} should not exceed l=1 rmse {short} on Chlorine"
+        );
+    }
+
+    #[test]
+    fn report_covers_all_datasets_and_lengths() {
+        let report = run(Scale::Quick);
+        let table = report.table("RMSE vs pattern length l").unwrap();
+        assert_eq!(table.rows.len(), 4);
+        assert_eq!(table.headers.len(), 1 + sweep_lengths(Scale::Quick).len());
+        for (_, values) in &table.rows {
+            assert!(values.iter().all(|v| v.is_finite() && *v >= 0.0));
+        }
+    }
+}

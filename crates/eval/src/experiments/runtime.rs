@@ -1,0 +1,259 @@
+//! Figure 17 and the Section 7.4 breakdown: runtime of a single imputation.
+//!
+//! The paper shows that TKCM's imputation time is linear in every parameter
+//! (`l`, `d`, `k`, `L`) and that the pattern-extraction (PE) phase dominates
+//! the pattern-selection (PS) phase for the default `k` (≈ 92 % vs 8 %),
+//! while very large `k` (300) pushes PS to ~25 %.  This module measures the
+//! same quantities on the SBR-1d stand-in; the Criterion benches in
+//! `tkcm-bench` repeat the single-imputation measurement with proper
+//! statistics.
+
+use std::time::Instant;
+
+use tkcm_core::{TkcmConfig, TkcmImputer};
+use tkcm_datasets::DatasetKind;
+use tkcm_timeseries::{SeriesId, StreamSource, StreamTick, StreamingWindow};
+
+use crate::report::{Report, Table};
+
+use super::{dataset_for, Scale};
+
+/// A prepared runtime workload: a warm window and the reference ids, so a
+/// single imputation can be timed in isolation.
+pub struct RuntimeWorkload {
+    /// The warm streaming window (all ticks pushed, current target missing).
+    pub window: StreamingWindow,
+    /// The target series.
+    pub target: SeriesId,
+    /// The reference series used for the query pattern.
+    pub references: Vec<SeriesId>,
+}
+
+/// Builds a warm window over the SBR-1d stand-in with the given window
+/// length, where the target's value at the current time is missing.
+pub fn build_workload(scale: Scale, window_length: usize, d: usize) -> RuntimeWorkload {
+    let dataset = dataset_for(DatasetKind::SbrShifted, scale, 5);
+    let len = dataset.len().min(window_length);
+    let mut window = StreamingWindow::new(dataset.width(), window_length);
+    let stream = dataset.to_stream();
+    for (i, tick) in stream.ticks().enumerate() {
+        if i + 1 == len {
+            // Final tick: make the target missing.
+            let mut values = tick.values.clone();
+            values[0] = None;
+            window
+                .push_tick(&StreamTick::new(tick.time, values))
+                .expect("tick accepted");
+            break;
+        }
+        window.push_tick(&tick).expect("tick accepted");
+    }
+    let references = (1..=d).map(SeriesId::from).collect();
+    RuntimeWorkload {
+        window,
+        target: SeriesId(0),
+        references,
+    }
+}
+
+/// Measures the wall-clock seconds of one imputation with the given
+/// parameters (window length is capped by the generated dataset length).
+pub fn time_single_imputation(scale: Scale, l: usize, d: usize, k: usize, window: usize) -> f64 {
+    let workload = build_workload(scale, window, d);
+    let config = TkcmConfig::builder()
+        .window_length(window.max((k + 1) * l))
+        .pattern_length(l)
+        .anchor_count(k)
+        .reference_count(d)
+        .build()
+        .expect("valid runtime config");
+    let imputer = TkcmImputer::new(config).expect("valid config");
+    let start = Instant::now();
+    let detail = imputer
+        .impute(&workload.window, workload.target, &workload.references)
+        .expect("imputation succeeds");
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(detail.value.is_finite());
+    elapsed
+}
+
+/// Phase shares (extraction, selection) of one imputation with the given `k`.
+pub fn phase_shares(scale: Scale, k: usize) -> (f64, f64) {
+    let window = match scale {
+        Scale::Quick => 2_000,
+        Scale::Paper => 20_000,
+    };
+    let l = scale.default_pattern_length();
+    let workload = build_workload(scale, window, 3);
+    let config = TkcmConfig::builder()
+        .window_length(window.max((k + 1) * l))
+        .pattern_length(l)
+        .anchor_count(k)
+        .reference_count(3)
+        .build()
+        .expect("valid config");
+    let imputer = TkcmImputer::new(config).expect("valid config");
+    let detail = imputer
+        .impute(&workload.window, workload.target, &workload.references)
+        .expect("imputation succeeds");
+    (
+        detail.breakdown.extraction_share(),
+        detail.breakdown.selection_share(),
+    )
+}
+
+/// Parameter sweep values for the runtime experiment.
+pub fn sweep(scale: Scale) -> (Vec<usize>, Vec<usize>, Vec<usize>, Vec<usize>) {
+    match scale {
+        Scale::Quick => (
+            vec![4, 12, 24],          // l
+            vec![1, 2, 3],            // d
+            vec![2, 5, 10],           // k
+            vec![1_000, 2_000, 3_000], // L
+        ),
+        Scale::Paper => (
+            vec![18, 36, 72, 108, 144],
+            vec![1, 2, 3, 4, 5],
+            vec![5, 50, 100, 200, 300],
+            vec![10_000, 20_000, 30_000],
+        ),
+    }
+}
+
+/// Runs the runtime experiment and returns per-parameter timing tables.
+pub fn run(scale: Scale) -> Report {
+    let mut report = Report::new("Figure 17: runtime linearity and phase breakdown");
+    report.note("Seconds per single imputation while sweeping one parameter (SBR-1d stand-in)");
+    let (ls, ds, ks, windows) = sweep(scale);
+    let base_window = match scale {
+        Scale::Quick => 2_000,
+        Scale::Paper => 20_000,
+    };
+    let l_default = scale.default_pattern_length();
+
+    let mut l_table = Table::new(
+        "Runtime vs pattern length l",
+        std::iter::once("parameter".to_string())
+            .chain(ls.iter().map(|v| format!("l={v}")))
+            .collect(),
+    );
+    l_table.push_row(
+        "seconds",
+        ls.iter()
+            .map(|&l| time_single_imputation(scale, l, 3, 5, base_window))
+            .collect(),
+    );
+    report.add_table(l_table);
+
+    let mut d_table = Table::new(
+        "Runtime vs reference count d",
+        std::iter::once("parameter".to_string())
+            .chain(ds.iter().map(|v| format!("d={v}")))
+            .collect(),
+    );
+    d_table.push_row(
+        "seconds",
+        ds.iter()
+            .map(|&d| time_single_imputation(scale, l_default, d, 5, base_window))
+            .collect(),
+    );
+    report.add_table(d_table);
+
+    let mut k_table = Table::new(
+        "Runtime vs anchor count k",
+        std::iter::once("parameter".to_string())
+            .chain(ks.iter().map(|v| format!("k={v}")))
+            .collect(),
+    );
+    k_table.push_row(
+        "seconds",
+        ks.iter()
+            .map(|&k| time_single_imputation(scale, l_default, 3, k, base_window))
+            .collect(),
+    );
+    report.add_table(k_table);
+
+    let mut w_table = Table::new(
+        "Runtime vs window length L",
+        std::iter::once("parameter".to_string())
+            .chain(windows.iter().map(|v| format!("L={v}")))
+            .collect(),
+    );
+    w_table.push_row(
+        "seconds",
+        windows
+            .iter()
+            .map(|&w| time_single_imputation(scale, l_default, 3, 5, w))
+            .collect(),
+    );
+    report.add_table(w_table);
+
+    // Section 7.4 phase breakdown for the default k and a very large k.
+    let mut phases = Table::new(
+        "Phase breakdown (share of runtime)",
+        vec!["k".into(), "extraction".into(), "selection".into()],
+    );
+    let (ext_default, sel_default) = phase_shares(scale, 5);
+    phases.push_row("k=5", vec![ext_default, sel_default]);
+    let big_k = match scale {
+        Scale::Quick => 50,
+        Scale::Paper => 300,
+    };
+    let (ext_big, sel_big) = phase_shares(scale, big_k);
+    phases.push_row(format!("k={big_k}"), vec![ext_big, sel_big]);
+    report.add_table(phases);
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_grows_with_window_length() {
+        // Linearity in L (Figure 17d): a 3x larger window should not be
+        // cheaper than the small one.
+        let small = time_single_imputation(Scale::Quick, 12, 3, 5, 1_000);
+        let large = time_single_imputation(Scale::Quick, 12, 3, 5, 3_000);
+        assert!(large >= small * 0.8, "large {large} vs small {small}");
+        assert!(small >= 0.0);
+    }
+
+    #[test]
+    fn extraction_dominates_for_default_k() {
+        // Section 7.4: with the default k the PE phase dominates PS.
+        let (extraction, selection) = phase_shares(Scale::Quick, 5);
+        assert!(extraction > selection, "extraction {extraction} vs selection {selection}");
+        assert!(extraction > 0.5);
+    }
+
+    #[test]
+    fn large_k_increases_the_selection_share() {
+        let (_, sel_small) = phase_shares(Scale::Quick, 5);
+        let (_, sel_large) = phase_shares(Scale::Quick, 100);
+        assert!(
+            sel_large > sel_small,
+            "selection share should grow with k ({sel_small} -> {sel_large})"
+        );
+    }
+
+    #[test]
+    fn report_has_five_tables() {
+        let report = run(Scale::Quick);
+        assert_eq!(report.tables.len(), 5);
+        for table in &report.tables {
+            for (_, values) in &table.rows {
+                assert!(values.iter().all(|v| v.is_finite() && *v >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn workload_has_missing_target_at_current_time() {
+        let w = build_workload(Scale::Quick, 1_500, 3);
+        assert_eq!(w.window.currently_missing(), vec![SeriesId(0)]);
+        assert_eq!(w.references.len(), 3);
+        assert!(w.window.is_warm() || w.window.ticks_seen() > 0);
+    }
+}

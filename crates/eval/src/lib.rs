@@ -1,0 +1,38 @@
+//! # tkcm-eval
+//!
+//! Experiment harness that reproduces every figure and table of the TKCM
+//! paper's evaluation (Section 7) on the synthetic stand-ins for the SBR,
+//! SBR-1d, Flights and Chlorine datasets.
+//!
+//! The crate is organised as:
+//!
+//! * [`metrics`] — RMSE / MAE over (truth, imputed) pairs.
+//! * [`adapter`] — wraps the TKCM streaming engine in the common
+//!   [`tkcm_baselines::OnlineImputer`] interface so it can be compared head
+//!   to head with SPIRIT, MUSCLES etc.
+//! * [`scenario`] — a dataset plus injected missing blocks plus the withheld
+//!   ground truth.
+//! * [`harness`] — replays a scenario through an online or batch imputer and
+//!   scores the result.
+//! * [`report`] — plain-text tables and series dumps, one per figure.
+//! * [`experiments`] — one module per figure of the paper; each returns a
+//!   [`report::Report`] that the `tkcm-bench` binaries print.
+//!
+//! Every experiment takes an [`experiments::Scale`] so the full workload (the
+//! paper's sizes) and a quick smoke-test variant share the same code path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod experiments;
+pub mod harness;
+pub mod metrics;
+pub mod report;
+pub mod scenario;
+
+pub use adapter::TkcmOnlineAdapter;
+pub use harness::{run_batch_scenario, run_online_scenario, ScenarioOutcome};
+pub use metrics::{mae, rmse, rmse_of_pairs};
+pub use report::{Report, Table};
+pub use scenario::Scenario;

@@ -1,0 +1,96 @@
+//! Accuracy metrics.
+//!
+//! The paper reports the root-mean-square error (RMSE) over the set `T` of
+//! missing time points; MAE is provided in addition for completeness.
+
+/// Root-mean-square error between truth and estimates.  Returns `NaN` for
+/// empty input so that accidental empty evaluations are visible.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn rmse(truth: &[f64], estimate: &[f64]) -> f64 {
+    assert_eq!(truth.len(), estimate.len(), "rmse: length mismatch");
+    if truth.is_empty() {
+        return f64::NAN;
+    }
+    let sum_sq: f64 = truth
+        .iter()
+        .zip(estimate.iter())
+        .map(|(t, e)| (t - e) * (t - e))
+        .sum();
+    (sum_sq / truth.len() as f64).sqrt()
+}
+
+/// Mean absolute error between truth and estimates (`NaN` for empty input).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn mae(truth: &[f64], estimate: &[f64]) -> f64 {
+    assert_eq!(truth.len(), estimate.len(), "mae: length mismatch");
+    if truth.is_empty() {
+        return f64::NAN;
+    }
+    truth
+        .iter()
+        .zip(estimate.iter())
+        .map(|(t, e)| (t - e).abs())
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+/// RMSE over `(truth, estimate)` pairs.
+pub fn rmse_of_pairs(pairs: &[(f64, f64)]) -> f64 {
+    let truth: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let est: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+    rmse(&truth, &est)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_of_exact_estimates_is_zero() {
+        assert_eq!(rmse(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(mae(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_matches_hand_computation() {
+        // errors 1 and -1 -> rmse = 1, mae = 1
+        assert_eq!(rmse(&[1.0, 2.0], &[2.0, 1.0]), 1.0);
+        assert_eq!(mae(&[1.0, 2.0], &[2.0, 1.0]), 1.0);
+        // errors 3 and 0 -> rmse = sqrt(4.5), mae = 1.5
+        assert!((rmse(&[0.0, 0.0], &[3.0, 0.0]) - 4.5_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(mae(&[0.0, 0.0], &[3.0, 0.0]), 1.5);
+    }
+
+    #[test]
+    fn rmse_penalises_outliers_more_than_mae() {
+        let truth = vec![0.0; 10];
+        let mut est = vec![0.0; 10];
+        est[0] = 10.0;
+        assert!(rmse(&truth, &est) > mae(&truth, &est));
+    }
+
+    #[test]
+    fn empty_input_is_nan() {
+        assert!(rmse(&[], &[]).is_nan());
+        assert!(mae(&[], &[]).is_nan());
+        assert!(rmse_of_pairs(&[]).is_nan());
+    }
+
+    #[test]
+    fn pairs_variant_agrees_with_slices() {
+        let pairs = vec![(1.0, 2.0), (3.0, 3.0), (-1.0, 1.0)];
+        let t: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let e: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        assert_eq!(rmse_of_pairs(&pairs), rmse(&t, &e));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Plain-text reports: tables and series dumps that the `tkcm-bench`
+//! binaries print to regenerate the paper's figures.
+
+use std::fmt;
+
+/// A labelled table of numeric results (one per figure/parameter sweep).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    /// Table title, e.g. "Figure 16: RMSE comparison".
+    pub title: String,
+    /// Column headers; the first column is the row label.
+    pub headers: Vec<String>,
+    /// Rows: a label plus one value per data column.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and headers.
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        self.rows.push((label.into(), values));
+    }
+
+    /// Looks up a cell by row label and column header (data columns only).
+    pub fn cell(&self, row_label: &str, column: &str) -> Option<f64> {
+        let col = self.headers.iter().skip(1).position(|h| h == column)?;
+        self.rows
+            .iter()
+            .find(|(label, _)| label == row_label)
+            .and_then(|(_, values)| values.get(col).copied())
+    }
+
+    /// Values of one data column (by header name), in row order.
+    pub fn column(&self, column: &str) -> Option<Vec<f64>> {
+        let col = self.headers.iter().skip(1).position(|h| h == column)?;
+        Some(
+            self.rows
+                .iter()
+                .filter_map(|(_, values)| values.get(col).copied())
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                let data_width = self
+                    .rows
+                    .iter()
+                    .map(|(label, values)| {
+                        if i == 0 {
+                            label.len()
+                        } else {
+                            values
+                                .get(i - 1)
+                                .map(|v| format!("{v:.4}").len())
+                                .unwrap_or(0)
+                        }
+                    })
+                    .max()
+                    .unwrap_or(0);
+                h.len().max(data_width)
+            })
+            .collect();
+
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .zip(widths.iter())
+            .map(|(h, w)| format!("{h:>w$}", w = w))
+            .collect();
+        writeln!(f, "{}", header_line.join("  "))?;
+        for (label, values) in &self.rows {
+            let mut cells = vec![format!("{label:>w$}", w = widths[0])];
+            for (i, v) in values.iter().enumerate() {
+                cells.push(format!("{v:>w$.4}", w = widths[i + 1]));
+            }
+            writeln!(f, "{}", cells.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+/// A full experiment report: free-form notes plus one or more tables and
+/// optional named series (for the qualitative recovery figures).
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Report title, e.g. "Figure 11: pattern length".
+    pub title: String,
+    /// Notes explaining the workload and parameters.
+    pub notes: Vec<String>,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Named series (label, (x, y) points) for figures that plot curves.
+    pub series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(title: impl Into<String>) -> Self {
+        Report {
+            title: title.into(),
+            ..Report::default()
+        }
+    }
+
+    /// Adds a note line.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Adds a table.
+    pub fn add_table(&mut self, table: Table) {
+        self.tables.push(table);
+    }
+
+    /// Adds a named curve.
+    pub fn add_series(&mut self, label: impl Into<String>, points: Vec<(f64, f64)>) {
+        self.series.push((label.into(), points));
+    }
+
+    /// Finds a table by (exact) title.
+    pub fn table(&self, title: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.title == title)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "########  {}  ########", self.title)?;
+        for note in &self.notes {
+            writeln!(f, "# {note}")?;
+        }
+        for table in &self.tables {
+            writeln!(f)?;
+            write!(f, "{table}")?;
+        }
+        for (label, points) in &self.series {
+            writeln!(f)?;
+            writeln!(f, "-- series: {label} ({} points) --", points.len())?;
+            for (x, y) in points {
+                writeln!(f, "{x:.2}\t{y:.6}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_lookup_and_formatting() {
+        let mut t = Table::new(
+            "Figure 16: RMSE comparison",
+            vec!["dataset".into(), "TKCM".into(), "SPIRIT".into()],
+        );
+        t.push_row("SBR", vec![1.07, 0.88]);
+        t.push_row("SBR-1d", vec![1.82, 2.57]);
+        assert_eq!(t.cell("SBR", "TKCM"), Some(1.07));
+        assert_eq!(t.cell("SBR-1d", "SPIRIT"), Some(2.57));
+        assert_eq!(t.cell("SBR", "CD"), None);
+        assert_eq!(t.cell("Flights", "TKCM"), None);
+        assert_eq!(t.column("TKCM"), Some(vec![1.07, 1.82]));
+
+        let text = t.to_string();
+        assert!(text.contains("Figure 16"));
+        assert!(text.contains("SBR-1d"));
+        assert!(text.contains("2.5700"));
+    }
+
+    #[test]
+    fn report_formatting_includes_notes_tables_and_series() {
+        let mut r = Report::new("Figure 11: pattern length");
+        r.note("RMSE vs l on all four datasets");
+        let mut t = Table::new("rmse", vec!["l".into(), "SBR".into()]);
+        t.push_row("1", vec![1.0]);
+        r.add_table(t);
+        r.add_series("recovery", vec![(0.0, 1.0), (1.0, 2.0)]);
+
+        assert!(r.table("rmse").is_some());
+        assert!(r.table("nope").is_none());
+        let text = r.to_string();
+        assert!(text.contains("Figure 11"));
+        assert!(text.contains("# RMSE vs l"));
+        assert!(text.contains("-- series: recovery (2 points) --"));
+        assert!(text.contains("1.00\t2.000000"));
+    }
+
+    #[test]
+    fn empty_report_renders_title_only() {
+        let r = Report::new("empty");
+        let text = r.to_string();
+        assert!(text.contains("empty"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Experiment scenarios: a dataset with injected sensor failures plus the
+//! withheld ground truth.
+
+use tkcm_datasets::{inject_block, BlockSpec, Dataset};
+use tkcm_timeseries::{Catalog, SeriesId, Timestamp};
+
+/// A dataset with one or more injected missing blocks and the ground truth
+/// that was removed.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The dataset *after* the blocks have been removed.
+    pub dataset: Dataset,
+    /// The injected blocks.
+    pub blocks: Vec<BlockSpec>,
+    /// Withheld ground truth: `(series, time, true value)` for every removed
+    /// observation.
+    pub truth: Vec<(SeriesId, Timestamp, f64)>,
+    /// The reference catalog to use for TKCM.
+    pub catalog: Catalog,
+}
+
+impl Scenario {
+    /// Builds a scenario by removing the given blocks from a complete
+    /// dataset.  The catalog defaults to the ring-neighbour catalog (adjacent
+    /// ids are the preferred references).
+    pub fn from_blocks(mut dataset: Dataset, blocks: Vec<BlockSpec>) -> Self {
+        let catalog = dataset.neighbour_catalog();
+        let mut truth = Vec::new();
+        for block in &blocks {
+            for (t, v) in inject_block(&mut dataset, *block) {
+                truth.push((block.series, t, v));
+            }
+        }
+        Scenario {
+            dataset,
+            blocks,
+            truth,
+            catalog,
+        }
+    }
+
+    /// Builds a scenario with a single block at the tail of one series
+    /// covering `fraction` of the dataset length (used by the Chlorine
+    /// block-length experiment and the Flights/Chlorine comparisons, which
+    /// remove ~20 % of the dataset).
+    pub fn tail_block(dataset: Dataset, series: SeriesId, fraction: f64) -> Self {
+        let len = dataset.len();
+        let block_len = ((len as f64) * fraction).round() as usize;
+        let start = dataset.start() + (len - block_len) as i64;
+        Self::from_blocks(
+            dataset,
+            vec![BlockSpec {
+                series,
+                start,
+                length: block_len,
+            }],
+        )
+    }
+
+    /// Replaces the catalog (e.g. with a correlation-derived one).
+    pub fn with_catalog(mut self, catalog: Catalog) -> Self {
+        self.catalog = catalog;
+        self
+    }
+
+    /// Number of withheld ground-truth values.
+    pub fn missing_count(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// The ids of the series that have missing values.
+    pub fn target_series(&self) -> Vec<SeriesId> {
+        let mut ids: Vec<SeriesId> = self.blocks.iter().map(|b| b.series).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Ground-truth lookup for a specific series/time.
+    pub fn truth_at(&self, series: SeriesId, time: Timestamp) -> Option<f64> {
+        self.truth
+            .iter()
+            .find(|(s, t, _)| *s == series && *t == time)
+            .map(|(_, _, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkcm_datasets::generator::DatasetKind;
+    use tkcm_timeseries::{SampleInterval, TimeSeries};
+
+    fn toy_dataset(len: usize, width: usize) -> Dataset {
+        let series = (0..width as u32)
+            .map(|id| {
+                TimeSeries::from_values(
+                    id,
+                    format!("s{id}"),
+                    Timestamp::new(0),
+                    SampleInterval::FIVE_MINUTES,
+                    (0..len).map(|t| id as f64 * 10.0 + t as f64),
+                )
+            })
+            .collect();
+        Dataset::new(DatasetKind::Sine, SampleInterval::FIVE_MINUTES, series)
+    }
+
+    #[test]
+    fn from_blocks_removes_values_and_keeps_truth() {
+        let scenario = Scenario::from_blocks(
+            toy_dataset(30, 3),
+            vec![
+                BlockSpec {
+                    series: SeriesId(0),
+                    start: Timestamp::new(10),
+                    length: 5,
+                },
+                BlockSpec {
+                    series: SeriesId(2),
+                    start: Timestamp::new(20),
+                    length: 3,
+                },
+            ],
+        );
+        assert_eq!(scenario.missing_count(), 8);
+        assert_eq!(scenario.target_series(), vec![SeriesId(0), SeriesId(2)]);
+        assert_eq!(scenario.truth_at(SeriesId(0), Timestamp::new(12)), Some(12.0));
+        assert_eq!(scenario.truth_at(SeriesId(2), Timestamp::new(21)), Some(41.0));
+        assert_eq!(scenario.truth_at(SeriesId(1), Timestamp::new(12)), None);
+        // The dataset itself has the values removed.
+        assert_eq!(scenario.dataset.series[0].value_at(Timestamp::new(12)), None);
+        assert_eq!(scenario.dataset.series[1].missing_count(), 0);
+        assert_eq!(scenario.catalog.len(), 3);
+    }
+
+    #[test]
+    fn tail_block_covers_requested_fraction() {
+        let scenario = Scenario::tail_block(toy_dataset(100, 2), SeriesId(1), 0.25);
+        assert_eq!(scenario.blocks.len(), 1);
+        assert_eq!(scenario.blocks[0].length, 25);
+        assert_eq!(scenario.blocks[0].start, Timestamp::new(75));
+        assert_eq!(scenario.missing_count(), 25);
+    }
+
+    #[test]
+    fn catalog_can_be_replaced() {
+        let mut catalog = Catalog::new();
+        catalog
+            .set_candidates(SeriesId(0), vec![SeriesId(1)])
+            .unwrap();
+        let scenario = Scenario::from_blocks(toy_dataset(20, 2), vec![]).with_catalog(catalog);
+        assert_eq!(scenario.catalog.candidates(SeriesId(0)), &[SeriesId(1)]);
+        assert_eq!(scenario.missing_count(), 0);
+    }
+}

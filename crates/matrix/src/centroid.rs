@@ -1,0 +1,263 @@
+//! Centroid Decomposition (CD).
+//!
+//! The CD baseline of the TKCM paper (Khayati et al., ICDE 2014 / SSTD 2015)
+//! approximates the SVD of a matrix `X` (rows = time points, columns = time
+//! series) by a sequence of rank-one "centroid" components:
+//!
+//! ```text
+//! X ≈ Σ_i  l_i · r_iᵀ        with   r_i = Xᵀ z_i / ‖Xᵀ z_i‖,  l_i = X r_i
+//! ```
+//!
+//! where `z_i ∈ {−1, +1}^rows` is a *sign vector* chosen to maximise
+//! `‖Xᵀ z‖`.  The sign vector is found by the iterative "greedy sign flip"
+//! heuristic: start from all ones and flip any sign whose flip increases the
+//! objective, until a local maximum is reached.  After each component the
+//! matrix is deflated (`X ← X − l rᵀ`) and the procedure repeats.
+//!
+//! This is exactly the decomposition the recovery baseline in
+//! `tkcm-baselines::cd` truncates to impute missing values.
+
+use crate::dense::Matrix;
+use crate::vector_ops::{dot, norm2};
+
+/// Result of a centroid decomposition `X ≈ L Rᵀ`.
+#[derive(Clone, Debug)]
+pub struct CentroidDecomposition {
+    /// Loading matrix `L` (`rows × k`); column `i` is `X_i r_i`.
+    pub loadings: Matrix,
+    /// Relevance matrix `R` (`cols × k`) with unit-norm columns.
+    pub relevance: Matrix,
+    /// The "centroid values" `‖Xᵀ z_i‖`, analogous to singular values.
+    pub centroid_values: Vec<f64>,
+}
+
+impl CentroidDecomposition {
+    /// Reconstructs the matrix from the first `rank` components.
+    pub fn reconstruct(&self, rank: usize) -> Matrix {
+        let rows = self.loadings.rows();
+        let cols = self.relevance.rows();
+        let k = rank.min(self.centroid_values.len());
+        let mut out = Matrix::zeros(rows, cols);
+        for c in 0..k {
+            let l = self.loadings.col(c);
+            let r = self.relevance.col(c);
+            for i in 0..rows {
+                if l[i] == 0.0 {
+                    continue;
+                }
+                for j in 0..cols {
+                    out[(i, j)] += l[i] * r[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of extracted components.
+    pub fn rank(&self) -> usize {
+        self.centroid_values.len()
+    }
+}
+
+/// Finds the sign vector `z ∈ {−1, +1}^rows` that (locally) maximises
+/// `‖Xᵀ z‖` using the greedy sign-flipping heuristic.
+fn find_sign_vector(x: &Matrix, max_iterations: usize) -> Vec<f64> {
+    let rows = x.rows();
+    let cols = x.cols();
+    let mut z = vec![1.0; rows];
+    if rows == 0 || cols == 0 {
+        return z;
+    }
+
+    // v = Xᵀ z, maintained incrementally as signs flip.
+    let mut v = vec![0.0; cols];
+    for i in 0..rows {
+        for j in 0..cols {
+            v[j] += z[i] * x[(i, j)];
+        }
+    }
+
+    for _ in 0..max_iterations {
+        let mut changed = false;
+        for i in 0..rows {
+            // Flipping z_i changes v by -2 z_i x_i; the objective changes by
+            // ‖v − 2 z_i x_i‖² − ‖v‖² = −4 z_i (v·x_i) + 4 ‖x_i‖².
+            let row = x.row(i);
+            let v_dot_row = dot(&v, row);
+            let row_norm_sq = dot(row, row);
+            let delta = -4.0 * z[i] * v_dot_row + 4.0 * row_norm_sq;
+            if delta > 1e-12 {
+                for (j, &xij) in row.iter().enumerate() {
+                    v[j] -= 2.0 * z[i] * xij;
+                }
+                z[i] = -z[i];
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    z
+}
+
+/// Computes the centroid decomposition of `x`, extracting up to `rank`
+/// components (clamped to `min(rows, cols)`).
+pub fn centroid_decomposition(x: &Matrix, rank: usize) -> CentroidDecomposition {
+    let rows = x.rows();
+    let cols = x.cols();
+    let k = rank.min(rows.min(cols));
+    let mut residual = x.clone();
+    let mut loadings = Matrix::zeros(rows, k);
+    let mut relevance = Matrix::zeros(cols, k);
+    let mut centroid_values = Vec::with_capacity(k);
+
+    for c in 0..k {
+        let z = find_sign_vector(&residual, 100);
+        // r = residualᵀ z / ‖residualᵀ z‖
+        let mut r = vec![0.0; cols];
+        for i in 0..rows {
+            for j in 0..cols {
+                r[j] += z[i] * residual[(i, j)];
+            }
+        }
+        let cv = norm2(&r);
+        centroid_values.push(cv);
+        if cv <= 1e-12 {
+            // Residual is (numerically) zero: remaining components are zero.
+            continue;
+        }
+        for rj in r.iter_mut() {
+            *rj /= cv;
+        }
+        // l = residual · r
+        let l = residual.mat_vec(&r);
+        for i in 0..rows {
+            loadings[(i, c)] = l[i];
+        }
+        for j in 0..cols {
+            relevance[(j, c)] = r[j];
+        }
+        // Deflate.
+        for i in 0..rows {
+            for j in 0..cols {
+                residual[(i, j)] -= l[i] * r[j];
+            }
+        }
+    }
+
+    CentroidDecomposition {
+        loadings,
+        relevance,
+        centroid_values,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+        a.rows() == b.rows() && a.cols() == b.cols() && a.sub(b).max_abs() < tol
+    }
+
+    #[test]
+    fn full_rank_reconstruction_is_exact() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 2.0, 0.5],
+            vec![2.0, 4.1, 1.0],
+            vec![-1.0, -2.0, 3.0],
+            vec![0.5, 1.2, -0.3],
+        ]);
+        let cd = centroid_decomposition(&x, 3);
+        assert_eq!(cd.rank(), 3);
+        assert!(approx_eq(&cd.reconstruct(3), &x, 1e-8));
+    }
+
+    #[test]
+    fn rank_one_matrix_is_captured_by_one_component() {
+        let x = Matrix::outer(&[1.0, 2.0, -1.0, 0.5], &[2.0, -1.0, 3.0]);
+        let cd = centroid_decomposition(&x, 3);
+        assert!(approx_eq(&cd.reconstruct(1), &x, 1e-8));
+        assert!(cd.centroid_values[0] > 1.0);
+        assert!(cd.centroid_values[1] < 1e-8);
+    }
+
+    #[test]
+    fn centroid_values_are_non_increasing_for_typical_input() {
+        let x = Matrix::from_rows(&[
+            vec![10.0, 9.5, 0.1],
+            vec![9.8, 10.1, -0.2],
+            vec![10.2, 9.9, 0.3],
+            vec![9.9, 10.0, 0.0],
+            vec![10.1, 10.2, 0.1],
+        ]);
+        let cd = centroid_decomposition(&x, 3);
+        for w in cd.centroid_values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9, "centroid values not sorted: {:?}", cd.centroid_values);
+        }
+    }
+
+    #[test]
+    fn relevance_columns_are_unit_norm() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.2, 3.0],
+            vec![0.9, -0.3, 2.8],
+            vec![1.1, 0.1, 3.2],
+            vec![1.0, 0.0, 2.9],
+        ]);
+        let cd = centroid_decomposition(&x, 2);
+        for c in 0..cd.rank().min(2) {
+            if cd.centroid_values[c] > 1e-9 {
+                let r = cd.relevance.col(c);
+                assert!((norm2(&r) - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_reconstruction_approximates_dominant_structure() {
+        // Strongly correlated columns plus small noise: one component should
+        // already capture most of the Frobenius norm.
+        let rows = 50;
+        let x = Matrix::from_rows(
+            &(0..rows)
+                .map(|i| {
+                    let base = (i as f64 * 0.21).sin();
+                    vec![base, 2.0 * base + 0.01, -base + 0.005]
+                })
+                .collect::<Vec<_>>(),
+        );
+        let cd = centroid_decomposition(&x, 3);
+        let recon1 = cd.reconstruct(1);
+        let err = x.sub(&recon1).frobenius_norm() / x.frobenius_norm();
+        assert!(err < 0.05, "relative error {err}");
+    }
+
+    #[test]
+    fn zero_matrix_yields_zero_components() {
+        let x = Matrix::zeros(4, 3);
+        let cd = centroid_decomposition(&x, 2);
+        assert!(cd.centroid_values.iter().all(|&v| v == 0.0));
+        assert!(approx_eq(&cd.reconstruct(2), &x, 1e-12));
+    }
+
+    #[test]
+    fn sign_vector_maximises_against_trivial_choice() {
+        // For a matrix with one strongly negative row the sign vector should
+        // flip that row rather than keep all ones.
+        let x = Matrix::from_rows(&[vec![1.0, 1.0], vec![-5.0, -5.0], vec![1.0, 1.0]]);
+        let z = find_sign_vector(&x, 50);
+        // Objective with z: ||Xᵀ z||. Flipping row 1 gives (7,7) vs (−3,−3).
+        let obj: f64 = {
+            let mut v = vec![0.0; 2];
+            for i in 0..3 {
+                for j in 0..2 {
+                    v[j] += z[i] * x[(i, j)];
+                }
+            }
+            norm2(&v)
+        };
+        assert!(obj >= 7.0 * (2.0_f64).sqrt() - 1e-9);
+    }
+}

@@ -1,0 +1,41 @@
+//! # tkcm-matrix
+//!
+//! Small, self-contained dense linear-algebra substrate.
+//!
+//! The TKCM paper compares against three state-of-the-art imputation
+//! algorithms that are all built on linear models:
+//!
+//! * **CD** — iterative recovery based on the *Centroid Decomposition*
+//!   (Khayati et al.), an approximation of the SVD,
+//! * **SVD / REBOM-style** recovery — truncated singular value decomposition
+//!   of the matrix of co-evolving series,
+//! * **MUSCLES** — a multivariate auto-regression fitted online with
+//!   *Recursive Least Squares*,
+//! * **SPIRIT** — online PCA that tracks a handful of hidden variables, each
+//!   forecast by an auto-regressive model.
+//!
+//! None of these need a full LAPACK; this crate implements exactly the dense
+//! kernels they require: a row-major [`Matrix`] type, Gaussian-elimination
+//! solves, a one-sided Jacobi SVD, the centroid decomposition, recursive
+//! least squares and a PAST-style online PCA tracker.
+//!
+//! All code is pure safe Rust with no external dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod centroid;
+pub mod dense;
+pub mod pca;
+pub mod rls;
+pub mod solve;
+pub mod svd;
+pub mod vector_ops;
+
+pub use centroid::{centroid_decomposition, CentroidDecomposition};
+pub use dense::Matrix;
+pub use pca::OnlinePca;
+pub use rls::RecursiveLeastSquares;
+pub use solve::{solve_least_squares, solve_linear_system};
+pub use svd::{truncated_svd, Svd};
+pub use vector_ops::{dot, norm2, normalize, scale, subtract};

@@ -1,0 +1,200 @@
+//! Recursive Least Squares (RLS).
+//!
+//! MUSCLES (Yi et al., ICDE 2000) fits a multivariate auto-regression whose
+//! coefficients are updated *incrementally* as new samples arrive, using the
+//! Recursive Least Squares method with an exponential forgetting factor λ.
+//! The TKCM paper follows the authors' recommendation of a tracking window
+//! `p = 6` but sets λ = 1 (no forgetting), because forgetting lets the model
+//! drift towards its own (inaccurate) imputations during long gaps.
+//!
+//! This module implements the standard RLS recursion on the inverse
+//! correlation matrix `P`:
+//!
+//! ```text
+//! g   = P x / (λ + xᵀ P x)
+//! w  += g (y − wᵀ x)
+//! P   = (P − g xᵀ P) / λ
+//! ```
+
+use crate::dense::Matrix;
+use crate::vector_ops::dot;
+
+/// Online linear regression `y ≈ wᵀ x` fitted by recursive least squares.
+#[derive(Clone, Debug)]
+pub struct RecursiveLeastSquares {
+    weights: Vec<f64>,
+    /// Inverse (regularised) input correlation matrix.
+    p: Matrix,
+    lambda: f64,
+    updates: usize,
+}
+
+impl RecursiveLeastSquares {
+    /// Creates an RLS estimator for inputs of dimension `dim`.
+    ///
+    /// * `lambda` — exponential forgetting factor in `(0, 1]`; `1.0` keeps
+    ///   all history with equal weight (the setting used in the paper).
+    /// * `delta` — initial value of the diagonal of `P` (a large value such
+    ///   as `1e3` means "no prior confidence in the weights").
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`, `lambda` is outside `(0, 1]` or `delta <= 0`.
+    pub fn new(dim: usize, lambda: f64, delta: f64) -> Self {
+        assert!(dim > 0, "RLS input dimension must be positive");
+        assert!(lambda > 0.0 && lambda <= 1.0, "lambda must be in (0, 1]");
+        assert!(delta > 0.0, "delta must be positive");
+        let mut p = Matrix::zeros(dim, dim);
+        for i in 0..dim {
+            p[(i, i)] = delta;
+        }
+        RecursiveLeastSquares {
+            weights: vec![0.0; dim],
+            p,
+            lambda,
+            updates: 0,
+        }
+    }
+
+    /// Input dimension.
+    pub fn dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Current weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of updates performed so far.
+    pub fn updates(&self) -> usize {
+        self.updates
+    }
+
+    /// Predicted output `wᵀ x` for an input vector.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != dim`.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim(), "RLS::predict: dimension mismatch");
+        dot(&self.weights, x)
+    }
+
+    /// Performs one RLS update with the observed pair `(x, y)` and returns
+    /// the *a-priori* prediction error `y - wᵀx` (before the update).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != dim`.
+    pub fn update(&mut self, x: &[f64], y: f64) -> f64 {
+        assert_eq!(x.len(), self.dim(), "RLS::update: dimension mismatch");
+        let n = self.dim();
+
+        // px = P x
+        let px = self.p.mat_vec(x);
+        let denom = self.lambda + dot(x, &px);
+        // Gain vector g = P x / (λ + xᵀ P x)
+        let gain: Vec<f64> = px.iter().map(|v| v / denom).collect();
+
+        let error = y - self.predict(x);
+        for i in 0..n {
+            self.weights[i] += gain[i] * error;
+        }
+
+        // P ← (P − g (xᵀ P)) / λ ; note xᵀP = (P x)ᵀ because P is symmetric.
+        let mut new_p = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                new_p[(i, j)] = (self.p[(i, j)] - gain[i] * px[j]) / self.lambda;
+            }
+        }
+        self.p = new_p;
+        self.updates += 1;
+        error
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_static_linear_relationship() {
+        // y = 2 x1 - 3 x2 + 0.5
+        let mut rls = RecursiveLeastSquares::new(3, 1.0, 1e3);
+        let mut t = 0.0_f64;
+        for _ in 0..200 {
+            t += 1.0;
+            let x1 = (t * 0.13).sin();
+            let x2 = (t * 0.07).cos();
+            let x = [x1, x2, 1.0];
+            let y = 2.0 * x1 - 3.0 * x2 + 0.5;
+            rls.update(&x, y);
+        }
+        let w = rls.weights();
+        assert!((w[0] - 2.0).abs() < 1e-3, "w0 = {}", w[0]);
+        assert!((w[1] + 3.0).abs() < 1e-3, "w1 = {}", w[1]);
+        assert!((w[2] - 0.5).abs() < 1e-3, "w2 = {}", w[2]);
+        assert_eq!(rls.updates(), 200);
+        assert!((rls.predict(&[1.0, 1.0, 1.0]) - (-0.5)).abs() < 1e-2);
+    }
+
+    #[test]
+    fn prediction_error_decreases_over_time() {
+        let mut rls = RecursiveLeastSquares::new(2, 1.0, 1e3);
+        let mut early = 0.0;
+        let mut late = 0.0;
+        for i in 0..100 {
+            let x = [(i as f64 * 0.3).sin(), 1.0];
+            let y = 4.0 * x[0] - 1.0;
+            let e = rls.update(&x, y).abs();
+            if i < 5 {
+                early += e;
+            } else if i >= 95 {
+                late += e;
+            }
+        }
+        assert!(late < early, "late error {late} should be below early error {early}");
+        assert!(late < 1e-3);
+    }
+
+    #[test]
+    fn forgetting_factor_tracks_a_changing_relationship() {
+        // The relationship switches from y = x to y = -x halfway through;
+        // with forgetting (λ < 1) the estimator must converge to the new one.
+        let mut rls = RecursiveLeastSquares::new(1, 0.9, 1e3);
+        for i in 0..400 {
+            let x = [((i % 17) as f64 - 8.0) / 8.0];
+            let y = if i < 200 { x[0] } else { -x[0] };
+            rls.update(&x, y);
+        }
+        assert!((rls.weights()[0] + 1.0).abs() < 1e-3, "w = {}", rls.weights()[0]);
+    }
+
+    #[test]
+    fn dimension_is_validated() {
+        let mut rls = RecursiveLeastSquares::new(2, 1.0, 100.0);
+        assert_eq!(rls.dim(), 2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rls.update(&[1.0], 1.0);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn invalid_lambda_panics() {
+        let _ = RecursiveLeastSquares::new(2, 1.5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_panics() {
+        let _ = RecursiveLeastSquares::new(0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn initial_prediction_is_zero() {
+        let rls = RecursiveLeastSquares::new(3, 1.0, 10.0);
+        assert_eq!(rls.predict(&[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(rls.weights(), &[0.0, 0.0, 0.0]);
+    }
+}

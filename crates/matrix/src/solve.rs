@@ -1,0 +1,178 @@
+//! Linear-system and least-squares solvers.
+//!
+//! Gaussian elimination with partial pivoting is sufficient for the small
+//! systems the baselines need (fitting AR(p) models with p ≈ 6, normal
+//! equations over a handful of reference streams).
+
+use crate::dense::Matrix;
+
+/// Solves the square system `A x = b` by Gaussian elimination with partial
+/// pivoting.  Returns `None` if the matrix is (numerically) singular.
+///
+/// # Panics
+/// Panics if `A` is not square or `b.len() != A.rows()`.
+pub fn solve_linear_system(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(a.rows(), a.cols(), "solve_linear_system: matrix must be square");
+    assert_eq!(b.len(), a.rows(), "solve_linear_system: rhs length mismatch");
+    let n = a.rows();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+
+    // Build the augmented matrix [A | b].
+    let mut aug = vec![vec![0.0; n + 1]; n];
+    for i in 0..n {
+        for j in 0..n {
+            aug[i][j] = a[(i, j)];
+        }
+        aug[i][n] = b[i];
+    }
+
+    for col in 0..n {
+        // Partial pivoting: pick the row with the largest absolute pivot.
+        let mut pivot_row = col;
+        let mut pivot_val = aug[col][col].abs();
+        for row in (col + 1)..n {
+            if aug[row][col].abs() > pivot_val {
+                pivot_val = aug[row][col].abs();
+                pivot_row = row;
+            }
+        }
+        if pivot_val < 1e-12 {
+            return None;
+        }
+        aug.swap(col, pivot_row);
+
+        // Eliminate below the pivot.
+        for row in (col + 1)..n {
+            let factor = aug[row][col] / aug[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..=n {
+                aug[row][k] -= factor * aug[col][k];
+            }
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = aug[i][n];
+        for j in (i + 1)..n {
+            sum -= aug[i][j] * x[j];
+        }
+        x[i] = sum / aug[i][i];
+    }
+    Some(x)
+}
+
+/// Solves the (possibly over-determined) least-squares problem
+/// `min_x ||A x - b||_2` via the regularised normal equations
+/// `(AᵀA + λI) x = Aᵀ b`.
+///
+/// A tiny ridge term `lambda` keeps the system well conditioned when columns
+/// of `A` are collinear — exactly what happens when several reference streams
+/// are nearly identical.
+///
+/// # Panics
+/// Panics if `b.len() != A.rows()`.
+pub fn solve_least_squares(a: &Matrix, b: &[f64], lambda: f64) -> Option<Vec<f64>> {
+    assert_eq!(b.len(), a.rows(), "solve_least_squares: rhs length mismatch");
+    let at = a.transpose();
+    let mut ata = at.mat_mul(a);
+    for i in 0..ata.rows() {
+        ata[(i, i)] += lambda;
+    }
+    let atb = at.mat_vec(b);
+    solve_linear_system(&ata, &atb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_simple_system() {
+        // x + y = 3, x - y = 1 -> x = 2, y = 1
+        let a = Matrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, -1.0]);
+        let x = solve_linear_system(&a, &[3.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_system_requiring_pivoting() {
+        // First pivot is zero; naive elimination would fail.
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = solve_linear_system(&a, &[5.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 5.0]);
+    }
+
+    #[test]
+    fn singular_system_returns_none() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(solve_linear_system(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn empty_system_is_trivial() {
+        let a = Matrix::zeros(0, 0);
+        assert_eq!(solve_linear_system(&a, &[]), Some(vec![]));
+    }
+
+    #[test]
+    fn three_by_three_system() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ]);
+        let x = solve_linear_system(&a, &[8.0, -11.0, -3.0]).unwrap();
+        // Known solution: x = 2, y = 3, z = -1
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+        assert!((x[2] + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_solution() {
+        // Overdetermined but consistent system: y = 2x + 1 sampled at 4 points.
+        let a = Matrix::from_rows(&[
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, 1.0],
+            vec![3.0, 1.0],
+        ]);
+        let b = vec![1.0, 3.0, 5.0, 7.0];
+        let x = solve_least_squares(&a, &b, 0.0).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_with_noise_is_close() {
+        let a = Matrix::from_rows(&[
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, 1.0],
+            vec![3.0, 1.0],
+            vec![4.0, 1.0],
+        ]);
+        let b = vec![1.05, 2.95, 5.02, 6.98, 9.01];
+        let x = solve_least_squares(&a, &b, 1e-9).unwrap();
+        assert!((x[0] - 2.0).abs() < 0.05);
+        assert!((x[1] - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn ridge_regularisation_handles_collinear_columns() {
+        // Two identical columns: the unregularised normal equations are singular.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
+        let b = vec![2.0, 4.0, 6.0];
+        assert!(solve_least_squares(&a, &b, 0.0).is_none());
+        let x = solve_least_squares(&a, &b, 1e-6).unwrap();
+        // Any split with x0 + x1 ≈ 2 is acceptable; the ridge picks the symmetric one.
+        assert!((x[0] + x[1] - 2.0).abs() < 1e-3);
+    }
+}

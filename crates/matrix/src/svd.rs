@@ -1,0 +1,243 @@
+//! Singular value decomposition via one-sided Jacobi rotations.
+//!
+//! The REBOM/SVD-based recovery baseline (Khayati et al., discussed in the
+//! related-work section of the TKCM paper) repeatedly decomposes the matrix
+//! of co-evolving time series, truncates the least significant singular
+//! values and reconstructs the matrix.  The matrices involved are tall and
+//! skinny (`L` rows — window length — by a handful of series), which is the
+//! sweet spot of the one-sided Jacobi algorithm: it orthogonalises the
+//! columns of `A` directly and is numerically robust without any fancy
+//! bidiagonalisation.
+
+use crate::dense::Matrix;
+use crate::vector_ops::{dot, norm2};
+
+/// A (thin) singular value decomposition `A = U Σ Vᵀ`.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// Left singular vectors, `rows × k` (columns are orthonormal).
+    pub u: Matrix,
+    /// Singular values in non-increasing order, length `k = min(rows, cols)`.
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors, `cols × k` (columns are orthonormal).
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Reconstructs the matrix keeping only the `rank` largest singular
+    /// values (`rank` is clamped to the available number).
+    pub fn reconstruct(&self, rank: usize) -> Matrix {
+        let rows = self.u.rows();
+        let cols = self.v.rows();
+        let k = rank.min(self.singular_values.len());
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..k {
+            let sigma = self.singular_values[r];
+            if sigma == 0.0 {
+                continue;
+            }
+            let u_col = self.u.col(r);
+            let v_col = self.v.col(r);
+            for i in 0..rows {
+                let ui = u_col[i] * sigma;
+                if ui == 0.0 {
+                    continue;
+                }
+                for j in 0..cols {
+                    out[(i, j)] += ui * v_col[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of singular values above `tol * max_singular_value`.
+    pub fn effective_rank(&self, tol: f64) -> usize {
+        let max = self.singular_values.first().copied().unwrap_or(0.0);
+        if max == 0.0 {
+            return 0;
+        }
+        self.singular_values
+            .iter()
+            .filter(|&&s| s > tol * max)
+            .count()
+    }
+}
+
+/// Computes the thin SVD of `a` using the one-sided Jacobi method.
+///
+/// `max_sweeps` bounds the number of full sweeps over all column pairs; 30 is
+/// far more than needed for the well-conditioned matrices in this workload.
+pub fn truncated_svd(a: &Matrix, max_sweeps: usize) -> Svd {
+    let rows = a.rows();
+    let cols = a.cols();
+    let k = rows.min(cols);
+
+    // Work on a copy whose columns will be rotated into U * Σ.
+    // For wide matrices, decompose the transpose and swap U/V at the end.
+    if cols > rows {
+        let svd_t = truncated_svd(&a.transpose(), max_sweeps);
+        return Svd {
+            u: svd_t.v,
+            singular_values: svd_t.singular_values,
+            v: svd_t.u,
+        };
+    }
+
+    let mut work = a.clone();
+    let mut v = Matrix::identity(cols);
+    let eps = 1e-12;
+
+    for _sweep in 0..max_sweeps {
+        let mut off_diagonal = 0.0_f64;
+        for p in 0..cols {
+            for q in (p + 1)..cols {
+                let col_p = work.col(p);
+                let col_q = work.col(q);
+                let alpha = dot(&col_p, &col_p);
+                let beta = dot(&col_q, &col_q);
+                let gamma = dot(&col_p, &col_q);
+                if alpha * beta == 0.0 {
+                    continue;
+                }
+                off_diagonal = off_diagonal.max(gamma.abs() / (alpha * beta).sqrt());
+                if gamma.abs() <= eps * (alpha * beta).sqrt() {
+                    continue;
+                }
+                // Jacobi rotation that zeroes the (p,q) entry of AᵀA.
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..rows {
+                    let wp = work[(i, p)];
+                    let wq = work[(i, q)];
+                    work[(i, p)] = c * wp - s * wq;
+                    work[(i, q)] = s * wp + c * wq;
+                }
+                for i in 0..cols {
+                    let vp = v[(i, p)];
+                    let vq = v[(i, q)];
+                    v[(i, p)] = c * vp - s * vq;
+                    v[(i, q)] = s * vp + c * vq;
+                }
+            }
+        }
+        if off_diagonal < eps {
+            break;
+        }
+    }
+
+    // Singular values are the column norms of the rotated matrix; U's columns
+    // are the normalised columns.
+    let mut order: Vec<usize> = (0..cols).collect();
+    let norms: Vec<f64> = (0..cols).map(|j| norm2(&work.col(j))).collect();
+    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut u = Matrix::zeros(rows, k);
+    let mut v_sorted = Matrix::zeros(cols, k);
+    let mut singular_values = Vec::with_capacity(k);
+    for (new_idx, &old_idx) in order.iter().take(k).enumerate() {
+        let sigma = norms[old_idx];
+        singular_values.push(sigma);
+        let col = work.col(old_idx);
+        for i in 0..rows {
+            u[(i, new_idx)] = if sigma > eps { col[i] / sigma } else { 0.0 };
+        }
+        let v_col = v.col(old_idx);
+        for i in 0..cols {
+            v_sorted[(i, new_idx)] = v_col[i];
+        }
+    }
+
+    Svd {
+        u,
+        singular_values,
+        v: v_sorted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+        a.rows() == b.rows() && a.cols() == b.cols() && a.sub(b).max_abs() < tol
+    }
+
+    #[test]
+    fn svd_of_diagonal_matrix() {
+        let a = Matrix::from_vec(3, 3, vec![3.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 1.0]);
+        let svd = truncated_svd(&a, 30);
+        assert!((svd.singular_values[0] - 3.0).abs() < 1e-10);
+        assert!((svd.singular_values[1] - 2.0).abs() < 1e-10);
+        assert!((svd.singular_values[2] - 1.0).abs() < 1e-10);
+        assert!(approx_eq(&svd.reconstruct(3), &a, 1e-9));
+    }
+
+    #[test]
+    fn full_reconstruction_matches_original() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+            vec![7.0, 8.0],
+        ]);
+        let svd = truncated_svd(&a, 30);
+        assert!(approx_eq(&svd.reconstruct(2), &a, 1e-9));
+        // Singular vectors are orthonormal.
+        let utu = svd.u.transpose().mat_mul(&svd.u);
+        assert!(approx_eq(&utu, &Matrix::identity(2), 1e-9));
+        let vtv = svd.v.transpose().mat_mul(&svd.v);
+        assert!(approx_eq(&vtv, &Matrix::identity(2), 1e-9));
+    }
+
+    #[test]
+    fn rank_one_matrix_has_single_singular_value() {
+        let a = Matrix::outer(&[1.0, 2.0, 3.0], &[4.0, 5.0]);
+        let svd = truncated_svd(&a, 30);
+        assert!(svd.singular_values[0] > 1.0);
+        assert!(svd.singular_values[1].abs() < 1e-9);
+        assert_eq!(svd.effective_rank(1e-6), 1);
+        assert!(approx_eq(&svd.reconstruct(1), &a, 1e-9));
+    }
+
+    #[test]
+    fn truncated_reconstruction_drops_small_components() {
+        // Rank-2 matrix with one dominant component.
+        let big = Matrix::outer(&[1.0, 1.0, 1.0, 1.0], &[10.0, 10.0, 10.0]);
+        let small = Matrix::outer(&[1.0, -1.0, 1.0, -1.0], &[0.1, -0.1, 0.1]);
+        let a = big.add(&small);
+        let svd = truncated_svd(&a, 30);
+        let rank1 = svd.reconstruct(1);
+        // Rank-1 reconstruction is close to the dominant part.
+        assert!(approx_eq(&rank1, &big, 0.3));
+    }
+
+    #[test]
+    fn wide_matrix_is_handled_via_transpose() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0, 2.0, 0.0], vec![0.0, 3.0, 0.0, 4.0]]);
+        let svd = truncated_svd(&a, 30);
+        assert_eq!(svd.u.rows(), 2);
+        assert_eq!(svd.v.rows(), 4);
+        assert_eq!(svd.singular_values.len(), 2);
+        assert!(approx_eq(&svd.reconstruct(2), &a, 1e-9));
+    }
+
+    #[test]
+    fn zero_matrix_has_zero_rank() {
+        let a = Matrix::zeros(4, 3);
+        let svd = truncated_svd(&a, 10);
+        assert_eq!(svd.effective_rank(1e-9), 0);
+        assert!(approx_eq(&svd.reconstruct(3), &a, 1e-12));
+    }
+
+    #[test]
+    fn singular_values_match_known_example() {
+        // A = [[3, 0], [4, 5]] has singular values sqrt(45) and sqrt(5).
+        let a = Matrix::from_vec(2, 2, vec![3.0, 0.0, 4.0, 5.0]);
+        let svd = truncated_svd(&a, 50);
+        assert!((svd.singular_values[0] - 45.0_f64.sqrt()).abs() < 1e-9);
+        assert!((svd.singular_values[1] - 5.0_f64.sqrt()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,111 @@
+//! Elementary dense-vector kernels shared by the decompositions and trackers.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm of a slice.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Scales a vector in place by `factor`.
+pub fn scale(a: &mut [f64], factor: f64) {
+    for x in a.iter_mut() {
+        *x *= factor;
+    }
+}
+
+/// Normalises a vector in place to unit L2 norm.
+///
+/// A zero vector is left untouched and `false` is returned.
+pub fn normalize(a: &mut [f64]) -> bool {
+    let n = norm2(a);
+    if n == 0.0 || !n.is_finite() {
+        return false;
+    }
+    scale(a, 1.0 / n);
+    true
+}
+
+/// Returns `a - b` as a new vector.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn subtract(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "subtract: length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
+}
+
+/// `y += alpha * x` (the BLAS `axpy` kernel).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Removes from `v` its projection onto the (unit-norm) direction `w`:
+/// `v -= (v · w) w`.  Used for Gram–Schmidt style deflation in the online
+/// PCA tracker.
+pub fn deflate(v: &mut [f64], w: &[f64]) {
+    let proj = dot(v, w);
+    axpy(-proj, w, v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn scale_and_normalize() {
+        let mut v = vec![3.0, 4.0];
+        scale(&mut v, 2.0);
+        assert_eq!(v, vec![6.0, 8.0]);
+        assert!(normalize(&mut v));
+        assert!((norm2(&v) - 1.0).abs() < 1e-12);
+        let mut zero = vec![0.0, 0.0];
+        assert!(!normalize(&mut zero));
+        assert_eq!(zero, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn subtract_and_axpy() {
+        assert_eq!(subtract(&[5.0, 5.0], &[2.0, 3.0]), vec![3.0, 2.0]);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn deflate_removes_component() {
+        let w = vec![1.0, 0.0];
+        let mut v = vec![3.0, 4.0];
+        deflate(&mut v, &w);
+        assert_eq!(v, vec![0.0, 4.0]);
+        // Deflating again is a no-op.
+        deflate(&mut v, &w);
+        assert_eq!(v, vec![0.0, 4.0]);
+    }
+}

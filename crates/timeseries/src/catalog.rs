@@ -1,0 +1,300 @@
+//! Catalog of series and candidate reference series.
+//!
+//! Section 3 of the paper: for each series `s` there is an *ordered sequence*
+//! of candidate reference time series, identified by domain experts and
+//! ranked by how suitable they are for imputing `s`.  At imputation time the
+//! reference set `R_s` consists of the first `d` candidates whose current
+//! value is not missing (Example 1: at 14:20 `R_s = {r1, r2}`, but at 13:40
+//! it was `{r1, r3}` because `r2` was missing then).
+//!
+//! The [`Catalog`] stores these rankings and performs the per-tick selection.
+//! It can also *derive* rankings automatically from historical data by
+//! ranking candidates by absolute Pearson correlation — the paper lists this
+//! automation as future work, and it is what we use for the synthetic
+//! datasets where no domain expert exists.
+
+use std::collections::BTreeMap;
+
+use crate::errors::TsError;
+use crate::series::SeriesId;
+use crate::stats::pearson_observed;
+
+/// Result of selecting the reference set `R_s` for one series at one tick.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReferenceSelection {
+    /// The incomplete series the selection is for.
+    pub target: SeriesId,
+    /// The selected reference series, at most `d`, in ranking order.
+    pub references: Vec<SeriesId>,
+    /// Candidates that were skipped because their current value is missing.
+    pub skipped: Vec<SeriesId>,
+}
+
+impl ReferenceSelection {
+    /// Whether the requested number of references could be selected.
+    pub fn is_complete(&self, d: usize) -> bool {
+        self.references.len() == d
+    }
+}
+
+/// Per-series ordered candidate reference lists.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    /// `candidates[s]` is the ranked candidate list for series `s`.
+    candidates: BTreeMap<SeriesId, Vec<SeriesId>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Sets the ranked candidate list for a series (earlier = better).
+    ///
+    /// Returns an error if the list contains the series itself or duplicates.
+    pub fn set_candidates(
+        &mut self,
+        series: SeriesId,
+        ranked: Vec<SeriesId>,
+    ) -> Result<(), TsError> {
+        if ranked.contains(&series) {
+            return Err(TsError::invalid(
+                "candidates",
+                format!("series {series} cannot reference itself"),
+            ));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for id in &ranked {
+            if !seen.insert(*id) {
+                return Err(TsError::invalid(
+                    "candidates",
+                    format!("duplicate candidate {id} for series {series}"),
+                ));
+            }
+        }
+        self.candidates.insert(series, ranked);
+        Ok(())
+    }
+
+    /// The ranked candidate list of a series (empty if none registered).
+    pub fn candidates(&self, series: SeriesId) -> &[SeriesId] {
+        self.candidates
+            .get(&series)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Number of series with a registered candidate list.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether no candidate list is registered.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// Selects the reference set `R_s`: the first `d` candidates of `series`
+    /// that are *alive* according to `is_alive` (typically: their value at
+    /// the current time `t_n` is not missing).
+    pub fn select_references(
+        &self,
+        series: SeriesId,
+        d: usize,
+        mut is_alive: impl FnMut(SeriesId) -> bool,
+    ) -> ReferenceSelection {
+        let mut references = Vec::with_capacity(d);
+        let mut skipped = Vec::new();
+        for &cand in self.candidates(series) {
+            if references.len() == d {
+                break;
+            }
+            if is_alive(cand) {
+                references.push(cand);
+            } else {
+                skipped.push(cand);
+            }
+        }
+        ReferenceSelection {
+            target: series,
+            references,
+            skipped,
+        }
+    }
+
+    /// Builds a catalog automatically by ranking, for every series, all other
+    /// series by decreasing absolute Pearson correlation over the provided
+    /// historical values.
+    ///
+    /// `history[i]` must contain the (possibly missing) values of the series
+    /// with dense id `i`; all series must have equal length.
+    pub fn from_correlation(history: &[Vec<Option<f64>>]) -> Result<Catalog, TsError> {
+        let n = history.len();
+        if n == 0 {
+            return Ok(Catalog::new());
+        }
+        let len = history[0].len();
+        for (i, h) in history.iter().enumerate() {
+            if h.len() != len {
+                return Err(TsError::LengthMismatch {
+                    left: len,
+                    right: h.len(),
+                    context: "catalog correlation history",
+                });
+            }
+            let _ = i;
+        }
+        let mut catalog = Catalog::new();
+        for s in 0..n {
+            let mut scored: Vec<(SeriesId, f64)> = Vec::with_capacity(n - 1);
+            for r in 0..n {
+                if r == s {
+                    continue;
+                }
+                let rho = pearson_observed(&history[s], &history[r])?;
+                scored.push((SeriesId::from(r), rho.abs()));
+            }
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            catalog
+                .set_candidates(SeriesId::from(s), scored.into_iter().map(|(id, _)| id).collect())?;
+        }
+        Ok(catalog)
+    }
+
+    /// Builds a "ring" catalog where each series uses its neighbours (by
+    /// dense id, wrapping around) as candidates: `s+1, s-1, s+2, s-2, ...`.
+    ///
+    /// This mirrors the meteorological intuition of the paper (nearby weather
+    /// stations are the best references) and is a useful default when the
+    /// dataset generator places similar series at adjacent ids.
+    pub fn ring_neighbours(width: usize) -> Catalog {
+        let mut catalog = Catalog::new();
+        for s in 0..width {
+            let mut ranked = Vec::with_capacity(width.saturating_sub(1));
+            for step in 1..width {
+                let fwd = (s + step) % width;
+                if fwd != s && !ranked.contains(&SeriesId::from(fwd)) {
+                    ranked.push(SeriesId::from(fwd));
+                }
+                let back = (s + width - step % width) % width;
+                if back != s && !ranked.contains(&SeriesId::from(back)) {
+                    ranked.push(SeriesId::from(back));
+                }
+                if ranked.len() >= width - 1 {
+                    break;
+                }
+            }
+            catalog
+                .set_candidates(SeriesId::from(s), ranked)
+                .expect("ring neighbours are valid");
+        }
+        catalog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get_candidates() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        c.set_candidates(SeriesId(0), vec![SeriesId(1), SeriesId(2)]).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.candidates(SeriesId(0)), &[SeriesId(1), SeriesId(2)]);
+        assert!(c.candidates(SeriesId(9)).is_empty());
+    }
+
+    #[test]
+    fn self_reference_and_duplicates_rejected() {
+        let mut c = Catalog::new();
+        assert!(c.set_candidates(SeriesId(0), vec![SeriesId(0)]).is_err());
+        assert!(c
+            .set_candidates(SeriesId(0), vec![SeriesId(1), SeriesId(1)])
+            .is_err());
+    }
+
+    #[test]
+    fn selection_skips_dead_candidates_like_example_1() {
+        // Candidates of s are <r1, r2, r3>. With d = 2:
+        //  - if all alive: {r1, r2}
+        //  - if r2 is missing at t_n: {r1, r3} (the 13:40 case of Example 1)
+        let mut c = Catalog::new();
+        c.set_candidates(SeriesId(0), vec![SeriesId(1), SeriesId(2), SeriesId(3)])
+            .unwrap();
+
+        let all = c.select_references(SeriesId(0), 2, |_| true);
+        assert_eq!(all.references, vec![SeriesId(1), SeriesId(2)]);
+        assert!(all.skipped.is_empty());
+        assert!(all.is_complete(2));
+
+        let r2_dead = c.select_references(SeriesId(0), 2, |id| id != SeriesId(2));
+        assert_eq!(r2_dead.references, vec![SeriesId(1), SeriesId(3)]);
+        assert_eq!(r2_dead.skipped, vec![SeriesId(2)]);
+
+        let only_one = c.select_references(SeriesId(0), 2, |id| id == SeriesId(3));
+        assert_eq!(only_one.references, vec![SeriesId(3)]);
+        assert!(!only_one.is_complete(2));
+    }
+
+    #[test]
+    fn selection_for_unregistered_series_is_empty() {
+        let c = Catalog::new();
+        let sel = c.select_references(SeriesId(5), 3, |_| true);
+        assert!(sel.references.is_empty());
+        assert_eq!(sel.target, SeriesId(5));
+    }
+
+    #[test]
+    fn correlation_catalog_ranks_by_absolute_pearson() {
+        // Series 0: base; series 1: strongly correlated; series 2: anti-correlated
+        // (|rho| = 1 as well but computed later, stable order keeps 1 first);
+        // series 3: uncorrelated noise-ish.
+        let base: Vec<Option<f64>> = (0..50).map(|i| Some((i as f64 * 0.3).sin())).collect();
+        let strong: Vec<Option<f64>> = base.iter().map(|v| v.map(|x| 2.0 * x + 1.0)).collect();
+        let anti: Vec<Option<f64>> = base.iter().map(|v| v.map(|x| -x)).collect();
+        let shifted: Vec<Option<f64>> = (0..50)
+            .map(|i| Some(((i as f64 - 5.0) * 0.3).sin()))
+            .collect();
+        let catalog =
+            Catalog::from_correlation(&[base, strong, anti, shifted]).unwrap();
+        let cands = catalog.candidates(SeriesId(0));
+        assert_eq!(cands.len(), 3);
+        // The shifted series must rank last for series 0.
+        assert_eq!(*cands.last().unwrap(), SeriesId(3));
+    }
+
+    #[test]
+    fn correlation_catalog_validates_lengths() {
+        let err = Catalog::from_correlation(&[vec![Some(1.0)], vec![Some(1.0), Some(2.0)]]);
+        assert!(err.is_err());
+        let empty = Catalog::from_correlation(&[]).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn ring_neighbours_prefer_close_ids() {
+        let c = Catalog::ring_neighbours(5);
+        assert_eq!(c.len(), 5);
+        let cands = c.candidates(SeriesId(0));
+        assert_eq!(cands.len(), 4);
+        // Nearest neighbours (1 and 4) come before the farther ones.
+        assert_eq!(cands[0], SeriesId(1));
+        assert_eq!(cands[1], SeriesId(4));
+        // No self references, no duplicates.
+        assert!(!cands.contains(&SeriesId(0)));
+        let unique: std::collections::BTreeSet<_> = cands.iter().collect();
+        assert_eq!(unique.len(), cands.len());
+    }
+
+    #[test]
+    fn ring_neighbours_small_widths() {
+        let c = Catalog::ring_neighbours(2);
+        assert_eq!(c.candidates(SeriesId(0)), &[SeriesId(1)]);
+        assert_eq!(c.candidates(SeriesId(1)), &[SeriesId(0)]);
+        let single = Catalog::ring_neighbours(1);
+        assert!(single.candidates(SeriesId(0)).is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! # tkcm-timeseries
+//!
+//! Time-series stream substrate used by the TKCM imputation engine and all
+//! baseline algorithms.
+//!
+//! The crate models the setting of Section 3 of the paper *Continuous
+//! Imputation of Missing Values in Streams of Pattern-Determining Time
+//! Series* (EDBT 2017):
+//!
+//! * a set `S = {s1, s2, ...}` of **streaming time series** reporting values
+//!   at discrete time points `..., t_{n-2}, t_{n-1}, t_n`,
+//! * a value may be **missing** (`NIL` in the paper, [`None`] here),
+//! * a **streaming window** `W` keeps the last `L` measurements of every
+//!   series in main memory, implemented as ring buffers with O(1) advance
+//!   (Lemma 6.1),
+//! * every series has an ordered list of **candidate reference series**; the
+//!   first `d` candidates that are alive at the current time are the
+//!   reference set `R_s` used for imputation.
+//!
+//! The crate is self-contained (no external dependencies) and is shared by
+//! the TKCM core (`tkcm-core`), the baselines (`tkcm-baselines`), the dataset
+//! generators (`tkcm-datasets`) and the experiment harness (`tkcm-eval`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod errors;
+pub mod missing;
+pub mod ring_buffer;
+pub mod series;
+pub mod stats;
+pub mod stream;
+pub mod timestamp;
+pub mod window;
+
+pub use catalog::{Catalog, ReferenceSelection};
+pub use errors::TsError;
+pub use missing::{GapReport, MissingMask};
+pub use ring_buffer::RingBuffer;
+pub use series::{SeriesId, TimeSeries};
+pub use stats::{mean, pearson, population_std, population_variance, Summary};
+pub use stream::{SliceStream, StreamSource, StreamTick};
+pub use timestamp::{SampleInterval, Timestamp};
+pub use window::{SlotState, StreamingWindow, WindowSlot};

@@ -1,0 +1,356 @@
+//! The streaming window `W`: the last `L` measurements of every series.
+//!
+//! Section 3 of the paper: "`W = {t_{n-L+1}, ..., t_{n-1}, t_n}` denotes the
+//! `L` time points in our streaming window for which we keep measurements in
+//! main memory."  The window is shared state between the stream replayer and
+//! the imputation algorithms: every tick pushes one value per series (O(1)
+//! per stream, Lemma 6.1) and imputed values are written back so that later
+//! imputations can use them (as in Example 1, where `r2(13:40)` is an
+//! imputed value that later appears inside patterns).
+
+use crate::errors::TsError;
+use crate::ring_buffer::RingBuffer;
+use crate::series::SeriesId;
+use crate::stream::StreamTick;
+use crate::timestamp::Timestamp;
+
+/// Provenance of a value stored in the window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotState {
+    /// The sensor reported the value.
+    Observed,
+    /// The value was missing and has been imputed by an algorithm.
+    Imputed,
+    /// The value is missing and has not been imputed (NIL).
+    Missing,
+}
+
+/// A single slot of the window: the (possibly absent) value plus provenance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowSlot {
+    /// The stored value, `None` when missing.
+    pub value: Option<f64>,
+    /// Whether the value was observed, imputed or is still missing.
+    pub state: SlotState,
+}
+
+impl WindowSlot {
+    fn missing() -> Self {
+        WindowSlot {
+            value: None,
+            state: SlotState::Missing,
+        }
+    }
+}
+
+/// Sliding window over a fixed set of series, backed by one ring buffer per
+/// series plus a parallel provenance buffer.
+#[derive(Clone, Debug)]
+pub struct StreamingWindow {
+    length: usize,
+    buffers: Vec<RingBuffer>,
+    /// Per-series provenance ring (same indexing as the value buffers):
+    /// `states[series][age]` where age 0 = newest.
+    states: Vec<Vec<SlotState>>,
+    /// Raw cursor into `states`, mirroring the ring-buffer offset.
+    state_offset: usize,
+    current_time: Option<Timestamp>,
+    ticks_seen: usize,
+}
+
+impl StreamingWindow {
+    /// Creates a window of length `L` over `width` series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length == 0` or `width == 0`.
+    pub fn new(width: usize, length: usize) -> Self {
+        assert!(length > 0, "window length L must be positive");
+        assert!(width > 0, "window needs at least one series");
+        StreamingWindow {
+            length,
+            buffers: (0..width).map(|_| RingBuffer::new(length)).collect(),
+            states: (0..width).map(|_| vec![SlotState::Missing; length]).collect(),
+            state_offset: length - 1,
+            current_time: None,
+            ticks_seen: 0,
+        }
+    }
+
+    /// The window length `L`.
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// Number of series tracked by the window.
+    pub fn width(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// The current time `t_n` (time of the most recent tick), if any tick has
+    /// been pushed.
+    pub fn current_time(&self) -> Option<Timestamp> {
+        self.current_time
+    }
+
+    /// Number of ticks pushed so far (not capped at `L`).
+    pub fn ticks_seen(&self) -> usize {
+        self.ticks_seen
+    }
+
+    /// Whether at least `L` ticks have been pushed, i.e. the window is fully
+    /// populated.
+    pub fn is_warm(&self) -> bool {
+        self.ticks_seen >= self.length
+    }
+
+    /// Pushes a new tick into the window (O(width), O(1) per series).
+    ///
+    /// Returns an error if the tick width does not match the window width or
+    /// if time does not advance strictly.
+    pub fn push_tick(&mut self, tick: &StreamTick) -> Result<(), TsError> {
+        if tick.values.len() != self.buffers.len() {
+            return Err(TsError::LengthMismatch {
+                left: tick.values.len(),
+                right: self.buffers.len(),
+                context: "stream tick width vs window width",
+            });
+        }
+        if let Some(t) = self.current_time {
+            if tick.time <= t {
+                return Err(TsError::invalid(
+                    "tick.time",
+                    format!("time must advance strictly: current {t}, got {}", tick.time),
+                ));
+            }
+        }
+        self.state_offset = (self.state_offset + 1) % self.length;
+        for (i, v) in tick.values.iter().enumerate() {
+            self.buffers[i].push(*v);
+            self.states[i][self.state_offset] = if v.is_some() {
+                SlotState::Observed
+            } else {
+                SlotState::Missing
+            };
+        }
+        self.current_time = Some(tick.time);
+        self.ticks_seen += 1;
+        Ok(())
+    }
+
+    /// Access to the ring buffer of a series (read-only).
+    pub fn buffer(&self, id: SeriesId) -> Result<&RingBuffer, TsError> {
+        self.buffers
+            .get(id.index())
+            .ok_or(TsError::UnknownSeries(id))
+    }
+
+    /// Value of `id` at `age` steps in the past (0 = current time `t_n`).
+    pub fn value_recent(&self, id: SeriesId, age: usize) -> Result<Option<f64>, TsError> {
+        Ok(self.buffer(id)?.recent(age))
+    }
+
+    /// Value of `id` at an absolute timestamp inside the window.
+    pub fn value_at(&self, id: SeriesId, t: Timestamp) -> Result<Option<f64>, TsError> {
+        let age = self.age_of(t)?;
+        self.value_recent(id, age)
+    }
+
+    /// Slot (value + provenance) of `id` at `age` steps in the past.
+    pub fn slot_recent(&self, id: SeriesId, age: usize) -> Result<WindowSlot, TsError> {
+        let buf = self.buffer(id)?;
+        if age >= buf.len() {
+            return Ok(WindowSlot::missing());
+        }
+        let value = buf.recent(age);
+        let idx = (self.state_offset + self.length - age) % self.length;
+        Ok(WindowSlot {
+            value,
+            state: self.states[id.index()][idx],
+        })
+    }
+
+    /// Writes an imputed value for `id` at `age` steps in the past and marks
+    /// the slot as [`SlotState::Imputed`].
+    ///
+    /// The typical use is `age = 0`: Algorithm 1 stores the imputed value in
+    /// `s[O]` so that subsequent ticks can use it as history.
+    pub fn write_imputed(&mut self, id: SeriesId, age: usize, value: f64) -> Result<(), TsError> {
+        let buf = self
+            .buffers
+            .get_mut(id.index())
+            .ok_or(TsError::UnknownSeries(id))?;
+        if !buf.set_recent(age, Some(value)) {
+            return Err(TsError::invalid(
+                "age",
+                format!("age {age} exceeds the number of pushed ticks"),
+            ));
+        }
+        let idx = (self.state_offset + self.length - age) % self.length;
+        self.states[id.index()][idx] = SlotState::Imputed;
+        Ok(())
+    }
+
+    /// Converts an absolute timestamp into an age (0 = current time).
+    pub fn age_of(&self, t: Timestamp) -> Result<usize, TsError> {
+        let now = self.current_time.ok_or_else(|| {
+            TsError::invalid("window", "no tick has been pushed yet")
+        })?;
+        let delta = now - t;
+        if delta < 0 || delta as usize >= self.length {
+            return Err(TsError::TimeOutOfRange {
+                requested: t,
+                earliest: now - (self.length as i64 - 1),
+                latest: now,
+            });
+        }
+        Ok(delta as usize)
+    }
+
+    /// Converts an age back to the absolute timestamp.
+    pub fn time_of_age(&self, age: usize) -> Option<Timestamp> {
+        self.current_time.map(|t| t - age as i64)
+    }
+
+    /// The chronological (oldest → newest) contents of one series, restricted
+    /// to the slots that have actually been pushed.
+    pub fn series_chronological(&self, id: SeriesId) -> Result<Vec<Option<f64>>, TsError> {
+        Ok(self.buffer(id)?.to_chronological())
+    }
+
+    /// Ids of the series whose current value (`age == 0`) is missing.
+    pub fn currently_missing(&self) -> Vec<SeriesId> {
+        (0..self.width())
+            .map(SeriesId::from)
+            .filter(|id| {
+                self.buffers[id.index()].recent(0).is_none() && self.ticks_seen > 0
+            })
+            .collect()
+    }
+
+    /// Ids of the series whose current value is present (observed or imputed).
+    pub fn currently_present(&self) -> Vec<SeriesId> {
+        (0..self.width())
+            .map(SeriesId::from)
+            .filter(|id| self.buffers[id.index()].recent(0).is_some())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick(t: i64, values: Vec<Option<f64>>) -> StreamTick {
+        StreamTick::new(Timestamp::new(t), values)
+    }
+
+    #[test]
+    fn window_tracks_time_and_warmup() {
+        let mut w = StreamingWindow::new(2, 3);
+        assert_eq!(w.length(), 3);
+        assert_eq!(w.width(), 2);
+        assert_eq!(w.current_time(), None);
+        assert!(!w.is_warm());
+
+        w.push_tick(&tick(0, vec![Some(1.0), Some(10.0)])).unwrap();
+        w.push_tick(&tick(1, vec![Some(2.0), None])).unwrap();
+        w.push_tick(&tick(2, vec![Some(3.0), Some(30.0)])).unwrap();
+        assert!(w.is_warm());
+        assert_eq!(w.ticks_seen(), 3);
+        assert_eq!(w.current_time(), Some(Timestamp::new(2)));
+
+        assert_eq!(w.value_recent(SeriesId(0), 0).unwrap(), Some(3.0));
+        assert_eq!(w.value_recent(SeriesId(0), 2).unwrap(), Some(1.0));
+        assert_eq!(w.value_recent(SeriesId(1), 1).unwrap(), None);
+        assert_eq!(w.value_at(SeriesId(1), Timestamp::new(2)).unwrap(), Some(30.0));
+    }
+
+    #[test]
+    fn push_rejects_wrong_width_and_non_advancing_time() {
+        let mut w = StreamingWindow::new(2, 3);
+        assert!(w.push_tick(&tick(0, vec![Some(1.0)])).is_err());
+        w.push_tick(&tick(5, vec![Some(1.0), Some(2.0)])).unwrap();
+        assert!(w.push_tick(&tick(5, vec![Some(1.0), Some(2.0)])).is_err());
+        assert!(w.push_tick(&tick(4, vec![Some(1.0), Some(2.0)])).is_err());
+        assert!(w.push_tick(&tick(6, vec![Some(1.0), Some(2.0)])).is_ok());
+    }
+
+    #[test]
+    fn window_evicts_old_values() {
+        let mut w = StreamingWindow::new(1, 2);
+        for t in 0..5 {
+            w.push_tick(&tick(t, vec![Some(t as f64)])).unwrap();
+        }
+        assert_eq!(w.value_recent(SeriesId(0), 0).unwrap(), Some(4.0));
+        assert_eq!(w.value_recent(SeriesId(0), 1).unwrap(), Some(3.0));
+        // age 2 is outside the window of length 2
+        assert_eq!(w.value_recent(SeriesId(0), 2).unwrap(), None);
+        assert!(w.value_at(SeriesId(0), Timestamp::new(0)).is_err());
+        assert_eq!(w.series_chronological(SeriesId(0)).unwrap(), vec![Some(3.0), Some(4.0)]);
+    }
+
+    #[test]
+    fn imputed_values_are_written_back_with_provenance() {
+        let mut w = StreamingWindow::new(2, 4);
+        w.push_tick(&tick(0, vec![Some(1.0), Some(10.0)])).unwrap();
+        w.push_tick(&tick(1, vec![None, Some(20.0)])).unwrap();
+
+        assert_eq!(w.currently_missing(), vec![SeriesId(0)]);
+        assert_eq!(w.currently_present(), vec![SeriesId(1)]);
+        assert_eq!(w.slot_recent(SeriesId(0), 0).unwrap().state, SlotState::Missing);
+
+        w.write_imputed(SeriesId(0), 0, 1.5).unwrap();
+        let slot = w.slot_recent(SeriesId(0), 0).unwrap();
+        assert_eq!(slot.value, Some(1.5));
+        assert_eq!(slot.state, SlotState::Imputed);
+        assert!(w.currently_missing().is_empty());
+
+        // Observed slot keeps its provenance.
+        let obs = w.slot_recent(SeriesId(1), 0).unwrap();
+        assert_eq!(obs.state, SlotState::Observed);
+
+        // Provenance survives a further tick (age grows by one).
+        w.push_tick(&tick(2, vec![Some(3.0), Some(30.0)])).unwrap();
+        assert_eq!(w.slot_recent(SeriesId(0), 1).unwrap().state, SlotState::Imputed);
+        assert_eq!(w.slot_recent(SeriesId(0), 0).unwrap().state, SlotState::Observed);
+    }
+
+    #[test]
+    fn write_imputed_rejects_unpushed_ages() {
+        let mut w = StreamingWindow::new(1, 4);
+        w.push_tick(&tick(0, vec![None])).unwrap();
+        assert!(w.write_imputed(SeriesId(0), 2, 1.0).is_err());
+        assert!(w.write_imputed(SeriesId(9), 0, 1.0).is_err());
+    }
+
+    #[test]
+    fn age_and_time_conversions() {
+        let mut w = StreamingWindow::new(1, 5);
+        assert!(w.age_of(Timestamp::new(0)).is_err());
+        for t in 10..15 {
+            w.push_tick(&tick(t, vec![Some(0.0)])).unwrap();
+        }
+        assert_eq!(w.age_of(Timestamp::new(14)).unwrap(), 0);
+        assert_eq!(w.age_of(Timestamp::new(10)).unwrap(), 4);
+        assert!(w.age_of(Timestamp::new(9)).is_err());
+        assert!(w.age_of(Timestamp::new(15)).is_err());
+        assert_eq!(w.time_of_age(2), Some(Timestamp::new(12)));
+    }
+
+    #[test]
+    fn slot_for_unpushed_age_is_missing() {
+        let mut w = StreamingWindow::new(1, 5);
+        w.push_tick(&tick(0, vec![Some(1.0)])).unwrap();
+        let s = w.slot_recent(SeriesId(0), 3).unwrap();
+        assert_eq!(s.state, SlotState::Missing);
+        assert_eq!(s.value, None);
+        assert!(w.slot_recent(SeriesId(7), 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_window_panics() {
+        let _ = StreamingWindow::new(1, 0);
+    }
+}

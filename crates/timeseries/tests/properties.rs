@@ -1,0 +1,87 @@
+//! Property-based tests for the stream substrate invariants.
+
+use proptest::prelude::*;
+
+use tkcm_timeseries::{MissingMask, RingBuffer, SampleInterval, TimeSeries, Timestamp};
+
+proptest! {
+    /// Pushing values into a ring buffer and reading them back in
+    /// chronological order always yields the last `capacity` pushed values.
+    #[test]
+    fn ring_buffer_keeps_the_most_recent_values(
+        values in proptest::collection::vec(proptest::option::of(-1e6f64..1e6), 1..200),
+        capacity in 1usize..32,
+    ) {
+        let mut rb = RingBuffer::new(capacity);
+        for v in &values {
+            rb.push(*v);
+        }
+        let chronological = rb.to_chronological();
+        let expected: Vec<Option<f64>> = values
+            .iter()
+            .rev()
+            .take(capacity)
+            .rev()
+            .copied()
+            .collect();
+        prop_assert_eq!(chronological, expected);
+        prop_assert_eq!(rb.len(), values.len().min(capacity));
+        // recent(0) is the last pushed value.
+        prop_assert_eq!(rb.recent(0), *values.last().unwrap());
+    }
+
+    /// A series' missing mask decomposes it into gaps whose total length is
+    /// the missing count, and every gap is a maximal run.
+    #[test]
+    fn missing_mask_gaps_partition_the_missing_ticks(
+        values in proptest::collection::vec(proptest::option::of(-1e3f64..1e3), 0..120),
+    ) {
+        let series = TimeSeries::new(
+            0u32,
+            "p",
+            Timestamp::new(0),
+            SampleInterval::FIVE_MINUTES,
+            values.clone(),
+        );
+        let mask = MissingMask::of_series(&series);
+        let gaps = mask.gaps();
+        let total: usize = gaps.iter().map(|g| g.length).sum();
+        prop_assert_eq!(total, series.missing_count());
+        for g in &gaps {
+            prop_assert!(g.length > 0);
+            // The tick before and after each gap (if inside the series) is observed.
+            let before = g.start - 1;
+            let after = g.end();
+            if series.index_of(before).is_some() {
+                prop_assert!(series.value_at(before).is_some());
+            }
+            if series.index_of(after).is_some() {
+                prop_assert!(series.value_at(after).is_some());
+            }
+        }
+    }
+
+    /// Shifting a series never invents values: every observed value of the
+    /// shifted copy equals the original value `shift` ticks earlier.
+    #[test]
+    fn shifted_series_is_a_lagged_view(
+        values in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        shift in 0i64..30,
+    ) {
+        let series = TimeSeries::from_values(
+            0u32,
+            "s",
+            Timestamp::new(0),
+            SampleInterval::FIVE_MINUTES,
+            values.clone(),
+        );
+        let shifted = series.shifted(shift);
+        prop_assert_eq!(shifted.len(), series.len());
+        for (t, v) in shifted.iter() {
+            match v {
+                Some(x) => prop_assert_eq!(Some(x), series.value_at(t - shift)),
+                None => prop_assert!(series.index_of(t - shift).is_none()),
+            }
+        }
+    }
+}

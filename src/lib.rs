@@ -1,0 +1,75 @@
+//! # tkcm
+//!
+//! Facade crate of the TKCM workspace: a from-scratch Rust reproduction of
+//! *Continuous Imputation of Missing Values in Streams of Pattern-Determining
+//! Time Series* (Wellenzohn et al., EDBT 2017).
+//!
+//! The workspace is split into focused crates; this crate re-exports their
+//! public APIs so applications can depend on a single crate:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`timeseries`] | `tkcm-timeseries` | series, ring buffers, streaming windows, catalogs |
+//! | [`matrix`] | `tkcm-matrix` | dense linear algebra (SVD, centroid decomposition, RLS, online PCA) |
+//! | [`core`] | `tkcm-core` | the TKCM algorithm: patterns, dissimilarity, DP selection, streaming engine |
+//! | [`baselines`] | `tkcm-baselines` | SPIRIT, MUSCLES, CD, SVD, kNNI, interpolation, LOCF, mean |
+//! | [`datasets`] | `tkcm-datasets` | synthetic SBR / SBR-1d / Flights / Chlorine generators, missing-block injection, CSV |
+//! | [`eval`] | `tkcm-eval` | metrics, scenario harness and one module per figure of the paper |
+//!
+//! ## Example
+//!
+//! ```
+//! use tkcm::core::{TkcmConfig, TkcmEngine};
+//! use tkcm::timeseries::{Catalog, SeriesId, StreamTick, Timestamp};
+//!
+//! let config = TkcmConfig::builder()
+//!     .window_length(64)
+//!     .pattern_length(4)
+//!     .anchor_count(3)
+//!     .reference_count(1)
+//!     .build()
+//!     .unwrap();
+//! let mut engine = TkcmEngine::new(2, config, Catalog::ring_neighbours(2)).unwrap();
+//!
+//! for t in 0..64i64 {
+//!     let value = (t as f64 * 0.3).sin();
+//!     let target = if t == 63 { None } else { Some(value) };
+//!     let tick = StreamTick::new(Timestamp::new(t), vec![target, Some(value * 2.0)]);
+//!     let outcome = engine.process_tick(&tick).unwrap();
+//!     if t == 63 {
+//!         assert!(outcome.imputed_value(SeriesId(0)).unwrap().is_finite());
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The TKCM algorithm (re-export of `tkcm-core`).
+pub use tkcm_core as core;
+
+/// Baseline imputation algorithms (re-export of `tkcm-baselines`).
+pub use tkcm_baselines as baselines;
+
+/// Synthetic dataset generators (re-export of `tkcm-datasets`).
+pub use tkcm_datasets as datasets;
+
+/// Experiment harness (re-export of `tkcm-eval`).
+pub use tkcm_eval as eval;
+
+/// Dense linear-algebra substrate (re-export of `tkcm-matrix`).
+pub use tkcm_matrix as matrix;
+
+/// Time-series stream substrate (re-export of `tkcm-timeseries`).
+pub use tkcm_timeseries as timeseries;
+
+/// Convenience prelude with the most commonly used types.
+pub mod prelude {
+    pub use tkcm_baselines::{BatchImputer, OnlineImputer};
+    pub use tkcm_core::{TkcmConfig, TkcmEngine, TkcmImputer};
+    pub use tkcm_datasets::{ChlorineConfig, Dataset, DatasetKind, FlightsConfig, SbrConfig};
+    pub use tkcm_eval::{run_batch_scenario, run_online_scenario, Scenario, TkcmOnlineAdapter};
+    pub use tkcm_timeseries::{
+        Catalog, SampleInterval, SeriesId, StreamTick, StreamingWindow, TimeSeries, Timestamp,
+    };
+}
