@@ -101,7 +101,11 @@ impl BatchImputer for CdImputer {
         // Step 1: initialise with per-series linear interpolation.
         let mut filled: Vec<Vec<f64>> = data.iter().map(|s| interpolate_series(s)).collect();
         let missing: Vec<(usize, usize)> = (0..n_series)
-            .flat_map(|s| (0..n_ticks).filter(move |&t| data[s][t].is_none()).map(move |t| (s, t)))
+            .flat_map(|s| {
+                (0..n_ticks)
+                    .filter(move |&t| data[s][t].is_none())
+                    .map(move |t| (s, t))
+            })
             .collect();
         if missing.is_empty() {
             return filled;
@@ -117,8 +121,8 @@ impl BatchImputer for CdImputer {
                 }
             }
             let cd = centroid_decomposition(&m, n_series);
-            let rank = *rank
-                .get_or_insert_with(|| self.effective_rank(n_series, &cd.centroid_values));
+            let rank =
+                *rank.get_or_insert_with(|| self.effective_rank(n_series, &cd.centroid_values));
             let reconstructed = cd.reconstruct(rank);
 
             // Update only the missing entries; track the largest change.
@@ -142,7 +146,9 @@ mod tests {
 
     /// Build a linearly correlated family: series i = a_i * base + b_i.
     fn linear_family(len: usize, coeffs: &[(f64, f64)]) -> (Vec<f64>, Vec<Vec<Option<f64>>>) {
-        let base: Vec<f64> = (0..len).map(|t| (t as f64 * 0.17).sin() + 0.3 * (t as f64 * 0.05).cos()).collect();
+        let base: Vec<f64> = (0..len)
+            .map(|t| (t as f64 * 0.17).sin() + 0.3 * (t as f64 * 0.05).cos())
+            .collect();
         let data = coeffs
             .iter()
             .map(|(a, b)| base.iter().map(|x| Some(a * x + b)).collect())
@@ -153,7 +159,8 @@ mod tests {
     #[test]
     fn recovers_block_in_linearly_correlated_series() {
         let len = 300usize;
-        let (base, mut data) = linear_family(len, &[(2.0, 1.0), (1.0, 0.0), (-1.5, 2.0), (0.5, -1.0)]);
+        let (base, mut data) =
+            linear_family(len, &[(2.0, 1.0), (1.0, 0.0), (-1.5, 2.0), (0.5, -1.0)]);
         // Remove a block of 40 ticks from series 0.
         for slot in data[0].iter_mut().skip(200).take(40) {
             *slot = None;

@@ -26,7 +26,10 @@ pub fn interpolate_series(values: &[Option<f64>]) -> Vec<f64> {
             continue;
         }
         // Find the nearest observed neighbours on each side.
-        let prev = observed.partition_point(|&o| o < i).checked_sub(1).map(|p| observed[p]);
+        let prev = observed
+            .partition_point(|&o| o < i)
+            .checked_sub(1)
+            .map(|p| observed[p]);
         let next_pos = observed.partition_point(|&o| o < i);
         let next = observed.get(next_pos).copied();
         out[i] = match (prev, next) {

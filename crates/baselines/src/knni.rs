@@ -97,7 +97,9 @@ impl BatchImputer for KnnImputer {
                 // Candidate neighbours: ticks where the target is observed.
                 let mut neighbours: Vec<(f64, f64)> = Vec::new(); // (distance, value)
                 for c in 0..n_ticks {
-                    let Some(value) = data[target][c] else { continue };
+                    let Some(value) = data[target][c] else {
+                        continue;
+                    };
                     if let Some(dist) = Self::tick_distance(data, target, t, c) {
                         neighbours.push((dist, value));
                     }
@@ -106,7 +108,8 @@ impl BatchImputer for KnnImputer {
                     out[target][t] = fallback;
                     continue;
                 }
-                neighbours.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+                neighbours
+                    .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
                 neighbours.truncate(self.k);
                 out[target][t] = if self.weighted {
                     let mut wsum = 0.0;
@@ -164,10 +167,7 @@ mod tests {
 
     #[test]
     fn falls_back_to_mean_when_no_references_observed() {
-        let data = vec![
-            vec![Some(4.0), Some(6.0), None],
-            vec![None, None, None],
-        ];
+        let data = vec![vec![Some(4.0), Some(6.0), None], vec![None, None, None]];
         let out = KnnImputer::new(3).impute_matrix(&data);
         assert_eq!(out[0][2], 5.0);
         // All-missing reference series is filled with 0 (its own fallback).

@@ -109,9 +109,7 @@ impl OnlineImputer for MusclesImputer {
         let mut current: Vec<f64> = values
             .iter()
             .enumerate()
-            .map(|(i, v)| {
-                v.unwrap_or_else(|| self.history[i].last().copied().unwrap_or(0.0))
-            })
+            .map(|(i, v)| v.unwrap_or_else(|| self.history[i].last().copied().unwrap_or(0.0)))
             .collect();
 
         let mut estimates = Vec::new();
@@ -142,11 +140,11 @@ impl OnlineImputer for MusclesImputer {
             self.models[i].update(&x, current[i]);
         }
         // Update the histories.
-        for i in 0..self.width {
-            self.history[i].push(current[i]);
-            let excess = self.history[i].len().saturating_sub(self.order);
+        for (hist, &v) in self.history.iter_mut().zip(&current) {
+            hist.push(v);
+            let excess = hist.len().saturating_sub(self.order);
             if excess > 0 {
-                self.history[i].drain(..excess);
+                hist.drain(..excess);
             }
         }
         estimates
@@ -208,7 +206,10 @@ mod tests {
         };
         let short = run(3);
         let long = run(100);
-        assert!(long > short, "long-gap error {long} should exceed short-gap error {short}");
+        assert!(
+            long > short,
+            "long-gap error {long} should exceed short-gap error {short}"
+        );
     }
 
     #[test]

@@ -92,10 +92,7 @@ impl SpiritImputer {
                     self.forecasters[h].predict(&self.ar_input(h))
                 } else {
                     // Before the AR models are warm, persist the last value.
-                    self.hidden_history
-                        .last()
-                        .map(|v| v[h])
-                        .unwrap_or(0.0)
+                    self.hidden_history.last().map(|v| v[h]).unwrap_or(0.0)
                 }
             })
             .collect()
@@ -116,10 +113,7 @@ impl OnlineImputer for SpiritImputer {
 
         // Fill missing entries with the reconstruction of the forecast hidden
         // variables.
-        let mut filled: Vec<f64> = values
-            .iter()
-            .map(|v| v.unwrap_or(0.0))
-            .collect();
+        let mut filled: Vec<f64> = values.iter().map(|v| v.unwrap_or(0.0)).collect();
         if any_missing {
             let forecast = self.forecast_hidden();
             let reconstruction = self.pca.reconstruct(&forecast);
@@ -141,9 +135,9 @@ impl OnlineImputer for SpiritImputer {
 
         // Update the AR forecasters with the new hidden values (inputs are
         // the *previous* lags, i.e. before pushing the new value).
-        for h in 0..self.hidden {
-            let x = self.ar_input(h);
-            self.forecasters[h].update(&x, hidden_now[h]);
+        let inputs: Vec<Vec<f64>> = (0..self.hidden).map(|h| self.ar_input(h)).collect();
+        for ((forecaster, x), &h_now) in self.forecasters.iter_mut().zip(&inputs).zip(&hidden_now) {
+            forecaster.update(x, h_now);
         }
         self.hidden_history.push(hidden_now);
         let excess = self.hidden_history.len().saturating_sub(self.order);
@@ -245,7 +239,11 @@ mod tests {
         let mut s = SpiritImputer::new(1);
         for i in 0..50usize {
             let missing = i == 49;
-            let values = vec![if missing { None } else { Some((i as f64 * 0.2).sin()) }];
+            let values = vec![if missing {
+                None
+            } else {
+                Some((i as f64 * 0.2).sin())
+            }];
             let est = s.process_tick(t(i as i64), &values);
             if missing {
                 assert_eq!(est.len(), 1);

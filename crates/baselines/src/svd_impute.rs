@@ -92,7 +92,11 @@ impl BatchImputer for SvdImputer {
 
         let mut filled: Vec<Vec<f64>> = data.iter().map(|s| interpolate_series(s)).collect();
         let missing: Vec<(usize, usize)> = (0..n_series)
-            .flat_map(|s| (0..n_ticks).filter(move |&t| data[s][t].is_none()).map(move |t| (s, t)))
+            .flat_map(|s| {
+                (0..n_ticks)
+                    .filter(move |&t| data[s][t].is_none())
+                    .map(move |t| (s, t))
+            })
             .collect();
         if missing.is_empty() {
             return filled;
@@ -114,8 +118,8 @@ impl BatchImputer for SvdImputer {
                 }
             }
             let svd = truncated_svd(&m, 30);
-            let rank = *rank
-                .get_or_insert_with(|| self.effective_rank(n_series, &svd.singular_values));
+            let rank =
+                *rank.get_or_insert_with(|| self.effective_rank(n_series, &svd.singular_values));
             let reconstructed = svd.reconstruct(rank);
 
             let mut max_change = 0.0_f64;

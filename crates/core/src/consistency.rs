@@ -114,7 +114,9 @@ mod tests {
         for values in cases {
             let mean = values.iter().sum::<f64>() / values.len() as f64;
             let report = ConsistencyReport::new(
-                (0..values.len()).map(|i| Timestamp::new(i as i64)).collect(),
+                (0..values.len())
+                    .map(|i| Timestamp::new(i as i64))
+                    .collect(),
                 values,
                 mean,
             );
@@ -124,8 +126,11 @@ mod tests {
 
     #[test]
     fn inconsistent_when_imputed_value_is_far_from_anchors() {
-        let report =
-            ConsistencyReport::new(vec![Timestamp::new(0), Timestamp::new(5)], vec![1.0, 1.2], 9.0);
+        let report = ConsistencyReport::new(
+            vec![Timestamp::new(0), Timestamp::new(5)],
+            vec![1.0, 1.2],
+            9.0,
+        );
         assert!(!report.is_consistent());
     }
 

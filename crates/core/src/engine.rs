@@ -267,8 +267,12 @@ mod tests {
         // until series 1 recovers... but series 1 has series 0 as candidate,
         // so both get skipped.
         let mut catalog = Catalog::new();
-        catalog.set_candidates(SeriesId(0), vec![SeriesId(1)]).unwrap();
-        catalog.set_candidates(SeriesId(1), vec![SeriesId(0)]).unwrap();
+        catalog
+            .set_candidates(SeriesId(0), vec![SeriesId(1)])
+            .unwrap();
+        catalog
+            .set_candidates(SeriesId(1), vec![SeriesId(0)])
+            .unwrap();
         let config = small_config(64, 2, 2, 1);
         let mut engine = TkcmEngine::new(2, config, catalog).unwrap();
         for t in 0..20usize {
@@ -310,7 +314,11 @@ mod tests {
                 Timestamp::new(t as i64),
                 vec![
                     if s0_missing { None } else { Some(base) },
-                    if s1_missing { None } else { Some(sine(t, 20.0, 4.0)) },
+                    if s1_missing {
+                        None
+                    } else {
+                        Some(sine(t, 20.0, 4.0))
+                    },
                     Some(sine(t, 20.0, 9.0)),
                 ],
             );

@@ -15,7 +15,7 @@
 //! Besides the imputed value, the imputer reports the anchors, their
 //! dissimilarities, the ε of Definition 5 and the phase timing breakdown.
 
-use tkcm_timeseries::{SeriesId, StreamingWindow, Timestamp, TsError};
+use tkcm_timeseries::{SeriesId, SlotState, StreamingWindow, Timestamp, TsError};
 
 use crate::config::{AnchorAggregation, TkcmConfig};
 use crate::consistency::ConsistencyReport;
@@ -32,7 +32,8 @@ pub struct Anchor {
     pub time: Timestamp,
     /// Dissimilarity `δ(P(t_i), P(t_n))`.
     pub dissimilarity: f64,
-    /// Value of the incomplete series `s(t_i)` (observed or previously imputed).
+    /// Value of the incomplete series `s(t_i)`; always an *observed* value —
+    /// previously imputed values are never used as anchor values.
     pub value: f64,
 }
 
@@ -145,12 +146,8 @@ impl TkcmImputer {
 
         // -------- Step 1: pattern extraction --------
         timer.start(Phase::Extraction);
-        let query = extract_query_pattern(
-            window,
-            references,
-            l,
-            self.config.allow_missing_in_patterns,
-        )?;
+        let query =
+            extract_query_pattern(window, references, l, self.config.allow_missing_in_patterns)?;
 
         // Effective window content: we can only look back over the ticks that
         // have actually been pushed.
@@ -169,6 +166,18 @@ impl TkcmImputer {
             dissimilarities = vec![f64::INFINITY; candidate_ages.len()];
             if let Some(ref q) = query {
                 for (idx, &age) in candidate_ages.iter().enumerate() {
+                    // The target value at the anchor must be *observed* to
+                    // contribute to the average of Definition 4. Previously
+                    // imputed values stay usable inside reference patterns
+                    // (Example 1), but feeding them back as anchor values
+                    // would let the imputer average its own guesses — during
+                    // long outages the most similar patterns are the ones
+                    // immediately behind the query, so the error compounds
+                    // tick after tick. Checked before pattern extraction so
+                    // disqualified candidates don't pay the O(d·l) copy.
+                    if window.slot_recent(target, age)?.state != SlotState::Observed {
+                        continue;
+                    }
                     let anchor_time = now - age as i64;
                     let candidate = extract_pattern(
                         window,
@@ -178,11 +187,6 @@ impl TkcmImputer {
                         self.config.allow_missing_in_patterns,
                     )?;
                     let Some(candidate) = candidate else { continue };
-                    // The target value at the anchor must be available to
-                    // contribute to the average of Definition 4.
-                    if window.value_recent(target, age)?.is_none() {
-                        continue;
-                    }
                     dissimilarities[idx] = self.dissimilarity.distance(&candidate, q);
                 }
             }
@@ -313,8 +317,18 @@ mod tests {
     #[test]
     fn running_example_table_2() {
         let s = vec![
-            Some(22.8), Some(21.4), Some(21.8), Some(23.1), Some(23.5), Some(22.8),
-            Some(21.2), Some(21.9), Some(23.5), Some(22.8), Some(21.2), None,
+            Some(22.8),
+            Some(21.4),
+            Some(21.8),
+            Some(23.1),
+            Some(23.5),
+            Some(22.8),
+            Some(21.2),
+            Some(21.9),
+            Some(23.5),
+            Some(22.8),
+            Some(21.2),
+            None,
         ];
         let r1 = vec![
             16.5, 17.2, 17.8, 16.6, 15.8, 16.2, 17.4, 17.7, 15.3, 16.3, 17.1, 17.5,
@@ -342,7 +356,11 @@ mod tests {
         // 13:25 is tick 0, so 13:35 is tick 2 and 14:00 is tick 7.
         let anchor_times: Vec<i64> = detail.anchors.iter().map(|a| a.time.tick()).collect();
         assert_eq!(anchor_times, vec![2, 7]);
-        assert!((detail.value - 21.85).abs() < 1e-9, "value {}", detail.value);
+        assert!(
+            (detail.value - 21.85).abs() < 1e-9,
+            "value {}",
+            detail.value
+        );
         // Example 9: epsilon = 0.1 °C.
         assert!((detail.epsilon().unwrap() - 0.1).abs() < 1e-9);
         assert!(detail.consistency().is_consistent());
@@ -369,9 +387,7 @@ mod tests {
         // Reference shifted by a quarter period -> Pearson ~ 0, but pattern
         // determining for l > 1.
         let r: Vec<Option<f64>> = (0..len)
-            .map(|t| {
-                Some((((t as f64) - 6.0) / period as f64 * std::f64::consts::TAU).sin())
-            })
+            .map(|t| Some((((t as f64) - 6.0) / period as f64 * std::f64::consts::TAU).sin()))
             .collect();
         let window = window_with(&[s, r.clone(), r], len);
         let truth = ((len - 1) as f64 / period as f64 * std::f64::consts::TAU).sin();
@@ -390,7 +406,11 @@ mod tests {
         // Anchors must lie exactly one/two/three periods back.
         for a in &detail.anchors {
             let age = (len as i64 - 1) - a.time.tick();
-            assert_eq!(age % period as i64, 0, "anchor age {age} not a multiple of the period");
+            assert_eq!(
+                age % period as i64,
+                0,
+                "anchor age {age} not a multiple of the period"
+            );
         }
         // epsilon is ~0 for a perfectly periodic signal.
         assert!(detail.epsilon().unwrap() < 1e-9);
@@ -405,7 +425,13 @@ mod tests {
         let len = 48 * 6;
         let truth_at = |t: usize| (t as f64 / period as f64 * std::f64::consts::TAU).sin();
         let s: Vec<Option<f64>> = (0..len)
-            .map(|t| if t == len - 1 { None } else { Some(truth_at(t)) })
+            .map(|t| {
+                if t == len - 1 {
+                    None
+                } else {
+                    Some(truth_at(t))
+                }
+            })
             .collect();
         let r: Vec<Option<f64>> = (0..len)
             .map(|t| Some((((t as f64) - 12.0) / period as f64 * std::f64::consts::TAU).sin()))
@@ -422,7 +448,9 @@ mod tests {
                 .build()
                 .unwrap();
             let imputer = TkcmImputer::new(config).unwrap();
-            let detail = imputer.impute(&window, SeriesId(0), &[SeriesId(1)]).unwrap();
+            let detail = imputer
+                .impute(&window, SeriesId(0), &[SeriesId(1)])
+                .unwrap();
             (detail.value - truth).abs()
         };
 
@@ -448,7 +476,9 @@ mod tests {
             .build()
             .unwrap();
         let imputer = TkcmImputer::new(config).unwrap();
-        let detail = imputer.impute(&window, SeriesId(0), &[SeriesId(1)]).unwrap();
+        let detail = imputer
+            .impute(&window, SeriesId(0), &[SeriesId(1)])
+            .unwrap();
         let now = 79i64;
         let mut times: Vec<i64> = detail.anchors.iter().map(|a| a.time.tick()).collect();
         times.sort_unstable();
@@ -478,7 +508,9 @@ mod tests {
             .build()
             .unwrap();
         let imputer = TkcmImputer::new(config).unwrap();
-        let detail = imputer.impute(&window, SeriesId(0), &[SeriesId(1)]).unwrap();
+        let detail = imputer
+            .impute(&window, SeriesId(0), &[SeriesId(1)])
+            .unwrap();
         assert!(!detail.fallback);
         assert!(!detail.complete);
         assert_eq!(detail.anchors.len(), 1);
@@ -505,7 +537,9 @@ mod tests {
             .build()
             .unwrap();
         let imputer = TkcmImputer::new(config).unwrap();
-        let detail = imputer.impute(&window, SeriesId(0), &[SeriesId(1)]).unwrap();
+        let detail = imputer
+            .impute(&window, SeriesId(0), &[SeriesId(1)])
+            .unwrap();
         assert!(detail.fallback);
         assert!(detail.anchors.is_empty());
         assert_eq!(detail.value, 4.0);
@@ -515,7 +549,11 @@ mod tests {
     #[test]
     fn fallback_uses_reference_mean_when_target_has_no_history() {
         let window = window_with(
-            &[vec![None, None], vec![Some(2.0), Some(4.0)], vec![Some(4.0), Some(8.0)]],
+            &[
+                vec![None, None],
+                vec![Some(2.0), Some(4.0)],
+                vec![Some(4.0), Some(8.0)],
+            ],
             16,
         );
         let config = TkcmConfig::builder()
@@ -583,8 +621,14 @@ mod tests {
         let mean_config = TkcmConfigBuilderClone(weighted_config.clone());
 
         let weighted = TkcmImputer::new(weighted_config).unwrap();
-        let detail_w = weighted.impute(&window, SeriesId(0), &[SeriesId(1)]).unwrap();
-        assert!(detail_w.value > 5.0, "weighted value {} should be close to 10", detail_w.value);
+        let detail_w = weighted
+            .impute(&window, SeriesId(0), &[SeriesId(1)])
+            .unwrap();
+        assert!(
+            detail_w.value > 5.0,
+            "weighted value {} should be close to 10",
+            detail_w.value
+        );
 
         let mut mean_cfg = mean_config.0;
         mean_cfg.aggregation = AnchorAggregation::Mean;
@@ -612,7 +656,9 @@ mod tests {
             .unwrap();
         let imputer = TkcmImputer::new(config).unwrap();
         assert_eq!(imputer.config().selection, SelectionStrategy::Greedy);
-        let detail = imputer.impute(&window, SeriesId(0), &[SeriesId(1)]).unwrap();
+        let detail = imputer
+            .impute(&window, SeriesId(0), &[SeriesId(1)])
+            .unwrap();
         assert!(!detail.fallback);
         assert_eq!(imputer.dissimilarity_name(), "L2");
     }
@@ -623,13 +669,13 @@ mod tests {
         let vals: Vec<Option<f64>> = (0..len).map(|t| Some((t as f64 * 0.37).sin())).collect();
         let window = window_with(&[vals.clone(), vals], len);
         let config = small_config(4, 3, len);
-        let imputer = TkcmImputer::with_dissimilarity(
-            config,
-            Box::new(crate::dissimilarity::L1Distance),
-        )
-        .unwrap();
+        let imputer =
+            TkcmImputer::with_dissimilarity(config, Box::new(crate::dissimilarity::L1Distance))
+                .unwrap();
         assert_eq!(imputer.dissimilarity_name(), "L1");
-        let detail = imputer.impute(&window, SeriesId(0), &[SeriesId(1)]).unwrap();
+        let detail = imputer
+            .impute(&window, SeriesId(0), &[SeriesId(1)])
+            .unwrap();
         assert!(!detail.fallback);
         assert!(detail.value.is_finite());
     }

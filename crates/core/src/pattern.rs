@@ -77,7 +77,10 @@ impl Pattern {
     /// Value of reference `row` at column `col` (column `length-1` is the
     /// anchor time; column 0 is `l−1` ticks before the anchor).
     pub fn value(&self, row: usize, col: usize) -> Option<f64> {
-        assert!(row < self.rows && col < self.length, "pattern index out of bounds");
+        assert!(
+            row < self.rows && col < self.length,
+            "pattern index out of bounds"
+        );
         self.values[row * self.length + col]
     }
 
@@ -244,8 +247,12 @@ mod tests {
         // Table 2 / Figure 2b: P(14:20) over r1 and r2 with l = 3 contains
         // r1: 16.3, 17.1, 17.5 and r2: 20.2, 19.9, 18.2.
         // Map 13:25..14:20 to ticks 0..11; 14:20 is tick 11.
-        let r1 = vec![16.5, 17.2, 17.8, 16.6, 15.8, 16.2, 17.4, 17.7, 15.3, 16.3, 17.1, 17.5];
-        let r2 = vec![20.3, 19.8, 18.6, 18.8, 20.0, 20.5, 19.8, 18.2, 20.1, 20.2, 19.9, 18.2];
+        let r1 = vec![
+            16.5, 17.2, 17.8, 16.6, 15.8, 16.2, 17.4, 17.7, 15.3, 16.3, 17.1, 17.5,
+        ];
+        let r2 = vec![
+            20.3, 19.8, 18.6, 18.8, 20.0, 20.5, 19.8, 18.2, 20.1, 20.2, 19.9, 18.2,
+        ];
         let w = window_with(&[
             r1.iter().map(|v| Some(*v)).collect(),
             r2.iter().map(|v| Some(*v)).collect(),
@@ -261,8 +268,12 @@ mod tests {
     #[test]
     fn pattern_at_past_anchor() {
         // P(14:00) = tick 7 with l = 3 covers ticks 5..=7.
-        let r1 = vec![16.5, 17.2, 17.8, 16.6, 15.8, 16.2, 17.4, 17.7, 15.3, 16.3, 17.1, 17.5];
-        let r2 = vec![20.3, 19.8, 18.6, 18.8, 20.0, 20.5, 19.8, 18.2, 20.1, 20.2, 19.9, 18.2];
+        let r1 = vec![
+            16.5, 17.2, 17.8, 16.6, 15.8, 16.2, 17.4, 17.7, 15.3, 16.3, 17.1, 17.5,
+        ];
+        let r2 = vec![
+            20.3, 19.8, 18.6, 18.8, 20.0, 20.5, 19.8, 18.2, 20.1, 20.2, 19.9, 18.2,
+        ];
         let w = window_with(&[
             r1.iter().map(|v| Some(*v)).collect(),
             r2.iter().map(|v| Some(*v)).collect(),
@@ -280,8 +291,7 @@ mod tests {
         r1[8] = None;
         let w = window_with(&[r1]);
         // Pattern anchored at tick 9 with l = 3 covers ticks 7, 8, 9 -> missing.
-        let strict =
-            extract_pattern(&w, &[SeriesId(0)], Timestamp::new(9), 3, false).unwrap();
+        let strict = extract_pattern(&w, &[SeriesId(0)], Timestamp::new(9), 3, false).unwrap();
         assert!(strict.is_none());
         let lenient = extract_pattern(&w, &[SeriesId(0)], Timestamp::new(9), 3, true)
             .unwrap()

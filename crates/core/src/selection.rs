@@ -167,10 +167,7 @@ pub fn select_anchors_greedy(
         if selected.len() == k {
             break;
         }
-        if selected
-            .iter()
-            .all(|&s| s.abs_diff(j) >= pattern_length)
-        {
+        if selected.iter().all(|&s| s.abs_diff(j) >= pattern_length) {
             selected.push(j);
         }
     }
@@ -217,9 +214,7 @@ pub fn select_anchors(
             select_anchors_dp(dissimilarities, pattern_length, k)
         }
         SelectionStrategy::Greedy => select_anchors_greedy(dissimilarities, pattern_length, k),
-        SelectionStrategy::OverlappingTopK => {
-            select_anchors_overlapping(dissimilarities, k)
-        }
+        SelectionStrategy::OverlappingTopK => select_anchors_overlapping(dissimilarities, k),
     }
 }
 
@@ -311,7 +306,10 @@ mod tests {
                     );
                 }
                 Some(_) => panic!("dp incomplete but brute force found a solution: {d:?}"),
-                None => assert!(!dp.complete, "brute force found no solution but dp claims one"),
+                None => assert!(
+                    !dp.complete,
+                    "brute force found no solution but dp claims one"
+                ),
             }
         }
     }
@@ -332,7 +330,10 @@ mod tests {
     #[test]
     fn empty_and_degenerate_inputs() {
         assert_eq!(select_anchors_dp(&[], 3, 2), AnchorSelection::empty());
-        assert_eq!(select_anchors_dp(&[1.0, 2.0], 3, 0), AnchorSelection::empty());
+        assert_eq!(
+            select_anchors_dp(&[1.0, 2.0], 3, 0),
+            AnchorSelection::empty()
+        );
         let all_inf = [f64::INFINITY, f64::INFINITY];
         assert!(select_anchors_dp(&all_inf, 1, 1).indices.is_empty());
         assert!(select_anchors_greedy(&all_inf, 1, 1).indices.is_empty());

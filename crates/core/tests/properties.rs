@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 
 use tkcm_core::{
-    select_anchors_dp, select_anchors_greedy, L2Distance, Dissimilarity, Pattern, TkcmConfig,
+    select_anchors_dp, select_anchors_greedy, Dissimilarity, L2Distance, Pattern, TkcmConfig,
     TkcmImputer,
 };
 use tkcm_timeseries::{SeriesId, StreamTick, StreamingWindow, Timestamp};

@@ -192,7 +192,10 @@ mod tests {
         // Aligning the far junction by its delay should restore correlation.
         let delay = 120usize;
         let aligned = pearson(&first[..first.len() - delay], &last[delay..]).unwrap();
-        assert!(aligned > far, "aligned {aligned} should exceed unaligned {far}");
+        assert!(
+            aligned > far,
+            "aligned {aligned} should exceed unaligned {far}"
+        );
     }
 
     #[test]

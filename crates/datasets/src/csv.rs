@@ -146,7 +146,11 @@ mod tests {
             SampleInterval::FIVE_MINUTES,
             vec![Some(-1.0), Some(2.0), None],
         );
-        Dataset::new(DatasetKind::Sine, SampleInterval::FIVE_MINUTES, vec![s0, s1])
+        Dataset::new(
+            DatasetKind::Sine,
+            SampleInterval::FIVE_MINUTES,
+            vec![s0, s1],
+        )
     }
 
     #[test]
@@ -203,7 +207,12 @@ mod tests {
         assert!(read_csv(bad_tick, DatasetKind::Sine, SampleInterval::FIVE_MINUTES).is_err());
 
         let too_many_cols: &[u8] = b"tick,a\n0,1,2,3\n";
-        assert!(read_csv(too_many_cols, DatasetKind::Sine, SampleInterval::FIVE_MINUTES).is_err());
+        assert!(read_csv(
+            too_many_cols,
+            DatasetKind::Sine,
+            SampleInterval::FIVE_MINUTES
+        )
+        .is_err());
     }
 
     #[test]

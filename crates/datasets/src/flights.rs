@@ -173,7 +173,10 @@ mod tests {
         }
         let max = correlations.iter().cloned().fold(f64::MIN, f64::max);
         let min = correlations.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(max - min > 0.2, "correlation spread too small: [{min}, {max}]");
+        assert!(
+            max - min > 0.2,
+            "correlation spread too small: [{min}, {max}]"
+        );
     }
 
     #[test]

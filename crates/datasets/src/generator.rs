@@ -146,7 +146,10 @@ mod tests {
         let d = Dataset::new(
             DatasetKind::Sine,
             SampleInterval::FIVE_MINUTES,
-            vec![toy_series(0, vec![1.0, 2.0, 3.0]), toy_series(1, vec![4.0, 5.0, 6.0])],
+            vec![
+                toy_series(0, vec![1.0, 2.0, 3.0]),
+                toy_series(1, vec![4.0, 5.0, 6.0]),
+            ],
         );
         assert_eq!(d.width(), 2);
         assert_eq!(d.len(), 3);
@@ -192,7 +195,10 @@ mod tests {
             ],
         );
         let corr = d.correlation_catalog();
-        assert_eq!(corr.candidates(tkcm_timeseries::SeriesId(0))[0], tkcm_timeseries::SeriesId(1));
+        assert_eq!(
+            corr.candidates(tkcm_timeseries::SeriesId(0))[0],
+            tkcm_timeseries::SeriesId(1)
+        );
         let ring = d.neighbour_catalog();
         assert_eq!(ring.len(), 3);
     }

@@ -61,7 +61,10 @@ pub fn inject_tail_fraction(
     series: SeriesId,
     fraction: f64,
 ) -> (BlockSpec, Vec<(Timestamp, f64)>) {
-    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
     let len = dataset.len();
     let block_len = ((len as f64) * fraction).round() as usize;
     let start = dataset.start() + (len - block_len) as i64;
@@ -148,9 +151,7 @@ mod tests {
     #[test]
     fn block_injection_skips_already_missing_values() {
         let mut d = toy_dataset(20);
-        d.series[0]
-            .set_value_at(Timestamp::new(5), None)
-            .unwrap();
+        d.series[0].set_value_at(Timestamp::new(5), None).unwrap();
         let truth = inject_block(
             &mut d,
             BlockSpec {

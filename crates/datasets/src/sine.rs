@@ -144,10 +144,11 @@ mod tests {
         assert_eq!(s.len(), 100);
         assert_eq!(s.missing_count(), 0);
         // Periodicity: value repeats every period.
-        assert!((s.value_at(Timestamp::new(10)).unwrap()
-            - s.value_at(Timestamp::new(70)).unwrap())
-        .abs()
-            < 1e-9);
+        assert!(
+            (s.value_at(Timestamp::new(10)).unwrap() - s.value_at(Timestamp::new(70)).unwrap())
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

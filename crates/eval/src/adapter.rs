@@ -88,7 +88,10 @@ mod tests {
             let est = a.process_tick(Timestamp::new(t), &[Some(v), Some(v * 2.0)]);
             assert!(est.is_empty());
         }
-        let est = a.process_tick(Timestamp::new(63), &[None, Some((63.0_f64 * 0.3).sin() * 2.0)]);
+        let est = a.process_tick(
+            Timestamp::new(63),
+            &[None, Some((63.0_f64 * 0.3).sin() * 2.0)],
+        );
         assert_eq!(est.len(), 1);
         assert_eq!(est[0].series, SeriesId(0));
         assert!(est[0].value.is_finite());

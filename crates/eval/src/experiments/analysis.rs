@@ -53,8 +53,14 @@ pub fn run(_scale: Scale) -> Report {
         "Pearson correlation with s",
         vec!["reference".into(), "rho".into()],
     );
-    corr.push_row("r1 (linear)", vec![pearson(&s, &r1).expect("equal lengths")]);
-    corr.push_row("r2 (shifted)", vec![pearson(&s, &r2).expect("equal lengths")]);
+    corr.push_row(
+        "r1 (linear)",
+        vec![pearson(&s, &r1).expect("equal lengths")],
+    );
+    corr.push_row(
+        "r2 (shifted)",
+        vec![pearson(&s, &r2).expect("equal lengths")],
+    );
     report.add_table(corr);
 
     report.add_series(
@@ -122,8 +128,14 @@ mod tests {
             .unwrap();
         let short = table.cell("r1, l=1", "count").unwrap();
         let long = table.cell("r1, l=60", "count").unwrap();
-        assert!(long < short, "l=60 ({long}) should have fewer matches than l=1 ({short})");
-        assert!(long >= 1.0, "periodic signal must still repeat at least once");
+        assert!(
+            long < short,
+            "l=60 ({long}) should have fewer matches than l=1 ({short})"
+        );
+        assert!(
+            long >= 1.0,
+            "periodic signal must still repeat at least once"
+        );
 
         let short2 = table.cell("r2, l=1", "count").unwrap();
         let long2 = table.cell("r2, l=60", "count").unwrap();

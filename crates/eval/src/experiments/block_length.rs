@@ -21,11 +21,8 @@ pub fn rmse_for_fraction(kind: DatasetKind, scale: Scale, fraction: f64) -> f64 
     let dataset = dataset_for(kind, scale, 99);
     let scenario = Scenario::tail_block(dataset, SeriesId(0), fraction);
     let config = default_config(scale, scenario.dataset.len());
-    let mut tkcm = TkcmOnlineAdapter::new(
-        scenario.dataset.width(),
-        config,
-        scenario.catalog.clone(),
-    );
+    let mut tkcm =
+        TkcmOnlineAdapter::new(scenario.dataset.width(), config, scenario.catalog.clone());
     run_online_scenario(&mut tkcm, &scenario).rmse
 }
 

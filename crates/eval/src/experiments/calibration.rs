@@ -52,7 +52,8 @@ pub fn sweep_values(scale: Scale) -> Vec<usize> {
 /// Runs the calibration sweep and returns one table per parameter.
 pub fn run(scale: Scale) -> Report {
     let mut report = Report::new("Figure 10: calibration of d and k");
-    report.note("RMSE of TKCM while sweeping one parameter and keeping the others at their defaults");
+    report
+        .note("RMSE of TKCM while sweeping one parameter and keeping the others at their defaults");
     let values = sweep_values(scale);
 
     let mut d_table = Table::new(
@@ -111,10 +112,15 @@ mod tests {
         // to 3.  We check d=3 is no worse than d=1 by more than 20 % on the
         // shifted dataset.
         let report = run(Scale::Quick);
-        let table = report.table("RMSE vs number of reference series d").unwrap();
+        let table = report
+            .table("RMSE vs number of reference series d")
+            .unwrap();
         let d1 = table.cell("SBR-1d", "d=1").unwrap();
         let d3 = table.cell("SBR-1d", "d=3").unwrap();
-        assert!(d3 <= d1 * 1.2, "d=3 rmse {d3} much worse than d=1 rmse {d1}");
+        assert!(
+            d3 <= d1 * 1.2,
+            "d=3 rmse {d3} much worse than d=1 rmse {d1}"
+        );
         assert!(d1.is_finite() && d3.is_finite());
     }
 

@@ -158,11 +158,17 @@ mod tests {
         let scenario = comparison_scenario(DatasetKind::SbrShifted, Scale::Quick, 1);
         let outcomes = run_all_algorithms(&scenario, Scale::Quick);
         let tkcm = outcomes[0].rmse;
-        let best = outcomes.iter().map(|o| o.rmse).fold(f64::INFINITY, f64::min);
+        let best = outcomes
+            .iter()
+            .map(|o| o.rmse)
+            .fold(f64::INFINITY, f64::min);
         let worst = outcomes.iter().map(|o| o.rmse).fold(0.0_f64, f64::max);
         assert!(tkcm.is_finite());
         assert!(tkcm <= best * 3.0, "TKCM rmse {tkcm} vs best {best}");
-        assert!(tkcm <= worst, "TKCM rmse {tkcm} should not be the worst ({worst})");
+        assert!(
+            tkcm <= worst,
+            "TKCM rmse {tkcm} should not be the worst ({worst})"
+        );
     }
 
     #[test]

@@ -33,12 +33,8 @@ pub fn average_epsilon(kind: DatasetKind, scale: Scale, l: usize) -> f64 {
     let mut config: TkcmConfig = default_config(scale, scenario.dataset.len());
     config.pattern_length = l;
     config.window_length = config.window_length.max((config.anchor_count + 1) * l);
-    let mut engine = TkcmEngine::new(
-        scenario.dataset.width(),
-        config,
-        scenario.catalog.clone(),
-    )
-    .expect("valid config");
+    let mut engine = TkcmEngine::new(scenario.dataset.width(), config, scenario.catalog.clone())
+        .expect("valid config");
 
     let mut epsilons = Vec::new();
     for tick in scenario.dataset.to_stream().ticks() {
@@ -71,7 +67,11 @@ pub fn run(scale: Scale) -> Report {
     let reference = dataset.series[first_ref.index()].to_dense(0.0);
     report.add_series(
         "Figure 13a scatter (r1(t), s(t))",
-        reference.iter().zip(target.iter()).map(|(x, y)| (*x, *y)).collect(),
+        reference
+            .iter()
+            .zip(target.iter())
+            .map(|(x, y)| (*x, *y))
+            .collect(),
     );
 
     // Figure 13b: average epsilon vs l.
@@ -90,7 +90,11 @@ pub fn run(scale: Scale) -> Report {
     report.add_table(table);
     report.add_series(
         "Figure 13b average epsilon",
-        lengths.iter().zip(row.iter()).map(|(l, e)| (*l as f64, *e)).collect(),
+        lengths
+            .iter()
+            .zip(row.iter())
+            .map(|(l, e)| (*l as f64, *e))
+            .collect(),
     );
     report
 }
@@ -125,7 +129,9 @@ mod tests {
     #[test]
     fn report_contains_scatter_and_epsilon_curve() {
         let report = run(Scale::Quick);
-        assert!(report.table("Average epsilon vs pattern length l (Chlorine)").is_some());
+        assert!(report
+            .table("Average epsilon vs pattern length l (Chlorine)")
+            .is_some());
         assert_eq!(report.series.len(), 2);
         let scatter = &report.series[0].1;
         assert!(!scatter.is_empty());

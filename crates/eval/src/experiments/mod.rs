@@ -69,11 +69,14 @@ impl Scale {
     }
 
     /// Default pattern length `l` for a dataset at this scale (the paper uses
-    /// 72 five-minute ticks = 6 h on SBR; the quick scale shrinks it so the
-    /// smaller windows still hold k + 1 patterns).
+    /// 72 five-minute ticks = 6 h against months of history).  The quick
+    /// datasets hold only a few days, so far fewer same-phase candidate
+    /// patterns exist per window; a proportionally shorter default keeps the
+    /// anchor search from over-constraining itself to a handful of
+    /// same-time-of-day candidates.
     pub fn default_pattern_length(self) -> usize {
         match self {
-            Scale::Quick => 24,
+            Scale::Quick => 12,
             Scale::Paper => 72,
         }
     }
@@ -161,7 +164,11 @@ mod tests {
         for kind in evaluation_datasets() {
             let d = dataset_for(kind, Scale::Quick, 1);
             assert!(d.len() > 500, "{kind:?} too short: {}", d.len());
-            assert!(d.len() < 20_000, "{kind:?} too long for quick scale: {}", d.len());
+            assert!(
+                d.len() < 20_000,
+                "{kind:?} too long for quick scale: {}",
+                d.len()
+            );
             assert!(d.width() >= 4);
         }
     }

@@ -30,14 +30,9 @@ pub fn rmse_for_length(kind: DatasetKind, scale: Scale, l: usize) -> f64 {
     let scenario = Scenario::tail_block(dataset, SeriesId(0), 0.1);
     let mut config = default_config(scale, scenario.dataset.len());
     config.pattern_length = l;
-    config.window_length = config
-        .window_length
-        .max((config.anchor_count + 1) * l);
-    let mut tkcm = TkcmOnlineAdapter::new(
-        scenario.dataset.width(),
-        config,
-        scenario.catalog.clone(),
-    );
+    config.window_length = config.window_length.max((config.anchor_count + 1) * l);
+    let mut tkcm =
+        TkcmOnlineAdapter::new(scenario.dataset.width(), config, scenario.catalog.clone());
     run_online_scenario(&mut tkcm, &scenario).rmse
 }
 

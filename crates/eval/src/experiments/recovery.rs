@@ -24,23 +24,19 @@ pub fn contrasted_lengths(scale: Scale) -> (usize, usize) {
     }
 }
 
+/// A plotted series: `(tick, value)` points in chronological order.
+pub type SeriesPoints = Vec<(f64, f64)>;
+
 /// Recovers the tail block of one dataset with the given pattern length and
 /// returns `(rmse, recovered series, truth series)`.
-pub fn recover(
-    kind: DatasetKind,
-    scale: Scale,
-    l: usize,
-) -> (f64, Vec<(f64, f64)>, Vec<(f64, f64)>) {
+pub fn recover(kind: DatasetKind, scale: Scale, l: usize) -> (f64, SeriesPoints, SeriesPoints) {
     let dataset = dataset_for(kind, scale, 7);
     let scenario = Scenario::tail_block(dataset, SeriesId(0), 0.12);
     let mut config = default_config(scale, scenario.dataset.len());
     config.pattern_length = l;
     config.window_length = config.window_length.max((config.anchor_count + 1) * l);
-    let mut tkcm = TkcmOnlineAdapter::new(
-        scenario.dataset.width(),
-        config,
-        scenario.catalog.clone(),
-    );
+    let mut tkcm =
+        TkcmOnlineAdapter::new(scenario.dataset.width(), config, scenario.catalog.clone());
     let outcome = run_online_scenario(&mut tkcm, &scenario);
     let recovered: Vec<(f64, f64)> = outcome
         .recovered_series(SeriesId(0))
@@ -103,9 +99,7 @@ mod tests {
         let report = run(Scale::Quick);
         let table = report.table("RMSE of the recovery").unwrap();
         let (short_l, long_l) = contrasted_lengths(Scale::Quick);
-        let short = table
-            .cell("SBR-1d", &format!("l={short_l}"))
-            .unwrap();
+        let short = table.cell("SBR-1d", &format!("l={short_l}")).unwrap();
         let long = table.cell("SBR-1d", &format!("l={long_l}")).unwrap();
         // Quick-scale datasets are short and noisy, so allow a small margin;
         // the paper-scale run shows the clear improvement.

@@ -106,9 +106,9 @@ pub fn phase_shares(scale: Scale, k: usize) -> (f64, f64) {
 pub fn sweep(scale: Scale) -> (Vec<usize>, Vec<usize>, Vec<usize>, Vec<usize>) {
     match scale {
         Scale::Quick => (
-            vec![4, 12, 24],          // l
-            vec![1, 2, 3],            // d
-            vec![2, 5, 10],           // k
+            vec![4, 12, 24],           // l
+            vec![1, 2, 3],             // d
+            vec![2, 5, 10],            // k
             vec![1_000, 2_000, 3_000], // L
         ),
         Scale::Paper => (
@@ -224,7 +224,10 @@ mod tests {
     fn extraction_dominates_for_default_k() {
         // Section 7.4: with the default k the PE phase dominates PS.
         let (extraction, selection) = phase_shares(Scale::Quick, 5);
-        assert!(extraction > selection, "extraction {extraction} vs selection {selection}");
+        assert!(
+            extraction > selection,
+            "extraction {extraction} vs selection {selection}"
+        );
         assert!(extraction > 0.5);
     }
 

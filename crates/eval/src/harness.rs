@@ -111,10 +111,7 @@ pub fn run_batch_scenario(imputer: &dyn BatchImputer, scenario: &Scenario) -> Sc
     let mut estimates = BTreeMap::new();
     for (series, time, _) in &scenario.truth {
         let idx = (*time - dataset_start) as usize;
-        if let Some(v) = filled
-            .get(series.index())
-            .and_then(|s| s.get(idx))
-        {
+        if let Some(v) = filled.get(series.index()).and_then(|s| s.get(idx)) {
             estimates.insert((*series, *time), *v);
         }
     }

@@ -125,11 +125,20 @@ mod tests {
         );
         assert_eq!(scenario.missing_count(), 8);
         assert_eq!(scenario.target_series(), vec![SeriesId(0), SeriesId(2)]);
-        assert_eq!(scenario.truth_at(SeriesId(0), Timestamp::new(12)), Some(12.0));
-        assert_eq!(scenario.truth_at(SeriesId(2), Timestamp::new(21)), Some(41.0));
+        assert_eq!(
+            scenario.truth_at(SeriesId(0), Timestamp::new(12)),
+            Some(12.0)
+        );
+        assert_eq!(
+            scenario.truth_at(SeriesId(2), Timestamp::new(21)),
+            Some(41.0)
+        );
         assert_eq!(scenario.truth_at(SeriesId(1), Timestamp::new(12)), None);
         // The dataset itself has the values removed.
-        assert_eq!(scenario.dataset.series[0].value_at(Timestamp::new(12)), None);
+        assert_eq!(
+            scenario.dataset.series[0].value_at(Timestamp::new(12)),
+            None
+        );
         assert_eq!(scenario.dataset.series[1].missing_count(), 0);
         assert_eq!(scenario.catalog.len(), 3);
     }

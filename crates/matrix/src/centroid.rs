@@ -79,18 +79,18 @@ fn find_sign_vector(x: &Matrix, max_iterations: usize) -> Vec<f64> {
 
     for _ in 0..max_iterations {
         let mut changed = false;
-        for i in 0..rows {
+        for (i, zi) in z.iter_mut().enumerate() {
             // Flipping z_i changes v by -2 z_i x_i; the objective changes by
             // ‖v − 2 z_i x_i‖² − ‖v‖² = −4 z_i (v·x_i) + 4 ‖x_i‖².
             let row = x.row(i);
             let v_dot_row = dot(&v, row);
             let row_norm_sq = dot(row, row);
-            let delta = -4.0 * z[i] * v_dot_row + 4.0 * row_norm_sq;
+            let delta = -4.0 * *zi * v_dot_row + 4.0 * row_norm_sq;
             if delta > 1e-12 {
-                for (j, &xij) in row.iter().enumerate() {
-                    v[j] -= 2.0 * z[i] * xij;
+                for (vj, &xij) in v.iter_mut().zip(row) {
+                    *vj -= 2.0 * *zi * xij;
                 }
-                z[i] = -z[i];
+                *zi = -*zi;
                 changed = true;
             }
         }
@@ -194,7 +194,11 @@ mod tests {
         ]);
         let cd = centroid_decomposition(&x, 3);
         for w in cd.centroid_values.windows(2) {
-            assert!(w[0] >= w[1] - 1e-9, "centroid values not sorted: {:?}", cd.centroid_values);
+            assert!(
+                w[0] >= w[1] - 1e-9,
+                "centroid values not sorted: {:?}",
+                cd.centroid_values
+            );
         }
     }
 

@@ -38,7 +38,10 @@ impl OnlinePca {
     /// Panics if `k == 0`, `k > dim` or `lambda` is outside `(0, 1]`.
     pub fn new(dim: usize, k: usize, lambda: f64) -> Self {
         assert!(k > 0, "number of hidden variables must be positive");
-        assert!(k <= dim, "cannot track more directions than input dimensions");
+        assert!(
+            k <= dim,
+            "cannot track more directions than input dimensions"
+        );
         assert!(lambda > 0.0 && lambda <= 1.0, "lambda must be in (0, 1]");
         let mut directions = Vec::with_capacity(k);
         for i in 0..k {
@@ -77,7 +80,11 @@ impl OnlinePca {
     /// Projects an input vector onto the current directions, returning the
     /// `k` hidden-variable values *without* updating the directions.
     pub fn project(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.dim(), "OnlinePca::project: dimension mismatch");
+        assert_eq!(
+            x.len(),
+            self.dim(),
+            "OnlinePca::project: dimension mismatch"
+        );
         let mut residual = x.to_vec();
         let mut hidden = Vec::with_capacity(self.k());
         for w in &self.directions {
@@ -92,7 +99,11 @@ impl OnlinePca {
 
     /// Reconstructs an input vector from hidden-variable values.
     pub fn reconstruct(&self, hidden: &[f64]) -> Vec<f64> {
-        assert_eq!(hidden.len(), self.k(), "OnlinePca::reconstruct: dimension mismatch");
+        assert_eq!(
+            hidden.len(),
+            self.k(),
+            "OnlinePca::reconstruct: dimension mismatch"
+        );
         let mut x = vec![0.0; self.dim()];
         for (y, w) in hidden.iter().zip(self.directions.iter()) {
             for (xi, wi) in x.iter_mut().zip(w.iter()) {
@@ -202,7 +213,11 @@ mod tests {
         let dirs = pca.directions();
         assert!((norm2(&dirs[0]) - 1.0).abs() < 1e-9);
         assert!((norm2(&dirs[1]) - 1.0).abs() < 1e-9);
-        assert!(dot(&dirs[0], &dirs[1]).abs() < 0.6, "directions too far from orthogonal: {}", dot(&dirs[0], &dirs[1]));
+        assert!(
+            dot(&dirs[0], &dirs[1]).abs() < 0.6,
+            "directions too far from orthogonal: {}",
+            dot(&dirs[0], &dirs[1])
+        );
     }
 
     #[test]

@@ -95,8 +95,8 @@ impl RecursiveLeastSquares {
         let gain: Vec<f64> = px.iter().map(|v| v / denom).collect();
 
         let error = y - self.predict(x);
-        for i in 0..n {
-            self.weights[i] += gain[i] * error;
+        for (w, g) in self.weights.iter_mut().zip(&gain) {
+            *w += g * error;
         }
 
         // P ← (P − g (xᵀ P)) / λ ; note xᵀP = (P x)ᵀ because P is symmetric.
@@ -152,7 +152,10 @@ mod tests {
                 late += e;
             }
         }
-        assert!(late < early, "late error {late} should be below early error {early}");
+        assert!(
+            late < early,
+            "late error {late} should be below early error {early}"
+        );
         assert!(late < 1e-3);
     }
 
@@ -166,7 +169,11 @@ mod tests {
             let y = if i < 200 { x[0] } else { -x[0] };
             rls.update(&x, y);
         }
-        assert!((rls.weights()[0] + 1.0).abs() < 1e-3, "w = {}", rls.weights()[0]);
+        assert!(
+            (rls.weights()[0] + 1.0).abs() < 1e-3,
+            "w = {}",
+            rls.weights()[0]
+        );
     }
 
     #[test]

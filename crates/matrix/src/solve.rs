@@ -12,8 +12,16 @@ use crate::dense::Matrix;
 /// # Panics
 /// Panics if `A` is not square or `b.len() != A.rows()`.
 pub fn solve_linear_system(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
-    assert_eq!(a.rows(), a.cols(), "solve_linear_system: matrix must be square");
-    assert_eq!(b.len(), a.rows(), "solve_linear_system: rhs length mismatch");
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "solve_linear_system: matrix must be square"
+    );
+    assert_eq!(
+        b.len(),
+        a.rows(),
+        "solve_linear_system: rhs length mismatch"
+    );
     let n = a.rows();
     if n == 0 {
         return Some(Vec::new());
@@ -32,9 +40,9 @@ pub fn solve_linear_system(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
         // Partial pivoting: pick the row with the largest absolute pivot.
         let mut pivot_row = col;
         let mut pivot_val = aug[col][col].abs();
-        for row in (col + 1)..n {
-            if aug[row][col].abs() > pivot_val {
-                pivot_val = aug[row][col].abs();
+        for (row, r) in aug.iter().enumerate().take(n).skip(col + 1) {
+            if r[col].abs() > pivot_val {
+                pivot_val = r[col].abs();
                 pivot_row = row;
             }
         }
@@ -44,13 +52,15 @@ pub fn solve_linear_system(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
         aug.swap(col, pivot_row);
 
         // Eliminate below the pivot.
-        for row in (col + 1)..n {
-            let factor = aug[row][col] / aug[col][col];
+        let (upper, lower) = aug.split_at_mut(col + 1);
+        let pivot = &upper[col];
+        for row in lower.iter_mut() {
+            let factor = row[col] / pivot[col];
             if factor == 0.0 {
                 continue;
             }
-            for k in col..=n {
-                aug[row][k] -= factor * aug[col][k];
+            for (rv, pv) in row[col..=n].iter_mut().zip(&pivot[col..=n]) {
+                *rv -= factor * pv;
             }
         }
     }
@@ -78,7 +88,11 @@ pub fn solve_linear_system(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
 /// # Panics
 /// Panics if `b.len() != A.rows()`.
 pub fn solve_least_squares(a: &Matrix, b: &[f64], lambda: f64) -> Option<Vec<f64>> {
-    assert_eq!(b.len(), a.rows(), "solve_least_squares: rhs length mismatch");
+    assert_eq!(
+        b.len(),
+        a.rows(),
+        "solve_least_squares: rhs length mismatch"
+    );
     let at = a.transpose();
     let mut ata = at.mat_mul(a);
     for i in 0..ata.rows() {

@@ -132,7 +132,11 @@ pub fn truncated_svd(a: &Matrix, max_sweeps: usize) -> Svd {
     // are the normalised columns.
     let mut order: Vec<usize> = (0..cols).collect();
     let norms: Vec<f64> = (0..cols).map(|j| norm2(&work.col(j))).collect();
-    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&i, &j| {
+        norms[j]
+            .partial_cmp(&norms[i])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let mut u = Matrix::zeros(rows, k);
     let mut v_sorted = Matrix::zeros(cols, k);

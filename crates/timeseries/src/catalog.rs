@@ -156,8 +156,10 @@ impl Catalog {
                 scored.push((SeriesId::from(r), rho.abs()));
             }
             scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-            catalog
-                .set_candidates(SeriesId::from(s), scored.into_iter().map(|(id, _)| id).collect())?;
+            catalog.set_candidates(
+                SeriesId::from(s),
+                scored.into_iter().map(|(id, _)| id).collect(),
+            )?;
         }
         Ok(catalog)
     }
@@ -201,7 +203,8 @@ mod tests {
     fn set_and_get_candidates() {
         let mut c = Catalog::new();
         assert!(c.is_empty());
-        c.set_candidates(SeriesId(0), vec![SeriesId(1), SeriesId(2)]).unwrap();
+        c.set_candidates(SeriesId(0), vec![SeriesId(1), SeriesId(2)])
+            .unwrap();
         assert_eq!(c.len(), 1);
         assert_eq!(c.candidates(SeriesId(0)), &[SeriesId(1), SeriesId(2)]);
         assert!(c.candidates(SeriesId(9)).is_empty());
@@ -258,8 +261,7 @@ mod tests {
         let shifted: Vec<Option<f64>> = (0..50)
             .map(|i| Some(((i as f64 - 5.0) * 0.3).sin()))
             .collect();
-        let catalog =
-            Catalog::from_correlation(&[base, strong, anti, shifted]).unwrap();
+        let catalog = Catalog::from_correlation(&[base, strong, anti, shifted]).unwrap();
         let cands = catalog.candidates(SeriesId(0));
         assert_eq!(cands.len(), 3);
         // The shifted series must rank last for series 0.

@@ -128,7 +128,7 @@ mod tests {
         };
         assert!(e.to_string().contains("pearson"));
 
-        let io: TsError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        let io: TsError = std::io::Error::other("boom").into();
         assert!(io.to_string().contains("boom"));
     }
 

@@ -20,6 +20,36 @@
 //! The crate is self-contained (no external dependencies) and is shared by
 //! the TKCM core (`tkcm-core`), the baselines (`tkcm-baselines`), the dataset
 //! generators (`tkcm-datasets`) and the experiment harness (`tkcm-eval`).
+//!
+//! ## Example
+//!
+//! ```
+//! use tkcm_timeseries::{Catalog, SeriesId, SlotState, StreamTick, StreamingWindow, Timestamp};
+//!
+//! // A window over three streams keeping the last 4 measurements each.
+//! let mut window = StreamingWindow::new(3, 4);
+//! window
+//!     .push_tick(&StreamTick::new(
+//!         Timestamp::new(0),
+//!         vec![Some(21.5), None, Some(19.8)],
+//!     ))
+//!     .unwrap();
+//! assert_eq!(window.currently_missing(), vec![SeriesId(1)]);
+//!
+//! // Imputed values are written back with provenance.
+//! window.write_imputed(SeriesId(1), 0, 20.6).unwrap();
+//! let slot = window.slot_recent(SeriesId(1), 0).unwrap();
+//! assert_eq!(slot.value, Some(20.6));
+//! assert_eq!(slot.state, SlotState::Imputed);
+//!
+//! // Reference selection skips candidates that are dead at the current tick.
+//! let mut catalog = Catalog::new();
+//! catalog
+//!     .set_candidates(SeriesId(0), vec![SeriesId(1), SeriesId(2)])
+//!     .unwrap();
+//! let selection = catalog.select_references(SeriesId(0), 1, |id| id == SeriesId(2));
+//! assert_eq!(selection.references, vec![SeriesId(2)]);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

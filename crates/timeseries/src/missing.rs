@@ -123,7 +123,13 @@ mod tests {
     use crate::timestamp::SampleInterval;
 
     fn series(values: Vec<Option<f64>>) -> TimeSeries {
-        TimeSeries::new(0u32, "s", Timestamp::new(10), SampleInterval::FIVE_MINUTES, values)
+        TimeSeries::new(
+            0u32,
+            "s",
+            Timestamp::new(10),
+            SampleInterval::FIVE_MINUTES,
+            values,
+        )
     }
 
     #[test]
@@ -150,8 +156,20 @@ mod tests {
         let m = MissingMask::of_series(&s);
         let gaps = m.gaps();
         assert_eq!(gaps.len(), 2);
-        assert_eq!(gaps[0], GapReport { start: Timestamp::new(11), length: 2 });
-        assert_eq!(gaps[1], GapReport { start: Timestamp::new(14), length: 1 });
+        assert_eq!(
+            gaps[0],
+            GapReport {
+                start: Timestamp::new(11),
+                length: 2
+            }
+        );
+        assert_eq!(
+            gaps[1],
+            GapReport {
+                start: Timestamp::new(14),
+                length: 1
+            }
+        );
         assert_eq!(m.longest_gap(), 2);
         assert!(gaps[0].contains(Timestamp::new(12)));
         assert!(!gaps[0].contains(Timestamp::new(13)));

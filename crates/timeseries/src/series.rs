@@ -315,7 +315,13 @@ mod tests {
     use super::*;
 
     fn series(values: Vec<Option<f64>>) -> TimeSeries {
-        TimeSeries::new(0u32, "s", Timestamp::new(0), SampleInterval::FIVE_MINUTES, values)
+        TimeSeries::new(
+            0u32,
+            "s",
+            Timestamp::new(0),
+            SampleInterval::FIVE_MINUTES,
+            values,
+        )
     }
 
     #[test]
@@ -367,7 +373,10 @@ mod tests {
     fn iterators_and_dense_conversion() {
         let s = series(vec![Some(1.0), None, Some(3.0)]);
         let observed: Vec<_> = s.observed().collect();
-        assert_eq!(observed, vec![(Timestamp::new(0), 1.0), (Timestamp::new(2), 3.0)]);
+        assert_eq!(
+            observed,
+            vec![(Timestamp::new(0), 1.0), (Timestamp::new(2), 3.0)]
+        );
         assert_eq!(s.to_dense(-1.0), vec![1.0, -1.0, 3.0]);
         assert_eq!(s.iter().count(), 3);
     }
@@ -432,7 +441,13 @@ mod tests {
 
     #[test]
     fn from_values_builds_fully_observed_series() {
-        let s = TimeSeries::from_values(1u32, "f", Timestamp::new(0), SampleInterval::ONE_HOUR, [1.0, 2.0]);
+        let s = TimeSeries::from_values(
+            1u32,
+            "f",
+            Timestamp::new(0),
+            SampleInterval::ONE_HOUR,
+            [1.0, 2.0],
+        );
         assert_eq!(s.missing_count(), 0);
         assert_eq!(s.len(), 2);
     }

@@ -70,7 +70,10 @@ pub trait StreamSource {
     where
         Self: Sized,
     {
-        StreamIter { source: self, pos: 0 }
+        StreamIter {
+            source: self,
+            pos: 0,
+        }
     }
 }
 
@@ -154,11 +157,7 @@ impl StreamSource for SliceStream {
             return None;
         }
         let time = self.start + pos as i64;
-        let values = self
-            .series
-            .iter()
-            .map(|s| s.value_at_index(pos))
-            .collect();
+        let values = self.series.iter().map(|s| s.value_at_index(pos)).collect();
         Some(StreamTick { time, values })
     }
 }
@@ -169,7 +168,13 @@ mod tests {
     use crate::timestamp::SampleInterval;
 
     fn ts(id: u32, values: Vec<Option<f64>>) -> TimeSeries {
-        TimeSeries::new(id, format!("s{id}"), Timestamp::new(0), SampleInterval::FIVE_MINUTES, values)
+        TimeSeries::new(
+            id,
+            format!("s{id}"),
+            Timestamp::new(0),
+            SampleInterval::FIVE_MINUTES,
+            values,
+        )
     }
 
     #[test]
@@ -236,7 +241,13 @@ mod tests {
     #[should_panic(expected = "same start")]
     fn misaligned_series_panic() {
         let a = ts(0, vec![Some(1.0)]);
-        let b = TimeSeries::new(1u32, "b", Timestamp::new(5), SampleInterval::FIVE_MINUTES, vec![Some(1.0)]);
+        let b = TimeSeries::new(
+            1u32,
+            "b",
+            Timestamp::new(5),
+            SampleInterval::FIVE_MINUTES,
+            vec![Some(1.0)],
+        );
         let _ = SliceStream::new(vec![a, b]);
     }
 }

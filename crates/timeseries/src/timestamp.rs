@@ -190,9 +190,9 @@ impl Default for SampleInterval {
 
 impl fmt::Display for SampleInterval {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.seconds % 3600 == 0 {
+        if self.seconds.is_multiple_of(3600) {
             write!(f, "{}h", self.seconds / 3600)
-        } else if self.seconds % 60 == 0 {
+        } else if self.seconds.is_multiple_of(60) {
             write!(f, "{}min", self.seconds / 60)
         } else {
             write!(f, "{}s", self.seconds)

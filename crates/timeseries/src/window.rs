@@ -70,7 +70,9 @@ impl StreamingWindow {
         StreamingWindow {
             length,
             buffers: (0..width).map(|_| RingBuffer::new(length)).collect(),
-            states: (0..width).map(|_| vec![SlotState::Missing; length]).collect(),
+            states: (0..width)
+                .map(|_| vec![SlotState::Missing; length])
+                .collect(),
             state_offset: length - 1,
             current_time: None,
             ticks_seen: 0,
@@ -193,9 +195,9 @@ impl StreamingWindow {
 
     /// Converts an absolute timestamp into an age (0 = current time).
     pub fn age_of(&self, t: Timestamp) -> Result<usize, TsError> {
-        let now = self.current_time.ok_or_else(|| {
-            TsError::invalid("window", "no tick has been pushed yet")
-        })?;
+        let now = self
+            .current_time
+            .ok_or_else(|| TsError::invalid("window", "no tick has been pushed yet"))?;
         let delta = now - t;
         if delta < 0 || delta as usize >= self.length {
             return Err(TsError::TimeOutOfRange {
@@ -222,9 +224,7 @@ impl StreamingWindow {
     pub fn currently_missing(&self) -> Vec<SeriesId> {
         (0..self.width())
             .map(SeriesId::from)
-            .filter(|id| {
-                self.buffers[id.index()].recent(0).is_none() && self.ticks_seen > 0
-            })
+            .filter(|id| self.buffers[id.index()].recent(0).is_none() && self.ticks_seen > 0)
             .collect()
     }
 
@@ -263,7 +263,10 @@ mod tests {
         assert_eq!(w.value_recent(SeriesId(0), 0).unwrap(), Some(3.0));
         assert_eq!(w.value_recent(SeriesId(0), 2).unwrap(), Some(1.0));
         assert_eq!(w.value_recent(SeriesId(1), 1).unwrap(), None);
-        assert_eq!(w.value_at(SeriesId(1), Timestamp::new(2)).unwrap(), Some(30.0));
+        assert_eq!(
+            w.value_at(SeriesId(1), Timestamp::new(2)).unwrap(),
+            Some(30.0)
+        );
     }
 
     #[test]
@@ -287,7 +290,10 @@ mod tests {
         // age 2 is outside the window of length 2
         assert_eq!(w.value_recent(SeriesId(0), 2).unwrap(), None);
         assert!(w.value_at(SeriesId(0), Timestamp::new(0)).is_err());
-        assert_eq!(w.series_chronological(SeriesId(0)).unwrap(), vec![Some(3.0), Some(4.0)]);
+        assert_eq!(
+            w.series_chronological(SeriesId(0)).unwrap(),
+            vec![Some(3.0), Some(4.0)]
+        );
     }
 
     #[test]
@@ -298,7 +304,10 @@ mod tests {
 
         assert_eq!(w.currently_missing(), vec![SeriesId(0)]);
         assert_eq!(w.currently_present(), vec![SeriesId(1)]);
-        assert_eq!(w.slot_recent(SeriesId(0), 0).unwrap().state, SlotState::Missing);
+        assert_eq!(
+            w.slot_recent(SeriesId(0), 0).unwrap().state,
+            SlotState::Missing
+        );
 
         w.write_imputed(SeriesId(0), 0, 1.5).unwrap();
         let slot = w.slot_recent(SeriesId(0), 0).unwrap();
@@ -312,8 +321,14 @@ mod tests {
 
         // Provenance survives a further tick (age grows by one).
         w.push_tick(&tick(2, vec![Some(3.0), Some(30.0)])).unwrap();
-        assert_eq!(w.slot_recent(SeriesId(0), 1).unwrap().state, SlotState::Imputed);
-        assert_eq!(w.slot_recent(SeriesId(0), 0).unwrap().state, SlotState::Observed);
+        assert_eq!(
+            w.slot_recent(SeriesId(0), 1).unwrap().state,
+            SlotState::Imputed
+        );
+        assert_eq!(
+            w.slot_recent(SeriesId(0), 0).unwrap().state,
+            SlotState::Observed
+        );
     }
 
     #[test]

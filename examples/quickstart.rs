@@ -10,11 +10,25 @@ fn main() {
     // The running example of the paper: one hour of 5-minute measurements
     // (13:25 .. 14:20 mapped to ticks 0..11).  Series s is missing at 14:20.
     let s = [
-        Some(22.8), Some(21.4), Some(21.8), Some(23.1), Some(23.5), Some(22.8),
-        Some(21.2), Some(21.9), Some(23.5), Some(22.8), Some(21.2), None,
+        Some(22.8),
+        Some(21.4),
+        Some(21.8),
+        Some(23.1),
+        Some(23.5),
+        Some(22.8),
+        Some(21.2),
+        Some(21.9),
+        Some(23.5),
+        Some(22.8),
+        Some(21.2),
+        None,
     ];
-    let r1 = [16.5, 17.2, 17.8, 16.6, 15.8, 16.2, 17.4, 17.7, 15.3, 16.3, 17.1, 17.5];
-    let r2 = [20.3, 19.8, 18.6, 18.8, 20.0, 20.5, 19.8, 18.2, 20.1, 20.2, 19.9, 18.2];
+    let r1 = [
+        16.5, 17.2, 17.8, 16.6, 15.8, 16.2, 17.4, 17.7, 15.3, 16.3, 17.1, 17.5,
+    ];
+    let r2 = [
+        20.3, 19.8, 18.6, 18.8, 20.0, 20.5, 19.8, 18.2, 20.1, 20.2, 19.9, 18.2,
+    ];
 
     // Push the hour into a streaming window of length L = 12.
     let mut window = StreamingWindow::new(3, 12);

@@ -72,7 +72,10 @@ fn main() {
     println!();
     println!("imputed {imputed} values during the outage, RMSE = {rmse:.2} flights");
     if let Some((t, v, e)) = worst {
-        println!("largest error at t={}: imputed {v:.1}, off by {e:.1}", t.tick());
+        println!(
+            "largest error at t={}: imputed {v:.1}, off by {e:.1}",
+            t.tick()
+        );
     }
     let breakdown = engine.phase_breakdown();
     println!(

@@ -44,11 +44,8 @@ fn main() {
         .reference_count(3)
         .build()
         .expect("valid configuration");
-    let mut tkcm = TkcmOnlineAdapter::new(
-        scenario.dataset.width(),
-        config,
-        scenario.catalog.clone(),
-    );
+    let mut tkcm =
+        TkcmOnlineAdapter::new(scenario.dataset.width(), config, scenario.catalog.clone());
     let tkcm_outcome = run_online_scenario(&mut tkcm, &scenario);
 
     // Compare with the simplest thing the operators could do instead.

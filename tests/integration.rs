@@ -68,8 +68,7 @@ fn tkcm_handles_phase_shifted_chlorine_streams() {
     let scenario = Scenario::tail_block(dataset, SeriesId(0), 0.15);
     let width = scenario.dataset.width();
 
-    let mut tkcm =
-        TkcmOnlineAdapter::new(width, quick_config(len, 24), scenario.catalog.clone());
+    let mut tkcm = TkcmOnlineAdapter::new(width, quick_config(len, 24), scenario.catalog.clone());
     let mut spirit = SpiritImputer::new(width);
     let mut muscles = MusclesImputer::new(width);
 
@@ -131,11 +130,8 @@ fn dp_selection_is_at_least_as_good_as_greedy_end_to_end() {
             .selection(strategy)
             .build()
             .expect("valid config");
-        let mut tkcm = TkcmOnlineAdapter::new(
-            scenario.dataset.width(),
-            config,
-            scenario.catalog.clone(),
-        );
+        let mut tkcm =
+            TkcmOnlineAdapter::new(scenario.dataset.width(), config, scenario.catalog.clone());
         run_online_scenario(&mut tkcm, &scenario).rmse
     };
 

@@ -1,0 +1,246 @@
+//! Minimal, dependency-free stand-in for the subset of `proptest` this
+//! workspace's property tests use.
+//!
+//! The build container cannot reach crates.io, so the real `proptest` crate
+//! is unavailable. This stub keeps the property tests' source unchanged:
+//! the `proptest!` macro expands each test into a loop over a fixed number
+//! of deterministically seeded cases (seeded from the test's module path and
+//! name, so every run exercises the same inputs). There is no shrinking —
+//! a failing case reports the case index via the panic message instead.
+
+use std::ops::Range;
+
+/// Number of generated cases per property (the real crate defaults to 256;
+/// 128 keeps `cargo test` fast while still exercising the input space).
+pub const CASES: u64 = 128;
+
+/// A generator of random test inputs; mirrors the used subset of
+/// `proptest::strategy::Strategy`.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128 - self.start as i128) as u128;
+                assert!(span > 0, "empty integer strategy range");
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + hi) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+pub mod collection {
+    //! `Vec` strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::{Strategy, TestRng};
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `None` with probability 1/2 and `Some` of the inner
+    /// strategy otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Deterministic per-case generator (SplitMix64 → xoshiro256++).
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeds from the test's identity and the case index so each test gets
+    /// a stable, independent input stream.
+    pub fn deterministic(test_name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut x = h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Expands property tests into plain `#[test]` functions that loop over
+/// [`CASES`] deterministically generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for __case in 0..$crate::CASES {
+                    let mut __rng = $crate::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    let __run = move || -> Result<(), String> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    };
+                    if let Err(msg) = __run() {
+                        panic!("property failed at case {__case}: {msg}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!`: like `assert!` but reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// `prop_assert_eq!`: like `assert_eq!` but reports through the harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Strategy;
+
+    #[test]
+    fn strategies_respect_bounds() {
+        let mut rng = super::TestRng::deterministic("stub", 0);
+        for _ in 0..1000 {
+            let f = (-3.0f64..3.0).generate(&mut rng);
+            assert!((-3.0..3.0).contains(&f));
+            let v = super::collection::vec(0usize..5, 1..9).generate(&mut rng);
+            assert!((1..9).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn option_of_produces_both_variants() {
+        let mut rng = super::TestRng::deterministic("stub-option", 0);
+        let strat = super::option::of(0.0f64..1.0);
+        let samples: Vec<_> = (0..100).map(|_| strat.generate(&mut rng)).collect();
+        assert!(samples.iter().any(Option::is_none));
+        assert!(samples.iter().any(Option::is_some));
+    }
+
+    proptest! {
+        #[test]
+        fn macro_harness_runs(x in 0usize..10, ys in crate::collection::vec(0.0f64..1.0, 0..4)) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(ys.len(), ys.len());
+        }
+    }
+}
