@@ -2,14 +2,28 @@
 //! as a function of the pattern length `l`, the number of reference series
 //! `d`, the number of anchor points `k` and the window length `L`.
 //!
-//! The shape the paper reports (linear in every parameter, dominated by the
-//! pattern-extraction phase) can be read off the per-group measurements.
+//! Each parameter point is measured on both dissimilarity paths: `inc` reads
+//! the incrementally maintained `D` (Section 6.2, the engine default) and
+//! `exact` recomputes every candidate pattern (`O(L·l·d)`, the paper's naive
+//! baseline whose pattern-extraction phase dominates).  The `tick` group
+//! measures the per-tick sliding-aggregate update the incremental path pays
+//! instead.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use tkcm_core::{TkcmConfig, TkcmImputer};
+use tkcm_core::{IncrementalDissimilarity, TkcmConfig, TkcmImputer};
 use tkcm_eval::experiments::runtime::build_workload;
 use tkcm_eval::experiments::Scale;
+
+fn config_for(l: usize, d: usize, k: usize, window: usize) -> TkcmConfig {
+    TkcmConfig::builder()
+        .window_length(window.max((k + 1) * l))
+        .pattern_length(l)
+        .anchor_count(k)
+        .reference_count(d)
+        .build()
+        .expect("valid config")
+}
 
 fn bench_imputation(
     c: &mut Criterion,
@@ -20,16 +34,29 @@ fn bench_imputation(
     group.sample_size(20);
     for &(l, d, k, window) in params {
         let workload = build_workload(Scale::Quick, window, d);
-        let config = TkcmConfig::builder()
-            .window_length(window.max((k + 1) * l))
-            .pattern_length(l)
-            .anchor_count(k)
-            .reference_count(d)
-            .build()
-            .expect("valid config");
-        let imputer = TkcmImputer::new(config).expect("valid config");
+        let imputer = TkcmImputer::new(config_for(l, d, k, window)).expect("valid config");
+        let mut state = IncrementalDissimilarity::new(
+            workload.references.clone(),
+            l,
+            workload.window.length(),
+            false,
+        )
+        .expect("valid state");
+        state.rebuild(&workload.window).expect("rebuild succeeds");
         group.bench_with_input(
-            BenchmarkId::from_parameter(format!("l{l}_d{d}_k{k}_L{window}")),
+            BenchmarkId::from_parameter(format!("inc_l{l}_d{d}_k{k}_L{window}")),
+            &workload,
+            |b, w| {
+                b.iter(|| {
+                    imputer
+                        .impute_maintained(&w.window, w.target, &w.references, &state)
+                        .expect("imputation succeeds")
+                        .value
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("exact_l{l}_d{d}_k{k}_L{window}")),
             &workload,
             |b, w| {
                 b.iter(|| {
@@ -76,11 +103,43 @@ fn fig17_window_length(c: &mut Criterion) {
     );
 }
 
+/// The per-tick cost the incremental path pays instead of per-imputation
+/// recomputes: one O(L·d) sliding-aggregate advance (Section 6.2).
+fn maintenance_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec6_2_tick");
+    group.sample_size(20);
+    for &(l, d, window) in &[(12usize, 3usize, 2000usize), (36, 3, 2000), (36, 3, 3000)] {
+        let workload = build_workload(Scale::Quick, window, d);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("rebuild+advance_l{l}_d{d}_L{window}")),
+            &workload,
+            |b, w| {
+                b.iter(|| {
+                    // advance() on a freshly built state falls back to a
+                    // rebuild (no prior sync point); both entry points of
+                    // the maintenance path are exercised.
+                    let mut state = IncrementalDissimilarity::new(
+                        w.references.clone(),
+                        l,
+                        w.window.length(),
+                        false,
+                    )
+                    .expect("valid state");
+                    state.advance(&w.window).expect("advance succeeds");
+                    state.dissimilarity_at_lag(l)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     fig17_pattern_length,
     fig17_reference_count,
     fig17_anchor_count,
-    fig17_window_length
+    fig17_window_length,
+    maintenance_tick
 );
 criterion_main!(benches);

@@ -1,20 +1,41 @@
 //! Runs every experiment in sequence and prints all reports — the one-shot
 //! way to regenerate the full evaluation section.
+//!
+//! With `--json [path]` the per-experiment wall times and result tables are
+//! also written as a machine-readable `BENCH_results.json` (default path)
+//! that CI uploads as an artifact, so scale and perf regressions are
+//! trackable across PRs.
+use std::time::Instant;
+
 fn main() {
     let scale = tkcm_bench::scale_from_args(std::env::args());
+    let json_path = tkcm_bench::json_path_from_args(std::env::args());
     use tkcm_eval::experiments as ex;
-    let reports = vec![
-        ex::analysis::run(scale),
-        ex::calibration::run(scale),
-        ex::pattern_length::run(scale),
-        ex::recovery::run(scale),
-        ex::epsilon::run(scale),
-        ex::block_length::run(scale),
-        ex::comparison::run(scale),
-        ex::runtime::run(scale),
+    type Runner = fn(ex::Scale) -> tkcm_eval::Report;
+    let runners: Vec<Runner> = vec![
+        ex::analysis::run,
+        ex::calibration::run,
+        ex::pattern_length::run,
+        ex::recovery::run,
+        ex::epsilon::run,
+        ex::block_length::run,
+        ex::comparison::run,
+        ex::runtime::run,
     ];
-    for report in &reports {
+    let mut timed = Vec::with_capacity(runners.len());
+    for run in runners {
+        let start = Instant::now();
+        let report = run(scale);
+        timed.push((start.elapsed().as_secs_f64(), report));
+    }
+    for (seconds, report) in &timed {
         tkcm_bench::print_report(report, scale);
+        println!("(experiment wall time: {seconds:.3} s)");
         println!();
+    }
+    if let Some(path) = json_path {
+        let json = tkcm_bench::bench_results_json(scale, &timed);
+        std::fs::write(&path, json).expect("failed to write the JSON results file");
+        println!("machine-readable results written to {path}");
     }
 }

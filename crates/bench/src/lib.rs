@@ -25,6 +25,43 @@ pub fn scale_from_args<I: IntoIterator<Item = String>>(args: I) -> Scale {
     }
 }
 
+/// Parses the `--json <path>` argument of `run_all_experiments`: the path the
+/// machine-readable `BENCH_results.json` is written to.  `--json` without a
+/// following path defaults to `BENCH_results.json` in the working directory.
+pub fn json_path_from_args<I: IntoIterator<Item = String>>(args: I) -> Option<String> {
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return Some(
+                args.next()
+                    .filter(|p| !p.starts_with("--"))
+                    .unwrap_or_else(|| "BENCH_results.json".to_string()),
+            );
+        }
+    }
+    None
+}
+
+/// Serialises a set of timed experiment reports as the `BENCH_results.json`
+/// document CI archives: per-figure wall time plus every result table (RMSE
+/// comparisons, runtimes, phase shares), so the perf trajectory of the repo
+/// is machine-readable across PRs.
+pub fn bench_results_json(scale: Scale, timed: &[(f64, tkcm_eval::Report)]) -> String {
+    let entries: Vec<String> = timed
+        .iter()
+        .map(|(seconds, report)| {
+            format!(
+                "{{\"wall_time_seconds\":{seconds},\"report\":{}}}",
+                report.to_json()
+            )
+        })
+        .collect();
+    format!(
+        "{{\"scale\":\"{scale:?}\",\"experiments\":[{}]}}",
+        entries.join(",")
+    )
+}
+
 /// Prints a report with a standard footer naming the scale that was used.
 pub fn print_report(report: &tkcm_eval::Report, scale: Scale) {
     println!("{report}");
@@ -43,5 +80,35 @@ mod tests {
             scale_from_args(vec!["prog".to_string(), "--paper".to_string()]),
             Scale::Paper
         );
+    }
+
+    #[test]
+    fn json_path_parsing() {
+        assert_eq!(json_path_from_args(vec![]), None);
+        assert_eq!(
+            json_path_from_args(vec!["prog".into(), "--json".into(), "out.json".into()]),
+            Some("out.json".to_string())
+        );
+        assert_eq!(
+            json_path_from_args(vec!["prog".into(), "--json".into()]),
+            Some("BENCH_results.json".to_string())
+        );
+        // `--json --paper`: the scale flag is not swallowed as a path.
+        assert_eq!(
+            json_path_from_args(vec!["--json".into(), "--paper".into()]),
+            Some("BENCH_results.json".to_string())
+        );
+    }
+
+    #[test]
+    fn bench_results_json_shape() {
+        let mut report = tkcm_eval::Report::new("r");
+        let mut t = tkcm_eval::Table::new("t", vec!["x".into(), "y".into()]);
+        t.push_row("row", vec![2.0]);
+        report.add_table(t);
+        let json = bench_results_json(Scale::Quick, &[(1.5, report)]);
+        assert!(json.starts_with("{\"scale\":\"Quick\""));
+        assert!(json.contains("\"wall_time_seconds\":1.5"));
+        assert!(json.contains("\"title\":\"t\""));
     }
 }

@@ -44,6 +44,15 @@ pub struct TkcmConfig {
     /// When `false` (default) a candidate pattern containing a missing
     /// reference value is skipped entirely.
     pub allow_missing_in_patterns: bool,
+    /// Whether the streaming engine maintains the dissimilarity array `D`
+    /// incrementally per tick (Section 6.2) instead of recomputing it from
+    /// scratch at every imputation.  `true` (default) is the paper's
+    /// streaming algorithm; `false` keeps the exact `O(L·l·d)`-per-imputation
+    /// recompute path for cross-checking.  The flag only affects the engine
+    /// tick path: direct `TkcmImputer::impute` calls always recompute, and
+    /// non-decomposable dissimilarity measures (DTW) fall back to exact
+    /// recomputation regardless of the flag.
+    pub incremental: bool,
 }
 
 impl TkcmConfig {
@@ -58,6 +67,7 @@ impl TkcmConfig {
             aggregation: AnchorAggregation::Mean,
             selection: SelectionStrategy::DynamicProgramming,
             allow_missing_in_patterns: false,
+            incremental: true,
         }
     }
 
@@ -117,6 +127,7 @@ impl Default for TkcmConfig {
             aggregation: AnchorAggregation::Mean,
             selection: SelectionStrategy::DynamicProgramming,
             allow_missing_in_patterns: false,
+            incremental: true,
         }
     }
 }
@@ -125,13 +136,18 @@ impl fmt::Display for TkcmConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "TKCM(L={}, l={}, k={}, d={}, {:?}, {:?})",
+            "TKCM(L={}, l={}, k={}, d={}, {:?}, {:?}, {})",
             self.window_length,
             self.pattern_length,
             self.anchor_count,
             self.reference_count,
             self.selection,
-            self.aggregation
+            self.aggregation,
+            if self.incremental {
+                "incremental-D"
+            } else {
+                "exact-D"
+            }
         )
     }
 }
@@ -147,6 +163,7 @@ pub struct TkcmConfigBuilder {
     aggregation: Option<AnchorAggregation>,
     selection: Option<SelectionStrategy>,
     allow_missing_in_patterns: Option<bool>,
+    incremental: Option<bool>,
 }
 
 impl TkcmConfigBuilder {
@@ -200,6 +217,13 @@ impl TkcmConfigBuilder {
         self
     }
 
+    /// Selects between the Section 6.2 incremental `D` maintenance (`true`,
+    /// default) and the exact recompute-all path (`false`).
+    pub fn incremental(mut self, value: bool) -> Self {
+        self.incremental = Some(value);
+        self
+    }
+
     /// Finalises and validates the configuration.
     pub fn build(self) -> Result<TkcmConfig, TsError> {
         let mut config = self.config.unwrap_or_default();
@@ -223,6 +247,9 @@ impl TkcmConfigBuilder {
         }
         if let Some(v) = self.allow_missing_in_patterns {
             config.allow_missing_in_patterns = v;
+        }
+        if let Some(v) = self.incremental {
+            config.incremental = v;
         }
         config.validate()?;
         Ok(config)

@@ -18,6 +18,10 @@ pub struct PhaseBreakdown {
     pub selection: Duration,
     /// Value imputation: averaging the anchor values and writing back.
     pub imputation: Duration,
+    /// Incremental `D[j]` maintenance (Section 6.2): the per-tick sliding
+    /// aggregate updates, state rebuilds and write-back invalidation.  Zero
+    /// on the exact-recompute path, where that work is part of extraction.
+    pub maintenance: Duration,
     /// Number of imputations the breakdown was accumulated over.
     pub imputations: usize,
 }
@@ -25,7 +29,7 @@ pub struct PhaseBreakdown {
 impl PhaseBreakdown {
     /// Total time across all phases.
     pub fn total(&self) -> Duration {
-        self.extraction + self.selection + self.imputation
+        self.extraction + self.selection + self.imputation + self.maintenance
     }
 
     /// Fraction of the total spent in pattern extraction (0 when no time was
@@ -49,11 +53,22 @@ impl PhaseBreakdown {
         }
     }
 
+    /// Fraction of the total spent maintaining the incremental `D[j]` state.
+    pub fn maintenance_share(&self) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.maintenance.as_secs_f64() / total
+        }
+    }
+
     /// Merges another breakdown into this one.
     pub fn merge(&mut self, other: &PhaseBreakdown) {
         self.extraction += other.extraction;
         self.selection += other.selection;
         self.imputation += other.imputation;
+        self.maintenance += other.maintenance;
         self.imputations += other.imputations;
     }
 }
@@ -65,7 +80,8 @@ pub struct PhaseTimer {
     started: Option<(Phase, Instant)>,
 }
 
-/// The three phases of Algorithm 1.
+/// The three phases of Algorithm 1, plus the Section 6.2 per-tick
+/// maintenance of the incremental dissimilarity state.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Phase {
     /// Pattern extraction (step 1).
@@ -74,6 +90,8 @@ pub enum Phase {
     Selection,
     /// Value imputation (step 3).
     Imputation,
+    /// Incremental `D[j]` maintenance (Section 6.2; engine tick path only).
+    Maintenance,
 }
 
 impl PhaseTimer {
@@ -99,6 +117,7 @@ impl PhaseTimer {
                 Phase::Extraction => self.breakdown.extraction += elapsed,
                 Phase::Selection => self.breakdown.selection += elapsed,
                 Phase::Imputation => self.breakdown.imputation += elapsed,
+                Phase::Maintenance => self.breakdown.maintenance += elapsed,
             }
         }
     }
@@ -151,6 +170,7 @@ mod tests {
         assert_eq!(b.total(), Duration::ZERO);
         assert_eq!(b.extraction_share(), 0.0);
         assert_eq!(b.selection_share(), 0.0);
+        assert_eq!(b.maintenance_share(), 0.0);
     }
 
     #[test]
@@ -159,18 +179,22 @@ mod tests {
             extraction: Duration::from_millis(10),
             selection: Duration::from_millis(5),
             imputation: Duration::from_millis(1),
+            maintenance: Duration::from_millis(4),
             imputations: 2,
         };
         let mut b = PhaseBreakdown {
             extraction: Duration::from_millis(1),
             selection: Duration::from_millis(1),
             imputation: Duration::from_millis(1),
+            maintenance: Duration::from_millis(1),
             imputations: 1,
         };
         b.merge(&a);
         assert_eq!(b.extraction, Duration::from_millis(11));
         assert_eq!(b.selection, Duration::from_millis(6));
+        assert_eq!(b.maintenance, Duration::from_millis(5));
         assert_eq!(b.imputations, 3);
+        assert!((b.maintenance_share() - 5.0 / 24.0).abs() < 1e-12);
     }
 
     #[test]

@@ -23,6 +23,15 @@ pub trait Dissimilarity: Send + Sync {
     /// # Panics
     /// Panics if the two patterns do not have the same shape.
     fn distance(&self, a: &Pattern, b: &Pattern) -> f64;
+
+    /// Whether [`crate::incremental::IncrementalDissimilarity`] can maintain
+    /// this measure as a sliding aggregate (Section 6.2).  Only the paper's
+    /// L2 measure decomposes into per-column contributions; DTW's warping
+    /// path and any other non-separable measure must keep the exact
+    /// recompute-all path.
+    fn supports_incremental(&self) -> bool {
+        false
+    }
 }
 
 fn check_shapes(a: &Pattern, b: &Pattern) {
@@ -45,6 +54,37 @@ fn observed_pairs(a: &Pattern, b: &Pattern) -> (Vec<(f64, f64)>, usize) {
     (pairs, total)
 }
 
+/// The components of the (rescaled) L2 distance: the sum of squared
+/// differences over the pairs observed in both patterns, and the number of
+/// such pairs.  This is the running aggregate that
+/// [`crate::incremental::IncrementalDissimilarity`] maintains per candidate
+/// offset; [`l2_from_components`] folds it into the distance of Definition 2.
+pub fn l2_components(a: &Pattern, b: &Pattern) -> (f64, usize) {
+    check_shapes(a, b);
+    let mut sum_sq = 0.0;
+    let mut observed = 0usize;
+    for (x, y) in a.values().iter().zip(b.values().iter()) {
+        if let (Some(x), Some(y)) = (x, y) {
+            sum_sq += (x - y) * (x - y);
+            observed += 1;
+        }
+    }
+    (sum_sq, observed)
+}
+
+/// Folds [`l2_components`] into the L2 distance of Definition 2: missing
+/// pairs are skipped and the result rescaled by `total/observed` so patterns
+/// with different numbers of missing slots stay comparable.  No observed
+/// pair at all yields `+∞` so the candidate is never selected.
+pub fn l2_from_components(sum_sq: f64, observed: usize, total: usize) -> f64 {
+    if observed == 0 {
+        return f64::INFINITY;
+    }
+    // Clamp tiny negative values that incremental add/subtract can leave.
+    let scale = total as f64 / observed as f64;
+    (sum_sq.max(0.0) * scale).sqrt()
+}
+
 /// The Euclidean / Frobenius distance of Definition 2 — the measure used by
 /// the paper everywhere.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -56,14 +96,12 @@ impl Dissimilarity for L2Distance {
     }
 
     fn distance(&self, a: &Pattern, b: &Pattern) -> f64 {
-        check_shapes(a, b);
-        let (pairs, total) = observed_pairs(a, b);
-        if pairs.is_empty() {
-            return f64::INFINITY;
-        }
-        let sum_sq: f64 = pairs.iter().map(|(x, y)| (x - y) * (x - y)).sum();
-        let scale = total as f64 / pairs.len() as f64;
-        (sum_sq * scale).sqrt()
+        let (sum_sq, observed) = l2_components(a, b);
+        l2_from_components(sum_sq, observed, a.values().len())
+    }
+
+    fn supports_incremental(&self) -> bool {
+        true
     }
 }
 

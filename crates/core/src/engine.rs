@@ -7,12 +7,24 @@
 //! missing).  Imputed values are written back into the window so that later
 //! imputations can treat them as history, exactly as in Example 1 of the
 //! paper where `r2(13:40)` is an imputed value.
+//!
+//! When `TkcmConfig::incremental` is on (the default) the engine also owns
+//! one [`IncrementalDissimilarity`] state per active reference set and keeps
+//! it in lock-step with the window: advanced after every pushed tick
+//! (Section 6.2's `O(L·d)` sliding-aggregate update), patched after every
+//! imputed write-back, rebuilt lazily when a new reference set first appears,
+//! and evicted once no imputation has used it for a while (keeping an idle
+//! state alive costs one advance per tick ≈ a rebuild every `l` ticks, so
+//! idle states are dropped after `2l` unused ticks and rebuilt on demand).
+
+use std::time::Instant;
 
 use tkcm_timeseries::{Catalog, SeriesId, StreamTick, StreamingWindow, Timestamp, TsError};
 
 use crate::config::TkcmConfig;
 use crate::diagnostics::PhaseBreakdown;
 use crate::imputer::{ImputationDetail, TkcmImputer};
+use crate::incremental::IncrementalDissimilarity;
 
 /// One imputation performed by the engine at a tick.
 #[derive(Clone, Debug, PartialEq)]
@@ -47,6 +59,12 @@ impl EngineOutcome {
     }
 }
 
+/// One maintained dissimilarity state plus the tick it last served.
+struct Maintainer {
+    state: IncrementalDissimilarity,
+    last_used: usize,
+}
+
 /// Continuous TKCM imputation engine over a fixed set of streams.
 pub struct TkcmEngine {
     imputer: TkcmImputer,
@@ -55,6 +73,10 @@ pub struct TkcmEngine {
     breakdown: PhaseBreakdown,
     imputation_count: usize,
     tick_count: usize,
+    /// Incremental `D` states, one per reference set that recently served an
+    /// imputation.  Empty while no imputation has been needed and on the
+    /// exact-recompute path.
+    maintainers: Vec<Maintainer>,
 }
 
 impl TkcmEngine {
@@ -74,6 +96,7 @@ impl TkcmEngine {
             breakdown: PhaseBreakdown::default(),
             imputation_count: 0,
             tick_count: 0,
+            maintainers: Vec::new(),
         })
     }
 
@@ -94,6 +117,7 @@ impl TkcmEngine {
             breakdown: PhaseBreakdown::default(),
             imputation_count: 0,
             tick_count: 0,
+            maintainers: Vec::new(),
         })
     }
 
@@ -122,16 +146,76 @@ impl TkcmEngine {
         self.imputation_count
     }
 
-    /// Accumulated phase-timing breakdown over all imputations (Section 7.4).
+    /// Accumulated phase-timing breakdown over all imputations (Section 7.4),
+    /// including the per-tick incremental maintenance time.
     pub fn phase_breakdown(&self) -> PhaseBreakdown {
         self.breakdown
     }
 
-    /// Processes one arriving tick: pushes it into the window, imputes every
-    /// missing series and writes the imputed values back into the window.
+    /// Whether the engine maintains `D` incrementally (the configuration
+    /// flag is on *and* the dissimilarity measure decomposes).
+    pub fn is_incremental(&self) -> bool {
+        self.imputer.config().incremental && self.imputer.supports_incremental()
+    }
+
+    /// Number of live incremental `D` states (one per recently used
+    /// reference set; 0 on the exact path or before the first imputation).
+    pub fn maintainer_count(&self) -> usize {
+        self.maintainers.len()
+    }
+
+    /// Ticks an incremental state may go unused before it is evicted.  A
+    /// rebuild costs about `l` advances, so holding an idle state longer
+    /// than `O(l)` ticks is more expensive than rebuilding on demand; `2l`
+    /// adds hysteresis for intermittent gaps.
+    fn maintainer_ttl(&self) -> usize {
+        2 * self.imputer.config().pattern_length
+    }
+
+    /// Index of the maintainer for `references`, creating (and rebuilding)
+    /// one if this reference set has no live state yet.
+    fn maintainer_for(&mut self, references: &[SeriesId]) -> Result<usize, TsError> {
+        if let Some(idx) = self
+            .maintainers
+            .iter()
+            .position(|m| m.state.references() == references)
+        {
+            return Ok(idx);
+        }
+        let config = self.imputer.config();
+        let mut state = IncrementalDissimilarity::new(
+            references.to_vec(),
+            config.pattern_length,
+            config.window_length,
+            config.allow_missing_in_patterns,
+        )?;
+        state.rebuild(&self.window)?;
+        self.maintainers.push(Maintainer {
+            state,
+            last_used: self.tick_count,
+        });
+        Ok(self.maintainers.len() - 1)
+    }
+
+    /// Processes one arriving tick: pushes it into the window, advances the
+    /// incremental dissimilarity states, imputes every missing series and
+    /// writes the imputed values back into the window (patching the states).
     pub fn process_tick(&mut self, tick: &StreamTick) -> Result<EngineOutcome, TsError> {
         self.window.push_tick(tick)?;
         self.tick_count += 1;
+
+        let incremental = self.is_incremental();
+        if incremental && !self.maintainers.is_empty() {
+            let start = Instant::now();
+            let tick_count = self.tick_count;
+            let ttl = self.maintainer_ttl();
+            self.maintainers
+                .retain(|m| tick_count.saturating_sub(m.last_used) <= ttl);
+            for m in &mut self.maintainers {
+                m.state.advance(&self.window)?;
+            }
+            self.breakdown.maintenance += start.elapsed();
+        }
 
         let mut outcome = EngineOutcome::default();
         let missing = self.window.currently_missing();
@@ -151,10 +235,34 @@ impl TkcmEngine {
                 outcome.skipped.push(target);
                 continue;
             }
-            let detail = self
-                .imputer
-                .impute(&self.window, target, &selection.references)?;
+            let detail = if incremental {
+                let start = Instant::now();
+                let idx = self.maintainer_for(&selection.references)?;
+                self.maintainers[idx].last_used = self.tick_count;
+                self.breakdown.maintenance += start.elapsed();
+                self.imputer.impute_maintained(
+                    &self.window,
+                    target,
+                    &selection.references,
+                    &self.maintainers[idx].state,
+                )?
+            } else {
+                self.imputer
+                    .impute(&self.window, target, &selection.references)?
+            };
             self.window.write_imputed(target, 0, detail.value)?;
+            if incremental {
+                // The write-back changed a current-tick slot from missing to
+                // imputed; every state whose reference set contains the
+                // target must fold the new value into its running sums so
+                // later imputations at this tick (and future ticks) see the
+                // same window contents as a from-scratch recompute would.
+                let start = Instant::now();
+                for m in &mut self.maintainers {
+                    m.state.on_write(&self.window, target, 0, None)?;
+                }
+                self.breakdown.maintenance += start.elapsed();
+            }
             self.breakdown.merge(&detail.breakdown);
             self.imputation_count += 1;
             outcome.imputations.push(Imputation {

@@ -21,6 +21,7 @@ use crate::config::{AnchorAggregation, TkcmConfig};
 use crate::consistency::ConsistencyReport;
 use crate::diagnostics::{Phase, PhaseBreakdown, PhaseTimer};
 use crate::dissimilarity::{Dissimilarity, L2Distance};
+use crate::incremental::IncrementalDissimilarity;
 use crate::pattern::{extract_pattern, extract_query_pattern};
 use crate::selection::select_anchors;
 
@@ -114,6 +115,13 @@ impl TkcmImputer {
         self.dissimilarity.name()
     }
 
+    /// Whether this imputer's dissimilarity measure can be maintained
+    /// incrementally (Section 6.2); only the paper's L2 measure decomposes
+    /// into the required per-column sliding aggregate.
+    pub fn supports_incremental(&self) -> bool {
+        self.dissimilarity.supports_incremental()
+    }
+
     /// Imputes the value of `target` at the *current time* of the window.
     ///
     /// `references` is the reference set `R_s` selected for this tick (see
@@ -131,6 +139,48 @@ impl TkcmImputer {
         target: SeriesId,
         references: &[SeriesId],
     ) -> Result<ImputationDetail, TsError> {
+        self.impute_inner(window, target, references, None)
+    }
+
+    /// Imputes like [`TkcmImputer::impute`], but reads the dissimilarity
+    /// array `D[j]` from an incrementally maintained state (Section 6.2)
+    /// instead of recomputing every candidate pattern: `O(L)` for the
+    /// candidate sweep instead of `O(L·l·d)`.
+    ///
+    /// `state` must have been built for the same reference set, pattern
+    /// length and missing-value policy, and must be in lock-step with the
+    /// window (its [`IncrementalDissimilarity::advance`] called after every
+    /// pushed tick) — otherwise an error is returned.  The streaming engine
+    /// manages this automatically when `TkcmConfig::incremental` is on.
+    pub fn impute_maintained(
+        &self,
+        window: &StreamingWindow,
+        target: SeriesId,
+        references: &[SeriesId],
+        state: &IncrementalDissimilarity,
+    ) -> Result<ImputationDetail, TsError> {
+        if !self.supports_incremental() {
+            return Err(TsError::invalid(
+                "dissimilarity",
+                "this dissimilarity measure cannot be maintained incrementally",
+            ));
+        }
+        state.ensure_compatible(
+            window,
+            references,
+            self.config.pattern_length,
+            self.config.allow_missing_in_patterns,
+        )?;
+        self.impute_inner(window, target, references, Some(state))
+    }
+
+    fn impute_inner(
+        &self,
+        window: &StreamingWindow,
+        target: SeriesId,
+        references: &[SeriesId],
+        maintained: Option<&IncrementalDissimilarity>,
+    ) -> Result<ImputationDetail, TsError> {
         let now = window
             .current_time()
             .ok_or_else(|| TsError::invalid("window", "no tick has been pushed yet"))?;
@@ -146,12 +196,10 @@ impl TkcmImputer {
 
         // -------- Step 1: pattern extraction --------
         timer.start(Phase::Extraction);
-        let query =
-            extract_query_pattern(window, references, l, self.config.allow_missing_in_patterns)?;
 
         // Effective window content: we can only look back over the ticks that
         // have actually been pushed.
-        let filled = window.ticks_seen().min(window.length());
+        let filled = window.filled();
         // Candidate anchors have ages l ..= filled - l (condition (1) of
         // Definition 3); candidate j (1-based, oldest first) has age
         // filled - l - (j - 1) - ... expressed directly below.
@@ -164,30 +212,50 @@ impl TkcmImputer {
                 candidate_ages.push(age);
             }
             dissimilarities = vec![f64::INFINITY; candidate_ages.len()];
-            if let Some(ref q) = query {
-                for (idx, &age) in candidate_ages.iter().enumerate() {
-                    // The target value at the anchor must be *observed* to
-                    // contribute to the average of Definition 4. Previously
-                    // imputed values stay usable inside reference patterns
-                    // (Example 1), but feeding them back as anchor values
-                    // would let the imputer average its own guesses — during
-                    // long outages the most similar patterns are the ones
-                    // immediately behind the query, so the error compounds
-                    // tick after tick. Checked before pattern extraction so
-                    // disqualified candidates don't pay the O(d·l) copy.
-                    if window.slot_recent(target, age)?.state != SlotState::Observed {
-                        continue;
+            match maintained {
+                Some(state) => {
+                    for (idx, &age) in candidate_ages.iter().enumerate() {
+                        // Same anchor-eligibility rule as the exact path
+                        // below: anchors need an *observed* target value.
+                        if window.slot_recent(target, age)?.state != SlotState::Observed {
+                            continue;
+                        }
+                        dissimilarities[idx] = state.dissimilarity_at_lag(age);
                     }
-                    let anchor_time = now - age as i64;
-                    let candidate = extract_pattern(
+                }
+                None => {
+                    let query = extract_query_pattern(
                         window,
                         references,
-                        anchor_time,
                         l,
                         self.config.allow_missing_in_patterns,
                     )?;
-                    let Some(candidate) = candidate else { continue };
-                    dissimilarities[idx] = self.dissimilarity.distance(&candidate, q);
+                    if let Some(ref q) = query {
+                        for (idx, &age) in candidate_ages.iter().enumerate() {
+                            // The target value at the anchor must be *observed* to
+                            // contribute to the average of Definition 4. Previously
+                            // imputed values stay usable inside reference patterns
+                            // (Example 1), but feeding them back as anchor values
+                            // would let the imputer average its own guesses — during
+                            // long outages the most similar patterns are the ones
+                            // immediately behind the query, so the error compounds
+                            // tick after tick. Checked before pattern extraction so
+                            // disqualified candidates don't pay the O(d·l) copy.
+                            if window.slot_recent(target, age)?.state != SlotState::Observed {
+                                continue;
+                            }
+                            let anchor_time = now - age as i64;
+                            let candidate = extract_pattern(
+                                window,
+                                references,
+                                anchor_time,
+                                l,
+                                self.config.allow_missing_in_patterns,
+                            )?;
+                            let Some(candidate) = candidate else { continue };
+                            dissimilarities[idx] = self.dissimilarity.distance(&candidate, q);
+                        }
+                    }
                 }
             }
         }

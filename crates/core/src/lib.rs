@@ -20,7 +20,11 @@
 //!    the selected anchor points (Definition 4, Algorithm 1).
 //! 5. **Streaming engine** ([`engine`]): per-tick processing of a whole set
 //!    of streams with reference selection, window maintenance and write-back
-//!    of imputed values.
+//!    of imputed values.  The engine maintains the dissimilarity array `D`
+//!    *incrementally* per tick ([`incremental`], Section 6.2) — `O(d)` per
+//!    candidate per tick instead of an `O(L·l·d)` recompute per imputation —
+//!    with the exact recompute path kept behind `TkcmConfig::incremental =
+//!    false` for cross-checking.
 //! 6. **Consistency diagnostics** ([`consistency`]): the ε of the
 //!    pattern-determination property (Definition 5) used in Figure 13.
 //! 7. **Phase timing** ([`diagnostics`]): pattern-extraction vs
@@ -75,6 +79,7 @@ pub mod diagnostics;
 pub mod dissimilarity;
 pub mod engine;
 pub mod imputer;
+pub mod incremental;
 pub mod pattern;
 pub mod selection;
 
@@ -84,5 +89,6 @@ pub use diagnostics::{PhaseBreakdown, PhaseTimer};
 pub use dissimilarity::{Dissimilarity, DtwDistance, L1Distance, L2Distance};
 pub use engine::{EngineOutcome, Imputation, TkcmEngine};
 pub use imputer::{ImputationDetail, TkcmImputer};
+pub use incremental::IncrementalDissimilarity;
 pub use pattern::{extract_pattern, extract_query_pattern, Pattern};
 pub use selection::{select_anchors_dp, select_anchors_greedy, AnchorSelection, SelectionStrategy};

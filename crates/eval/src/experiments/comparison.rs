@@ -7,6 +7,9 @@
 //! below check, is that all algorithms are comparable on the non-shifted SBR
 //! dataset while TKCM clearly wins on the three shifted ones.
 
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
 use tkcm_baselines::{CdImputer, MusclesImputer, SpiritImputer};
 use tkcm_datasets::{BlockSpec, DatasetKind};
 use tkcm_timeseries::SeriesId;
@@ -21,10 +24,26 @@ use super::{dataset_for, default_config, evaluation_datasets, Scale};
 /// Algorithms compared in Figure 16, in the paper's order.
 pub const ALGORITHMS: [&str; 4] = ["TKCM", "SPIRIT", "MUSCLES", "CD"];
 
-/// Builds the comparison scenario for one dataset: `targets` series each lose
-/// a tail block covering `fraction` of the dataset (staggered so blocks of
-/// different series do not fully overlap in time).
+/// Process-wide cache of comparison scenarios: block injection over the
+/// quick fixtures is deterministic, and the comparison tests replay the same
+/// `(kind, scale, targets)` scenario several times.
+type ScenarioCache = Mutex<HashMap<(DatasetKind, Scale, usize), Scenario>>;
+static SCENARIO_CACHE: OnceLock<ScenarioCache> = OnceLock::new();
+
+/// Builds (or fetches the cached copy of) the comparison scenario for one
+/// dataset: `targets` series each lose a tail block covering `fraction` of
+/// the dataset (staggered so blocks of different series do not fully overlap
+/// in time).
 pub fn comparison_scenario(kind: DatasetKind, scale: Scale, targets: usize) -> Scenario {
+    let cache = SCENARIO_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock().expect("scenario cache poisoned");
+    cache
+        .entry((kind, scale, targets))
+        .or_insert_with(|| build_comparison_scenario(kind, scale, targets))
+        .clone()
+}
+
+fn build_comparison_scenario(kind: DatasetKind, scale: Scale, targets: usize) -> Scenario {
     let dataset = dataset_for(kind, scale, 2017);
     let len = dataset.len();
     // The paper removes one-week blocks from the SBR datasets (a small

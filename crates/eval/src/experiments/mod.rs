@@ -15,11 +15,14 @@ pub mod pattern_length;
 pub mod recovery;
 pub mod runtime;
 
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
 use tkcm_core::TkcmConfig;
 use tkcm_datasets::{ChlorineConfig, Dataset, DatasetKind, FlightsConfig, SbrConfig};
 
 /// Workload size of an experiment run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// Small datasets and coarse parameter grids; finishes in seconds.
     Quick,
@@ -92,8 +95,27 @@ impl Scale {
     }
 }
 
-/// Generates the synthetic stand-in for one of the paper's datasets.
+/// Process-wide cache of generated datasets, keyed by the full generation
+/// parameters.  Experiments (and especially the integration tests, which
+/// replay the same quick-scale fixtures many times) share one generation per
+/// `(kind, scale, seed)` and clone the result; generation is deterministic,
+/// so a cached clone is indistinguishable from a fresh one.
+type DatasetCache = Mutex<HashMap<(DatasetKind, Scale, u64), Dataset>>;
+static DATASET_CACHE: OnceLock<DatasetCache> = OnceLock::new();
+
+/// Generates (or fetches the cached copy of) the synthetic stand-in for one
+/// of the paper's datasets.
 pub fn dataset_for(kind: DatasetKind, scale: Scale, seed: u64) -> Dataset {
+    let cache = DATASET_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock().expect("dataset cache poisoned");
+    cache
+        .entry((kind, scale, seed))
+        .or_insert_with(|| generate_dataset(kind, scale, seed))
+        .clone()
+}
+
+/// Uncached dataset generation (the actual generators).
+fn generate_dataset(kind: DatasetKind, scale: Scale, seed: u64) -> Dataset {
     match kind {
         DatasetKind::Sbr => SbrConfig {
             stations: scale.sbr_stations(),
@@ -195,5 +217,19 @@ mod tests {
     fn sine_dataset_is_available_through_dataset_for() {
         let d = dataset_for(DatasetKind::Sine, Scale::Quick, 0);
         assert_eq!(d.width(), 3);
+    }
+
+    #[test]
+    fn dataset_cache_returns_identical_fixtures() {
+        let a = dataset_for(DatasetKind::Sbr, Scale::Quick, 77);
+        let b = dataset_for(DatasetKind::Sbr, Scale::Quick, 77);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.width(), b.width());
+        for (sa, sb) in a.series.iter().zip(b.series.iter()) {
+            assert_eq!(sa.values(), sb.values());
+        }
+        // A different seed is a different cache entry, not a stale clone.
+        let c = dataset_for(DatasetKind::Sbr, Scale::Quick, 78);
+        assert!(a.series[0].values() != c.series[0].values());
     }
 }

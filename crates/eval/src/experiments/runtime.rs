@@ -1,18 +1,23 @@
 //! Figure 17 and the Section 7.4 breakdown: runtime of a single imputation.
 //!
-//! The paper shows that TKCM's imputation time is linear in every parameter
-//! (`l`, `d`, `k`, `L`) and that the pattern-extraction (PE) phase dominates
-//! the pattern-selection (PS) phase for the default `k` (≈ 92 % vs 8 %),
-//! while very large `k` (300) pushes PS to ~25 %.  This module measures the
-//! same quantities on the SBR-1d stand-in; the Criterion benches in
-//! `tkcm-bench` repeat the single-imputation measurement with proper
-//! statistics.
+//! The paper shows that the naive recompute-all implementation is linear in
+//! every parameter (`l`, `d`, `k`, `L`) and dominated by the
+//! pattern-extraction (PE) phase (~92 % for the default `k`).  With the
+//! Section 6.2 incremental maintenance — the engine's default since the
+//! `incremental` module landed — the per-imputation cost no longer depends
+//! on `l` or `d` at all: extraction shrinks to an `O(L)` sweep over the
+//! maintained `D`, the `O(L·d)` sliding-aggregate update moves into a
+//! separate per-tick maintenance phase, and pattern selection (the dynamic
+//! program) becomes the dominant per-imputation cost.  This module measures
+//! both paths so the speedup and the new phase profile are visible side by
+//! side; the Criterion benches in `tkcm-bench` repeat the measurements with
+//! proper statistics.
 
 use std::time::Instant;
 
-use tkcm_core::{TkcmConfig, TkcmImputer};
+use tkcm_core::{IncrementalDissimilarity, TkcmConfig, TkcmEngine, TkcmImputer};
 use tkcm_datasets::DatasetKind;
-use tkcm_timeseries::{SeriesId, StreamSource, StreamTick, StreamingWindow};
+use tkcm_timeseries::{Catalog, SeriesId, StreamSource, StreamTick, StreamingWindow};
 
 use crate::report::{Report, Table};
 
@@ -56,50 +61,151 @@ pub fn build_workload(scale: Scale, window_length: usize, d: usize) -> RuntimeWo
     }
 }
 
-/// Measures the wall-clock seconds of one imputation with the given
-/// parameters (window length is capped by the generated dataset length).
-pub fn time_single_imputation(scale: Scale, l: usize, d: usize, k: usize, window: usize) -> f64 {
-    let workload = build_workload(scale, window, d);
-    let config = TkcmConfig::builder()
+fn runtime_config(l: usize, d: usize, k: usize, window: usize) -> TkcmConfig {
+    TkcmConfig::builder()
         .window_length(window.max((k + 1) * l))
         .pattern_length(l)
         .anchor_count(k)
         .reference_count(d)
         .build()
-        .expect("valid runtime config");
-    let imputer = TkcmImputer::new(config).expect("valid config");
-    let start = Instant::now();
-    let detail = imputer
-        .impute(&workload.window, workload.target, &workload.references)
-        .expect("imputation succeeds");
-    let elapsed = start.elapsed().as_secs_f64();
-    assert!(detail.value.is_finite());
-    elapsed
+        .expect("valid runtime config")
 }
 
-/// Phase shares (extraction, selection) of one imputation with the given `k`.
-pub fn phase_shares(scale: Scale, k: usize) -> (f64, f64) {
+/// Mean wall-clock seconds per imputation over enough repetitions to smooth
+/// timer noise (a maintained-path imputation is only microseconds).
+fn average_impute_seconds(
+    imputer: &TkcmImputer,
+    workload: &RuntimeWorkload,
+    maintained: Option<&IncrementalDissimilarity>,
+    iters: usize,
+) -> f64 {
+    let run = || {
+        let detail = match maintained {
+            Some(state) => imputer
+                .impute_maintained(
+                    &workload.window,
+                    workload.target,
+                    &workload.references,
+                    state,
+                )
+                .expect("imputation succeeds"),
+            None => imputer
+                .impute(&workload.window, workload.target, &workload.references)
+                .expect("imputation succeeds"),
+        };
+        assert!(detail.value.is_finite());
+    };
+    run(); // warm-up pass outside the measurement
+    let start = Instant::now();
+    for _ in 0..iters {
+        run();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Measures the steady-state seconds of one imputation on the default
+/// (incremental, Section 6.2) path: the maintained `D` state is built once
+/// outside the measurement, exactly like the engine keeps it between ticks.
+pub fn time_single_imputation(scale: Scale, l: usize, d: usize, k: usize, window: usize) -> f64 {
+    let workload = build_workload(scale, window, d);
+    let imputer = TkcmImputer::new(runtime_config(l, d, k, window)).expect("valid config");
+    let mut state = IncrementalDissimilarity::new(
+        workload.references.clone(),
+        l,
+        workload.window.length(),
+        false,
+    )
+    .expect("valid state");
+    state.rebuild(&workload.window).expect("rebuild succeeds");
+    average_impute_seconds(&imputer, &workload, Some(&state), 32)
+}
+
+/// Measures the seconds of one imputation on the exact recompute-all path
+/// (`TkcmConfig::incremental = false`) — the pre-Section-6.2 baseline.
+pub fn time_single_imputation_exact(
+    scale: Scale,
+    l: usize,
+    d: usize,
+    k: usize,
+    window: usize,
+) -> f64 {
+    let workload = build_workload(scale, window, d);
+    let imputer = TkcmImputer::new(runtime_config(l, d, k, window)).expect("valid config");
+    average_impute_seconds(&imputer, &workload, None, 4)
+}
+
+/// Per-phase shares of TKCM's runtime over a streaming gap workload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhaseShares {
+    /// Pattern extraction (reading `D`, or recomputing it on the exact path).
+    pub extraction: f64,
+    /// Pattern selection (the dynamic program).
+    pub selection: f64,
+    /// Incremental maintenance (zero on the exact path).
+    pub maintenance: f64,
+}
+
+fn phase_shares_for(scale: Scale, k: usize, incremental: bool) -> PhaseShares {
     let window = match scale {
         Scale::Quick => 2_000,
         Scale::Paper => 20_000,
     };
     let l = scale.default_pattern_length();
-    let workload = build_workload(scale, window, 3);
+    let dataset = dataset_for(DatasetKind::SbrShifted, scale, 5);
+    let width = dataset.width();
     let config = TkcmConfig::builder()
         .window_length(window.max((k + 1) * l))
         .pattern_length(l)
         .anchor_count(k)
         .reference_count(3)
+        .incremental(incremental)
         .build()
         .expect("valid config");
-    let imputer = TkcmImputer::new(config).expect("valid config");
-    let detail = imputer
-        .impute(&workload.window, workload.target, &workload.references)
-        .expect("imputation succeeds");
-    (
-        detail.breakdown.extraction_share(),
-        detail.breakdown.selection_share(),
-    )
+    let mut catalog = Catalog::new();
+    catalog
+        .set_candidates(SeriesId(0), (1..width).map(SeriesId::from).collect())
+        .expect("valid catalog");
+    let mut engine = TkcmEngine::new(width, config, catalog).expect("valid engine");
+    assert_eq!(engine.is_incremental(), incremental);
+
+    // Replay the stream with the target missing over a tail gap, so the
+    // breakdown covers the real tick path: per-tick maintenance plus one
+    // imputation per gap tick.
+    let len = dataset.len().min(window);
+    let gap = 32.min(len / 4);
+    let stream = dataset.to_stream();
+    for (i, tick) in stream.ticks().enumerate() {
+        if i >= len {
+            break;
+        }
+        if i + gap >= len {
+            let mut values = tick.values.clone();
+            values[0] = None;
+            engine
+                .process_tick(&StreamTick::new(tick.time, values))
+                .expect("tick accepted");
+        } else {
+            engine.process_tick(&tick).expect("tick accepted");
+        }
+    }
+    assert_eq!(engine.imputations_performed(), gap);
+    let breakdown = engine.phase_breakdown();
+    PhaseShares {
+        extraction: breakdown.extraction_share(),
+        selection: breakdown.selection_share(),
+        maintenance: breakdown.maintenance_share(),
+    }
+}
+
+/// Phase shares of the default incremental engine for the given `k`.
+pub fn phase_shares(scale: Scale, k: usize) -> PhaseShares {
+    phase_shares_for(scale, k, true)
+}
+
+/// Phase shares of the exact recompute-all path for the given `k` — the
+/// profile the paper reports for the naive implementation (PE ≈ 92 %).
+pub fn phase_shares_exact(scale: Scale, k: usize) -> PhaseShares {
+    phase_shares_for(scale, k, false)
 }
 
 /// Parameter sweep values for the runtime experiment.
@@ -124,6 +230,9 @@ pub fn sweep(scale: Scale) -> (Vec<usize>, Vec<usize>, Vec<usize>, Vec<usize>) {
 pub fn run(scale: Scale) -> Report {
     let mut report = Report::new("Figure 17: runtime linearity and phase breakdown");
     report.note("Seconds per single imputation while sweeping one parameter (SBR-1d stand-in)");
+    report.note(
+        "Default path: incremental D maintenance (Section 6.2) — flat in l and d, linear in k/L",
+    );
     let (ls, ds, ks, windows) = sweep(scale);
     let base_window = match scale {
         Scale::Quick => 2_000,
@@ -188,19 +297,66 @@ pub fn run(scale: Scale) -> Report {
     );
     report.add_table(w_table);
 
-    // Section 7.4 phase breakdown for the default k and a very large k.
+    // The Section 6.2 payoff: incremental vs exact per-imputation cost at
+    // the default parameters.
+    let mut versus = Table::new(
+        "Per-imputation cost: incremental vs exact recompute",
+        vec!["path".into(), "seconds".into()],
+    );
+    versus.push_row(
+        "incremental",
+        vec![time_single_imputation(scale, l_default, 3, 5, base_window)],
+    );
+    versus.push_row(
+        "exact",
+        vec![time_single_imputation_exact(
+            scale,
+            l_default,
+            3,
+            5,
+            base_window,
+        )],
+    );
+    report.add_table(versus);
+
+    // Section 7.4 phase breakdown for the default k and a very large k, on
+    // both paths (the paper's ~92 % PE share is the exact path's profile).
     let mut phases = Table::new(
         "Phase breakdown (share of runtime)",
-        vec!["k".into(), "extraction".into(), "selection".into()],
+        vec![
+            "configuration".into(),
+            "extraction".into(),
+            "selection".into(),
+            "maintenance".into(),
+        ],
     );
-    let (ext_default, sel_default) = phase_shares(scale, 5);
-    phases.push_row("k=5", vec![ext_default, sel_default]);
     let big_k = match scale {
         Scale::Quick => 50,
         Scale::Paper => 300,
     };
-    let (ext_big, sel_big) = phase_shares(scale, big_k);
-    phases.push_row(format!("k={big_k}"), vec![ext_big, sel_big]);
+    let inc_default = phase_shares(scale, 5);
+    phases.push_row(
+        "incremental k=5",
+        vec![
+            inc_default.extraction,
+            inc_default.selection,
+            inc_default.maintenance,
+        ],
+    );
+    let inc_big = phase_shares(scale, big_k);
+    phases.push_row(
+        format!("incremental k={big_k}"),
+        vec![inc_big.extraction, inc_big.selection, inc_big.maintenance],
+    );
+    let exact_default = phase_shares_exact(scale, 5);
+    phases.push_row(
+        "exact k=5",
+        vec![
+            exact_default.extraction,
+            exact_default.selection,
+            exact_default.maintenance,
+        ],
+    );
     report.add_table(phases);
 
     report
@@ -221,35 +377,72 @@ mod tests {
     }
 
     #[test]
-    fn extraction_dominates_for_default_k() {
-        // Section 7.4: with the default k the PE phase dominates PS.
-        let (extraction, selection) = phase_shares(Scale::Quick, 5);
+    fn incremental_is_cheaper_than_exact_recompute() {
+        // The whole point of Section 6.2: reading the maintained D must beat
+        // re-extracting every candidate pattern by a wide margin.
+        let incremental = time_single_imputation(Scale::Quick, 12, 3, 5, 2_000);
+        let exact = time_single_imputation_exact(Scale::Quick, 12, 3, 5, 2_000);
         assert!(
-            extraction > selection,
-            "extraction {extraction} vs selection {selection}"
+            incremental < exact * 0.5,
+            "incremental {incremental}s should be well under exact {exact}s"
         );
-        assert!(extraction > 0.5);
+    }
+
+    #[test]
+    fn incremental_extraction_no_longer_dominates() {
+        // The acceptance criterion for the Section 6.2 rework: pattern
+        // extraction drops from ~94 % to a minority of the runtime.
+        let shares = phase_shares(Scale::Quick, 5);
+        assert!(
+            shares.extraction < 0.5,
+            "extraction share {} should be a minority on the incremental path",
+            shares.extraction
+        );
+        assert!(shares.maintenance > 0.0, "maintenance phase must be timed");
+    }
+
+    #[test]
+    fn exact_path_extraction_still_dominates() {
+        // Section 7.4: on the recompute-all path the PE phase dominates PS
+        // for the default k — kept as the cross-check baseline.
+        let shares = phase_shares_exact(Scale::Quick, 5);
+        assert!(
+            shares.extraction > shares.selection,
+            "extraction {} vs selection {}",
+            shares.extraction,
+            shares.selection
+        );
+        assert!(shares.extraction > 0.5);
+        assert_eq!(shares.maintenance, 0.0);
     }
 
     #[test]
     fn large_k_increases_the_selection_share() {
-        let (_, sel_small) = phase_shares(Scale::Quick, 5);
-        let (_, sel_large) = phase_shares(Scale::Quick, 100);
+        let small = phase_shares(Scale::Quick, 5);
+        let large = phase_shares(Scale::Quick, 100);
         assert!(
-            sel_large > sel_small,
-            "selection share should grow with k ({sel_small} -> {sel_large})"
+            large.selection > small.selection,
+            "selection share should grow with k ({} -> {})",
+            small.selection,
+            large.selection
         );
     }
 
     #[test]
-    fn report_has_five_tables() {
+    fn report_has_six_tables() {
         let report = run(Scale::Quick);
-        assert_eq!(report.tables.len(), 5);
+        assert_eq!(report.tables.len(), 6);
         for table in &report.tables {
             for (_, values) in &table.rows {
                 assert!(values.iter().all(|v| v.is_finite() && *v >= 0.0));
             }
         }
+        // The last table is the phase breakdown the `breakdown_phases`
+        // binary prints.
+        assert_eq!(
+            report.tables.last().unwrap().title,
+            "Phase breakdown (share of runtime)"
+        );
     }
 
     #[test]

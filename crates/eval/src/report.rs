@@ -1,7 +1,35 @@
 //! Plain-text reports: tables and series dumps that the `tkcm-bench`
-//! binaries print to regenerate the paper's figures.
+//! binaries print to regenerate the paper's figures, plus a hand-rolled
+//! JSON serialisation (no serde in the offline build) so CI can archive
+//! machine-readable results (`BENCH_results.json`).
 
 use std::fmt;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/∞ — they become null).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
 
 /// A labelled table of numeric results (one per figure/parameter sweep).
 #[derive(Clone, Debug, PartialEq)]
@@ -36,6 +64,34 @@ impl Table {
             .iter()
             .find(|(label, _)| label == row_label)
             .and_then(|(_, values)| values.get(col).copied())
+    }
+
+    /// The table as a JSON object: `{"title", "headers", "rows": [{"label",
+    /// "values"}]}`.  Non-finite values serialise as `null`.
+    pub fn to_json(&self) -> String {
+        let headers: Vec<String> = self
+            .headers
+            .iter()
+            .map(|h| format!("\"{}\"", json_escape(h)))
+            .collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|(label, values)| {
+                let values: Vec<String> = values.iter().map(|v| json_number(*v)).collect();
+                format!(
+                    "{{\"label\":\"{}\",\"values\":[{}]}}",
+                    json_escape(label),
+                    values.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"title\":\"{}\",\"headers\":[{}],\"rows\":[{}]}}",
+            json_escape(&self.title),
+            headers.join(","),
+            rows.join(",")
+        )
     }
 
     /// Values of one data column (by header name), in row order.
@@ -137,6 +193,24 @@ impl Report {
     pub fn table(&self, title: &str) -> Option<&Table> {
         self.tables.iter().find(|t| t.title == title)
     }
+
+    /// The report as a JSON object: `{"title", "notes", "tables"}`.  The
+    /// qualitative curves (`series`) are omitted — they are plot data, not
+    /// regression-trackable metrics.
+    pub fn to_json(&self) -> String {
+        let notes: Vec<String> = self
+            .notes
+            .iter()
+            .map(|n| format!("\"{}\"", json_escape(n)))
+            .collect();
+        let tables: Vec<String> = self.tables.iter().map(|t| t.to_json()).collect();
+        format!(
+            "{{\"title\":\"{}\",\"notes\":[{}],\"tables\":[{}]}}",
+            json_escape(&self.title),
+            notes.join(","),
+            tables.join(",")
+        )
+    }
 }
 
 impl fmt::Display for Report {
@@ -207,5 +281,23 @@ mod tests {
         let r = Report::new("empty");
         let text = r.to_string();
         assert!(text.contains("empty"));
+    }
+
+    #[test]
+    fn json_serialisation_is_well_formed() {
+        let mut r = Report::new("Figure \"16\"");
+        r.note("line1\nline2");
+        let mut t = Table::new("rmse", vec!["dataset".into(), "TKCM".into()]);
+        t.push_row("SBR", vec![1.25]);
+        t.push_row("bad", vec![f64::INFINITY]);
+        r.add_table(t);
+        let json = r.to_json();
+        assert_eq!(
+            json,
+            "{\"title\":\"Figure \\\"16\\\"\",\"notes\":[\"line1\\nline2\"],\
+             \"tables\":[{\"title\":\"rmse\",\"headers\":[\"dataset\",\"TKCM\"],\
+             \"rows\":[{\"label\":\"SBR\",\"values\":[1.25]},\
+             {\"label\":\"bad\",\"values\":[null]}]}]}"
+        );
     }
 }

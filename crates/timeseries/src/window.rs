@@ -106,6 +106,13 @@ impl StreamingWindow {
         self.ticks_seen >= self.length
     }
 
+    /// Number of slots per series that actually hold pushed data:
+    /// `min(ticks_seen, L)`.  Ages `0..filled()` are addressable; anything
+    /// older reads as missing.
+    pub fn filled(&self) -> usize {
+        self.ticks_seen.min(self.length)
+    }
+
     /// Pushes a new tick into the window (O(width), O(1) per series).
     ///
     /// Returns an error if the tick width does not match the window width or

@@ -69,8 +69,11 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         // `cargo test` runs bench targets with `--test`; run each benchmark
-        // once there instead of collecting samples.
-        let test_mode = std::env::args().any(|a| a == "--test");
+        // once there instead of collecting samples.  `--quick` (mirroring
+        // real criterion's flag, passed as `cargo bench -- --quick`) does
+        // the same so CI can smoke the bench *run* path — not just compile
+        // it with `--no-run` — in seconds.
+        let test_mode = std::env::args().any(|a| a == "--test" || a == "--quick");
         Criterion {
             sample_size: 10,
             test_mode,
