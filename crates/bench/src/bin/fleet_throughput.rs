@@ -1,0 +1,24 @@
+//! Fleet throughput sweep: the sharded runtime (`tkcm-runtime`) over the
+//! wide multi-cluster fleet workload, at 1/2/4 shards.
+//!
+//! `--paper` runs the paper-proportioned fleet (24 clusters × 6 series,
+//! 30 days); the default quick fleet finishes in a couple of seconds in
+//! release mode.  `--json [path]` additionally writes the machine-readable
+//! results (wall time + the throughput/speedup table) that CI uploads as the
+//! `BENCH_results_fleet` artifact, so the parallel-scaling trajectory is
+//! trackable across PRs.
+use std::time::Instant;
+
+fn main() {
+    let scale = tkcm_bench::scale_from_args(std::env::args());
+    let json_path = tkcm_bench::json_path_from_args(std::env::args());
+    let start = Instant::now();
+    let report = tkcm_eval::experiments::fleet::run(scale);
+    let elapsed = start.elapsed().as_secs_f64();
+    tkcm_bench::print_report(&report, scale);
+    if let Some(path) = json_path {
+        let json = tkcm_bench::bench_results_json(scale, &[(elapsed, report)]);
+        std::fs::write(&path, json).expect("failed to write the JSON results file");
+        println!("machine-readable results written to {path}");
+    }
+}

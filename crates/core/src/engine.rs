@@ -257,9 +257,15 @@ impl TkcmEngine {
                 // target must fold the new value into its running sums so
                 // later imputations at this tick (and future ticks) see the
                 // same window contents as a from-scratch recompute would.
+                // States whose reference set does not contain the target are
+                // untouched by the write and are skipped here — invalidating
+                // all of them made every write-back O(maintainers) even when
+                // only one (or none) of the states could be affected.
                 let start = Instant::now();
                 for m in &mut self.maintainers {
-                    m.state.on_write(&self.window, target, 0, None)?;
+                    if m.state.references().contains(&target) {
+                        m.state.on_write(&self.window, target, 0, None)?;
+                    }
                 }
                 self.breakdown.maintenance += start.elapsed();
             }
@@ -438,6 +444,78 @@ mod tests {
             }
         }
         assert_eq!(engine.imputations_performed(), 11);
+    }
+
+    #[test]
+    fn write_back_only_invalidates_maintainers_referencing_the_target() {
+        // Two independent pairs: 0 ↔ 1 and 2 ↔ 3.  A maintainer exists for
+        // reference set [1] (serving series 0) and one for [3] (serving
+        // series 2).  Write-backs into series 2 must leave the [1] state
+        // byte-identical to a twin run in which series 2 never goes missing
+        // (so no write-back happens at all): the [1] state is a function of
+        // series 1 alone, which is identical in both runs.
+        let mut catalog = Catalog::new();
+        catalog
+            .set_candidates(SeriesId(0), vec![SeriesId(1)])
+            .unwrap();
+        catalog
+            .set_candidates(SeriesId(1), vec![SeriesId(0)])
+            .unwrap();
+        catalog
+            .set_candidates(SeriesId(2), vec![SeriesId(3)])
+            .unwrap();
+        catalog
+            .set_candidates(SeriesId(3), vec![SeriesId(2)])
+            .unwrap();
+        let config = small_config(128, 3, 2, 1);
+        let mut with_writes = TkcmEngine::new(4, config.clone(), catalog.clone()).unwrap();
+        let mut without_writes = TkcmEngine::new(4, config, catalog).unwrap();
+
+        let mut imputed_2 = 0usize;
+        for t in 0..120usize {
+            let base = sine(t, 24.0, 0.0);
+            // Series 0 misses every 5th tick from 100 on (creates the [1]
+            // maintainer in both runs and keeps it within its idle TTL);
+            // series 2 later misses a block only in the first run, producing
+            // the unrelated write-backs under test.
+            let s0 = if t >= 100 && t % 5 == 0 {
+                None
+            } else {
+                Some(base)
+            };
+            let s2 = Some(sine(t, 24.0, 3.0));
+            let s2_gapped = if (110..118).contains(&t) { None } else { s2 };
+            let others = (Some(sine(t, 24.0, 7.0)), Some(sine(t, 24.0, 11.0)));
+
+            let tick_a = StreamTick::new(
+                Timestamp::new(t as i64),
+                vec![s0, others.0, s2_gapped, others.1],
+            );
+            let tick_b =
+                StreamTick::new(Timestamp::new(t as i64), vec![s0, others.0, s2, others.1]);
+            let outcome = with_writes.process_tick(&tick_a).unwrap();
+            without_writes.process_tick(&tick_b).unwrap();
+            imputed_2 += usize::from(outcome.imputed_value(SeriesId(2)).is_some());
+
+            let state_of = |e: &TkcmEngine| {
+                e.maintainers
+                    .iter()
+                    .find(|m| m.state.references() == [SeriesId(1)])
+                    .map(|m| format!("{:?}", m.state))
+            };
+            assert_eq!(
+                state_of(&with_writes),
+                state_of(&without_writes),
+                "tick {t}: series-2 write-back leaked into the [1] maintainer"
+            );
+            if t >= 100 {
+                assert!(
+                    state_of(&with_writes).is_some(),
+                    "maintainer [1] evicted early"
+                );
+            }
+        }
+        assert_eq!(imputed_2, 8);
     }
 
     #[test]

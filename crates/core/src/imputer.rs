@@ -22,7 +22,7 @@ use crate::consistency::ConsistencyReport;
 use crate::diagnostics::{Phase, PhaseBreakdown, PhaseTimer};
 use crate::dissimilarity::{Dissimilarity, L2Distance};
 use crate::incremental::IncrementalDissimilarity;
-use crate::pattern::{extract_pattern, extract_query_pattern};
+use crate::pattern::{extract_pattern_at_age, extract_query_pattern};
 use crate::selection::select_anchors;
 
 /// One selected anchor: time point, dissimilarity of its pattern and the
@@ -244,11 +244,10 @@ impl TkcmImputer {
                             if window.slot_recent(target, age)?.state != SlotState::Observed {
                                 continue;
                             }
-                            let anchor_time = now - age as i64;
-                            let candidate = extract_pattern(
+                            let candidate = extract_pattern_at_age(
                                 window,
                                 references,
-                                anchor_time,
+                                age,
                                 l,
                                 self.config.allow_missing_in_patterns,
                             )?;
@@ -273,7 +272,12 @@ impl TkcmImputer {
                 .value_recent(target, age)?
                 .expect("anchor candidates require an observed target value");
             anchors.push(Anchor {
-                time: now - age as i64,
+                // The anchor's real tick time, read from the window's stored
+                // per-tick times — `now - age` would only be correct for a
+                // one-timestamp-unit cadence.
+                time: window
+                    .time_of_age(age)
+                    .expect("anchor candidates lie inside the pushed window"),
                 dissimilarity: dissimilarities[idx],
                 value,
             });

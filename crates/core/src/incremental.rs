@@ -179,7 +179,12 @@ impl IncrementalDissimilarity {
         let now = window
             .current_time()
             .ok_or_else(|| TsError::invalid("window", "no tick has been pushed yet"))?;
-        let one_step = matches!(self.last_time, Some(t) if now - t == 1);
+        // Exactly one tick behind ⇔ the previous tick (age 1) carries the
+        // time of the last sync.  Comparing stored tick times (instead of
+        // `now - t == 1`) keeps the O(d)-per-lag path on any real cadence —
+        // at a 600-second spacing the delta is never 1 and the old check
+        // silently degraded every advance into an O(L·l·d) rebuild.
+        let one_step = self.last_time.is_some() && window.time_of_age(1) == self.last_time;
         if !one_step || self.ticks_since_rebuild >= self.window_length {
             return self.rebuild(window);
         }
@@ -242,7 +247,12 @@ impl IncrementalDissimilarity {
             return Ok(());
         };
         if !self.is_synced(window) {
-            // The next advance() will rebuild from current contents anyway.
+            // The sums describe an older window snapshot, so the write can't
+            // be patched in coherently.  Drop the sync point entirely: a
+            // merely one-tick-behind state would otherwise take the
+            // incremental path on the next advance() and carry the unpatched
+            // slot for up to L ticks.
+            self.last_time = None;
             return Ok(());
         }
         let l = self.pattern_length;
@@ -359,7 +369,7 @@ impl IncrementalDissimilarity {
 mod tests {
     use super::*;
     use crate::dissimilarity::{Dissimilarity, L2Distance};
-    use crate::pattern::{extract_pattern, extract_query_pattern};
+    use crate::pattern::{extract_pattern_at_age, extract_query_pattern};
     use tkcm_timeseries::StreamTick;
 
     /// From-scratch D at one lag, exactly as the exact imputer path computes
@@ -371,12 +381,13 @@ mod tests {
         lag: usize,
         allow_missing: bool,
     ) -> f64 {
-        let now = window.current_time().unwrap();
         let query = extract_query_pattern(window, refs, l, allow_missing).unwrap();
         let Some(query) = query else {
             return f64::INFINITY;
         };
-        let candidate = extract_pattern(window, refs, now - lag as i64, l, allow_missing).unwrap();
+        // The candidate lag *is* the anchor age — going through an absolute
+        // timestamp here would re-introduce a unit-cadence assumption.
+        let candidate = extract_pattern_at_age(window, refs, lag, l, allow_missing).unwrap();
         match candidate {
             Some(c) => L2Distance.distance(&c, &query),
             None => f64::INFINITY,
@@ -550,6 +561,65 @@ mod tests {
         assert_eq!(before.sums, state.sums);
         assert_eq!(before.counts, state.counts);
         assert_matches_exact(&state, &window, &refs, 2, false);
+    }
+
+    #[test]
+    fn advance_stays_incremental_on_non_unit_cadence() {
+        // Ticks 600 timestamp units apart (a 10-minute cadence at second
+        // resolution): the one-step detection must still take the O(d)-per-lag
+        // sliding update, not fall back to a rebuild on every tick.
+        let capacity = 16;
+        let l = 2;
+        let refs = vec![SeriesId(0), SeriesId(1)];
+        let mut window = StreamingWindow::new(2, capacity);
+        let mut state = IncrementalDissimilarity::new(refs.clone(), l, capacity, false).unwrap();
+        // Stay below the periodic drift-rebuild horizon (`L` ticks) so the
+        // counter below isolates the cadence behaviour.
+        let total = capacity - 4;
+        for t in 0..total {
+            window
+                .push_tick(&StreamTick::new(
+                    Timestamp::new(t as i64 * 600),
+                    vec![Some((t as f64 * 0.7).sin()), Some((t as f64 * 0.9).cos())],
+                ))
+                .unwrap();
+            state.advance(&window).unwrap();
+            assert_matches_exact(&state, &window, &refs, l, false);
+        }
+        // The first advance rebuilds (nothing to slide from); every later one
+        // must have taken the incremental path.  A per-tick rebuild would
+        // leave this counter at 0.
+        assert_eq!(state.ticks_since_rebuild, total - 1);
+    }
+
+    #[test]
+    fn write_on_unsynced_state_forces_a_rebuild() {
+        // push -> advance -> push (no advance) -> write_imputed -> advance:
+        // the write arrives while the state is one tick behind, so it cannot
+        // be patched in; the state must drop its sync point and rebuild on
+        // the next advance instead of sliding past the unpatched slot.
+        let capacity = 12;
+        let l = 2;
+        let refs = vec![SeriesId(0)];
+        let mut window = StreamingWindow::new(1, capacity);
+        let mut state = IncrementalDissimilarity::new(refs.clone(), l, capacity, true).unwrap();
+        for t in 0..capacity {
+            let v = if t == 5 { None } else { Some((t as f64).sin()) };
+            window
+                .push_tick(&StreamTick::new(Timestamp::new(t as i64), vec![v]))
+                .unwrap();
+            if t + 1 < capacity {
+                state.advance(&window).unwrap();
+            }
+        }
+        // State is now exactly one tick behind; write into history.
+        let age = window.current_time().unwrap().tick() as usize - 5;
+        window.write_imputed(SeriesId(0), age, 0.75).unwrap();
+        state.on_write(&window, SeriesId(0), age, None).unwrap();
+        assert!(!state.is_synced(&window));
+        state.advance(&window).unwrap();
+        assert_eq!(state.ticks_since_rebuild, 0, "advance must have rebuilt");
+        assert_matches_exact(&state, &window, &refs, l, true);
     }
 
     #[test]

@@ -90,5 +90,5 @@ pub use dissimilarity::{Dissimilarity, DtwDistance, L1Distance, L2Distance};
 pub use engine::{EngineOutcome, Imputation, TkcmEngine};
 pub use imputer::{ImputationDetail, TkcmImputer};
 pub use incremental::IncrementalDissimilarity;
-pub use pattern::{extract_pattern, extract_query_pattern, Pattern};
+pub use pattern::{extract_pattern, extract_pattern_at_age, extract_query_pattern, Pattern};
 pub use selection::{select_anchors_dp, select_anchors_greedy, AnchorSelection, SelectionStrategy};

@@ -126,12 +126,37 @@ pub fn extract_pattern(
     if length == 0 {
         return Err(TsError::invalid("l", "pattern length must be positive"));
     }
-    // Validate that the whole pattern lies inside the window.
     let anchor_age = window.age_of(anchor)?;
+    extract_pattern_at_age(window, references, anchor_age, length, allow_missing)
+}
+
+/// Extracts the pattern anchored `anchor_age` ticks in the past (0 = the
+/// current tick).  This is the variant the imputer's candidate sweep uses:
+/// Algorithm 1 walks candidate *ages*, so going through an absolute
+/// timestamp (and back) would both cost an extra conversion per candidate
+/// and silently assume a unit tick cadence.  The pattern's anchor timestamp
+/// is read from the window's stored per-tick times.
+pub fn extract_pattern_at_age(
+    window: &StreamingWindow,
+    references: &[SeriesId],
+    anchor_age: usize,
+    length: usize,
+    allow_missing: bool,
+) -> Result<Option<Pattern>, TsError> {
+    if length == 0 {
+        return Err(TsError::invalid("l", "pattern length must be positive"));
+    }
+    let anchor = window.time_of_age(anchor_age).ok_or_else(|| {
+        TsError::invalid(
+            "age",
+            format!("anchor age {anchor_age} exceeds the number of pushed ticks"),
+        )
+    })?;
+    // Validate that the whole pattern lies inside the window.
     let oldest_age = anchor_age + length - 1;
     if oldest_age >= window.length() {
         return Err(TsError::TimeOutOfRange {
-            requested: anchor - (length as i64 - 1),
+            requested: anchor,
             earliest: window
                 .time_of_age(window.length() - 1)
                 .unwrap_or(Timestamp::MIN),

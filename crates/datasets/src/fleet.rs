@@ -1,0 +1,232 @@
+//! Synthetic wide-fleet workload: many independent sensor clusters at once.
+//!
+//! The paper's evaluation replays *one* sensor network through one engine.
+//! The sharded runtime (`tkcm-runtime`) instead serves a wide fleet — many
+//! networks under one roof — and needs a workload shaped like one: clusters
+//! of mutually referencing series with **no candidate edges between
+//! clusters**, recurring short outages in every cluster (so the incremental
+//! maintainers stay hot, as in a real deployment), and a catalog whose
+//! connected components are exactly the clusters.
+//!
+//! Each cluster gets its own daily-profile mixture (random phase, second
+//! harmonic, amplitude) and its members are phase-shifted, scaled copies of
+//! the cluster signal plus noise — the same pattern-determining structure as
+//! the SBR/Chlorine generators, repeated per cluster.
+
+use rand::Rng;
+use tkcm_timeseries::{Catalog, SampleInterval, SeriesId, TimeSeries, Timestamp};
+
+use crate::generator::{Dataset, DatasetKind};
+use crate::rng::{normal, seeded};
+
+/// Configuration of the fleet workload generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetConfig {
+    /// Number of independent clusters (catalog components).
+    pub clusters: usize,
+    /// Series per cluster.
+    pub series_per_cluster: usize,
+    /// Number of days of 5-minute data.
+    pub days: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Mean ticks between the start of one outage and the next per series.
+    pub outage_every: usize,
+    /// Length of each outage in ticks.
+    pub outage_length: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            clusters: 8,
+            series_per_cluster: 4,
+            days: 10,
+            seed: 42,
+            outage_every: 40,
+            outage_length: 6,
+        }
+    }
+}
+
+/// A generated fleet: the dataset (with outages already injected as missing
+/// values) plus the cluster-structured reference catalog.
+#[derive(Clone, Debug)]
+pub struct FleetWorkload {
+    /// The fleet dataset; values inside outages are missing.
+    pub dataset: Dataset,
+    /// Within-cluster ring catalog; its connected components are the
+    /// clusters, so `FleetPartition` shards it without dropping any edge.
+    pub catalog: Catalog,
+    /// Number of missing values across the fleet.
+    pub missing: usize,
+}
+
+impl FleetConfig {
+    /// Total number of series in the fleet.
+    pub fn width(&self) -> usize {
+        self.clusters * self.series_per_cluster
+    }
+
+    /// Number of ticks the workload will contain (5-minute sampling).
+    pub fn ticks(&self) -> usize {
+        self.days * SampleInterval::FIVE_MINUTES.ticks_per_day() as usize
+    }
+
+    /// Generates the fleet workload.
+    pub fn generate(&self) -> FleetWorkload {
+        assert!(self.clusters > 0, "need at least one cluster");
+        assert!(
+            self.series_per_cluster > 0,
+            "need at least one series per cluster"
+        );
+        assert!(self.days > 0, "need at least one day");
+        assert!(
+            self.outage_every > self.outage_length,
+            "outages must not overlap themselves"
+        );
+        let interval = SampleInterval::FIVE_MINUTES;
+        let ticks_per_day = interval.ticks_per_day() as f64;
+        let len = self.ticks();
+        let mut rng = seeded(self.seed);
+
+        let mut series = Vec::with_capacity(self.width());
+        let mut missing = 0usize;
+        for cluster in 0..self.clusters {
+            // Cluster signal: daily fundamental plus a second harmonic with
+            // cluster-specific phases and mix.
+            let phase = rng.gen::<f64>() * ticks_per_day;
+            let harmonic_phase = rng.gen::<f64>() * ticks_per_day;
+            let harmonic_mix = 0.2 + 0.4 * rng.gen::<f64>();
+            let amplitude = 0.5 + rng.gen::<f64>();
+            let base: Vec<f64> = (0..len)
+                .map(|t| {
+                    let day = (t as f64 + phase) / ticks_per_day * std::f64::consts::TAU;
+                    let harm =
+                        (t as f64 + harmonic_phase) / ticks_per_day * 2.0 * std::f64::consts::TAU;
+                    amplitude * (day.sin() + harmonic_mix * harm.sin())
+                })
+                .collect();
+
+            for member in 0..self.series_per_cluster {
+                let id = cluster * self.series_per_cluster + member;
+                // Members are delayed, scaled copies of the cluster signal —
+                // phase-shifted like the Chlorine junctions, so the cluster
+                // stays pattern-determining but not linearly aligned.
+                let delay = rng.gen_range(0usize..18);
+                let scale = 0.7 + 0.6 * rng.gen::<f64>();
+                let offset = normal(&mut rng, 0.0, 0.3);
+                // Outage schedule: one `outage_length` block roughly every
+                // `outage_every` ticks, with a random per-series phase so
+                // outages stagger across the cluster.
+                let outage_phase = rng.gen_range(0usize..self.outage_every);
+                let values: Vec<Option<f64>> = (0..len)
+                    .map(|t| {
+                        let in_outage = t >= 2 * self.outage_every
+                            && (t + outage_phase) % self.outage_every < self.outage_length;
+                        if in_outage {
+                            missing += 1;
+                            None
+                        } else {
+                            let src = base[t.saturating_sub(delay)];
+                            Some(scale * src + offset + normal(&mut rng, 0.0, 0.01))
+                        }
+                    })
+                    .collect();
+                series.push(TimeSeries::new(
+                    id as u32,
+                    format!("fleet-{cluster:03}-{member:02}"),
+                    Timestamp::new(0),
+                    interval,
+                    values,
+                ));
+            }
+        }
+
+        let mut catalog = Catalog::new();
+        for cluster in 0..self.clusters {
+            let base_id = cluster * self.series_per_cluster;
+            for member in 0..self.series_per_cluster {
+                let ranked: Vec<SeriesId> = (1..self.series_per_cluster)
+                    .map(|step| SeriesId::from(base_id + (member + step) % self.series_per_cluster))
+                    .collect();
+                catalog
+                    .set_candidates(SeriesId::from(base_id + member), ranked)
+                    .expect("cluster ring candidates are valid");
+            }
+        }
+
+        FleetWorkload {
+            dataset: Dataset::new(DatasetKind::Fleet, interval, series),
+            catalog,
+            missing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkcm_timeseries::FleetPartition;
+
+    #[test]
+    fn shape_and_outages() {
+        let cfg = FleetConfig {
+            clusters: 3,
+            series_per_cluster: 4,
+            days: 2,
+            ..FleetConfig::default()
+        };
+        let fleet = cfg.generate();
+        assert_eq!(fleet.dataset.width(), 12);
+        assert_eq!(fleet.dataset.len(), 2 * 288);
+        assert!(fleet.missing > 0);
+        // Every series has outages but most values are present.
+        for s in &fleet.dataset.series {
+            let gaps = s.values().iter().filter(|v| v.is_none()).count();
+            assert!(gaps > 0, "{} has no outage", s.name());
+            assert!(gaps * 4 < s.len(), "{} mostly missing", s.name());
+        }
+    }
+
+    #[test]
+    fn catalog_components_are_the_clusters() {
+        let cfg = FleetConfig {
+            clusters: 5,
+            series_per_cluster: 3,
+            days: 1,
+            ..FleetConfig::default()
+        };
+        let fleet = cfg.generate();
+        let partition = FleetPartition::new(cfg.width(), &fleet.catalog, 5).unwrap();
+        assert_eq!(partition.shard_count(), 5);
+        assert_eq!(partition.dropped_edges(&fleet.catalog), 0);
+        for shard in 0..5 {
+            assert_eq!(partition.members(shard).len(), 3);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = FleetConfig {
+            clusters: 2,
+            series_per_cluster: 2,
+            days: 1,
+            ..FleetConfig::default()
+        };
+        let a = cfg.generate();
+        let b = cfg.generate();
+        assert_eq!(a.missing, b.missing);
+        assert_eq!(a.dataset.series[3].values(), b.dataset.series[3].values());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_panics() {
+        let _ = FleetConfig {
+            clusters: 0,
+            ..FleetConfig::default()
+        }
+        .generate();
+    }
+}

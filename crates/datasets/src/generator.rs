@@ -15,6 +15,8 @@ pub enum DatasetKind {
     Chlorine,
     /// Analytic sine families of Section 5.
     Sine,
+    /// Wide multi-cluster fleet workload for the sharded runtime.
+    Fleet,
 }
 
 impl DatasetKind {
@@ -26,6 +28,7 @@ impl DatasetKind {
             DatasetKind::Flights => "Flights",
             DatasetKind::Chlorine => "Chlorine",
             DatasetKind::Sine => "Sine",
+            DatasetKind::Fleet => "Fleet",
         }
     }
 
@@ -35,7 +38,7 @@ impl DatasetKind {
             DatasetKind::Sbr | DatasetKind::SbrShifted => "°C",
             DatasetKind::Flights => "#flights",
             DatasetKind::Chlorine => "chlorine level",
-            DatasetKind::Sine => "",
+            DatasetKind::Sine | DatasetKind::Fleet => "",
         }
     }
 }

@@ -152,15 +152,18 @@ mod tests {
     fn tkcm_wins_on_the_phase_shifted_dataset() {
         // Figure 16, Chlorine: the chlorine wave propagates through the
         // network with junction-specific delays, so the references are phase
-        // shifted and the linear baselines degrade.  TKCM must have the
-        // lowest RMSE of the four (small tolerance for the quick workload).
+        // shifted and the linear baselines degrade.  With 10 days of quick
+        // history (two full dosing-drift cycles) TKCM must beat every
+        // baseline by a real margin — at least 10 % lower RMSE — not merely
+        // sit inside a tolerance band.  (Measured: TKCM ≈ 0.0078 vs
+        // MUSCLES ≈ 0.0136, SPIRIT ≈ 0.026, CD ≈ 0.031.)
         let scenario = comparison_scenario(DatasetKind::Chlorine, Scale::Quick, 1);
         let outcomes = run_all_algorithms(&scenario, Scale::Quick);
         let tkcm = outcomes[0].rmse;
         for other in &outcomes[1..] {
             assert!(
-                tkcm <= other.rmse * 1.1,
-                "TKCM rmse {tkcm} should not be worse than {} rmse {}",
+                tkcm < other.rmse * 0.9,
+                "TKCM rmse {tkcm} should clearly beat {} rmse {}",
                 other.algorithm,
                 other.rmse
             );

@@ -1,0 +1,228 @@
+//! Fleet throughput: the sharded runtime over a wide multi-cluster fleet.
+//!
+//! This experiment goes beyond the paper (which replays one network through
+//! one engine): a [`tkcm_datasets::FleetConfig`] workload — many independent
+//! sensor clusters with recurring outages — is replayed through
+//! [`tkcm_runtime::ShardedEngine`] at 1, 2 and 4 shards, and the total tick
+//! throughput is reported.  Because the fleet catalog's connected components
+//! are exactly the clusters, sharding drops no candidate edge and every
+//! shard count imputes the *same values*; the experiment asserts that, so a
+//! throughput number can never come from silently different work.
+
+use std::time::Instant;
+
+use tkcm_core::TkcmConfig;
+use tkcm_datasets::{FleetConfig, FleetWorkload};
+use tkcm_runtime::ShardedEngine;
+use tkcm_timeseries::StreamSource;
+
+use crate::report::{Report, Table};
+
+use super::Scale;
+
+/// Shard counts the throughput sweep runs, smallest first.
+pub const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Fleet workload proportions for one scale.
+pub fn fleet_config(scale: Scale, seed: u64) -> FleetConfig {
+    match scale {
+        Scale::Quick => FleetConfig {
+            clusters: 8,
+            series_per_cluster: 4,
+            days: 6,
+            seed,
+            outage_every: 40,
+            outage_length: 6,
+        },
+        Scale::Paper => FleetConfig {
+            clusters: 24,
+            series_per_cluster: 6,
+            days: 30,
+            seed,
+            outage_every: 60,
+            outage_length: 12,
+        },
+    }
+}
+
+/// TKCM configuration for a fleet of `len` ticks at this scale (window over
+/// the whole workload, like the other experiments).
+fn fleet_tkcm_config(scale: Scale, len: usize) -> TkcmConfig {
+    let l = scale.default_pattern_length();
+    let k = scale.default_anchor_count();
+    TkcmConfig::builder()
+        .window_length(len.max((k + 1) * l))
+        .pattern_length(l)
+        .anchor_count(k)
+        .reference_count(scale.default_reference_count())
+        .build()
+        .expect("fleet configuration is valid")
+}
+
+/// One measured replay of the fleet at a fixed shard count.
+#[derive(Clone, Debug)]
+pub struct FleetRun {
+    /// Shard target handed to the runtime (= worker threads).
+    pub shards: usize,
+    /// Wall-clock seconds for the full replay.
+    pub wall_seconds: f64,
+    /// Fleet-wide ticks per second.
+    pub ticks_per_second: f64,
+    /// Total values imputed (identical across shard counts by construction).
+    pub imputations: usize,
+    /// Throughput relative to the 1-shard run.
+    pub speedup: f64,
+}
+
+/// Replays the fleet at every shard count and measures throughput.
+pub fn run_fleet_benchmark(scale: Scale) -> Vec<FleetRun> {
+    let config = fleet_config(scale, 2024);
+    let workload = config.generate();
+    run_fleet_benchmark_on(&workload, scale)
+}
+
+/// Replay driver over an already generated workload (shared by tests).
+pub fn run_fleet_benchmark_on(workload: &FleetWorkload, scale: Scale) -> Vec<FleetRun> {
+    let width = workload.dataset.width();
+    let len = workload.dataset.len();
+    let tkcm = fleet_tkcm_config(scale, len);
+    let stream = workload.dataset.to_stream();
+    let ticks: Vec<_> = stream.ticks().collect();
+
+    let mut runs: Vec<FleetRun> = Vec::with_capacity(SHARD_COUNTS.len());
+    let mut baseline_imputations = None;
+    for shards in SHARD_COUNTS {
+        let mut engine = ShardedEngine::new(width, tkcm.clone(), workload.catalog.clone(), shards)
+            .expect("fleet engine construction");
+        let start = Instant::now();
+        for tick in &ticks {
+            engine.process_tick(tick).expect("fleet tick");
+        }
+        let wall = start.elapsed().as_secs_f64();
+        let imputations = engine.imputations_performed();
+        // Same fleet, same catalog components: every shard count must do the
+        // same imputation work or the throughput numbers are meaningless.
+        let baseline = *baseline_imputations.get_or_insert(imputations);
+        assert_eq!(
+            imputations, baseline,
+            "shard count {shards} changed the imputation count"
+        );
+        let baseline_wall = runs
+            .first()
+            .map(|r: &FleetRun| r.wall_seconds)
+            .unwrap_or(wall);
+        runs.push(FleetRun {
+            shards,
+            wall_seconds: wall,
+            ticks_per_second: ticks.len() as f64 / wall,
+            imputations,
+            speedup: baseline_wall / wall,
+        });
+    }
+    runs
+}
+
+/// Runs the fleet throughput experiment and renders the report.
+pub fn run(scale: Scale) -> Report {
+    let config = fleet_config(scale, 2024);
+    let workload = config.generate();
+    let runs = run_fleet_benchmark_on(&workload, scale);
+    report_from(&config, workload.missing, &runs)
+}
+
+/// Renders the measured runs as the experiment report.
+fn report_from(config: &FleetConfig, missing: usize, runs: &[FleetRun]) -> Report {
+    let mut report = Report::new("Fleet throughput: sharded runtime over a wide fleet");
+    report.note(format!(
+        "{} clusters x {} series, {} ticks, {} missing values; one engine per catalog-connected \
+         shard on its own worker thread.",
+        config.clusters,
+        config.series_per_cluster,
+        config.ticks(),
+        missing,
+    ));
+    let mut table = Table::new(
+        "Fleet throughput by shard count",
+        vec![
+            "config".to_string(),
+            "shards".to_string(),
+            "wall_seconds".to_string(),
+            "ticks_per_second".to_string(),
+            "imputations".to_string(),
+            "speedup_vs_1_shard".to_string(),
+        ],
+    );
+    for run in runs {
+        table.push_row(
+            format!("{} shard(s)", run.shards),
+            vec![
+                run.shards as f64,
+                run.wall_seconds,
+                run.ticks_per_second,
+                run.imputations as f64,
+                run.speedup,
+            ],
+        );
+    }
+    report.add_table(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small-but-real fleet so the test replays the full path in well under
+    /// a second; the quick-scale proportions are exercised by the
+    /// `fleet_throughput` binary in CI.
+    fn mini_config() -> FleetConfig {
+        FleetConfig {
+            clusters: 4,
+            series_per_cluster: 3,
+            days: 2,
+            seed: 7,
+            outage_every: 30,
+            outage_length: 4,
+        }
+    }
+
+    fn mini_workload() -> FleetWorkload {
+        mini_config().generate()
+    }
+
+    #[test]
+    fn benchmark_reports_all_shard_counts_and_equal_work() {
+        let runs = run_fleet_benchmark_on(&mini_workload(), Scale::Quick);
+        assert_eq!(runs.len(), SHARD_COUNTS.len());
+        assert_eq!(runs[0].speedup, 1.0);
+        let imputations = runs[0].imputations;
+        assert!(imputations > 0, "fleet produced no imputations");
+        for run in &runs {
+            assert_eq!(run.imputations, imputations);
+            assert!(run.ticks_per_second.is_finite() && run.ticks_per_second > 0.0);
+            assert!(run.speedup > 0.0);
+        }
+    }
+
+    #[test]
+    fn report_has_one_row_per_shard_count() {
+        // Rendered from the mini workload: the full quick-scale replay is
+        // what the CI `fleet_throughput` binary runs in release mode.
+        let workload = mini_workload();
+        let runs = run_fleet_benchmark_on(&workload, Scale::Quick);
+        let report = report_from(&mini_config(), workload.missing, &runs);
+        let table = report.table("Fleet throughput by shard count").unwrap();
+        assert_eq!(table.rows.len(), SHARD_COUNTS.len());
+        assert_eq!(table.headers.len(), 6);
+        let speedups = table.column("speedup_vs_1_shard").unwrap();
+        assert!(speedups.iter().all(|s| s.is_finite() && *s > 0.0));
+    }
+
+    #[test]
+    fn quick_and_paper_configs_are_proportioned() {
+        let quick = fleet_config(Scale::Quick, 1);
+        let paper = fleet_config(Scale::Paper, 1);
+        assert!(paper.width() > quick.width());
+        assert!(paper.ticks() > quick.ticks());
+    }
+}

@@ -11,6 +11,7 @@ pub mod block_length;
 pub mod calibration;
 pub mod comparison;
 pub mod epsilon;
+pub mod fleet;
 pub mod pattern_length;
 pub mod recovery;
 pub mod runtime;
@@ -55,10 +56,14 @@ impl Scale {
         }
     }
 
-    /// Number of days of Chlorine data.
+    /// Number of days of Chlorine data.  Quick holds 10 days — two full
+    /// cycles of the generator's 5-day dosing drift — so the window offers
+    /// same-drift-phase candidate patterns and TKCM's advantage over the
+    /// linear baselines is a real margin instead of a tolerance artefact
+    /// (5 days left exactly one drift cycle and no same-phase history).
     pub fn chlorine_days(self) -> usize {
         match self {
-            Scale::Quick => 5,
+            Scale::Quick => 10,
             Scale::Paper => 15,
         }
     }
@@ -146,6 +151,9 @@ fn generate_dataset(kind: DatasetKind, scale: Scale, seed: u64) -> Dataset {
         }
         .generate(),
         DatasetKind::Sine => tkcm_datasets::sine::analysis_dataset(360.0, 1440),
+        // The fleet workload carries its own catalog; experiments use
+        // `fleet::fleet_workload` instead of this dataset-only entry point.
+        DatasetKind::Fleet => fleet::fleet_config(scale, seed).generate().dataset,
     }
 }
 

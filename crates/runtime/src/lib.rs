@@ -1,0 +1,317 @@
+//! # tkcm-runtime
+//!
+//! Sharded fleet runtime: many [`TkcmEngine`]s under one roof.
+//!
+//! The paper's setting (Section 3) is one synchronous streaming window over
+//! one sensor fleet.  A production deployment serves a *wide* fleet — many
+//! independent sensor networks at once — and two series can only interact
+//! through imputation if they are connected in the catalog's candidate
+//! graph.  [`ShardedEngine`] exploits that: it partitions the fleet along
+//! catalog connectivity ([`tkcm_timeseries::FleetPartition`]), runs one
+//! engine per shard on its own worker thread, fans every arriving
+//! [`StreamTick`] out as per-shard sub-ticks, barriers on the per-tick
+//! results and merges them back into global [`SeriesId`] space
+//! deterministically.
+//!
+//! ## Thread model
+//!
+//! One OS thread per shard, alive for the lifetime of the engine (`std::
+//! thread` + `std::sync::mpsc`; no external dependencies).  Each worker owns
+//! its shard's `TkcmEngine` — window, catalog and incremental dissimilarity
+//! states never cross a thread boundary, so no locking is needed anywhere.
+//! `process_tick` sends one job per worker and then receives exactly one
+//! result per worker *in shard order*, which makes the merged outcome
+//! independent of thread scheduling: equal, imputation for imputation, to
+//! running the same per-shard engines sequentially.
+//!
+//! ## Determinism and equivalence
+//!
+//! * Shards are ordered by smallest global id, members sorted ascending
+//!   (see `FleetPartition`), so the partition itself is deterministic.
+//! * Merged imputations and skips are sorted by global series id.
+//! * When the partition did not need to split a connected component
+//!   (components ≥ shards), sharding drops no candidate edge and the merged
+//!   output is bit-identical to one global engine's.  After a
+//!   giant-component split, cross-shard candidate edges are dropped from the
+//!   per-shard catalogs — equivalence then holds against sequential
+//!   execution of the same per-shard engines (the property the tests pin).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use tkcm_core::{EngineOutcome, TkcmConfig, TkcmEngine};
+use tkcm_timeseries::{Catalog, FleetPartition, SeriesId, StreamTick, TsError};
+
+enum Job {
+    Tick(StreamTick),
+    Stop,
+}
+
+struct Worker {
+    jobs: Sender<Job>,
+    results: Receiver<Result<EngineOutcome, TsError>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A fleet of per-shard [`TkcmEngine`]s running on worker threads.
+///
+/// Construction partitions the fleet ([`FleetPartition`]), builds one engine
+/// per shard over the shard-local catalog and spawns one worker thread per
+/// shard.  [`ShardedEngine::process_tick`] then behaves like
+/// [`TkcmEngine::process_tick`] over the whole fleet: push, impute every
+/// missing series whose references are alive, write back, return the merged
+/// outcome in global id space.
+pub struct ShardedEngine {
+    partition: FleetPartition,
+    workers: Vec<Worker>,
+    tick_count: usize,
+    imputation_count: usize,
+    poisoned: bool,
+}
+
+impl ShardedEngine {
+    /// Creates a sharded engine for `width` streams over `shards` worker
+    /// threads (see [`FleetPartition::new`] for how the target is met).
+    pub fn new(
+        width: usize,
+        config: TkcmConfig,
+        catalog: Catalog,
+        shards: usize,
+    ) -> Result<Self, TsError> {
+        config.validate()?;
+        let partition = FleetPartition::new(width, &catalog, shards)?;
+        let mut workers = Vec::with_capacity(partition.shard_count());
+        for shard in 0..partition.shard_count() {
+            let local_catalog = partition.shard_catalog(shard, &catalog)?;
+            let engine = TkcmEngine::new(
+                partition.members(shard).len(),
+                config.clone(),
+                local_catalog,
+            )?;
+            workers.push(spawn_worker(engine));
+        }
+        Ok(ShardedEngine {
+            partition,
+            workers,
+            tick_count: 0,
+            imputation_count: 0,
+            poisoned: false,
+        })
+    }
+
+    /// The fleet partition the engine runs with.
+    pub fn partition(&self) -> &FleetPartition {
+        &self.partition
+    }
+
+    /// Number of shards (= worker threads).
+    pub fn shard_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of fleet-wide ticks processed.
+    pub fn ticks_processed(&self) -> usize {
+        self.tick_count
+    }
+
+    /// Number of values imputed across all shards.
+    pub fn imputations_performed(&self) -> usize {
+        self.imputation_count
+    }
+
+    /// Processes one fleet-wide tick: fans the per-shard sub-ticks out to
+    /// the workers, barriers on all of them and merges the outcomes back
+    /// into global [`SeriesId`] space (imputations and skips sorted by
+    /// global id).
+    ///
+    /// An error from any shard poisons the engine (the shards' windows may
+    /// no longer agree on the current time); subsequent calls keep failing.
+    pub fn process_tick(&mut self, tick: &StreamTick) -> Result<EngineOutcome, TsError> {
+        if self.poisoned {
+            return Err(TsError::invalid(
+                "engine",
+                "a previous tick failed on one shard; the fleet is out of sync",
+            ));
+        }
+        if tick.width() != self.partition.width() {
+            return Err(TsError::LengthMismatch {
+                left: tick.width(),
+                right: self.partition.width(),
+                context: "stream tick width vs fleet width",
+            });
+        }
+        for (shard, worker) in self.workers.iter().enumerate() {
+            let sub = self.partition.project_tick(shard, tick);
+            worker
+                .jobs
+                .send(Job::Tick(sub))
+                .map_err(|_| worker_died())?;
+        }
+        // Barrier: exactly one result per worker, received in shard order so
+        // the merge below never depends on scheduling.
+        let mut merged = EngineOutcome::default();
+        let mut first_error = None;
+        for (shard, worker) in self.workers.iter().enumerate() {
+            let outcome = worker.results.recv().map_err(|_| worker_died())?;
+            match outcome {
+                Ok(outcome) => {
+                    if first_error.is_none() {
+                        self.merge_outcome(shard, outcome, &mut merged);
+                    }
+                }
+                Err(e) => first_error = Some(e),
+            }
+        }
+        if let Some(e) = first_error {
+            self.poisoned = true;
+            return Err(e);
+        }
+        merged.imputations.sort_by_key(|i| i.series);
+        merged.skipped.sort_unstable();
+        self.tick_count += 1;
+        self.imputation_count += merged.imputations.len();
+        Ok(merged)
+    }
+
+    /// Folds one shard's outcome into the merged fleet outcome, remapping
+    /// every shard-local id back to global space.
+    fn merge_outcome(&self, shard: usize, outcome: EngineOutcome, merged: &mut EngineOutcome) {
+        let to_global = |local: SeriesId| self.partition.global_id(shard, local);
+        for mut imputation in outcome.imputations {
+            imputation.series = to_global(imputation.series);
+            imputation.detail.series = imputation.series;
+            for r in &mut imputation.detail.references {
+                *r = to_global(*r);
+            }
+            merged.imputations.push(imputation);
+        }
+        merged
+            .skipped
+            .extend(outcome.skipped.into_iter().map(to_global));
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            // Workers that already exited (send fails) are simply joined.
+            let _ = worker.jobs.send(Job::Stop);
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+fn worker_died() -> TsError {
+    TsError::invalid("engine", "a shard worker thread exited unexpectedly")
+}
+
+fn spawn_worker(mut engine: TkcmEngine) -> Worker {
+    let (jobs, job_rx) = channel::<Job>();
+    let (result_tx, results) = channel();
+    let handle = std::thread::spawn(move || {
+        while let Ok(Job::Tick(tick)) = job_rx.recv() {
+            if result_tx.send(engine.process_tick(&tick)).is_err() {
+                break; // the ShardedEngine is gone
+            }
+        }
+    });
+    Worker {
+        jobs,
+        results,
+        handle: Some(handle),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkcm_timeseries::Timestamp;
+
+    fn small_config() -> TkcmConfig {
+        TkcmConfig::builder()
+            .window_length(96)
+            .pattern_length(3)
+            .anchor_count(2)
+            .reference_count(2)
+            .build()
+            .unwrap()
+    }
+
+    /// Engines (and thus worker payloads) must be sendable across threads.
+    #[test]
+    fn engine_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<TkcmEngine>();
+        assert_send::<ShardedEngine>();
+    }
+
+    #[test]
+    fn width_mismatch_and_poisoning() {
+        let mut engine =
+            ShardedEngine::new(4, small_config(), Catalog::ring_neighbours(4), 2).unwrap();
+        let bad = StreamTick::new(Timestamp::new(0), vec![Some(1.0); 3]);
+        assert!(engine.process_tick(&bad).is_err());
+        // A non-advancing timestamp fails inside every shard and poisons the
+        // fleet engine.
+        let t0 = StreamTick::new(Timestamp::new(0), vec![Some(1.0); 4]);
+        engine.process_tick(&t0).unwrap();
+        assert!(engine.process_tick(&t0).is_err());
+        let t1 = StreamTick::new(Timestamp::new(1), vec![Some(1.0); 4]);
+        assert!(
+            engine.process_tick(&t1).is_err(),
+            "engine must stay poisoned"
+        );
+    }
+
+    #[test]
+    fn counters_accumulate_across_shards() {
+        let width = 6;
+        let mut catalog = Catalog::new();
+        for pair in 0..3usize {
+            let a = SeriesId::from(2 * pair);
+            let b = SeriesId::from(2 * pair + 1);
+            catalog.set_candidates(a, vec![b]).unwrap();
+            catalog.set_candidates(b, vec![a]).unwrap();
+        }
+        let mut engine = ShardedEngine::new(width, small_config(), catalog, 3).unwrap();
+        assert_eq!(engine.shard_count(), 3);
+        for t in 0..80usize {
+            let missing = t == 79;
+            let values = (0..width)
+                .map(|s| {
+                    if missing && s % 2 == 0 {
+                        None
+                    } else {
+                        Some(((t + 3 * s) as f64 * 0.4).sin())
+                    }
+                })
+                .collect();
+            let outcome = engine
+                .process_tick(&StreamTick::new(Timestamp::new(t as i64), values))
+                .unwrap();
+            if missing {
+                assert_eq!(outcome.imputations.len(), 3);
+                // Deterministic global ordering.
+                let ids: Vec<SeriesId> = outcome.imputations.iter().map(|i| i.series).collect();
+                assert_eq!(ids, vec![SeriesId(0), SeriesId(2), SeriesId(4)]);
+                for imputation in &outcome.imputations {
+                    assert_eq!(imputation.detail.references.len(), 1);
+                    assert_eq!(
+                        imputation.detail.references[0],
+                        SeriesId::from(imputation.series.index() + 1),
+                        "references must be reported in global id space"
+                    );
+                }
+            }
+        }
+        assert_eq!(engine.ticks_processed(), 80);
+        assert_eq!(engine.imputations_performed(), 3);
+    }
+}

@@ -1,0 +1,217 @@
+//! Property tests for the sharded fleet runtime: the multi-threaded
+//! [`ShardedEngine`] must produce *bit-identical* imputations, in the same
+//! deterministic order, as running the same per-shard [`TkcmEngine`]s
+//! sequentially — across 1/2/4 shard targets — plus degenerate-catalog edge
+//! cases (width-1 fleets, series without candidates).
+
+use proptest::prelude::*;
+
+use tkcm_core::{EngineOutcome, PhaseBreakdown, TkcmConfig, TkcmEngine};
+use tkcm_runtime::ShardedEngine;
+use tkcm_timeseries::{Catalog, FleetPartition, SeriesId, StreamTick, Timestamp};
+
+fn config() -> TkcmConfig {
+    TkcmConfig::builder()
+        .window_length(64)
+        .pattern_length(3)
+        .anchor_count(2)
+        .reference_count(2)
+        .build()
+        .unwrap()
+}
+
+/// Sequential reference implementation: one engine per shard of the same
+/// partition, run one after the other on the main thread, merged exactly
+/// like the sharded runtime merges (global ids, sorted).
+struct SequentialFleet {
+    partition: FleetPartition,
+    engines: Vec<TkcmEngine>,
+}
+
+impl SequentialFleet {
+    fn new(width: usize, config: TkcmConfig, catalog: &Catalog, shards: usize) -> Self {
+        let partition = FleetPartition::new(width, catalog, shards).unwrap();
+        let engines = (0..partition.shard_count())
+            .map(|s| {
+                TkcmEngine::new(
+                    partition.members(s).len(),
+                    config.clone(),
+                    partition.shard_catalog(s, catalog).unwrap(),
+                )
+                .unwrap()
+            })
+            .collect();
+        SequentialFleet { partition, engines }
+    }
+
+    fn process_tick(&mut self, tick: &StreamTick) -> EngineOutcome {
+        let mut merged = EngineOutcome::default();
+        for (shard, engine) in self.engines.iter_mut().enumerate() {
+            let sub = self.partition.project_tick(shard, tick);
+            let outcome = engine.process_tick(&sub).unwrap();
+            for mut imputation in outcome.imputations {
+                imputation.series = self.partition.global_id(shard, imputation.series);
+                imputation.detail.series = imputation.series;
+                for r in &mut imputation.detail.references {
+                    *r = self.partition.global_id(shard, *r);
+                }
+                merged.imputations.push(imputation);
+            }
+            merged.skipped.extend(
+                outcome
+                    .skipped
+                    .into_iter()
+                    .map(|s| self.partition.global_id(shard, s)),
+            );
+        }
+        merged.imputations.sort_by_key(|i| i.series);
+        merged.skipped.sort_unstable();
+        merged
+    }
+}
+
+fn strip_timing(outcome: &mut EngineOutcome) {
+    for imputation in &mut outcome.imputations {
+        imputation.detail.breakdown = PhaseBreakdown::default();
+    }
+}
+
+/// Deterministic pseudo-random value for series `s` at tick `t` — shared by
+/// both runs so the comparison is over identical inputs.
+fn value_at(width: usize, s: usize, t: usize) -> Option<f64> {
+    // Every 11th-ish tick drops a value, staggered per series; two series
+    // carry periodic signal families so imputations are non-trivial.
+    if (t + 7 * s).is_multiple_of(11) && t > 30 {
+        None
+    } else {
+        Some(
+            ((t as f64 + 2.0 * s as f64) / (8.0 + (s % 3) as f64) * 0.9).sin() + (s / width) as f64,
+        )
+    }
+}
+
+/// Runs both implementations over the same stream and asserts bit-identical
+/// merged outcomes at every tick.
+fn assert_equivalent(
+    width: usize,
+    catalog: &Catalog,
+    shards: usize,
+    ticks: usize,
+) -> Result<(), String> {
+    let mut sharded = ShardedEngine::new(width, config(), catalog.clone(), shards).unwrap();
+    let mut sequential = SequentialFleet::new(width, config(), catalog, shards);
+    prop_assert_eq!(sharded.partition(), &sequential.partition);
+    for t in 0..ticks {
+        let values: Vec<Option<f64>> = (0..width).map(|s| value_at(width, s, t)).collect();
+        let tick = StreamTick::new(Timestamp::new(t as i64), values);
+        let mut parallel = sharded.process_tick(&tick).unwrap();
+        let mut reference = sequential.process_tick(&tick);
+        // Wall-clock phase timings legitimately differ between runs; zero
+        // them so the comparison is over the imputation payload only.
+        strip_timing(&mut parallel);
+        strip_timing(&mut reference);
+        // PartialEq over EngineOutcome covers imputed values bit-for-bit,
+        // anchor sets, references, ordering and skips.
+        prop_assert!(
+            parallel == reference,
+            "diverged at tick {t} with {shards} shards: {parallel:?} vs {reference:?}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Random fleet shapes (width, component structure) replayed through the
+    /// threaded runtime and the sequential reference at 1/2/4 shards.
+    #[test]
+    fn sharded_equals_sequential_across_shard_counts(
+        clusters in 1usize..5,
+        cluster_size in 1usize..5,
+        ticks in 40usize..120,
+    ) {
+        let width = clusters * cluster_size;
+        // Ring catalog per cluster: components == clusters.
+        let mut catalog = Catalog::new();
+        for c in 0..clusters {
+            let base = c * cluster_size;
+            for i in 0..cluster_size {
+                let ranked: Vec<SeriesId> = (1..cluster_size)
+                    .map(|step| SeriesId::from(base + (i + step) % cluster_size))
+                    .collect();
+                catalog.set_candidates(SeriesId::from(base + i), ranked).unwrap();
+            }
+        }
+        for shards in [1usize, 2, 4] {
+            assert_equivalent(width, &catalog, shards, ticks)?;
+        }
+    }
+
+    /// A single giant component must also match: the greedy split drops the
+    /// same cross-shard edges in both implementations.
+    #[test]
+    fn split_giant_component_matches_sequential(
+        width in 4usize..12,
+        ticks in 40usize..100,
+    ) {
+        let catalog = Catalog::ring_neighbours(width);
+        for shards in [1usize, 2, 4] {
+            assert_equivalent(width, &catalog, shards, ticks)?;
+        }
+    }
+}
+
+#[test]
+fn width_one_fleet_works() {
+    // Degenerate: a single series with no candidates; every missing tick is
+    // skipped (no references can ever be alive).
+    let mut engine = ShardedEngine::new(1, config(), Catalog::new(), 4).unwrap();
+    assert_eq!(engine.shard_count(), 1);
+    for t in 0..40i64 {
+        let v = if t == 39 { None } else { Some(t as f64) };
+        let outcome = engine
+            .process_tick(&StreamTick::new(Timestamp::new(t), vec![v]))
+            .unwrap();
+        if t == 39 {
+            assert_eq!(outcome.skipped, vec![SeriesId(0)]);
+            assert!(outcome.imputations.is_empty());
+        }
+    }
+}
+
+#[test]
+fn empty_candidate_series_lands_in_singleton_shard_and_is_skipped() {
+    // Series 0 and 1 reference each other; series 2 has no candidates and
+    // must land in its own shard and be reported as skipped when missing.
+    let mut catalog = Catalog::new();
+    catalog
+        .set_candidates(SeriesId(0), vec![SeriesId(1)])
+        .unwrap();
+    catalog
+        .set_candidates(SeriesId(1), vec![SeriesId(0)])
+        .unwrap();
+    catalog.set_candidates(SeriesId(2), vec![]).unwrap();
+    let mut engine = ShardedEngine::new(3, config(), catalog, 2).unwrap();
+    assert_eq!(engine.shard_count(), 2);
+    assert_eq!(engine.partition().members(1), &[SeriesId(2)]);
+
+    for t in 0..50usize {
+        let missing = t == 49;
+        let s0 = if missing {
+            None
+        } else {
+            Some((t as f64 * 0.4).sin())
+        };
+        let s2 = if missing { None } else { Some(t as f64) };
+        let tick = StreamTick::new(
+            Timestamp::new(t as i64),
+            vec![s0, Some((t as f64 * 0.4).cos()), s2],
+        );
+        let outcome = engine.process_tick(&tick).unwrap();
+        if missing {
+            // Series 0 is imputed from its partner; series 2 has no
+            // references anywhere and is skipped.
+            assert!(outcome.imputed_value(SeriesId(0)).is_some());
+            assert_eq!(outcome.skipped, vec![SeriesId(2)]);
+        }
+    }
+}

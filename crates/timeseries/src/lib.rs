@@ -57,6 +57,7 @@
 pub mod catalog;
 pub mod errors;
 pub mod missing;
+pub mod partition;
 pub mod ring_buffer;
 pub mod series;
 pub mod stats;
@@ -67,6 +68,7 @@ pub mod window;
 pub use catalog::{Catalog, ReferenceSelection};
 pub use errors::TsError;
 pub use missing::{GapReport, MissingMask};
+pub use partition::FleetPartition;
 pub use ring_buffer::RingBuffer;
 pub use series::{SeriesId, TimeSeries};
 pub use stats::{mean, pearson, population_std, population_variance, Summary};

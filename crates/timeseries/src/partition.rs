@@ -1,0 +1,383 @@
+//! Partitioning a wide stream fleet into catalog-connected shards.
+//!
+//! The paper's setting (Section 3) is one synchronous window over one sensor
+//! fleet.  A production deployment serves *many* fleets at once, and the
+//! natural unit of parallelism is catalog connectivity: two series can only
+//! ever interact through imputation if they are connected in the (undirected)
+//! candidate graph, so the connected components of that graph can be imputed
+//! by fully independent engines with no cross-talk.
+//!
+//! [`FleetPartition`] computes those components and packs them into a target
+//! number of shards (one downstream worker per shard):
+//!
+//! 1. **Components ≥ shards:** greedy bin packing — components sorted by
+//!    decreasing size, each assigned to the currently smallest shard.  No
+//!    candidate edge is lost; sharded imputation is *exactly* equivalent to
+//!    a single global engine.
+//! 2. **Components < shards (e.g. one giant component):** the largest groups
+//!    are greedily split by BFS order (neighbours stay together) until the
+//!    shard count is reached.  Candidate edges that end up crossing a shard
+//!    boundary are dropped from the per-shard catalogs — a documented
+//!    approximation that trades reference-set completeness for parallelism.
+//!
+//! Shards are ordered by their smallest global id and members are sorted
+//! ascending, so the partition (and everything downstream of it) is fully
+//! deterministic.
+
+use std::collections::VecDeque;
+
+use crate::catalog::Catalog;
+use crate::errors::TsError;
+use crate::series::SeriesId;
+use crate::stream::StreamTick;
+
+/// A deterministic assignment of every series of a fleet to one shard.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetPartition {
+    width: usize,
+    /// Global series ids per shard, each sorted ascending; the shard-local
+    /// dense id of `shards[s][i]` is `i`.
+    shards: Vec<Vec<SeriesId>>,
+    /// `locate[global] = (shard, local)` reverse mapping.
+    locate: Vec<(usize, usize)>,
+}
+
+impl FleetPartition {
+    /// Partitions a fleet of `width` series into `shards` shards along the
+    /// connected components of `catalog`'s candidate graph.
+    ///
+    /// `shards` is a *target* (one worker per shard downstream): more
+    /// components than shards are bin-packed together, fewer are reached by
+    /// splitting the largest components.  The result can fall short of the
+    /// target only when every component is already a singleton.
+    ///
+    /// Series without any candidate edge (empty or absent candidate lists)
+    /// form their own singleton components.
+    pub fn new(width: usize, catalog: &Catalog, shards: usize) -> Result<Self, TsError> {
+        let max_shards = shards;
+        if width == 0 {
+            return Err(TsError::invalid("width", "need at least one series"));
+        }
+        if max_shards == 0 {
+            return Err(TsError::invalid("shards", "need at least one shard"));
+        }
+        let adjacency = undirected_adjacency(width, catalog)?;
+        let mut groups = connected_components(&adjacency);
+        if groups.len() > max_shards {
+            groups = pack_into_bins(groups, max_shards);
+        } else {
+            while groups.len() < max_shards {
+                // Split the largest splittable group by BFS order so that
+                // graph neighbours stay in the same half where possible.
+                let Some(largest) = groups
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, g)| g.len() > 1)
+                    .max_by_key(|(_, g)| g.len())
+                    .map(|(i, _)| i)
+                else {
+                    break; // only singletons left; fewer shards than asked
+                };
+                let group = groups.swap_remove(largest);
+                let (a, b) = split_by_bfs(&group, &adjacency);
+                groups.push(a);
+                groups.push(b);
+            }
+        }
+        for g in &mut groups {
+            g.sort_unstable();
+        }
+        groups.sort_by_key(|g| g[0]);
+        let mut locate = vec![(usize::MAX, usize::MAX); width];
+        for (s, group) in groups.iter().enumerate() {
+            for (i, id) in group.iter().enumerate() {
+                locate[*id] = (s, i);
+            }
+        }
+        Ok(FleetPartition {
+            width,
+            shards: groups
+                .into_iter()
+                .map(|g| g.into_iter().map(SeriesId::from).collect())
+                .collect(),
+            locate,
+        })
+    }
+
+    /// Number of series in the fleet.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Global series ids of one shard, sorted ascending.
+    pub fn members(&self, shard: usize) -> &[SeriesId] {
+        &self.shards[shard]
+    }
+
+    /// All shards, in deterministic order.
+    pub fn shards(&self) -> &[Vec<SeriesId>] {
+        &self.shards
+    }
+
+    /// The `(shard, local index)` of a global series id.
+    pub fn locate(&self, id: SeriesId) -> Result<(usize, usize), TsError> {
+        self.locate
+            .get(id.index())
+            .copied()
+            .filter(|(s, _)| *s != usize::MAX)
+            .ok_or(TsError::UnknownSeries(id))
+    }
+
+    /// Maps a shard-local dense id back to the global series id.
+    pub fn global_id(&self, shard: usize, local: SeriesId) -> SeriesId {
+        self.shards[shard][local.index()]
+    }
+
+    /// The catalog of one shard: candidate lists restricted to in-shard
+    /// members (cross-shard edges are dropped — only possible after a
+    /// giant-component split) and remapped to shard-local dense ids.
+    pub fn shard_catalog(&self, shard: usize, catalog: &Catalog) -> Result<Catalog, TsError> {
+        let mut local = Catalog::new();
+        for (i, &id) in self.shards[shard].iter().enumerate() {
+            let ranked: Vec<SeriesId> = catalog
+                .candidates(id)
+                .iter()
+                .filter_map(|c| match self.locate(*c) {
+                    Ok((s, l)) if s == shard => Some(SeriesId::from(l)),
+                    _ => None,
+                })
+                .collect();
+            local.set_candidates(SeriesId::from(i), ranked)?;
+        }
+        Ok(local)
+    }
+
+    /// Projects a fleet-wide tick onto one shard: the sub-tick carrying the
+    /// shard members' values in shard-local order.
+    pub fn project_tick(&self, shard: usize, tick: &StreamTick) -> StreamTick {
+        tick.project(&self.shards[shard])
+    }
+
+    /// Count of candidate edges of `catalog` that cross a shard boundary
+    /// (and are therefore invisible to the per-shard engines).  Zero unless
+    /// a giant component had to be split.
+    pub fn dropped_edges(&self, catalog: &Catalog) -> usize {
+        let mut dropped = 0;
+        for shard in 0..self.shards.len() {
+            for &id in &self.shards[shard] {
+                dropped += catalog
+                    .candidates(id)
+                    .iter()
+                    .filter(|c| matches!(self.locate(**c), Ok((s, _)) if s != shard))
+                    .count();
+            }
+        }
+        dropped
+    }
+}
+
+/// Undirected adjacency lists of the candidate graph over `0..width`.
+fn undirected_adjacency(width: usize, catalog: &Catalog) -> Result<Vec<Vec<usize>>, TsError> {
+    let mut adjacency = vec![Vec::new(); width];
+    for s in 0..width {
+        for cand in catalog.candidates(SeriesId::from(s)) {
+            let c = cand.index();
+            if c >= width {
+                return Err(TsError::UnknownSeries(*cand));
+            }
+            adjacency[s].push(c);
+            adjacency[c].push(s);
+        }
+    }
+    for adj in &mut adjacency {
+        adj.sort_unstable();
+        adj.dedup();
+    }
+    Ok(adjacency)
+}
+
+/// Connected components (as sorted global-index groups) of an adjacency list.
+fn connected_components(adjacency: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let width = adjacency.len();
+    let mut seen = vec![false; width];
+    let mut groups = Vec::new();
+    for start in 0..width {
+        if seen[start] {
+            continue;
+        }
+        let mut group = Vec::new();
+        let mut queue = VecDeque::from([start]);
+        seen[start] = true;
+        while let Some(n) = queue.pop_front() {
+            group.push(n);
+            for &m in &adjacency[n] {
+                if !seen[m] {
+                    seen[m] = true;
+                    queue.push_back(m);
+                }
+            }
+        }
+        group.sort_unstable();
+        groups.push(group);
+    }
+    groups
+}
+
+/// Greedy size balancing: groups sorted by decreasing size, each merged into
+/// the currently smallest bin.
+fn pack_into_bins(mut groups: Vec<Vec<usize>>, bins: usize) -> Vec<Vec<usize>> {
+    groups.sort_by_key(|g| (std::cmp::Reverse(g.len()), g[0]));
+    let mut packed: Vec<Vec<usize>> = vec![Vec::new(); bins];
+    for group in groups {
+        let smallest = packed
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, b)| (b.len(), *i))
+            .map(|(i, _)| i)
+            .expect("bins >= 1");
+        packed[smallest].extend(group);
+    }
+    packed.retain(|b| !b.is_empty());
+    packed
+}
+
+/// Splits one connected group into two halves of (near) equal size by BFS
+/// order from its smallest id, so that graph neighbours tend to stay on the
+/// same side of the cut.
+fn split_by_bfs(group: &[usize], adjacency: &[Vec<usize>]) -> (Vec<usize>, Vec<usize>) {
+    let target = group.len() / 2;
+    let in_group: std::collections::BTreeSet<usize> = group.iter().copied().collect();
+    let mut order = Vec::with_capacity(group.len());
+    let mut seen: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    // The group is connected when produced by `connected_components`, but a
+    // bin-packed group may hold several components — seed BFS repeatedly.
+    for &start in group {
+        if seen.contains(&start) {
+            continue;
+        }
+        let mut queue = VecDeque::from([start]);
+        seen.insert(start);
+        while let Some(n) = queue.pop_front() {
+            order.push(n);
+            for &m in &adjacency[n] {
+                if in_group.contains(&m) && seen.insert(m) {
+                    queue.push_back(m);
+                }
+            }
+        }
+    }
+    let second = order.split_off(target.max(1));
+    (order, second)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timestamp::Timestamp;
+
+    fn pair_catalog(pairs: &[(usize, usize)]) -> Catalog {
+        let mut c = Catalog::new();
+        for &(a, b) in pairs {
+            c.set_candidates(SeriesId::from(a), vec![SeriesId::from(b)])
+                .unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn components_become_shards() {
+        // 0—1, 2—3, 4 isolated -> three components.
+        let catalog = pair_catalog(&[(0, 1), (2, 3)]);
+        let p = FleetPartition::new(5, &catalog, 3).unwrap();
+        assert_eq!(p.shard_count(), 3);
+        assert_eq!(p.members(0), &[SeriesId(0), SeriesId(1)]);
+        assert_eq!(p.members(1), &[SeriesId(2), SeriesId(3)]);
+        assert_eq!(p.members(2), &[SeriesId(4)]);
+        assert_eq!(p.dropped_edges(&catalog), 0);
+        assert_eq!(p.locate(SeriesId(3)).unwrap(), (1, 1));
+        assert_eq!(p.global_id(1, SeriesId(1)), SeriesId(3));
+    }
+
+    #[test]
+    fn bin_packing_balances_shard_sizes() {
+        // Four 2-series components into two shards -> 4 + 4.
+        let catalog = pair_catalog(&[(0, 1), (2, 3), (4, 5), (6, 7)]);
+        let p = FleetPartition::new(8, &catalog, 2).unwrap();
+        assert_eq!(p.shard_count(), 2);
+        assert_eq!(p.members(0).len() + p.members(1).len(), 8);
+        assert_eq!(p.members(0).len(), 4);
+        assert_eq!(p.dropped_edges(&catalog), 0);
+    }
+
+    #[test]
+    fn giant_component_is_split_with_dropped_edges() {
+        let catalog = Catalog::ring_neighbours(8);
+        let p = FleetPartition::new(8, &catalog, 2).unwrap();
+        assert_eq!(p.shard_count(), 2);
+        assert_eq!(p.members(0).len(), 4);
+        assert_eq!(p.members(1).len(), 4);
+        assert!(p.dropped_edges(&catalog) > 0);
+        // Every series is still assigned exactly once.
+        let mut all: Vec<SeriesId> = p.shards().iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..8usize).map(SeriesId::from).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let catalog = Catalog::ring_neighbours(12);
+        let a = FleetPartition::new(12, &catalog, 4).unwrap();
+        let b = FleetPartition::new(12, &catalog, 4).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shard_catalog_remaps_to_local_ids() {
+        let catalog = pair_catalog(&[(0, 1), (2, 3)]);
+        let p = FleetPartition::new(4, &catalog, 2).unwrap();
+        let local = p.shard_catalog(1, &catalog).unwrap();
+        // Global 2—3 becomes local 0—1.
+        assert_eq!(local.candidates(SeriesId(0)), &[SeriesId(1)]);
+        assert!(local.candidates(SeriesId(1)).is_empty());
+    }
+
+    #[test]
+    fn tick_projection_carries_member_values() {
+        let catalog = pair_catalog(&[(0, 1), (2, 3)]);
+        let p = FleetPartition::new(4, &catalog, 2).unwrap();
+        let tick = StreamTick::new(
+            Timestamp::new(7),
+            vec![Some(0.0), None, Some(2.0), Some(3.0)],
+        );
+        let sub = p.project_tick(1, &tick);
+        assert_eq!(sub.time, Timestamp::new(7));
+        assert_eq!(sub.values, vec![Some(2.0), Some(3.0)]);
+    }
+
+    #[test]
+    fn fewer_series_than_shards_yields_singletons() {
+        let p = FleetPartition::new(2, &Catalog::new(), 8).unwrap();
+        assert_eq!(p.shard_count(), 2);
+        assert_eq!(p.members(0), &[SeriesId(0)]);
+        let one = FleetPartition::new(1, &Catalog::new(), 4).unwrap();
+        assert_eq!(one.shard_count(), 1);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(FleetPartition::new(0, &Catalog::new(), 1).is_err());
+        assert!(FleetPartition::new(1, &Catalog::new(), 0).is_err());
+        // Catalog edge pointing outside the fleet.
+        let catalog = pair_catalog(&[(0, 5)]);
+        assert!(FleetPartition::new(2, &catalog, 1).is_err());
+        assert!(FleetPartition::new(1, &Catalog::new(), 1)
+            .unwrap()
+            .locate(SeriesId(9))
+            .is_err());
+    }
+}

@@ -47,6 +47,17 @@ impl StreamTick {
     pub fn width(&self) -> usize {
         self.values.len()
     }
+
+    /// Projects the tick onto a subset of series: the sub-tick carries the
+    /// values of `members` in the given order (missing for ids the tick does
+    /// not cover).  This is how a fleet-wide tick is fanned out to the
+    /// per-shard engines of a partitioned fleet.
+    pub fn project(&self, members: &[SeriesId]) -> StreamTick {
+        StreamTick {
+            time: self.time,
+            values: members.iter().map(|id| self.value(*id)).collect(),
+        }
+    }
 }
 
 /// A source of stream ticks that can be replayed from the beginning.

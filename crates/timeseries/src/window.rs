@@ -52,7 +52,12 @@ pub struct StreamingWindow {
     /// Per-series provenance ring (same indexing as the value buffers):
     /// `states[series][age]` where age 0 = newest.
     states: Vec<Vec<SlotState>>,
-    /// Raw cursor into `states`, mirroring the ring-buffer offset.
+    /// Timestamp of every pushed tick, in the same ring layout as `states`.
+    /// Ticks need not be one timestamp unit apart (a 10-minute sensor cadence
+    /// is 600 units at second resolution), so the age ↔ time conversion must
+    /// read the stored times instead of assuming unit spacing.
+    times: Vec<Timestamp>,
+    /// Raw cursor into `states`/`times`, mirroring the ring-buffer offset.
     state_offset: usize,
     current_time: Option<Timestamp>,
     ticks_seen: usize,
@@ -73,6 +78,7 @@ impl StreamingWindow {
             states: (0..width)
                 .map(|_| vec![SlotState::Missing; length])
                 .collect(),
+            times: vec![Timestamp::MIN; length],
             state_offset: length - 1,
             current_time: None,
             ticks_seen: 0,
@@ -142,9 +148,15 @@ impl StreamingWindow {
                 SlotState::Missing
             };
         }
+        self.times[self.state_offset] = tick.time;
         self.current_time = Some(tick.time);
         self.ticks_seen += 1;
         Ok(())
+    }
+
+    /// Raw ring index of the slot `age` ticks in the past.
+    fn ring_index(&self, age: usize) -> usize {
+        (self.state_offset + self.length - age) % self.length
     }
 
     /// Access to the ring buffer of a series (read-only).
@@ -172,7 +184,7 @@ impl StreamingWindow {
             return Ok(WindowSlot::missing());
         }
         let value = buf.recent(age);
-        let idx = (self.state_offset + self.length - age) % self.length;
+        let idx = self.ring_index(age);
         Ok(WindowSlot {
             value,
             state: self.states[id.index()][idx],
@@ -195,30 +207,58 @@ impl StreamingWindow {
                 format!("age {age} exceeds the number of pushed ticks"),
             ));
         }
-        let idx = (self.state_offset + self.length - age) % self.length;
+        let idx = self.ring_index(age);
         self.states[id.index()][idx] = SlotState::Imputed;
         Ok(())
     }
 
     /// Converts an absolute timestamp into an age (0 = current time).
+    ///
+    /// The timestamp must be the time of a tick that is still inside the
+    /// window; ticks are matched against the stored per-tick times, so any
+    /// cadence (including irregular spacing) resolves correctly.
     pub fn age_of(&self, t: Timestamp) -> Result<usize, TsError> {
         let now = self
             .current_time
             .ok_or_else(|| TsError::invalid("window", "no tick has been pushed yet"))?;
-        let delta = now - t;
-        if delta < 0 || delta as usize >= self.length {
+        let filled = self.filled();
+        let earliest = self.times[self.ring_index(filled - 1)];
+        if t > now || t < earliest {
             return Err(TsError::TimeOutOfRange {
                 requested: t,
-                earliest: now - (self.length as i64 - 1),
+                earliest,
                 latest: now,
             });
         }
-        Ok(delta as usize)
+        // Stored times decrease strictly with age: binary-search for the
+        // first age whose time is <= t, then demand an exact hit.
+        let (mut lo, mut hi) = (0usize, filled - 1);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.times[self.ring_index(mid)] <= t {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        if self.times[self.ring_index(lo)] == t {
+            Ok(lo)
+        } else {
+            Err(TsError::invalid(
+                "t",
+                format!("no tick was pushed at time {t} (times between ticks have no age)"),
+            ))
+        }
     }
 
-    /// Converts an age back to the absolute timestamp.
+    /// Converts an age back to the absolute timestamp of that tick, reading
+    /// the stored per-tick times.  `None` when fewer than `age + 1` ticks
+    /// have been pushed.
     pub fn time_of_age(&self, age: usize) -> Option<Timestamp> {
-        self.current_time.map(|t| t - age as i64)
+        if age >= self.filled() {
+            return None;
+        }
+        Some(self.times[self.ring_index(age)])
     }
 
     /// The chronological (oldest → newest) contents of one series, restricted
@@ -358,6 +398,39 @@ mod tests {
         assert!(w.age_of(Timestamp::new(9)).is_err());
         assert!(w.age_of(Timestamp::new(15)).is_err());
         assert_eq!(w.time_of_age(2), Some(Timestamp::new(12)));
+    }
+
+    #[test]
+    fn age_time_conversions_honour_the_real_cadence() {
+        // 600-second cadence (10-minute sensor data at second resolution):
+        // ages map to the *stored* tick times, not to `now - age`.
+        let mut w = StreamingWindow::new(1, 4);
+        for i in 0..6i64 {
+            w.push_tick(&tick(i * 600, vec![Some(i as f64)])).unwrap();
+        }
+        assert_eq!(w.current_time(), Some(Timestamp::new(3000)));
+        assert_eq!(w.time_of_age(0), Some(Timestamp::new(3000)));
+        assert_eq!(w.time_of_age(3), Some(Timestamp::new(1200)));
+        assert_eq!(w.time_of_age(4), None);
+        assert_eq!(w.age_of(Timestamp::new(1800)).unwrap(), 2);
+        assert_eq!(w.age_of(Timestamp::new(1200)).unwrap(), 3);
+        assert_eq!(
+            w.value_at(SeriesId(0), Timestamp::new(2400)).unwrap(),
+            Some(4.0)
+        );
+        // Between-tick times and evicted ticks are errors, not silent ages.
+        assert!(w.age_of(Timestamp::new(2999)).is_err());
+        assert!(w.age_of(Timestamp::new(600)).is_err());
+        assert!(w.age_of(Timestamp::new(3600)).is_err());
+    }
+
+    #[test]
+    fn time_of_age_is_none_before_enough_ticks() {
+        let mut w = StreamingWindow::new(1, 8);
+        assert_eq!(w.time_of_age(0), None);
+        w.push_tick(&tick(7, vec![Some(1.0)])).unwrap();
+        assert_eq!(w.time_of_age(0), Some(Timestamp::new(7)));
+        assert_eq!(w.time_of_age(1), None);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | [`timeseries`] | `tkcm-timeseries` | series, ring buffers, streaming windows, catalogs |
 //! | [`matrix`] | `tkcm-matrix` | dense linear algebra (SVD, centroid decomposition, RLS, online PCA) |
 //! | [`core`] | `tkcm-core` | the TKCM algorithm: patterns, dissimilarity, DP selection, streaming engine |
+//! | [`runtime`] | `tkcm-runtime` | sharded multi-threaded fleet runtime (one engine per catalog-connected shard) |
 //! | [`baselines`] | `tkcm-baselines` | SPIRIT, MUSCLES, CD, SVD, kNNI, interpolation, LOCF, mean |
 //! | [`datasets`] | `tkcm-datasets` | synthetic SBR / SBR-1d / Flights / Chlorine generators, missing-block injection, CSV |
 //! | [`eval`] | `tkcm-eval` | metrics, scenario harness and one module per figure of the paper |
@@ -51,6 +52,9 @@ pub use tkcm_core as core;
 /// Baseline imputation algorithms (re-export of `tkcm-baselines`).
 pub use tkcm_baselines as baselines;
 
+/// Sharded multi-threaded fleet runtime (re-export of `tkcm-runtime`).
+pub use tkcm_runtime as runtime;
+
 /// Synthetic dataset generators (re-export of `tkcm-datasets`).
 pub use tkcm_datasets as datasets;
 
@@ -69,7 +73,9 @@ pub mod prelude {
     pub use tkcm_core::{TkcmConfig, TkcmEngine, TkcmImputer};
     pub use tkcm_datasets::{ChlorineConfig, Dataset, DatasetKind, FlightsConfig, SbrConfig};
     pub use tkcm_eval::{run_batch_scenario, run_online_scenario, Scenario, TkcmOnlineAdapter};
+    pub use tkcm_runtime::ShardedEngine;
     pub use tkcm_timeseries::{
-        Catalog, SampleInterval, SeriesId, StreamTick, StreamingWindow, TimeSeries, Timestamp,
+        Catalog, FleetPartition, SampleInterval, SeriesId, StreamTick, StreamingWindow, TimeSeries,
+        Timestamp,
     };
 }
