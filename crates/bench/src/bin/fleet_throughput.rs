@@ -4,9 +4,11 @@
 //! `--paper` runs the paper-proportioned fleet (24 clusters × 6 series,
 //! 30 days); the default quick fleet finishes in a couple of seconds in
 //! release mode.  `--json [path]` additionally writes the machine-readable
-//! results (wall time + the throughput/speedup table) that CI uploads as the
-//! `BENCH_results_fleet` artifact, so the parallel-scaling trajectory is
-//! trackable across PRs.
+//! results that CI uploads as the `BENCH_results_fleet` artifact: the
+//! throughput/speedup table plus a flattened top-level `trend` object
+//! (`speedup_vs_1_shard_at_N`, `ticks_per_second_at_N`,
+//! `dropped_edges_at_N`) so nightly runs accumulate directly gateable
+//! scaling fields, including the cross-shard reference loss.
 use std::time::Instant;
 
 fn main() {
@@ -17,7 +19,7 @@ fn main() {
     let elapsed = start.elapsed().as_secs_f64();
     tkcm_bench::print_report(&report, scale);
     if let Some(path) = json_path {
-        let json = tkcm_bench::bench_results_json(scale, &[(elapsed, report)]);
+        let json = tkcm_bench::fleet_results_json(scale, elapsed, &report);
         std::fs::write(&path, json).expect("failed to write the JSON results file");
         println!("machine-readable results written to {path}");
     }

@@ -1,0 +1,25 @@
+//! Crash-recovery benchmark: snapshot size, checkpoint latency and recovery
+//! time vs cold replay for the durable sharded fleet, at 1/2/4 shards.
+//!
+//! The fleet workload is replayed through a durable `ShardedEngine`
+//! (per-shard WALs under a scratch directory), checkpointed at 2/3 of the
+//! stream, crashed at the end and recovered from disk; a cold replay of the
+//! whole stream is the baseline a restart without the persistence subsystem
+//! would pay.  `--paper` runs the paper-proportioned fleet; `--json [path]`
+//! writes the machine-readable results CI uploads as the
+//! `BENCH_results_recovery` artifact.
+use std::time::Instant;
+
+fn main() {
+    let scale = tkcm_bench::scale_from_args(std::env::args());
+    let json_path = tkcm_bench::json_path_from_args(std::env::args());
+    let start = Instant::now();
+    let report = tkcm_eval::experiments::crash_recovery::run(scale);
+    let elapsed = start.elapsed().as_secs_f64();
+    tkcm_bench::print_report(&report, scale);
+    if let Some(path) = json_path {
+        let json = tkcm_bench::bench_results_json(scale, &[(elapsed, report)]);
+        std::fs::write(&path, json).expect("failed to write the JSON results file");
+        println!("machine-readable results written to {path}");
+    }
+}

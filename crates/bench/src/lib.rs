@@ -62,6 +62,41 @@ pub fn bench_results_json(scale: Scale, timed: &[(f64, tkcm_eval::Report)]) -> S
     )
 }
 
+/// Serialises the fleet-throughput report like [`bench_results_json`] but
+/// with an additional top-level `"trend"` object carrying the per-shard
+/// scaling fields (`ticks_per_second_at_N`, `speedup_vs_1_shard_at_N`,
+/// `dropped_edges_at_N`) flattened out of the result table.  Nightly
+/// artifacts accumulate these; once enough data points exist, CI can gate on
+/// a `speedup_vs_1_shard_at_4` regression without parsing nested tables.
+pub fn fleet_results_json(scale: Scale, elapsed: f64, report: &tkcm_eval::Report) -> String {
+    let number = |v: f64| {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    };
+    let mut trend = Vec::new();
+    if let Some(table) = report.table("Fleet throughput by shard count") {
+        let shards = table.column("shards").unwrap_or_default();
+        for metric in ["ticks_per_second", "speedup_vs_1_shard", "dropped_edges"] {
+            let values = table.column(metric).unwrap_or_default();
+            for (shard, value) in shards.iter().zip(values.iter()) {
+                trend.push(format!(
+                    "\"{metric}_at_{}\":{}",
+                    *shard as usize,
+                    number(*value)
+                ));
+            }
+        }
+    }
+    format!(
+        "{{\"scale\":\"{scale:?}\",\"trend\":{{{}}},\"experiments\":[{{\"wall_time_seconds\":{elapsed},\"report\":{}}}]}}",
+        trend.join(","),
+        report.to_json()
+    )
+}
+
 /// Prints a report with a standard footer naming the scale that was used.
 pub fn print_report(report: &tkcm_eval::Report, scale: Scale) {
     println!("{report}");
@@ -98,6 +133,35 @@ mod tests {
             json_path_from_args(vec!["--json".into(), "--paper".into()]),
             Some("BENCH_results.json".to_string())
         );
+    }
+
+    #[test]
+    fn fleet_results_json_flattens_the_trend_fields() {
+        let mut report = tkcm_eval::Report::new("fleet");
+        let mut t = tkcm_eval::Table::new(
+            "Fleet throughput by shard count",
+            vec![
+                "config".into(),
+                "shards".into(),
+                "wall_seconds".into(),
+                "ticks_per_second".into(),
+                "imputations".into(),
+                "speedup_vs_1_shard".into(),
+                "dropped_edges".into(),
+            ],
+        );
+        t.push_row("1 shard(s)", vec![1.0, 2.0, 500.0, 9.0, 1.0, 0.0]);
+        t.push_row("4 shard(s)", vec![4.0, 0.8, 1250.0, 9.0, 2.5, 3.0]);
+        report.add_table(t);
+        let json = fleet_results_json(Scale::Paper, 2.8, &report);
+        assert!(json.contains("\"trend\":{"));
+        assert!(json.contains("\"speedup_vs_1_shard_at_4\":2.5"));
+        assert!(json.contains("\"ticks_per_second_at_1\":500"));
+        assert!(json.contains("\"dropped_edges_at_4\":3"));
+        assert!(json.contains("\"wall_time_seconds\":2.8"));
+        // A report without the fleet table still serialises (empty trend).
+        let bare = fleet_results_json(Scale::Quick, 0.1, &tkcm_eval::Report::new("x"));
+        assert!(bare.contains("\"trend\":{}"));
     }
 
     #[test]

@@ -95,14 +95,22 @@ impl TkcmConfig {
         if self.window_length == 0 {
             return Err(TsError::invalid("L", "window length must be positive"));
         }
-        let needed = (self.anchor_count + 1) * self.pattern_length;
-        if self.window_length < needed {
+        // Checked arithmetic: configurations can come from decoded snapshot
+        // bytes, so (k+1)*l overflowing must reject, not wrap.
+        let needed = self
+            .anchor_count
+            .checked_add(1)
+            .and_then(|k| k.checked_mul(self.pattern_length));
+        if needed.is_none_or(|needed| self.window_length < needed) {
             return Err(TsError::invalid(
                 "L",
                 format!(
                     "window length {} too small: need at least (k+1)*l = {} to fit the query \
                      pattern and {} non-overlapping candidate patterns of length {}",
-                    self.window_length, needed, self.anchor_count, self.pattern_length
+                    self.window_length,
+                    needed.map_or_else(|| "overflow".to_string(), |n| n.to_string()),
+                    self.anchor_count,
+                    self.pattern_length
                 ),
             ));
         }

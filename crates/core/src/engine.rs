@@ -60,23 +60,26 @@ impl EngineOutcome {
 }
 
 /// One maintained dissimilarity state plus the tick it last served.
-struct Maintainer {
-    state: IncrementalDissimilarity,
-    last_used: usize,
+/// (`pub(crate)` for the snapshot codec in `persist`.)
+pub(crate) struct Maintainer {
+    pub(crate) state: IncrementalDissimilarity,
+    pub(crate) last_used: usize,
 }
 
 /// Continuous TKCM imputation engine over a fixed set of streams.
 pub struct TkcmEngine {
-    imputer: TkcmImputer,
-    window: StreamingWindow,
-    catalog: Catalog,
-    breakdown: PhaseBreakdown,
-    imputation_count: usize,
-    tick_count: usize,
+    // Fields are `pub(crate)` so the snapshot codec (`persist`) can persist
+    // and restore the full engine state.
+    pub(crate) imputer: TkcmImputer,
+    pub(crate) window: StreamingWindow,
+    pub(crate) catalog: Catalog,
+    pub(crate) breakdown: PhaseBreakdown,
+    pub(crate) imputation_count: usize,
+    pub(crate) tick_count: usize,
     /// Incremental `D` states, one per reference set that recently served an
     /// imputation.  Empty while no imputation has been needed and on the
     /// exact-recompute path.
-    maintainers: Vec<Maintainer>,
+    pub(crate) maintainers: Vec<Maintainer>,
 }
 
 impl TkcmEngine {
@@ -201,21 +204,8 @@ impl TkcmEngine {
     /// incremental dissimilarity states, imputes every missing series and
     /// writes the imputed values back into the window (patching the states).
     pub fn process_tick(&mut self, tick: &StreamTick) -> Result<EngineOutcome, TsError> {
-        self.window.push_tick(tick)?;
-        self.tick_count += 1;
-
+        self.advance_tick(tick)?;
         let incremental = self.is_incremental();
-        if incremental && !self.maintainers.is_empty() {
-            let start = Instant::now();
-            let tick_count = self.tick_count;
-            let ttl = self.maintainer_ttl();
-            self.maintainers
-                .retain(|m| tick_count.saturating_sub(m.last_used) <= ttl);
-            for m in &mut self.maintainers {
-                m.state.advance(&self.window)?;
-            }
-            self.breakdown.maintenance += start.elapsed();
-        }
 
         let mut outcome = EngineOutcome::default();
         let missing = self.window.currently_missing();
@@ -235,42 +225,26 @@ impl TkcmEngine {
                 outcome.skipped.push(target);
                 continue;
             }
-            let detail = if incremental {
+            let (detail, maintainer) = if incremental {
                 let start = Instant::now();
                 let idx = self.maintainer_for(&selection.references)?;
                 self.maintainers[idx].last_used = self.tick_count;
                 self.breakdown.maintenance += start.elapsed();
-                self.imputer.impute_maintained(
+                let detail = self.imputer.impute_maintained(
                     &self.window,
                     target,
                     &selection.references,
                     &self.maintainers[idx].state,
-                )?
+                )?;
+                (detail, Some(idx))
             } else {
-                self.imputer
-                    .impute(&self.window, target, &selection.references)?
+                let detail = self
+                    .imputer
+                    .impute(&self.window, target, &selection.references)?;
+                (detail, None)
             };
-            self.window.write_imputed(target, 0, detail.value)?;
-            if incremental {
-                // The write-back changed a current-tick slot from missing to
-                // imputed; every state whose reference set contains the
-                // target must fold the new value into its running sums so
-                // later imputations at this tick (and future ticks) see the
-                // same window contents as a from-scratch recompute would.
-                // States whose reference set does not contain the target are
-                // untouched by the write and are skipped here — invalidating
-                // all of them made every write-back O(maintainers) even when
-                // only one (or none) of the states could be affected.
-                let start = Instant::now();
-                for m in &mut self.maintainers {
-                    if m.state.references().contains(&target) {
-                        m.state.on_write(&self.window, target, 0, None)?;
-                    }
-                }
-                self.breakdown.maintenance += start.elapsed();
-            }
+            self.commit_write_back(target, &selection.references, detail.value, maintainer)?;
             self.breakdown.merge(&detail.breakdown);
-            self.imputation_count += 1;
             outcome.imputations.push(Imputation {
                 series: target,
                 time: detail.time,
@@ -279,6 +253,100 @@ impl TkcmEngine {
             });
         }
         Ok(outcome)
+    }
+
+    /// Pushes a tick into the window and brings the maintained dissimilarity
+    /// states up to date (TTL eviction + Section 6.2 advance).  Shared by
+    /// [`TkcmEngine::process_tick`] and the WAL replay path so that replayed
+    /// ticks mutate the state through exactly the code live ticks do.
+    fn advance_tick(&mut self, tick: &StreamTick) -> Result<(), TsError> {
+        self.window.push_tick(tick)?;
+        self.tick_count += 1;
+        if self.is_incremental() && !self.maintainers.is_empty() {
+            let start = Instant::now();
+            let tick_count = self.tick_count;
+            let ttl = self.maintainer_ttl();
+            self.maintainers
+                .retain(|m| tick_count.saturating_sub(m.last_used) <= ttl);
+            for m in &mut self.maintainers {
+                m.state.advance(&self.window)?;
+            }
+            self.breakdown.maintenance += start.elapsed();
+        }
+        Ok(())
+    }
+
+    /// Commits one imputed value: ensures the reference set's maintainer
+    /// exists (creating it rebuilds from the *pre-write* window, matching
+    /// where the live path creates it before imputing), writes the value into
+    /// the window and patches every affected maintainer.
+    ///
+    /// The write-back changes a current-tick slot from missing to imputed;
+    /// every state whose reference set contains the target must fold the new
+    /// value into its running sums so later imputations at this tick (and
+    /// future ticks) see the same window contents as a from-scratch recompute
+    /// would.  States whose reference set does not contain the target are
+    /// untouched by the write and are skipped — invalidating all of them made
+    /// every write-back O(maintainers) even when only one (or none) of the
+    /// states could be affected.
+    /// `maintainer` is the reference set's already-resolved maintainer index
+    /// when the caller just looked it up (the live path, which needed the
+    /// state to impute); `None` makes this method resolve it — the replay
+    /// path, where ensuring the maintainer exists *before* the write is what
+    /// reproduces the live path's creation timing.
+    fn commit_write_back(
+        &mut self,
+        target: SeriesId,
+        references: &[SeriesId],
+        value: f64,
+        maintainer: Option<usize>,
+    ) -> Result<(), TsError> {
+        let incremental = self.is_incremental();
+        if incremental && maintainer.is_none() {
+            let start = Instant::now();
+            let idx = self.maintainer_for(references)?;
+            self.maintainers[idx].last_used = self.tick_count;
+            self.breakdown.maintenance += start.elapsed();
+        }
+        self.window.write_imputed(target, 0, value)?;
+        if incremental {
+            let start = Instant::now();
+            for m in &mut self.maintainers {
+                if m.state.references().contains(&target) {
+                    m.state.on_write(&self.window, target, 0, None)?;
+                }
+            }
+            self.breakdown.maintenance += start.elapsed();
+        }
+        self.imputation_count += 1;
+        Ok(())
+    }
+
+    /// Replays one logged tick and its write-backs, reproducing the exact
+    /// state transitions of the original [`TkcmEngine::process_tick`] call —
+    /// same window bits, same maintainer creation/eviction timing, same
+    /// running-sum arithmetic — without re-running pattern extraction or
+    /// selection (the logged values are authoritative).
+    ///
+    /// Entries whose tick time is not ahead of the window are *stale* — they
+    /// describe ticks already covered by the snapshot the replay started
+    /// from (a crash between snapshot rotation and WAL truncation leaves
+    /// such entries behind) — and are skipped; `Ok(false)` reports that.
+    pub fn apply_wal_entry(&mut self, entry: &crate::persist::WalEntry) -> Result<bool, TsError> {
+        if let Some(now) = self.window.current_time() {
+            if entry.tick.time <= now {
+                return Ok(false);
+            }
+        }
+        self.advance_tick(&entry.tick)?;
+        for wb in &entry.write_backs {
+            self.commit_write_back(wb.series, &wb.references, wb.value, None)?;
+            // The live path counts imputations through the merged per-
+            // imputation breakdown; keep the replayed counter in step (the
+            // phase *durations* legitimately differ — they are wall-clock).
+            self.breakdown.imputations += 1;
+        }
+        Ok(true)
     }
 }
 

@@ -57,23 +57,26 @@ use crate::dissimilarity::l2_from_components;
 /// series.  [`crate::engine::TkcmEngine`] does both automatically.
 #[derive(Clone, Debug)]
 pub struct IncrementalDissimilarity {
-    references: Vec<SeriesId>,
-    pattern_length: usize,
-    window_length: usize,
-    allow_missing: bool,
+    // Fields are `pub(crate)` so the snapshot codec (`persist`) can persist
+    // the running sums bit-exactly; recovery equivalence depends on the
+    // accumulated `f64`s coming back with their exact bits, not on a rebuild.
+    pub(crate) references: Vec<SeriesId>,
+    pub(crate) pattern_length: usize,
+    pub(crate) window_length: usize,
+    pub(crate) allow_missing: bool,
     /// `sums[a - l]` = running Σ of squared differences over observed pairs
     /// for the candidate at lag `a`.
-    sums: Vec<f64>,
+    pub(crate) sums: Vec<f64>,
     /// `counts[a - l]` = number of observed pairs in that sum (≤ `d·l`).
-    counts: Vec<u32>,
+    pub(crate) counts: Vec<u32>,
     /// Per-reference value at age `L − 1` after the last sync point: the slot
     /// the ring buffer will evict on the next push.  Needed because the
     /// expiring column of the maximum lag (`a = L − l`) reaches age `L`,
     /// which is no longer addressable after the push.
-    prev_oldest: Vec<Option<f64>>,
+    pub(crate) prev_oldest: Vec<Option<f64>>,
     /// Window time of the last sync ([`Self::rebuild`] / [`Self::advance`]).
-    last_time: Option<Timestamp>,
-    ticks_since_rebuild: usize,
+    pub(crate) last_time: Option<Timestamp>,
+    pub(crate) ticks_since_rebuild: usize,
 }
 
 impl IncrementalDissimilarity {
@@ -126,6 +129,11 @@ impl IncrementalDissimilarity {
     /// The pattern length `l` the state is maintained for.
     pub fn pattern_length(&self) -> usize {
         self.pattern_length
+    }
+
+    /// The window length `L` the state is maintained for.
+    pub fn window_length(&self) -> usize {
+        self.window_length
     }
 
     /// Whether the state is in lock-step with the window (same current time).

@@ -81,6 +81,7 @@ pub mod engine;
 pub mod imputer;
 pub mod incremental;
 pub mod pattern;
+pub mod persist;
 pub mod selection;
 
 pub use config::{TkcmConfig, TkcmConfigBuilder};
@@ -91,4 +92,5 @@ pub use engine::{EngineOutcome, Imputation, TkcmEngine};
 pub use imputer::{ImputationDetail, TkcmImputer};
 pub use incremental::IncrementalDissimilarity;
 pub use pattern::{extract_pattern, extract_pattern_at_age, extract_query_pattern, Pattern};
+pub use persist::{WalEntry, WalWriteBack};
 pub use selection::{select_anchors_dp, select_anchors_greedy, AnchorSelection, SelectionStrategy};

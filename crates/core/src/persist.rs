@@ -1,0 +1,537 @@
+//! [`Snapshot`] implementations for the engine layer, plus the WAL entry
+//! type the runtime logs per processed tick.
+//!
+//! A [`crate::engine::TkcmEngine`] snapshot is the *complete* engine state:
+//! configuration, the streaming window (value rings, provenance rings,
+//! timestamp ring), the reference catalog, the accumulated phase breakdown
+//! and every live incremental dissimilarity maintainer with its bit-exact
+//! running sums.  Loading it back and replaying the logged ticks since the
+//! snapshot ([`WalEntry`], applied through
+//! [`crate::engine::TkcmEngine::apply_wal_entry`]) reproduces an engine that
+//! is bit-identical to one that never crashed — the recovery-equivalence
+//! property the runtime's tests pin down.
+//!
+//! Engines running a *custom* dissimilarity measure cannot be snapshotted:
+//! the decoder reconstructs the imputer from the configuration alone, which
+//! always yields the paper's L2 measure, so encoding any other measure is
+//! refused instead of silently recovering with different semantics.
+
+use std::time::Duration;
+
+use tkcm_store::{Decoder, Encoder, Snapshot, StoreError};
+use tkcm_timeseries::{Catalog, SeriesId, StreamTick, StreamingWindow, Timestamp};
+
+use crate::config::{AnchorAggregation, TkcmConfig};
+use crate::diagnostics::PhaseBreakdown;
+use crate::dissimilarity::{Dissimilarity, L2Distance};
+use crate::engine::{Maintainer, TkcmEngine};
+use crate::imputer::TkcmImputer;
+use crate::incremental::IncrementalDissimilarity;
+use crate::selection::SelectionStrategy;
+
+/// One write-back logged alongside the tick that produced it: the imputed
+/// series, the reference set that served the imputation (needed to recreate
+/// the maintainer with the original timing) and the imputed value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalWriteBack {
+    /// The series that was imputed.
+    pub series: SeriesId,
+    /// The reference set the imputation ran with, in selection order.
+    pub references: Vec<SeriesId>,
+    /// The imputed value written into the window.
+    pub value: f64,
+}
+
+/// One write-ahead-log record: a processed tick plus every write-back it
+/// produced, in commit order.  Replaying the record through
+/// [`crate::engine::TkcmEngine::apply_wal_entry`] reproduces the engine
+/// state transition without re-running pattern extraction/selection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalEntry {
+    /// The tick exactly as the engine received it.
+    pub tick: StreamTick,
+    /// The write-backs the engine committed at this tick, in order.
+    pub write_backs: Vec<WalWriteBack>,
+}
+
+impl WalEntry {
+    /// Builds the log record for a processed tick from the outcome the
+    /// engine returned for it.
+    pub fn from_outcome(tick: &StreamTick, outcome: &crate::engine::EngineOutcome) -> WalEntry {
+        WalEntry {
+            tick: tick.clone(),
+            write_backs: outcome
+                .imputations
+                .iter()
+                .map(|i| WalWriteBack {
+                    series: i.series,
+                    references: i.detail.references.clone(),
+                    value: i.value,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Snapshot for WalWriteBack {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        self.series.write_into(enc)?;
+        self.references.write_into(enc)?;
+        enc.f64(self.value);
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        Ok(WalWriteBack {
+            series: SeriesId::read_from(dec)?,
+            references: Vec::read_from(dec)?,
+            value: dec.f64()?,
+        })
+    }
+}
+
+impl Snapshot for WalEntry {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        self.tick.write_into(enc)?;
+        self.write_backs.write_into(enc)
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        Ok(WalEntry {
+            tick: StreamTick::read_from(dec)?,
+            write_backs: Vec::read_from(dec)?,
+        })
+    }
+}
+
+impl Snapshot for AnchorAggregation {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        enc.u8(match self {
+            AnchorAggregation::Mean => 0,
+            AnchorAggregation::InverseDistanceWeighted => 1,
+        });
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        match dec.u8()? {
+            0 => Ok(AnchorAggregation::Mean),
+            1 => Ok(AnchorAggregation::InverseDistanceWeighted),
+            other => Err(StoreError::corrupt(format!(
+                "invalid anchor aggregation tag {other}"
+            ))),
+        }
+    }
+}
+
+impl Snapshot for SelectionStrategy {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        enc.u8(match self {
+            SelectionStrategy::DynamicProgramming => 0,
+            SelectionStrategy::Greedy => 1,
+            SelectionStrategy::OverlappingTopK => 2,
+        });
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        match dec.u8()? {
+            0 => Ok(SelectionStrategy::DynamicProgramming),
+            1 => Ok(SelectionStrategy::Greedy),
+            2 => Ok(SelectionStrategy::OverlappingTopK),
+            other => Err(StoreError::corrupt(format!(
+                "invalid selection strategy tag {other}"
+            ))),
+        }
+    }
+}
+
+impl Snapshot for TkcmConfig {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        enc.usize(self.window_length);
+        enc.usize(self.pattern_length);
+        enc.usize(self.anchor_count);
+        enc.usize(self.reference_count);
+        self.aggregation.write_into(enc)?;
+        self.selection.write_into(enc)?;
+        enc.bool(self.allow_missing_in_patterns);
+        enc.bool(self.incremental);
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        let config = TkcmConfig {
+            window_length: dec.usize()?,
+            pattern_length: dec.usize()?,
+            anchor_count: dec.usize()?,
+            reference_count: dec.usize()?,
+            aggregation: AnchorAggregation::read_from(dec)?,
+            selection: SelectionStrategy::read_from(dec)?,
+            allow_missing_in_patterns: dec.bool()?,
+            incremental: dec.bool()?,
+        };
+        config
+            .validate()
+            .map_err(|e| StoreError::invalid(e.to_string()))?;
+        Ok(config)
+    }
+}
+
+fn duration_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl Snapshot for PhaseBreakdown {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        enc.u64(duration_nanos(self.extraction));
+        enc.u64(duration_nanos(self.selection));
+        enc.u64(duration_nanos(self.imputation));
+        enc.u64(duration_nanos(self.maintenance));
+        enc.usize(self.imputations);
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        Ok(PhaseBreakdown {
+            extraction: Duration::from_nanos(dec.u64()?),
+            selection: Duration::from_nanos(dec.u64()?),
+            imputation: Duration::from_nanos(dec.u64()?),
+            maintenance: Duration::from_nanos(dec.u64()?),
+            imputations: dec.usize()?,
+        })
+    }
+}
+
+impl Snapshot for IncrementalDissimilarity {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        self.references.write_into(enc)?;
+        enc.usize(self.pattern_length);
+        enc.usize(self.window_length);
+        enc.bool(self.allow_missing);
+        self.sums.write_into(enc)?;
+        enc.usize(self.counts.len());
+        for c in &self.counts {
+            enc.u32(*c);
+        }
+        self.prev_oldest.write_into(enc)?;
+        match self.last_time {
+            Some(t) => {
+                enc.bool(true);
+                t.write_into(enc)?;
+            }
+            None => enc.bool(false),
+        }
+        enc.usize(self.ticks_since_rebuild);
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        let references: Vec<SeriesId> = Vec::read_from(dec)?;
+        let pattern_length = dec.usize()?;
+        let window_length = dec.usize()?;
+        let allow_missing = dec.bool()?;
+        let sums: Vec<f64> = Vec::read_from(dec)?;
+        let count_len = dec.seq_len()?;
+        let mut counts = Vec::with_capacity(count_len);
+        for _ in 0..count_len {
+            counts.push(dec.u32()?);
+        }
+        let prev_oldest: Vec<Option<f64>> = Vec::read_from(dec)?;
+        let last_time = if dec.bool()? {
+            Some(Timestamp::read_from(dec)?)
+        } else {
+            None
+        };
+        let ticks_since_rebuild = dec.usize()?;
+
+        // `window_length / 2 < pattern_length` is the overflow-safe spelling
+        // of `window_length < 2 * pattern_length` — decoded dimensions are
+        // untrusted and must not be fed into unchecked arithmetic.
+        if references.is_empty()
+            || pattern_length == 0
+            || window_length / 2 < pattern_length
+            || sums.len() != window_length - 2 * pattern_length + 1
+            || counts.len() != sums.len()
+            || prev_oldest.len() != references.len()
+        {
+            return Err(StoreError::invalid(
+                "incremental dissimilarity snapshot dimensions are inconsistent",
+            ));
+        }
+        Ok(IncrementalDissimilarity {
+            references,
+            pattern_length,
+            window_length,
+            allow_missing,
+            sums,
+            counts,
+            prev_oldest,
+            last_time,
+            ticks_since_rebuild,
+        })
+    }
+}
+
+impl Snapshot for TkcmEngine {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        if self.imputer.dissimilarity_name() != L2Distance.name() {
+            return Err(StoreError::invalid(format!(
+                "engines with a custom dissimilarity measure ({}) cannot be snapshotted: \
+                 recovery reconstructs the imputer from the configuration, which always \
+                 yields the default {} measure",
+                self.imputer.dissimilarity_name(),
+                L2Distance.name()
+            )));
+        }
+        self.imputer.config().write_into(enc)?;
+        self.window.write_into(enc)?;
+        self.catalog.write_into(enc)?;
+        self.breakdown.write_into(enc)?;
+        enc.usize(self.imputation_count);
+        enc.usize(self.tick_count);
+        enc.usize(self.maintainers.len());
+        for m in &self.maintainers {
+            m.state.write_into(enc)?;
+            enc.usize(m.last_used);
+        }
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        let config = TkcmConfig::read_from(dec)?;
+        let window = StreamingWindow::read_from(dec)?;
+        if window.length() != config.window_length {
+            return Err(StoreError::invalid(format!(
+                "window length {} does not match the configured L = {}",
+                window.length(),
+                config.window_length
+            )));
+        }
+        let catalog = Catalog::read_from(dec)?;
+        let breakdown = PhaseBreakdown::read_from(dec)?;
+        let imputation_count = dec.usize()?;
+        let tick_count = dec.usize()?;
+        let maintainer_count = dec.seq_len()?;
+        let mut maintainers = Vec::with_capacity(maintainer_count);
+        for _ in 0..maintainer_count {
+            let state = IncrementalDissimilarity::read_from(dec)?;
+            let last_used = dec.usize()?;
+            if state.window_length() != config.window_length {
+                return Err(StoreError::invalid(
+                    "maintainer window length does not match the engine configuration",
+                ));
+            }
+            maintainers.push(Maintainer { state, last_used });
+        }
+        let imputer = TkcmImputer::new(config).map_err(|e| StoreError::invalid(e.to_string()))?;
+        Ok(TkcmEngine {
+            imputer,
+            window,
+            catalog,
+            breakdown,
+            imputation_count,
+            tick_count,
+            maintainers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkcm_store::{decode_from_slice, encode_to_vec};
+
+    fn round_trip<T: Snapshot>(value: &T) -> T {
+        decode_from_slice(&encode_to_vec(value).unwrap()).unwrap()
+    }
+
+    fn small_config() -> TkcmConfig {
+        TkcmConfig::builder()
+            .window_length(64)
+            .pattern_length(3)
+            .anchor_count(2)
+            .reference_count(2)
+            .build()
+            .unwrap()
+    }
+
+    fn sine(t: usize, shift: f64) -> f64 {
+        ((t as f64 - shift) / 16.0 * std::f64::consts::TAU).sin()
+    }
+
+    fn run_engine(ticks: usize) -> TkcmEngine {
+        let width = 3;
+        let mut engine =
+            TkcmEngine::new(width, small_config(), Catalog::ring_neighbours(width)).unwrap();
+        for t in 0..ticks {
+            let missing = t > 40 && t % 7 == 0;
+            let s0 = if missing { None } else { Some(sine(t, 0.0)) };
+            let tick = StreamTick::new(
+                Timestamp::new(t as i64),
+                vec![s0, Some(sine(t, 3.0)), Some(sine(t, 8.0))],
+            );
+            engine.process_tick(&tick).unwrap();
+        }
+        engine
+    }
+
+    #[test]
+    fn config_round_trips_and_validates() {
+        let c = small_config();
+        assert_eq!(round_trip(&c), c);
+        // An invalid decoded configuration is rejected (L < (k+1)*l).
+        let mut broken = c.clone();
+        broken.window_length = 4;
+        let mut enc = Encoder::new();
+        // Bypass encode-side validation by writing fields manually.
+        enc.usize(broken.window_length);
+        enc.usize(broken.pattern_length);
+        enc.usize(broken.anchor_count);
+        enc.usize(broken.reference_count);
+        broken.aggregation.write_into(&mut enc).unwrap();
+        broken.selection.write_into(&mut enc).unwrap();
+        enc.bool(broken.allow_missing_in_patterns);
+        enc.bool(broken.incremental);
+        assert!(decode_from_slice::<TkcmConfig>(&enc.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn breakdown_round_trips() {
+        let b = PhaseBreakdown {
+            extraction: Duration::from_micros(12),
+            selection: Duration::from_nanos(987),
+            imputation: Duration::from_millis(1),
+            maintenance: Duration::from_nanos(1),
+            imputations: 17,
+        };
+        assert_eq!(round_trip(&b), b);
+    }
+
+    #[test]
+    fn wal_entry_round_trips() {
+        let entry = WalEntry {
+            tick: StreamTick::new(Timestamp::new(42), vec![None, Some(1.25)]),
+            write_backs: vec![WalWriteBack {
+                series: SeriesId(0),
+                references: vec![SeriesId(1)],
+                value: 0.5,
+            }],
+        };
+        assert_eq!(round_trip(&entry), entry);
+    }
+
+    #[test]
+    fn engine_snapshot_restores_bit_identical_behaviour() {
+        // Run an engine through imputations (live maintainers), snapshot it,
+        // restore, and drive both with identical further ticks: outcomes and
+        // window contents must match bit for bit.
+        let mut original = run_engine(120);
+        let bytes = encode_to_vec(&original).unwrap();
+        let mut restored: TkcmEngine = decode_from_slice(&bytes).unwrap();
+        assert_eq!(restored.ticks_processed(), original.ticks_processed());
+        assert_eq!(
+            restored.imputations_performed(),
+            original.imputations_performed()
+        );
+        assert_eq!(restored.maintainer_count(), original.maintainer_count());
+
+        for t in 120..200usize {
+            let missing = t % 5 == 0;
+            let s0 = if missing { None } else { Some(sine(t, 0.0)) };
+            let tick = StreamTick::new(
+                Timestamp::new(t as i64),
+                vec![s0, Some(sine(t, 3.0)), Some(sine(t, 8.0))],
+            );
+            let a = original.process_tick(&tick).unwrap();
+            let b = restored.process_tick(&tick).unwrap();
+            assert_eq!(a.imputations.len(), b.imputations.len(), "tick {t}");
+            for (x, y) in a.imputations.iter().zip(b.imputations.iter()) {
+                assert_eq!(x.series, y.series);
+                assert_eq!(x.time, y.time);
+                assert_eq!(
+                    x.value.to_bits(),
+                    y.value.to_bits(),
+                    "tick {t}: imputed values diverged"
+                );
+                assert_eq!(x.detail.anchors, y.detail.anchors);
+            }
+            assert_eq!(a.skipped, b.skipped);
+        }
+    }
+
+    #[test]
+    fn custom_dissimilarity_engines_refuse_to_snapshot() {
+        let imputer = TkcmImputer::with_dissimilarity(
+            small_config(),
+            Box::new(crate::dissimilarity::L1Distance),
+        )
+        .unwrap();
+        let engine = TkcmEngine::with_imputer(2, imputer, Catalog::ring_neighbours(2)).unwrap();
+        match encode_to_vec(&engine) {
+            Err(StoreError::Invalid { message }) => assert!(message.contains("L1")),
+            other => panic!("expected invalid-state error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wal_replay_reproduces_live_processing() {
+        // Drive a live engine and log every tick; replay the log into a
+        // snapshot taken earlier; states must agree bit for bit afterwards.
+        let width = 3;
+        let mut live =
+            TkcmEngine::new(width, small_config(), Catalog::ring_neighbours(width)).unwrap();
+        let mut snapshot_bytes = None;
+        let mut log = Vec::new();
+        for t in 0..160usize {
+            let missing = t > 40 && t % 6 == 0;
+            let s0 = if missing { None } else { Some(sine(t, 0.0)) };
+            let tick = StreamTick::new(
+                Timestamp::new(t as i64),
+                vec![s0, Some(sine(t, 3.0)), Some(sine(t, 8.0))],
+            );
+            let outcome = live.process_tick(&tick).unwrap();
+            if t >= 100 {
+                log.push(WalEntry::from_outcome(&tick, &outcome));
+            }
+            if t == 99 {
+                snapshot_bytes = Some(encode_to_vec(&live).unwrap());
+            }
+        }
+        let mut recovered: TkcmEngine =
+            decode_from_slice(snapshot_bytes.as_ref().unwrap()).unwrap();
+        for entry in &log {
+            assert!(recovered.apply_wal_entry(entry).unwrap());
+        }
+        assert_eq!(recovered.ticks_processed(), live.ticks_processed());
+        assert_eq!(
+            recovered.imputations_performed(),
+            live.imputations_performed()
+        );
+        // Continue both engines and compare outcomes bit for bit.
+        for t in 160..220usize {
+            let missing = t % 4 == 0;
+            let s0 = if missing { None } else { Some(sine(t, 0.0)) };
+            let tick = StreamTick::new(
+                Timestamp::new(t as i64),
+                vec![s0, Some(sine(t, 3.0)), Some(sine(t, 8.0))],
+            );
+            let a = live.process_tick(&tick).unwrap();
+            let b = recovered.process_tick(&tick).unwrap();
+            assert_eq!(a.imputations.len(), b.imputations.len(), "tick {t}");
+            for (x, y) in a.imputations.iter().zip(b.imputations.iter()) {
+                assert_eq!(x.value.to_bits(), y.value.to_bits(), "tick {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn stale_wal_entries_are_skipped() {
+        let mut engine = run_engine(50);
+        let stale = WalEntry {
+            tick: StreamTick::new(Timestamp::new(10), vec![Some(0.0); 3]),
+            write_backs: vec![],
+        };
+        assert!(!engine.apply_wal_entry(&stale).unwrap());
+        assert_eq!(engine.ticks_processed(), 50);
+    }
+}

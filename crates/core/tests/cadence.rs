@@ -118,3 +118,97 @@ fn cadence_does_not_change_what_gets_imputed() {
         assert_eq!(a.value, *b, "cadence changed an imputed value");
     }
 }
+
+/// Irregular (jittered) tick timestamps of a real-world sensor feed: the
+/// nominal 600-second cadence plus a deterministic per-tick network delay,
+/// so consecutive deltas vary but stay strictly increasing.
+fn jittered_time(i: usize) -> i64 {
+    i as i64 * CADENCE + ((i as i64 * 37) % 241)
+}
+
+#[test]
+fn jittered_cadence_through_the_fleet_path_matches_sequential() {
+    // Two independent 3-series clusters replayed through the multi-threaded
+    // ShardedEngine at 2 shards and through one sequential TkcmEngine over
+    // the same catalog (the clusters are the catalog components, so no edge
+    // is dropped and the two must agree exactly).  All reported times —
+    // imputation times and anchor times — must sit on the *jittered* grid,
+    // which a `now - age` timestamp computation cannot produce.
+    use tkcm_runtime::ShardedEngine;
+
+    let width = 6;
+    let mut catalog = Catalog::new();
+    for cluster in 0..2usize {
+        let base = cluster * 3;
+        for member in 0..3usize {
+            let ranked = (1..3)
+                .map(|step| SeriesId::from(base + (member + step) % 3))
+                .collect();
+            catalog
+                .set_candidates(SeriesId::from(base + member), ranked)
+                .unwrap();
+        }
+    }
+
+    let mut sharded = ShardedEngine::new(width, config(true), catalog.clone(), 2).unwrap();
+    assert_eq!(sharded.shard_count(), 2);
+    let mut sequential = TkcmEngine::new(width, config(true), catalog).unwrap();
+
+    let mut tick_times = Vec::new();
+    let mut checked_imputations = 0usize;
+    for i in 0..256usize {
+        let time = jittered_time(i);
+        tick_times.push(time);
+        let values: Vec<Option<f64>> = (0..width)
+            .map(|s| {
+                // Staggered outages across both clusters.
+                if i > 190 && (i + 9 * s) % 17 < 4 {
+                    None
+                } else {
+                    Some(sine(i, (2 * s) as f64))
+                }
+            })
+            .collect();
+        let tick = StreamTick::new(Timestamp::new(time), values);
+        let fleet_outcome = sharded.process_tick(&tick).unwrap();
+        let seq_outcome = sequential.process_tick(&tick).unwrap();
+
+        assert_eq!(
+            fleet_outcome.imputations.len(),
+            seq_outcome.imputations.len(),
+            "tick {i}: sharded and sequential disagree on what to impute"
+        );
+        for (fleet, seq) in fleet_outcome
+            .imputations
+            .iter()
+            .zip(seq_outcome.imputations.iter())
+        {
+            checked_imputations += 1;
+            assert_eq!(fleet.series, seq.series);
+            // Reported times must agree between the fleet and sequential
+            // paths AND be real jittered tick times.
+            assert_eq!(fleet.time, seq.time, "tick {i}: imputation time diverged");
+            assert_eq!(fleet.time, Timestamp::new(time));
+            assert_eq!(fleet.value.to_bits(), seq.value.to_bits());
+            let fleet_anchor_times: Vec<Timestamp> =
+                fleet.detail.anchors.iter().map(|a| a.time).collect();
+            let seq_anchor_times: Vec<Timestamp> =
+                seq.detail.anchors.iter().map(|a| a.time).collect();
+            assert_eq!(
+                fleet_anchor_times, seq_anchor_times,
+                "tick {i}: anchor times diverged between fleet and sequential"
+            );
+            for anchor in &fleet_anchor_times {
+                assert!(
+                    tick_times.binary_search(&anchor.tick()).is_ok(),
+                    "tick {i}: anchor time {anchor} is not a real jittered tick time"
+                );
+            }
+        }
+        assert_eq!(fleet_outcome.skipped, seq_outcome.skipped);
+    }
+    assert!(
+        checked_imputations > 20,
+        "schedule produced too few imputations ({checked_imputations}) to be meaningful"
+    );
+}

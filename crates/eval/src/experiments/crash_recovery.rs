@@ -1,0 +1,238 @@
+//! Crash recovery: durability cost and recovery speed of the sharded fleet.
+//!
+//! Goes beyond the paper (whose engine is purely in-memory): the fleet
+//! workload is replayed through a *durable* [`tkcm_runtime::ShardedEngine`]
+//! that logs every tick to per-shard WALs, an explicit checkpoint is taken
+//! two thirds of the way through, the process "crashes" (the engine is
+//! dropped) at the end of the stream, and the fleet is recovered from disk.
+//! The experiment measures, per shard count:
+//!
+//! * **snapshot size** — bytes of the per-shard engine snapshots,
+//! * **checkpoint latency** — wall time of the checkpoint barrier,
+//! * **WAL size** — bytes logged for the post-checkpoint third of the run,
+//! * **recovery time** — manifest + snapshots + WAL replay, vs.
+//! * **cold replay** — rebuilding the same engine state by re-processing
+//!   the entire stream from tick zero (what a restart without the
+//!   durability subsystem would have to do).
+//!
+//! Recovery correctness (bit-identical resumed outcomes) is property-tested
+//! in `tkcm-runtime`; this experiment asserts the recovered tick/imputation
+//! counters match the cold replay and reports the performance trade.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use tkcm_datasets::FleetWorkload;
+use tkcm_runtime::{DurabilityOptions, ShardedEngine};
+use tkcm_timeseries::StreamSource;
+
+use crate::report::{Report, Table};
+
+use super::fleet::{fleet_config, SHARD_COUNTS};
+use super::Scale;
+
+static DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+fn scratch_dir() -> PathBuf {
+    let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("tkcm-crash-recovery-{}-{n}", std::process::id()))
+}
+
+/// One measured checkpoint → crash → recover cycle at a fixed shard count.
+#[derive(Clone, Debug)]
+pub struct RecoveryRun {
+    /// Shard target handed to the runtime.
+    pub shards: usize,
+    /// Total snapshot bytes across all shards at the explicit checkpoint.
+    pub snapshot_bytes: u64,
+    /// Wall-clock seconds of the explicit checkpoint barrier.
+    pub checkpoint_seconds: f64,
+    /// Bytes of WAL accumulated between the checkpoint and the crash.
+    pub wal_bytes: u64,
+    /// Ticks the recovery had to replay from the WAL.
+    pub replayed_ticks: usize,
+    /// Wall-clock seconds of `ShardedEngine::recover`.
+    pub recovery_seconds: f64,
+    /// Wall-clock seconds of a cold replay of the full stream.
+    pub cold_replay_seconds: f64,
+}
+
+impl RecoveryRun {
+    /// How many times faster recovery is than a cold replay.
+    pub fn speedup_vs_cold(&self) -> f64 {
+        self.cold_replay_seconds / self.recovery_seconds
+    }
+}
+
+/// Runs the checkpoint/crash/recover cycle for every shard count over an
+/// already generated workload (shared by tests and the binary).
+pub fn run_recovery_benchmark_on(workload: &FleetWorkload, scale: Scale) -> Vec<RecoveryRun> {
+    let width = workload.dataset.width();
+    let len = workload.dataset.len();
+    let tkcm = super::default_config(scale, len);
+    let stream = workload.dataset.to_stream();
+    let ticks: Vec<_> = stream.ticks().collect();
+    let checkpoint_at = len * 2 / 3;
+
+    let mut runs = Vec::with_capacity(SHARD_COUNTS.len());
+    for shards in SHARD_COUNTS {
+        let dir = scratch_dir();
+        // Durable run; rotation is disabled (interval 0) so the explicit
+        // checkpoint below is the only one and the WAL growth is measurable.
+        let mut engine = ShardedEngine::with_durability(
+            width,
+            tkcm.clone(),
+            workload.catalog.clone(),
+            shards,
+            &dir,
+            DurabilityOptions {
+                snapshot_interval: 0,
+            },
+        )
+        .expect("durable fleet construction");
+        for tick in &ticks[..checkpoint_at] {
+            engine.process_tick(tick).expect("fleet tick");
+        }
+        let stats = engine.checkpoint(&dir).expect("fleet checkpoint");
+        for tick in &ticks[checkpoint_at..] {
+            engine.process_tick(tick).expect("fleet tick");
+        }
+        let expected_ticks = engine.ticks_processed();
+        let expected_imputations = engine.imputations_performed();
+        drop(engine); // crash
+
+        let wal_bytes: u64 = (0..shards)
+            .filter_map(|s| std::fs::metadata(dir.join(format!("shard-{s}.wal"))).ok())
+            .map(|m| m.len())
+            .sum();
+
+        let start = Instant::now();
+        let recovered = ShardedEngine::recover(&dir).expect("fleet recovery");
+        let recovery_seconds = start.elapsed().as_secs_f64();
+        assert_eq!(recovered.ticks_processed(), expected_ticks);
+        assert_eq!(recovered.imputations_performed(), expected_imputations);
+        drop(recovered);
+
+        // Cold replay baseline: re-earn the same state from tick zero.
+        let start = Instant::now();
+        let mut cold = ShardedEngine::new(width, tkcm.clone(), workload.catalog.clone(), shards)
+            .expect("cold fleet construction");
+        for tick in &ticks {
+            cold.process_tick(tick).expect("cold tick");
+        }
+        let cold_replay_seconds = start.elapsed().as_secs_f64();
+        assert_eq!(cold.ticks_processed(), expected_ticks);
+        assert_eq!(cold.imputations_performed(), expected_imputations);
+
+        let _ = std::fs::remove_dir_all(&dir);
+        runs.push(RecoveryRun {
+            shards,
+            snapshot_bytes: stats.snapshot_bytes(),
+            checkpoint_seconds: stats.seconds,
+            wal_bytes,
+            replayed_ticks: len - checkpoint_at,
+            recovery_seconds,
+            cold_replay_seconds,
+        });
+    }
+    runs
+}
+
+/// Runs the crash-recovery experiment and renders the report.
+pub fn run(scale: Scale) -> Report {
+    let config = fleet_config(scale, 2024);
+    let workload = config.generate();
+    let runs = run_recovery_benchmark_on(&workload, scale);
+    report_from(config.ticks(), &runs)
+}
+
+fn report_from(ticks: usize, runs: &[RecoveryRun]) -> Report {
+    let mut report = Report::new("Crash recovery: snapshot + WAL vs cold replay");
+    report.note(format!(
+        "{ticks} ticks; checkpoint at 2/3 of the stream, crash at the end, recovery replays \
+         the final third from the per-shard WALs; cold replay re-processes everything."
+    ));
+    let mut table = Table::new(
+        "Recovery cost by shard count",
+        vec![
+            "config".to_string(),
+            "shards".to_string(),
+            "snapshot_bytes".to_string(),
+            "checkpoint_ms".to_string(),
+            "wal_bytes".to_string(),
+            "replayed_ticks".to_string(),
+            "recovery_ms".to_string(),
+            "cold_replay_ms".to_string(),
+            "recovery_speedup_vs_cold".to_string(),
+        ],
+    );
+    for run in runs {
+        table.push_row(
+            format!("{} shard(s)", run.shards),
+            vec![
+                run.shards as f64,
+                run.snapshot_bytes as f64,
+                run.checkpoint_seconds * 1e3,
+                run.wal_bytes as f64,
+                run.replayed_ticks as f64,
+                run.recovery_seconds * 1e3,
+                run.cold_replay_seconds * 1e3,
+                run.speedup_vs_cold(),
+            ],
+        );
+    }
+    report.add_table(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkcm_datasets::FleetConfig;
+
+    /// Small-but-real fleet; the quick-scale proportions run in CI through
+    /// the `recovery_bench` binary in release mode.
+    fn mini_workload() -> FleetWorkload {
+        FleetConfig {
+            clusters: 3,
+            series_per_cluster: 3,
+            days: 1,
+            seed: 11,
+            outage_every: 30,
+            outage_length: 4,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn benchmark_measures_all_shard_counts() {
+        let workload = mini_workload();
+        let runs = run_recovery_benchmark_on(&workload, Scale::Quick);
+        assert_eq!(runs.len(), SHARD_COUNTS.len());
+        for run in &runs {
+            assert!(run.snapshot_bytes > 0, "snapshots should have substance");
+            assert!(
+                run.wal_bytes > 0,
+                "the post-checkpoint third must be logged"
+            );
+            assert!(run.replayed_ticks > 0);
+            assert!(run.checkpoint_seconds >= 0.0);
+            assert!(run.recovery_seconds > 0.0);
+            assert!(run.cold_replay_seconds > 0.0);
+            assert!(run.speedup_vs_cold().is_finite());
+        }
+    }
+
+    #[test]
+    fn report_has_one_row_per_shard_count() {
+        let workload = mini_workload();
+        let runs = run_recovery_benchmark_on(&workload, Scale::Quick);
+        let report = report_from(workload.dataset.len(), &runs);
+        let table = report.table("Recovery cost by shard count").unwrap();
+        assert_eq!(table.rows.len(), SHARD_COUNTS.len());
+        assert_eq!(table.headers.len(), 9);
+        let speedups = table.column("recovery_speedup_vs_cold").unwrap();
+        assert!(speedups.iter().all(|s| s.is_finite() && *s > 0.0));
+    }
+}

@@ -23,6 +23,9 @@ use super::Scale;
 /// Shard counts the throughput sweep runs, smallest first.
 pub const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 
+/// How many dropped cross-shard reference pairs each run records by name.
+pub const DROPPED_EDGE_SAMPLE: usize = 5;
+
 /// Fleet workload proportions for one scale.
 pub fn fleet_config(scale: Scale, seed: u64) -> FleetConfig {
     match scale {
@@ -72,6 +75,11 @@ pub struct FleetRun {
     pub imputations: usize,
     /// Throughput relative to the 1-shard run.
     pub speedup: f64,
+    /// Candidate edges crossing a shard boundary (invisible to the per-shard
+    /// engines; non-zero only after a giant-component split).
+    pub dropped_edges: usize,
+    /// Up to [`DROPPED_EDGE_SAMPLE`] of the dropped pairs, for the artifact.
+    pub dropped_sample: Vec<(tkcm_timeseries::SeriesId, tkcm_timeseries::SeriesId)>,
 }
 
 /// Replays the fleet at every shard count and measures throughput.
@@ -117,6 +125,10 @@ pub fn run_fleet_benchmark_on(workload: &FleetWorkload, scale: Scale) -> Vec<Fle
             ticks_per_second: ticks.len() as f64 / wall,
             imputations,
             speedup: baseline_wall / wall,
+            dropped_edges: engine.partition().dropped_edges(&workload.catalog),
+            dropped_sample: engine
+                .partition()
+                .dropped_edge_sample(&workload.catalog, DROPPED_EDGE_SAMPLE),
         });
     }
     runs
@@ -150,6 +162,7 @@ fn report_from(config: &FleetConfig, missing: usize, runs: &[FleetRun]) -> Repor
             "ticks_per_second".to_string(),
             "imputations".to_string(),
             "speedup_vs_1_shard".to_string(),
+            "dropped_edges".to_string(),
         ],
     );
     for run in runs {
@@ -161,10 +174,26 @@ fn report_from(config: &FleetConfig, missing: usize, runs: &[FleetRun]) -> Repor
                 run.ticks_per_second,
                 run.imputations as f64,
                 run.speedup,
+                run.dropped_edges as f64,
             ],
         );
     }
     report.add_table(table);
+    // Cross-shard reference loss, named: the nightly artifact records which
+    // candidate edges a giant-component split cost, not just how many.
+    for run in runs.iter().filter(|r| r.dropped_edges > 0) {
+        let pairs: Vec<String> = run
+            .dropped_sample
+            .iter()
+            .map(|(s, c)| format!("{s}->{c}"))
+            .collect();
+        report.note(format!(
+            "{} shard(s): {} cross-shard candidate edge(s) dropped; sample: {}",
+            run.shards,
+            run.dropped_edges,
+            pairs.join(", "),
+        ));
+    }
     report
 }
 
@@ -213,9 +242,39 @@ mod tests {
         let report = report_from(&mini_config(), workload.missing, &runs);
         let table = report.table("Fleet throughput by shard count").unwrap();
         assert_eq!(table.rows.len(), SHARD_COUNTS.len());
-        assert_eq!(table.headers.len(), 6);
+        assert_eq!(table.headers.len(), 7);
         let speedups = table.column("speedup_vs_1_shard").unwrap();
         assert!(speedups.iter().all(|s| s.is_finite() && *s > 0.0));
+        // The cluster catalog's components are the clusters, so no candidate
+        // edge crosses a shard boundary at these shard counts.
+        let dropped = table.column("dropped_edges").unwrap();
+        assert!(dropped.iter().all(|d| *d == 0.0));
+    }
+
+    #[test]
+    fn split_fleets_report_their_dropped_edges_with_a_sample() {
+        // One giant cluster forced onto 4 shards: edges must be dropped,
+        // counted and sampled by name.
+        let config = FleetConfig {
+            clusters: 1,
+            series_per_cluster: 8,
+            days: 1,
+            seed: 3,
+            outage_every: 30,
+            outage_length: 4,
+        };
+        let workload = config.generate();
+        let runs = run_fleet_benchmark_on(&workload, Scale::Quick);
+        let four = runs.iter().find(|r| r.shards == 4).unwrap();
+        assert!(four.dropped_edges > 0);
+        assert!(!four.dropped_sample.is_empty());
+        assert!(four.dropped_sample.len() <= DROPPED_EDGE_SAMPLE);
+        let report = report_from(&config, workload.missing, &runs);
+        assert!(
+            report.notes.iter().any(|n| n.contains("dropped")),
+            "report should name the dropped edges: {:?}",
+            report.notes
+        );
     }
 
     #[test]

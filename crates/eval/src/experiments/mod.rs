@@ -10,6 +10,7 @@ pub mod analysis;
 pub mod block_length;
 pub mod calibration;
 pub mod comparison;
+pub mod crash_recovery;
 pub mod epsilon;
 pub mod fleet;
 pub mod pattern_length;

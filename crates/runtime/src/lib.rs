@@ -35,25 +35,75 @@
 //!   giant-component split, cross-shard candidate edges are dropped from the
 //!   per-shard catalogs — equivalence then holds against sequential
 //!   execution of the same per-shard engines (the property the tests pin).
+//!
+//! ## Durability
+//!
+//! A fleet built with [`ShardedEngine::with_durability`] persists itself
+//! into a checkpoint directory: every worker appends one WAL record per
+//! processed tick (the tick plus the write-backs it produced), and every
+//! `snapshot_interval` fleet ticks the engine rotates — each worker rewrites
+//! its snapshot (full engine state, written atomically) and truncates its
+//! log.  [`ShardedEngine::recover`] rebuilds the identical fleet from the
+//! directory: manifest → per-shard snapshot → per-shard WAL replay through
+//! [`TkcmEngine::apply_wal_entry`], reconciled to the newest tick every
+//! shard reached.  Recovery is *bit-identical*: the recovered fleet's
+//! subsequent outcomes equal those of a fleet that never crashed (the
+//! property `tests/recovery.rs` pins at 1/2/4 shards), and any flipped or
+//! truncated byte in a snapshot or WAL fails recovery with a checksum error
+//! instead of being replayed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durability;
+
+use std::path::{Path, PathBuf};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-use tkcm_core::{EngineOutcome, TkcmConfig, TkcmEngine};
+use tkcm_core::{EngineOutcome, TkcmConfig, TkcmEngine, WalEntry};
+use tkcm_store::{
+    decode_from_slice, read_snapshot_file, read_wal, read_wal_records_tolerating_torn_tail,
+    write_snapshot_file, WalWriter,
+};
 use tkcm_timeseries::{Catalog, FleetPartition, SeriesId, StreamTick, TsError};
+
+use durability::{manifest_path, shard_snapshot_path, shard_wal_path, Manifest};
+pub use durability::{CheckpointStats, DurabilityOptions, RecoveryOptions};
 
 enum Job {
     Tick(StreamTick),
+    Checkpoint {
+        snapshot_path: PathBuf,
+        /// When set, the worker truncates (re-creates) its WAL at this path
+        /// after the snapshot is safely renamed into place.
+        reset_wal: Option<PathBuf>,
+    },
     Stop,
+}
+
+enum Reply {
+    Tick(Result<EngineOutcome, TsError>),
+    /// Snapshot file size in bytes, or the error that prevented it.
+    Checkpoint(Result<u64, TsError>),
 }
 
 struct Worker {
     jobs: Sender<Job>,
-    results: Receiver<Result<EngineOutcome, TsError>>,
+    results: Receiver<Reply>,
     handle: Option<JoinHandle<()>>,
+}
+
+/// Where and how often a durable engine checkpoints.
+struct DurableState {
+    dir: PathBuf,
+    snapshot_interval: usize,
+    /// The tick count the last automatic rotation ran at, so a rotation
+    /// that failed (and made `process_tick` return an error *before*
+    /// dispatching the tick) is retried on the next call instead of
+    /// being skipped or repeated after success.
+    last_rotation: usize,
 }
 
 /// A fleet of per-shard [`TkcmEngine`]s running on worker threads.
@@ -70,6 +120,7 @@ pub struct ShardedEngine {
     tick_count: usize,
     imputation_count: usize,
     poisoned: bool,
+    durable: Option<DurableState>,
 }
 
 impl ShardedEngine {
@@ -91,7 +142,7 @@ impl ShardedEngine {
                 config.clone(),
                 local_catalog,
             )?;
-            workers.push(spawn_worker(engine));
+            workers.push(spawn_worker(engine, None));
         }
         Ok(ShardedEngine {
             partition,
@@ -99,7 +150,303 @@ impl ShardedEngine {
             tick_count: 0,
             imputation_count: 0,
             poisoned: false,
+            durable: None,
         })
+    }
+
+    /// Creates a *durable* sharded engine: every worker logs each processed
+    /// tick (and its write-backs) to a per-shard WAL under `dir`, and every
+    /// [`DurabilityOptions::snapshot_interval`] fleet ticks the snapshots
+    /// are rotated and the logs truncated.  The directory is immediately
+    /// initialised with a manifest and per-shard snapshots, so it is
+    /// recoverable from the first tick on.
+    pub fn with_durability(
+        width: usize,
+        config: TkcmConfig,
+        catalog: Catalog,
+        shards: usize,
+        dir: &Path,
+        options: DurabilityOptions,
+    ) -> Result<Self, TsError> {
+        config.validate()?;
+        std::fs::create_dir_all(dir)
+            .map_err(|e| TsError::Io(format!("creating {}: {e}", dir.display())))?;
+        let partition = FleetPartition::new(width, &catalog, shards)?;
+        let mut workers = Vec::with_capacity(partition.shard_count());
+        for shard in 0..partition.shard_count() {
+            let local_catalog = partition.shard_catalog(shard, &catalog)?;
+            let engine = TkcmEngine::new(
+                partition.members(shard).len(),
+                config.clone(),
+                local_catalog,
+            )?;
+            let wal = WalWriter::create(&shard_wal_path(dir, shard))?;
+            workers.push(spawn_worker(engine, Some(wal)));
+        }
+        let mut fleet = ShardedEngine {
+            partition,
+            workers,
+            tick_count: 0,
+            imputation_count: 0,
+            poisoned: false,
+            durable: Some(DurableState {
+                dir: dir.to_path_buf(),
+                snapshot_interval: options.snapshot_interval,
+                last_rotation: 0,
+            }),
+        };
+        // Initial checkpoint: manifest + empty-engine snapshots, so a crash
+        // before the first rotation still recovers (by replaying the WAL
+        // from tick zero).
+        fleet.checkpoint(dir)?;
+        Ok(fleet)
+    }
+
+    /// Recovers a fleet from a checkpoint directory: reads the manifest,
+    /// loads every shard's snapshot, replays every shard's WAL (when the
+    /// directory belongs to a durable engine) and rebuilds the identical
+    /// partition, counters and worker fleet.
+    ///
+    /// A crash can interrupt shards mid-tick, leaving one shard's log one
+    /// record ahead of another's; recovery reconciles by replaying each
+    /// shard only up to the newest tick *every* shard reached.  Corrupt
+    /// data — a flipped byte, a torn record, a truncated file — fails with
+    /// an error instead of being replayed; see
+    /// [`ShardedEngine::recover_with`] for the explicit torn-tail opt-out.
+    pub fn recover(dir: &Path) -> Result<Self, TsError> {
+        Self::recover_with(dir, RecoveryOptions::default())
+    }
+
+    /// [`ShardedEngine::recover`] with explicit [`RecoveryOptions`].
+    ///
+    /// With [`RecoveryOptions::tolerate_torn_wal_tail`] set, a WAL ending in
+    /// a partial frame — a process killed mid-append — replays its intact
+    /// record prefix instead of failing, and the affected shard gets a
+    /// fresh snapshot + truncated log; interior corruption (a checksum
+    /// mismatch on any complete record) still fails either way.
+    pub fn recover_with(dir: &Path, options: RecoveryOptions) -> Result<Self, TsError> {
+        let manifest: Manifest = read_snapshot_file(&manifest_path(dir))?;
+        // The manifest records explicitly whether this directory carries
+        // WALs; a durable engine's out-of-band backup into a foreign
+        // directory is snapshot-only and recovers as a plain fleet.
+        let durable = manifest.wal;
+        let shard_count = manifest.partition.shard_count();
+
+        let mut engines = Vec::with_capacity(shard_count);
+        let mut logs: Vec<Vec<WalEntry>> = Vec::with_capacity(shard_count);
+        let mut torn: Vec<bool> = Vec::with_capacity(shard_count);
+        for shard in 0..shard_count {
+            let engine: TkcmEngine = read_snapshot_file(&shard_snapshot_path(dir, shard))?;
+            if engine.window().width() != manifest.partition.members(shard).len() {
+                return Err(TsError::invalid(
+                    "engine",
+                    format!(
+                        "shard {shard} snapshot width {} does not match the manifest partition",
+                        engine.window().width()
+                    ),
+                ));
+            }
+            let (entries, tail_torn) = if !durable {
+                (Vec::new(), false)
+            } else if options.tolerate_torn_wal_tail {
+                let (records, tail_torn) =
+                    read_wal_records_tolerating_torn_tail(&shard_wal_path(dir, shard))?;
+                let entries = records
+                    .iter()
+                    .map(|payload| decode_from_slice::<WalEntry>(payload))
+                    .collect::<Result<Vec<_>, _>>()?;
+                (entries, tail_torn)
+            } else {
+                (read_wal(&shard_wal_path(dir, shard))?, false)
+            };
+            engines.push(engine);
+            logs.push(entries);
+            torn.push(tail_torn);
+        }
+
+        // Reconcile: a shard's reachable time is the newer of its snapshot
+        // and its last logged tick; the fleet recovers to the *minimum* of
+        // those, since a tick is only complete once every shard processed it.
+        let reachable = engines
+            .iter()
+            .zip(&logs)
+            .map(|(engine, entries)| {
+                entries
+                    .last()
+                    .map(|e| e.tick.time)
+                    .max(engine.window().current_time())
+            })
+            .min()
+            .flatten();
+        for (shard, (engine, entries)) in engines.iter_mut().zip(&logs).enumerate() {
+            if let Some(limit) = reachable {
+                if engine.window().current_time().is_some_and(|t| t > limit) {
+                    return Err(TsError::invalid(
+                        "engine",
+                        format!(
+                            "shard {shard} snapshot is ahead of the fleet-wide recovery point \
+                             {limit}; the checkpoint directory is inconsistent"
+                        ),
+                    ));
+                }
+                for entry in entries.iter().filter(|e| e.tick.time <= limit) {
+                    engine.apply_wal_entry(entry)?;
+                }
+            }
+            if engine.window().current_time() != reachable {
+                return Err(TsError::invalid(
+                    "engine",
+                    format!(
+                        "shard {shard} recovered to {:?} instead of the fleet-wide {reachable:?}",
+                        engine.window().current_time()
+                    ),
+                ));
+            }
+        }
+
+        let tick_count = engines.first().map(|e| e.ticks_processed()).unwrap_or(0);
+        if engines.iter().any(|e| e.ticks_processed() != tick_count) {
+            return Err(TsError::invalid(
+                "engine",
+                "recovered shards disagree on the number of processed ticks",
+            ));
+        }
+        let imputation_count = engines.iter().map(|e| e.imputations_performed()).sum();
+
+        let mut workers = Vec::with_capacity(shard_count);
+        for (shard, engine) in engines.into_iter().enumerate() {
+            let wal = if durable {
+                // Reconciliation may have skipped a trailing record of a
+                // shard that ran ahead, and a tolerated torn tail leaves
+                // garbage bytes after the last intact record; recreate such
+                // logs from the snapshot + replayed state rather than
+                // appending after dropped records or torn bytes.  Logs whose
+                // every byte was applied are reopened for append.
+                let path = shard_wal_path(dir, shard);
+                let applied_all = logs[shard]
+                    .last()
+                    .map(|e| Some(e.tick.time) <= reachable)
+                    .unwrap_or(true);
+                if applied_all && !torn[shard] {
+                    Some(WalWriter::open_append(&path)?)
+                } else {
+                    None // replaced below, after the snapshot is rewritten
+                }
+            } else {
+                None
+            };
+            workers.push((engine, wal));
+        }
+        // Any shard whose WAL could not be reopened for append gets a fresh
+        // snapshot + empty WAL so the directory is consistent again.
+        let mut fleet_workers = Vec::with_capacity(shard_count);
+        for (shard, (engine, wal)) in workers.into_iter().enumerate() {
+            let wal = match wal {
+                Some(w) => Some(w),
+                None if durable => {
+                    write_snapshot_file(&shard_snapshot_path(dir, shard), &engine)?;
+                    Some(WalWriter::create(&shard_wal_path(dir, shard))?)
+                }
+                None => None,
+            };
+            fleet_workers.push(spawn_worker(engine, wal));
+        }
+
+        Ok(ShardedEngine {
+            partition: manifest.partition,
+            workers: fleet_workers,
+            tick_count,
+            imputation_count,
+            poisoned: false,
+            durable: durable.then(|| DurableState {
+                dir: dir.to_path_buf(),
+                snapshot_interval: manifest.snapshot_interval,
+                // 0, not `tick_count`: if the crash landed exactly on a
+                // rotation boundary, the next tick re-runs that rotation
+                // (idempotent — snapshots rewritten, WAL truncated).
+                last_rotation: 0,
+            }),
+        })
+    }
+
+    /// Checkpoints the fleet into `dir`: barriers every worker, writes one
+    /// snapshot file per shard (atomically) plus the manifest, and — when
+    /// `dir` is this engine's durability directory — truncates the WALs the
+    /// snapshots now cover.  The engine keeps running afterwards; this is a
+    /// rotation point, not a shutdown.
+    pub fn checkpoint(&mut self, dir: &Path) -> Result<CheckpointStats, TsError> {
+        if self.poisoned {
+            return Err(TsError::invalid(
+                "engine",
+                "a previous tick failed on one shard; the fleet is out of sync",
+            ));
+        }
+        let start = Instant::now();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| TsError::Io(format!("creating {}: {e}", dir.display())))?;
+        let resets_wal = self
+            .durable
+            .as_ref()
+            .is_some_and(|d| same_directory(&d.dir, dir));
+        for (shard, worker) in self.workers.iter().enumerate() {
+            worker
+                .jobs
+                .send(Job::Checkpoint {
+                    snapshot_path: shard_snapshot_path(dir, shard),
+                    reset_wal: resets_wal.then(|| shard_wal_path(dir, shard)),
+                })
+                .map_err(|_| worker_died())?;
+        }
+        let mut shard_snapshot_bytes = Vec::with_capacity(self.workers.len());
+        let mut first_error = None;
+        for worker in &self.workers {
+            match worker.results.recv().map_err(|_| worker_died())? {
+                Reply::Checkpoint(Ok(bytes)) => shard_snapshot_bytes.push(bytes),
+                Reply::Checkpoint(Err(e)) => first_error = first_error.or(Some(e)),
+                Reply::Tick(_) => {
+                    return Err(TsError::invalid(
+                        "engine",
+                        "worker protocol violation: tick reply to a checkpoint",
+                    ))
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            // The in-memory fleet is still consistent (checkpointing does
+            // not mutate engine state), so the engine is *not* poisoned; the
+            // on-disk directory may hold a mix of old and new snapshots but
+            // every file is individually consistent.
+            return Err(e);
+        }
+        // Only the durable engine's own directory carries WALs; a checkpoint
+        // into a foreign directory (an out-of-band backup) is snapshot-only
+        // and must recover as such — its manifest records no WAL and no
+        // rotation interval, whatever this engine's settings are.
+        write_snapshot_file(
+            &manifest_path(dir),
+            &Manifest {
+                width: self.partition.width(),
+                partition: self.partition.clone(),
+                wal: resets_wal,
+                snapshot_interval: if resets_wal {
+                    self.durable
+                        .as_ref()
+                        .map(|d| d.snapshot_interval)
+                        .unwrap_or(0)
+                } else {
+                    0
+                },
+            },
+        )?;
+        Ok(CheckpointStats {
+            shard_snapshot_bytes,
+            seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// The checkpoint directory of a durable engine, if any.
+    pub fn durability_dir(&self) -> Option<&Path> {
+        self.durable.as_ref().map(|d| d.dir.as_path())
     }
 
     /// The fleet partition the engine runs with.
@@ -143,6 +490,27 @@ impl ShardedEngine {
                 context: "stream tick width vs fleet width",
             });
         }
+        // Snapshot rotation runs *before* dispatching the tick: every
+        // `snapshot_interval` fleet ticks the snapshots are rewritten and
+        // the WALs truncated, bounding recovery time (replay at most
+        // `snapshot_interval` ticks) and log growth.  Rotating up front
+        // means a rotation failure surfaces before the tick is processed —
+        // no outcome is lost and the caller can safely retry the same tick
+        // (which retries the rotation first).
+        if let Some(durable) = &self.durable {
+            if durable.snapshot_interval > 0
+                && self.tick_count > 0
+                && self.tick_count.is_multiple_of(durable.snapshot_interval)
+                && durable.last_rotation != self.tick_count
+            {
+                let dir = durable.dir.clone();
+                self.checkpoint(&dir)?;
+                let rotated = self.tick_count;
+                if let Some(durable) = &mut self.durable {
+                    durable.last_rotation = rotated;
+                }
+            }
+        }
         for (shard, worker) in self.workers.iter().enumerate() {
             let sub = self.partition.project_tick(shard, tick);
             worker
@@ -155,7 +523,15 @@ impl ShardedEngine {
         let mut merged = EngineOutcome::default();
         let mut first_error = None;
         for (shard, worker) in self.workers.iter().enumerate() {
-            let outcome = worker.results.recv().map_err(|_| worker_died())?;
+            let outcome = match worker.results.recv().map_err(|_| worker_died())? {
+                Reply::Tick(outcome) => outcome,
+                Reply::Checkpoint(_) => {
+                    return Err(TsError::invalid(
+                        "engine",
+                        "worker protocol violation: checkpoint reply to a tick",
+                    ))
+                }
+            };
             match outcome {
                 Ok(outcome) => {
                     if first_error.is_none() {
@@ -212,14 +588,65 @@ fn worker_died() -> TsError {
     TsError::invalid("engine", "a shard worker thread exited unexpectedly")
 }
 
-fn spawn_worker(mut engine: TkcmEngine) -> Worker {
+/// Whether two paths name the same directory (resolving symlinks/`..`; falls
+/// back to lexical equality while either does not exist yet).
+fn same_directory(a: &Path, b: &Path) -> bool {
+    match (a.canonicalize(), b.canonicalize()) {
+        (Ok(a), Ok(b)) => a == b,
+        _ => a == b,
+    }
+}
+
+/// Processes one tick on the worker's engine and, for durable fleets, logs
+/// the tick together with its write-backs before reporting the outcome —
+/// once `process_tick` returns on the fleet engine, the record is on disk.
+fn worker_tick(
+    engine: &mut TkcmEngine,
+    wal: &mut Option<WalWriter>,
+    tick: &StreamTick,
+) -> Result<EngineOutcome, TsError> {
+    let outcome = engine.process_tick(tick)?;
+    if let Some(wal) = wal {
+        wal.append(&WalEntry::from_outcome(tick, &outcome))?;
+    }
+    Ok(outcome)
+}
+
+/// Writes the worker's snapshot and, when asked, truncates its WAL (only
+/// after the snapshot safely renamed into place — on a snapshot error the
+/// old log keeps growing and stale records are skipped at recovery).
+fn worker_checkpoint(
+    engine: &TkcmEngine,
+    wal: &mut Option<WalWriter>,
+    snapshot_path: &Path,
+    reset_wal: Option<&Path>,
+) -> Result<u64, TsError> {
+    let bytes = write_snapshot_file(snapshot_path, engine)?;
+    if let Some(wal_path) = reset_wal {
+        *wal = Some(WalWriter::create(wal_path)?);
+    }
+    Ok(bytes)
+}
+
+fn spawn_worker(mut engine: TkcmEngine, mut wal: Option<WalWriter>) -> Worker {
     let (jobs, job_rx) = channel::<Job>();
     let (result_tx, results) = channel();
-    let handle = std::thread::spawn(move || {
-        while let Ok(Job::Tick(tick)) = job_rx.recv() {
-            if result_tx.send(engine.process_tick(&tick)).is_err() {
-                break; // the ShardedEngine is gone
-            }
+    let handle = std::thread::spawn(move || loop {
+        let reply = match job_rx.recv() {
+            Ok(Job::Tick(tick)) => Reply::Tick(worker_tick(&mut engine, &mut wal, &tick)),
+            Ok(Job::Checkpoint {
+                snapshot_path,
+                reset_wal,
+            }) => Reply::Checkpoint(worker_checkpoint(
+                &engine,
+                &mut wal,
+                &snapshot_path,
+                reset_wal.as_deref(),
+            )),
+            Ok(Job::Stop) | Err(_) => break,
+        };
+        if result_tx.send(reply).is_err() {
+            break; // the ShardedEngine is gone
         }
     });
     Worker {

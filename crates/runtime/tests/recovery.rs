@@ -1,0 +1,437 @@
+//! Recovery-equivalence property tests for the durable sharded runtime.
+//!
+//! The property: for random fleets, outage schedules, snapshot intervals and
+//! crash points (including mid-outage and mid-WAL), an uninterrupted run and
+//! a `run(prefix); checkpoint; crash; recover; run(suffix)` run produce
+//! **bit-identical** `EngineOutcome` sequences — at 1, 2 and 4 shards.  Plus
+//! corruption tests: a flipped byte anywhere in a snapshot or WAL, or a
+//! truncation off a record boundary, fails recovery with an error instead of
+//! being silently replayed.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+
+use tkcm_core::{EngineOutcome, PhaseBreakdown, TkcmConfig};
+use tkcm_runtime::{DurabilityOptions, ShardedEngine};
+use tkcm_timeseries::{Catalog, SeriesId, StreamTick, Timestamp};
+
+static DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh, unique scratch directory for one recovery scenario.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("tkcm-recovery-{}-{tag}-{n}", std::process::id()))
+}
+
+fn config() -> TkcmConfig {
+    TkcmConfig::builder()
+        .window_length(64)
+        .pattern_length(3)
+        .anchor_count(2)
+        .reference_count(2)
+        .build()
+        .unwrap()
+}
+
+/// Per-cluster ring catalog: components == clusters, so every shard count
+/// imputes identical values and the equivalence is exact.
+fn cluster_catalog(clusters: usize, cluster_size: usize) -> Catalog {
+    let mut catalog = Catalog::new();
+    for c in 0..clusters {
+        let base = c * cluster_size;
+        for i in 0..cluster_size {
+            let ranked: Vec<SeriesId> = (1..cluster_size)
+                .map(|step| SeriesId::from(base + (i + step) % cluster_size))
+                .collect();
+            catalog
+                .set_candidates(SeriesId::from(base + i), ranked)
+                .unwrap();
+        }
+    }
+    catalog
+}
+
+/// Deterministic signal with staggered periodic outages: series `s` loses a
+/// 3-tick block roughly every 13 ticks once warm, so crash points regularly
+/// land *inside* an outage.
+fn value_at(s: usize, t: usize) -> Option<f64> {
+    if t > 25 && (t + 5 * s) % 13 < 3 {
+        None
+    } else {
+        Some(((t as f64 + 2.0 * s as f64) / (7.0 + (s % 3) as f64)).sin() * (1.0 + s as f64 * 0.1))
+    }
+}
+
+fn tick_at(width: usize, t: usize) -> StreamTick {
+    StreamTick::new(
+        Timestamp::new(t as i64),
+        (0..width).map(|s| value_at(s, t)).collect(),
+    )
+}
+
+fn strip_timing(outcome: &mut EngineOutcome) {
+    for imputation in &mut outcome.imputations {
+        imputation.detail.breakdown = PhaseBreakdown::default();
+    }
+}
+
+/// Asserts two outcome sequences are bit-identical modulo wall-clock phase
+/// timings (`PartialEq` covers imputed values bit-for-bit, anchors,
+/// references, ordering and skips).
+fn assert_same_outcomes(
+    mut a: Vec<EngineOutcome>,
+    mut b: Vec<EngineOutcome>,
+    context: &str,
+) -> Result<(), String> {
+    prop_assert_eq!(a.len(), b.len());
+    for (t, (x, y)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
+        strip_timing(x);
+        strip_timing(y);
+        prop_assert!(
+            x == y,
+            "{context}: outcomes diverged at position {t}: {x:?} vs {y:?}"
+        );
+    }
+    Ok(())
+}
+
+/// The recovery-equivalence scenario for one fleet shape and crash point.
+fn assert_recovery_equivalent(
+    clusters: usize,
+    cluster_size: usize,
+    ticks: usize,
+    crash_at: usize,
+    snapshot_interval: usize,
+    shards: usize,
+) -> Result<(), String> {
+    let width = clusters * cluster_size;
+    let catalog = cluster_catalog(clusters, cluster_size);
+
+    // Uninterrupted reference run.
+    let mut continuous = ShardedEngine::new(width, config(), catalog.clone(), shards).unwrap();
+    let mut reference: Vec<EngineOutcome> = Vec::with_capacity(ticks);
+    for t in 0..ticks {
+        reference.push(continuous.process_tick(&tick_at(width, t)).unwrap());
+    }
+
+    // Durable run: prefix, crash (drop), recover, suffix.
+    let dir = scratch_dir("prop");
+    let mut durable = ShardedEngine::with_durability(
+        width,
+        config(),
+        catalog,
+        shards,
+        &dir,
+        DurabilityOptions { snapshot_interval },
+    )
+    .unwrap();
+    let mut observed: Vec<EngineOutcome> = Vec::with_capacity(ticks);
+    for t in 0..crash_at {
+        observed.push(durable.process_tick(&tick_at(width, t)).unwrap());
+    }
+    drop(durable); // crash: whatever reached disk is all that survives
+
+    let mut recovered = ShardedEngine::recover(&dir)
+        .map_err(|e| format!("recover failed at crash point {crash_at}: {e}"))?;
+    prop_assert_eq!(recovered.ticks_processed(), crash_at);
+    prop_assert_eq!(recovered.partition(), continuous.partition());
+    for t in crash_at..ticks {
+        observed.push(recovered.process_tick(&tick_at(width, t)).unwrap());
+    }
+    prop_assert_eq!(
+        recovered.imputations_performed(),
+        continuous.imputations_performed()
+    );
+    let context = format!(
+        "{clusters}x{cluster_size} fleet, {shards} shard(s), crash at {crash_at}/{ticks}, \
+         rotation every {snapshot_interval}"
+    );
+    assert_same_outcomes(observed, reference, &context)?;
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+proptest! {
+    /// Random fleet shapes, crash points (mid-outage and mid-WAL included)
+    /// and rotation intervals, each checked at 1, 2 and 4 shards.
+    #[test]
+    fn continuous_run_equals_checkpoint_crash_recover_resume(
+        clusters in 1usize..4,
+        cluster_size in 1usize..4,
+        ticks in 40usize..90,
+        crash_percent in 1usize..100,
+        snapshot_interval in 1usize..40,
+    ) {
+        let crash_at = (ticks * crash_percent / 100).max(1);
+        for shards in [1usize, 2, 4] {
+            assert_recovery_equivalent(
+                clusters,
+                cluster_size,
+                ticks,
+                crash_at,
+                snapshot_interval,
+                shards,
+            )?;
+        }
+    }
+}
+
+/// Builds a small durable fleet, runs it, crashes it, and returns the
+/// checkpoint directory (left on disk for corruption experiments).
+fn crashed_fleet_dir(tag: &str) -> PathBuf {
+    let width = 4;
+    let dir = scratch_dir(tag);
+    let mut engine = ShardedEngine::with_durability(
+        width,
+        config(),
+        cluster_catalog(2, 2),
+        2,
+        &dir,
+        DurabilityOptions {
+            snapshot_interval: 20,
+        },
+    )
+    .unwrap();
+    for t in 0..50 {
+        engine.process_tick(&tick_at(width, t)).unwrap();
+    }
+    drop(engine);
+    dir
+}
+
+#[test]
+fn every_flipped_byte_in_snapshot_or_wal_fails_recovery() {
+    let dir = crashed_fleet_dir("flip");
+    // Sanity: the intact directory recovers.
+    assert!(ShardedEngine::recover(&dir).is_ok());
+
+    for file in [
+        "shard-0.snap",
+        "shard-1.snap",
+        "shard-0.wal",
+        "shard-1.wal",
+        "MANIFEST",
+    ] {
+        let path = dir.join(file);
+        let original = std::fs::read(&path).unwrap();
+        assert!(!original.is_empty(), "{file} unexpectedly empty");
+        // Every 7th byte plus both ends keeps the loop fast while still
+        // hitting magic, version, lengths, payloads and checksums.
+        let positions: Vec<usize> = (0..original.len())
+            .step_by(7)
+            .chain([original.len() - 1])
+            .collect();
+        for pos in positions {
+            let mut corrupted = original.clone();
+            corrupted[pos] ^= 0x20;
+            std::fs::write(&path, &corrupted).unwrap();
+            assert!(
+                ShardedEngine::recover(&dir).is_err(),
+                "flip at {file}:{pos} was silently replayed"
+            );
+        }
+        std::fs::write(&path, &original).unwrap();
+        assert!(
+            ShardedEngine::recover(&dir).is_ok(),
+            "restoring {file} should recover again"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_files_fail_recovery() {
+    let dir = crashed_fleet_dir("trunc");
+    for file in ["shard-0.snap", "shard-0.wal", "MANIFEST"] {
+        let path = dir.join(file);
+        let original = std::fs::read(&path).unwrap();
+        // Cut inside the last record / checksum — off any record boundary.
+        for cut in [original.len() - 1, original.len() / 2, 5] {
+            std::fs::write(&path, &original[..cut]).unwrap();
+            assert!(
+                ShardedEngine::recover(&dir).is_err(),
+                "truncating {file} to {cut} byte(s) was silently accepted"
+            );
+        }
+        std::fs::write(&path, &original).unwrap();
+    }
+    assert!(ShardedEngine::recover(&dir).is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_mid_append_recovers_only_with_the_explicit_torn_tail_opt_in() {
+    // Simulate a process killed mid-append: the last WAL frame of shard 0
+    // is half written.  Strict recovery (the default, which the corruption
+    // tests rely on) must refuse; recover_with(tolerate_torn_wal_tail)
+    // replays the intact prefix, reconciles the fleet to the newest tick
+    // every shard reached, and leaves a consistent directory behind.
+    let dir = crashed_fleet_dir("torn");
+    let wal_path = dir.join("shard-0.wal");
+    let full = std::fs::read(&wal_path).unwrap();
+    std::fs::write(&wal_path, &full[..full.len() - 7]).unwrap();
+
+    assert!(
+        ShardedEngine::recover(&dir).is_err(),
+        "strict recovery must refuse a torn tail"
+    );
+    let mut recovered = ShardedEngine::recover_with(
+        &dir,
+        tkcm_runtime::RecoveryOptions {
+            tolerate_torn_wal_tail: true,
+        },
+    )
+    .unwrap();
+    // The torn record was the 50th tick on shard 0, so the fleet reconciles
+    // to tick 49 (the newest tick every shard fully logged).
+    assert_eq!(recovered.ticks_processed(), 49);
+    // The directory was repaired (fresh snapshot + truncated WAL for the
+    // torn shard): processing continues and a later strict recovery works.
+    recovered.process_tick(&tick_at(4, 49)).unwrap();
+    recovered.process_tick(&tick_at(4, 50)).unwrap();
+    drop(recovered);
+    let again = ShardedEngine::recover(&dir).unwrap();
+    assert_eq!(again.ticks_processed(), 51);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovering_a_fresh_durable_fleet_works() {
+    // Crash before the first tick: the initial checkpoint alone recovers.
+    let dir = scratch_dir("fresh");
+    let engine = ShardedEngine::with_durability(
+        4,
+        config(),
+        cluster_catalog(2, 2),
+        2,
+        &dir,
+        DurabilityOptions::default(),
+    )
+    .unwrap();
+    drop(engine);
+    let mut recovered = ShardedEngine::recover(&dir).unwrap();
+    assert_eq!(recovered.ticks_processed(), 0);
+    assert_eq!(recovered.shard_count(), 2);
+    recovered.process_tick(&tick_at(4, 0)).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_rotation_truncates_the_wal() {
+    let width = 4;
+    let dir = scratch_dir("rotate");
+    let mut engine = ShardedEngine::with_durability(
+        width,
+        config(),
+        cluster_catalog(2, 2),
+        2,
+        &dir,
+        DurabilityOptions {
+            snapshot_interval: 10,
+        },
+    )
+    .unwrap();
+    for t in 0..10 {
+        engine.process_tick(&tick_at(width, t)).unwrap();
+    }
+    let before = std::fs::metadata(dir.join("shard-0.wal")).unwrap().len();
+    // Rotation runs at the start of the tick *after* the interval boundary
+    // (so a rotation failure surfaces before any tick is processed): this
+    // 11th call first truncates the 10-record WAL, then logs one tick.
+    engine.process_tick(&tick_at(width, 10)).unwrap();
+    let after = std::fs::metadata(dir.join("shard-0.wal")).unwrap().len();
+    assert!(
+        after < before,
+        "rotation should truncate the WAL ({before} -> {after} bytes)"
+    );
+    // The engine keeps running and the directory keeps recovering.
+    for t in 11..25 {
+        engine.process_tick(&tick_at(width, t)).unwrap();
+    }
+    drop(engine);
+    let recovered = ShardedEngine::recover(&dir).unwrap();
+    assert_eq!(recovered.ticks_processed(), 25);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durable_engines_foreign_dir_backup_recovers_as_a_plain_fleet() {
+    // A durable engine checkpoints an out-of-band backup into a *different*
+    // directory: that backup has snapshots + manifest but no WALs, and must
+    // recover (as a plain, non-durable fleet at the backup tick) instead of
+    // failing on the missing logs.
+    let width = 4;
+    let dir = scratch_dir("home");
+    let backup = scratch_dir("backup");
+    let mut engine = ShardedEngine::with_durability(
+        width,
+        config(),
+        cluster_catalog(2, 2),
+        2,
+        &dir,
+        DurabilityOptions {
+            snapshot_interval: 100,
+        },
+    )
+    .unwrap();
+    for t in 0..30 {
+        engine.process_tick(&tick_at(width, t)).unwrap();
+    }
+    engine.checkpoint(&backup).unwrap();
+    for t in 30..40 {
+        engine.process_tick(&tick_at(width, t)).unwrap();
+    }
+    drop(engine);
+
+    assert!(!backup.join("shard-0.wal").exists());
+    let from_backup = ShardedEngine::recover(&backup).unwrap();
+    assert_eq!(from_backup.ticks_processed(), 30);
+    assert!(from_backup.durability_dir().is_none());
+    // The home directory still recovers the full durable fleet.
+    let from_home = ShardedEngine::recover(&dir).unwrap();
+    assert_eq!(from_home.ticks_processed(), 40);
+    assert_eq!(from_home.durability_dir(), Some(dir.as_path()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&backup);
+}
+
+#[test]
+fn explicit_checkpoint_of_a_plain_engine_recovers_without_a_wal() {
+    // A non-durable engine can still checkpoint; the directory recovers to
+    // the checkpointed tick (no WAL, so nothing after it survives).
+    let width = 4;
+    let dir = scratch_dir("plain");
+    let mut engine = ShardedEngine::new(width, config(), cluster_catalog(2, 2), 2).unwrap();
+    for t in 0..30 {
+        engine.process_tick(&tick_at(width, t)).unwrap();
+    }
+    let stats = engine.checkpoint(&dir).unwrap();
+    assert_eq!(stats.shard_snapshot_bytes.len(), 2);
+    assert!(stats.snapshot_bytes() > 0);
+    assert!(stats.seconds >= 0.0);
+    assert!(engine.durability_dir().is_none());
+    for t in 30..35 {
+        engine.process_tick(&tick_at(width, t)).unwrap();
+    }
+    drop(engine);
+    let recovered = ShardedEngine::recover(&dir).unwrap();
+    assert_eq!(recovered.ticks_processed(), 30);
+    assert!(recovered.durability_dir().is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovered_fleet_reports_its_durability_dir_and_keeps_logging() {
+    let dir = crashed_fleet_dir("redurable");
+    let mut recovered = ShardedEngine::recover(&dir).unwrap();
+    assert_eq!(recovered.durability_dir(), Some(dir.as_path()));
+    let before = recovered.ticks_processed();
+    recovered.process_tick(&tick_at(4, 50)).unwrap();
+    drop(recovered);
+    // A second crash/recover cycle sees the post-recovery tick too.
+    let twice = ShardedEngine::recover(&dir).unwrap();
+    assert_eq!(twice.ticks_processed(), before + 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,397 @@
+//! Hand-rolled little-endian binary codec and the [`Snapshot`] trait.
+//!
+//! The codec is deliberately boring: every scalar is fixed-width
+//! little-endian, every sequence is a `u64` length prefix followed by its
+//! elements, `f64` round-trips through [`f64::to_bits`] so snapshots are
+//! **bit-identical** (recovery equivalence demands that the maintained
+//! dissimilarity sums come back with the exact accumulated bits, not a
+//! re-parsed approximation), and `Option<f64>` is a tag byte plus the bits.
+//! There is no compression, no varint, no schema evolution inside a version
+//! — any layout change bumps the format version constant instead.
+
+use crate::error::StoreError;
+
+/// Types that can write themselves into / read themselves back from the
+/// deterministic binary snapshot format.
+///
+/// Implementations live next to the state they persist: the window substrate
+/// implements it in `tkcm-timeseries`, the engine in `tkcm-core`.  Encoding
+/// is fallible because some in-memory states are legitimately not
+/// snapshotable (e.g. an engine running a custom dissimilarity measure that
+/// the decoder could not reconstruct).
+pub trait Snapshot: Sized {
+    /// Appends the binary representation of `self` to the encoder.
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError>;
+
+    /// Reads one value back; must consume exactly the bytes
+    /// [`Snapshot::write_into`] produced.
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError>;
+}
+
+/// Encodes a value into a standalone byte vector.
+pub fn encode_to_vec<T: Snapshot>(value: &T) -> Result<Vec<u8>, StoreError> {
+    let mut enc = Encoder::new();
+    value.write_into(&mut enc)?;
+    Ok(enc.into_bytes())
+}
+
+/// Decodes a value from a byte slice, demanding full consumption (trailing
+/// bytes mean the payload was produced by a different layout and are
+/// reported as corruption rather than ignored).
+pub fn decode_from_slice<T: Snapshot>(bytes: &[u8]) -> Result<T, StoreError> {
+    let mut dec = Decoder::new(bytes);
+    let value = T::read_from(&mut dec)?;
+    dec.finish()?;
+    Ok(value)
+}
+
+/// Append-only little-endian byte writer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// The encoded bytes so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `i64`, little-endian two's complement.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a `u64` (sizes must survive 32 ↔ 64-bit hosts).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes an `f64` as its exact IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a `bool` as a single `0`/`1` byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Writes an optional `f64` as a tag byte plus (when present) the bits.
+    pub fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.f64(x);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    /// Writes a length-prefixed byte slice.
+    pub fn bytes_prefixed(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Cursor over an encoded byte slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over a byte slice.
+    pub fn new(data: &'a [u8]) -> Self {
+        Decoder { data, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Fails unless every byte has been consumed.
+    pub fn finish(&self) -> Result<(), StoreError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(StoreError::corrupt(format!(
+                "{} trailing byte(s) after the last decoded field",
+                self.remaining()
+            )))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::corrupt(format!(
+                "needed {n} byte(s) at offset {}, only {} left",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one raw byte.
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, StoreError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a `usize` written by [`Encoder::usize`], rejecting values that
+    /// do not fit the host.
+    pub fn usize(&mut self) -> Result<usize, StoreError> {
+        let v = self.u64()?;
+        usize::try_from(v)
+            .map_err(|_| StoreError::corrupt(format!("size {v} does not fit this host's usize")))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `bool`, rejecting any byte other than `0`/`1`.
+    pub fn bool(&mut self) -> Result<bool, StoreError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(StoreError::corrupt(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    /// Reads an optional `f64` written by [`Encoder::opt_f64`].
+    pub fn opt_f64(&mut self) -> Result<Option<f64>, StoreError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64()?)),
+            other => Err(StoreError::corrupt(format!("invalid option tag {other}"))),
+        }
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn bytes_prefixed(&mut self) -> Result<&'a [u8], StoreError> {
+        let len = self.usize()?;
+        self.take(len)
+    }
+
+    /// Reads a sequence length, sanity-capped so that a corrupted length
+    /// prefix cannot trigger a giant allocation before the checksum layer
+    /// would have caught it.
+    pub fn seq_len(&mut self) -> Result<usize, StoreError> {
+        let len = self.usize()?;
+        // 8 bytes per element is the smallest element this codec produces in
+        // sequences; anything claiming more elements than remaining bytes is
+        // structurally impossible.
+        if len > self.remaining() {
+            return Err(StoreError::corrupt(format!(
+                "sequence claims {len} element(s) but only {} byte(s) remain",
+                self.remaining()
+            )));
+        }
+        Ok(len)
+    }
+}
+
+impl<T: Snapshot> Snapshot for Vec<T> {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        enc.usize(self.len());
+        for item in self {
+            item.write_into(enc)?;
+        }
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        let len = dec.seq_len()?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::read_from(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Snapshot for u64 {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        enc.u64(*self);
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        dec.u64()
+    }
+}
+
+impl Snapshot for f64 {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        enc.f64(*self);
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        dec.f64()
+    }
+}
+
+impl Snapshot for Option<f64> {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        enc.opt_f64(*self);
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        dec.opt_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut enc = Encoder::new();
+        enc.u8(7);
+        enc.u32(0xDEAD_BEEF);
+        enc.u64(u64::MAX);
+        enc.i64(-42);
+        enc.usize(123_456);
+        enc.f64(-0.1);
+        enc.bool(true);
+        enc.bool(false);
+        enc.opt_f64(Some(f64::NAN));
+        enc.opt_f64(None);
+        enc.bytes_prefixed(b"abc");
+
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.u8().unwrap(), 7);
+        assert_eq!(dec.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(dec.u64().unwrap(), u64::MAX);
+        assert_eq!(dec.i64().unwrap(), -42);
+        assert_eq!(dec.usize().unwrap(), 123_456);
+        assert_eq!(dec.f64().unwrap().to_bits(), (-0.1f64).to_bits());
+        assert!(dec.bool().unwrap());
+        assert!(!dec.bool().unwrap());
+        // NaN round-trips bit-exactly.
+        assert_eq!(
+            dec.opt_f64().unwrap().unwrap().to_bits(),
+            f64::NAN.to_bits()
+        );
+        assert_eq!(dec.opt_f64().unwrap(), None);
+        assert_eq!(dec.bytes_prefixed().unwrap(), b"abc");
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let mut enc = Encoder::new();
+        enc.u64(1);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes[..5]);
+        assert!(dec.u64().is_err());
+    }
+
+    #[test]
+    fn invalid_tags_are_rejected() {
+        let mut dec = Decoder::new(&[2]);
+        assert!(dec.bool().is_err());
+        let mut dec = Decoder::new(&[9]);
+        assert!(dec.opt_f64().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_fail_finish() {
+        let mut enc = Encoder::new();
+        enc.u32(1);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        dec.u8().unwrap();
+        assert!(dec.finish().is_err());
+    }
+
+    #[test]
+    fn vec_and_option_snapshot_round_trip() {
+        let v: Vec<Option<f64>> = vec![Some(1.5), None, Some(-0.0)];
+        let bytes = encode_to_vec(&v).unwrap();
+        let back: Vec<Option<f64>> = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0], Some(1.5));
+        assert_eq!(back[1], None);
+        assert_eq!(back[2].unwrap().to_bits(), (-0.0f64).to_bits());
+        // Trailing garbage is corruption.
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(decode_from_slice::<Vec<Option<f64>>>(&longer).is_err());
+    }
+
+    #[test]
+    fn absurd_sequence_lengths_are_rejected_early() {
+        let mut enc = Encoder::new();
+        enc.usize(usize::MAX / 2);
+        let bytes = enc.into_bytes();
+        assert!(decode_from_slice::<Vec<u64>>(&bytes).is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Error type of the persistence layer.
+
+use std::fmt;
+
+/// Errors produced while encoding, decoding, writing or reading durable
+/// engine state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An operating-system level I/O failure.
+    Io {
+        /// What was being done when the failure occurred.
+        context: String,
+        /// The underlying error message.
+        message: String,
+    },
+    /// The bytes on disk are not a valid snapshot/WAL: bad magic, failed
+    /// checksum, impossible length, torn trailing record, trailing garbage.
+    Corrupt {
+        /// What was detected, and where.
+        context: String,
+    },
+    /// The file was written by a different (newer or older) format version.
+    UnsupportedVersion {
+        /// Which format the version belongs to ("snapshot", "wal").
+        format: &'static str,
+        /// The version found in the file.
+        found: u32,
+        /// The only version this build reads.
+        supported: u32,
+    },
+    /// The decoded data is structurally valid but semantically unusable
+    /// (e.g. a window whose length contradicts its configuration), or the
+    /// in-memory state cannot be encoded (e.g. a non-default dissimilarity).
+    Invalid {
+        /// Human-readable explanation.
+        message: String,
+    },
+}
+
+impl StoreError {
+    /// Convenience constructor for [`StoreError::Corrupt`].
+    pub fn corrupt(context: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            context: context.into(),
+        }
+    }
+
+    /// Convenience constructor for [`StoreError::Invalid`].
+    pub fn invalid(message: impl Into<String>) -> Self {
+        StoreError::Invalid {
+            message: message.into(),
+        }
+    }
+
+    /// Wraps an I/O error with the operation it interrupted.
+    pub fn io(context: impl Into<String>, error: &std::io::Error) -> Self {
+        StoreError::Io {
+            context: context.into(),
+            message: error.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { context, message } => {
+                write!(f, "I/O error while {context}: {message}")
+            }
+            StoreError::Corrupt { context } => write!(f, "corrupt data: {context}"),
+            StoreError::UnsupportedVersion {
+                format,
+                found,
+                supported,
+            } => write!(
+                f,
+                "unsupported {format} format version {found} (this build reads version {supported})"
+            ),
+            StoreError::Invalid { message } => write!(f, "invalid state: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StoreError::corrupt("wal record 3: checksum mismatch");
+        assert!(e.to_string().contains("checksum mismatch"));
+        let e = StoreError::invalid("window length 8 does not match config 16");
+        assert!(e.to_string().contains("window length"));
+        let e = StoreError::UnsupportedVersion {
+            format: "snapshot",
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("version 9"));
+        let io = StoreError::io("writing shard-0.snap", &std::io::Error::other("disk full"));
+        assert!(io.to_string().contains("disk full"));
+        assert!(io.to_string().contains("shard-0.snap"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&StoreError::corrupt("x"));
+    }
+}

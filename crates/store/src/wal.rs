@@ -1,0 +1,358 @@
+//! Per-shard write-ahead log: framed, checksummed, append-only.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! [0..8)   magic  b"TKCMWAL0"
+//! [8..12)  u32    format version (WAL_FORMAT_VERSION)
+//! then zero or more records:
+//!   u32 payload length | u32 crc32(payload) | payload
+//! ```
+//!
+//! One record is appended per processed tick (carrying the tick and the
+//! write-backs it produced) with a single `write_all` call.  Replay is
+//! **strict**: a failed checksum, an impossible length or a torn trailing
+//! frame are all [`StoreError::Corrupt`] — the log is never partially
+//! trusted.  The recovery path treats that as "fall back to cold replay /
+//! operator intervention", not as data.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::checksum::crc32;
+use crate::codec::{decode_from_slice, encode_to_vec, Snapshot};
+use crate::error::StoreError;
+
+/// Magic bytes identifying a WAL file.
+pub const WAL_MAGIC: [u8; 8] = *b"TKCMWAL0";
+
+/// The only WAL layout this build writes and reads.
+pub const WAL_FORMAT_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 12;
+
+/// Appender over a write-ahead log file.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+}
+
+impl WalWriter {
+    /// Creates (or truncates) the log at `path` with a fresh header.
+    ///
+    /// The header is written to a temporary file and renamed into place, so
+    /// a crash mid-creation (e.g. during a snapshot rotation's WAL reset)
+    /// never leaves a headerless torn file behind — the previous log, or no
+    /// log, survives instead.
+    pub fn create(path: &Path) -> Result<Self, StoreError> {
+        let mut header = WAL_MAGIC.to_vec();
+        header.extend_from_slice(&WAL_FORMAT_VERSION.to_le_bytes());
+        let tmp = path.with_extension("wal-tmp");
+        std::fs::write(&tmp, &header)
+            .map_err(|e| StoreError::io(format!("writing {}", tmp.display()), &e))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| StoreError::io(format!("renaming {} into place", tmp.display()), &e))?;
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| StoreError::io(format!("opening {} for append", path.display()), &e))?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Opens an existing log for appending, verifying its header first.
+    pub fn open_append(path: &Path) -> Result<Self, StoreError> {
+        verify_header(path)?;
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| StoreError::io(format!("opening {} for append", path.display()), &e))?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record (a single `write_all`, so a record is either fully
+    /// in the file or, on a crash mid-call, detectably torn).  Returns the
+    /// number of bytes appended.
+    pub fn append<T: Snapshot>(&mut self, value: &T) -> Result<u64, StoreError> {
+        let payload = encode_to_vec(value)?;
+        let len = u32::try_from(payload.len())
+            .map_err(|_| StoreError::invalid("WAL record exceeds 4 GiB"))?;
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| StoreError::io(format!("appending to {}", self.path.display()), &e))?;
+        Ok(frame.len() as u64)
+    }
+
+    /// Forces the appended records to stable storage (`fsync`).  Appends
+    /// themselves only guarantee the data reached the OS; call this at
+    /// checkpoint boundaries or whenever the deployment needs
+    /// power-failure durability rather than process-crash durability.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file
+            .sync_data()
+            .map_err(|e| StoreError::io(format!("syncing {}", self.path.display()), &e))
+    }
+}
+
+fn verify_header(path: &Path) -> Result<(), StoreError> {
+    let mut file =
+        File::open(path).map_err(|e| StoreError::io(format!("opening {}", path.display()), &e))?;
+    let mut header = [0u8; HEADER_LEN];
+    file.read_exact(&mut header).map_err(|_| {
+        StoreError::corrupt(format!("{}: shorter than the WAL header", path.display()))
+    })?;
+    if header[0..8] != WAL_MAGIC {
+        return Err(StoreError::corrupt(format!(
+            "{}: bad magic (not a WAL file)",
+            path.display()
+        )));
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    if version != WAL_FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            format: "wal",
+            found: version,
+            supported: WAL_FORMAT_VERSION,
+        });
+    }
+    Ok(())
+}
+
+/// Reads every record payload of a WAL, verifying the header, each record's
+/// checksum and that the file ends exactly on a record boundary.
+pub fn read_wal_records(path: &Path) -> Result<Vec<Vec<u8>>, StoreError> {
+    let (records, torn) = scan_wal(path)?;
+    if let Some(message) = torn {
+        return Err(StoreError::corrupt(message));
+    }
+    Ok(records)
+}
+
+/// Like [`read_wal_records`] but tolerating a torn *trailing* frame: the
+/// intact prefix is returned together with `true` when trailing bytes were
+/// discarded.  This is the kill-mid-append crash mode — the single
+/// `write_all` of an append was interrupted, so the file ends with a partial
+/// frame.  Interior corruption (a checksum mismatch on any *complete*
+/// record) is still a hard error; only the incomplete tail is forgiven.
+///
+/// Note the inherent ambiguity: a flipped byte in the final frame's length
+/// field is indistinguishable from a torn tail, so tolerant reads trade a
+/// sliver of the corruption guarantee for crash robustness.  Callers must
+/// opt in explicitly (the runtime's default recovery stays strict).
+pub fn read_wal_records_tolerating_torn_tail(
+    path: &Path,
+) -> Result<(Vec<Vec<u8>>, bool), StoreError> {
+    let (records, torn) = scan_wal(path)?;
+    Ok((records, torn.is_some()))
+}
+
+/// Shared scan: returns the complete, checksum-verified records plus a
+/// description of the torn trailing frame, if any.  Checksum mismatches on
+/// complete records always error.
+fn scan_wal(path: &Path) -> Result<(Vec<Vec<u8>>, Option<String>), StoreError> {
+    verify_header(path)?;
+    let bytes = std::fs::read(path)
+        .map_err(|e| StoreError::io(format!("reading {}", path.display()), &e))?;
+    let mut records = Vec::new();
+    let mut pos = HEADER_LEN;
+    while pos < bytes.len() {
+        if bytes.len() - pos < 8 {
+            return Ok((
+                records,
+                Some(format!(
+                    "{}: torn record header at offset {pos}",
+                    path.display()
+                )),
+            ));
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let stored_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        pos += 8;
+        if bytes.len() - pos < len {
+            return Ok((
+                records,
+                Some(format!(
+                    "{}: record at offset {} claims {len} byte(s), only {} left (torn or corrupted)",
+                    path.display(),
+                    pos - 8,
+                    bytes.len() - pos
+                )),
+            ));
+        }
+        let payload = &bytes[pos..pos + len];
+        if crc32(payload) != stored_crc {
+            return Err(StoreError::corrupt(format!(
+                "{}: checksum mismatch in record {} at offset {}",
+                path.display(),
+                records.len(),
+                pos - 8
+            )));
+        }
+        records.push(payload.to_vec());
+        pos += len;
+    }
+    Ok((records, None))
+}
+
+/// Reads and decodes every record of a WAL.
+pub fn read_wal<T: Snapshot>(path: &Path) -> Result<Vec<T>, StoreError> {
+    read_wal_records(path)?
+        .iter()
+        .map(|payload| decode_from_slice(payload))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tkcm-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let path = temp_path("roundtrip.wal");
+        let mut wal = WalWriter::create(&path).unwrap();
+        for i in 0..5u64 {
+            wal.append(&vec![i, i * i]).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let records: Vec<Vec<u64>> = read_wal(&path).unwrap();
+        assert_eq!(records.len(), 5);
+        assert_eq!(records[3], vec![3, 9]);
+
+        // Re-open for append and extend.
+        let mut wal = WalWriter::open_append(&path).unwrap();
+        wal.append(&vec![99u64]).unwrap();
+        drop(wal);
+        let records: Vec<Vec<u64>> = read_wal(&path).unwrap();
+        assert_eq!(records.len(), 6);
+        assert_eq!(records[5], vec![99]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_wal_replays_to_nothing() {
+        let path = temp_path("empty.wal");
+        WalWriter::create(&path).unwrap();
+        let records: Vec<Vec<u64>> = read_wal(&path).unwrap();
+        assert!(records.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn every_flipped_byte_is_detected() {
+        let path = temp_path("flip.wal");
+        let mut wal = WalWriter::create(&path).unwrap();
+        wal.append(&vec![1u64, 2, 3]).unwrap();
+        wal.append(&vec![4u64]).unwrap();
+        drop(wal);
+        let original = std::fs::read(&path).unwrap();
+        for i in 0..original.len() {
+            let mut corrupted = original.clone();
+            corrupted[i] ^= 0x10;
+            std::fs::write(&path, &corrupted).unwrap();
+            assert!(
+                read_wal::<Vec<u64>>(&path).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncation_off_a_record_boundary_is_detected() {
+        let path = temp_path("trunc.wal");
+        let mut wal = WalWriter::create(&path).unwrap();
+        let first_frame = wal.append(&vec![7u64; 3]).unwrap() as usize;
+        wal.append(&vec![8u64; 2]).unwrap();
+        drop(wal);
+        let original = std::fs::read(&path).unwrap();
+        // Cuts on a record boundary are indistinguishable from a shorter log
+        // (append-only logs cannot know how long they were meant to be) and
+        // replay the intact prefix; every other cut must be an error.
+        let boundaries = [HEADER_LEN, HEADER_LEN + first_frame, original.len()];
+        for cut in HEADER_LEN + 1..original.len() {
+            std::fs::write(&path, &original[..cut]).unwrap();
+            let replay = read_wal::<Vec<u64>>(&path);
+            if boundaries.contains(&cut) {
+                assert!(replay.is_ok(), "boundary cut {cut} should replay");
+            } else {
+                assert!(
+                    replay.is_err(),
+                    "truncation to {cut} byte(s) went undetected"
+                );
+            }
+        }
+        // Truncating into the header is detected too.
+        std::fs::write(&path, &original[..5]).unwrap();
+        assert!(read_wal::<Vec<u64>>(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tolerant_reads_keep_the_prefix_but_reject_interior_corruption() {
+        let path = temp_path("tolerant.wal");
+        let mut wal = WalWriter::create(&path).unwrap();
+        let first = wal.append(&vec![1u64, 2]).unwrap() as usize;
+        wal.append(&vec![3u64]).unwrap();
+        drop(wal);
+        let original = std::fs::read(&path).unwrap();
+
+        // Kill-mid-append: the second frame is half written.
+        std::fs::write(&path, &original[..HEADER_LEN + first + 5]).unwrap();
+        assert!(read_wal::<Vec<u64>>(&path).is_err(), "strict must refuse");
+        let (records, torn) = read_wal_records_tolerating_torn_tail(&path).unwrap();
+        assert!(torn);
+        assert_eq!(records.len(), 1, "the intact first record survives");
+
+        // An intact file reports no tear.
+        std::fs::write(&path, &original).unwrap();
+        let (records, torn) = read_wal_records_tolerating_torn_tail(&path).unwrap();
+        assert!(!torn);
+        assert_eq!(records.len(), 2);
+
+        // Interior corruption (bad checksum on a *complete* record) is a
+        // hard error even in tolerant mode.
+        let mut corrupted = original.clone();
+        corrupted[HEADER_LEN + 10] ^= 0xFF; // inside the first payload
+        std::fs::write(&path, &corrupted).unwrap();
+        assert!(read_wal_records_tolerating_torn_tail(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_append_rejects_foreign_files() {
+        let path = temp_path("foreign.wal");
+        std::fs::write(&path, b"definitely not a wal").unwrap();
+        assert!(WalWriter::open_append(&path).is_err());
+        let mut versioned = WAL_MAGIC.to_vec();
+        versioned.extend_from_slice(&7u32.to_le_bytes());
+        std::fs::write(&path, &versioned).unwrap();
+        match WalWriter::open_append(&path) {
+            Err(StoreError::UnsupportedVersion { found: 7, .. }) => {}
+            other => panic!("expected version error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

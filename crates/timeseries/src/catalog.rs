@@ -41,7 +41,8 @@ impl ReferenceSelection {
 #[derive(Clone, Debug, Default)]
 pub struct Catalog {
     /// `candidates[s]` is the ranked candidate list for series `s`.
-    candidates: BTreeMap<SeriesId, Vec<SeriesId>>,
+    /// (`pub(crate)` for the snapshot codec in `persist`.)
+    pub(crate) candidates: BTreeMap<SeriesId, Vec<SeriesId>>,
 }
 
 impl Catalog {

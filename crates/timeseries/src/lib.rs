@@ -58,6 +58,7 @@ pub mod catalog;
 pub mod errors;
 pub mod missing;
 pub mod partition;
+pub mod persist;
 pub mod ring_buffer;
 pub mod series;
 pub mod stats;

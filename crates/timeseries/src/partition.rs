@@ -34,12 +34,14 @@ use crate::stream::StreamTick;
 /// A deterministic assignment of every series of a fleet to one shard.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FleetPartition {
-    width: usize,
+    // `pub(crate)` for the snapshot codec in `persist` (the manifest of a
+    // checkpointed fleet stores the partition verbatim).
+    pub(crate) width: usize,
     /// Global series ids per shard, each sorted ascending; the shard-local
     /// dense id of `shards[s][i]` is `i`.
-    shards: Vec<Vec<SeriesId>>,
+    pub(crate) shards: Vec<Vec<SeriesId>>,
     /// `locate[global] = (shard, local)` reverse mapping.
-    locate: Vec<(usize, usize)>,
+    pub(crate) locate: Vec<(usize, usize)>,
 }
 
 impl FleetPartition {
@@ -168,16 +170,52 @@ impl FleetPartition {
     /// a giant component had to be split.
     pub fn dropped_edges(&self, catalog: &Catalog) -> usize {
         let mut dropped = 0;
+        self.walk_dropped_edges(catalog, |_, _| {
+            dropped += 1;
+            true
+        });
+        dropped
+    }
+
+    /// The first `limit` dropped candidate edges as `(series, candidate)`
+    /// pairs, in deterministic shard/member/rank order.  Nightly artifacts
+    /// record this sample alongside [`FleetPartition::dropped_edges`] so a
+    /// giant-component split names *which* cross-shard references the
+    /// per-shard engines lost, not just how many.
+    pub fn dropped_edge_sample(
+        &self,
+        catalog: &Catalog,
+        limit: usize,
+    ) -> Vec<(SeriesId, SeriesId)> {
+        let mut sample = Vec::new();
+        self.walk_dropped_edges(catalog, |id, cand| {
+            if sample.len() == limit {
+                return false;
+            }
+            sample.push((id, cand));
+            true
+        });
+        sample
+    }
+
+    /// Visits every candidate edge that crosses a shard boundary, in
+    /// deterministic shard/member/rank order, until `visit` returns `false`.
+    /// The single source of truth for what "dropped" means, shared by the
+    /// count and the sample so the two cannot drift apart.
+    fn walk_dropped_edges(
+        &self,
+        catalog: &Catalog,
+        mut visit: impl FnMut(SeriesId, SeriesId) -> bool,
+    ) {
         for shard in 0..self.shards.len() {
             for &id in &self.shards[shard] {
-                dropped += catalog
-                    .candidates(id)
-                    .iter()
-                    .filter(|c| matches!(self.locate(**c), Ok((s, _)) if s != shard))
-                    .count();
+                for &cand in catalog.candidates(id) {
+                    if matches!(self.locate(cand), Ok((s, _)) if s != shard) && !visit(id, cand) {
+                        return;
+                    }
+                }
             }
         }
-        dropped
     }
 }
 

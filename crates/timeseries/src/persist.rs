@@ -1,0 +1,431 @@
+//! [`Snapshot`] implementations for the stream substrate.
+//!
+//! The durability layer (`tkcm-store`) defines the deterministic binary
+//! codec; this module teaches the substrate types — ring buffers, the
+//! streaming window with its provenance and timestamp rings, catalogs, fleet
+//! partitions and stream ticks — to write themselves into it and to
+//! reconstruct themselves *exactly* (same ring offsets, same provenance
+//! bits, same `f64` bit patterns) so that a recovered engine is
+//! indistinguishable from one that never stopped.
+//!
+//! Decoding validates structural invariants (ring offsets in range, matching
+//! widths, ids inside the fleet) on top of the store layer's checksums:
+//! checksums catch flipped bytes, these checks catch a payload that was
+//! written by different code than is reading it.
+
+use tkcm_store::{Decoder, Encoder, Snapshot, StoreError};
+
+use crate::catalog::Catalog;
+use crate::errors::TsError;
+use crate::partition::FleetPartition;
+use crate::ring_buffer::RingBuffer;
+use crate::series::SeriesId;
+use crate::stream::StreamTick;
+use crate::timestamp::Timestamp;
+use crate::window::{SlotState, StreamingWindow};
+
+impl From<StoreError> for TsError {
+    fn from(e: StoreError) -> Self {
+        TsError::Io(e.to_string())
+    }
+}
+
+impl Snapshot for Timestamp {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        enc.i64(self.tick());
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        Ok(Timestamp::new(dec.i64()?))
+    }
+}
+
+impl Snapshot for SeriesId {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        enc.u32(self.0);
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        Ok(SeriesId(dec.u32()?))
+    }
+}
+
+impl Snapshot for SlotState {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        enc.u8(match self {
+            SlotState::Observed => 0,
+            SlotState::Imputed => 1,
+            SlotState::Missing => 2,
+        });
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        match dec.u8()? {
+            0 => Ok(SlotState::Observed),
+            1 => Ok(SlotState::Imputed),
+            2 => Ok(SlotState::Missing),
+            other => Err(StoreError::corrupt(format!("invalid slot state {other}"))),
+        }
+    }
+}
+
+impl Snapshot for RingBuffer {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        enc.usize(self.slots.len());
+        enc.usize(self.offset);
+        enc.usize(self.filled);
+        for slot in &self.slots {
+            enc.opt_f64(*slot);
+        }
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        let capacity = dec.usize()?;
+        let offset = dec.usize()?;
+        let filled = dec.usize()?;
+        if capacity == 0 || offset >= capacity || filled > capacity {
+            return Err(StoreError::invalid(format!(
+                "ring buffer layout out of range: capacity {capacity}, offset {offset}, \
+                 filled {filled}"
+            )));
+        }
+        // Every slot is at least one encoded byte, so a capacity exceeding
+        // the remaining payload is structurally impossible — reject it
+        // before allocating (same guard as `Decoder::seq_len`).
+        if capacity > dec.remaining() {
+            return Err(StoreError::corrupt(format!(
+                "ring buffer claims {capacity} slot(s) but only {} byte(s) remain",
+                dec.remaining()
+            )));
+        }
+        let mut slots = Vec::with_capacity(capacity);
+        for _ in 0..capacity {
+            slots.push(dec.opt_f64()?);
+        }
+        Ok(RingBuffer {
+            slots,
+            offset,
+            filled,
+        })
+    }
+}
+
+impl Snapshot for StreamingWindow {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        enc.usize(self.length);
+        self.buffers.write_into(enc)?;
+        enc.usize(self.states.len());
+        for series_states in &self.states {
+            series_states.write_into(enc)?;
+        }
+        self.times.write_into(enc)?;
+        enc.usize(self.state_offset);
+        match self.current_time {
+            Some(t) => {
+                enc.bool(true);
+                t.write_into(enc)?;
+            }
+            None => enc.bool(false),
+        }
+        enc.usize(self.ticks_seen);
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        let length = dec.usize()?;
+        let buffers: Vec<RingBuffer> = Vec::read_from(dec)?;
+        let state_rows = dec.seq_len()?;
+        let mut states = Vec::with_capacity(state_rows);
+        for _ in 0..state_rows {
+            states.push(Vec::<SlotState>::read_from(dec)?);
+        }
+        let times: Vec<Timestamp> = Vec::read_from(dec)?;
+        let state_offset = dec.usize()?;
+        let current_time = if dec.bool()? {
+            Some(Timestamp::read_from(dec)?)
+        } else {
+            None
+        };
+        let ticks_seen = dec.usize()?;
+
+        if length == 0 || buffers.is_empty() {
+            return Err(StoreError::invalid(
+                "window snapshot has zero length or zero width",
+            ));
+        }
+        if buffers.iter().any(|b| b.capacity() != length)
+            || states.len() != buffers.len()
+            || states.iter().any(|s| s.len() != length)
+            || times.len() != length
+            || state_offset >= length
+        {
+            return Err(StoreError::invalid(
+                "window snapshot rings disagree on length/width",
+            ));
+        }
+        Ok(StreamingWindow {
+            length,
+            buffers,
+            states,
+            times,
+            state_offset,
+            current_time,
+            ticks_seen,
+        })
+    }
+}
+
+impl Snapshot for StreamTick {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        self.time.write_into(enc)?;
+        self.values.write_into(enc)
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        let time = Timestamp::read_from(dec)?;
+        let values = Vec::read_from(dec)?;
+        Ok(StreamTick { time, values })
+    }
+}
+
+impl Snapshot for Catalog {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        enc.usize(self.candidates.len());
+        for (series, ranked) in &self.candidates {
+            series.write_into(enc)?;
+            ranked.write_into(enc)?;
+        }
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        let entries = dec.seq_len()?;
+        let mut catalog = Catalog::new();
+        for _ in 0..entries {
+            let series = SeriesId::read_from(dec)?;
+            let ranked: Vec<SeriesId> = Vec::read_from(dec)?;
+            // Route through the validating setter so a decoded catalog obeys
+            // the same invariants (no self references, no duplicates) as one
+            // built through the public API.
+            catalog
+                .set_candidates(series, ranked)
+                .map_err(|e| StoreError::invalid(e.to_string()))?;
+        }
+        Ok(catalog)
+    }
+}
+
+impl Snapshot for FleetPartition {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        enc.usize(self.width);
+        enc.usize(self.shards.len());
+        for members in &self.shards {
+            members.write_into(enc)?;
+        }
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        let width = dec.usize()?;
+        // Every one of the `width` series must appear in some member list
+        // (4 encoded bytes each), so a width beyond the remaining payload is
+        // structurally impossible — reject before allocating `locate`.
+        if width > dec.remaining() {
+            return Err(StoreError::corrupt(format!(
+                "partition claims width {width} but only {} byte(s) remain",
+                dec.remaining()
+            )));
+        }
+        let shard_count = dec.seq_len()?;
+        let mut shards = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            shards.push(Vec::<SeriesId>::read_from(dec)?);
+        }
+        // Rebuild the reverse mapping, demanding that every series of the
+        // fleet is assigned exactly once.
+        let mut locate = vec![(usize::MAX, usize::MAX); width];
+        let mut assigned = 0usize;
+        for (s, members) in shards.iter().enumerate() {
+            for (i, id) in members.iter().enumerate() {
+                let idx = id.index();
+                if idx >= width {
+                    return Err(StoreError::invalid(format!(
+                        "partition references series {id} outside width {width}"
+                    )));
+                }
+                if locate[idx].0 != usize::MAX {
+                    return Err(StoreError::invalid(format!(
+                        "series {id} assigned to more than one shard"
+                    )));
+                }
+                locate[idx] = (s, i);
+                assigned += 1;
+            }
+        }
+        if assigned != width {
+            return Err(StoreError::invalid(format!(
+                "partition assigns {assigned} of {width} series"
+            )));
+        }
+        Ok(FleetPartition {
+            width,
+            shards,
+            locate,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkcm_store::{decode_from_slice, encode_to_vec};
+
+    fn tick(t: i64, values: Vec<Option<f64>>) -> StreamTick {
+        StreamTick::new(Timestamp::new(t), values)
+    }
+
+    fn round_trip<T: Snapshot>(value: &T) -> T {
+        decode_from_slice(&encode_to_vec(value).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn ring_buffer_round_trips_exactly() {
+        let mut rb = RingBuffer::new(4);
+        for v in [Some(1.5), None, Some(-0.0), Some(f64::MAX), Some(2.0)] {
+            rb.push(v);
+        }
+        let back = round_trip(&rb);
+        assert_eq!(back, rb);
+        assert_eq!(back.offset(), rb.offset());
+        assert_eq!(back.len(), rb.len());
+    }
+
+    #[test]
+    fn window_round_trips_with_provenance_and_times() {
+        let mut w = StreamingWindow::new(2, 3);
+        w.push_tick(&tick(0, vec![Some(1.0), None])).unwrap();
+        w.push_tick(&tick(600, vec![None, Some(2.0)])).unwrap();
+        w.write_imputed(SeriesId(0), 0, 7.5).unwrap();
+        w.push_tick(&tick(1200, vec![Some(3.0), Some(4.0)]))
+            .unwrap();
+
+        let back = round_trip(&w);
+        assert_eq!(back.length(), 3);
+        assert_eq!(back.width(), 2);
+        assert_eq!(back.current_time(), Some(Timestamp::new(1200)));
+        assert_eq!(back.ticks_seen(), 3);
+        for id in [SeriesId(0), SeriesId(1)] {
+            for age in 0..3 {
+                assert_eq!(
+                    back.slot_recent(id, age).unwrap(),
+                    w.slot_recent(id, age).unwrap(),
+                    "slot {id}/{age} diverged"
+                );
+            }
+        }
+        assert_eq!(back.time_of_age(1), Some(Timestamp::new(600)));
+        // A fresh (never pushed) window round-trips too.
+        let empty = StreamingWindow::new(1, 2);
+        let back = round_trip(&empty);
+        assert_eq!(back.current_time(), None);
+        assert_eq!(back.ticks_seen(), 0);
+    }
+
+    #[test]
+    fn recovered_window_accepts_further_ticks_like_the_original() {
+        let mut w = StreamingWindow::new(1, 4);
+        for t in 0..6i64 {
+            w.push_tick(&tick(t * 10, vec![Some(t as f64)])).unwrap();
+        }
+        let mut back = round_trip(&w);
+        w.push_tick(&tick(60, vec![Some(6.0)])).unwrap();
+        back.push_tick(&tick(60, vec![Some(6.0)])).unwrap();
+        for age in 0..4 {
+            assert_eq!(
+                back.value_recent(SeriesId(0), age).unwrap(),
+                w.value_recent(SeriesId(0), age).unwrap()
+            );
+            assert_eq!(back.time_of_age(age), w.time_of_age(age));
+        }
+        // Stale ticks are still rejected.
+        assert!(back.push_tick(&tick(60, vec![Some(0.0)])).is_err());
+    }
+
+    #[test]
+    fn catalog_round_trips_and_validates() {
+        let mut c = Catalog::new();
+        c.set_candidates(SeriesId(0), vec![SeriesId(2), SeriesId(1)])
+            .unwrap();
+        c.set_candidates(SeriesId(2), vec![SeriesId(0)]).unwrap();
+        let back = round_trip(&c);
+        assert_eq!(back.candidates(SeriesId(0)), &[SeriesId(2), SeriesId(1)]);
+        assert_eq!(back.candidates(SeriesId(2)), &[SeriesId(0)]);
+        assert!(back.candidates(SeriesId(1)).is_empty());
+
+        // A hand-corrupted payload with a self reference is rejected.
+        let mut enc = Encoder::new();
+        enc.usize(1);
+        SeriesId(3).write_into(&mut enc).unwrap();
+        vec![SeriesId(3)].write_into(&mut enc).unwrap();
+        assert!(decode_from_slice::<Catalog>(&enc.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn partition_round_trips_with_locate_rebuilt() {
+        let mut c = Catalog::new();
+        c.set_candidates(SeriesId(0), vec![SeriesId(1)]).unwrap();
+        c.set_candidates(SeriesId(2), vec![SeriesId(3)]).unwrap();
+        let p = FleetPartition::new(5, &c, 3).unwrap();
+        let back = round_trip(&p);
+        assert_eq!(back, p);
+        assert_eq!(
+            back.locate(SeriesId(3)).unwrap(),
+            p.locate(SeriesId(3)).unwrap()
+        );
+    }
+
+    #[test]
+    fn partition_decode_rejects_bad_assignments() {
+        // Series assigned twice.
+        let mut enc = Encoder::new();
+        enc.usize(2);
+        enc.usize(2);
+        vec![SeriesId(0)].write_into(&mut enc).unwrap();
+        vec![SeriesId(0)].write_into(&mut enc).unwrap();
+        assert!(decode_from_slice::<FleetPartition>(&enc.into_bytes()).is_err());
+        // Series outside the width.
+        let mut enc = Encoder::new();
+        enc.usize(1);
+        enc.usize(1);
+        vec![SeriesId(7)].write_into(&mut enc).unwrap();
+        assert!(decode_from_slice::<FleetPartition>(&enc.into_bytes()).is_err());
+        // Unassigned series.
+        let mut enc = Encoder::new();
+        enc.usize(2);
+        enc.usize(1);
+        vec![SeriesId(0)].write_into(&mut enc).unwrap();
+        assert!(decode_from_slice::<FleetPartition>(&enc.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn stream_tick_round_trips() {
+        let t = tick(-5, vec![Some(1.0), None, Some(f64::EPSILON)]);
+        assert_eq!(round_trip(&t), t);
+    }
+
+    #[test]
+    fn slot_state_rejects_unknown_tags() {
+        let mut dec = Decoder::new(&[3]);
+        assert!(SlotState::read_from(&mut dec).is_err());
+    }
+
+    #[test]
+    fn store_errors_convert_to_ts_errors() {
+        let e: TsError = StoreError::corrupt("wal record 2").into();
+        assert!(e.to_string().contains("wal record 2"));
+    }
+}

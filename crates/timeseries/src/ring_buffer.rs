@@ -19,11 +19,13 @@ use std::fmt;
 /// (`None`).
 #[derive(Clone, PartialEq)]
 pub struct RingBuffer {
-    slots: Vec<Option<f64>>,
+    // `pub(crate)` so the snapshot codec (`persist`) can persist/restore the
+    // exact ring layout without exposing it beyond the crate.
+    pub(crate) slots: Vec<Option<f64>>,
     /// Index of the most recently written slot (the paper's offset `O`).
-    offset: usize,
+    pub(crate) offset: usize,
     /// Number of values pushed so far, saturating at `capacity`.
-    filled: usize,
+    pub(crate) filled: usize,
 }
 
 impl RingBuffer {

@@ -47,20 +47,22 @@ impl WindowSlot {
 /// series plus a parallel provenance buffer.
 #[derive(Clone, Debug)]
 pub struct StreamingWindow {
-    length: usize,
-    buffers: Vec<RingBuffer>,
+    // Fields are `pub(crate)` so the snapshot codec (`persist`) can persist
+    // and restore the exact ring layout.
+    pub(crate) length: usize,
+    pub(crate) buffers: Vec<RingBuffer>,
     /// Per-series provenance ring (same indexing as the value buffers):
     /// `states[series][age]` where age 0 = newest.
-    states: Vec<Vec<SlotState>>,
+    pub(crate) states: Vec<Vec<SlotState>>,
     /// Timestamp of every pushed tick, in the same ring layout as `states`.
     /// Ticks need not be one timestamp unit apart (a 10-minute sensor cadence
     /// is 600 units at second resolution), so the age ↔ time conversion must
     /// read the stored times instead of assuming unit spacing.
-    times: Vec<Timestamp>,
+    pub(crate) times: Vec<Timestamp>,
     /// Raw cursor into `states`/`times`, mirroring the ring-buffer offset.
-    state_offset: usize,
-    current_time: Option<Timestamp>,
-    ticks_seen: usize,
+    pub(crate) state_offset: usize,
+    pub(crate) current_time: Option<Timestamp>,
+    pub(crate) ticks_seen: usize,
 }
 
 impl StreamingWindow {

@@ -9,6 +9,7 @@
 //!
 //! | module | crate | contents |
 //! |--------|-------|----------|
+//! | [`store`] | `tkcm-store` | durability: deterministic snapshots, write-ahead logs, checksums |
 //! | [`timeseries`] | `tkcm-timeseries` | series, ring buffers, streaming windows, catalogs |
 //! | [`matrix`] | `tkcm-matrix` | dense linear algebra (SVD, centroid decomposition, RLS, online PCA) |
 //! | [`core`] | `tkcm-core` | the TKCM algorithm: patterns, dissimilarity, DP selection, streaming engine |
@@ -64,6 +65,10 @@ pub use tkcm_eval as eval;
 /// Dense linear-algebra substrate (re-export of `tkcm-matrix`).
 pub use tkcm_matrix as matrix;
 
+/// Durable engine state: snapshots + write-ahead logs (re-export of
+/// `tkcm-store`).
+pub use tkcm_store as store;
+
 /// Time-series stream substrate (re-export of `tkcm-timeseries`).
 pub use tkcm_timeseries as timeseries;
 
@@ -73,7 +78,8 @@ pub mod prelude {
     pub use tkcm_core::{TkcmConfig, TkcmEngine, TkcmImputer};
     pub use tkcm_datasets::{ChlorineConfig, Dataset, DatasetKind, FlightsConfig, SbrConfig};
     pub use tkcm_eval::{run_batch_scenario, run_online_scenario, Scenario, TkcmOnlineAdapter};
-    pub use tkcm_runtime::ShardedEngine;
+    pub use tkcm_runtime::{DurabilityOptions, ShardedEngine};
+    pub use tkcm_store::Snapshot;
     pub use tkcm_timeseries::{
         Catalog, FleetPartition, SampleInterval, SeriesId, StreamTick, StreamingWindow, TimeSeries,
         Timestamp,

@@ -5,8 +5,11 @@
 //! is unavailable. This stub keeps the property tests' source unchanged:
 //! the `proptest!` macro expands each test into a loop over a fixed number
 //! of deterministically seeded cases (seeded from the test's module path and
-//! name, so every run exercises the same inputs). There is no shrinking —
-//! a failing case reports the case index via the panic message instead.
+//! name, so every run exercises the same inputs). Failing cases are
+//! *shrunk*: integer arguments move toward their range start, `Vec`
+//! arguments lose elements (never below their minimum length) and shrink
+//! element-wise, and the panic message reports the minimized input instead
+//! of the raw random case.
 
 use std::ops::Range;
 
@@ -14,11 +17,22 @@ use std::ops::Range;
 /// 128 keeps `cargo test` fast while still exercising the input space).
 pub const CASES: u64 = 128;
 
+/// Maximum number of candidate re-runs spent minimizing one failure.
+pub const SHRINK_BUDGET: usize = 256;
+
 /// A generator of random test inputs; mirrors the used subset of
 /// `proptest::strategy::Strategy`.
 pub trait Strategy {
     type Value;
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of a failing `value`, simplest first.  An
+    /// empty list means the value is minimal (the default for strategies
+    /// without a useful notion of "smaller", e.g. `f64` ranges).
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 impl Strategy for Range<f64> {
@@ -37,6 +51,27 @@ macro_rules! impl_int_strategy {
                 assert!(span > 0, "empty integer strategy range");
                 let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
                 (self.start as i128 + hi) as $t
+            }
+
+            /// Moves toward the range start: the minimum itself, the halfway
+            /// point, and one step down — enough to binary-search a failing
+            /// integer to its smallest reproducing value.
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if *value == self.start {
+                    return out;
+                }
+                out.push(self.start);
+                let mid =
+                    ((self.start as i128) + (*value as i128 - self.start as i128) / 2) as $t;
+                if mid != self.start && mid != *value {
+                    out.push(mid);
+                }
+                let down = (*value as i128 - 1) as $t;
+                if down != self.start && down != mid {
+                    out.push(down);
+                }
+                out
             }
         }
     )*};
@@ -61,11 +96,40 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = self.size.clone().generate(rng);
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        /// Shorter vectors first (halve toward the minimum length, then drop
+        /// the last element), then element-wise shrinks (the first candidate
+        /// of each position).  Never proposes a length below `size.start`,
+        /// so shrunk inputs still satisfy the property's preconditions.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min = self.size.start;
+            if value.len() > min {
+                let half = (value.len() / 2).max(min);
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                if value.len() - 1 != half {
+                    out.push(value[..value.len() - 1].to_vec());
+                }
+            }
+            for i in 0..value.len() {
+                if let Some(simpler) = self.element.shrink(&value[i]).into_iter().next() {
+                    let mut copy = value.clone();
+                    copy[i] = simpler;
+                    out.push(copy);
+                }
+            }
+            out
         }
     }
 }
@@ -94,7 +158,121 @@ pub mod option {
                 Some(self.inner.generate(rng))
             }
         }
+
+        /// `None` is the simplest option; otherwise shrink the payload.
+        fn shrink(&self, value: &Option<S::Value>) -> Vec<Option<S::Value>> {
+            match value {
+                None => Vec::new(),
+                Some(x) => {
+                    let mut out = vec![None];
+                    out.extend(self.inner.shrink(x).into_iter().map(Some));
+                    out
+                }
+            }
+        }
     }
+}
+
+/// Tuple strategies: the `proptest!` macro packs every argument strategy of
+/// a property into one tuple strategy so the whole argument set can be
+/// generated — and, on failure, shrunk one component at a time — as a unit.
+macro_rules! impl_tuple_strategy {
+    ($( ( $($S:ident . $idx:tt),+ ) )*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+)
+        where
+            $($S::Value: Clone),+
+        {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut copy = value.clone();
+                        copy.$idx = cand;
+                        out.push(copy);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Drives one property: generates [`CASES`] deterministic inputs from
+/// `strategy`, runs `property` on each, and on the first failure minimizes
+/// the input through [`shrink_failure`] before panicking with the smallest
+/// reproducing case.  (Used by the `proptest!` macro; public so the macro
+/// expansion can reach it — passing the property closure straight into this
+/// generic function is also what lets the compiler infer the closure's
+/// argument types from the strategy.)
+pub fn run_property<S, F>(strategy: &S, name: &str, arg_names: &str, property: F)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: Fn(S::Value) -> Result<(), String>,
+{
+    for case in 0..CASES {
+        let mut rng = TestRng::deterministic(name, case);
+        let value = strategy.generate(&mut rng);
+        if let Err(message) = property(value.clone()) {
+            let (minimized, min_message, steps) =
+                shrink_failure(strategy, value, message, &property);
+            panic!(
+                "property failed at case {case}: {min_message}\n\
+                 minimized input after {steps} shrink step(s): ({arg_names}) = {minimized:?}"
+            );
+        }
+    }
+}
+
+/// Greedily minimizes a failing input: repeatedly re-runs the property on
+/// the strategy's shrink candidates, accepting any candidate that still
+/// fails, until no candidate fails or [`SHRINK_BUDGET`] re-runs are spent.
+/// Returns the minimized value, its failure message and the number of
+/// accepted shrink steps.
+pub fn shrink_failure<S, F>(
+    strategy: &S,
+    mut value: S::Value,
+    mut message: String,
+    run: &F,
+) -> (S::Value, String, usize)
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: Fn(S::Value) -> Result<(), String>,
+{
+    let mut steps = 0usize;
+    let mut budget = SHRINK_BUDGET;
+    'progress: loop {
+        for candidate in strategy.shrink(&value) {
+            if budget == 0 {
+                break 'progress;
+            }
+            budget -= 1;
+            if let Err(msg) = run(candidate.clone()) {
+                value = candidate;
+                message = msg;
+                steps += 1;
+                continue 'progress;
+            }
+        }
+        break;
+    }
+    (value, message, steps)
 }
 
 /// Deterministic per-case generator (SplitMix64 → xoshiro256++).
@@ -146,28 +324,25 @@ impl TestRng {
 }
 
 /// Expands property tests into plain `#[test]` functions that loop over
-/// [`CASES`] deterministically generated inputs.
+/// [`CASES`] deterministically generated inputs.  On failure the input is
+/// minimized through [`shrink_failure`] before panicking, so the report
+/// names the smallest reproducing case instead of the raw random one.
 #[macro_export]
 macro_rules! proptest {
-    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
         $(
             $(#[$meta])*
             fn $name() {
-                for __case in 0..$crate::CASES {
-                    let mut __rng = $crate::TestRng::deterministic(
-                        concat!(module_path!(), "::", stringify!($name)),
-                        __case,
-                    );
-                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
-                    let __run = move || -> Result<(), String> {
+                $crate::run_property(
+                    &($($strat,)+),
+                    concat!(module_path!(), "::", stringify!($name)),
+                    stringify!($($arg),+),
+                    |($($arg,)+)| {
                         $body
                         #[allow(unreachable_code)]
                         Ok(())
-                    };
-                    if let Err(msg) = __run() {
-                        panic!("property failed at case {__case}: {msg}");
-                    }
-                }
+                    },
+                );
             }
         )*
     };
@@ -242,5 +417,95 @@ mod tests {
             prop_assert!(x < 10);
             prop_assert_eq!(ys.len(), ys.len());
         }
+    }
+
+    #[test]
+    fn integer_shrink_moves_toward_the_range_start() {
+        let strat = 3usize..100;
+        assert!(
+            strat.shrink(&3).is_empty(),
+            "the minimum is already minimal"
+        );
+        let candidates = strat.shrink(&90);
+        assert!(candidates.contains(&3));
+        assert!(candidates.iter().all(|c| *c < 90 && *c >= 3));
+        // Signed ranges shrink toward their (possibly negative) start.
+        let signed = (-50i64..50).shrink(&40);
+        assert!(signed.contains(&-50));
+        assert!(signed.iter().all(|c| *c < 40));
+    }
+
+    #[test]
+    fn shrink_failure_minimizes_an_integer_threshold() {
+        // Property: fails for every x >= 17. The minimal failing input is 17.
+        let strat = 0usize..1000;
+        let run = |x: usize| {
+            if x >= 17 {
+                Err(format!("too big: {x}"))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, msg, steps) = super::shrink_failure(&strat, 900, "too big: 900".into(), &run);
+        assert_eq!(min, 17, "expected the threshold, got {min} ({msg})");
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn vec_shrink_respects_the_minimum_length_and_shrinks_elements() {
+        let strat = super::collection::vec(0usize..100, 2..10);
+        let value = vec![50, 60, 70, 80];
+        for cand in strat.shrink(&value) {
+            assert!(
+                cand.len() >= 2,
+                "candidate below the minimum length: {cand:?}"
+            );
+            assert!(cand.len() <= value.len());
+        }
+        // A property failing on any vec containing a value >= 10 minimizes
+        // to the shortest vec of the smallest still-failing elements.
+        let run = |v: Vec<usize>| {
+            if v.iter().any(|x| *x >= 10) {
+                Err("has a big element".into())
+            } else {
+                Ok(())
+            }
+        };
+        let (min, _, _) = super::shrink_failure(&strat, value, "seed".into(), &run);
+        assert_eq!(min.len(), 2, "length should shrink to the minimum: {min:?}");
+        assert!(min.iter().any(|x| *x >= 10), "must still fail: {min:?}");
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component_at_a_time() {
+        let strat = (0usize..10, 0usize..10);
+        let candidates = strat.shrink(&(5, 7));
+        assert!(!candidates.is_empty());
+        for (a, b) in &candidates {
+            let changed = usize::from(*a != 5) + usize::from(*b != 7);
+            assert_eq!(changed, 1, "candidate ({a},{b}) changed both components");
+        }
+    }
+
+    #[test]
+    fn option_shrink_prefers_none() {
+        let strat = super::option::of(5usize..20);
+        assert_eq!(strat.shrink(&None), Vec::<Option<usize>>::new());
+        let candidates = strat.shrink(&Some(15));
+        assert_eq!(candidates[0], None);
+        assert!(candidates[1..]
+            .iter()
+            .all(|c| matches!(c, Some(x) if *x < 15)));
+    }
+
+    #[test]
+    #[should_panic(expected = "minimized input")]
+    fn failing_property_reports_the_minimized_input() {
+        proptest! {
+            fn always_fails_above_four(x in 0usize..50) {
+                prop_assert!(x < 5, "x = {} is too big", x);
+            }
+        }
+        always_fails_above_four();
     }
 }
