@@ -1,0 +1,140 @@
+//! Criterion benchmark for the batch-native ingestion pipeline: the same
+//! small fleet stream replayed through [`tkcm_runtime::ShardedEngine`]
+//! per-tick and in 64-tick batches, with and without durability.
+//!
+//! The interesting ratios, per pairing:
+//!
+//! * `per_tick_plain` vs `batch64_plain` — the channel fan-out/barrier
+//!   amortisation alone (one round-trip per shard per batch instead of per
+//!   tick).
+//! * `per_tick_durable` vs `batch64_durable` — fan-out amortisation plus
+//!   group commit: one buffered WAL append and one fsync per batch instead
+//!   of per tick (`SyncPolicy::EveryBatch`; at batch 1 that *is* a per-tick
+//!   fsync, the honest price of power-failure durability without batching).
+//!
+//! Each iteration replays the full stream through a fresh engine, so the
+//! numbers are whole-pipeline (construction included, identical across the
+//! four cases).  Quick-mode compatible with the vendored criterion stub
+//! (`cargo bench --bench batched_ingestion -- --quick` runs each case once).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tkcm_core::TkcmConfig;
+use tkcm_datasets::FleetConfig;
+use tkcm_runtime::{DurabilityOptions, ShardedEngine, SyncPolicy};
+use tkcm_timeseries::{Catalog, StreamSource, StreamTick};
+
+const SHARDS: usize = 4;
+const BATCH: usize = 64;
+
+static DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+fn scratch_dir() -> PathBuf {
+    let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("tkcm-bench-batched-{}-{n}", std::process::id()))
+}
+
+/// A small-but-real fleet workload (4 clusters × 3 series, one day with
+/// recurring outages) so one full replay stays in the low milliseconds.
+fn workload() -> (usize, TkcmConfig, Catalog, Vec<StreamTick>) {
+    let config = FleetConfig {
+        clusters: 4,
+        series_per_cluster: 3,
+        days: 1,
+        seed: 99,
+        outage_every: 30,
+        outage_length: 4,
+    };
+    let workload = config.generate();
+    let width = workload.dataset.width();
+    let len = workload.dataset.len();
+    let tkcm = TkcmConfig::builder()
+        .window_length(len.max(28))
+        .pattern_length(6)
+        .anchor_count(3)
+        .reference_count(2)
+        .build()
+        .expect("valid config");
+    let ticks = workload.dataset.to_stream().ticks().collect();
+    (width, tkcm, workload.catalog, ticks)
+}
+
+fn durable_engine(
+    width: usize,
+    tkcm: &TkcmConfig,
+    catalog: &Catalog,
+    dir: &std::path::Path,
+) -> ShardedEngine {
+    ShardedEngine::with_durability(
+        width,
+        tkcm.clone(),
+        catalog.clone(),
+        SHARDS,
+        dir,
+        DurabilityOptions {
+            snapshot_interval: 0,
+            sync_policy: SyncPolicy::EveryBatch,
+        },
+    )
+    .expect("durable fleet construction")
+}
+
+fn bench_ingestion(c: &mut Criterion) {
+    let (width, tkcm, catalog, ticks) = workload();
+    let mut group = c.benchmark_group("batched_ingestion");
+    group.sample_size(10);
+
+    group.bench_function("per_tick_plain", |b| {
+        b.iter(|| {
+            let mut engine =
+                ShardedEngine::new(width, tkcm.clone(), catalog.clone(), SHARDS).unwrap();
+            for tick in &ticks {
+                engine.process_tick(tick).unwrap();
+            }
+            engine.imputations_performed()
+        })
+    });
+    group.bench_function("batch64_plain", |b| {
+        b.iter(|| {
+            let mut engine =
+                ShardedEngine::new(width, tkcm.clone(), catalog.clone(), SHARDS).unwrap();
+            for chunk in ticks.chunks(BATCH) {
+                engine.process_batch(chunk).unwrap();
+            }
+            engine.imputations_performed()
+        })
+    });
+    group.bench_function("per_tick_durable", |b| {
+        b.iter(|| {
+            let dir = scratch_dir();
+            let mut engine = durable_engine(width, &tkcm, &catalog, &dir);
+            for tick in &ticks {
+                engine.process_tick(tick).unwrap();
+            }
+            let imputations = engine.imputations_performed();
+            drop(engine);
+            let _ = std::fs::remove_dir_all(&dir);
+            imputations
+        })
+    });
+    group.bench_function("batch64_durable", |b| {
+        b.iter(|| {
+            let dir = scratch_dir();
+            let mut engine = durable_engine(width, &tkcm, &catalog, &dir);
+            for chunk in ticks.chunks(BATCH) {
+                engine.process_batch(chunk).unwrap();
+            }
+            let imputations = engine.imputations_performed();
+            drop(engine);
+            let _ = std::fs::remove_dir_all(&dir);
+            imputations
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingestion);
+criterion_main!(benches);

@@ -1,14 +1,18 @@
 //! Fleet throughput sweep: the sharded runtime (`tkcm-runtime`) over the
-//! wide multi-cluster fleet workload, at 1/2/4 shards.
+//! wide multi-cluster fleet workload, at 1/2/4 shards, plus the batched
+//! durable-ingestion sweep (batch sizes 1/8/64 through a WAL-logging fleet
+//! with group-commit fsync every batch).
 //!
 //! `--paper` runs the paper-proportioned fleet (24 clusters × 6 series,
 //! 30 days); the default quick fleet finishes in a couple of seconds in
 //! release mode.  `--json [path]` additionally writes the machine-readable
 //! results that CI uploads as the `BENCH_results_fleet` artifact: the
-//! throughput/speedup table plus a flattened top-level `trend` object
+//! throughput/speedup tables plus a flattened top-level `trend` object
 //! (`speedup_vs_1_shard_at_N`, `ticks_per_second_at_N`,
-//! `dropped_edges_at_N`) so nightly runs accumulate directly gateable
-//! scaling fields, including the cross-shard reference loss.
+//! `dropped_edges_at_N`, `ticks_per_second_at_batch_N`,
+//! `speedup_vs_batch_1_at_batch_N`) so nightly runs accumulate directly
+//! gateable scaling fields, including the cross-shard reference loss and
+//! the batch-64-vs-per-tick durable speedup (expected ≥2×).
 use std::time::Instant;
 
 fn main() {

@@ -65,9 +65,13 @@ pub fn bench_results_json(scale: Scale, timed: &[(f64, tkcm_eval::Report)]) -> S
 /// Serialises the fleet-throughput report like [`bench_results_json`] but
 /// with an additional top-level `"trend"` object carrying the per-shard
 /// scaling fields (`ticks_per_second_at_N`, `speedup_vs_1_shard_at_N`,
-/// `dropped_edges_at_N`) flattened out of the result table.  Nightly
-/// artifacts accumulate these; once enough data points exist, CI can gate on
-/// a `speedup_vs_1_shard_at_4` regression without parsing nested tables.
+/// `dropped_edges_at_N`) and the batched durable-ingestion fields
+/// (`ticks_per_second_at_batch_N`, `speedup_vs_batch_1_at_batch_N`)
+/// flattened out of the result tables.  Nightly artifacts accumulate these;
+/// once enough data points exist, CI can gate on a `speedup_vs_1_shard_at_4`
+/// or `speedup_vs_batch_1_at_batch_64` regression without parsing nested
+/// tables (batch 64 on the durable path is expected to stay ≥2× the
+/// per-tick batch-1 row).
 pub fn fleet_results_json(scale: Scale, elapsed: f64, report: &tkcm_eval::Report) -> String {
     let number = |v: f64| {
         if v.is_finite() {
@@ -85,6 +89,19 @@ pub fn fleet_results_json(scale: Scale, elapsed: f64, report: &tkcm_eval::Report
                 trend.push(format!(
                     "\"{metric}_at_{}\":{}",
                     *shard as usize,
+                    number(*value)
+                ));
+            }
+        }
+    }
+    if let Some(table) = report.table("Batched durable ingestion by batch size") {
+        let batches = table.column("batch").unwrap_or_default();
+        for metric in ["ticks_per_second", "speedup_vs_batch_1"] {
+            let values = table.column(metric).unwrap_or_default();
+            for (batch, value) in batches.iter().zip(values.iter()) {
+                trend.push(format!(
+                    "\"{metric}_at_batch_{}\":{}",
+                    *batch as usize,
                     number(*value)
                 ));
             }
@@ -153,11 +170,27 @@ mod tests {
         t.push_row("1 shard(s)", vec![1.0, 2.0, 500.0, 9.0, 1.0, 0.0]);
         t.push_row("4 shard(s)", vec![4.0, 0.8, 1250.0, 9.0, 2.5, 3.0]);
         report.add_table(t);
+        let mut b = tkcm_eval::Table::new(
+            "Batched durable ingestion by batch size",
+            vec![
+                "config".into(),
+                "batch".into(),
+                "wall_seconds".into(),
+                "ticks_per_second".into(),
+                "imputations".into(),
+                "speedup_vs_batch_1".into(),
+            ],
+        );
+        b.push_row("batch 1", vec![1.0, 4.0, 250.0, 9.0, 1.0]);
+        b.push_row("batch 64", vec![64.0, 1.0, 1000.0, 9.0, 4.0]);
+        report.add_table(b);
         let json = fleet_results_json(Scale::Paper, 2.8, &report);
         assert!(json.contains("\"trend\":{"));
         assert!(json.contains("\"speedup_vs_1_shard_at_4\":2.5"));
         assert!(json.contains("\"ticks_per_second_at_1\":500"));
         assert!(json.contains("\"dropped_edges_at_4\":3"));
+        assert!(json.contains("\"ticks_per_second_at_batch_64\":1000"));
+        assert!(json.contains("\"speedup_vs_batch_1_at_batch_64\":4"));
         assert!(json.contains("\"wall_time_seconds\":2.8"));
         // A report without the fleet table still serialises (empty trend).
         let bare = fleet_results_json(Scale::Quick, 0.1, &tkcm_eval::Report::new("x"));

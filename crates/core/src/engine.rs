@@ -255,6 +255,31 @@ impl TkcmEngine {
         Ok(outcome)
     }
 
+    /// Processes a batch of arriving ticks, in order, and returns one
+    /// [`EngineOutcome`] per tick.
+    ///
+    /// The batch path is **bit-identical** to `N` sequential
+    /// [`TkcmEngine::process_tick`] calls: each tick runs through exactly the
+    /// same `advance_tick` → impute → `commit_write_back` sequence, so window
+    /// contents, maintainer creation/eviction timing and every running sum
+    /// come out the same bits either way (the property
+    /// `tkcm-runtime/tests/batching.rs` pins).  Batching exists so callers —
+    /// the sharded runtime's workers above all — can amortise *their* per-tick
+    /// overhead (channel round-trips, WAL writes) across many ticks; the
+    /// engine itself has no cheaper-than-per-tick shortcut that could be
+    /// taken without breaking that equivalence.
+    ///
+    /// On an error at tick `i` the engine state reflects the `i` ticks that
+    /// already committed — the same state `i` successful `process_tick`
+    /// calls followed by one failing call would leave behind.
+    pub fn process_batch(&mut self, ticks: &[StreamTick]) -> Result<Vec<EngineOutcome>, TsError> {
+        let mut outcomes = Vec::with_capacity(ticks.len());
+        for tick in ticks {
+            outcomes.push(self.process_tick(tick)?);
+        }
+        Ok(outcomes)
+    }
+
     /// Pushes a tick into the window and brings the maintained dissimilarity
     /// states up to date (TTL eviction + Section 6.2 advance).  Shared by
     /// [`TkcmEngine::process_tick`] and the WAL replay path so that replayed
@@ -584,6 +609,70 @@ mod tests {
             }
         }
         assert_eq!(imputed_2, 8);
+    }
+
+    #[test]
+    fn process_batch_is_bit_identical_to_sequential_ticks() {
+        let width = 3;
+        let config = small_config(128, 3, 2, 2);
+        let mut per_tick = TkcmEngine::new(width, config.clone(), catalog_for(width)).unwrap();
+        let mut batched = TkcmEngine::new(width, config, catalog_for(width)).unwrap();
+
+        let ticks: Vec<StreamTick> = (0..120usize)
+            .map(|t| {
+                let missing = t > 40 && t % 6 == 0;
+                let s0 = if missing {
+                    None
+                } else {
+                    Some(sine(t, 24.0, 0.0))
+                };
+                StreamTick::new(
+                    Timestamp::new(t as i64),
+                    vec![s0, Some(sine(t, 24.0, 5.0)), Some(sine(t, 24.0, 11.0))],
+                )
+            })
+            .collect();
+
+        let mut sequential = Vec::with_capacity(ticks.len());
+        for tick in &ticks {
+            sequential.push(per_tick.process_tick(tick).unwrap());
+        }
+        // Mixed batch sizes, including single-tick and the full remainder.
+        let mut merged = Vec::with_capacity(ticks.len());
+        for chunk in [&ticks[..1], &ticks[1..8], &ticks[8..64], &ticks[64..]] {
+            merged.extend(batched.process_batch(chunk).unwrap());
+        }
+
+        assert_eq!(merged.len(), sequential.len());
+        for (t, (a, b)) in sequential.iter().zip(merged.iter()).enumerate() {
+            assert_eq!(a.skipped, b.skipped, "tick {t}");
+            assert_eq!(a.imputations.len(), b.imputations.len(), "tick {t}");
+            for (x, y) in a.imputations.iter().zip(b.imputations.iter()) {
+                assert_eq!(x.series, y.series);
+                assert_eq!(x.value.to_bits(), y.value.to_bits(), "tick {t}");
+                assert_eq!(x.detail.anchors, y.detail.anchors);
+            }
+        }
+        assert_eq!(per_tick.ticks_processed(), batched.ticks_processed());
+        assert_eq!(
+            per_tick.imputations_performed(),
+            batched.imputations_performed()
+        );
+        assert_eq!(per_tick.maintainer_count(), batched.maintainer_count());
+    }
+
+    #[test]
+    fn process_batch_error_leaves_the_committed_prefix() {
+        let config = small_config(64, 2, 2, 1);
+        let mut engine = TkcmEngine::new(2, config, catalog_for(2)).unwrap();
+        let good = |t: i64| StreamTick::new(Timestamp::new(t), vec![Some(1.0), Some(2.0)]);
+        // Third tick repeats a timestamp: the first two commit, the batch errors.
+        let batch = vec![good(0), good(1), good(1)];
+        assert!(engine.process_batch(&batch).is_err());
+        assert_eq!(engine.ticks_processed(), 2);
+        // An empty batch is a no-op.
+        assert_eq!(engine.process_batch(&[]).unwrap().len(), 0);
+        assert_eq!(engine.ticks_processed(), 2);
     }
 
     #[test]

@@ -88,6 +88,7 @@ pub fn run_recovery_benchmark_on(workload: &FleetWorkload, scale: Scale) -> Vec<
             &dir,
             DurabilityOptions {
                 snapshot_interval: 0,
+                ..DurabilityOptions::default()
             },
         )
         .expect("durable fleet construction");

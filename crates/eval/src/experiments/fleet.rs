@@ -8,12 +8,29 @@
 //! are exactly the clusters, sharding drops no candidate edge and every
 //! shard count imputes the *same values*; the experiment asserts that, so a
 //! throughput number can never come from silently different work.
+//!
+//! A second sweep measures **batched ingestion on the durable path**: a
+//! fleet of the same shape through a durable engine (per-shard WALs,
+//! group-commit fsync every batch) fed in batches of 1, 8 and 64 ticks.
+//! Batch 1 is the per-tick path — every tick pays a full fan-out/barrier
+//! round-trip, a WAL write and an fsync per shard — so the
+//! `speedup_vs_batch_1` column is the amortisation the batch-native
+//! pipeline buys.  The sweep runs the *high-rate ingestion profile*
+//! ([`batch_sweep_config`]): same clusters and series as the throughput
+//! fleet but with sparse outages, because batching amortises per-tick
+//! *overhead* (channels, syscalls, fsyncs) and an outage-saturated stream
+//! instead measures imputation compute, which batching deliberately leaves
+//! bit-identical.  Imputation counts are asserted identical across batch
+//! sizes (batching is bit-identical by construction; this keeps the
+//! throughput numbers honest).
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use tkcm_core::TkcmConfig;
 use tkcm_datasets::{FleetConfig, FleetWorkload};
-use tkcm_runtime::ShardedEngine;
+use tkcm_runtime::{DurabilityOptions, ShardedEngine, SyncPolicy};
 use tkcm_timeseries::StreamSource;
 
 use crate::report::{Report, Table};
@@ -23,8 +40,23 @@ use super::Scale;
 /// Shard counts the throughput sweep runs, smallest first.
 pub const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 
+/// Batch sizes the durable batched-ingestion sweep runs, smallest first
+/// (batch 1 == the per-tick path).
+pub const BATCH_SIZES: [usize; 3] = [1, 8, 64];
+
+/// Shard count the batched sweep runs at (the largest of [`SHARD_COUNTS`],
+/// where per-tick fan-out overhead is at its worst).
+pub const BATCH_SWEEP_SHARDS: usize = 4;
+
 /// How many dropped cross-shard reference pairs each run records by name.
 pub const DROPPED_EDGE_SAMPLE: usize = 5;
+
+static DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+fn scratch_dir() -> PathBuf {
+    let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("tkcm-fleet-batch-{}-{n}", std::process::id()))
+}
 
 /// Fleet workload proportions for one scale.
 pub fn fleet_config(scale: Scale, seed: u64) -> FleetConfig {
@@ -45,6 +77,22 @@ pub fn fleet_config(scale: Scale, seed: u64) -> FleetConfig {
             outage_every: 60,
             outage_length: 12,
         },
+    }
+}
+
+/// Fleet workload proportions for the batched-ingestion sweep: the same
+/// cluster/series shape as [`fleet_config`] at this scale, but with sparse
+/// outages — the high-rate profile where most ticks are fully observed and
+/// the per-tick cost is dominated by ingestion overhead (fan-out, WAL
+/// write, fsync) rather than imputation compute.
+pub fn batch_sweep_config(scale: Scale, seed: u64) -> FleetConfig {
+    FleetConfig {
+        outage_every: match scale {
+            Scale::Quick => 200,
+            Scale::Paper => 300,
+        },
+        outage_length: 4,
+        ..fleet_config(scale, seed)
     }
 }
 
@@ -134,16 +182,93 @@ pub fn run_fleet_benchmark_on(workload: &FleetWorkload, scale: Scale) -> Vec<Fle
     runs
 }
 
+/// One measured durable replay of the fleet at a fixed batch size.
+#[derive(Clone, Debug)]
+pub struct BatchedRun {
+    /// Ticks per [`ShardedEngine::process_batch`] call (1 == per-tick path).
+    pub batch: usize,
+    /// Wall-clock seconds for the full durable replay.
+    pub wall_seconds: f64,
+    /// Fleet-wide ticks per second.
+    pub ticks_per_second: f64,
+    /// Total values imputed (identical across batch sizes by construction).
+    pub imputations: usize,
+    /// Throughput relative to the batch-1 (per-tick) run.
+    pub speedup_vs_batch_1: f64,
+}
+
+/// Replays the fleet durably (per-shard WALs, fsync every batch) at every
+/// batch size of [`BATCH_SIZES`] and measures throughput.
+pub fn run_batched_benchmark_on(workload: &FleetWorkload, scale: Scale) -> Vec<BatchedRun> {
+    let width = workload.dataset.width();
+    let len = workload.dataset.len();
+    let tkcm = fleet_tkcm_config(scale, len);
+    let stream = workload.dataset.to_stream();
+    let ticks: Vec<_> = stream.ticks().collect();
+
+    let mut runs: Vec<BatchedRun> = Vec::with_capacity(BATCH_SIZES.len());
+    let mut baseline_imputations = None;
+    for batch in BATCH_SIZES {
+        let dir = scratch_dir();
+        let mut engine = ShardedEngine::with_durability(
+            width,
+            tkcm.clone(),
+            workload.catalog.clone(),
+            BATCH_SWEEP_SHARDS,
+            &dir,
+            DurabilityOptions {
+                // No rotation mid-run: the sweep measures the steady-state
+                // append path, not snapshot rewrites.
+                snapshot_interval: 0,
+                sync_policy: SyncPolicy::EveryBatch,
+            },
+        )
+        .expect("durable fleet construction");
+        let start = Instant::now();
+        for chunk in ticks.chunks(batch) {
+            engine.process_batch(chunk).expect("fleet batch");
+        }
+        let wall = start.elapsed().as_secs_f64();
+        let imputations = engine.imputations_performed();
+        let baseline = *baseline_imputations.get_or_insert(imputations);
+        assert_eq!(
+            imputations, baseline,
+            "batch size {batch} changed the imputation count"
+        );
+        let baseline_wall = runs
+            .first()
+            .map(|r: &BatchedRun| r.wall_seconds)
+            .unwrap_or(wall);
+        runs.push(BatchedRun {
+            batch,
+            wall_seconds: wall,
+            ticks_per_second: ticks.len() as f64 / wall,
+            imputations,
+            speedup_vs_batch_1: baseline_wall / wall,
+        });
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    runs
+}
+
 /// Runs the fleet throughput experiment and renders the report.
 pub fn run(scale: Scale) -> Report {
     let config = fleet_config(scale, 2024);
     let workload = config.generate();
     let runs = run_fleet_benchmark_on(&workload, scale);
-    report_from(&config, workload.missing, &runs)
+    let sweep_workload = batch_sweep_config(scale, 2024).generate();
+    let batched = run_batched_benchmark_on(&sweep_workload, scale);
+    report_from(&config, workload.missing, &runs, &batched)
 }
 
 /// Renders the measured runs as the experiment report.
-fn report_from(config: &FleetConfig, missing: usize, runs: &[FleetRun]) -> Report {
+fn report_from(
+    config: &FleetConfig,
+    missing: usize,
+    runs: &[FleetRun],
+    batched: &[BatchedRun],
+) -> Report {
     let mut report = Report::new("Fleet throughput: sharded runtime over a wide fleet");
     report.note(format!(
         "{} clusters x {} series, {} ticks, {} missing values; one engine per catalog-connected \
@@ -179,6 +304,38 @@ fn report_from(config: &FleetConfig, missing: usize, runs: &[FleetRun]) -> Repor
         );
     }
     report.add_table(table);
+    if !batched.is_empty() {
+        let mut table = Table::new(
+            "Batched durable ingestion by batch size",
+            vec![
+                "config".to_string(),
+                "batch".to_string(),
+                "wall_seconds".to_string(),
+                "ticks_per_second".to_string(),
+                "imputations".to_string(),
+                "speedup_vs_batch_1".to_string(),
+            ],
+        );
+        for run in batched {
+            table.push_row(
+                format!("batch {}", run.batch),
+                vec![
+                    run.batch as f64,
+                    run.wall_seconds,
+                    run.ticks_per_second,
+                    run.imputations as f64,
+                    run.speedup_vs_batch_1,
+                ],
+            );
+        }
+        report.add_table(table);
+        report.note(format!(
+            "Batched sweep: durable fleet at {BATCH_SWEEP_SHARDS} shards, per-shard WALs with \
+             group-commit fsync every batch; batch 1 is the per-tick path.  High-rate ingestion \
+             profile (sparse outages), so the sweep isolates the per-tick overhead that \
+             batching amortises."
+        ));
+    }
     // Cross-shard reference loss, named: the nightly artifact records which
     // candidate edges a giant-component split cost, not just how many.
     for run in runs.iter().filter(|r| r.dropped_edges > 0) {
@@ -239,7 +396,7 @@ mod tests {
         // what the CI `fleet_throughput` binary runs in release mode.
         let workload = mini_workload();
         let runs = run_fleet_benchmark_on(&workload, Scale::Quick);
-        let report = report_from(&mini_config(), workload.missing, &runs);
+        let report = report_from(&mini_config(), workload.missing, &runs, &[]);
         let table = report.table("Fleet throughput by shard count").unwrap();
         assert_eq!(table.rows.len(), SHARD_COUNTS.len());
         assert_eq!(table.headers.len(), 7);
@@ -269,12 +426,39 @@ mod tests {
         assert!(four.dropped_edges > 0);
         assert!(!four.dropped_sample.is_empty());
         assert!(four.dropped_sample.len() <= DROPPED_EDGE_SAMPLE);
-        let report = report_from(&config, workload.missing, &runs);
+        let report = report_from(&config, workload.missing, &runs, &[]);
         assert!(
             report.notes.iter().any(|n| n.contains("dropped")),
             "report should name the dropped edges: {:?}",
             report.notes
         );
+    }
+
+    #[test]
+    fn batched_sweep_reports_all_batch_sizes_and_equal_work() {
+        let workload = mini_workload();
+        let batched = run_batched_benchmark_on(&workload, Scale::Quick);
+        assert_eq!(batched.len(), BATCH_SIZES.len());
+        assert_eq!(batched[0].batch, 1);
+        assert_eq!(batched[0].speedup_vs_batch_1, 1.0);
+        let imputations = batched[0].imputations;
+        assert!(imputations > 0, "fleet produced no imputations");
+        for run in &batched {
+            assert_eq!(run.imputations, imputations);
+            assert!(run.ticks_per_second.is_finite() && run.ticks_per_second > 0.0);
+            assert!(run.speedup_vs_batch_1 > 0.0);
+        }
+        // The report carries the batch table with one row per batch size
+        // (speedup assertions live in the recorded trend JSON, not in tests
+        // — single-core machines cannot observe them reliably).
+        let runs = run_fleet_benchmark_on(&workload, Scale::Quick);
+        let report = report_from(&mini_config(), workload.missing, &runs, &batched);
+        let table = report
+            .table("Batched durable ingestion by batch size")
+            .unwrap();
+        assert_eq!(table.rows.len(), BATCH_SIZES.len());
+        assert_eq!(table.headers.len(), 6);
+        assert!(report.notes.iter().any(|n| n.contains("group-commit")));
     }
 
     #[test]

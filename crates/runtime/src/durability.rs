@@ -22,21 +22,102 @@ use std::path::{Path, PathBuf};
 use tkcm_store::{Decoder, Encoder, Snapshot, StoreError};
 use tkcm_timeseries::FleetPartition;
 
+/// When a durable [`crate::ShardedEngine`]'s workers `fsync` their WALs.
+///
+/// Every appended record is process-crash durable the moment the append's
+/// `write_all` returns (the bytes are in the page cache; the OS survives the
+/// process).  *Power-failure* durability additionally needs an `fsync`, and
+/// this knob is the group-commit policy deciding how often that price is
+/// paid.  Syncs happen at **batch boundaries** only — after a worker has
+/// appended a whole batch's records with one buffered write — so the cost is
+/// amortised over the batch regardless of the variant.
+///
+/// A failed `fsync` is never dropped: the error propagates out of the
+/// processing call and poisons the fleet engine, because after a sync
+/// failure the kernel may have discarded the dirty pages and the log's
+/// durable prefix is unknowable (the lesson of fsyncgate).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Never fsync on the tick path (rotation still renames snapshots
+    /// atomically).  Process-crash durable only; a power failure may lose
+    /// the tail the OS had not flushed.  The default, and the pre-batching
+    /// behaviour.
+    #[default]
+    Never,
+    /// fsync once per processed batch.  Power-failure durability at one
+    /// fsync per batch — the classic group commit: at batch size 1 this is
+    /// the per-tick fsync cost, at batch size 64 the same guarantee costs
+    /// 1/64th of it.
+    EveryBatch,
+    /// fsync whenever at least `n` ticks have been appended since the last
+    /// sync, checked at batch boundaries.  At most `n + batch - 1` ticks are
+    /// exposed to a power failure.  `EveryNTicks(0)` degenerates to
+    /// [`SyncPolicy::EveryBatch`].
+    EveryNTicks(u64),
+    /// fsync whenever at least `t` milliseconds have elapsed since the last
+    /// sync, checked at batch boundaries.  Bounds data loss by wall-clock
+    /// time instead of tick count.  `EveryMillis(0)` degenerates to
+    /// [`SyncPolicy::EveryBatch`].
+    EveryMillis(u64),
+}
+
+impl Snapshot for SyncPolicy {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        match self {
+            SyncPolicy::Never => {
+                enc.u8(0);
+                enc.u64(0);
+            }
+            SyncPolicy::EveryBatch => {
+                enc.u8(1);
+                enc.u64(0);
+            }
+            SyncPolicy::EveryNTicks(n) => {
+                enc.u8(2);
+                enc.u64(*n);
+            }
+            SyncPolicy::EveryMillis(t) => {
+                enc.u8(3);
+                enc.u64(*t);
+            }
+        }
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        let tag = dec.u8()?;
+        let value = dec.u64()?;
+        match tag {
+            0 => Ok(SyncPolicy::Never),
+            1 => Ok(SyncPolicy::EveryBatch),
+            2 => Ok(SyncPolicy::EveryNTicks(value)),
+            3 => Ok(SyncPolicy::EveryMillis(value)),
+            other => Err(StoreError::corrupt(format!(
+                "invalid sync policy tag {other}"
+            ))),
+        }
+    }
+}
+
 /// How a durable [`crate::ShardedEngine`] checkpoints.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DurabilityOptions {
-    /// Fleet ticks between automatic snapshot rotations.  Every
-    /// `snapshot_interval` processed ticks the engine rewrites the per-shard
-    /// snapshots and truncates the per-shard WALs, bounding both recovery
-    /// time and log growth.  `0` disables automatic rotation (the WAL grows
-    /// until an explicit [`crate::ShardedEngine::checkpoint`] call).
+    /// Fleet ticks between automatic snapshot rotations.  Whenever a batch
+    /// boundary crosses a multiple of `snapshot_interval` processed ticks
+    /// the engine rewrites the per-shard snapshots and truncates the
+    /// per-shard WALs, bounding both recovery time and log growth.  `0`
+    /// disables automatic rotation (the WAL grows until an explicit
+    /// [`crate::ShardedEngine::checkpoint`] call).
     pub snapshot_interval: usize,
+    /// The group-commit fsync policy of the per-shard WALs.
+    pub sync_policy: SyncPolicy,
 }
 
 impl Default for DurabilityOptions {
     fn default() -> Self {
         DurabilityOptions {
             snapshot_interval: 1024,
+            sync_policy: SyncPolicy::default(),
         }
     }
 }
@@ -86,6 +167,10 @@ pub(crate) struct Manifest {
     /// The snapshot rotation interval to re-arm on recovery; meaningful
     /// only when `wal` is set (`0` there means "explicit checkpoints only").
     pub snapshot_interval: usize,
+    /// The group-commit sync policy to re-arm on recovery; like
+    /// `snapshot_interval`, meaningful only when `wal` is set (snapshot-only
+    /// checkpoints record [`SyncPolicy::Never`]).
+    pub sync_policy: SyncPolicy,
 }
 
 impl Snapshot for Manifest {
@@ -94,6 +179,7 @@ impl Snapshot for Manifest {
         self.partition.write_into(enc)?;
         enc.bool(self.wal);
         enc.usize(self.snapshot_interval);
+        self.sync_policy.write_into(enc)?;
         Ok(())
     }
 
@@ -102,6 +188,7 @@ impl Snapshot for Manifest {
         let partition = FleetPartition::read_from(dec)?;
         let wal = dec.bool()?;
         let snapshot_interval = dec.usize()?;
+        let sync_policy = SyncPolicy::read_from(dec)?;
         if partition.width() != width {
             return Err(StoreError::invalid(format!(
                 "manifest width {width} does not match partition width {}",
@@ -113,6 +200,7 @@ impl Snapshot for Manifest {
             partition,
             wal,
             snapshot_interval,
+            sync_policy,
         })
     }
 }
@@ -141,14 +229,30 @@ mod tests {
     #[test]
     fn manifest_round_trips() {
         let partition = FleetPartition::new(6, &Catalog::ring_neighbours(6), 2).unwrap();
-        let manifest = Manifest {
-            width: 6,
-            partition,
-            wal: true,
-            snapshot_interval: 512,
-        };
-        let back: Manifest = decode_from_slice(&encode_to_vec(&manifest).unwrap()).unwrap();
-        assert_eq!(back, manifest);
+        for sync_policy in [
+            SyncPolicy::Never,
+            SyncPolicy::EveryBatch,
+            SyncPolicy::EveryNTicks(64),
+            SyncPolicy::EveryMillis(250),
+        ] {
+            let manifest = Manifest {
+                width: 6,
+                partition: partition.clone(),
+                wal: true,
+                snapshot_interval: 512,
+                sync_policy,
+            };
+            let back: Manifest = decode_from_slice(&encode_to_vec(&manifest).unwrap()).unwrap();
+            assert_eq!(back, manifest);
+        }
+    }
+
+    #[test]
+    fn sync_policy_rejects_unknown_tags() {
+        let mut enc = Encoder::new();
+        enc.u8(9);
+        enc.u64(0);
+        assert!(decode_from_slice::<SyncPolicy>(&enc.into_bytes()).is_err());
     }
 
     #[test]
@@ -159,6 +263,7 @@ mod tests {
             partition,
             wal: false,
             snapshot_interval: 0,
+            sync_policy: SyncPolicy::Never,
         };
         let mut bytes = encode_to_vec(&manifest).unwrap();
         // Corrupt the width field (first u64) without touching the partition.

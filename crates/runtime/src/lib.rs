@@ -19,10 +19,16 @@
 //! thread` + `std::sync::mpsc`; no external dependencies).  Each worker owns
 //! its shard's `TkcmEngine` — window, catalog and incremental dissimilarity
 //! states never cross a thread boundary, so no locking is needed anywhere.
-//! `process_tick` sends one job per worker and then receives exactly one
-//! result per worker *in shard order*, which makes the merged outcome
-//! independent of thread scheduling: equal, imputation for imputation, to
-//! running the same per-shard engines sequentially.
+//! The ingestion path is **batch-native**: [`ShardedEngine::process_batch`]
+//! sends one job carrying the whole batch of per-shard sub-ticks to each
+//! worker and then receives exactly one result per worker *in shard order*,
+//! which makes the merged outcomes independent of thread scheduling: equal,
+//! imputation for imputation, to running the same per-shard engines
+//! sequentially.  [`ShardedEngine::process_tick`] is the batch path at batch
+//! size 1, so a batch of `N` ticks costs one channel round-trip and one
+//! barrier per shard where `N` per-tick calls cost `N` — the amortisation
+//! that makes batching worthwhile at high tick rates (the per-tick fan-out
+//! overhead is a few µs per shard).
 //!
 //! ## Determinism and equivalence
 //!
@@ -39,18 +45,27 @@
 //! ## Durability
 //!
 //! A fleet built with [`ShardedEngine::with_durability`] persists itself
-//! into a checkpoint directory: every worker appends one WAL record per
-//! processed tick (the tick plus the write-backs it produced), and every
-//! `snapshot_interval` fleet ticks the engine rotates — each worker rewrites
-//! its snapshot (full engine state, written atomically) and truncates its
-//! log.  [`ShardedEngine::recover`] rebuilds the identical fleet from the
+//! into a checkpoint directory: every worker logs one WAL record per
+//! processed tick (the tick plus the write-backs it produced) — a whole
+//! batch's records are framed identically but appended with a single
+//! buffered write (group commit), and [`durability::SyncPolicy`] decides
+//! when that write is additionally `fsync`ed (never / every batch / every N
+//! ticks / every T ms, always at batch boundaries).  A failed fsync
+//! *poisons* the fleet engine rather than being dropped.  Snapshot rotation
+//! also happens only at batch boundaries: whenever a boundary crosses a
+//! multiple of `snapshot_interval` fleet ticks, each worker rewrites its
+//! snapshot (full engine state, written atomically) and truncates its log.
+//! [`ShardedEngine::recover`] rebuilds the identical fleet from the
 //! directory: manifest → per-shard snapshot → per-shard WAL replay through
 //! [`TkcmEngine::apply_wal_entry`], reconciled to the newest tick every
 //! shard reached.  Recovery is *bit-identical*: the recovered fleet's
 //! subsequent outcomes equal those of a fleet that never crashed (the
-//! property `tests/recovery.rs` pins at 1/2/4 shards), and any flipped or
-//! truncated byte in a snapshot or WAL fails recovery with a checksum error
-//! instead of being replayed.
+//! property `tests/recovery.rs` pins at 1/2/4 shards, under per-tick and
+//! batched ingestion alike), and any flipped or truncated byte in a
+//! snapshot or WAL fails recovery with a checksum error instead of being
+//! replayed.  [`ShardedEngine::recover_until`] additionally supports
+//! *point-in-time* recovery: WAL replay stops at a requested tick time,
+//! yielding a read-only inspection fleet of what the fleet believed then.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -67,13 +82,15 @@ use tkcm_store::{
     decode_from_slice, read_snapshot_file, read_wal, read_wal_records_tolerating_torn_tail,
     write_snapshot_file, WalWriter,
 };
-use tkcm_timeseries::{Catalog, FleetPartition, SeriesId, StreamTick, TsError};
+use tkcm_timeseries::{Catalog, FleetPartition, SeriesId, StreamTick, Timestamp, TsError};
 
 use durability::{manifest_path, shard_snapshot_path, shard_wal_path, Manifest};
-pub use durability::{CheckpointStats, DurabilityOptions, RecoveryOptions};
+pub use durability::{CheckpointStats, DurabilityOptions, RecoveryOptions, SyncPolicy};
 
 enum Job {
-    Tick(StreamTick),
+    /// A batch of per-shard sub-ticks, processed in order; the whole batch
+    /// crosses the channel once (a per-tick call is a batch of one).
+    Batch(Vec<StreamTick>),
     Checkpoint {
         snapshot_path: PathBuf,
         /// When set, the worker truncates (re-creates) its WAL at this path
@@ -81,12 +98,20 @@ enum Job {
         reset_wal: Option<PathBuf>,
     },
     Stop,
+    /// Fault injection for durability tests: makes every subsequent fsync of
+    /// this worker's WAL fail (see `WalWriter::inject_sync_failures`).
+    #[cfg(test)]
+    InjectSyncFailures,
 }
 
 enum Reply {
-    Tick(Result<EngineOutcome, TsError>),
+    /// One outcome per processed tick of the batch, or the first error —
+    /// which may have struck mid-batch, after a prefix already committed.
+    Batch(Result<Vec<EngineOutcome>, TsError>),
     /// Snapshot file size in bytes, or the error that prevented it.
     Checkpoint(Result<u64, TsError>),
+    #[cfg(test)]
+    SyncFailuresInjected,
 }
 
 struct Worker {
@@ -99,11 +124,55 @@ struct Worker {
 struct DurableState {
     dir: PathBuf,
     snapshot_interval: usize,
+    /// The workers' group-commit fsync policy, recorded here so checkpoints
+    /// write it into the manifest and recovery re-arms it.
+    sync_policy: SyncPolicy,
     /// The tick count the last automatic rotation ran at, so a rotation
-    /// that failed (and made `process_tick` return an error *before*
-    /// dispatching the tick) is retried on the next call instead of
+    /// that failed (and made the processing call return an error *before*
+    /// dispatching the batch) is retried on the next call instead of
     /// being skipped or repeated after success.
     last_rotation: usize,
+}
+
+/// Per-worker group-commit state: how many ticks were appended and how much
+/// time has passed since the WAL was last fsynced, plus the policy deciding
+/// when the next sync is due.  Lives on the worker thread next to its
+/// `WalWriter`; all decisions are taken at batch boundaries.
+struct SyncState {
+    policy: SyncPolicy,
+    ticks_since_sync: u64,
+    last_sync: Instant,
+}
+
+impl SyncState {
+    fn new(policy: SyncPolicy) -> Self {
+        SyncState {
+            policy,
+            ticks_since_sync: 0,
+            last_sync: Instant::now(),
+        }
+    }
+
+    /// Called after a batch of `appended` tick records reached the WAL;
+    /// fsyncs when the policy says so.  A sync failure propagates to the
+    /// fleet engine (which poisons itself): after a failed fsync the kernel
+    /// may have dropped the dirty pages, so the durable prefix of the log
+    /// is unknowable and continuing would silently shrink the guarantee.
+    fn after_append(&mut self, wal: &mut WalWriter, appended: u64) -> Result<(), TsError> {
+        self.ticks_since_sync += appended;
+        let due = match self.policy {
+            SyncPolicy::Never => false,
+            SyncPolicy::EveryBatch => true,
+            SyncPolicy::EveryNTicks(n) => self.ticks_since_sync >= n,
+            SyncPolicy::EveryMillis(t) => self.last_sync.elapsed().as_millis() >= u128::from(t),
+        };
+        if due {
+            wal.sync()?;
+            self.ticks_since_sync = 0;
+            self.last_sync = Instant::now();
+        }
+        Ok(())
+    }
 }
 
 /// A fleet of per-shard [`TkcmEngine`]s running on worker threads.
@@ -142,7 +211,7 @@ impl ShardedEngine {
                 config.clone(),
                 local_catalog,
             )?;
-            workers.push(spawn_worker(engine, None));
+            workers.push(spawn_worker(engine, None, SyncPolicy::Never));
         }
         Ok(ShardedEngine {
             partition,
@@ -181,7 +250,7 @@ impl ShardedEngine {
                 local_catalog,
             )?;
             let wal = WalWriter::create(&shard_wal_path(dir, shard))?;
-            workers.push(spawn_worker(engine, Some(wal)));
+            workers.push(spawn_worker(engine, Some(wal), options.sync_policy));
         }
         let mut fleet = ShardedEngine {
             partition,
@@ -192,6 +261,7 @@ impl ShardedEngine {
             durable: Some(DurableState {
                 dir: dir.to_path_buf(),
                 snapshot_interval: options.snapshot_interval,
+                sync_policy: options.sync_policy,
                 last_rotation: 0,
             }),
         };
@@ -349,7 +419,7 @@ impl ShardedEngine {
                 }
                 None => None,
             };
-            fleet_workers.push(spawn_worker(engine, wal));
+            fleet_workers.push(spawn_worker(engine, wal, manifest.sync_policy));
         }
 
         Ok(ShardedEngine {
@@ -361,11 +431,133 @@ impl ShardedEngine {
             durable: durable.then(|| DurableState {
                 dir: dir.to_path_buf(),
                 snapshot_interval: manifest.snapshot_interval,
-                // 0, not `tick_count`: if the crash landed exactly on a
-                // rotation boundary, the next tick re-runs that rotation
-                // (idempotent — snapshots rewritten, WAL truncated).
-                last_rotation: 0,
+                sync_policy: manifest.sync_policy,
+                // `tick_count - 1`, not `tick_count`: under the
+                // boundary-crossing rotation rule this re-runs the rotation
+                // at the next batch boundary exactly when the crash landed
+                // on a rotation boundary (the rotation may not have
+                // completed; re-running is idempotent — snapshots
+                // rewritten, WAL truncated), while a mid-interval crash
+                // waits for the next multiple as usual instead of paying a
+                // full snapshot rewrite on the first post-recovery batch.
+                last_rotation: tick_count.saturating_sub(1),
             }),
+        })
+    }
+
+    /// Point-in-time recovery: like [`ShardedEngine::recover`], but WAL
+    /// replay stops at the newest tick whose time is `<= time` — "what did
+    /// the fleet believe at 14:20".
+    ///
+    /// The result is an *inspection* fleet: it is never durable and never
+    /// touches the checkpoint directory (no WAL re-open, no snapshot
+    /// rewrite), because appending new history after an earlier recovery
+    /// point would silently fork the directory's timeline.  It can process
+    /// further ticks — they just are not logged anywhere.
+    ///
+    /// Fails when any shard's *snapshot* is already past `time` (snapshots
+    /// cannot be rewound; recover from an older checkpoint directory), and
+    /// on any corruption, exactly as strict recovery does.  A `time` newer
+    /// than everything in the WALs recovers the newest reachable state,
+    /// like [`ShardedEngine::recover`] would.
+    pub fn recover_until(dir: &Path, time: Timestamp) -> Result<Self, TsError> {
+        let manifest: Manifest = read_snapshot_file(&manifest_path(dir))?;
+        let shard_count = manifest.partition.shard_count();
+
+        let mut engines = Vec::with_capacity(shard_count);
+        let mut logs: Vec<Vec<WalEntry>> = Vec::with_capacity(shard_count);
+        for shard in 0..shard_count {
+            let engine: TkcmEngine = read_snapshot_file(&shard_snapshot_path(dir, shard))?;
+            if engine.window().width() != manifest.partition.members(shard).len() {
+                return Err(TsError::invalid(
+                    "engine",
+                    format!(
+                        "shard {shard} snapshot width {} does not match the manifest partition",
+                        engine.window().width()
+                    ),
+                ));
+            }
+            if engine.window().current_time().is_some_and(|t| t > time) {
+                return Err(TsError::invalid(
+                    "engine",
+                    format!(
+                        "shard {shard} snapshot is already at {:?}, past the requested recovery \
+                         time {time:?}; snapshots cannot be rewound — recover from an older \
+                         checkpoint directory",
+                        engine.window().current_time()
+                    ),
+                ));
+            }
+            let entries = if manifest.wal {
+                read_wal(&shard_wal_path(dir, shard))?
+            } else {
+                Vec::new()
+            };
+            engines.push(engine);
+            logs.push(entries);
+        }
+
+        // The recovery point: the newest tick with time <= `time` that
+        // *every* shard reached (same reconciliation rule as full recovery,
+        // with the requested time as an additional ceiling).
+        let reachable = engines
+            .iter()
+            .zip(&logs)
+            .map(|(engine, entries)| {
+                entries
+                    .iter()
+                    .rev()
+                    .map(|e| e.tick.time)
+                    .find(|t| *t <= time)
+                    .max(engine.window().current_time())
+            })
+            .min()
+            .flatten();
+        for (shard, (engine, entries)) in engines.iter_mut().zip(&logs).enumerate() {
+            if let Some(limit) = reachable {
+                if engine.window().current_time().is_some_and(|t| t > limit) {
+                    return Err(TsError::invalid(
+                        "engine",
+                        format!(
+                            "shard {shard} snapshot is ahead of the fleet-wide recovery point \
+                             {limit}; the checkpoint directory is inconsistent"
+                        ),
+                    ));
+                }
+                for entry in entries.iter().filter(|e| e.tick.time <= limit) {
+                    engine.apply_wal_entry(entry)?;
+                }
+            }
+            if engine.window().current_time() != reachable {
+                return Err(TsError::invalid(
+                    "engine",
+                    format!(
+                        "shard {shard} recovered to {:?} instead of the fleet-wide {reachable:?}",
+                        engine.window().current_time()
+                    ),
+                ));
+            }
+        }
+
+        let tick_count = engines.first().map(|e| e.ticks_processed()).unwrap_or(0);
+        if engines.iter().any(|e| e.ticks_processed() != tick_count) {
+            return Err(TsError::invalid(
+                "engine",
+                "recovered shards disagree on the number of processed ticks",
+            ));
+        }
+        let imputation_count = engines.iter().map(|e| e.imputations_performed()).sum();
+        let workers = engines
+            .into_iter()
+            .map(|engine| spawn_worker(engine, None, SyncPolicy::Never))
+            .collect();
+        Ok(ShardedEngine {
+            partition: manifest.partition,
+            workers,
+            tick_count,
+            imputation_count,
+            poisoned: false,
+            durable: None,
         })
     }
 
@@ -403,10 +595,10 @@ impl ShardedEngine {
             match worker.results.recv().map_err(|_| worker_died())? {
                 Reply::Checkpoint(Ok(bytes)) => shard_snapshot_bytes.push(bytes),
                 Reply::Checkpoint(Err(e)) => first_error = first_error.or(Some(e)),
-                Reply::Tick(_) => {
+                _ => {
                     return Err(TsError::invalid(
                         "engine",
-                        "worker protocol violation: tick reply to a checkpoint",
+                        "worker protocol violation: non-checkpoint reply to a checkpoint",
                     ))
                 }
             }
@@ -435,6 +627,14 @@ impl ShardedEngine {
                         .unwrap_or(0)
                 } else {
                     0
+                },
+                sync_policy: if resets_wal {
+                    self.durable
+                        .as_ref()
+                        .map(|d| d.sync_policy)
+                        .unwrap_or(SyncPolicy::Never)
+                } else {
+                    SyncPolicy::Never
                 },
             },
         )?;
@@ -469,40 +669,72 @@ impl ShardedEngine {
         self.imputation_count
     }
 
-    /// Processes one fleet-wide tick: fans the per-shard sub-ticks out to
-    /// the workers, barriers on all of them and merges the outcomes back
-    /// into global [`SeriesId`] space (imputations and skips sorted by
-    /// global id).
+    /// Processes one fleet-wide tick: the batch path at batch size 1 (see
+    /// [`ShardedEngine::process_batch`] — one fan-out, one barrier, merged
+    /// outcome in global [`SeriesId`] space).
     ///
     /// An error from any shard poisons the engine (the shards' windows may
     /// no longer agree on the current time); subsequent calls keep failing.
     pub fn process_tick(&mut self, tick: &StreamTick) -> Result<EngineOutcome, TsError> {
+        let mut outcomes = self.process_batch(std::slice::from_ref(tick))?;
+        Ok(outcomes.pop().expect("one outcome per processed tick"))
+    }
+
+    /// Processes a batch of fleet-wide ticks, in order, returning one merged
+    /// [`EngineOutcome`] per tick (imputations and skips sorted by global
+    /// id).
+    ///
+    /// The whole batch crosses each shard's channel **once**: one fan-out of
+    /// per-shard sub-tick batches, one barrier on the per-shard outcome
+    /// vectors (received in shard order, so the merge never depends on
+    /// thread scheduling).  Durable fleets append the batch's WAL records
+    /// with a single buffered write per shard and apply the group-commit
+    /// [`SyncPolicy`] at the batch boundary.  The outcomes are
+    /// **bit-identical** to `N` sequential [`ShardedEngine::process_tick`]
+    /// calls — batching amortises channel, syscall and fsync overhead
+    /// without changing a single imputed bit (the property
+    /// `tests/batching.rs` pins, including across crash/recovery).
+    ///
+    /// Snapshot rotation runs at batch boundaries only, *before* the batch
+    /// is dispatched: whenever the previous batch carried the fleet across a
+    /// multiple of `snapshot_interval` ticks, the snapshots are rewritten
+    /// and the WALs truncated first, so a rotation failure surfaces before
+    /// any tick of this batch is processed — no outcome is lost and the
+    /// caller can safely retry the same batch (which retries the rotation
+    /// first).
+    ///
+    /// An error from any shard — a bad tick mid-batch, a WAL append or
+    /// group-commit fsync failure — poisons the engine, because the shards
+    /// (and the prefix of the batch each of them committed) may no longer
+    /// agree; subsequent calls keep failing.  An empty batch is a no-op.
+    pub fn process_batch(&mut self, ticks: &[StreamTick]) -> Result<Vec<EngineOutcome>, TsError> {
         if self.poisoned {
             return Err(TsError::invalid(
                 "engine",
                 "a previous tick failed on one shard; the fleet is out of sync",
             ));
         }
-        if tick.width() != self.partition.width() {
-            return Err(TsError::LengthMismatch {
-                left: tick.width(),
-                right: self.partition.width(),
-                context: "stream tick width vs fleet width",
-            });
+        if ticks.is_empty() {
+            return Ok(Vec::new());
         }
-        // Snapshot rotation runs *before* dispatching the tick: every
-        // `snapshot_interval` fleet ticks the snapshots are rewritten and
-        // the WALs truncated, bounding recovery time (replay at most
-        // `snapshot_interval` ticks) and log growth.  Rotating up front
-        // means a rotation failure surfaces before the tick is processed —
-        // no outcome is lost and the caller can safely retry the same tick
-        // (which retries the rotation first).
+        for tick in ticks {
+            if tick.width() != self.partition.width() {
+                return Err(TsError::LengthMismatch {
+                    left: tick.width(),
+                    right: self.partition.width(),
+                    context: "stream tick width vs fleet width",
+                });
+            }
+        }
+        // Snapshot rotation at the batch boundary: rotate when the processed
+        // tick count crossed a rotation interval since the last rotation
+        // (for per-tick ingestion this fires exactly at the multiples, as it
+        // always did; a large batch that jumps several multiples rotates
+        // once).  Rotation bounds recovery time and log growth to
+        // `snapshot_interval + batch` ticks.
         if let Some(durable) = &self.durable {
-            if durable.snapshot_interval > 0
-                && self.tick_count > 0
-                && self.tick_count.is_multiple_of(durable.snapshot_interval)
-                && durable.last_rotation != self.tick_count
-            {
+            let interval = durable.snapshot_interval;
+            if interval > 0 && self.tick_count / interval > durable.last_rotation / interval {
                 let dir = durable.dir.clone();
                 self.checkpoint(&dir)?;
                 let rotated = self.tick_count;
@@ -512,30 +744,36 @@ impl ShardedEngine {
             }
         }
         for (shard, worker) in self.workers.iter().enumerate() {
-            let sub = self.partition.project_tick(shard, tick);
+            let sub: Vec<StreamTick> = ticks
+                .iter()
+                .map(|tick| self.partition.project_tick(shard, tick))
+                .collect();
             worker
                 .jobs
-                .send(Job::Tick(sub))
+                .send(Job::Batch(sub))
                 .map_err(|_| worker_died())?;
         }
-        // Barrier: exactly one result per worker, received in shard order so
+        // Barrier: exactly one reply per worker, received in shard order so
         // the merge below never depends on scheduling.
-        let mut merged = EngineOutcome::default();
+        let mut merged: Vec<EngineOutcome> =
+            ticks.iter().map(|_| EngineOutcome::default()).collect();
         let mut first_error = None;
         for (shard, worker) in self.workers.iter().enumerate() {
-            let outcome = match worker.results.recv().map_err(|_| worker_died())? {
-                Reply::Tick(outcome) => outcome,
-                Reply::Checkpoint(_) => {
+            let outcomes = match worker.results.recv().map_err(|_| worker_died())? {
+                Reply::Batch(outcomes) => outcomes,
+                _ => {
                     return Err(TsError::invalid(
                         "engine",
-                        "worker protocol violation: checkpoint reply to a tick",
+                        "worker protocol violation: non-batch reply to a batch",
                     ))
                 }
             };
-            match outcome {
-                Ok(outcome) => {
+            match outcomes {
+                Ok(outcomes) => {
                     if first_error.is_none() {
-                        self.merge_outcome(shard, outcome, &mut merged);
+                        for (pos, outcome) in outcomes.into_iter().enumerate() {
+                            self.merge_outcome(shard, outcome, &mut merged[pos]);
+                        }
                     }
                 }
                 Err(e) => first_error = Some(e),
@@ -545,11 +783,28 @@ impl ShardedEngine {
             self.poisoned = true;
             return Err(e);
         }
-        merged.imputations.sort_by_key(|i| i.series);
-        merged.skipped.sort_unstable();
-        self.tick_count += 1;
-        self.imputation_count += merged.imputations.len();
+        for outcome in &mut merged {
+            outcome.imputations.sort_by_key(|i| i.series);
+            outcome.skipped.sort_unstable();
+            self.imputation_count += outcome.imputations.len();
+        }
+        self.tick_count += ticks.len();
         Ok(merged)
+    }
+
+    /// Fault injection for the durability tests: every worker's subsequent
+    /// WAL fsync fails, the way a dying device's would.
+    #[cfg(test)]
+    fn inject_sync_failures(&mut self) {
+        for worker in &self.workers {
+            worker.jobs.send(Job::InjectSyncFailures).unwrap();
+        }
+        for worker in &self.workers {
+            assert!(matches!(
+                worker.results.recv().unwrap(),
+                Reply::SyncFailuresInjected
+            ));
+        }
     }
 
     /// Folds one shard's outcome into the merged fleet outcome, remapping
@@ -597,19 +852,59 @@ fn same_directory(a: &Path, b: &Path) -> bool {
     }
 }
 
-/// Processes one tick on the worker's engine and, for durable fleets, logs
-/// the tick together with its write-backs before reporting the outcome —
-/// once `process_tick` returns on the fleet engine, the record is on disk.
-fn worker_tick(
+/// Processes a batch of ticks on the worker's engine and, for durable
+/// fleets, logs every processed tick together with its write-backs — the
+/// whole batch framed into one buffered WAL append — before reporting the
+/// outcomes: once `process_batch` returns on the fleet engine, the records
+/// are on disk (and fsynced, when the group-commit policy said so).
+///
+/// A tick that fails mid-batch stops processing there; the records of the
+/// committed prefix are still appended (exactly what the per-tick path
+/// would have logged before hitting the same error) and the engine error is
+/// reported, poisoning the fleet.  That prefix is real, durable history: a
+/// later recovery resumes *after* it, just as if the same ticks had been
+/// fed per-tick before the failure — only the in-memory fleet is poisoned.
+/// On that path the engine error is the root cause the fleet reports; a
+/// secondary append/sync failure while logging the prefix does not shadow
+/// it, and the policy sync is skipped.
+fn worker_batch(
     engine: &mut TkcmEngine,
     wal: &mut Option<WalWriter>,
-    tick: &StreamTick,
-) -> Result<EngineOutcome, TsError> {
-    let outcome = engine.process_tick(tick)?;
-    if let Some(wal) = wal {
-        wal.append(&WalEntry::from_outcome(tick, &outcome))?;
+    sync: &mut SyncState,
+    ticks: &[StreamTick],
+) -> Result<Vec<EngineOutcome>, TsError> {
+    let mut outcomes = Vec::with_capacity(ticks.len());
+    let mut failure = None;
+    for tick in ticks {
+        match engine.process_tick(tick) {
+            Ok(outcome) => outcomes.push(outcome),
+            Err(e) => {
+                failure = Some(e);
+                break;
+            }
+        }
     }
-    Ok(outcome)
+    if let Some(wal) = wal {
+        let entries: Vec<WalEntry> = ticks
+            .iter()
+            .zip(&outcomes)
+            .map(|(tick, outcome)| WalEntry::from_outcome(tick, outcome))
+            .collect();
+        let logged =
+            wal.append_batch(&entries)
+                .map_err(TsError::from)
+                .and_then(|_| match failure {
+                    None => sync.after_append(wal, entries.len() as u64),
+                    Some(_) => Ok(()),
+                });
+        if failure.is_none() {
+            logged?;
+        }
+    }
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(outcomes),
+    }
 }
 
 /// Writes the worker's snapshot and, when asked, truncates its WAL (only
@@ -628,25 +923,37 @@ fn worker_checkpoint(
     Ok(bytes)
 }
 
-fn spawn_worker(mut engine: TkcmEngine, mut wal: Option<WalWriter>) -> Worker {
+fn spawn_worker(mut engine: TkcmEngine, mut wal: Option<WalWriter>, policy: SyncPolicy) -> Worker {
     let (jobs, job_rx) = channel::<Job>();
     let (result_tx, results) = channel();
-    let handle = std::thread::spawn(move || loop {
-        let reply = match job_rx.recv() {
-            Ok(Job::Tick(tick)) => Reply::Tick(worker_tick(&mut engine, &mut wal, &tick)),
-            Ok(Job::Checkpoint {
-                snapshot_path,
-                reset_wal,
-            }) => Reply::Checkpoint(worker_checkpoint(
-                &engine,
-                &mut wal,
-                &snapshot_path,
-                reset_wal.as_deref(),
-            )),
-            Ok(Job::Stop) | Err(_) => break,
-        };
-        if result_tx.send(reply).is_err() {
-            break; // the ShardedEngine is gone
+    let handle = std::thread::spawn(move || {
+        let mut sync = SyncState::new(policy);
+        loop {
+            let reply = match job_rx.recv() {
+                Ok(Job::Batch(ticks)) => {
+                    Reply::Batch(worker_batch(&mut engine, &mut wal, &mut sync, &ticks))
+                }
+                Ok(Job::Checkpoint {
+                    snapshot_path,
+                    reset_wal,
+                }) => Reply::Checkpoint(worker_checkpoint(
+                    &engine,
+                    &mut wal,
+                    &snapshot_path,
+                    reset_wal.as_deref(),
+                )),
+                #[cfg(test)]
+                Ok(Job::InjectSyncFailures) => {
+                    if let Some(wal) = &mut wal {
+                        wal.inject_sync_failures();
+                    }
+                    Reply::SyncFailuresInjected
+                }
+                Ok(Job::Stop) | Err(_) => break,
+            };
+            if result_tx.send(reply).is_err() {
+                break; // the ShardedEngine is gone
+            }
         }
     });
     Worker {
@@ -740,5 +1047,111 @@ mod tests {
         }
         assert_eq!(engine.ticks_processed(), 80);
         assert_eq!(engine.imputations_performed(), 3);
+    }
+
+    #[test]
+    fn batch_errors_poison_and_report_the_first_failure() {
+        let mut engine =
+            ShardedEngine::new(4, small_config(), Catalog::ring_neighbours(4), 2).unwrap();
+        let good = |t: i64| StreamTick::new(Timestamp::new(t), vec![Some(1.0); 4]);
+        engine.process_batch(&[good(0), good(1)]).unwrap();
+        assert_eq!(engine.ticks_processed(), 2);
+        // Tick 2 of this batch repeats a timestamp: every shard errors
+        // mid-batch and the fleet poisons.
+        assert!(engine.process_batch(&[good(2), good(2)]).is_err());
+        assert!(
+            engine.process_batch(&[good(3)]).is_err(),
+            "must stay poisoned"
+        );
+        assert!(engine.process_tick(&good(4)).is_err(), "must stay poisoned");
+    }
+
+    #[test]
+    fn empty_batches_are_no_ops() {
+        let mut engine =
+            ShardedEngine::new(2, small_config(), Catalog::ring_neighbours(2), 1).unwrap();
+        assert!(engine.process_batch(&[]).unwrap().is_empty());
+        assert_eq!(engine.ticks_processed(), 0);
+    }
+
+    #[test]
+    fn failed_fsync_under_any_sync_policy_poisons_the_fleet() {
+        for (policy, batch_calls_before_failure) in [
+            (SyncPolicy::EveryBatch, 0usize),
+            // One 4-tick batch leaves the counter below 6; the second
+            // crosses it, so the first *synced* batch is the second one.
+            (SyncPolicy::EveryNTicks(6), 1),
+            // 0 ms elapse "immediately": due at the first batch boundary.
+            (SyncPolicy::EveryMillis(0), 0),
+        ] {
+            let dir = std::env::temp_dir().join(format!(
+                "tkcm-sync-poison-{}-{policy:?}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut engine = ShardedEngine::with_durability(
+                4,
+                small_config(),
+                Catalog::ring_neighbours(4),
+                2,
+                &dir,
+                DurabilityOptions {
+                    snapshot_interval: 0,
+                    sync_policy: policy,
+                },
+            )
+            .unwrap();
+            let batch = |base: i64| -> Vec<StreamTick> {
+                (base..base + 4)
+                    .map(|t| StreamTick::new(Timestamp::new(t), vec![Some(1.0); 4]))
+                    .collect()
+            };
+            engine.inject_sync_failures();
+            let mut base = 0i64;
+            for _ in 0..batch_calls_before_failure {
+                engine.process_batch(&batch(base)).unwrap();
+                base += 4;
+            }
+            let err = engine.process_batch(&batch(base));
+            assert!(err.is_err(), "{policy:?}: failed fsync must surface");
+            assert!(
+                engine
+                    .process_tick(&StreamTick::new(
+                        Timestamp::new(base + 4),
+                        vec![Some(1.0); 4]
+                    ))
+                    .is_err(),
+                "{policy:?}: the fleet must stay poisoned after a failed fsync"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn sync_policy_never_ignores_fsync_failures() {
+        // Under `Never` no fsync is issued on the tick path at all, so the
+        // injected failure is never hit: the fleet keeps running.
+        let dir = std::env::temp_dir().join(format!("tkcm-sync-never-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut engine = ShardedEngine::with_durability(
+            2,
+            small_config(),
+            Catalog::ring_neighbours(2),
+            1,
+            &dir,
+            DurabilityOptions {
+                snapshot_interval: 0,
+                sync_policy: SyncPolicy::Never,
+            },
+        )
+        .unwrap();
+        engine.inject_sync_failures();
+        for t in 0..8i64 {
+            engine
+                .process_tick(&StreamTick::new(Timestamp::new(t), vec![Some(1.0); 2]))
+                .unwrap();
+        }
+        assert_eq!(engine.ticks_processed(), 8);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -124,7 +124,10 @@ fn assert_recovery_equivalent(
         catalog,
         shards,
         &dir,
-        DurabilityOptions { snapshot_interval },
+        DurabilityOptions {
+            snapshot_interval,
+            ..DurabilityOptions::default()
+        },
     )
     .unwrap();
     let mut observed: Vec<EngineOutcome> = Vec::with_capacity(ticks);
@@ -191,6 +194,7 @@ fn crashed_fleet_dir(tag: &str) -> PathBuf {
         &dir,
         DurabilityOptions {
             snapshot_interval: 20,
+            ..DurabilityOptions::default()
         },
     )
     .unwrap();
@@ -330,6 +334,7 @@ fn snapshot_rotation_truncates_the_wal() {
         &dir,
         DurabilityOptions {
             snapshot_interval: 10,
+            ..DurabilityOptions::default()
         },
     )
     .unwrap();
@@ -373,6 +378,7 @@ fn durable_engines_foreign_dir_backup_recovers_as_a_plain_fleet() {
         &dir,
         DurabilityOptions {
             snapshot_interval: 100,
+            ..DurabilityOptions::default()
         },
     )
     .unwrap();
@@ -420,6 +426,144 @@ fn explicit_checkpoint_of_a_plain_engine_recovers_without_a_wal() {
     assert_eq!(recovered.ticks_processed(), 30);
     assert!(recovered.durability_dir().is_none());
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mid_interval_recovery_waits_for_the_next_rotation_boundary() {
+    // crashed_fleet_dir: interval 20, crash at tick 50 — mid-interval.  The
+    // first post-recovery ticks must NOT pay a full snapshot rotation; the
+    // next multiple (60) must.
+    let dir = crashed_fleet_dir("midrot");
+    let mut recovered = ShardedEngine::recover(&dir).unwrap();
+    let before = std::fs::metadata(dir.join("shard-0.wal")).unwrap().len();
+    for t in 50..60 {
+        recovered.process_tick(&tick_at(4, t)).unwrap();
+    }
+    let grown = std::fs::metadata(dir.join("shard-0.wal")).unwrap().len();
+    assert!(
+        grown > before,
+        "mid-interval recovery must not eagerly rotate (the WAL would have been truncated)"
+    );
+    // tick_count is now 60: the call for t=60 crosses the boundary and
+    // rotates first (truncating the log) before processing.
+    recovered.process_tick(&tick_at(4, 60)).unwrap();
+    let rotated = std::fs::metadata(dir.join("shard-0.wal")).unwrap().len();
+    assert!(
+        rotated < grown,
+        "the next multiple must still rotate ({grown} -> {rotated} bytes)"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_exactly_on_a_rotation_boundary_reruns_the_rotation() {
+    // Run exactly to a boundary (tick_count 20, interval 10) and crash
+    // before the next call runs the pending rotation; the recovered fleet
+    // must re-run it on its first batch (idempotent, bounds the WAL).
+    let width = 4;
+    let dir = scratch_dir("boundary");
+    let mut engine = ShardedEngine::with_durability(
+        width,
+        config(),
+        cluster_catalog(2, 2),
+        2,
+        &dir,
+        DurabilityOptions {
+            snapshot_interval: 10,
+            ..DurabilityOptions::default()
+        },
+    )
+    .unwrap();
+    for t in 0..20 {
+        engine.process_tick(&tick_at(width, t)).unwrap();
+    }
+    drop(engine); // the rotation for tick 20 never ran
+    let before = std::fs::metadata(dir.join("shard-0.wal")).unwrap().len();
+    let mut recovered = ShardedEngine::recover(&dir).unwrap();
+    recovered.process_tick(&tick_at(width, 20)).unwrap();
+    let after = std::fs::metadata(dir.join("shard-0.wal")).unwrap().len();
+    assert!(
+        after < before,
+        "the pending boundary rotation must re-run after recovery \
+         ({before} -> {after} bytes)"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn point_in_time_recovery_stops_replay_at_the_requested_time() {
+    // crashed_fleet_dir: interval 20, 50 ticks → last rotation at tick 40,
+    // so the snapshots hold times 0..=39 and the WALs times 40..=49.
+    let dir = crashed_fleet_dir("pit");
+    let width = 4;
+
+    // Stop mid-WAL: replay ends at the newest tick <= 45.
+    let mut at_45 = ShardedEngine::recover_until(&dir, Timestamp::new(45)).unwrap();
+    assert_eq!(at_45.ticks_processed(), 46);
+    assert!(
+        at_45.durability_dir().is_none(),
+        "a point-in-time fleet is an inspection fleet, never durable"
+    );
+
+    // It continues bit-identically to a cold replay of the same prefix.
+    let mut cold = ShardedEngine::new(width, config(), cluster_catalog(2, 2), 2).unwrap();
+    for t in 0..46 {
+        cold.process_tick(&tick_at(width, t)).unwrap();
+    }
+    assert_eq!(at_45.imputations_performed(), cold.imputations_performed());
+    let mut continued = Vec::new();
+    let mut reference = Vec::new();
+    for t in 46..60 {
+        continued.push(at_45.process_tick(&tick_at(width, t)).unwrap());
+        reference.push(cold.process_tick(&tick_at(width, t)).unwrap());
+    }
+    assert_same_outcomes(continued, reference, "point-in-time continuation").unwrap();
+
+    // A time at or past the newest logged tick is a full recovery.
+    let newest = ShardedEngine::recover_until(&dir, Timestamp::new(1_000)).unwrap();
+    assert_eq!(newest.ticks_processed(), 50);
+
+    // A time the snapshots have already passed cannot be reached.
+    let err = ShardedEngine::recover_until(&dir, Timestamp::new(30));
+    assert!(
+        err.is_err(),
+        "times before the snapshot must be refused, snapshots cannot rewind"
+    );
+
+    // The inspection fleets never touched the directory: a strict full
+    // recovery still reaches the crash point.
+    let untouched = ShardedEngine::recover(&dir).unwrap();
+    assert_eq!(untouched.ticks_processed(), 50);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn point_in_time_recovery_of_a_snapshot_only_backup() {
+    // A snapshot-only backup (no WALs) can only be inspected at or after
+    // its snapshot time.
+    let width = 4;
+    let dir = scratch_dir("pit-home");
+    let backup = scratch_dir("pit-backup");
+    let mut engine = ShardedEngine::with_durability(
+        width,
+        config(),
+        cluster_catalog(2, 2),
+        2,
+        &dir,
+        DurabilityOptions::default(),
+    )
+    .unwrap();
+    for t in 0..30 {
+        engine.process_tick(&tick_at(width, t)).unwrap();
+    }
+    engine.checkpoint(&backup).unwrap();
+    drop(engine);
+
+    let at_backup = ShardedEngine::recover_until(&backup, Timestamp::new(29)).unwrap();
+    assert_eq!(at_backup.ticks_processed(), 30);
+    assert!(ShardedEngine::recover_until(&backup, Timestamp::new(20)).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&backup);
 }
 
 #[test]

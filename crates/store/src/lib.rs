@@ -29,7 +29,10 @@
 //!   renamed into place so a crash mid-checkpoint never destroys the
 //!   previous snapshot.
 //! * **WAL** ([`wal`]): `magic | version` header followed by framed records
-//!   `record_len | crc32(payload) | payload`.  Replay is strict: a bad
+//!   `record_len | crc32(payload) | payload`.  Records are appended one at a
+//!   time ([`wal::WalWriter::append`]) or as a group-commit batch
+//!   ([`wal::WalWriter::append_batch`], identical framing, one buffered
+//!   `write_all` for the whole batch).  Replay is strict: a bad
 //!   checksum, an impossible length or a torn trailing frame all fail with
 //!   [`StoreError::Corrupt`] — the corruption policy is "refuse and let the
 //!   operator fall back to cold replay", never "guess".

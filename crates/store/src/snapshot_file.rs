@@ -26,7 +26,10 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"TKCMSNAP";
 
 /// The only snapshot layout this build writes and reads.  Any change to any
 /// `Snapshot` implementation's field order or width must bump this constant.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+///
+/// Version history: 1 — initial layout (PR 4); 2 — the runtime's checkpoint
+/// manifest grew a group-commit sync-policy field (batched ingestion PR).
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
 
 /// Serialises `value` and writes it as a snapshot file at `path`
 /// (atomically, via `<path>.tmp` + rename).  Returns the file size in

@@ -78,7 +78,7 @@ pub mod prelude {
     pub use tkcm_core::{TkcmConfig, TkcmEngine, TkcmImputer};
     pub use tkcm_datasets::{ChlorineConfig, Dataset, DatasetKind, FlightsConfig, SbrConfig};
     pub use tkcm_eval::{run_batch_scenario, run_online_scenario, Scenario, TkcmOnlineAdapter};
-    pub use tkcm_runtime::{DurabilityOptions, ShardedEngine};
+    pub use tkcm_runtime::{DurabilityOptions, ShardedEngine, SyncPolicy};
     pub use tkcm_store::Snapshot;
     pub use tkcm_timeseries::{
         Catalog, FleetPartition, SampleInterval, SeriesId, StreamTick, StreamingWindow, TimeSeries,
