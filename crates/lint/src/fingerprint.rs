@@ -1,0 +1,352 @@
+//! Snapshot-layout fingerprinting (rule `snapshot-fingerprint`).
+//!
+//! For every `impl Snapshot for T` in the persistence file set, the
+//! fingerprint digests what determines the *on-disk layout*: the ordered
+//! token stream of `T`'s struct/enum definition (field order, names, widths)
+//! concatenated with the impl block itself (the `write_into`/`read_from`
+//! bodies, i.e. encode order and tags).  The digest is insensitive to
+//! whitespace, comments and doc comments (the lexer never sees them), to
+//! string literal *contents* (error messages don't change layouts) and to
+//! local-variable names inside fn bodies (alpha-renamed to `$0`, `$1`, ...).
+//! Anything else — a reordered field, a widened integer, a swapped pair of
+//! `enc.*` calls, a changed enum tag — flips the hash.
+//!
+//! Fingerprints are compared against the checked-in
+//! `SNAPSHOT_FINGERPRINTS.toml`, keyed by the format-version constants: a
+//! drifted fingerprint under unchanged version constants is the exact
+//! failure mode the recovery-equivalence property tests cannot see (both
+//! sides of the property run the new code), so it fails the lint.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{TokKind, Token};
+use crate::scan::{find_fns, find_trait_impls, find_type_def, SourceFile};
+
+/// Keywords and primitives never treated as renameable locals.
+const RESERVED: &[&str] = &[
+    "self", "Self", "mut", "ref", "move", "let", "if", "else", "match", "for", "while", "loop",
+    "fn", "return", "true", "false", "in", "as", "dyn", "impl", "where", "pub", "crate", "super",
+    "box", "break", "continue", "const", "static", "struct", "enum", "trait", "type", "use", "u8",
+    "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32", "f64",
+    "bool", "char", "str", "String", "Some", "None", "Ok", "Err", "Vec", "Option", "Result",
+];
+
+/// 64-bit FNV-1a over the normalized token text.
+fn fnv1a64(parts: &[String]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for b in part.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Separator byte so `ab c` and `a bc` differ.
+        hash ^= 0x1f;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Normalizes `tokens[from..to]` for hashing: string literals become `"_"`,
+/// and within each `fn` body, locally bound identifiers (params, `let`
+/// patterns, `for` patterns) are alpha-renamed in binding order.  Field
+/// accesses (`.name`) and paths (`a::name`) keep their spelling.
+pub fn normalize(tokens: &[Token], from: usize, to: usize) -> Vec<String> {
+    let slice = &tokens[from..to.min(tokens.len())];
+    let mut renames: Vec<BTreeMap<usize, String>> = Vec::new();
+    // Collect one rename map per fn body; indices are relative to `slice`.
+    for f in find_fns(slice, 0, slice.len()) {
+        let mut bound: Vec<String> = Vec::new();
+        collect_param_bindings(slice, f.start, f.body.0, &mut bound);
+        collect_body_bindings(slice, f.body.0, f.body.1, &mut bound);
+        if bound.is_empty() {
+            continue;
+        }
+        let mut map = BTreeMap::new();
+        for i in f.body.0..f.body.1 {
+            let t = &slice[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if let Some(pos) = bound.iter().position(|b| *b == t.text) {
+                // Keep field accesses / path segments verbatim, and struct
+                // literal *field names* (`P { a: .. }` — ident followed by
+                // `:` right after `{` or `,`), which spell the layout, not
+                // the local.
+                let prev = i.checked_sub(1).map(|p| &slice[p]);
+                let after_dot = prev.is_some_and(|p| p.is_punct(".") || p.is_punct("::"));
+                let field_position = slice.get(i + 1).is_some_and(|n| n.is_punct(":"))
+                    && prev.is_some_and(|p| p.is_punct("{") || p.is_punct(","));
+                if !after_dot && !field_position {
+                    map.insert(i, format!("${pos}"));
+                }
+            }
+        }
+        renames.push(map);
+    }
+    let mut merged: BTreeMap<usize, String> = BTreeMap::new();
+    for map in renames {
+        merged.extend(map);
+    }
+    slice
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            if let Some(renamed) = merged.get(&i) {
+                renamed.clone()
+            } else if t.kind == TokKind::Str {
+                "\"_\"".to_string()
+            } else {
+                t.text.clone()
+            }
+        })
+        .collect()
+}
+
+/// Collects parameter names from a fn signature: inside the parameter
+/// parens, an identifier immediately followed by `:` at paren depth 1.
+fn collect_param_bindings(
+    tokens: &[Token],
+    fn_start: usize,
+    body_open: usize,
+    out: &mut Vec<String>,
+) {
+    let mut depth = 0i32;
+    for i in fn_start..body_open {
+        let t = &tokens[i];
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+        } else if depth == 1
+            && t.kind == TokKind::Ident
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct(":"))
+            && !RESERVED.contains(&t.text.as_str())
+            && !out.contains(&t.text)
+        {
+            out.push(t.text.clone());
+        }
+    }
+}
+
+/// Collects `let` / `for` pattern bindings in a body, in source order.
+fn collect_body_bindings(tokens: &[Token], from: usize, to: usize, out: &mut Vec<String>) {
+    let mut i = from;
+    while i < to {
+        let t = &tokens[i];
+        let (pat_start, terminators): (usize, &[&str]) = if t.is_ident("let") {
+            (i + 1, &["=", ";"])
+        } else if t.is_ident("for") {
+            (i + 1, &["in"])
+        } else {
+            i += 1;
+            continue;
+        };
+        let mut j = pat_start;
+        let mut colon_seen = false;
+        while j < to {
+            let p = &tokens[j];
+            if terminators
+                .iter()
+                .any(|term| p.text == *term && p.kind == TokKind::Punct)
+                || (p.is_ident("in") && terminators.contains(&"in"))
+            {
+                break;
+            }
+            if p.is_punct(":")
+                && !tokens
+                    .get(j.wrapping_sub(1))
+                    .is_some_and(|q| q.is_punct(":"))
+            {
+                // Type ascription: everything after it is a type, not a pattern.
+                colon_seen = true;
+            }
+            if !colon_seen
+                && p.kind == TokKind::Ident
+                && !RESERVED.contains(&p.text.as_str())
+                // An ident followed by `(`, `{`, `::` or `!` is a variant,
+                // struct, path or macro — not a binding.
+                && !tokens.get(j + 1).is_some_and(|n| {
+                    n.is_punct("(") || n.is_punct("{") || n.is_punct("::") || n.is_punct("!")
+                })
+                && !tokens.get(j.wrapping_sub(1)).is_some_and(|q| q.is_punct("::") || q.is_punct("."))
+                && !out.contains(&p.text)
+            {
+                out.push(p.text.clone());
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+/// One computed fingerprint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// Manifest key: `<file>::<Type>`.
+    pub key: String,
+    /// Hex digest.
+    pub digest: String,
+    /// 1-based line of the `impl` keyword (for findings).
+    pub line: u32,
+}
+
+/// Computes the fingerprint of every `impl Snapshot for T` in
+/// `persistence_files`, resolving each `T`'s struct/enum definition across
+/// the whole scanned workspace.  Returns fingerprints sorted by key.
+pub fn compute_fingerprints(
+    files: &[SourceFile],
+    persistence_files: &[String],
+) -> Vec<Fingerprint> {
+    let mut out = Vec::new();
+    for file in files {
+        if !persistence_files.contains(&file.rel_path) {
+            continue;
+        }
+        for imp in find_trait_impls(file.tokens(), "Snapshot") {
+            // Skip impls inside #[cfg(test)] modules.
+            if file.test_mask.get(imp.start).copied().unwrap_or(false) {
+                continue;
+            }
+            let mut parts: Vec<String> = Vec::new();
+            // The type's own definition first (field order/names/widths).
+            // Generic targets (`Vec<T>`, `Option<f64>`, primitives) have no
+            // local definition; their layout is fully determined by the impl
+            // body, which is hashed below.
+            let bare = imp
+                .type_name
+                .split('<')
+                .next()
+                .unwrap_or(&imp.type_name)
+                .to_string();
+            let mut defs: Vec<(String, Vec<String>)> = Vec::new();
+            for other in files {
+                if let Some(def) = find_type_def(other.tokens(), &bare) {
+                    // Only item definitions outside test modules count.
+                    if other.test_mask.get(def.range.0).copied().unwrap_or(false) {
+                        continue;
+                    }
+                    defs.push((
+                        other.rel_path.clone(),
+                        normalize(other.tokens(), def.range.0, def.range.1 + 1),
+                    ));
+                }
+            }
+            defs.sort();
+            for (_, def_parts) in defs {
+                parts.extend(def_parts);
+            }
+            // Then the impl block itself: `impl ... { ... }` inclusive.
+            let impl_end = imp.body.1; // index of closing brace
+            parts.extend(normalize(file.tokens(), imp.start, impl_end + 1));
+            let digest = format!("{:016x}", fnv1a64(&parts));
+            out.push(Fingerprint {
+                key: format!("{}::{}", file.rel_path, imp.type_name),
+                digest,
+                line: imp.line,
+            });
+        }
+    }
+    out.sort_by(|a, b| a.key.cmp(&b.key));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scan::test_region_mask;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let test_mask = test_region_mask(&lexed.tokens);
+        SourceFile {
+            rel_path: rel.to_string(),
+            lexed,
+            test_mask,
+        }
+    }
+
+    fn digest_of(src_def: &str, src_impl: &str) -> String {
+        let files = vec![
+            file("crates/x/src/types.rs", src_def),
+            file("crates/x/src/persist.rs", src_impl),
+        ];
+        let fps = compute_fingerprints(&files, &["crates/x/src/persist.rs".to_string()]);
+        assert_eq!(fps.len(), 1, "expected one impl in {src_impl}");
+        fps[0].digest.clone()
+    }
+
+    const DEF: &str = "pub struct P { pub a: u32, pub b: u64 }";
+    const IMPL: &str = "impl Snapshot for P {\n\
+        fn write_into(&self, enc: &mut Encoder) -> Result<(), E> {\n\
+            enc.u32(self.a); enc.u64(self.b); Ok(())\n\
+        }\n\
+        fn read_from(dec: &mut Decoder<'_>) -> Result<Self, E> {\n\
+            let a = dec.u32()?;\n\
+            let b = dec.u64()?;\n\
+            Ok(P { a, b })\n\
+        }\n\
+    }";
+
+    #[test]
+    fn field_reorder_flips() {
+        let base = digest_of(DEF, IMPL);
+        let reordered = digest_of("pub struct P { pub b: u64, pub a: u32 }", IMPL);
+        assert_ne!(base, reordered);
+    }
+
+    #[test]
+    fn width_change_flips() {
+        let base = digest_of(DEF, IMPL);
+        let widened = digest_of("pub struct P { pub a: u64, pub b: u64 }", IMPL);
+        assert_ne!(base, widened);
+    }
+
+    #[test]
+    fn encode_order_change_flips() {
+        let base = digest_of(DEF, IMPL);
+        let swapped = digest_of(
+            DEF,
+            &IMPL.replace(
+                "enc.u32(self.a); enc.u64(self.b);",
+                "enc.u64(self.b); enc.u32(self.a);",
+            ),
+        );
+        assert_ne!(base, swapped);
+    }
+
+    #[test]
+    fn comments_whitespace_and_strings_do_not_flip() {
+        let base = digest_of(DEF, IMPL);
+        let commented = digest_of(
+            "/// Docs!\npub struct P {\n    // first\n    pub a: u32,\n    pub b: u64\n}",
+            &format!(
+                "// leading comment\n{}",
+                IMPL.replace("; enc", ";\n        enc")
+            ),
+        );
+        assert_eq!(base, commented);
+    }
+
+    #[test]
+    fn local_variable_renames_do_not_flip() {
+        let renamed = IMPL
+            .replace("let a = dec.u32()?;", "let first = dec.u32()?;")
+            .replace("let b = dec.u64()?;", "let second = dec.u64()?;")
+            .replace("Ok(P { a, b })", "Ok(P { a: first, b: second })");
+        // Note: the shorthand had to become explicit, which *does* change
+        // tokens — so compare against the explicit spelling on both sides.
+        let explicit = IMPL.replace("Ok(P { a, b })", "Ok(P { a: a, b: b })");
+        assert_eq!(digest_of(DEF, &explicit), digest_of(DEF, &renamed));
+    }
+
+    #[test]
+    fn impls_in_test_modules_are_ignored() {
+        let files = vec![file(
+            "crates/x/src/persist.rs",
+            "#[cfg(test)] mod tests { impl Snapshot for Q { } }",
+        )];
+        let fps = compute_fingerprints(&files, &["crates/x/src/persist.rs".to_string()]);
+        assert!(fps.is_empty());
+    }
+}

@@ -1,0 +1,485 @@
+//! Hand-rolled Rust lexer: just enough of the token grammar to scan this
+//! workspace's sources for invariant violations.
+//!
+//! The lexer is deliberately *not* a parser — it produces a flat token
+//! stream with line numbers, skipping whitespace and comments so every rule
+//! downstream is whitespace- and comment-insensitive by construction.  Two
+//! comment shapes are special-cased:
+//!
+//! * `tkcm-lint: allow(<rule>)` markers are recorded (keyed by the line the
+//!   comment sits on *and* the following line, so both trailing and
+//!   own-line placements work) and suppress findings of that rule.
+//! * doc comments (`///`, `//!`, `/** */`) are plain comments to the lexer,
+//!   which is exactly what the fingerprinting rule needs: doc edits must
+//!   never flip a layout fingerprint.
+
+use std::collections::BTreeSet;
+
+/// Lexical class of one token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `struct`, `unwrap`, ...).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal (`42`, `0xFF`, `1.5e3`, `24u64`).
+    Num,
+    /// String-ish literal: string, raw string, byte string, char.
+    Str,
+    /// Punctuation / operator, possibly multi-character (`->`, `==`, `..=`).
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token text exactly as written (for `Str`, including the quotes).
+    pub text: String,
+    /// Lexical class.
+    pub kind: TokKind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A suppression marker parsed from a `tkcm-lint: allow(<rule>)` comment.
+///
+/// The marker applies to findings of `rule` on `line` — the lexer registers
+/// each marker for the comment's own line and the line after it.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Allow {
+    /// 1-based line the suppression covers.
+    pub line: u32,
+    /// Rule name inside the parentheses, e.g. `cadence`.
+    pub rule: String,
+}
+
+/// Result of lexing one file.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and whitespace removed.
+    pub tokens: Vec<Token>,
+    /// Suppression markers found in comments.
+    pub allows: BTreeSet<Allow>,
+}
+
+impl Lexed {
+    /// Whether findings of `rule` are suppressed on `line`.
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.contains(&Allow {
+            line,
+            rule: rule.to_string(),
+        })
+    }
+}
+
+/// Tokenizes `source`.  Unterminated strings/comments are tolerated (the
+/// remainder of the file is consumed); the goal is scanning real, compiling
+/// code, not rejecting malformed code — rustc does that.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                record_allows(&mut out, &source[start..i], line);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let comment_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                record_allows(&mut out, &source[start..i], comment_line);
+            }
+            b'"' => {
+                let (text, consumed, newlines) = lex_string(&source[i..], 0);
+                out.tokens.push(Token {
+                    text,
+                    kind: TokKind::Str,
+                    line,
+                });
+                line += newlines;
+                i += consumed;
+            }
+            b'r' | b'b' if starts_prefixed_literal(&source[i..]) => {
+                let (text, consumed, newlines) = lex_prefixed_literal(&source[i..]);
+                out.tokens.push(Token {
+                    text,
+                    kind: TokKind::Str,
+                    line,
+                });
+                line += newlines;
+                i += consumed;
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a char literal closes with a
+                // quote within a few characters (`'x'`, `'\n'`, `'\u{1F}'`);
+                // a lifetime never closes.
+                let rest = &source[i..];
+                if let Some((text, consumed)) = lex_char_literal(rest) {
+                    out.tokens.push(Token {
+                        text,
+                        kind: TokKind::Str,
+                        line,
+                    });
+                    i += consumed;
+                } else {
+                    let mut j = i + 1;
+                    while j < bytes.len() && is_ident_continue(bytes[j]) {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        text: source[i..j].to_string(),
+                        kind: TokKind::Lifetime,
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                // Numeric literal: digits, underscores, hex/oct/bin letters,
+                // type suffixes, exponents and a decimal point.  `1..2` must
+                // not swallow the range dots.
+                while j < bytes.len() {
+                    let d = bytes[j];
+                    let decimal_point = d == b'.'
+                        && bytes.get(j + 1).is_some_and(|n| n.is_ascii_digit())
+                        && !source[i..j].contains('.');
+                    let exponent_sign = (d == b'+' || d == b'-')
+                        && matches!(bytes[j - 1], b'e' | b'E')
+                        && source[i..j]
+                            .chars()
+                            .next()
+                            .is_some_and(|f| f.is_ascii_digit())
+                        && !source[i..j].starts_with("0x");
+                    if d.is_ascii_alphanumeric() || d == b'_' || decimal_point || exponent_sign {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    text: source[i..j].to_string(),
+                    kind: TokKind::Num,
+                    line,
+                });
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let mut j = i + 1;
+                while j < bytes.len() && is_ident_continue(bytes[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    text: source[i..j].to_string(),
+                    kind: TokKind::Ident,
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                let len = punct_len(&source[i..]);
+                out.tokens.push(Token {
+                    text: source[i..i + len].to_string(),
+                    kind: TokKind::Punct,
+                    line,
+                });
+                i += len;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Longest-match punctuation, so `..=`, `->`, `>>=` stay one token.
+fn punct_len(rest: &str) -> usize {
+    const THREE: [&str; 5] = ["..=", "...", "<<=", ">>=", "::<"];
+    const TWO: [&str; 19] = [
+        "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=", "-=", "*=", "/=", "%=",
+        "^=", "&=", "|=", "<<",
+    ];
+    for p in THREE {
+        if rest.starts_with(p) {
+            return 3;
+        }
+    }
+    for p in TWO {
+        if rest.starts_with(p) {
+            return 2;
+        }
+    }
+    rest.chars().next().map_or(1, char::len_utf8)
+}
+
+/// Whether `rest` starts a prefixed literal: `r"`, `r#"`, `b"`, `b'`, `br"`,
+/// `br#"`, `rb` is not a thing.  Plain identifiers starting with r/b fall
+/// through to ident lexing.
+fn starts_prefixed_literal(rest: &str) -> bool {
+    let b = rest.as_bytes();
+    match b[0] {
+        b'r' => {
+            let mut j = 1;
+            while b.get(j) == Some(&b'#') {
+                j += 1;
+            }
+            b.get(j) == Some(&b'"')
+        }
+        b'b' => match b.get(1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => {
+                let mut j = 2;
+                while b.get(j) == Some(&b'#') {
+                    j += 1;
+                }
+                b.get(j) == Some(&b'"')
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Lexes a literal starting with `r`/`b` prefixes; returns (text, bytes
+/// consumed, newlines inside).
+fn lex_prefixed_literal(rest: &str) -> (String, usize, u32) {
+    let b = rest.as_bytes();
+    let mut j = 0;
+    while matches!(b.get(j), Some(b'r') | Some(b'b')) {
+        j += 1;
+    }
+    if b.get(j) == Some(&b'\'') {
+        // b'x' byte char
+        if let Some((text, consumed)) = lex_char_literal(&rest[j..]) {
+            return (format!("{}{}", &rest[..j], text), j + consumed, 0);
+        }
+        return (rest[..j + 1].to_string(), j + 1, 0);
+    }
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if hashes > 0 || rest[..j].contains('r') {
+        // Raw string: no escapes, closes at `"` + hashes.
+        j += 1; // opening quote
+        let close: String = format!("\"{}", "#".repeat(hashes));
+        let newlines;
+        match rest[j..].find(&close) {
+            Some(pos) => {
+                let end = j + pos + close.len();
+                newlines = rest[..end].matches('\n').count() as u32;
+                (rest[..end].to_string(), end, newlines)
+            }
+            None => (
+                rest.to_string(),
+                rest.len(),
+                rest.matches('\n').count() as u32,
+            ),
+        }
+    } else {
+        // b"..." — cooked string with escapes.
+        let (text, consumed, newlines) = lex_string(&rest[j..], 0);
+        (format!("{}{}", &rest[..j], text), j + consumed, newlines)
+    }
+}
+
+/// Lexes a cooked string starting at a `"`; returns (text, consumed, newlines).
+fn lex_string(rest: &str, _hashes: usize) -> (String, usize, u32) {
+    let b = rest.as_bytes();
+    let mut j = 1;
+    let mut newlines = 0u32;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            b'"' => {
+                j += 1;
+                return (rest[..j].to_string(), j, newlines);
+            }
+            _ => j += 1,
+        }
+    }
+    (rest.to_string(), rest.len(), newlines)
+}
+
+/// Tries to lex a char literal at a leading `'`; `None` means lifetime.
+fn lex_char_literal(rest: &str) -> Option<(String, usize)> {
+    let b = rest.as_bytes();
+    if b.len() < 2 {
+        return None;
+    }
+    if b[1] == b'\\' {
+        // Escaped char: scan to the closing quote (handles \u{...}).
+        let mut j = 2;
+        while j < b.len() && b[j] != b'\'' && b[j] != b'\n' {
+            if b[j] == b'\\' {
+                j += 1;
+            }
+            j += 1;
+        }
+        if b.get(j) == Some(&b'\'') {
+            return Some((rest[..j + 1].to_string(), j + 1));
+        }
+        return None;
+    }
+    // Unescaped: `'x'` where x is any single char.
+    let mut chars = rest.char_indices().skip(1);
+    let (_, c) = chars.next()?;
+    if c == '\'' {
+        return None;
+    }
+    let (close_idx, close) = chars.next()?;
+    if close == '\'' {
+        let end = close_idx + 1;
+        return Some((rest[..end].to_string(), end));
+    }
+    None
+}
+
+/// Scans a comment's text for `tkcm-lint: allow(rule)` markers and records
+/// them for the comment's line and the following line.
+fn record_allows(out: &mut Lexed, comment: &str, line: u32) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("tkcm-lint: allow(") {
+        let after = &rest[pos + "tkcm-lint: allow(".len()..];
+        if let Some(end) = after.find(')') {
+            let rule = after[..end].trim().to_string();
+            for l in [line, line + 1] {
+                out.allows.insert(Allow {
+                    line: l,
+                    rule: rule.clone(),
+                });
+            }
+            rest = &after[end..];
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_whitespace_vanish() {
+        let a = texts("fn f() -> u32 { 1 + 2 }");
+        let b = texts("// doc\nfn f(/* inline */) ->\n  u32 {\n 1 /* x */ + 2 }\n");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multi_char_punct_stays_whole() {
+        assert_eq!(texts("a..=b"), vec!["a", "..=", "b"]);
+        assert_eq!(texts("x->y::z"), vec!["x", "->", "y", "::", "z"]);
+        assert_eq!(texts("0..n"), vec!["0", "..", "n"]);
+    }
+
+    #[test]
+    fn strings_and_chars_and_lifetimes() {
+        let toks = lex(r#"let s = "a \" b"; let c = 'x'; fn f<'a>() {}"#).tokens;
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "\"a \\\" b\""));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "'x'"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+    }
+
+    #[test]
+    fn byte_and_raw_strings() {
+        let toks = lex(r##"const M: &[u8] = b"TKCMSNAP"; let r = r#"raw"#;"##).tokens;
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "b\"TKCMSNAP\""));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "r#\"raw\"#"));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_floats() {
+        assert_eq!(
+            texts("24u64 1.5e3 0xFF 1_000"),
+            vec!["24u64", "1.5e3", "0xFF", "1_000"]
+        );
+        // A float before a range must not eat the dots.
+        assert_eq!(
+            texts("0..x.len()"),
+            vec!["0", "..", "x", ".", "len", "(", ")"]
+        );
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = lex("a\nb\n\nc").tokens;
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn allow_markers_cover_their_line_and_the_next() {
+        let lexed = lex("// tkcm-lint: allow(cadence)\nlet t = base - age;\n");
+        assert!(lexed.is_allowed("cadence", 1));
+        assert!(lexed.is_allowed("cadence", 2));
+        assert!(!lexed.is_allowed("cadence", 3));
+        assert!(!lexed.is_allowed("decode-hygiene", 2));
+    }
+}

@@ -1,0 +1,124 @@
+//! `tkcm-lint` — the CI-gated workspace invariant linter.
+//!
+//! ```text
+//! tkcm-lint [--root <dir>] [--json] [--quiet]      # check, exit 1 on findings
+//! tkcm-lint --bless [--force] [--root <dir>]       # re-record fingerprints
+//! ```
+//!
+//! Exit codes: 0 clean / blessed, 1 findings, 2 usage or internal error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tkcm_lint::{bless, render_json, run, LintConfig};
+
+fn usage() -> &'static str {
+    "usage: tkcm-lint [--root <dir>] [--json] [--quiet] [--bless [--force]]\n\
+     \n\
+     Checks the workspace invariants (snapshot-layout fingerprints, cadence,\n\
+     decode hygiene, single-definition constants).  With --bless, re-records\n\
+     SNAPSHOT_FINGERPRINTS.toml; blessing drifted fingerprints additionally\n\
+     requires a format-version bump (or --force for reviewed refactors)."
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut quiet = false;
+    let mut do_bless = false;
+    let mut force = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            "--bless" => do_bless = true,
+            "--force" => force = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other}\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if force && !do_bless {
+        eprintln!("--force only applies to --bless\n{}", usage());
+        return ExitCode::from(2);
+    }
+
+    // Default root: the workspace this binary was built from — correct both
+    // for `cargo run -p tkcm-lint` (any cwd inside the workspace) and CI.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+    let cfg = LintConfig::for_repo(&root);
+
+    if do_bless {
+        return match bless(&cfg, force) {
+            Ok(manifest) => {
+                if !quiet {
+                    eprintln!(
+                        "blessed {} fingerprint(s) into {} (snapshot v{}, wal v{})",
+                        manifest.fingerprints.len(),
+                        cfg.manifest_path.display(),
+                        manifest.snapshot_format_version,
+                        manifest.wal_format_version
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("tkcm-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match run(&cfg) {
+        Ok(report) => {
+            if json {
+                print!("{}", render_json(&report));
+            } else if !quiet {
+                for f in &report.findings {
+                    if f.file.is_empty() {
+                        eprintln!("[{}] {}", f.rule, f.message);
+                    } else {
+                        eprintln!("[{}] {}:{}: {}", f.rule, f.file, f.line, f.message);
+                    }
+                }
+                eprintln!(
+                    "tkcm-lint: {} file(s) scanned, {} Snapshot impl(s) fingerprinted, {} \
+                     finding(s)",
+                    report.files_scanned,
+                    report.impls_fingerprinted,
+                    report.findings.len()
+                );
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("tkcm-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

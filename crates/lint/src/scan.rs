@@ -1,0 +1,463 @@
+//! Workspace walking and token-stream structure recovery.
+//!
+//! The lexer gives a flat token stream; the rules need just enough structure
+//! on top of it: which tokens sit inside `#[cfg(test)]` modules (policy
+//! rules only govern shipping code), where `fn` bodies and `impl` blocks
+//! begin and end, and where a named struct/enum is defined.  Everything here
+//! works by balanced-delimiter matching on the token stream — no AST, no
+//! external parser, per the vendor policy.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Lexed, TokKind, Token};
+
+/// One lexed source file of the workspace.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    /// Lexed token stream + allow markers.
+    pub lexed: Lexed,
+    /// `mask[i]` is true when token `i` lies inside a `#[cfg(test)]` module.
+    pub test_mask: Vec<bool>,
+}
+
+impl SourceFile {
+    /// The token stream.
+    pub fn tokens(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+}
+
+/// Walks `<root>/src` and `<root>/crates/*/src` for `.rs` files and lexes
+/// them.  Returns files sorted by relative path so every downstream report
+/// and fingerprint manifest is deterministic.
+pub fn scan_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let src = root.join("src");
+    if src.is_dir() {
+        collect_rs(&src, &mut paths)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let entries =
+            std::fs::read_dir(&crates).map_err(|e| format!("reading {}: {e}", crates.display()))?;
+        let mut crate_dirs: Vec<PathBuf> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("reading {}: {e}", crates.display()))?;
+            let dir = entry.path().join("src");
+            if dir.is_dir() {
+                crate_dirs.push(dir);
+            }
+        }
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            // The linter does not lint itself: its own config and fixtures
+            // necessarily spell the magic literals and banned patterns it
+            // hunts for, and its invariants are covered by its unit tests.
+            if dir.ends_with("lint/src") {
+                continue;
+            }
+            collect_rs(&dir, &mut paths)?;
+        }
+    }
+    paths.sort();
+
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let source = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let lexed = lex(&source);
+        let test_mask = test_region_mask(&lexed.tokens);
+        files.push(SourceFile {
+            rel_path: rel,
+            lexed,
+            test_mask,
+        });
+    }
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Marks every token inside a `#[cfg(test)] mod <name> { ... }` region.
+///
+/// The pattern is matched structurally: `#` `[` `cfg` `(` `test` `)` `]`,
+/// optionally followed by more attributes, then `mod` IDENT `{`.  `#[test]`
+/// functions outside such a module (none exist in this tree) are not masked.
+pub fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct("#") && matches(tokens, i + 1, &["[", "cfg", "(", "test", ")", "]"]) {
+            // Skip any further attributes between the cfg and the item.
+            let mut j = i + 7;
+            while j < tokens.len() && tokens[j].is_punct("#") {
+                if let Some(close) = match_delim(tokens, j + 1, "[", "]") {
+                    j = close + 1;
+                } else {
+                    break;
+                }
+            }
+            if j < tokens.len() && tokens[j].is_ident("mod") {
+                // mod NAME { ... } — find the opening brace and its match.
+                let mut k = j + 1;
+                while k < tokens.len() && !tokens[k].is_punct("{") && !tokens[k].is_punct(";") {
+                    k += 1;
+                }
+                if k < tokens.len() && tokens[k].is_punct("{") {
+                    if let Some(close) = match_delim(tokens, k, "{", "}") {
+                        for m in mask.iter_mut().take(close + 1).skip(i) {
+                            *m = true;
+                        }
+                        i = close + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Whether `tokens[start..]` begins with exactly the given texts.
+pub fn matches(tokens: &[Token], start: usize, texts: &[&str]) -> bool {
+    texts
+        .iter()
+        .enumerate()
+        .all(|(k, t)| tokens.get(start + k).is_some_and(|tok| tok.text == *t))
+}
+
+/// Index of the delimiter closing `tokens[open]` (which must be `open_text`),
+/// respecting nesting.  Returns `None` on unbalanced streams.
+pub fn match_delim(
+    tokens: &[Token],
+    open: usize,
+    open_text: &str,
+    close_text: &str,
+) -> Option<usize> {
+    if !tokens.get(open)?.is_punct(open_text) {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, tok) in tokens.iter().enumerate().skip(open) {
+        if tok.is_punct(open_text) {
+            depth += 1;
+        } else if tok.is_punct(close_text) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// One `fn` item found in a token stream.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub start: usize,
+    /// Token range of the body, *excluding* the braces.
+    pub body: (usize, usize),
+}
+
+/// Finds every `fn NAME ... { body }` in `tokens[range]`, shallow or nested.
+pub fn find_fns(tokens: &[Token], from: usize, to: usize) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    let mut i = from;
+    while i < to.min(tokens.len()) {
+        if tokens[i].is_ident("fn") && tokens.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+            let name = tokens[i + 1].text.clone();
+            // Scan to the opening brace of the body: skip the parameter
+            // parens and any `->` return type / where clause; the first `{`
+            // outside parens/brackets/angles opens the body.  (Trait method
+            // *declarations* end with `;` instead and are skipped.)
+            let mut j = i + 2;
+            let mut angle = 0i32;
+            let mut body_open = None;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct("(") || t.is_punct("[") {
+                    let (o, c) = if t.is_punct("(") {
+                        ("(", ")")
+                    } else {
+                        ("[", "]")
+                    };
+                    match match_delim(tokens, j, o, c) {
+                        Some(close) => j = close + 1,
+                        None => return out,
+                    }
+                    continue;
+                }
+                if t.is_punct("<") {
+                    angle += 1;
+                } else if t.is_punct(">") {
+                    angle -= 1;
+                } else if t.is_punct(";") && angle <= 0 {
+                    break; // declaration without body
+                } else if t.is_punct("{") && angle <= 0 {
+                    body_open = Some(j);
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(open) = body_open {
+                if let Some(close) = match_delim(tokens, open, "{", "}") {
+                    out.push(FnItem {
+                        name,
+                        start: i,
+                        body: (open + 1, close),
+                    });
+                    // Continue scanning *inside* the body too (nested fns are
+                    // rare but cheap to support) by only advancing past the
+                    // signature.
+                    i = open + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// One `impl <Trait> for <Type> { ... }` block.
+#[derive(Clone, Debug)]
+pub struct ImplItem {
+    /// The implemented type, tokens joined without spaces (`Vec<T>`).
+    pub type_name: String,
+    /// Token index of the `impl` keyword.
+    pub start: usize,
+    /// Token range of the block body, excluding braces.
+    pub body: (usize, usize),
+    /// 1-based line of the `impl` keyword.
+    pub line: u32,
+}
+
+/// Finds every `impl [<generics>] TRAIT for TYPE { ... }` block implementing
+/// the trait named `trait_name`.
+pub fn find_trait_impls(tokens: &[Token], trait_name: &str) -> Vec<ImplItem> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let line = tokens[i].line;
+        let mut j = i + 1;
+        // Optional generic parameter list.
+        if tokens.get(j).is_some_and(|t| t.is_punct("<")) {
+            let mut depth = 0i32;
+            while j < tokens.len() {
+                if tokens[j].is_punct("<") {
+                    depth += 1;
+                } else if tokens[j].is_punct(">") {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                } else if tokens[j].is_punct(">>") {
+                    depth -= 2;
+                    if depth <= 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Trait path: may be qualified (`tkcm_store::Snapshot`); the segment
+        // right before `for` must be the trait name.
+        let mut trait_end = j;
+        while trait_end < tokens.len()
+            && !tokens[trait_end].is_ident("for")
+            && !tokens[trait_end].is_punct("{")
+            && !tokens[trait_end].is_punct(";")
+        {
+            trait_end += 1;
+        }
+        let is_target = trait_end < tokens.len()
+            && tokens[trait_end].is_ident("for")
+            && trait_end > j
+            && tokens[trait_end - 1].is_ident(trait_name);
+        if !is_target {
+            i = trait_end.max(i + 1);
+            continue;
+        }
+        // Type tokens: everything from after `for` to the opening brace.
+        let mut k = trait_end + 1;
+        let type_start = k;
+        while k < tokens.len() && !tokens[k].is_punct("{") {
+            k += 1;
+        }
+        if k >= tokens.len() {
+            break;
+        }
+        let type_name: String = tokens[type_start..k]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        match match_delim(tokens, k, "{", "}") {
+            Some(close) => {
+                out.push(ImplItem {
+                    type_name,
+                    start,
+                    body: (k + 1, close),
+                    line,
+                });
+                i = close + 1;
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// A struct/enum definition found in a token stream.
+#[derive(Clone, Debug)]
+pub struct TypeDef {
+    /// Token range of the definition, from the `struct`/`enum` keyword to
+    /// (inclusive) its closing `}` / `;`.
+    pub range: (usize, usize),
+}
+
+/// Finds the definition of struct/enum `name` in `tokens`, if present.
+/// Only item-position definitions count (`struct X {..}`, `struct X(..);`,
+/// `struct X;`, `enum X {..}`).
+pub fn find_type_def(tokens: &[Token], name: &str) -> Option<TypeDef> {
+    let mut i = 0usize;
+    while i + 1 < tokens.len() {
+        let kw = &tokens[i];
+        if (kw.is_ident("struct") || kw.is_ident("enum")) && tokens[i + 1].is_ident(name) {
+            // Exclude `impl Struct` false positives: previous token must not
+            // be `impl`/`for`/`:`/`<` etc.  `struct`/`enum` as keywords only
+            // appear in item position, so the name match is enough — but a
+            // generic list may follow the name.
+            let mut j = i + 2;
+            if tokens.get(j).is_some_and(|t| t.is_punct("<")) {
+                let mut depth = 0i32;
+                while j < tokens.len() {
+                    if tokens[j].is_punct("<") {
+                        depth += 1;
+                    } else if tokens[j].is_punct(">") {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            let end = match tokens.get(j) {
+                Some(t) if t.is_punct("{") => match_delim(tokens, j, "{", "}")?,
+                Some(t) if t.is_punct("(") => {
+                    let close = match_delim(tokens, j, "(", ")")?;
+                    // Tuple struct: trailing `;`.
+                    if tokens.get(close + 1).is_some_and(|t| t.is_punct(";")) {
+                        close + 1
+                    } else {
+                        close
+                    }
+                }
+                Some(t) if t.is_punct(";") => j,
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            return Some(TypeDef { range: (i, end) });
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn test_mask_covers_cfg_test_modules() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() { live() } }\nfn after() {}";
+        let lexed = lex(src);
+        let mask = test_region_mask(&lexed.tokens);
+        let live_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("live"))
+            .unwrap();
+        let t_idx = lexed.tokens.iter().position(|t| t.is_ident("t")).unwrap();
+        let after_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("after"))
+            .unwrap();
+        assert!(!mask[live_idx]);
+        assert!(mask[t_idx]);
+        assert!(!mask[after_idx]);
+    }
+
+    #[test]
+    fn fns_are_found_with_bodies() {
+        let src = "fn a(x: u32) -> u32 { x + 1 }\nimpl T { fn b(&self) { if true { } } }";
+        let lexed = lex(src);
+        let fns = find_fns(&lexed.tokens, 0, lexed.tokens.len());
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn trait_impls_are_found_with_generic_headers() {
+        let src = "impl<T: Snapshot> Snapshot for Vec<T> { fn x() {} }\n\
+                   impl Snapshot for Option<f64> { }\n\
+                   impl Display for Foo { }";
+        let lexed = lex(src);
+        let impls = find_trait_impls(&lexed.tokens, "Snapshot");
+        let names: Vec<&str> = impls.iter().map(|i| i.type_name.as_str()).collect();
+        assert_eq!(names, vec!["Vec<T>", "Option<f64>"]);
+    }
+
+    #[test]
+    fn type_defs_cover_all_shapes() {
+        let lexed =
+            lex("pub struct A { x: u32 }\npub struct B(pub u32);\nenum C { X, Y }\nstruct D;");
+        for name in ["A", "B", "C", "D"] {
+            assert!(find_type_def(&lexed.tokens, name).is_some(), "{name}");
+        }
+        assert!(find_type_def(&lexed.tokens, "E").is_none());
+    }
+
+    #[test]
+    fn fn_declarations_without_bodies_are_skipped() {
+        let lexed = lex("trait T { fn decl(&self) -> u32; fn with_body(&self) { } }");
+        let fns = find_fns(&lexed.tokens, 0, lexed.tokens.len());
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["with_body"]);
+    }
+}

@@ -161,42 +161,47 @@ impl<'a> Decoder<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
-        if self.remaining() < n {
-            return Err(StoreError::corrupt(format!(
-                "needed {n} byte(s) at offset {}, only {} left",
-                self.pos,
-                self.remaining()
-            )));
-        }
-        let slice = &self.data[self.pos..self.pos + n];
+        let slice = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| self.data.get(self.pos..end))
+            .ok_or_else(|| {
+                StoreError::corrupt(format!(
+                    "needed {n} byte(s) at offset {}, only {} left",
+                    self.pos,
+                    self.remaining()
+                ))
+            })?;
         self.pos += n;
         Ok(slice)
     }
 
+    /// Takes the next `N` bytes as a fixed-size array.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], StoreError> {
+        <[u8; N]>::try_from(self.take(N)?).map_err(|_| {
+            StoreError::corrupt(format!("internal: take({N}) returned a mis-sized slice"))
+        })
+    }
+
     /// Reads one raw byte.
     pub fn u8(&mut self) -> Result<u8, StoreError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.array()?;
+        Ok(b)
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, StoreError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, StoreError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     /// Reads a little-endian `i64`.
     pub fn i64(&mut self) -> Result<i64, StoreError> {
-        Ok(i64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(i64::from_le_bytes(self.array()?))
     }
 
     /// Reads a `usize` written by [`Encoder::usize`], rejecting values that

@@ -56,20 +56,27 @@ pub fn write_snapshot_file<T: Snapshot>(path: &Path, value: &T) -> Result<u64, S
 pub fn read_snapshot_file<T: Snapshot>(path: &Path) -> Result<T, StoreError> {
     let bytes =
         fs::read(path).map_err(|e| StoreError::io(format!("reading {}", path.display()), &e))?;
-    if bytes.len() < 24 {
-        return Err(StoreError::corrupt(format!(
+    // Every header access is checked: a truncated file surfaces as a
+    // corruption error, never a panic (decode-hygiene policy).
+    let short = || {
+        StoreError::corrupt(format!(
             "{}: {} byte(s) is shorter than the snapshot header",
             path.display(),
             bytes.len()
-        )));
-    }
-    if bytes[0..8] != SNAPSHOT_MAGIC {
+        ))
+    };
+    let magic = bytes.get(0..8).ok_or_else(short)?;
+    if magic != SNAPSHOT_MAGIC {
         return Err(StoreError::corrupt(format!(
             "{}: bad magic (not a snapshot file)",
             path.display()
         )));
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let version_bytes: [u8; 4] = bytes
+        .get(8..12)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(short)?;
+    let version = u32::from_le_bytes(version_bytes);
     if version != SNAPSHOT_FORMAT_VERSION {
         return Err(StoreError::UnsupportedVersion {
             format: "snapshot",
@@ -77,18 +84,30 @@ pub fn read_snapshot_file<T: Snapshot>(path: &Path) -> Result<T, StoreError> {
             supported: SNAPSHOT_FORMAT_VERSION,
         });
     }
-    let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
-    let expected_total = 24u64.checked_add(payload_len);
-    if expected_total != Some(bytes.len() as u64) {
+    let payload_len = u64::from_le_bytes(
+        bytes
+            .get(12..20)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(short)?,
+    );
+    let file_len = u64::try_from(bytes.len())
+        .map_err(|_| StoreError::corrupt(format!("{}: file too large", path.display())))?;
+    if 24u64.checked_add(payload_len) != Some(file_len) {
         return Err(StoreError::corrupt(format!(
             "{}: payload length {payload_len} does not match file size {}",
             path.display(),
             bytes.len()
         )));
     }
-    let payload = &bytes[20..bytes.len() - 4];
-    let stored_crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
-    let mut checked = bytes[8..12].to_vec();
+    let crc_start = bytes.len().checked_sub(4).ok_or_else(short)?;
+    let payload = bytes.get(20..crc_start).ok_or_else(short)?;
+    let stored_crc = u32::from_le_bytes(
+        bytes
+            .get(crc_start..)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(short)?,
+    );
+    let mut checked = version_bytes.to_vec();
     checked.extend_from_slice(payload);
     if crc32(&checked) != stored_crc {
         return Err(StoreError::corrupt(format!(

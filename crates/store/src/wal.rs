@@ -72,7 +72,7 @@ impl WalWriter {
 
     /// Opens an existing log for appending, verifying its header first.
     pub fn open_append(path: &Path) -> Result<Self, StoreError> {
-        verify_header(path)?;
+        read_header(path)?;
         let file = OpenOptions::new()
             .append(true)
             .open(path)
@@ -164,20 +164,28 @@ fn frame_into<T: Snapshot>(buf: &mut Vec<u8>, value: &T) -> Result<(), StoreErro
     Ok(())
 }
 
-fn verify_header(path: &Path) -> Result<(), StoreError> {
+/// Reads and verifies the 12-byte WAL header (decode path: every access is
+/// checked, corruption surfaces as an error, never a panic).
+fn read_header(path: &Path) -> Result<(), StoreError> {
     let mut file =
         File::open(path).map_err(|e| StoreError::io(format!("opening {}", path.display()), &e))?;
     let mut header = [0u8; HEADER_LEN];
     file.read_exact(&mut header).map_err(|_| {
         StoreError::corrupt(format!("{}: shorter than the WAL header", path.display()))
     })?;
-    if header[0..8] != WAL_MAGIC {
+    let short = || StoreError::corrupt(format!("{}: shorter than the WAL header", path.display()));
+    let magic = header.get(0..8).ok_or_else(short)?;
+    if magic != WAL_MAGIC {
         return Err(StoreError::corrupt(format!(
             "{}: bad magic (not a WAL file)",
             path.display()
         )));
     }
-    let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    let version_bytes: [u8; 4] = header
+        .get(8..12)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(short)?;
+    let version = u32::from_le_bytes(version_bytes);
     if version != WAL_FORMAT_VERSION {
         return Err(StoreError::UnsupportedVersion {
             format: "wal",
@@ -191,7 +199,7 @@ fn verify_header(path: &Path) -> Result<(), StoreError> {
 /// Reads every record payload of a WAL, verifying the header, each record's
 /// checksum and that the file ends exactly on a record boundary.
 pub fn read_wal_records(path: &Path) -> Result<Vec<Vec<u8>>, StoreError> {
-    let (records, torn) = scan_wal(path)?;
+    let (records, torn) = read_frames(path)?;
     if let Some(message) = torn {
         return Err(StoreError::corrupt(message));
     }
@@ -212,21 +220,32 @@ pub fn read_wal_records(path: &Path) -> Result<Vec<Vec<u8>>, StoreError> {
 pub fn read_wal_records_tolerating_torn_tail(
     path: &Path,
 ) -> Result<(Vec<Vec<u8>>, bool), StoreError> {
-    let (records, torn) = scan_wal(path)?;
+    let (records, torn) = read_frames(path)?;
     Ok((records, torn.is_some()))
 }
 
-/// Shared scan: returns the complete, checksum-verified records plus a
-/// description of the torn trailing frame, if any.  Checksum mismatches on
-/// complete records always error.
-fn scan_wal(path: &Path) -> Result<(Vec<Vec<u8>>, Option<String>), StoreError> {
-    verify_header(path)?;
+/// Reads a `u32` at `at`, `None` when fewer than 4 bytes remain.
+fn read_le_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    let end = at.checked_add(4)?;
+    let arr: [u8; 4] = bytes.get(at..end)?.try_into().ok()?;
+    Some(u32::from_le_bytes(arr))
+}
+
+/// Shared frame scan (decode path): returns the complete, checksum-verified
+/// records plus a description of the torn trailing frame, if any.  Checksum
+/// mismatches on complete records always error; every byte access is
+/// checked, so no input can panic the reader.
+fn read_frames(path: &Path) -> Result<(Vec<Vec<u8>>, Option<String>), StoreError> {
+    read_header(path)?;
     let bytes = std::fs::read(path)
         .map_err(|e| StoreError::io(format!("reading {}", path.display()), &e))?;
     let mut records = Vec::new();
     let mut pos = HEADER_LEN;
     while pos < bytes.len() {
-        if bytes.len() - pos < 8 {
+        let frame_start = pos;
+        let (Some(len_raw), Some(stored_crc)) =
+            (read_le_u32(&bytes, pos), read_le_u32(&bytes, pos + 4))
+        else {
             return Ok((
                 records,
                 Some(format!(
@@ -234,28 +253,29 @@ fn scan_wal(path: &Path) -> Result<(Vec<Vec<u8>>, Option<String>), StoreError> {
                     path.display()
                 )),
             ));
-        }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-        let stored_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        };
+        let len = usize::try_from(len_raw).map_err(|_| {
+            StoreError::corrupt(format!(
+                "{}: record length {len_raw} does not fit this host's usize",
+                path.display()
+            ))
+        })?;
         pos += 8;
-        if bytes.len() - pos < len {
+        let Some(payload) = pos.checked_add(len).and_then(|end| bytes.get(pos..end)) else {
             return Ok((
                 records,
                 Some(format!(
-                    "{}: record at offset {} claims {len} byte(s), only {} left (torn or corrupted)",
+                    "{}: record at offset {frame_start} claims {len} byte(s), only {} left (torn or corrupted)",
                     path.display(),
-                    pos - 8,
                     bytes.len() - pos
                 )),
             ));
-        }
-        let payload = &bytes[pos..pos + len];
+        };
         if crc32(payload) != stored_crc {
             return Err(StoreError::corrupt(format!(
-                "{}: checksum mismatch in record {} at offset {}",
+                "{}: checksum mismatch in record {} at offset {frame_start}",
                 path.display(),
                 records.len(),
-                pos - 8
             )));
         }
         records.push(payload.to_vec());

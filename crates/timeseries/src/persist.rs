@@ -252,17 +252,17 @@ impl Snapshot for FleetPartition {
         for (s, members) in shards.iter().enumerate() {
             for (i, id) in members.iter().enumerate() {
                 let idx = id.index();
-                if idx >= width {
-                    return Err(StoreError::invalid(format!(
+                let slot = locate.get_mut(idx).ok_or_else(|| {
+                    StoreError::invalid(format!(
                         "partition references series {id} outside width {width}"
-                    )));
-                }
-                if locate[idx].0 != usize::MAX {
+                    ))
+                })?;
+                if slot.0 != usize::MAX {
                     return Err(StoreError::invalid(format!(
                         "series {id} assigned to more than one shard"
                     )));
                 }
-                locate[idx] = (s, i);
+                *slot = (s, i);
                 assigned += 1;
             }
         }

@@ -156,8 +156,11 @@ impl StreamingWindow {
         Ok(())
     }
 
-    /// Raw ring index of the slot `age` ticks in the past.
+    /// Raw ring index of the slot `age` ticks in the past.  This is ring
+    /// *position* arithmetic over an offset modulo the capacity, not a
+    /// timestamp derivation — timestamps always come from `self.times`.
     fn ring_index(&self, age: usize) -> usize {
+        // tkcm-lint: allow(cadence)
         (self.state_offset + self.length - age) % self.length
     }
 
