@@ -7,7 +7,9 @@
 //! whole stream is the baseline a restart without the persistence subsystem
 //! would pay.  `--paper` runs the paper-proportioned fleet; `--json [path]`
 //! writes the machine-readable results CI uploads as the
-//! `BENCH_results_recovery` artifact.
+//! `BENCH_results_recovery` artifact, including a flattened top-level
+//! `trend` object (`recovery_ms_at_N`, `recovery_speedup_vs_cold_at_N`, …)
+//! the bench gate can read directly.
 use std::time::Instant;
 
 fn main() {
@@ -18,7 +20,7 @@ fn main() {
     let elapsed = start.elapsed().as_secs_f64();
     tkcm_bench::print_report(&report, scale);
     if let Some(path) = json_path {
-        let json = tkcm_bench::bench_results_json(scale, &[(elapsed, report)]);
+        let json = tkcm_bench::recovery_results_json(scale, elapsed, &report);
         std::fs::write(&path, json).expect("failed to write the JSON results file");
         println!("machine-readable results written to {path}");
     }

@@ -114,6 +114,84 @@ pub fn fleet_results_json(scale: Scale, elapsed: f64, report: &tkcm_eval::Report
     )
 }
 
+/// Serialises the candidate-pruning report like [`fleet_results_json`]: the
+/// full report plus a flat top-level `"trend"` object carrying the gateable
+/// fields — per-mode throughput (`ticks_per_second_<mode>`), the pruned
+/// path's speedups over both baselines and the fraction of candidates the
+/// signature lower bound eliminated (`pruned_fraction`, expected ≥ 0.5 at
+/// paper proportions).
+pub fn pruning_results_json(scale: Scale, elapsed: f64, report: &tkcm_eval::Report) -> String {
+    let number = |v: f64| {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    };
+    let mut trend = Vec::new();
+    if let Some(table) = report.table("Candidate pruning by mode") {
+        for mode in ["exhaustive", "incremental", "pruned"] {
+            if let Some(v) = table.cell(mode, "ticks_per_second") {
+                trend.push(format!("\"ticks_per_second_{mode}\":{}", number(v)));
+            }
+        }
+        for metric in [
+            "speedup_vs_exhaustive",
+            "speedup_vs_incremental",
+            "pruned_fraction",
+        ] {
+            if let Some(v) = table.cell("pruned", metric) {
+                trend.push(format!("\"{metric}\":{}", number(v)));
+            }
+        }
+    }
+    format!(
+        "{{\"scale\":\"{scale:?}\",\"trend\":{{{}}},\"experiments\":[{{\"wall_time_seconds\":{elapsed},\"report\":{}}}]}}",
+        trend.join(","),
+        report.to_json()
+    )
+}
+
+/// Serialises the crash-recovery report like [`fleet_results_json`]: the
+/// full report plus a flat `"trend"` object with the per-shard recovery
+/// fields (`recovery_ms_at_N`, `cold_replay_ms_at_N`,
+/// `recovery_speedup_vs_cold_at_N`, `snapshot_bytes_at_N`) flattened out of
+/// the "Recovery cost by shard count" table so CI can gate on a recovery
+/// regression without parsing nested tables.
+pub fn recovery_results_json(scale: Scale, elapsed: f64, report: &tkcm_eval::Report) -> String {
+    let number = |v: f64| {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    };
+    let mut trend = Vec::new();
+    if let Some(table) = report.table("Recovery cost by shard count") {
+        let shards = table.column("shards").unwrap_or_default();
+        for metric in [
+            "recovery_ms",
+            "cold_replay_ms",
+            "recovery_speedup_vs_cold",
+            "snapshot_bytes",
+        ] {
+            let values = table.column(metric).unwrap_or_default();
+            for (shard, value) in shards.iter().zip(values.iter()) {
+                trend.push(format!(
+                    "\"{metric}_at_{}\":{}",
+                    *shard as usize,
+                    number(*value)
+                ));
+            }
+        }
+    }
+    format!(
+        "{{\"scale\":\"{scale:?}\",\"trend\":{{{}}},\"experiments\":[{{\"wall_time_seconds\":{elapsed},\"report\":{}}}]}}",
+        trend.join(","),
+        report.to_json()
+    )
+}
+
 /// Prints a report with a standard footer naming the scale that was used.
 pub fn print_report(report: &tkcm_eval::Report, scale: Scale) {
     println!("{report}");
@@ -195,6 +273,66 @@ mod tests {
         // A report without the fleet table still serialises (empty trend).
         let bare = fleet_results_json(Scale::Quick, 0.1, &tkcm_eval::Report::new("x"));
         assert!(bare.contains("\"trend\":{}"));
+    }
+
+    #[test]
+    fn pruning_results_json_flattens_the_trend_fields() {
+        let mut report = tkcm_eval::Report::new("pruning");
+        let mut t = tkcm_eval::Table::new(
+            "Candidate pruning by mode",
+            vec![
+                "config".into(),
+                "wall_seconds".into(),
+                "ticks_per_second".into(),
+                "imputations".into(),
+                "speedup_vs_exhaustive".into(),
+                "speedup_vs_incremental".into(),
+                "pruned_fraction".into(),
+            ],
+        );
+        t.push_row("exhaustive", vec![4.0, 250.0, 9.0, 1.0, 0.5, 0.0]);
+        t.push_row("incremental", vec![2.0, 500.0, 9.0, 2.0, 1.0, 0.0]);
+        t.push_row("pruned", vec![1.0, 1000.0, 9.0, 4.0, 2.0, 0.75]);
+        report.add_table(t);
+        let json = pruning_results_json(Scale::Paper, 7.0, &report);
+        assert!(json.contains("\"trend\":{"));
+        assert!(json.contains("\"ticks_per_second_pruned\":1000"));
+        assert!(json.contains("\"ticks_per_second_exhaustive\":250"));
+        assert!(json.contains("\"speedup_vs_exhaustive\":4"));
+        assert!(json.contains("\"speedup_vs_incremental\":2"));
+        assert!(json.contains("\"pruned_fraction\":0.75"));
+        assert!(json.contains("\"wall_time_seconds\":7"));
+        let bare = pruning_results_json(Scale::Quick, 0.1, &tkcm_eval::Report::new("x"));
+        assert!(bare.contains("\"trend\":{}"));
+    }
+
+    #[test]
+    fn recovery_results_json_flattens_the_trend_fields() {
+        let mut report = tkcm_eval::Report::new("recovery");
+        let mut t = tkcm_eval::Table::new(
+            "Recovery cost by shard count",
+            vec![
+                "config".into(),
+                "shards".into(),
+                "snapshot_bytes".into(),
+                "checkpoint_ms".into(),
+                "wal_bytes".into(),
+                "replayed_ticks".into(),
+                "recovery_ms".into(),
+                "cold_replay_ms".into(),
+                "recovery_speedup_vs_cold".into(),
+            ],
+        );
+        t.push_row(
+            "4 shard(s)",
+            vec![4.0, 1024.0, 2.0, 4096.0, 100.0, 5.0, 50.0, 10.0],
+        );
+        report.add_table(t);
+        let json = recovery_results_json(Scale::Quick, 1.0, &report);
+        assert!(json.contains("\"recovery_speedup_vs_cold_at_4\":10"));
+        assert!(json.contains("\"recovery_ms_at_4\":5"));
+        assert!(json.contains("\"cold_replay_ms_at_4\":50"));
+        assert!(json.contains("\"snapshot_bytes_at_4\":1024"));
     }
 
     #[test]

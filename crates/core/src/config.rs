@@ -53,6 +53,15 @@ pub struct TkcmConfig {
     /// non-decomposable dissimilarity measures (DTW) fall back to exact
     /// recomputation regardless of the flag.
     pub incremental: bool,
+    /// Whether the streaming engine prunes the candidate space through the
+    /// block-quantized signature index ([`crate::signature`]) before exact
+    /// dissimilarity evaluation.  `true` (default) keeps the engine's output
+    /// bit-identical to the exhaustive path (the bound is admissible) while
+    /// skipping most exact evaluations; `false` is the explicit opt-out that
+    /// restores the PR-2 incremental (or exact) path unchanged.  Pruning
+    /// requires dynamic-programming selection and an incrementally
+    /// decomposable dissimilarity (L2); other configurations ignore the flag.
+    pub pruning: bool,
 }
 
 impl TkcmConfig {
@@ -68,6 +77,7 @@ impl TkcmConfig {
             selection: SelectionStrategy::DynamicProgramming,
             allow_missing_in_patterns: false,
             incremental: true,
+            pruning: true,
         }
     }
 
@@ -136,6 +146,7 @@ impl Default for TkcmConfig {
             selection: SelectionStrategy::DynamicProgramming,
             allow_missing_in_patterns: false,
             incremental: true,
+            pruning: true,
         }
     }
 }
@@ -144,7 +155,7 @@ impl fmt::Display for TkcmConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "TKCM(L={}, l={}, k={}, d={}, {:?}, {:?}, {})",
+            "TKCM(L={}, l={}, k={}, d={}, {:?}, {:?}, {}, {})",
             self.window_length,
             self.pattern_length,
             self.anchor_count,
@@ -155,7 +166,8 @@ impl fmt::Display for TkcmConfig {
                 "incremental-D"
             } else {
                 "exact-D"
-            }
+            },
+            if self.pruning { "pruned" } else { "exhaustive" }
         )
     }
 }
@@ -172,6 +184,7 @@ pub struct TkcmConfigBuilder {
     selection: Option<SelectionStrategy>,
     allow_missing_in_patterns: Option<bool>,
     incremental: Option<bool>,
+    pruning: Option<bool>,
 }
 
 impl TkcmConfigBuilder {
@@ -232,6 +245,13 @@ impl TkcmConfigBuilder {
         self
     }
 
+    /// Enables (`true`, default) or disables (`false`) signature-index
+    /// candidate pruning on the engine tick path.
+    pub fn pruning(mut self, value: bool) -> Self {
+        self.pruning = Some(value);
+        self
+    }
+
     /// Finalises and validates the configuration.
     pub fn build(self) -> Result<TkcmConfig, TsError> {
         let mut config = self.config.unwrap_or_default();
@@ -258,6 +278,9 @@ impl TkcmConfigBuilder {
         }
         if let Some(v) = self.incremental {
             config.incremental = v;
+        }
+        if let Some(v) = self.pruning {
+            config.pruning = v;
         }
         config.validate()?;
         Ok(config)
@@ -348,6 +371,16 @@ mod tests {
             .unwrap();
         // Figure 8: L = 10, l = 3 -> 5 candidate patterns (indices 1..=5).
         assert_eq!(c.candidate_count(), 5);
+    }
+
+    #[test]
+    fn pruning_defaults_on_with_explicit_opt_out() {
+        assert!(TkcmConfig::default().pruning);
+        assert!(TkcmConfig::paper_defaults().pruning);
+        let c = TkcmConfig::builder().pruning(false).build().unwrap();
+        assert!(!c.pruning);
+        assert!(c.to_string().contains("exhaustive"));
+        assert!(TkcmConfig::default().to_string().contains("pruned"));
     }
 
     #[test]

@@ -23,8 +23,9 @@ use tkcm_timeseries::{Catalog, SeriesId, StreamTick, StreamingWindow, Timestamp,
 
 use crate::config::TkcmConfig;
 use crate::diagnostics::PhaseBreakdown;
-use crate::imputer::{ImputationDetail, TkcmImputer};
+use crate::imputer::{ImputationDetail, PruneStats, TkcmImputer};
 use crate::incremental::IncrementalDissimilarity;
+use crate::signature::SignatureIndex;
 
 /// One imputation performed by the engine at a tick.
 #[derive(Clone, Debug, PartialEq)]
@@ -80,6 +81,33 @@ pub struct TkcmEngine {
     /// imputation.  Empty while no imputation has been needed and on the
     /// exact-recompute path.
     pub(crate) maintainers: Vec<Maintainer>,
+    /// Signature index over all series, present iff the pruned path is
+    /// active ([`TkcmEngine::is_pruned`]); kept in lock-step with the window
+    /// by `advance_tick`/`commit_write_back` and persisted in snapshots so a
+    /// recovered engine prunes with bit-identical envelopes.
+    pub(crate) signatures: Option<SignatureIndex>,
+    /// Running totals of the per-imputation [`PruneStats`] — diagnostics
+    /// only, deliberately *not* persisted (they restart at zero after
+    /// recovery, like the phase wall-clock durations).
+    pub(crate) prune_totals: PruneStats,
+}
+
+/// Builds the signature index iff the configuration *and* the imputer admit
+/// pruning: the opt-in flag, the DP sum objective the bound is admissible
+/// for, and a decomposable (L2) dissimilarity.
+pub(crate) fn signature_for(
+    width: usize,
+    imputer: &TkcmImputer,
+) -> Result<Option<SignatureIndex>, TsError> {
+    let config = imputer.config();
+    if config.pruning
+        && config.selection == crate::selection::SelectionStrategy::DynamicProgramming
+        && imputer.supports_incremental()
+    {
+        Ok(Some(SignatureIndex::new(width, config.window_length)?))
+    } else {
+        Ok(None)
+    }
 }
 
 impl TkcmEngine {
@@ -92,14 +120,18 @@ impl TkcmEngine {
             return Err(TsError::invalid("width", "need at least one stream"));
         }
         let window = StreamingWindow::new(width, config.window_length);
+        let imputer = TkcmImputer::new(config)?;
+        let signatures = signature_for(width, &imputer)?;
         Ok(TkcmEngine {
-            imputer: TkcmImputer::new(config)?,
+            imputer,
             window,
             catalog,
             breakdown: PhaseBreakdown::default(),
             imputation_count: 0,
             tick_count: 0,
             maintainers: Vec::new(),
+            signatures,
+            prune_totals: PruneStats::default(),
         })
     }
 
@@ -113,6 +145,7 @@ impl TkcmEngine {
             return Err(TsError::invalid("width", "need at least one stream"));
         }
         let window = StreamingWindow::new(width, imputer.config().window_length);
+        let signatures = signature_for(width, &imputer)?;
         Ok(TkcmEngine {
             imputer,
             window,
@@ -121,6 +154,8 @@ impl TkcmEngine {
             imputation_count: 0,
             tick_count: 0,
             maintainers: Vec::new(),
+            signatures,
+            prune_totals: PruneStats::default(),
         })
     }
 
@@ -156,9 +191,27 @@ impl TkcmEngine {
     }
 
     /// Whether the engine maintains `D` incrementally (the configuration
-    /// flag is on *and* the dissimilarity measure decomposes).
+    /// flag is on *and* the dissimilarity measure decomposes *and* pruning
+    /// is not active — the pruned path replaces the per-candidate
+    /// maintainers with the signature index entirely).
     pub fn is_incremental(&self) -> bool {
-        self.imputer.config().incremental && self.imputer.supports_incremental()
+        self.imputer.config().incremental
+            && self.imputer.supports_incremental()
+            && !self.is_pruned()
+    }
+
+    /// Whether the signature-pruned imputation path is active: the
+    /// `TkcmConfig::pruning` opt-in, dynamic-programming selection and a
+    /// decomposable (L2) dissimilarity.
+    pub fn is_pruned(&self) -> bool {
+        self.signatures.is_some()
+    }
+
+    /// Running totals of the pruning counters across all imputations so far
+    /// (all zero when pruning is off).  `pruned / candidates` is the
+    /// `pruned_fraction` the benchmarks report.
+    pub fn prune_totals(&self) -> PruneStats {
+        self.prune_totals
     }
 
     /// Number of live incremental `D` states (one per recently used
@@ -225,7 +278,18 @@ impl TkcmEngine {
                 outcome.skipped.push(target);
                 continue;
             }
-            let (detail, maintainer) = if incremental {
+            let (detail, maintainer) = if let Some(index) = self.signatures.as_ref() {
+                let (detail, stats) = self.imputer.impute_pruned(
+                    &self.window,
+                    target,
+                    &selection.references,
+                    index,
+                )?;
+                self.prune_totals.candidates += stats.candidates;
+                self.prune_totals.shortlisted += stats.shortlisted;
+                self.prune_totals.pruned += stats.pruned;
+                (detail, None)
+            } else if incremental {
                 let start = Instant::now();
                 let idx = self.maintainer_for(&selection.references)?;
                 self.maintainers[idx].last_used = self.tick_count;
@@ -287,6 +351,9 @@ impl TkcmEngine {
     fn advance_tick(&mut self, tick: &StreamTick) -> Result<(), TsError> {
         self.window.push_tick(tick)?;
         self.tick_count += 1;
+        if let Some(index) = self.signatures.as_mut() {
+            index.on_push(&tick.values)?;
+        }
         if self.is_incremental() && !self.maintainers.is_empty() {
             let start = Instant::now();
             let tick_count = self.tick_count;
@@ -334,6 +401,12 @@ impl TkcmEngine {
             self.breakdown.maintenance += start.elapsed();
         }
         self.window.write_imputed(target, 0, value)?;
+        if let Some(index) = self.signatures.as_mut() {
+            // Engine write-backs always turn a missing current-tick slot
+            // into an imputed one (`currently_missing` / WAL replay both
+            // target missing slots), so the slot's missing count drops.
+            index.on_write(target, 0, value, true);
+        }
         if incremental {
             let start = Instant::now();
             for m in &mut self.maintainers {
@@ -560,7 +633,12 @@ mod tests {
         catalog
             .set_candidates(SeriesId(3), vec![SeriesId(2)])
             .unwrap();
-        let config = small_config(128, 3, 2, 1);
+        // Pruning replaces maintainers entirely; this test inspects them, so
+        // run the PR-2 incremental path explicitly.
+        let config = crate::config::TkcmConfigBuilder::from_config(small_config(128, 3, 2, 1))
+            .pruning(false)
+            .build()
+            .unwrap();
         let mut with_writes = TkcmEngine::new(4, config.clone(), catalog.clone()).unwrap();
         let mut without_writes = TkcmEngine::new(4, config, catalog).unwrap();
 
@@ -673,6 +751,72 @@ mod tests {
         // An empty batch is a no-op.
         assert_eq!(engine.process_batch(&[]).unwrap().len(), 0);
         assert_eq!(engine.ticks_processed(), 2);
+    }
+
+    #[test]
+    fn pruned_path_matches_exhaustive_and_incremental_bit_for_bit() {
+        let width = 3;
+        let base = small_config(320, 16, 2, 2);
+        let mk = |pruning: bool, incremental: bool| {
+            let config = crate::config::TkcmConfigBuilder::from_config(base.clone())
+                .pruning(pruning)
+                .incremental(incremental)
+                .build()
+                .unwrap();
+            TkcmEngine::new(width, config, catalog_for(width)).unwrap()
+        };
+        let mut pruned = mk(true, true);
+        let mut incremental = mk(false, true);
+        let mut exhaustive = mk(false, false);
+        assert!(pruned.is_pruned() && !pruned.is_incremental());
+        assert!(!incremental.is_pruned() && incremental.is_incremental());
+        assert!(!exhaustive.is_pruned() && !exhaustive.is_incremental());
+
+        // Period-128 integer sawtooths: candidates one/two periods back match
+        // the query exactly (τ = 0), every off-phase candidate has a large
+        // envelope gap — the regime the signature index is built for.
+        let saw = |t: usize, shift: usize| ((t + shift) % 128) as f64;
+        for t in 0..400usize {
+            let missing = t > 60 && t % 7 < 2;
+            let s0 = if missing { None } else { Some(saw(t, 0)) };
+            let tick = StreamTick::new(
+                Timestamp::new(t as i64),
+                vec![s0, Some(saw(t, 31)), Some(saw(t, 67))],
+            );
+            let a = pruned.process_tick(&tick).unwrap();
+            let b = incremental.process_tick(&tick).unwrap();
+            let c = exhaustive.process_tick(&tick).unwrap();
+            assert_eq!(a.skipped, b.skipped, "tick {t}");
+            assert_eq!(a.skipped, c.skipped, "tick {t}");
+            assert_eq!(a.imputations.len(), b.imputations.len(), "tick {t}");
+            assert_eq!(a.imputations.len(), c.imputations.len(), "tick {t}");
+            for ((x, y), z) in a
+                .imputations
+                .iter()
+                .zip(b.imputations.iter())
+                .zip(c.imputations.iter())
+            {
+                // Pruned vs exhaustive: bit-identical (both evaluate the
+                // exact D of every anchor; pruning only skips losers).
+                assert_eq!(x.value.to_bits(), z.value.to_bits(), "tick {t}");
+                assert_eq!(x.detail.anchors, z.detail.anchors, "tick {t}");
+                assert_eq!(x.detail.complete, z.detail.complete, "tick {t}");
+                // Vs the PR-2 incremental path: that path's running sums are
+                // only 1e-9-close to exact (its own equivalence contract),
+                // so anchor times must agree but D may differ in low bits.
+                let tx: Vec<_> = x.detail.anchors.iter().map(|a| a.time).collect();
+                let ty: Vec<_> = y.detail.anchors.iter().map(|a| a.time).collect();
+                assert_eq!(tx, ty, "tick {t}");
+                assert!((x.value - y.value).abs() <= 1e-9 * (1.0 + x.value.abs()));
+            }
+        }
+        let totals = pruned.prune_totals();
+        assert!(totals.candidates > 0);
+        assert!(
+            totals.pruned > 0,
+            "expected some pruning on a periodic signal: {totals:?}"
+        );
+        assert_eq!(incremental.prune_totals(), PruneStats::default());
     }
 
     #[test]

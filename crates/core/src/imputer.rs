@@ -20,10 +20,11 @@ use tkcm_timeseries::{SeriesId, SlotState, StreamingWindow, Timestamp, TsError};
 use crate::config::{AnchorAggregation, TkcmConfig};
 use crate::consistency::ConsistencyReport;
 use crate::diagnostics::{Phase, PhaseBreakdown, PhaseTimer};
-use crate::dissimilarity::{Dissimilarity, L2Distance};
+use crate::dissimilarity::{l2_from_components, Dissimilarity, L2Distance};
 use crate::incremental::IncrementalDissimilarity;
-use crate::pattern::{extract_pattern_at_age, extract_query_pattern};
-use crate::selection::select_anchors;
+use crate::pattern::{extract_pattern_at_age, extract_query_pattern, Pattern};
+use crate::selection::{select_anchors, SelectionStrategy};
+use crate::signature::{SignatureIndex, SignatureQuery};
 
 /// One selected anchor: time point, dissimilarity of its pattern and the
 /// value of the incomplete series there.
@@ -75,6 +76,24 @@ impl ImputationDetail {
     pub fn epsilon(&self) -> Option<f64> {
         self.consistency().epsilon
     }
+}
+
+/// Counters from one signature-pruned imputation
+/// ([`TkcmImputer::impute_pruned`]).
+///
+/// Kept *outside* [`ImputationDetail`] so pruned and exhaustive results stay
+/// structurally comparable in the equivalence tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Total candidate lags in the window (`J = L − 2l + 1`, or fewer while
+    /// the window is filling).
+    pub candidates: usize,
+    /// Candidates whose exact dissimilarity was evaluated.
+    pub shortlisted: usize,
+    /// Candidates the signature index disposed of without an exact
+    /// evaluation: lower bound above the threshold, or a proven missing
+    /// reference slot in strict mode.
+    pub pruned: usize,
 }
 
 /// TKCM imputation of a single missing value over a streaming window.
@@ -191,7 +210,6 @@ impl TkcmImputer {
             ));
         }
         let l = self.config.pattern_length;
-        let k = self.config.anchor_count;
         let mut timer = PhaseTimer::new();
 
         // -------- Step 1: pattern extraction --------
@@ -259,9 +277,37 @@ impl TkcmImputer {
             }
         }
 
+        self.select_and_impute(
+            window,
+            target,
+            references,
+            now,
+            &candidate_ages,
+            &dissimilarities,
+            timer,
+        )
+    }
+
+    /// Steps 2 and 3 — pattern selection and value imputation — shared
+    /// verbatim by the exact, maintained and pruned extraction paths, so the
+    /// bit-identity of the pruned path cannot drift through a divergent tail.
+    #[allow(clippy::too_many_arguments)]
+    fn select_and_impute(
+        &self,
+        window: &StreamingWindow,
+        target: SeriesId,
+        references: &[SeriesId],
+        now: Timestamp,
+        candidate_ages: &[usize],
+        dissimilarities: &[f64],
+        mut timer: PhaseTimer,
+    ) -> Result<ImputationDetail, TsError> {
+        let l = self.config.pattern_length;
+        let k = self.config.anchor_count;
+
         // -------- Step 2: pattern selection --------
         timer.start(Phase::Selection);
-        let selection = select_anchors(self.config.selection, &dissimilarities, l, k);
+        let selection = select_anchors(self.config.selection, dissimilarities, l, k);
 
         // -------- Step 3: value imputation --------
         timer.start(Phase::Imputation);
@@ -301,6 +347,310 @@ impl TkcmImputer {
             fallback,
             breakdown: timer.breakdown(),
         })
+    }
+
+    /// Exact dissimilarity of the candidate anchored `age` ticks back — the
+    /// identical expression the exhaustive path uses, so a shortlisted
+    /// candidate's `D[j]` is bit-equal in both paths.
+    ///
+    /// The exhaustive path materializes a [`Pattern`] per candidate and
+    /// calls `Dissimilarity::distance`; doing that per *shortlisted*
+    /// candidate would put an allocation on the pruned hot path, so this
+    /// reads the window directly and folds the pairs through the same
+    /// `l2_components` recurrence in the same order — reference-major,
+    /// chronological within a reference, `sum += (x−y)·(x−y)` left to right,
+    /// then [`l2_from_components`] — which makes the result bit-equal, not
+    /// just approximately equal.  (The pruned path only runs for measures
+    /// with `supports_incremental()`, whose documented contract is exactly
+    /// "decomposes into `l2_components`".)
+    fn exact_candidate(
+        &self,
+        window: &StreamingWindow,
+        references: &[SeriesId],
+        query: &Pattern,
+        age: usize,
+    ) -> Result<f64, TsError> {
+        let l = self.config.pattern_length;
+        let allow_missing = self.config.allow_missing_in_patterns;
+        let mut sum_sq = 0.0f64;
+        let mut observed = 0usize;
+        for (ri, &r) in references.iter().enumerate() {
+            // Column 0 is the oldest tick — same walk as
+            // `extract_pattern_at_age`.
+            for (col, &q_slot) in query.row(ri).iter().enumerate() {
+                let x = window.value_recent(r, age + (l - 1 - col))?;
+                if x.is_none() && !allow_missing {
+                    // Strict extraction would return `None` ⇒ `D = +∞`.
+                    return Ok(f64::INFINITY);
+                }
+                if let (Some(x), Some(y)) = (x, q_slot) {
+                    sum_sq += (x - y) * (x - y);
+                    observed += 1;
+                }
+            }
+        }
+        Ok(l2_from_components(sum_sq, observed, references.len() * l))
+    }
+
+    /// Imputes like [`TkcmImputer::impute`], but uses the signature `index`
+    /// to *prune* the candidate space before exact evaluation: a gap-aware
+    /// lower bound `LB[j] ≤ D[j]` is compared against the float sum `τ` of a
+    /// feasible k-anchor solution, and candidates with `LB[j] > τ` are
+    /// provably outside every optimal selection, so their `D[j]` stays `+∞`
+    /// unevaluated.  The result is **bit-identical** to
+    /// [`TkcmImputer::impute`] — see the admissibility argument in
+    /// [`crate::signature`] and the float-level proof in the comments below.
+    ///
+    /// Requires dynamic-programming selection (the sum-objective the bound
+    /// is admissible for) and an incrementally decomposable dissimilarity
+    /// (L2), and `index` must be in lock-step with `window`; the streaming
+    /// engine manages this automatically when `TkcmConfig::pruning` is on.
+    pub fn impute_pruned(
+        &self,
+        window: &StreamingWindow,
+        target: SeriesId,
+        references: &[SeriesId],
+        index: &SignatureIndex,
+    ) -> Result<(ImputationDetail, PruneStats), TsError> {
+        self.impute_pruned_impl(window, target, references, index, 1.0)
+    }
+
+    /// Test-only entry: like [`TkcmImputer::impute_pruned`] but inflating
+    /// every lower bound by `factor` — a deliberately *inadmissible* bound
+    /// for `factor > 1`.  Exists so the equivalence suite can prove it
+    /// detects over-pruning; never call it with `factor != 1.0` outside
+    /// tests.
+    #[doc(hidden)]
+    pub fn impute_pruned_with_inflation(
+        &self,
+        window: &StreamingWindow,
+        target: SeriesId,
+        references: &[SeriesId],
+        index: &SignatureIndex,
+        factor: f64,
+    ) -> Result<(ImputationDetail, PruneStats), TsError> {
+        self.impute_pruned_impl(window, target, references, index, factor)
+    }
+
+    fn impute_pruned_impl(
+        &self,
+        window: &StreamingWindow,
+        target: SeriesId,
+        references: &[SeriesId],
+        index: &SignatureIndex,
+        inflate: f64,
+    ) -> Result<(ImputationDetail, PruneStats), TsError> {
+        if self.config.selection != SelectionStrategy::DynamicProgramming {
+            return Err(TsError::invalid(
+                "selection",
+                "signature pruning is only admissible for the dynamic-programming \
+                 sum objective; greedy/overlapping selection must run exhaustively",
+            ));
+        }
+        if !self.supports_incremental() {
+            return Err(TsError::invalid(
+                "dissimilarity",
+                "signature pruning requires the decomposable L2 measure",
+            ));
+        }
+        if !index.is_synced(window) || index.width() != window.width() {
+            return Err(TsError::invalid(
+                "signature",
+                "signature index is not in lock-step with the window",
+            ));
+        }
+        let now = window
+            .current_time()
+            .ok_or_else(|| TsError::invalid("window", "no tick has been pushed yet"))?;
+        if references.is_empty() {
+            return Err(TsError::invalid(
+                "references",
+                "TKCM needs at least one reference series",
+            ));
+        }
+        let l = self.config.pattern_length;
+        let k = self.config.anchor_count;
+        let mut timer = PhaseTimer::new();
+
+        // -------- Step 1: pattern extraction, pruned --------
+        timer.start(Phase::Extraction);
+        let filled = window.filled();
+        let mut dissimilarities: Vec<f64> = Vec::new();
+        let mut candidate_ages: Vec<usize> = Vec::new();
+        let mut stats = PruneStats::default();
+        if filled >= 2 * l {
+            let oldest_age = filled - l;
+            let newest_age = l;
+            for age in (newest_age..=oldest_age).rev() {
+                candidate_ages.push(age);
+            }
+            let j = candidate_ages.len();
+            stats.candidates = j;
+            dissimilarities = vec![f64::INFINITY; j];
+            let query = extract_query_pattern(
+                window,
+                references,
+                l,
+                self.config.allow_missing_in_patterns,
+            )?;
+            if let Some(ref q) = query {
+                // Lower-bound pass: O(J · d · l / B) against the block
+                // envelopes instead of O(J · d · l) exact extraction.  The
+                // query side of the bound is the exact extracted pattern
+                // (range tables built once, reused for every candidate).
+                let rows: Vec<&[Option<f64>]> = (0..references.len()).map(|ri| q.row(ri)).collect();
+                let sig_query = SignatureQuery::new(&rows);
+                let mut lb = vec![0.0f64; j];
+                let mut open = vec![true; j];
+                for (idx, &age) in candidate_ages.iter().enumerate() {
+                    // Same O(1) anchor-provenance disqualification as the
+                    // exhaustive path: anchors need an observed target value.
+                    if window.slot_recent(target, age)?.state != SlotState::Observed {
+                        open[idx] = false;
+                        continue;
+                    }
+                    let (lb_sq, certain_missing) =
+                        index.lower_bound_sq_with_query(references, age, l, &sig_query);
+                    if certain_missing && !self.config.allow_missing_in_patterns {
+                        // A block fully inside the candidate range has a
+                        // missing slot, so strict extraction returns `None`
+                        // and `D = +∞` *exactly* — no evaluation needed.
+                        open[idx] = false;
+                        stats.pruned += 1;
+                        continue;
+                    }
+                    lb[idx] = (lb_sq * inflate).max(0.0).sqrt();
+                }
+
+                let mut evaluated = vec![false; j];
+                // Seed: a feasible set of k non-overlapping finite-D
+                // candidates, found greedily in ascending-LB order (ties by
+                // index) so its sum τ is tight.  Candidate ages are
+                // consecutive, so candidates overlap iff their indices are
+                // closer than l.
+                let mut order: Vec<usize> = (0..j).filter(|&i| open[i]).collect();
+                // Partial selection instead of a full O(J log J) sort: only
+                // the smallest-LB pool can seed, and the pool is large
+                // enough that k non-overlapping members essentially always
+                // exist (each seed excludes < 2l neighbours).  Seed choice
+                // only affects how *tight* τ is — any feasible seed keeps
+                // the pruning admissible — so truncation never costs
+                // correctness, and the earliest-end fallback below covers
+                // the degenerate pool.
+                let pool = (4 * k * l).max(256);
+                if order.len() > pool {
+                    order.select_nth_unstable_by(pool, |&a, &b| {
+                        lb[a].total_cmp(&lb[b]).then(a.cmp(&b))
+                    });
+                    order.truncate(pool);
+                }
+                order.sort_by(|&a, &b| lb[a].total_cmp(&lb[b]).then(a.cmp(&b)));
+                let mut seed: Vec<usize> = Vec::new();
+                for &idx in &order {
+                    if seed.len() == k {
+                        break;
+                    }
+                    if seed.iter().any(|&p| idx.abs_diff(p) < l) {
+                        continue;
+                    }
+                    if !evaluated[idx] {
+                        dissimilarities[idx] =
+                            self.exact_candidate(window, references, q, candidate_ages[idx])?;
+                        evaluated[idx] = true;
+                        stats.shortlisted += 1;
+                    }
+                    if dissimilarities[idx].is_finite() {
+                        seed.push(idx);
+                    }
+                }
+                if seed.len() < k {
+                    // Retry earliest-end greedy, which maximises the number
+                    // of non-overlapping finite candidates.
+                    seed.clear();
+                    let mut next_free = 0usize;
+                    for idx in 0..j {
+                        if seed.len() == k {
+                            break;
+                        }
+                        if idx < next_free || !open[idx] {
+                            continue;
+                        }
+                        if !evaluated[idx] {
+                            dissimilarities[idx] =
+                                self.exact_candidate(window, references, q, candidate_ages[idx])?;
+                            evaluated[idx] = true;
+                            stats.shortlisted += 1;
+                        }
+                        if dissimilarities[idx].is_finite() {
+                            seed.push(idx);
+                            next_free = idx + l;
+                        }
+                    }
+                }
+                if seed.len() >= k {
+                    // τ is the *float* value the DP assigns to the seed
+                    // subset: the DP accumulates "take" steps innermost-
+                    // first by ascending candidate index (`D[j_i] + acc`),
+                    // so folding the seed the same way gives exactly
+                    // `m_exact[k][J] ≤ τ` at the bit level.  Any candidate
+                    // with `D > τ` then satisfies: every DP cell on a path
+                    // through it has fl-value > τ (an fl-sum of nonnegative
+                    // terms is ≥ each term), so all cells with value ≤ τ —
+                    // including the whole backtrack of the optimal solution
+                    // — are unchanged by leaving such candidates at +∞.
+                    seed.sort_unstable();
+                    let mut tau = 0.0f64;
+                    for &idx in &seed {
+                        // Written `D + acc`, not `acc + D`, to mirror the
+                        // DP's take-step expression verbatim (IEEE addition
+                        // is commutative, but the proof reads better when
+                        // the expressions match token for token).
+                        #[allow(clippy::assign_op_pattern)]
+                        {
+                            tau = dissimilarities[idx] + tau;
+                        }
+                    }
+                    // The slack only *reduces* pruning (never admits an
+                    // unsafe prune): LB > τ·(1+ε) ⇒ D ≥ LB > τ.
+                    let threshold = tau * (1.0 + 1e-9);
+                    for idx in 0..j {
+                        if !open[idx] || evaluated[idx] {
+                            continue;
+                        }
+                        if lb[idx] > threshold {
+                            stats.pruned += 1;
+                            continue;
+                        }
+                        dissimilarities[idx] =
+                            self.exact_candidate(window, references, q, candidate_ages[idx])?;
+                        evaluated[idx] = true;
+                        stats.shortlisted += 1;
+                    }
+                } else {
+                    // No feasible k-solution certified: fall back to the
+                    // exhaustive sweep (rare — degenerate windows).
+                    for idx in 0..j {
+                        if open[idx] && !evaluated[idx] {
+                            dissimilarities[idx] =
+                                self.exact_candidate(window, references, q, candidate_ages[idx])?;
+                            evaluated[idx] = true;
+                            stats.shortlisted += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        let detail = self.select_and_impute(
+            window,
+            target,
+            references,
+            now,
+            &candidate_ages,
+            &dissimilarities,
+            timer,
+        )?;
+        Ok((detail, stats))
     }
 
     /// Aggregates the anchor values into the imputed value.

@@ -29,6 +29,10 @@
 //!    pattern-determination property (Definition 5) used in Figure 13.
 //! 7. **Phase timing** ([`diagnostics`]): pattern-extraction vs
 //!    pattern-selection breakdown reported in Section 7.4.
+//! 8. **Candidate pruning** ([`signature`]): a block-quantized signature
+//!    index over the candidate space whose gap-aware lower bounds shortlist
+//!    candidates admissibly — the pruned path is bit-identical to the
+//!    exhaustive one, with `TkcmConfig::pruning = false` as the opt-out.
 //!
 //! ## Quick start
 //!
@@ -83,14 +87,16 @@ pub mod incremental;
 pub mod pattern;
 pub mod persist;
 pub mod selection;
+pub mod signature;
 
 pub use config::{TkcmConfig, TkcmConfigBuilder};
 pub use consistency::{epsilon_of_anchors, ConsistencyReport};
 pub use diagnostics::{PhaseBreakdown, PhaseTimer};
 pub use dissimilarity::{Dissimilarity, DtwDistance, L1Distance, L2Distance};
 pub use engine::{EngineOutcome, Imputation, TkcmEngine};
-pub use imputer::{ImputationDetail, TkcmImputer};
+pub use imputer::{ImputationDetail, PruneStats, TkcmImputer};
 pub use incremental::IncrementalDissimilarity;
 pub use pattern::{extract_pattern, extract_pattern_at_age, extract_query_pattern, Pattern};
 pub use persist::{WalEntry, WalWriteBack};
 pub use selection::{select_anchors_dp, select_anchors_greedy, AnchorSelection, SelectionStrategy};
+pub use signature::{BlockSummary, SignatureIndex, SignatureQuery, SIGNATURE_BLOCK_LEN};

@@ -28,6 +28,7 @@ use crate::engine::{Maintainer, TkcmEngine};
 use crate::imputer::TkcmImputer;
 use crate::incremental::IncrementalDissimilarity;
 use crate::selection::SelectionStrategy;
+use crate::signature::{BlockSummary, SignatureIndex, SIGNATURE_BLOCK_LEN};
 
 /// One write-back logged alongside the tick that produced it: the imputed
 /// series, the reference set that served the imputation (needed to recreate
@@ -156,6 +157,7 @@ impl Snapshot for TkcmConfig {
         self.selection.write_into(enc)?;
         enc.bool(self.allow_missing_in_patterns);
         enc.bool(self.incremental);
+        enc.bool(self.pruning);
         Ok(())
     }
 
@@ -169,6 +171,7 @@ impl Snapshot for TkcmConfig {
             selection: SelectionStrategy::read_from(dec)?,
             allow_missing_in_patterns: dec.bool()?,
             incremental: dec.bool()?,
+            pruning: dec.bool()?,
         };
         config
             .validate()
@@ -272,6 +275,107 @@ impl Snapshot for IncrementalDissimilarity {
     }
 }
 
+impl Snapshot for BlockSummary {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        enc.f64(self.min);
+        enc.f64(self.max);
+        enc.u32(self.missing);
+        enc.f64(self.sum);
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        // ±∞ round-trip fine through the to_bits encoding; NaN envelopes
+        // would poison every gap comparison, so they are refused.  A NaN
+        // *sum* is legitimate — it is the poisoned state an observed-slot
+        // overwrite leaves behind (the mean bound is skipped for it).
+        let min = dec.f64()?;
+        let max = dec.f64()?;
+        let missing = dec.u32()?;
+        let sum = dec.f64()?;
+        if min.is_nan() || max.is_nan() {
+            return Err(StoreError::invalid("NaN in a block summary envelope"));
+        }
+        if u64::from(missing) > u64::from(SIGNATURE_BLOCK_LEN) {
+            return Err(StoreError::invalid(format!(
+                "block summary missing count {missing} exceeds the block length \
+                 {SIGNATURE_BLOCK_LEN}"
+            )));
+        }
+        Ok(BlockSummary {
+            min,
+            max,
+            missing,
+            sum,
+        })
+    }
+}
+
+impl Snapshot for SignatureIndex {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        // The block length is part of the decoded geometry: refuse to read
+        // snapshots written with a different quantization than this build's
+        // SIGNATURE_BLOCK_LEN rather than misalign every envelope.
+        enc.u32(SIGNATURE_BLOCK_LEN);
+        enc.usize(self.width);
+        enc.usize(self.window_length);
+        enc.u64(self.base_ordinal);
+        enc.u64(self.ticks_seen);
+        enc.usize(self.blocks.len());
+        for series in &self.blocks {
+            series.write_into(enc)?;
+        }
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        let block_len = dec.u32()?;
+        if block_len != SIGNATURE_BLOCK_LEN {
+            return Err(StoreError::invalid(format!(
+                "signature index block length {block_len} does not match this \
+                 build's {SIGNATURE_BLOCK_LEN}"
+            )));
+        }
+        let width = dec.usize()?;
+        let window_length = dec.usize()?;
+        let base_ordinal = dec.u64()?;
+        let ticks_seen = dec.u64()?;
+        let series_count = dec.seq_len()?;
+        if width == 0 || window_length == 0 || series_count != width {
+            return Err(StoreError::invalid(
+                "signature index snapshot dimensions are inconsistent",
+            ));
+        }
+        let mut blocks = Vec::with_capacity(series_count);
+        let mut block_count: Option<usize> = None;
+        for _ in 0..series_count {
+            let series: Vec<BlockSummary> = Vec::read_from(dec)?;
+            match block_count {
+                None => block_count = Some(series.len()),
+                Some(n) if n != series.len() => {
+                    return Err(StoreError::invalid(
+                        "signature index series have differing block counts",
+                    ));
+                }
+                Some(_) => {}
+            }
+            blocks.push(series);
+        }
+        if base_ordinal % u64::from(SIGNATURE_BLOCK_LEN) != 0 || base_ordinal > ticks_seen {
+            return Err(StoreError::invalid(
+                "signature index base ordinal is not block-aligned inside the stream",
+            ));
+        }
+        Ok(SignatureIndex {
+            width,
+            window_length,
+            base_ordinal,
+            ticks_seen,
+            blocks,
+        })
+    }
+}
+
 impl Snapshot for TkcmEngine {
     fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
         if self.imputer.dissimilarity_name() != L2Distance.name() {
@@ -293,6 +397,13 @@ impl Snapshot for TkcmEngine {
         for m in &self.maintainers {
             m.state.write_into(enc)?;
             enc.usize(m.last_used);
+        }
+        match &self.signatures {
+            Some(index) => {
+                enc.bool(true);
+                index.write_into(enc)?;
+            }
+            None => enc.bool(false),
         }
         Ok(())
     }
@@ -323,7 +434,34 @@ impl Snapshot for TkcmEngine {
             }
             maintainers.push(Maintainer { state, last_used });
         }
+        let signatures = if dec.bool()? {
+            let index = SignatureIndex::read_from(dec)?;
+            if index.width() != window.width() {
+                return Err(StoreError::invalid(
+                    "signature index width does not match the window",
+                ));
+            }
+            if !index.is_synced(&window) {
+                return Err(StoreError::invalid(
+                    "signature index is not in lock-step with the window snapshot",
+                ));
+            }
+            Some(index)
+        } else {
+            None
+        };
         let imputer = TkcmImputer::new(config).map_err(|e| StoreError::invalid(e.to_string()))?;
+        // Presence of the index must agree with what this configuration
+        // activates — a pruned engine recovered without its index (or the
+        // converse) would silently change the imputation path.
+        let expects_index = crate::engine::signature_for(window.width(), &imputer)
+            .map_err(|e| StoreError::invalid(e.to_string()))?
+            .is_some();
+        if expects_index != signatures.is_some() {
+            return Err(StoreError::invalid(
+                "signature index presence does not match the engine configuration",
+            ));
+        }
         Ok(TkcmEngine {
             imputer,
             window,
@@ -332,6 +470,8 @@ impl Snapshot for TkcmEngine {
             imputation_count,
             tick_count,
             maintainers,
+            signatures,
+            prune_totals: crate::imputer::PruneStats::default(),
         })
     }
 }
@@ -392,6 +532,7 @@ mod tests {
         broken.selection.write_into(&mut enc).unwrap();
         enc.bool(broken.allow_missing_in_patterns);
         enc.bool(broken.incremental);
+        enc.bool(broken.pruning);
         assert!(decode_from_slice::<TkcmConfig>(&enc.into_bytes()).is_err());
     }
 
@@ -457,6 +598,34 @@ mod tests {
             }
             assert_eq!(a.skipped, b.skipped);
         }
+    }
+
+    #[test]
+    fn signature_index_round_trips_and_rejects_corruption() {
+        // Build a live index via an engine run; it must round-trip bit-exactly
+        // (including envelopes widened by write-backs).
+        let engine = run_engine(120);
+        let index = engine.signatures.clone().expect("default config prunes");
+        assert_eq!(round_trip(&index), index);
+
+        // A foreign block length is refused instead of misreading geometry.
+        let mut enc = Encoder::new();
+        enc.u32(SIGNATURE_BLOCK_LEN + 1);
+        enc.usize(1);
+        enc.usize(64);
+        enc.u64(0);
+        enc.u64(0);
+        enc.usize(1);
+        let empty: Vec<BlockSummary> = Vec::new();
+        empty.write_into(&mut enc).unwrap();
+        assert!(decode_from_slice::<SignatureIndex>(&enc.into_bytes()).is_err());
+
+        // A NaN envelope is refused.
+        let mut enc = Encoder::new();
+        enc.f64(f64::NAN);
+        enc.f64(1.0);
+        enc.u32(0);
+        assert!(decode_from_slice::<BlockSummary>(&enc.into_bytes()).is_err());
     }
 
     #[test]

@@ -156,11 +156,15 @@ proptest! {
         let total = capacity * 2; // wrap the ring at least once
         let gap_start = (total as f64 * gap_start_frac) as usize;
         let l = 3;
+        // This property contrasts the PR-2 incremental path with the exact
+        // recompute path, so signature pruning (which replaces maintainers
+        // entirely) is switched off for both engines.
         let base = TkcmConfig::builder()
             .window_length(capacity)
             .pattern_length(l)
             .anchor_count(3)
             .reference_count(2)
+            .pruning(false)
             .build()
             .unwrap();
         let exact_config = TkcmConfig::builder()
@@ -169,6 +173,7 @@ proptest! {
             .pattern_length(l)
             .anchor_count(3)
             .reference_count(2)
+            .pruning(false)
             .build()
             .unwrap();
         prop_assert!(base.incremental);

@@ -1,0 +1,315 @@
+//! Equivalence and admissibility properties of the signature-index pruned
+//! candidate path (PR 7).
+//!
+//! Three families:
+//!
+//! 1. **Bit-identity** — an engine on the pruned path must produce *bitwise*
+//!    the same imputations as an engine on the exhaustive exact path, across
+//!    random periods, gap placements, pattern lengths and window capacities,
+//!    with ring wrap-around and imputed write-backs in the mix.  (The PR-2
+//!    incremental path is only tolerance-equivalent to exact, so the pruned
+//!    path is compared against the *exhaustive* recompute, which it matches
+//!    bit for bit — see `signature.rs` for the float-level argument.)
+//! 2. **Admissibility** — the signature lower bound never exceeds the exact
+//!    dissimilarity of any candidate, so a pruned candidate (LB > τ) can
+//!    never belong to the k-NN anchor set.
+//! 3. **Inadmissible fixture** — a deliberately inflated (hence wrong) bound
+//!    must make the equivalence check *fail*, proving the suite detects
+//!    over-pruning rather than vacuously passing.
+
+use proptest::prelude::*;
+
+use tkcm_core::{
+    extract_pattern, extract_query_pattern, Dissimilarity, L2Distance, SignatureIndex,
+    SignatureQuery, TkcmConfig, TkcmEngine, TkcmImputer,
+};
+use tkcm_timeseries::{Catalog, SeriesId, StreamTick, StreamingWindow, Timestamp};
+
+/// From-scratch `D` at one candidate lag, computed exactly like the exact
+/// imputer path (pattern extraction + the L2 distance of Definition 2).
+fn from_scratch_d(
+    window: &StreamingWindow,
+    refs: &[SeriesId],
+    l: usize,
+    lag: usize,
+    allow_missing: bool,
+) -> f64 {
+    let now = window.current_time().unwrap();
+    let Some(query) = extract_query_pattern(window, refs, l, allow_missing).unwrap() else {
+        return f64::INFINITY;
+    };
+    match extract_pattern(window, refs, now - lag as i64, l, allow_missing).unwrap() {
+        Some(candidate) => L2Distance.distance(&candidate, &query),
+        None => f64::INFINITY,
+    }
+}
+
+proptest! {
+    /// An engine with signature pruning enabled is bitwise indistinguishable
+    /// from an engine on the exhaustive exact path: same skipped series,
+    /// same imputation times, same anchors and the same value *bits*, over
+    /// random integer sawtooths with random gaps, long enough to wrap the
+    /// ring at least once (write-backs happen inside `process_tick`).
+    #[test]
+    fn pruned_engine_is_bit_identical_to_exhaustive(
+        period in 16u64..200,
+        shift1 in 0u64..97,
+        shift2 in 0u64..53,
+        gap_start_frac in 0.2f64..0.7,
+        gap_len in 3usize..24,
+        capacity in 48usize..160,
+        l in 3usize..10,
+    ) {
+        let width = 3;
+        let k = 2;
+        let window_length = capacity.max((k + 1) * l);
+        let total = window_length * 2 + 40; // wrap the ring at least once
+        let gap_start = (total as f64 * gap_start_frac) as usize;
+
+        let mk = |pruning: bool, incremental: bool| {
+            let config = TkcmConfig::builder()
+                .window_length(window_length)
+                .pattern_length(l)
+                .anchor_count(k)
+                .reference_count(2)
+                .incremental(incremental)
+                .pruning(pruning)
+                .build()
+                .unwrap();
+            TkcmEngine::new(width, config, Catalog::ring_neighbours(width)).unwrap()
+        };
+        let mut pruned = mk(true, true);
+        let mut exhaustive = mk(false, false);
+        prop_assert!(pruned.is_pruned());
+        prop_assert!(!exhaustive.is_pruned());
+
+        let saw = |t: usize, shift: u64| ((t as u64 + shift) % period) as f64;
+        for t in 0..total {
+            let s0_missing =
+                (gap_start..gap_start + gap_len).contains(&t) || (t > 30 && t % 11 == 7);
+            let tick = StreamTick::new(
+                Timestamp::new(t as i64),
+                vec![
+                    if s0_missing { None } else { Some(saw(t, 0)) },
+                    Some(saw(t, shift1)),
+                    Some(saw(t, shift2)),
+                ],
+            );
+            let a = pruned.process_tick(&tick).unwrap();
+            let b = exhaustive.process_tick(&tick).unwrap();
+
+            prop_assert_eq!(&a.skipped, &b.skipped);
+            prop_assert_eq!(a.imputations.len(), b.imputations.len());
+            for (x, y) in a.imputations.iter().zip(b.imputations.iter()) {
+                prop_assert_eq!(x.series, y.series);
+                prop_assert_eq!(x.time, y.time);
+                prop_assert!(
+                    x.value.to_bits() == y.value.to_bits(),
+                    "tick {}: pruned {} vs exhaustive {}",
+                    t,
+                    x.value,
+                    y.value
+                );
+                prop_assert_eq!(&x.detail.anchors, &y.detail.anchors);
+                prop_assert_eq!(x.detail.complete, y.detail.complete);
+                prop_assert_eq!(x.detail.fallback, y.detail.fallback);
+            }
+        }
+        prop_assert_eq!(
+            pruned.imputations_performed(),
+            exhaustive.imputations_performed()
+        );
+        prop_assert_eq!(pruned.prune_totals().candidates > 0, pruned.imputations_performed() > 0);
+    }
+
+    /// Admissibility of the bound itself: for every candidate lag the
+    /// signature lower bound is at most the exact dissimilarity (in both
+    /// missing-value modes — the bound is on the unscaled column sum, which
+    /// the allow-missing rescale only inflates), and a `certain_missing`
+    /// verdict implies the strict-mode dissimilarity really is infinite.
+    /// Streams carry random gaps, run past one window (ring wrap) and are
+    /// perturbed by write-backs at random ages before checking.
+    #[test]
+    fn lower_bound_never_exceeds_the_exact_dissimilarity(
+        v1 in proptest::collection::vec(proptest::option::of(-100.0f64..100.0), 40..140),
+        v2 in proptest::collection::vec(proptest::option::of(-100.0f64..100.0), 40..140),
+        capacity in 16usize..48,
+        l_raw in 2usize..6,
+        write_ages in proptest::collection::vec(0usize..48, 0..6),
+    ) {
+        let width = 3;
+        let l = l_raw.min(capacity / 2).max(1);
+        let refs = vec![SeriesId(1), SeriesId(2)];
+        let mut window = StreamingWindow::new(width, capacity);
+        let mut index = SignatureIndex::new(width, capacity).unwrap();
+
+        let len = v1.len().min(v2.len());
+        for t in 0..len {
+            let values = vec![Some(t as f64 * 0.5), v1[t], v2[t]];
+            window
+                .push_tick(&StreamTick::new(Timestamp::new(t as i64), values.clone()))
+                .expect("tick accepted");
+            index.on_push(&values).expect("push accepted");
+        }
+        for (i, &age) in write_ages.iter().enumerate() {
+            let age = age % window.filled();
+            for id in &refs {
+                let old = window.value_recent(*id, age).expect("valid age");
+                let value = i as f64 * 1.7 - 3.0;
+                window.write_imputed(*id, age, value).expect("write accepted");
+                index.on_write(*id, age, value, old.is_none());
+            }
+        }
+        prop_assert!(index.is_synced(&window));
+
+        let filled = window.filled();
+        if filled >= 2 * l {
+            // The query-exact bound variant the imputer actually uses: range
+            // tables over the extracted query pattern (allow-missing mode so
+            // gaps land in the query side too).
+            let query = extract_query_pattern(&window, &refs, l, true).expect("valid geometry");
+            let sig_query = query.as_ref().map(|q| {
+                let rows: Vec<&[Option<f64>]> = (0..refs.len()).map(|ri| q.row(ri)).collect();
+                SignatureQuery::new(&rows)
+            });
+            for lag in l..=(filled - l) {
+                let (lb_env_sq, certain_missing) = index.lower_bound_sq(&refs, lag, l);
+                let (lb_query_sq, certain_missing_q) = match &sig_query {
+                    Some(sq) => index.lower_bound_sq_with_query(&refs, lag, l, sq),
+                    None => (0.0, false),
+                };
+                for lb_sq in [lb_env_sq, lb_query_sq] {
+                    prop_assert!(lb_sq.is_finite() && lb_sq >= 0.0);
+                    for allow_missing in [false, true] {
+                        let exact = from_scratch_d(&window, &refs, l, lag, allow_missing);
+                        if exact.is_finite() {
+                            prop_assert!(
+                                lb_sq <= exact * exact * (1.0 + 1e-12),
+                                "lag {}: lower bound {} exceeds exact D² {}",
+                                lag,
+                                lb_sq,
+                                exact * exact
+                            );
+                        }
+                    }
+                }
+                if certain_missing_q {
+                    let strict = from_scratch_d(&window, &refs, l, lag, false);
+                    prop_assert!(
+                        strict.is_infinite(),
+                        "lag {}: query-bound certain_missing but strict D = {}",
+                        lag,
+                        strict
+                    );
+                }
+                if certain_missing {
+                    let strict = from_scratch_d(&window, &refs, l, lag, false);
+                    prop_assert!(
+                        strict.is_infinite(),
+                        "lag {}: certain_missing but strict D = {}",
+                        lag,
+                        strict
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Builds the inadmissibility fixture: a window + synced signature index in
+/// which the true nearest candidate (an off-by-one copy of the query, D = 4)
+/// has a *non-zero* lower bound, while a decoy candidate (alternating values
+/// whose envelope straddles the query, D = 360) has a lower bound of exactly
+/// zero.  With admissible bounds the pruned path finds the copy; inflating
+/// the bounds prunes it and the decoy wins — a detectably different answer.
+fn inadmissible_fixture() -> (StreamingWindow, SignatureIndex, TkcmImputer) {
+    let width = 2;
+    let capacity = 256usize;
+    let l = 16usize; // one full signature block, so the query aligns with it
+    let config = TkcmConfig::builder()
+        .window_length(capacity)
+        .pattern_length(l)
+        .anchor_count(1)
+        .reference_count(1)
+        .build()
+        .unwrap();
+    let imputer = TkcmImputer::new(config).unwrap();
+    let mut window = StreamingWindow::new(width, capacity);
+    let mut index = SignatureIndex::new(width, capacity).unwrap();
+
+    let total = 256usize;
+    for t in 0..total {
+        let age = total - 1 - t; // age of this tick once all pushes are done
+        let reference = if age < 16 {
+            10.0 // the query block: envelope [10, 10]
+        } else if (96..112).contains(&age) {
+            9.0 // true nearest: per-column diff 1 ⇒ D = 4, LB = 4 (tight)
+        } else if (32..48).contains(&age) {
+            // decoy: alternating −80/100 straddles the query envelope, so its
+            // block gap — and with it the lower bound — is exactly 0, while
+            // the exact D is 360 (|diff| = 90 in every column).
+            if age.is_multiple_of(2) {
+                100.0
+            } else {
+                -80.0
+            }
+        } else {
+            -80.0 // background: gap 90 ⇒ LB = D = 360
+        };
+        // The target is a ramp (distinct value at every age) so different
+        // anchors produce different imputed values; its newest value is the
+        // missing one being imputed.
+        let target = if age == 0 {
+            None
+        } else {
+            Some(t as f64 * 0.25)
+        };
+        let values = vec![target, Some(reference)];
+        window
+            .push_tick(&StreamTick::new(Timestamp::new(t as i64), values.clone()))
+            .expect("tick accepted");
+        index.on_push(&values).expect("push accepted");
+    }
+    (window, index, imputer)
+}
+
+/// With the true bound (factor 1) the pruned path matches the exhaustive
+/// path bit for bit; with a deliberately inflated — hence inadmissible —
+/// bound the true nearest candidate is pruned away and the imputed value
+/// visibly changes.  This is the negative control of the equivalence suite:
+/// if over-pruning ever happens, these comparisons are what catches it.
+#[test]
+fn inflated_bounds_are_caught_by_the_equivalence_check() {
+    let (window, index, imputer) = inadmissible_fixture();
+    let target = SeriesId(0);
+    let refs = vec![SeriesId(1)];
+
+    let exact = imputer.impute(&window, target, &refs).unwrap();
+    let (pruned, _) = imputer
+        .impute_pruned(&window, target, &refs, &index)
+        .unwrap();
+    assert_eq!(
+        pruned.value.to_bits(),
+        exact.value.to_bits(),
+        "admissible bounds must reproduce the exhaustive answer bitwise"
+    );
+    assert_eq!(pruned.anchors, exact.anchors);
+
+    let (inflated, stats) = imputer
+        .impute_pruned_with_inflation(&window, target, &refs, &index, 1e6)
+        .unwrap();
+    assert!(
+        stats.pruned > 0,
+        "the inflated bound must actually prune candidates: {stats:?}"
+    );
+    assert_ne!(
+        inflated.anchors, exact.anchors,
+        "an inadmissible bound prunes the true nearest candidate, so the \
+         equivalence check must observe a different anchor set"
+    );
+    assert_ne!(
+        inflated.value.to_bits(),
+        exact.value.to_bits(),
+        "…and a different imputed value"
+    );
+}

@@ -14,6 +14,7 @@ pub mod crash_recovery;
 pub mod epsilon;
 pub mod fleet;
 pub mod pattern_length;
+pub mod pruning;
 pub mod recovery;
 pub mod runtime;
 

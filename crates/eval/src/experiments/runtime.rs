@@ -159,6 +159,10 @@ fn phase_shares_for(scale: Scale, k: usize, incremental: bool) -> PhaseShares {
         .anchor_count(k)
         .reference_count(3)
         .incremental(incremental)
+        // This experiment contrasts the Section 6.2 incremental path with
+        // the exact recompute path; signature pruning (PR 7) would replace
+        // both, so it is measured by its own `candidate_pruning` experiment.
+        .pruning(false)
         .build()
         .expect("valid config");
     let mut catalog = Catalog::new();

@@ -78,9 +78,17 @@ impl LintConfig {
                 .map(String::from)
                 .to_vec(),
             magic_literals: ["TKCMSNAP", "TKCMWAL0"].map(String::from).to_vec(),
-            version_consts: ["SNAPSHOT_FORMAT_VERSION", "WAL_FORMAT_VERSION"]
-                .map(String::from)
-                .to_vec(),
+            version_consts: [
+                "SNAPSHOT_FORMAT_VERSION",
+                "WAL_FORMAT_VERSION",
+                // On-disk geometry of the candidate-pruning signature index:
+                // the persisted per-block summaries are only comparable under
+                // one block length, so a second definition (or a silent edit)
+                // is a format break like any other.
+                "SIGNATURE_BLOCK_LEN",
+            ]
+            .map(String::from)
+            .to_vec(),
         }
     }
 }

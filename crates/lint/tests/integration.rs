@@ -22,6 +22,7 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"TKCMSNAP";
 pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
 pub const WAL_MAGIC: [u8; 8] = *b"TKCMWAL0";
 pub const WAL_FORMAT_VERSION: u32 = 1;
+pub const SIGNATURE_BLOCK_LEN: u32 = 16;
 pub trait Snapshot: Sized {
     fn write_into(&self, enc: &mut Encoder) -> Result<(), Error>;
     fn read_from(dec: &mut Decoder<'_>) -> Result<Self, Error>;

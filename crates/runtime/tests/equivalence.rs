@@ -160,6 +160,55 @@ proptest! {
     }
 }
 
+/// The signature-pruned candidate path (PR 7) must be bit-identical to the
+/// exhaustive exact path through the *sharded* runtime too: same fleet, same
+/// stream, 1/2/4 shards, one fleet with pruning on (the default) and one
+/// with both pruning and incremental maintenance off.  Integer sawtooths
+/// keep the arithmetic bit-reproducible and the envelopes informative.
+#[test]
+fn pruned_fleet_is_bit_identical_to_exhaustive_fleet_across_shard_counts() {
+    let width = 6;
+    let catalog = Catalog::ring_neighbours(width);
+    let mk_config = |pruning: bool| {
+        TkcmConfig::builder()
+            .window_length(320)
+            .pattern_length(16)
+            .anchor_count(2)
+            .reference_count(2)
+            .incremental(pruning)
+            .pruning(pruning)
+            .build()
+            .unwrap()
+    };
+    for shards in [1usize, 2, 4] {
+        let mut pruned =
+            ShardedEngine::new(width, mk_config(true), catalog.clone(), shards).unwrap();
+        let mut exhaustive =
+            ShardedEngine::new(width, mk_config(false), catalog.clone(), shards).unwrap();
+        let saw = |t: usize, shift: usize| ((t + shift * 29) % 128) as f64;
+        for t in 0..500usize {
+            let values: Vec<Option<f64>> = (0..width)
+                .map(|s| {
+                    if t > 60 && (t + 5 * s) % 13 < 2 {
+                        None
+                    } else {
+                        Some(saw(t, s))
+                    }
+                })
+                .collect();
+            let tick = StreamTick::new(Timestamp::new(t as i64), values);
+            let mut a = pruned.process_tick(&tick).unwrap();
+            let mut b = exhaustive.process_tick(&tick).unwrap();
+            strip_timing(&mut a);
+            strip_timing(&mut b);
+            assert!(
+                a == b,
+                "pruned fleet diverged at tick {t} with {shards} shards: {a:?} vs {b:?}"
+            );
+        }
+    }
+}
+
 #[test]
 fn width_one_fleet_works() {
     // Degenerate: a single series with no candidates; every missing tick is

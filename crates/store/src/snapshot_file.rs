@@ -28,8 +28,10 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"TKCMSNAP";
 /// `Snapshot` implementation's field order or width must bump this constant.
 ///
 /// Version history: 1 — initial layout (PR 4); 2 — the runtime's checkpoint
-/// manifest grew a group-commit sync-policy field (batched ingestion PR).
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
+/// manifest grew a group-commit sync-policy field (batched ingestion PR);
+/// 3 — the engine snapshot grew an optional signature index and the config
+/// grew the `pruning` flag (candidate-pruning PR).
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 3;
 
 /// Serialises `value` and writes it as a snapshot file at `path`
 /// (atomically, via `<path>.tmp` + rename).  Returns the file size in

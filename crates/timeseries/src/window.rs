@@ -121,6 +121,22 @@ impl StreamingWindow {
         self.ticks_seen.min(self.length)
     }
 
+    /// Absolute tick *ordinal* (0-based position in the whole stream, not a
+    /// timestamp) of the slot `age` ticks in the past, or `None` when fewer
+    /// than `age + 1` ticks have been pushed.  Ordinals are stable as the
+    /// ring wraps — slot `age` today and slot `age + 1` after the next push
+    /// share one ordinal — which is what block-aligned index structures
+    /// (e.g. the signature index of `tkcm-core`) key their summaries on.
+    pub fn ordinal_of_age(&self, age: usize) -> Option<u64> {
+        if age >= self.filled() {
+            return None;
+        }
+        // Stream-position arithmetic over the tick counter, not a timestamp
+        // derivation — timestamps always come from `self.times`.
+        // tkcm-lint: allow(cadence)
+        Some((self.ticks_seen - 1 - age) as u64)
+    }
+
     /// Pushes a new tick into the window (O(width), O(1) per series).
     ///
     /// Returns an error if the tick width does not match the window width or
@@ -427,6 +443,21 @@ mod tests {
         assert!(w.age_of(Timestamp::new(2999)).is_err());
         assert!(w.age_of(Timestamp::new(600)).is_err());
         assert!(w.age_of(Timestamp::new(3600)).is_err());
+    }
+
+    #[test]
+    fn ordinals_are_stable_across_ring_wrap() {
+        let mut w = StreamingWindow::new(1, 3);
+        assert_eq!(w.ordinal_of_age(0), None);
+        for t in 0..5i64 {
+            w.push_tick(&tick(t, vec![Some(t as f64)])).unwrap();
+        }
+        // Tick 4 is the newest (ordinal 4); tick 2 survives at age 2 even
+        // though the ring has wrapped once.
+        assert_eq!(w.ordinal_of_age(0), Some(4));
+        assert_eq!(w.ordinal_of_age(1), Some(3));
+        assert_eq!(w.ordinal_of_age(2), Some(2));
+        assert_eq!(w.ordinal_of_age(3), None);
     }
 
     #[test]

@@ -1,0 +1,379 @@
+//! Performance-regression gate over the benchmark trend JSON.
+//!
+//! The benchmark binaries (`fleet_throughput`, `recovery_bench`,
+//! `candidate_pruning`) each write a results file whose top level carries a
+//! *flat* `"trend"` object of gateable numbers — per-shard speedups,
+//! per-mode throughput, `pruned_fraction`, recovery speedups.  This crate
+//! reads those files, compares each trend field against the minimums in
+//! `BENCH_THRESHOLDS.toml` and fails CI (exit 1) when a metric regresses
+//! below its floor.
+//!
+//! Like `tkcm-lint`, the gate is dependency-free: it parses a deliberately
+//! tiny TOML subset (section headers + `key = value` lines) and scans the
+//! one flat JSON object it needs instead of pulling in a JSON parser.  The
+//! `--bless` flow rewrites the thresholds from observed values with a 30 %
+//! safety margin, so floors stay honest as the code gets faster without
+//! anyone hand-tuning numbers.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One gated results file: which JSON to read and the floor for each trend
+/// metric found in it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Gate {
+    /// Gate name (the second segment of the `[profile.gate]` section).
+    pub name: String,
+    /// Results file, relative to the directory passed on the command line.
+    pub file: String,
+    /// Metric name → minimum acceptable value.
+    pub minimums: BTreeMap<String, f64>,
+}
+
+/// Parsed `BENCH_THRESHOLDS.toml`: profile name (`quick`, `paper`) → gates.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Thresholds {
+    /// Profile → gates, both sorted for deterministic rendering.
+    pub profiles: BTreeMap<String, Vec<Gate>>,
+}
+
+impl Thresholds {
+    /// Parses the thresholds file.  The accepted grammar is the same
+    /// hand-rolled TOML subset the fingerprint manifest uses: comments,
+    /// `[profile.gate]` section headers, `file = "quoted"` and
+    /// `metric = <float>` lines.  Anything else is an error — the file is
+    /// small and machine-rewritten by `--bless`, so surprises mean drift.
+    pub fn parse(text: &str) -> Result<Thresholds, String> {
+        let mut thresholds = Thresholds::default();
+        let mut current: Option<(String, String)> = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let (profile, gate) = header.split_once('.').ok_or_else(|| {
+                    format!("line {}: section headers are [profile.gate]", lineno + 1)
+                })?;
+                if profile.is_empty() || gate.is_empty() {
+                    return Err(format!("line {}: empty section segment", lineno + 1));
+                }
+                thresholds
+                    .profiles
+                    .entry(profile.to_string())
+                    .or_default()
+                    .push(Gate {
+                        name: gate.to_string(),
+                        file: String::new(),
+                        minimums: BTreeMap::new(),
+                    });
+                current = Some((profile.to_string(), gate.to_string()));
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let (profile, gate) = current.clone().ok_or_else(|| {
+                format!("line {}: key before any [profile.gate] section", lineno + 1)
+            })?;
+            let entry = thresholds
+                .profiles
+                .get_mut(&profile)
+                .and_then(|gates| gates.iter_mut().find(|g| g.name == gate))
+                .expect("current section was just inserted");
+            if key == "file" {
+                let quoted = value
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {}: file values are quoted", lineno + 1))?;
+                entry.file = quoted.to_string();
+            } else {
+                let parsed: f64 = value
+                    .parse()
+                    .map_err(|_| format!("line {}: {key} must be a number", lineno + 1))?;
+                entry.minimums.insert(key.to_string(), parsed);
+            }
+        }
+        for (profile, gates) in &thresholds.profiles {
+            for gate in gates {
+                if gate.file.is_empty() {
+                    return Err(format!("[{profile}.{}] is missing a `file` key", gate.name));
+                }
+            }
+        }
+        Ok(thresholds)
+    }
+
+    /// Loads and parses the thresholds at `path`.
+    pub fn load(path: &Path) -> Result<Thresholds, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        Thresholds::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Renders the thresholds deterministically (profiles and metrics in
+    /// sorted order, gates in declaration order).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "# Benchmark regression floors — checked by `cargo run -p tkcm-bench-gate`.\n\
+             # Each [profile.gate] section names one benchmark results file and the\n\
+             # minimum acceptable value for trend metrics in it.  Regenerate floors\n\
+             # from fresh measurements (observed x 0.7) with `--bless`.\n",
+        );
+        for (profile, gates) in &self.profiles {
+            for gate in gates {
+                out.push_str(&format!(
+                    "\n[{profile}.{}]\nfile = \"{}\"\n",
+                    gate.name, gate.file
+                ));
+                for (metric, min) in &gate.minimums {
+                    out.push_str(&format!("{metric} = {min}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Extracts the flat top-level `"trend"` object from a benchmark results
+/// file.  The object is flat by construction (the serialisers in
+/// `tkcm-bench` emit only `"name":number|null` pairs), so a brace-free scan
+/// between `"trend":{` and the next `}` is exact, not heuristic.
+pub fn parse_trend(json: &str) -> Result<BTreeMap<String, f64>, String> {
+    let start = json
+        .find("\"trend\":{")
+        .ok_or_else(|| "no top-level \"trend\" object".to_string())?
+        + "\"trend\":{".len();
+    let end = json[start..]
+        .find('}')
+        .ok_or_else(|| "unterminated \"trend\" object".to_string())?
+        + start;
+    let body = json[start..end].trim();
+    let mut trend = BTreeMap::new();
+    if body.is_empty() {
+        return Ok(trend);
+    }
+    for pair in body.split(',') {
+        let (key, value) = pair
+            .split_once(':')
+            .ok_or_else(|| format!("malformed trend entry `{pair}`"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted trend key in `{pair}`"))?;
+        let value = value.trim();
+        if value == "null" {
+            // Non-finite measurement (e.g. a zero-wall-time division);
+            // absent from the map, so gating on it reports "missing".
+            continue;
+        }
+        let parsed: f64 = value
+            .parse()
+            .map_err(|_| format!("non-numeric trend value in `{pair}`"))?;
+        trend.insert(key.to_string(), parsed);
+    }
+    Ok(trend)
+}
+
+/// One gate-evaluation problem, already formatted for display.
+pub type Failure = String;
+
+/// Observed trend metrics per gate name (`gate → metric → value`).
+pub type ObservedTrends = BTreeMap<String, BTreeMap<String, f64>>;
+
+/// Evaluates every gate of `profile` against the results files under `dir`.
+/// Returns the list of failures (empty = the gate passes) and the observed
+/// trend per gate (for `--bless` and `--append-history`).
+pub fn evaluate(
+    thresholds: &Thresholds,
+    profile: &str,
+    dir: &Path,
+) -> Result<(Vec<Failure>, ObservedTrends), String> {
+    let gates = thresholds
+        .profiles
+        .get(profile)
+        .ok_or_else(|| format!("profile `{profile}` is not in the thresholds file"))?;
+    let mut failures = Vec::new();
+    let mut observed = BTreeMap::new();
+    for gate in gates {
+        let path = dir.join(&gate.file);
+        let json = match std::fs::read_to_string(&path) {
+            Ok(json) => json,
+            Err(e) => {
+                failures.push(format!(
+                    "[{profile}.{}] cannot read {}: {e}",
+                    gate.name,
+                    path.display()
+                ));
+                continue;
+            }
+        };
+        let trend = match parse_trend(&json) {
+            Ok(trend) => trend,
+            Err(e) => {
+                failures.push(format!("[{profile}.{}] {}: {e}", gate.name, path.display()));
+                continue;
+            }
+        };
+        for (metric, min) in &gate.minimums {
+            match trend.get(metric) {
+                None => failures.push(format!(
+                    "[{profile}.{}] {} has no `{metric}` in its trend object",
+                    gate.name, gate.file
+                )),
+                Some(value) if value < min => failures.push(format!(
+                    "[{profile}.{}] {metric} = {value} is below the floor {min}",
+                    gate.name
+                )),
+                Some(_) => {}
+            }
+        }
+        observed.insert(gate.name.clone(), trend);
+    }
+    Ok((failures, observed))
+}
+
+/// Rewrites each gated metric's floor to `observed x 0.7` (rounded to three
+/// decimals), leaving the metric *set* unchanged: blessing updates numbers,
+/// it never silently adds or drops what is gated.  Metrics missing from the
+/// observed trend are an error — a floor must never outlive its metric.
+pub fn bless(
+    thresholds: &mut Thresholds,
+    profile: &str,
+    observed: &BTreeMap<String, BTreeMap<String, f64>>,
+) -> Result<(), String> {
+    let gates = thresholds
+        .profiles
+        .get_mut(profile)
+        .ok_or_else(|| format!("profile `{profile}` is not in the thresholds file"))?;
+    for gate in gates {
+        let trend = observed
+            .get(&gate.name)
+            .ok_or_else(|| format!("no observed trend for [{profile}.{}]", gate.name))?;
+        for (metric, min) in gate.minimums.iter_mut() {
+            let value = trend.get(metric).ok_or_else(|| {
+                format!(
+                    "[{profile}.{}] observed trend has no `{metric}` to bless from",
+                    gate.name
+                )
+            })?;
+            *min = (value * 0.7 * 1000.0).round() / 1000.0;
+        }
+    }
+    Ok(())
+}
+
+/// Renders one rolling-history line: a self-contained JSON object with the
+/// label, the profile and every observed trend metric namespaced by gate
+/// (`"pruning.pruned_fraction"`).  Appended to `BENCH_trend_history.jsonl`
+/// by the nightly workflow so the metric trajectory is one artifact.
+pub fn history_line(
+    label: &str,
+    profile: &str,
+    observed: &BTreeMap<String, BTreeMap<String, f64>>,
+) -> String {
+    let mut fields = Vec::new();
+    for (gate, trend) in observed {
+        for (metric, value) in trend {
+            fields.push(format!("\"{gate}.{metric}\":{value}"));
+        }
+    }
+    format!(
+        "{{\"label\":\"{label}\",\"profile\":\"{profile}\",\"trend\":{{{}}}}}",
+        fields.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# comment\n\
+[quick.fleet]\n\
+file = \"BENCH_results_fleet.json\"\n\
+speedup_vs_1_shard_at_4 = 1.2\n\
+\n\
+[quick.pruning]\n\
+file = \"BENCH_results_pruning.json\"\n\
+pruned_fraction = 0.5\n\
+speedup_vs_exhaustive = 1.5\n";
+
+    #[test]
+    fn thresholds_render_parse_round_trips() {
+        let parsed = Thresholds::parse(SAMPLE).unwrap();
+        assert_eq!(parsed.profiles["quick"].len(), 2);
+        assert_eq!(parsed.profiles["quick"][1].minimums["pruned_fraction"], 0.5);
+        let back = Thresholds::parse(&parsed.render()).unwrap();
+        assert_eq!(back, parsed);
+    }
+
+    #[test]
+    fn malformed_thresholds_are_rejected() {
+        assert!(Thresholds::parse("[flat]\nfile = \"x\"\n").is_err());
+        assert!(Thresholds::parse("orphan = 1\n").is_err());
+        assert!(Thresholds::parse("[q.g]\nfile = unquoted\n").is_err());
+        assert!(Thresholds::parse("[q.g]\nmetric = not_a_number\n").is_err());
+        // A section without a `file` key cannot be gated.
+        assert!(Thresholds::parse("[q.g]\nmetric = 1\n").is_err());
+    }
+
+    #[test]
+    fn trend_extraction_reads_the_flat_object() {
+        let json = r#"{"scale":"Quick","trend":{"a":1.5,"b":null,"c":-2e3},"experiments":[{"report":{"x":"}"}}]}"#;
+        let trend = parse_trend(json).unwrap();
+        assert_eq!(trend.get("a"), Some(&1.5));
+        assert_eq!(trend.get("b"), None); // null → missing, not zero
+        assert_eq!(trend.get("c"), Some(&-2000.0));
+        assert!(parse_trend("{\"no_trend\":{}}").is_err());
+        assert!(parse_trend("{\"trend\":{\"a\":}").is_err());
+        assert_eq!(parse_trend("{\"trend\":{}}").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn bless_applies_the_margin_and_keeps_the_metric_set() {
+        let mut thresholds = Thresholds::parse(SAMPLE).unwrap();
+        let mut observed = BTreeMap::new();
+        observed.insert(
+            "fleet".to_string(),
+            BTreeMap::from([("speedup_vs_1_shard_at_4".to_string(), 3.0)]),
+        );
+        observed.insert(
+            "pruning".to_string(),
+            BTreeMap::from([
+                ("pruned_fraction".to_string(), 0.9),
+                ("speedup_vs_exhaustive".to_string(), 4.0),
+                ("an_unrelated_metric".to_string(), 1.0),
+            ]),
+        );
+        bless(&mut thresholds, "quick", &observed).unwrap();
+        let gates = &thresholds.profiles["quick"];
+        assert_eq!(gates[0].minimums["speedup_vs_1_shard_at_4"], 2.1);
+        assert_eq!(gates[1].minimums["pruned_fraction"], 0.63);
+        assert_eq!(gates[1].minimums["speedup_vs_exhaustive"], 2.8);
+        // Blessing never grows the gated set.
+        assert!(!gates[1].minimums.contains_key("an_unrelated_metric"));
+        // A floor whose metric vanished from the results is an error.
+        observed
+            .get_mut("pruning")
+            .unwrap()
+            .remove("pruned_fraction");
+        assert!(bless(&mut thresholds, "quick", &observed).is_err());
+    }
+
+    #[test]
+    fn history_line_namespaces_metrics_by_gate() {
+        let observed = BTreeMap::from([(
+            "pruning".to_string(),
+            BTreeMap::from([("pruned_fraction".to_string(), 0.75)]),
+        )]);
+        let line = history_line("run-42", "paper", &observed);
+        assert_eq!(
+            line,
+            "{\"label\":\"run-42\",\"profile\":\"paper\",\"trend\":{\"pruning.pruned_fraction\":0.75}}"
+        );
+    }
+}

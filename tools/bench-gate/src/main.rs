@@ -1,0 +1,120 @@
+//! CLI for the benchmark regression gate.
+//!
+//! ```text
+//! tkcm-bench-gate --profile quick [--thresholds BENCH_THRESHOLDS.toml]
+//!                 [--dir .] [--bless]
+//!                 [--append-history FILE.jsonl [--label LABEL]]
+//! ```
+//!
+//! Exit codes: 0 = every gated metric is at or above its floor, 1 = a
+//! metric regressed (or its results file / trend field is missing), 2 =
+//! usage or I/O error.  `--bless` re-floors every gated metric at
+//! observed x 0.7 and rewrites the thresholds file instead of gating;
+//! `--append-history` appends one JSONL line of all observed trend metrics
+//! (nightly runs accumulate these into a rolling artifact).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tkcm_bench_gate::{bless, evaluate, history_line, Thresholds};
+
+struct Args {
+    profile: String,
+    thresholds: PathBuf,
+    dir: PathBuf,
+    bless: bool,
+    append_history: Option<PathBuf>,
+    label: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        profile: String::new(),
+        thresholds: PathBuf::from("BENCH_THRESHOLDS.toml"),
+        dir: PathBuf::from("."),
+        bless: false,
+        append_history: None,
+        label: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--profile" => args.profile = value("--profile")?,
+            "--thresholds" => args.thresholds = PathBuf::from(value("--thresholds")?),
+            "--dir" => args.dir = PathBuf::from(value("--dir")?),
+            "--bless" => args.bless = true,
+            "--append-history" => {
+                args.append_history = Some(PathBuf::from(value("--append-history")?))
+            }
+            "--label" => args.label = Some(value("--label")?),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.profile.is_empty() {
+        return Err("--profile <quick|paper> is required".to_string());
+    }
+    Ok(args)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let mut thresholds = Thresholds::load(&args.thresholds)?;
+    let (failures, observed) = evaluate(&thresholds, &args.profile, &args.dir)?;
+
+    if let Some(history) = &args.append_history {
+        let label = args.label.clone().unwrap_or_else(|| args.profile.clone());
+        let line = history_line(&label, &args.profile, &observed);
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(history)
+            .map_err(|e| format!("opening {}: {e}", history.display()))?;
+        writeln!(file, "{line}").map_err(|e| format!("appending to {}: {e}", history.display()))?;
+        println!("history line appended to {}", history.display());
+    }
+
+    if args.bless {
+        // Blessing needs complete observations: a missing file or trend
+        // field must not be floored away.
+        if !failures.iter().all(|f| f.contains("below the floor")) {
+            for failure in failures.iter().filter(|f| !f.contains("below the floor")) {
+                eprintln!("bench-gate: {failure}");
+            }
+            return Err("cannot bless from incomplete benchmark results".to_string());
+        }
+        bless(&mut thresholds, &args.profile, &observed)?;
+        std::fs::write(&args.thresholds, thresholds.render())
+            .map_err(|e| format!("writing {}: {e}", args.thresholds.display()))?;
+        println!(
+            "blessed `{}` floors in {} from observed x 0.7",
+            args.profile,
+            args.thresholds.display()
+        );
+        return Ok(true);
+    }
+
+    for failure in &failures {
+        eprintln!("bench-gate: FAIL {failure}");
+    }
+    let gated: usize = observed.values().map(|t| t.len()).sum();
+    if failures.is_empty() {
+        println!(
+            "bench-gate: profile `{}` passed ({gated} trend metrics inspected)",
+            args.profile
+        );
+    }
+    Ok(failures.is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("bench-gate: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
