@@ -47,6 +47,7 @@ fn workload() -> (usize, TkcmConfig, Catalog, Vec<StreamTick>) {
         seed: 99,
         outage_every: 30,
         outage_length: 4,
+        storm: None,
     };
     let workload = config.generate();
     let width = workload.dataset.width();

@@ -1,7 +1,9 @@
 //! Fleet throughput sweep: the sharded runtime (`tkcm-runtime`) over the
 //! wide multi-cluster fleet workload, at 1/2/4 shards, plus the batched
 //! durable-ingestion sweep (batch sizes 1/8/64 through a WAL-logging fleet
-//! with group-commit fsync every batch).
+//! with group-commit fsync every batch) and the skewed-outage storm sweep
+//! (static barrier-per-batch vs elastic pipelined + component-stealing
+//! scheduling at 2/4 shards).
 //!
 //! `--paper` runs the paper-proportioned fleet (24 clusters × 6 series,
 //! 30 days); the default quick fleet finishes in a couple of seconds in
@@ -10,9 +12,11 @@
 //! throughput/speedup tables plus a flattened top-level `trend` object
 //! (`speedup_vs_1_shard_at_N`, `ticks_per_second_at_N`,
 //! `dropped_edges_at_N`, `ticks_per_second_at_batch_N`,
-//! `speedup_vs_batch_1_at_batch_N`) so nightly runs accumulate directly
-//! gateable scaling fields, including the cross-shard reference loss and
-//! the batch-64-vs-per-tick durable speedup (expected ≥2×).
+//! `speedup_vs_batch_1_at_batch_N`, `storm_ticks_per_second_at_N`,
+//! `migrations_at_N`, `storm_recovery_ratio`) so nightly runs accumulate
+//! directly gateable scaling fields, including the cross-shard reference
+//! loss, the batch-64-vs-per-tick durable speedup (expected ≥2×) and the
+//! elastic-vs-static storm critical-path ratio (expected ≥1.5×).
 use std::time::Instant;
 
 fn main() {

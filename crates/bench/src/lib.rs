@@ -65,13 +65,15 @@ pub fn bench_results_json(scale: Scale, timed: &[(f64, tkcm_eval::Report)]) -> S
 /// Serialises the fleet-throughput report like [`bench_results_json`] but
 /// with an additional top-level `"trend"` object carrying the per-shard
 /// scaling fields (`ticks_per_second_at_N`, `speedup_vs_1_shard_at_N`,
-/// `dropped_edges_at_N`) and the batched durable-ingestion fields
-/// (`ticks_per_second_at_batch_N`, `speedup_vs_batch_1_at_batch_N`)
-/// flattened out of the result tables.  Nightly artifacts accumulate these;
-/// once enough data points exist, CI can gate on a `speedup_vs_1_shard_at_4`
-/// or `speedup_vs_batch_1_at_batch_64` regression without parsing nested
-/// tables (batch 64 on the durable path is expected to stay ≥2× the
-/// per-tick batch-1 row).
+/// `dropped_edges_at_N`), the batched durable-ingestion fields
+/// (`ticks_per_second_at_batch_N`, `speedup_vs_batch_1_at_batch_N`) and the
+/// skewed-outage-storm fields (`storm_ticks_per_second_at_N` and
+/// `migrations_at_N` from the elastic rows, plus the headline
+/// `storm_recovery_ratio` — elastic over static critical-path throughput at
+/// the widest fleet) flattened out of the result tables.  Nightly artifacts
+/// accumulate these; once enough data points exist, CI can gate on a
+/// `speedup_vs_1_shard_at_4`, `speedup_vs_batch_1_at_batch_64` or
+/// `storm_recovery_ratio` regression without parsing nested tables.
 pub fn fleet_results_json(scale: Scale, elapsed: f64, report: &tkcm_eval::Report) -> String {
     let number = |v: f64| {
         if v.is_finite() {
@@ -104,6 +106,40 @@ pub fn fleet_results_json(scale: Scale, elapsed: f64, report: &tkcm_eval::Report
                     *batch as usize,
                     number(*value)
                 ));
+            }
+        }
+    }
+    if let Some(table) = report.table("Skewed-outage storm by shard count") {
+        // Only the elastic rows are gateable: the static rows are the
+        // baseline the `recovery_ratio` already folds in.
+        let shards = table.column("shards").unwrap_or_default();
+        let modes = table.column("rebalancing").unwrap_or_default();
+        let mut max_elastic_shards = None;
+        for (metric, name) in [
+            ("ticks_per_second", "storm_ticks_per_second"),
+            ("migrations", "migrations"),
+        ] {
+            let values = table.column(metric).unwrap_or_default();
+            for ((shard, mode), value) in shards.iter().zip(modes.iter()).zip(values.iter()) {
+                if *mode == 1.0 {
+                    trend.push(format!(
+                        "\"{name}_at_{}\":{}",
+                        *shard as usize,
+                        number(*value)
+                    ));
+                    if max_elastic_shards.is_none_or(|m: f64| *shard > m) {
+                        max_elastic_shards = Some(*shard);
+                    }
+                }
+            }
+        }
+        // The headline elastic-vs-static ratio at the widest fleet.
+        if let Some(widest) = max_elastic_shards {
+            let ratios = table.column("recovery_ratio").unwrap_or_default();
+            for ((shard, mode), ratio) in shards.iter().zip(modes.iter()).zip(ratios.iter()) {
+                if *mode == 1.0 && *shard == widest {
+                    trend.push(format!("\"storm_recovery_ratio\":{}", number(*ratio)));
+                }
             }
         }
     }
@@ -262,6 +298,37 @@ mod tests {
         b.push_row("batch 1", vec![1.0, 4.0, 250.0, 9.0, 1.0]);
         b.push_row("batch 64", vec![64.0, 1.0, 1000.0, 9.0, 4.0]);
         report.add_table(b);
+        let mut s = tkcm_eval::Table::new(
+            "Skewed-outage storm by shard count",
+            vec![
+                "config".into(),
+                "shards".into(),
+                "rebalancing".into(),
+                "wall_seconds".into(),
+                "critical_path_seconds".into(),
+                "ticks_per_second".into(),
+                "imputations".into(),
+                "migrations".into(),
+                "recovery_ratio".into(),
+            ],
+        );
+        s.push_row(
+            "static 2 shard(s)",
+            vec![2.0, 0.0, 3.0, 2.0, 400.0, 9.0, 0.0, 1.0],
+        );
+        s.push_row(
+            "elastic 2 shard(s)",
+            vec![2.0, 1.0, 2.0, 1.0, 800.0, 9.0, 1.0, 2.0],
+        );
+        s.push_row(
+            "static 4 shard(s)",
+            vec![4.0, 0.0, 3.0, 1.8, 440.0, 9.0, 0.0, 1.0],
+        );
+        s.push_row(
+            "elastic 4 shard(s)",
+            vec![4.0, 1.0, 1.9, 0.9, 880.0, 9.0, 2.0, 1.8],
+        );
+        report.add_table(s);
         let json = fleet_results_json(Scale::Paper, 2.8, &report);
         assert!(json.contains("\"trend\":{"));
         assert!(json.contains("\"speedup_vs_1_shard_at_4\":2.5"));
@@ -269,6 +336,13 @@ mod tests {
         assert!(json.contains("\"dropped_edges_at_4\":3"));
         assert!(json.contains("\"ticks_per_second_at_batch_64\":1000"));
         assert!(json.contains("\"speedup_vs_batch_1_at_batch_64\":4"));
+        // Storm fields: elastic rows only, ratio from the widest fleet.
+        assert!(json.contains("\"storm_ticks_per_second_at_2\":800"));
+        assert!(json.contains("\"storm_ticks_per_second_at_4\":880"));
+        assert!(json.contains("\"migrations_at_2\":1"));
+        assert!(json.contains("\"migrations_at_4\":2"));
+        assert!(json.contains("\"storm_recovery_ratio\":1.8"));
+        assert!(!json.contains("storm_ticks_per_second_at_2\":400"));
         assert!(json.contains("\"wall_time_seconds\":2.8"));
         // A report without the fleet table still serialises (empty trend).
         let bare = fleet_results_json(Scale::Quick, 0.1, &tkcm_eval::Report::new("x"));

@@ -63,6 +63,19 @@ impl PhaseBreakdown {
         }
     }
 
+    /// This breakdown with every wall-clock field zeroed but the imputation
+    /// count kept: the canonical shape for equality assertions between two
+    /// runs whose timings legitimately differ (threaded vs sequential,
+    /// before vs after recovery).  Use via
+    /// [`crate::EngineOutcome::timing_stripped`] rather than re-implementing
+    /// the stripping in each test suite.
+    pub fn zeroed_for_compare(&self) -> PhaseBreakdown {
+        PhaseBreakdown {
+            imputations: self.imputations,
+            ..PhaseBreakdown::default()
+        }
+    }
+
     /// Merges another breakdown into this one.
     pub fn merge(&mut self, other: &PhaseBreakdown) {
         self.extraction += other.extraction;

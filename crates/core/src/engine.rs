@@ -58,6 +58,21 @@ impl EngineOutcome {
             .find(|i| i.series == series)
             .map(|i| i.value)
     }
+
+    /// This outcome with every per-imputation phase timing zeroed (see
+    /// [`PhaseBreakdown::zeroed_for_compare`]): wall-clock durations are the
+    /// one field of an outcome that legitimately differs between runs that
+    /// are otherwise bit-identical, so equality assertions compare
+    /// `a.timing_stripped() == b.timing_stripped()` instead of hand-zeroing
+    /// the breakdowns in every test suite.
+    #[must_use]
+    pub fn timing_stripped(&self) -> EngineOutcome {
+        let mut stripped = self.clone();
+        for imputation in &mut stripped.imputations {
+            imputation.detail.breakdown = imputation.detail.breakdown.zeroed_for_compare();
+        }
+        stripped
+    }
 }
 
 /// One maintained dissimilarity state plus the tick it last served.

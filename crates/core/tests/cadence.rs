@@ -212,3 +212,86 @@ fn jittered_cadence_through_the_fleet_path_matches_sequential() {
         "schedule produced too few imputations ({checked_imputations}) to be meaningful"
     );
 }
+
+#[test]
+fn jittered_cadence_survives_eight_shards_and_a_migration() {
+    // The widest fleet shape the partitioner supports in CI: eight 2-series
+    // clusters spread over 8 shards (one component per shard), replayed on
+    // the jittered grid against a sequential engine, with a component
+    // forcibly migrated mid-stream.  Migration hands engine state across
+    // workers through the snapshot codec — if any path reconstructed times
+    // from ages, the handed-off component's anchors would leave the grid.
+    use tkcm_runtime::ShardedEngine;
+
+    let clusters = 8usize;
+    let width = clusters * 2;
+    let mut catalog = Catalog::new();
+    for cluster in 0..clusters {
+        let base = cluster * 2;
+        catalog
+            .set_candidates(SeriesId::from(base), vec![SeriesId::from(base + 1)])
+            .unwrap();
+        catalog
+            .set_candidates(SeriesId::from(base + 1), vec![SeriesId::from(base)])
+            .unwrap();
+    }
+
+    let mut sharded = ShardedEngine::new(width, config(true), catalog.clone(), 8).unwrap();
+    assert_eq!(sharded.shard_count(), 8);
+    assert_eq!(sharded.partition().component_count(), clusters);
+    let mut sequential = TkcmEngine::new(width, config(true), catalog).unwrap();
+
+    let mut tick_times = Vec::new();
+    let mut checked_imputations = 0usize;
+    for i in 0..256usize {
+        if i == 140 {
+            // Move cluster 0 off shard 0 onto the last shard mid-stream.
+            sharded.force_migration(0, 7).unwrap();
+        }
+        let time = jittered_time(i);
+        tick_times.push(time);
+        let values: Vec<Option<f64>> = (0..width)
+            .map(|s| {
+                if i > 180 && (i + 5 * s) % 11 < 3 {
+                    None
+                } else {
+                    Some(sine(i, (3 * s) as f64))
+                }
+            })
+            .collect();
+        let tick = StreamTick::new(Timestamp::new(time), values);
+        let fleet_outcome = sharded.process_tick(&tick).unwrap();
+        let seq_outcome = sequential.process_tick(&tick).unwrap();
+
+        assert_eq!(
+            fleet_outcome.imputations.len(),
+            seq_outcome.imputations.len(),
+            "tick {i}: 8-shard fleet and sequential disagree on what to impute"
+        );
+        for (fleet, seq) in fleet_outcome
+            .imputations
+            .iter()
+            .zip(seq_outcome.imputations.iter())
+        {
+            checked_imputations += 1;
+            assert_eq!(fleet.series, seq.series);
+            assert_eq!(fleet.time, seq.time, "tick {i}: imputation time diverged");
+            assert_eq!(fleet.time, Timestamp::new(time));
+            assert_eq!(fleet.value.to_bits(), seq.value.to_bits());
+            for anchor in &fleet.detail.anchors {
+                assert!(
+                    tick_times.binary_search(&anchor.time.tick()).is_ok(),
+                    "tick {i}: anchor time {} is not a real jittered tick time",
+                    anchor.time
+                );
+            }
+        }
+        assert_eq!(fleet_outcome.skipped, seq_outcome.skipped);
+    }
+    assert_eq!(sharded.partition().shard_of_component(0), 7);
+    assert_eq!(sharded.migrations_performed(), 1);
+    assert!(
+        checked_imputations > 40,
+        "schedule produced too few imputations ({checked_imputations}) to be meaningful"
+    );
+}

@@ -19,6 +19,23 @@ use tkcm_timeseries::{Catalog, SampleInterval, SeriesId, TimeSeries, Timestamp};
 use crate::generator::{Dataset, DatasetKind};
 use crate::rng::{normal, seeded};
 
+/// A skewed-outage storm: a subset of clusters whose series suffer much
+/// denser outages than the rest of the fleet.  Storm clusters cost far more
+/// imputation compute per tick, so whichever shard hosts them becomes the
+/// fleet's latency straggler — the workload the elastic rebalancer exists
+/// for.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StormProfile {
+    /// Cluster indices hit by the storm.
+    pub clusters: Vec<usize>,
+    /// Outage cadence inside storm clusters (replaces
+    /// [`FleetConfig::outage_every`] there).
+    pub outage_every: usize,
+    /// Outage length inside storm clusters (replaces
+    /// [`FleetConfig::outage_length`] there).
+    pub outage_length: usize,
+}
+
 /// Configuration of the fleet workload generator.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FleetConfig {
@@ -34,6 +51,8 @@ pub struct FleetConfig {
     pub outage_every: usize,
     /// Length of each outage in ticks.
     pub outage_length: usize,
+    /// Optional skewed-outage storm over a subset of clusters.
+    pub storm: Option<StormProfile>,
 }
 
 impl Default for FleetConfig {
@@ -45,6 +64,7 @@ impl Default for FleetConfig {
             seed: 42,
             outage_every: 40,
             outage_length: 6,
+            storm: None,
         }
     }
 }
@@ -73,6 +93,26 @@ impl FleetConfig {
         self.days * SampleInterval::FIVE_MINUTES.ticks_per_day() as usize
     }
 
+    /// The within-cluster ring catalog this shape generates — a function of
+    /// `clusters`/`series_per_cluster` only, so callers (e.g. the storm
+    /// experiment) can partition the fleet *before* deciding which clusters
+    /// a storm hits, without generating any data.
+    pub fn catalog(&self) -> Catalog {
+        let mut catalog = Catalog::new();
+        for cluster in 0..self.clusters {
+            let base_id = cluster * self.series_per_cluster;
+            for member in 0..self.series_per_cluster {
+                let ranked: Vec<SeriesId> = (1..self.series_per_cluster)
+                    .map(|step| SeriesId::from(base_id + (member + step) % self.series_per_cluster))
+                    .collect();
+                catalog
+                    .set_candidates(SeriesId::from(base_id + member), ranked)
+                    .expect("cluster ring candidates are valid");
+            }
+        }
+        catalog
+    }
+
     /// Generates the fleet workload.
     pub fn generate(&self) -> FleetWorkload {
         assert!(self.clusters > 0, "need at least one cluster");
@@ -85,6 +125,16 @@ impl FleetConfig {
             self.outage_every > self.outage_length,
             "outages must not overlap themselves"
         );
+        if let Some(storm) = &self.storm {
+            assert!(
+                storm.outage_every > storm.outage_length,
+                "storm outages must not overlap themselves"
+            );
+            assert!(
+                storm.clusters.iter().all(|c| *c < self.clusters),
+                "storm cluster index out of range"
+            );
+        }
         let interval = SampleInterval::FIVE_MINUTES;
         let ticks_per_day = interval.ticks_per_day() as f64;
         let len = self.ticks();
@@ -108,6 +158,15 @@ impl FleetConfig {
                 })
                 .collect();
 
+            // Storm clusters override the fleet-wide outage profile: much
+            // denser gaps, so their imputation load dwarfs the calm
+            // clusters'.
+            let (outage_every, outage_length) = match &self.storm {
+                Some(storm) if storm.clusters.contains(&cluster) => {
+                    (storm.outage_every, storm.outage_length)
+                }
+                _ => (self.outage_every, self.outage_length),
+            };
             for member in 0..self.series_per_cluster {
                 let id = cluster * self.series_per_cluster + member;
                 // Members are delayed, scaled copies of the cluster signal —
@@ -119,11 +178,11 @@ impl FleetConfig {
                 // Outage schedule: one `outage_length` block roughly every
                 // `outage_every` ticks, with a random per-series phase so
                 // outages stagger across the cluster.
-                let outage_phase = rng.gen_range(0usize..self.outage_every);
+                let outage_phase = rng.gen_range(0usize..outage_every);
                 let values: Vec<Option<f64>> = (0..len)
                     .map(|t| {
-                        let in_outage = t >= 2 * self.outage_every
-                            && (t + outage_phase) % self.outage_every < self.outage_length;
+                        let in_outage = t >= 2 * outage_every
+                            && (t + outage_phase) % outage_every < outage_length;
                         if in_outage {
                             missing += 1;
                             None
@@ -143,22 +202,9 @@ impl FleetConfig {
             }
         }
 
-        let mut catalog = Catalog::new();
-        for cluster in 0..self.clusters {
-            let base_id = cluster * self.series_per_cluster;
-            for member in 0..self.series_per_cluster {
-                let ranked: Vec<SeriesId> = (1..self.series_per_cluster)
-                    .map(|step| SeriesId::from(base_id + (member + step) % self.series_per_cluster))
-                    .collect();
-                catalog
-                    .set_candidates(SeriesId::from(base_id + member), ranked)
-                    .expect("cluster ring candidates are valid");
-            }
-        }
-
         FleetWorkload {
             dataset: Dataset::new(DatasetKind::Fleet, interval, series),
-            catalog,
+            catalog: self.catalog(),
             missing,
         }
     }
@@ -218,6 +264,56 @@ mod tests {
         let b = cfg.generate();
         assert_eq!(a.missing, b.missing);
         assert_eq!(a.dataset.series[3].values(), b.dataset.series[3].values());
+    }
+
+    #[test]
+    fn storm_clusters_get_denser_outages_deterministically() {
+        let calm = FleetConfig {
+            clusters: 4,
+            series_per_cluster: 3,
+            days: 2,
+            ..FleetConfig::default()
+        };
+        let storm = FleetConfig {
+            storm: Some(StormProfile {
+                clusters: vec![1, 3],
+                outage_every: 20,
+                outage_length: 10,
+            }),
+            ..calm.clone()
+        };
+        let gaps = |workload: &FleetWorkload, cluster: usize| -> usize {
+            workload.dataset.series[cluster * 3..(cluster + 1) * 3]
+                .iter()
+                .map(|s| s.values().iter().filter(|v| v.is_none()).count())
+                .sum()
+        };
+        let a = storm.generate();
+        // Storm clusters are far denser than calm ones in the same fleet.
+        assert!(gaps(&a, 1) > 3 * gaps(&a, 0), "storm cluster 1 not denser");
+        assert!(gaps(&a, 3) > 3 * gaps(&a, 2), "storm cluster 3 not denser");
+        // The storm is deterministic and leaves the catalog unchanged.
+        let b = storm.generate();
+        assert_eq!(a.missing, b.missing);
+        assert_eq!(a.dataset.series[5].values(), b.dataset.series[5].values());
+        assert_eq!(
+            format!("{:?}", storm.catalog()),
+            format!("{:?}", calm.generate().catalog)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "storm cluster index out of range")]
+    fn out_of_range_storm_cluster_panics() {
+        let _ = FleetConfig {
+            storm: Some(StormProfile {
+                clusters: vec![8],
+                outage_every: 20,
+                outage_length: 10,
+            }),
+            ..FleetConfig::default()
+        }
+        .generate();
     }
 
     #[test]

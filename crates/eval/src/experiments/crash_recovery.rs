@@ -202,6 +202,7 @@ mod tests {
             seed: 11,
             outage_every: 30,
             outage_length: 4,
+            storm: None,
         }
         .generate()
     }

@@ -29,9 +29,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use tkcm_core::TkcmConfig;
-use tkcm_datasets::{FleetConfig, FleetWorkload};
-use tkcm_runtime::{DurabilityOptions, ShardedEngine, SyncPolicy};
-use tkcm_timeseries::StreamSource;
+use tkcm_datasets::{FleetConfig, FleetWorkload, StormProfile};
+use tkcm_runtime::{DurabilityOptions, RebalanceOptions, ShardedEngine, SyncPolicy};
+use tkcm_timeseries::{FleetPartition, StreamSource};
 
 use crate::report::{Report, Table};
 
@@ -51,6 +51,23 @@ pub const BATCH_SWEEP_SHARDS: usize = 4;
 /// How many dropped cross-shard reference pairs each run records by name.
 pub const DROPPED_EDGE_SAMPLE: usize = 5;
 
+/// Shard counts the skewed-outage-storm sweep runs, smallest first.
+pub const STORM_SHARD_COUNTS: [usize; 2] = [2, 4];
+
+/// Ticks per batch in the storm replay (both the static and elastic
+/// runs): one whole outage cycle, so every batch's load report averages
+/// across the storm's on/off duty cycle instead of oscillating with its
+/// phase — per-batch shard costs then reflect component *placement*,
+/// which is what both the rebalancing trigger and the critical-path
+/// metric are after.
+pub const STORM_BATCH: usize = STORM_OUTAGE_EVERY;
+
+/// Outage cadence inside storm clusters (vs the calm fleet's sparse gaps).
+pub const STORM_OUTAGE_EVERY: usize = 24;
+
+/// Outage length inside storm clusters.
+pub const STORM_OUTAGE_LENGTH: usize = 12;
+
 static DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
 
 fn scratch_dir() -> PathBuf {
@@ -68,6 +85,7 @@ pub fn fleet_config(scale: Scale, seed: u64) -> FleetConfig {
             seed,
             outage_every: 40,
             outage_length: 6,
+            storm: None,
         },
         Scale::Paper => FleetConfig {
             clusters: 24,
@@ -76,6 +94,7 @@ pub fn fleet_config(scale: Scale, seed: u64) -> FleetConfig {
             seed,
             outage_every: 60,
             outage_length: 12,
+            storm: None,
         },
     }
 }
@@ -93,6 +112,37 @@ pub fn batch_sweep_config(scale: Scale, seed: u64) -> FleetConfig {
         },
         outage_length: 4,
         ..fleet_config(scale, seed)
+    }
+}
+
+/// Fleet shape for the skewed-outage-storm sweep: many *small* clusters
+/// with sparse background outages (the calm majority of the fleet) — the
+/// storm clusters, chosen per shard count in [`run_storm_benchmark_with`],
+/// carry the dense [`STORM_OUTAGE_EVERY`]/[`STORM_OUTAGE_LENGTH`] profile
+/// instead.  Small clusters matter: with four components per shard the
+/// static worst case stacks four storm components on one shard, which the
+/// elastic scheduler can spread one per shard — component stealing's win
+/// scales with how many stealable units the hot shard holds.
+pub fn storm_shape(scale: Scale, seed: u64) -> FleetConfig {
+    match scale {
+        Scale::Quick => FleetConfig {
+            clusters: 16,
+            series_per_cluster: 4,
+            days: 6,
+            seed,
+            outage_every: 200,
+            outage_length: 4,
+            storm: None,
+        },
+        Scale::Paper => FleetConfig {
+            clusters: 24,
+            series_per_cluster: 6,
+            days: 10,
+            seed,
+            outage_every: 300,
+            outage_length: 4,
+            storm: None,
+        },
     }
 }
 
@@ -257,6 +307,133 @@ pub fn run_batched_benchmark_on(workload: &FleetWorkload, scale: Scale) -> Vec<B
     runs
 }
 
+/// One measured storm replay at a fixed shard count and scheduling mode.
+#[derive(Clone, Debug)]
+pub struct StormRun {
+    /// Shard target handed to the runtime.
+    pub shards: usize,
+    /// Whether the elastic scheduler (pipeline depth 2 + component
+    /// stealing) was on; `false` is the static barrier-per-batch baseline.
+    pub rebalancing: bool,
+    /// Wall-clock seconds for the full replay.
+    pub wall_seconds: f64,
+    /// Barrier-bound critical path: the sum over batches of the slowest
+    /// shard's processing time.  On a single-core host this — not wall
+    /// clock — is what an N-core deployment's throughput follows, so the
+    /// storm trend gates on it.
+    pub critical_path_seconds: f64,
+    /// Fleet ticks per critical-path second.
+    pub ticks_per_second: f64,
+    /// Total values imputed (identical across modes by construction).
+    pub imputations: usize,
+    /// Component migrations the rebalancer committed (0 when static).
+    pub migrations: usize,
+    /// This run's critical-path throughput over the static baseline at the
+    /// same shard count (1.0 for the baseline itself).
+    pub recovery_ratio: f64,
+}
+
+/// Replays the skewed-outage storm at every shard count of `shard_counts`,
+/// statically and elastically, and measures the barrier-bound throughput.
+///
+/// For each shard count the storm is aimed at the clusters the *static*
+/// partition co-locates on shard 0 — the worst case the partitioner cannot
+/// see (component weights are equal; only the outage density is skewed).
+/// The static run keeps that assignment for the whole replay; the elastic
+/// run is free to steal components away from the hot shard.  Both must
+/// impute identical values — migrations move computation, never results.
+pub fn run_storm_benchmark_with(
+    shape: &FleetConfig,
+    scale: Scale,
+    shard_counts: &[usize],
+) -> Vec<StormRun> {
+    let mut runs = Vec::with_capacity(2 * shard_counts.len());
+    for &shards in shard_counts {
+        let catalog = shape.catalog();
+        let partition =
+            FleetPartition::new(shape.width(), &catalog, shards).expect("storm fleet partitions");
+        let mut storm_clusters: Vec<usize> = partition
+            .components_on(0)
+            .iter()
+            .flat_map(|&component| partition.component_members(component))
+            .map(|series| series.0 as usize / shape.series_per_cluster)
+            .collect();
+        storm_clusters.sort_unstable();
+        storm_clusters.dedup();
+        let config = FleetConfig {
+            storm: Some(StormProfile {
+                clusters: storm_clusters,
+                outage_every: STORM_OUTAGE_EVERY,
+                outage_length: STORM_OUTAGE_LENGTH,
+            }),
+            ..shape.clone()
+        };
+        let workload = config.generate();
+        let width = workload.dataset.width();
+        let tkcm = fleet_tkcm_config(scale, workload.dataset.len());
+        let stream = workload.dataset.to_stream();
+        let ticks: Vec<_> = stream.ticks().collect();
+
+        let mut static_run: Option<StormRun> = None;
+        for rebalancing in [false, true] {
+            let mut engine =
+                ShardedEngine::new(width, tkcm.clone(), workload.catalog.clone(), shards)
+                    .expect("storm fleet construction");
+            if rebalancing {
+                engine.set_pipeline_depth(2);
+                // Cycle-aligned batches (see [`STORM_BATCH`]) keep the
+                // per-batch load reports free of duty-cycle oscillation,
+                // so the default trigger works unmodified.
+                engine.set_rebalancing(Some(RebalanceOptions::default()));
+            }
+            let start = Instant::now();
+            if rebalancing {
+                for chunk in ticks.chunks(STORM_BATCH) {
+                    engine.submit_batch(chunk).expect("storm batch");
+                }
+                engine.drain().expect("storm drain");
+            } else {
+                for chunk in ticks.chunks(STORM_BATCH) {
+                    engine.process_batch(chunk).expect("storm batch");
+                }
+            }
+            let wall = start.elapsed().as_secs_f64();
+            let stats = engine.load_stats();
+            let critical = stats.critical_path_seconds;
+            let imputations = engine.imputations_performed();
+            if let Some(baseline) = &static_run {
+                assert_eq!(
+                    imputations, baseline.imputations,
+                    "rebalancing changed the imputation count at {shards} shards"
+                );
+            }
+            let run = StormRun {
+                shards,
+                rebalancing,
+                wall_seconds: wall,
+                critical_path_seconds: critical,
+                ticks_per_second: ticks.len() as f64 / critical,
+                imputations,
+                migrations: engine.migrations_performed(),
+                recovery_ratio: static_run
+                    .as_ref()
+                    .map(|baseline| baseline.critical_path_seconds / critical)
+                    .unwrap_or(1.0),
+            };
+            if !rebalancing {
+                static_run = Some(run.clone());
+            }
+            runs.push(run);
+        }
+    }
+    runs
+}
+
+/// Runs the storm sweep at this scale's proportions and shard counts.
+pub fn run_storm_benchmark(scale: Scale) -> Vec<StormRun> {
+    run_storm_benchmark_with(&storm_shape(scale, 2024), scale, &STORM_SHARD_COUNTS)
+}
+
 /// Runs the fleet throughput experiment and renders the report.
 pub fn run(scale: Scale) -> Report {
     let config = fleet_config(scale, 2024);
@@ -264,7 +441,8 @@ pub fn run(scale: Scale) -> Report {
     let runs = run_fleet_benchmark_on(&workload, scale);
     let sweep_workload = batch_sweep_config(scale, 2024).generate();
     let batched = run_batched_benchmark_on(&sweep_workload, scale);
-    report_from(&config, workload.missing, &runs, &batched)
+    let storms = run_storm_benchmark(scale);
+    report_from(&config, workload.missing, &runs, &batched, &storms)
 }
 
 /// Renders the measured runs as the experiment report.
@@ -273,6 +451,7 @@ fn report_from(
     missing: usize,
     runs: &[FleetRun],
     batched: &[BatchedRun],
+    storms: &[StormRun],
 ) -> Report {
     let mut report = Report::new("Fleet throughput: sharded runtime over a wide fleet");
     report.note(format!(
@@ -341,6 +520,48 @@ fn report_from(
              batching amortises."
         ));
     }
+    if !storms.is_empty() {
+        let mut table = Table::new(
+            "Skewed-outage storm by shard count",
+            vec![
+                "config".to_string(),
+                "shards".to_string(),
+                "rebalancing".to_string(),
+                "wall_seconds".to_string(),
+                "critical_path_seconds".to_string(),
+                "ticks_per_second".to_string(),
+                "imputations".to_string(),
+                "migrations".to_string(),
+                "recovery_ratio".to_string(),
+            ],
+        );
+        for run in storms {
+            let mode = if run.rebalancing { "elastic" } else { "static" };
+            table.push_row(
+                format!("{mode} {} shard(s)", run.shards),
+                vec![
+                    run.shards as f64,
+                    if run.rebalancing { 1.0 } else { 0.0 },
+                    run.wall_seconds,
+                    run.critical_path_seconds,
+                    run.ticks_per_second,
+                    run.imputations as f64,
+                    run.migrations as f64,
+                    run.recovery_ratio,
+                ],
+            );
+        }
+        report.add_table(table);
+        report.note(format!(
+            "Storm sweep: dense outages (every {STORM_OUTAGE_EVERY} ticks, {STORM_OUTAGE_LENGTH} \
+             long) aimed at the clusters the static partition co-locates on shard 0; calm \
+             clusters keep sparse gaps.  `ticks_per_second` is per *critical-path* second — the \
+             barrier-bound sum of each batch's slowest shard — which is what an N-core \
+             deployment's throughput follows; `recovery_ratio` is the elastic (pipeline depth 2 \
+             + component stealing) critical-path throughput over the static baseline at the \
+             same shard count.  Both modes impute identical values."
+        ));
+    }
     // Cross-shard reference loss, named: the nightly artifact records which
     // candidate edges a giant-component split cost, not just how many.
     for run in runs.iter().filter(|r| r.dropped_edges > 0) {
@@ -374,6 +595,7 @@ mod tests {
             seed: 7,
             outage_every: 30,
             outage_length: 4,
+            storm: None,
         }
     }
 
@@ -401,7 +623,7 @@ mod tests {
         // what the CI `fleet_throughput` binary runs in release mode.
         let workload = mini_workload();
         let runs = run_fleet_benchmark_on(&workload, Scale::Quick);
-        let report = report_from(&mini_config(), workload.missing, &runs, &[]);
+        let report = report_from(&mini_config(), workload.missing, &runs, &[], &[]);
         let table = report.table("Fleet throughput by shard count").unwrap();
         assert_eq!(table.rows.len(), SHARD_COUNTS.len());
         assert_eq!(table.headers.len(), 7);
@@ -424,6 +646,7 @@ mod tests {
             seed: 3,
             outage_every: 30,
             outage_length: 4,
+            storm: None,
         };
         let workload = config.generate();
         let runs = run_fleet_benchmark_on(&workload, Scale::Quick);
@@ -431,7 +654,7 @@ mod tests {
         assert!(four.dropped_edges > 0);
         assert!(!four.dropped_sample.is_empty());
         assert!(four.dropped_sample.len() <= DROPPED_EDGE_SAMPLE);
-        let report = report_from(&config, workload.missing, &runs, &[]);
+        let report = report_from(&config, workload.missing, &runs, &[], &[]);
         assert!(
             report.notes.iter().any(|n| n.contains("dropped")),
             "report should name the dropped edges: {:?}",
@@ -457,13 +680,56 @@ mod tests {
         // (speedup assertions live in the recorded trend JSON, not in tests
         // — single-core machines cannot observe them reliably).
         let runs = run_fleet_benchmark_on(&workload, Scale::Quick);
-        let report = report_from(&mini_config(), workload.missing, &runs, &batched);
+        let report = report_from(&mini_config(), workload.missing, &runs, &batched, &[]);
         let table = report
             .table("Batched durable ingestion by batch size")
             .unwrap();
         assert_eq!(table.rows.len(), BATCH_SIZES.len());
         assert_eq!(table.headers.len(), 6);
         assert!(report.notes.iter().any(|n| n.contains("group-commit")));
+    }
+
+    #[test]
+    fn storm_sweep_rebalances_without_changing_the_imputations() {
+        // Mini storm shape: 4 calm-by-default clusters, storm aimed (inside
+        // the sweep) at the two the static partition co-locates on shard 0.
+        let shape = FleetConfig {
+            clusters: 4,
+            series_per_cluster: 3,
+            days: 1,
+            seed: 7,
+            outage_every: 200,
+            outage_length: 4,
+            storm: None,
+        };
+        let storms = run_storm_benchmark_with(&shape, Scale::Quick, &[2]);
+        assert_eq!(storms.len(), 2);
+        let (baseline, elastic) = (&storms[0], &storms[1]);
+        assert!(!baseline.rebalancing && elastic.rebalancing);
+        assert_eq!(baseline.recovery_ratio, 1.0);
+        assert_eq!(baseline.migrations, 0);
+        assert!(baseline.imputations > 0, "storm produced no imputations");
+        // Migrations move computation, not results.
+        assert_eq!(elastic.imputations, baseline.imputations);
+        // The skew is strong enough that the scheduler must act on it.
+        assert!(
+            elastic.migrations >= 1,
+            "elastic run never migrated off the hot shard"
+        );
+        for run in &storms {
+            assert!(run.critical_path_seconds > 0.0);
+            assert!(run.critical_path_seconds <= run.wall_seconds * 2.0);
+            assert!(run.ticks_per_second.is_finite() && run.ticks_per_second > 0.0);
+            assert!(run.recovery_ratio.is_finite() && run.recovery_ratio > 0.0);
+        }
+
+        let report = report_from(&shape, 0, &[], &[], &storms);
+        let table = report.table("Skewed-outage storm by shard count").unwrap();
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.headers.len(), 9);
+        assert_eq!(table.cell("static 2 shard(s)", "rebalancing"), Some(0.0));
+        assert_eq!(table.cell("elastic 2 shard(s)", "rebalancing"), Some(1.0));
+        assert!(report.notes.iter().any(|n| n.contains("critical-path")));
     }
 
     #[test]

@@ -86,6 +86,10 @@ impl LintConfig {
                 // one block length, so a second definition (or a silent edit)
                 // is a format break like any other.
                 "SIGNATURE_BLOCK_LEN",
+                // Layout tag of the persisted FleetPartition (versioned
+                // component assignment + migration log); recovery dispatches
+                // on it, so exactly one definition may exist.
+                "PARTITION_FORMAT_VERSION",
             ]
             .map(String::from)
             .to_vec(),

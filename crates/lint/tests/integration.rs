@@ -23,6 +23,7 @@ pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
 pub const WAL_MAGIC: [u8; 8] = *b"TKCMWAL0";
 pub const WAL_FORMAT_VERSION: u32 = 1;
 pub const SIGNATURE_BLOCK_LEN: u32 = 16;
+pub const PARTITION_FORMAT_VERSION: u32 = 2;
 pub trait Snapshot: Sized {
     fn write_into(&self, enc: &mut Encoder) -> Result<(), Error>;
     fn read_from(dec: &mut Decoder<'_>) -> Result<Self, Error>;

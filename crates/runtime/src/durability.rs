@@ -4,21 +4,32 @@
 //! write-ahead log per shard, plus a manifest tying them together:
 //!
 //! ```text
-//! <dir>/MANIFEST        fleet width, partition, snapshot interval
-//! <dir>/shard-0.snap    full TkcmEngine state of shard 0
-//! <dir>/shard-0.wal     ticks + write-backs of shard 0 since its snapshot
+//! <dir>/MANIFEST        fleet width, partition (+ assignment version), …
+//! <dir>/shard-0.snap    per-component TkcmEngine states of shard 0
+//! <dir>/shard-0.wal     component-tagged ticks + write-backs of shard 0
 //! <dir>/shard-1.snap    ...
 //! ```
+//!
+//! Shard files are stamped with the partition's live-mapping version:
+//! version 0 (no migration yet) uses the plain `shard-N.snap` / `shard-N.wal`
+//! names above, version `v > 0` uses `shard-N-v7.snap` / `shard-N-v7.wal`.
+//! A migration checkpoint therefore writes a *new* set of files and commits
+//! them by atomically renaming the manifest into place — a crash anywhere
+//! before that rename leaves the previous version's files untouched and
+//! recovery resumes from the pre-migration assignment (which is output
+//! equivalent by construction); stale versions are cleaned up best-effort
+//! after the rename.
 //!
 //! All three file kinds are written through `tkcm-store`, so they carry
 //! magic bytes, a format version and CRC-32 checksums; snapshots and the
 //! manifest are written to a temporary file and renamed into place.
 //! Recovery is `manifest → per-shard snapshot → per-shard WAL replay`,
-//! reconciled to the newest tick *every* shard reached (see
+//! reconciled to the newest tick *every* component reached (see
 //! [`crate::ShardedEngine::recover`]).
 
 use std::path::{Path, PathBuf};
 
+use tkcm_core::{TkcmEngine, WalEntry};
 use tkcm_store::{Decoder, Encoder, Snapshot, StoreError};
 use tkcm_timeseries::FleetPartition;
 
@@ -205,19 +216,127 @@ impl Snapshot for Manifest {
     }
 }
 
+/// One shard's snapshot payload: the engines of every component currently
+/// assigned to the shard, tagged with their component ids, ascending.
+pub(crate) struct ShardSnapshot {
+    /// `(component id, engine)` pairs, strictly ascending by component id.
+    pub engines: Vec<(usize, TkcmEngine)>,
+}
+
+impl Snapshot for ShardSnapshot {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        enc.usize(self.engines.len());
+        for (component, engine) in &self.engines {
+            enc.usize(*component);
+            engine.write_into(enc)?;
+        }
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        let count = dec.seq_len()?;
+        let mut engines: Vec<(usize, TkcmEngine)> = Vec::with_capacity(count);
+        for _ in 0..count {
+            let component = dec.usize()?;
+            if engines.last().is_some_and(|(prev, _)| *prev >= component) {
+                return Err(StoreError::invalid(format!(
+                    "shard snapshot components are not strictly ascending at {component}"
+                )));
+            }
+            engines.push((component, TkcmEngine::read_from(dec)?));
+        }
+        Ok(ShardSnapshot { engines })
+    }
+}
+
+/// One shard WAL record: the [`WalEntry`] of one component at one tick
+/// (tick + write-backs in component-local id space), tagged with the
+/// component id so replay can route it to the right per-component engine.
+#[derive(Debug, PartialEq)]
+pub(crate) struct ShardWalRecord {
+    pub component: usize,
+    pub entry: WalEntry,
+}
+
+impl Snapshot for ShardWalRecord {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        enc.usize(self.component);
+        self.entry.write_into(enc)?;
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        let component = dec.usize()?;
+        let entry = WalEntry::read_from(dec)?;
+        Ok(ShardWalRecord { component, entry })
+    }
+}
+
 /// Path of the manifest inside a checkpoint directory.
 pub(crate) fn manifest_path(dir: &Path) -> PathBuf {
     dir.join("MANIFEST")
 }
 
-/// Path of one shard's snapshot file.
-pub(crate) fn shard_snapshot_path(dir: &Path, shard: usize) -> PathBuf {
-    dir.join(format!("shard-{shard}.snap"))
+/// Path of one shard's snapshot file at one live-mapping version.  Version 0
+/// keeps the historical `shard-N.snap` name; migrated mappings move to
+/// `shard-N-v7.snap` so a migration checkpoint never overwrites the files
+/// the current manifest still points at.
+pub(crate) fn shard_snapshot_path(dir: &Path, shard: usize, version: u64) -> PathBuf {
+    if version == 0 {
+        dir.join(format!("shard-{shard}.snap"))
+    } else {
+        dir.join(format!("shard-{shard}-v{version}.snap"))
+    }
 }
 
-/// Path of one shard's write-ahead log.
-pub(crate) fn shard_wal_path(dir: &Path, shard: usize) -> PathBuf {
-    dir.join(format!("shard-{shard}.wal"))
+/// Path of one shard's write-ahead log at one live-mapping version (same
+/// naming rule as [`shard_snapshot_path`]).
+pub(crate) fn shard_wal_path(dir: &Path, shard: usize, version: u64) -> PathBuf {
+    if version == 0 {
+        dir.join(format!("shard-{shard}.wal"))
+    } else {
+        dir.join(format!("shard-{shard}-v{version}.wal"))
+    }
+}
+
+/// Best-effort removal of shard files from other live-mapping versions than
+/// `keep` — run after the manifest rename committed a migration checkpoint.
+/// Only files matching the exact `shard-<n>[-v<v>].snap/.wal` pattern are
+/// touched; failures are ignored (a later checkpoint retries).
+pub(crate) fn remove_stale_shard_files(dir: &Path, keep: u64) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(version) = shard_file_version(name) {
+            if version != keep {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+/// The live-mapping version a `shard-<n>[-v<v>].snap/.wal` file name carries,
+/// or `None` for names that are not shard files.
+fn shard_file_version(name: &str) -> Option<u64> {
+    let stem = name
+        .strip_suffix(".snap")
+        .or_else(|| name.strip_suffix(".wal"))?;
+    let rest = stem.strip_prefix("shard-")?;
+    match rest.split_once("-v") {
+        None => {
+            // `shard-<n>`: version 0.
+            rest.chars().all(|c| c.is_ascii_digit()).then_some(0)
+        }
+        Some((shard, version)) => {
+            if shard.is_empty() || !shard.chars().all(|c| c.is_ascii_digit()) {
+                return None;
+            }
+            version.parse::<u64>().ok().filter(|v| *v > 0)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -275,8 +394,63 @@ mod tests {
     fn paths_are_deterministic() {
         let dir = Path::new("/tmp/ckpt");
         assert_eq!(manifest_path(dir), dir.join("MANIFEST"));
-        assert_eq!(shard_snapshot_path(dir, 3), dir.join("shard-3.snap"));
-        assert_eq!(shard_wal_path(dir, 0), dir.join("shard-0.wal"));
+        assert_eq!(shard_snapshot_path(dir, 3, 0), dir.join("shard-3.snap"));
+        assert_eq!(shard_wal_path(dir, 0, 0), dir.join("shard-0.wal"));
+        assert_eq!(shard_snapshot_path(dir, 3, 7), dir.join("shard-3-v7.snap"));
+        assert_eq!(shard_wal_path(dir, 1, 2), dir.join("shard-1-v2.wal"));
+    }
+
+    #[test]
+    fn shard_file_versions_parse_strictly() {
+        assert_eq!(shard_file_version("shard-0.snap"), Some(0));
+        assert_eq!(shard_file_version("shard-12.wal"), Some(0));
+        assert_eq!(shard_file_version("shard-0-v3.snap"), Some(3));
+        assert_eq!(shard_file_version("shard-7-v12.wal"), Some(12));
+        assert_eq!(shard_file_version("MANIFEST"), None);
+        assert_eq!(shard_file_version("shard-0.snap.tmp"), None);
+        assert_eq!(shard_file_version("shard-x.snap"), None);
+        assert_eq!(shard_file_version("shard--v3.snap"), None);
+        assert_eq!(shard_file_version("shard-0-v0.snap"), None);
+    }
+
+    #[test]
+    fn stale_shard_files_are_removed_pattern_matched_only() {
+        let dir = std::env::temp_dir().join(format!("tkcm-stale-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in [
+            "shard-0.snap",
+            "shard-0.wal",
+            "shard-0-v2.snap",
+            "shard-0-v2.wal",
+            "MANIFEST",
+            "notes.txt",
+        ] {
+            std::fs::write(dir.join(name), b"x").unwrap();
+        }
+        remove_stale_shard_files(&dir, 2);
+        assert!(!dir.join("shard-0.snap").exists());
+        assert!(!dir.join("shard-0.wal").exists());
+        assert!(dir.join("shard-0-v2.snap").exists());
+        assert!(dir.join("shard-0-v2.wal").exists());
+        assert!(dir.join("MANIFEST").exists());
+        assert!(dir.join("notes.txt").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_wal_record_round_trips() {
+        use tkcm_timeseries::{StreamTick, Timestamp};
+        let entry = WalEntry::from_outcome(
+            &StreamTick::new(Timestamp::new(5), vec![Some(1.0), None]),
+            &Default::default(),
+        );
+        let record = ShardWalRecord {
+            component: 3,
+            entry,
+        };
+        let back: ShardWalRecord = decode_from_slice(&encode_to_vec(&record).unwrap()).unwrap();
+        assert_eq!(back, record);
     }
 
     #[test]

@@ -1,77 +1,102 @@
 //! # tkcm-runtime
 //!
-//! Sharded fleet runtime: many [`TkcmEngine`]s under one roof.
+//! Elastic sharded fleet runtime: many [`TkcmEngine`]s under one roof.
 //!
 //! The paper's setting (Section 3) is one synchronous streaming window over
 //! one sensor fleet.  A production deployment serves a *wide* fleet — many
 //! independent sensor networks at once — and two series can only interact
 //! through imputation if they are connected in the catalog's candidate
 //! graph.  [`ShardedEngine`] exploits that: it partitions the fleet along
-//! catalog connectivity ([`tkcm_timeseries::FleetPartition`]), runs one
-//! engine per shard on its own worker thread, fans every arriving
-//! [`StreamTick`] out as per-shard sub-ticks, barriers on the per-tick
-//! results and merges them back into global [`SeriesId`] space
-//! deterministically.
+//! catalog connectivity ([`tkcm_timeseries::FleetPartition`]) into
+//! *components* (the atomic placement units), runs one engine **per
+//! component** grouped onto per-shard worker threads, fans every arriving
+//! [`StreamTick`] out as per-component sub-ticks, and merges the results
+//! back into global [`SeriesId`] space deterministically.
 //!
 //! ## Thread model
 //!
 //! One OS thread per shard, alive for the lifetime of the engine (`std::
 //! thread` + `std::sync::mpsc`; no external dependencies).  Each worker owns
-//! its shard's `TkcmEngine` — window, catalog and incremental dissimilarity
-//! states never cross a thread boundary, so no locking is needed anywhere.
-//! The ingestion path is **batch-native**: [`ShardedEngine::process_batch`]
-//! sends one job carrying the whole batch of per-shard sub-ticks to each
-//! worker and then receives exactly one result per worker *in shard order*,
-//! which makes the merged outcomes independent of thread scheduling: equal,
-//! imputation for imputation, to running the same per-shard engines
-//! sequentially.  [`ShardedEngine::process_tick`] is the batch path at batch
-//! size 1, so a batch of `N` ticks costs one channel round-trip and one
-//! barrier per shard where `N` per-tick calls cost `N` — the amortisation
-//! that makes batching worthwhile at high tick rates (the per-tick fan-out
-//! overhead is a few µs per shard).
+//! the engines of the components currently assigned to its shard — window,
+//! catalog and incremental dissimilarity states never cross a thread
+//! boundary mid-flight, so no locking is needed anywhere.  The ingestion
+//! path is **batch-native**: one job carries a whole batch of per-component
+//! sub-ticks to each worker, and exactly one result per worker is received
+//! *in shard order*, which makes the merged outcomes independent of thread
+//! scheduling.
+//!
+//! ## Pipelining
+//!
+//! [`ShardedEngine::submit_batch`] decouples dispatch from collection: up
+//! to [`ShardedEngine::set_pipeline_depth`] batches are in flight per
+//! worker at once (double buffering at depth 2), so the fleet thread can
+//! project and dispatch batch `n+1` while the workers still process batch
+//! `n`.  Completed outcomes accumulate in submission order and are returned
+//! by the next `submit_batch`/[`ShardedEngine::drain`] call.  The classic
+//! synchronous [`ShardedEngine::process_batch`] is submit-then-drain, so
+//! its semantics are unchanged.  Snapshot rotation, checkpoints and
+//! component migrations run only at fully-drained pipeline boundaries.
+//!
+//! ## Elastic rebalancing
+//!
+//! Every batch reply carries a [`ShardLoad`]: the shard's processing nanos,
+//! a per-component breakdown and the imputation count.  The fleet keeps
+//! per-shard and per-component EWMAs of the per-tick cost; when the
+//! hottest shard's EWMA exceeds the (lower-)median by
+//! [`RebalanceOptions::latency_ratio`] for [`RebalanceOptions::patience`]
+//! consecutive batches, the heaviest component whose weight fits inside
+//! the hot/cold gap migrates to the coldest shard.  A migration moves a
+//! *whole* component — no candidate edge ever crosses components, so where
+//! a component's engine runs cannot change a single imputed bit, only
+//! which worker computes it.  The migration ships the engine through the
+//! existing job channels via the snapshot codec (bit-exact), bumps the
+//! [`FleetPartition`] live-mapping version, appends to its deterministic
+//! migration log, and — for durable fleets — commits by checkpointing the
+//! new assignment (see below).
 //!
 //! ## Determinism and equivalence
 //!
-//! * Shards are ordered by smallest global id, members sorted ascending
-//!   (see `FleetPartition`), so the partition itself is deterministic.
+//! * Components and shards are ordered by smallest global id, members
+//!   sorted ascending (see `FleetPartition`), so the partition itself is
+//!   deterministic.
 //! * Merged imputations and skips are sorted by global series id.
-//! * When the partition did not need to split a connected component
-//!   (components ≥ shards), sharding drops no candidate edge and the merged
-//!   output is bit-identical to one global engine's.  After a
-//!   giant-component split, cross-shard candidate edges are dropped from the
-//!   per-shard catalogs — equivalence then holds against sequential
-//!   execution of the same per-shard engines (the property the tests pin).
+//! * Rebalancing and pipelining are *transparent*: the merged outcome
+//!   stream equals sequential per-shard execution of the same engines,
+//!   imputation for imputation, at any pipeline depth and across any
+//!   sequence of migrations (the property the equivalence tests pin).
 //!
 //! ## Durability
 //!
 //! A fleet built with [`ShardedEngine::with_durability`] persists itself
 //! into a checkpoint directory: every worker logs one WAL record per
-//! processed tick (the tick plus the write-backs it produced) — a whole
-//! batch's records are framed identically but appended with a single
-//! buffered write (group commit), and [`durability::SyncPolicy`] decides
-//! when that write is additionally `fsync`ed (never / every batch / every N
-//! ticks / every T ms, always at batch boundaries).  A failed fsync
-//! *poisons* the fleet engine rather than being dropped.  Snapshot rotation
-//! also happens only at batch boundaries: whenever a boundary crosses a
-//! multiple of `snapshot_interval` fleet ticks, each worker rewrites its
-//! snapshot (full engine state, written atomically) and truncates its log.
-//! [`ShardedEngine::recover`] rebuilds the identical fleet from the
-//! directory: manifest → per-shard snapshot → per-shard WAL replay through
-//! [`TkcmEngine::apply_wal_entry`], reconciled to the newest tick every
-//! shard reached.  Recovery is *bit-identical*: the recovered fleet's
-//! subsequent outcomes equal those of a fleet that never crashed (the
-//! property `tests/recovery.rs` pins at 1/2/4 shards, under per-tick and
-//! batched ingestion alike), and any flipped or truncated byte in a
-//! snapshot or WAL fails recovery with a checksum error instead of being
-//! replayed.  [`ShardedEngine::recover_until`] additionally supports
-//! *point-in-time* recovery: WAL replay stops at a requested tick time,
-//! yielding a read-only inspection fleet of what the fleet believed then.
+//! component per processed tick (tick-major) — a whole batch's records are
+//! appended with a single buffered write (group commit), and
+//! [`durability::SyncPolicy`] decides when that write is additionally
+//! `fsync`ed.  A failed fsync *poisons* the fleet engine rather than being
+//! dropped.  Snapshot rotation happens at pipeline boundaries: whenever a
+//! boundary crosses a multiple of `snapshot_interval` fleet ticks, each
+//! worker rewrites its snapshot and truncates its log.  Checkpoint files
+//! are versioned by the partition's live-mapping version
+//! (`shard-N.snap` at version 0, `shard-N-vV.snap` after `V` migrations);
+//! the manifest is written last via atomic rename, making it the
+//! migration *commit point* — a crash mid-migration recovers the
+//! pre-migration assignment from the old manifest and old files, which is
+//! output-equivalent because migrations do not change outcomes.
+//! [`ShardedEngine::recover`] rebuilds the identical fleet: manifest →
+//! per-shard component snapshots → WAL replay routed per component,
+//! reconciled to the newest tick every component reached.  Recovery is
+//! *bit-identical*, and any flipped or truncated byte fails recovery with
+//! a checksum error instead of being replayed.
+//! [`ShardedEngine::recover_until`] additionally supports *point-in-time*
+//! recovery: WAL replay stops at a requested tick time, yielding a
+//! read-only inspection fleet of what the fleet believed then.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod durability;
 
+use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
@@ -79,23 +104,41 @@ use std::time::Instant;
 
 use tkcm_core::{EngineOutcome, TkcmConfig, TkcmEngine, WalEntry};
 use tkcm_store::{
-    decode_from_slice, read_snapshot_file, read_wal, read_wal_records_tolerating_torn_tail,
-    write_snapshot_file, WalWriter,
+    decode_from_slice, encode_to_vec, read_snapshot_file, read_wal,
+    read_wal_records_tolerating_torn_tail, write_snapshot_file, WalWriter,
 };
 use tkcm_timeseries::{Catalog, FleetPartition, SeriesId, StreamTick, Timestamp, TsError};
 
-use durability::{manifest_path, shard_snapshot_path, shard_wal_path, Manifest};
+use durability::{
+    manifest_path, remove_stale_shard_files, shard_snapshot_path, shard_wal_path, Manifest,
+    ShardSnapshot, ShardWalRecord,
+};
 pub use durability::{CheckpointStats, DurabilityOptions, RecoveryOptions, SyncPolicy};
 
+/// EWMA smoothing used for load accounting when rebalancing is off (the
+/// stats are still collected for [`ShardedEngine::load_stats`]).
+const DEFAULT_EWMA_ALPHA: f64 = 0.3;
+
 enum Job {
-    /// A batch of per-shard sub-ticks, processed in order; the whole batch
-    /// crosses the channel once (a per-tick call is a batch of one).
-    Batch(Vec<StreamTick>),
+    /// A batch of per-component sub-tick vectors, `(component id, one
+    /// sub-tick per fleet tick)`, component ids matching the worker's
+    /// engines exactly; the whole batch crosses the channel once.
+    Batch(Vec<(usize, Vec<StreamTick>)>),
     Checkpoint {
         snapshot_path: PathBuf,
         /// When set, the worker truncates (re-creates) its WAL at this path
         /// after the snapshot is safely renamed into place.
         reset_wal: Option<PathBuf>,
+    },
+    /// Serialise the named component's engine (snapshot codec), remove it
+    /// from this worker and reply with the bytes — the donor half of a
+    /// migration.
+    Extract(usize),
+    /// Decode the bytes into an engine and adopt it as the named component
+    /// — the receiver half of a migration.
+    Install {
+        component: usize,
+        engine: Vec<u8>,
     },
     Stop,
     /// Fault injection for durability tests: makes every subsequent fsync of
@@ -104,12 +147,35 @@ enum Job {
     InjectSyncFailures,
 }
 
+/// Per-batch load report a worker attaches to every batch reply: the raw
+/// material for the fleet's EWMA load accounting and the critical-path
+/// throughput statistics.
+#[derive(Debug, Default)]
+struct ShardLoad {
+    /// Processing nanos this worker spent on the batch — the worker
+    /// thread's *CPU* time where the platform exposes it (so load reports
+    /// ignore preemption on oversubscribed hosts), wall-clock otherwise.
+    nanos: u64,
+    /// `(component id, nanos)` breakdown of `nanos`.
+    component_nanos: Vec<(usize, u64)>,
+    /// Imputations performed across the batch.
+    imputations: u64,
+}
+
+/// Per-component outcome vectors (one outcome per processed tick) plus the
+/// batch's load report — the success payload of a [`Reply::Batch`].
+type BatchReply = (Vec<(usize, Vec<EngineOutcome>)>, ShardLoad);
+
 enum Reply {
-    /// One outcome per processed tick of the batch, or the first error —
-    /// which may have struck mid-batch, after a prefix already committed.
-    Batch(Result<Vec<EngineOutcome>, TsError>),
+    /// The batch's outcomes and load report, or the first error — which
+    /// may have struck mid-batch, after a prefix already committed.
+    Batch(Result<BatchReply, TsError>),
     /// Snapshot file size in bytes, or the error that prevented it.
     Checkpoint(Result<u64, TsError>),
+    /// The extracted component's engine bytes.
+    Extracted(Result<Vec<u8>, TsError>),
+    /// The installation result.
+    Installed(Result<(), TsError>),
     #[cfg(test)]
     SyncFailuresInjected,
 }
@@ -127,8 +193,8 @@ struct DurableState {
     /// The workers' group-commit fsync policy, recorded here so checkpoints
     /// write it into the manifest and recovery re-arms it.
     sync_policy: SyncPolicy,
-    /// The tick count the last automatic rotation ran at, so a rotation
-    /// that failed (and made the processing call return an error *before*
+    /// The submitted-tick count the last automatic rotation ran at, so a
+    /// rotation that failed (and made the call return an error *before*
     /// dispatching the batch) is retried on the next call instead of
     /// being skipped or repeated after success.
     last_rotation: usize,
@@ -153,7 +219,7 @@ impl SyncState {
         }
     }
 
-    /// Called after a batch of `appended` tick records reached the WAL;
+    /// Called after a batch of `appended` fleet ticks reached the WAL;
     /// fsyncs when the policy says so.  A sync failure propagates to the
     /// fleet engine (which poisons itself): after a failed fsync the kernel
     /// may have dropped the dirty pages, so the durable prefix of the log
@@ -175,14 +241,94 @@ impl SyncState {
     }
 }
 
-/// A fleet of per-shard [`TkcmEngine`]s running on worker threads.
+/// When and how aggressively the fleet steals components from hot shards.
 ///
-/// Construction partitions the fleet ([`FleetPartition`]), builds one engine
-/// per shard over the shard-local catalog and spawns one worker thread per
-/// shard.  [`ShardedEngine::process_tick`] then behaves like
-/// [`TkcmEngine::process_tick`] over the whole fleet: push, impute every
-/// missing series whose references are alive, write back, return the merged
-/// outcome in global id space.
+/// The trigger compares the hottest shard's per-tick EWMA against the
+/// lower-median across shards; sustained imbalance (`patience` consecutive
+/// batches at ratio ≥ `latency_ratio`) queues one migration of the
+/// heaviest component that fits inside the hot/cold gap (so the move is a
+/// strict improvement), followed by `cooldown_batches` of quiet to let the
+/// EWMAs re-settle.
+#[derive(Clone, Copy, Debug)]
+pub struct RebalanceOptions {
+    /// Hot-shard trigger: max-EWMA / median-EWMA ratio that counts as
+    /// imbalance.
+    pub latency_ratio: f64,
+    /// Consecutive imbalanced batches required before a migration queues.
+    pub patience: usize,
+    /// EWMA smoothing factor for the per-tick load estimates (0 < α ≤ 1).
+    pub ewma_alpha: f64,
+    /// Batches to wait after a migration before triggering again.
+    pub cooldown_batches: usize,
+}
+
+impl Default for RebalanceOptions {
+    fn default() -> Self {
+        RebalanceOptions {
+            latency_ratio: 1.5,
+            patience: 3,
+            ewma_alpha: DEFAULT_EWMA_ALPHA,
+            cooldown_batches: 3,
+        }
+    }
+}
+
+/// Fleet load statistics accumulated from the per-batch [`ShardLoad`]
+/// reports (see [`ShardedEngine::load_stats`]).
+#[derive(Clone, Debug)]
+pub struct FleetLoadStats {
+    /// Per-shard EWMA of processing nanos per fleet tick (`None` until the
+    /// shard reported its first batch, and reset after a migration).
+    pub shard_ewma_nanos: Vec<Option<f64>>,
+    /// Barrier-bound critical path: Σ over completed batches of the
+    /// *slowest* shard's processing time.  On a single-core host this is
+    /// the honest proxy for pipelined wall-clock — it is what an idealised
+    /// parallel executor could not beat.
+    pub critical_path_seconds: f64,
+    /// Total processing time across all shards (the work, as opposed to
+    /// the critical path).
+    pub busy_seconds: f64,
+}
+
+/// Per-shard/per-component EWMA load state plus throughput accumulators.
+struct LoadTracker {
+    shard_ewma: Vec<Option<f64>>,
+    component_ewma: Vec<Option<f64>>,
+    hot_streak: usize,
+    cooldown: usize,
+    critical_path_nanos: u128,
+    busy_nanos: u128,
+}
+
+impl LoadTracker {
+    fn new(partition: &FleetPartition) -> Self {
+        LoadTracker {
+            shard_ewma: vec![None; partition.shard_count()],
+            component_ewma: vec![None; partition.component_count()],
+            hot_streak: 0,
+            cooldown: 0,
+            critical_path_nanos: 0,
+            busy_nanos: 0,
+        }
+    }
+}
+
+fn ewma_update(slot: &mut Option<f64>, alpha: f64, sample: f64) {
+    *slot = Some(match *slot {
+        None => sample,
+        Some(prev) => prev + alpha * (sample - prev),
+    });
+}
+
+/// A fleet of per-component [`TkcmEngine`]s running on per-shard worker
+/// threads.
+///
+/// Construction partitions the fleet ([`FleetPartition`]), builds one
+/// engine per catalog component and spawns one worker thread per shard
+/// owning its components' engines.  [`ShardedEngine::process_tick`] then
+/// behaves like [`TkcmEngine::process_tick`] over the whole fleet: push,
+/// impute every missing series whose references are alive, write back,
+/// return the merged outcome in global id space.
 pub struct ShardedEngine {
     partition: FleetPartition,
     workers: Vec<Worker>,
@@ -190,6 +336,19 @@ pub struct ShardedEngine {
     imputation_count: usize,
     poisoned: bool,
     durable: Option<DurableState>,
+    /// Maximum batches in flight per worker (1 = classic synchronous).
+    pipeline_depth: usize,
+    /// Lengths of the batches currently in flight, oldest first.
+    in_flight: VecDeque<usize>,
+    /// Completed outcomes not yet returned, in submission order.
+    ready: Vec<EngineOutcome>,
+    /// Fleet ticks submitted (dispatched), ahead of `tick_count` while the
+    /// pipeline is non-empty.
+    submitted_count: usize,
+    rebalance: Option<RebalanceOptions>,
+    loads: LoadTracker,
+    /// Migrations queued for the next pipeline boundary.
+    pending_migrations: VecDeque<(usize, usize)>,
 }
 
 impl ShardedEngine {
@@ -205,14 +364,10 @@ impl ShardedEngine {
         let partition = FleetPartition::new(width, &catalog, shards)?;
         let mut workers = Vec::with_capacity(partition.shard_count());
         for shard in 0..partition.shard_count() {
-            let local_catalog = partition.shard_catalog(shard, &catalog)?;
-            let engine = TkcmEngine::new(
-                partition.members(shard).len(),
-                config.clone(),
-                local_catalog,
-            )?;
-            workers.push(spawn_worker(engine, None, SyncPolicy::Never));
+            let snapshot = build_shard(&partition, shard, &config, &catalog)?;
+            workers.push(spawn_worker(snapshot, None, SyncPolicy::Never));
         }
+        let loads = LoadTracker::new(&partition);
         Ok(ShardedEngine {
             partition,
             workers,
@@ -220,15 +375,22 @@ impl ShardedEngine {
             imputation_count: 0,
             poisoned: false,
             durable: None,
+            pipeline_depth: 1,
+            in_flight: VecDeque::new(),
+            ready: Vec::new(),
+            submitted_count: 0,
+            rebalance: None,
+            loads,
+            pending_migrations: VecDeque::new(),
         })
     }
 
     /// Creates a *durable* sharded engine: every worker logs each processed
-    /// tick (and its write-backs) to a per-shard WAL under `dir`, and every
-    /// [`DurabilityOptions::snapshot_interval`] fleet ticks the snapshots
-    /// are rotated and the logs truncated.  The directory is immediately
-    /// initialised with a manifest and per-shard snapshots, so it is
-    /// recoverable from the first tick on.
+    /// component tick (and its write-backs) to a per-shard WAL under `dir`,
+    /// and every [`DurabilityOptions::snapshot_interval`] fleet ticks the
+    /// snapshots are rotated and the logs truncated.  The directory is
+    /// immediately initialised with a manifest and per-shard snapshots, so
+    /// it is recoverable from the first tick on.
     pub fn with_durability(
         width: usize,
         config: TkcmConfig,
@@ -243,15 +405,11 @@ impl ShardedEngine {
         let partition = FleetPartition::new(width, &catalog, shards)?;
         let mut workers = Vec::with_capacity(partition.shard_count());
         for shard in 0..partition.shard_count() {
-            let local_catalog = partition.shard_catalog(shard, &catalog)?;
-            let engine = TkcmEngine::new(
-                partition.members(shard).len(),
-                config.clone(),
-                local_catalog,
-            )?;
-            let wal = WalWriter::create(&shard_wal_path(dir, shard))?;
-            workers.push(spawn_worker(engine, Some(wal), options.sync_policy));
+            let snapshot = build_shard(&partition, shard, &config, &catalog)?;
+            let wal = WalWriter::create(&shard_wal_path(dir, shard, partition.version()))?;
+            workers.push(spawn_worker(snapshot, Some(wal), options.sync_policy));
         }
+        let loads = LoadTracker::new(&partition);
         let mut fleet = ShardedEngine {
             partition,
             workers,
@@ -264,6 +422,13 @@ impl ShardedEngine {
                 sync_policy: options.sync_policy,
                 last_rotation: 0,
             }),
+            pipeline_depth: 1,
+            in_flight: VecDeque::new(),
+            ready: Vec::new(),
+            submitted_count: 0,
+            rebalance: None,
+            loads,
+            pending_migrations: VecDeque::new(),
         };
         // Initial checkpoint: manifest + empty-engine snapshots, so a crash
         // before the first rotation still recovers (by replaying the WAL
@@ -272,17 +437,89 @@ impl ShardedEngine {
         Ok(fleet)
     }
 
+    // == pipeline configuration ==
+
+    /// Sets how many batches may be in flight per worker (min 1; 2 =
+    /// double buffering).  Takes effect on the next
+    /// [`ShardedEngine::submit_batch`]; shrinking the depth drains the
+    /// surplus then.
+    pub fn set_pipeline_depth(&mut self, depth: usize) {
+        self.pipeline_depth = depth.max(1);
+    }
+
+    /// The current pipeline depth.
+    pub fn pipeline_depth(&self) -> usize {
+        self.pipeline_depth
+    }
+
+    /// Enables (`Some`) or disables (`None`) automatic component stealing.
+    pub fn set_rebalancing(&mut self, options: Option<RebalanceOptions>) {
+        self.rebalance = options;
+        self.loads.hot_streak = 0;
+    }
+
+    /// The load statistics accumulated so far (see [`FleetLoadStats`]).
+    pub fn load_stats(&self) -> FleetLoadStats {
+        FleetLoadStats {
+            shard_ewma_nanos: self.loads.shard_ewma.clone(),
+            critical_path_seconds: self.loads.critical_path_nanos as f64 * 1e-9,
+            busy_seconds: self.loads.busy_nanos as f64 * 1e-9,
+        }
+    }
+
+    /// Number of component migrations committed since construction (the
+    /// partition's migration log length).
+    pub fn migrations_performed(&self) -> usize {
+        self.partition.migration_log().len()
+    }
+
+    /// Queues a migration of `component` onto `to_shard`, executed at the
+    /// next pipeline boundary exactly like a rebalancer-initiated one
+    /// (forced moves may empty a shard).  A component already on
+    /// `to_shard` is a no-op.  Validation is eager; execution errors
+    /// surface from the processing call that hits the boundary.
+    pub fn force_migration(&mut self, component: usize, to_shard: usize) -> Result<(), TsError> {
+        if self.poisoned {
+            return Err(poisoned_error());
+        }
+        if component >= self.partition.component_count() {
+            return Err(TsError::invalid(
+                "engine",
+                format!("unknown component {component}"),
+            ));
+        }
+        if to_shard >= self.workers.len() {
+            return Err(TsError::invalid(
+                "engine",
+                format!("unknown shard {to_shard}"),
+            ));
+        }
+        if self.partition.shard_of_component(component) == to_shard
+            && !self.pending_migrations.iter().any(|(c, _)| *c == component)
+        {
+            return Ok(());
+        }
+        self.pending_migrations.push_back((component, to_shard));
+        Ok(())
+    }
+
     /// Recovers a fleet from a checkpoint directory: reads the manifest,
-    /// loads every shard's snapshot, replays every shard's WAL (when the
-    /// directory belongs to a durable engine) and rebuilds the identical
-    /// partition, counters and worker fleet.
+    /// loads every shard's component snapshots, replays every shard's WAL
+    /// (when the directory belongs to a durable engine), routing each
+    /// record to its component's engine, and rebuilds the identical
+    /// partition — including its live-mapping version and migration log —
+    /// counters and worker fleet.
     ///
-    /// A crash can interrupt shards mid-tick, leaving one shard's log one
-    /// record ahead of another's; recovery reconciles by replaying each
-    /// shard only up to the newest tick *every* shard reached.  Corrupt
-    /// data — a flipped byte, a torn record, a truncated file — fails with
-    /// an error instead of being replayed; see
-    /// [`ShardedEngine::recover_with`] for the explicit torn-tail opt-out.
+    /// A crash can interrupt shards mid-tick, leaving one component's log
+    /// one record ahead of another's; recovery reconciles by replaying
+    /// each component only up to the newest tick *every* component
+    /// reached.  A crash *mid-migration* recovers the pre-migration
+    /// assignment: the manifest rename is the commit point, and until it
+    /// lands the old manifest still points at the old, untouched
+    /// version-suffixed files.  Corrupt data — a flipped byte, a torn
+    /// record, a truncated file — fails with an error instead of being
+    /// replayed; see [`ShardedEngine::recover_with`] for the explicit
+    /// torn-tail opt-out.
     pub fn recover(dir: &Path) -> Result<Self, TsError> {
         Self::recover_with(dir, RecoveryOptions::default())
     }
@@ -300,130 +537,99 @@ impl ShardedEngine {
         // WALs; a durable engine's out-of-band backup into a foreign
         // directory is snapshot-only and recovers as a plain fleet.
         let durable = manifest.wal;
-        let shard_count = manifest.partition.shard_count();
+        let partition = manifest.partition;
+        let version = partition.version();
+        let shard_count = partition.shard_count();
 
-        let mut engines = Vec::with_capacity(shard_count);
-        let mut logs: Vec<Vec<WalEntry>> = Vec::with_capacity(shard_count);
+        let mut shards: Vec<ShardSnapshot> = Vec::with_capacity(shard_count);
+        let mut logs: Vec<Vec<ShardWalRecord>> = Vec::with_capacity(shard_count);
         let mut torn: Vec<bool> = Vec::with_capacity(shard_count);
         for shard in 0..shard_count {
-            let engine: TkcmEngine = read_snapshot_file(&shard_snapshot_path(dir, shard))?;
-            if engine.window().width() != manifest.partition.members(shard).len() {
-                return Err(TsError::invalid(
-                    "engine",
-                    format!(
-                        "shard {shard} snapshot width {} does not match the manifest partition",
-                        engine.window().width()
-                    ),
-                ));
-            }
-            let (entries, tail_torn) = if !durable {
+            let snapshot: ShardSnapshot =
+                read_snapshot_file(&shard_snapshot_path(dir, shard, version))?;
+            validate_shard_snapshot(&partition, shard, &snapshot)?;
+            let (records, tail_torn) = if !durable {
                 (Vec::new(), false)
             } else if options.tolerate_torn_wal_tail {
-                let (records, tail_torn) =
-                    read_wal_records_tolerating_torn_tail(&shard_wal_path(dir, shard))?;
-                let entries = records
+                let (payloads, tail_torn) =
+                    read_wal_records_tolerating_torn_tail(&shard_wal_path(dir, shard, version))?;
+                let records = payloads
                     .iter()
-                    .map(|payload| decode_from_slice::<WalEntry>(payload))
+                    .map(|payload| decode_from_slice::<ShardWalRecord>(payload))
                     .collect::<Result<Vec<_>, _>>()?;
-                (entries, tail_torn)
+                (records, tail_torn)
             } else {
-                (read_wal(&shard_wal_path(dir, shard))?, false)
+                (read_wal(&shard_wal_path(dir, shard, version))?, false)
             };
-            engines.push(engine);
-            logs.push(entries);
+            validate_shard_records(&partition, shard, &records)?;
+            shards.push(snapshot);
+            logs.push(records);
             torn.push(tail_torn);
         }
 
-        // Reconcile: a shard's reachable time is the newer of its snapshot
-        // and its last logged tick; the fleet recovers to the *minimum* of
-        // those, since a tick is only complete once every shard processed it.
-        let reachable = engines
+        // Reconcile: a component's reachable time is the newer of its
+        // snapshot and its last logged tick; the fleet recovers to the
+        // *minimum* of those, since a tick is only complete once every
+        // component processed it.
+        let reachable = shards
             .iter()
             .zip(&logs)
-            .map(|(engine, entries)| {
-                entries
-                    .last()
-                    .map(|e| e.tick.time)
-                    .max(engine.window().current_time())
+            .flat_map(|(snapshot, records)| {
+                snapshot.engines.iter().map(move |(component, engine)| {
+                    records
+                        .iter()
+                        .rev()
+                        .find(|r| r.component == *component)
+                        .map(|r| r.entry.tick.time)
+                        .max(engine.window().current_time())
+                })
             })
             .min()
             .flatten();
-        for (shard, (engine, entries)) in engines.iter_mut().zip(&logs).enumerate() {
-            if let Some(limit) = reachable {
-                if engine.window().current_time().is_some_and(|t| t > limit) {
-                    return Err(TsError::invalid(
-                        "engine",
-                        format!(
-                            "shard {shard} snapshot is ahead of the fleet-wide recovery point \
-                             {limit}; the checkpoint directory is inconsistent"
-                        ),
-                    ));
-                }
-                for entry in entries.iter().filter(|e| e.tick.time <= limit) {
-                    engine.apply_wal_entry(entry)?;
-                }
-            }
-            if engine.window().current_time() != reachable {
-                return Err(TsError::invalid(
-                    "engine",
-                    format!(
-                        "shard {shard} recovered to {:?} instead of the fleet-wide {reachable:?}",
-                        engine.window().current_time()
-                    ),
-                ));
-            }
-        }
+        replay_shards(&mut shards, &logs, reachable)?;
 
-        let tick_count = engines.first().map(|e| e.ticks_processed()).unwrap_or(0);
-        if engines.iter().any(|e| e.ticks_processed() != tick_count) {
-            return Err(TsError::invalid(
-                "engine",
-                "recovered shards disagree on the number of processed ticks",
-            ));
-        }
-        let imputation_count = engines.iter().map(|e| e.imputations_performed()).sum();
+        let tick_count = fleet_tick_count(&shards)?;
+        let imputation_count = shards
+            .iter()
+            .flat_map(|s| s.engines.iter())
+            .map(|(_, e)| e.imputations_performed())
+            .sum();
 
-        let mut workers = Vec::with_capacity(shard_count);
-        for (shard, engine) in engines.into_iter().enumerate() {
+        let mut fleet_workers = Vec::with_capacity(shard_count);
+        for (shard, snapshot) in shards.into_iter().enumerate() {
             let wal = if durable {
                 // Reconciliation may have skipped a trailing record of a
-                // shard that ran ahead, and a tolerated torn tail leaves
-                // garbage bytes after the last intact record; recreate such
-                // logs from the snapshot + replayed state rather than
-                // appending after dropped records or torn bytes.  Logs whose
-                // every byte was applied are reopened for append.
-                let path = shard_wal_path(dir, shard);
+                // component that ran ahead, and a tolerated torn tail
+                // leaves garbage bytes after the last intact record;
+                // recreate such logs from the snapshot + replayed state
+                // rather than appending after dropped records or torn
+                // bytes.  Logs whose every byte was applied are reopened
+                // for append.
+                let path = shard_wal_path(dir, shard, version);
                 let applied_all = logs[shard]
                     .last()
-                    .map(|e| Some(e.tick.time) <= reachable)
+                    .map(|r| Some(r.entry.tick.time) <= reachable)
                     .unwrap_or(true);
                 if applied_all && !torn[shard] {
                     Some(WalWriter::open_append(&path)?)
                 } else {
-                    None // replaced below, after the snapshot is rewritten
+                    write_snapshot_file(&shard_snapshot_path(dir, shard, version), &snapshot)?;
+                    Some(WalWriter::create(&path)?)
                 }
             } else {
                 None
             };
-            workers.push((engine, wal));
+            fleet_workers.push(spawn_worker(snapshot, wal, manifest.sync_policy));
         }
-        // Any shard whose WAL could not be reopened for append gets a fresh
-        // snapshot + empty WAL so the directory is consistent again.
-        let mut fleet_workers = Vec::with_capacity(shard_count);
-        for (shard, (engine, wal)) in workers.into_iter().enumerate() {
-            let wal = match wal {
-                Some(w) => Some(w),
-                None if durable => {
-                    write_snapshot_file(&shard_snapshot_path(dir, shard), &engine)?;
-                    Some(WalWriter::create(&shard_wal_path(dir, shard))?)
-                }
-                None => None,
-            };
-            fleet_workers.push(spawn_worker(engine, wal, manifest.sync_policy));
+        if durable {
+            // A crash between the migration checkpoint's rename and its
+            // cleanup can leave files of a superseded version behind.
+            remove_stale_shard_files(dir, version);
         }
 
+        let loads = LoadTracker::new(&partition);
         Ok(ShardedEngine {
-            partition: manifest.partition,
+            partition,
             workers: fleet_workers,
             tick_count,
             imputation_count,
@@ -442,6 +648,13 @@ impl ShardedEngine {
                 // full snapshot rewrite on the first post-recovery batch.
                 last_rotation: tick_count.saturating_sub(1),
             }),
+            pipeline_depth: 1,
+            in_flight: VecDeque::new(),
+            ready: Vec::new(),
+            submitted_count: tick_count,
+            rebalance: None,
+            loads,
+            pending_migrations: VecDeque::new(),
         })
     }
 
@@ -455,124 +668,118 @@ impl ShardedEngine {
     /// point would silently fork the directory's timeline.  It can process
     /// further ticks — they just are not logged anywhere.
     ///
-    /// Fails when any shard's *snapshot* is already past `time` (snapshots
-    /// cannot be rewound; recover from an older checkpoint directory), and
-    /// on any corruption, exactly as strict recovery does.  A `time` newer
-    /// than everything in the WALs recovers the newest reachable state,
-    /// like [`ShardedEngine::recover`] would.
+    /// Fails when any component's *snapshot* is already past `time`
+    /// (snapshots cannot be rewound; recover from an older checkpoint
+    /// directory), and on any corruption, exactly as strict recovery does.
+    /// A `time` newer than everything in the WALs recovers the newest
+    /// reachable state, like [`ShardedEngine::recover`] would.
     pub fn recover_until(dir: &Path, time: Timestamp) -> Result<Self, TsError> {
         let manifest: Manifest = read_snapshot_file(&manifest_path(dir))?;
-        let shard_count = manifest.partition.shard_count();
+        let partition = manifest.partition;
+        let version = partition.version();
+        let shard_count = partition.shard_count();
 
-        let mut engines = Vec::with_capacity(shard_count);
-        let mut logs: Vec<Vec<WalEntry>> = Vec::with_capacity(shard_count);
+        let mut shards: Vec<ShardSnapshot> = Vec::with_capacity(shard_count);
+        let mut logs: Vec<Vec<ShardWalRecord>> = Vec::with_capacity(shard_count);
         for shard in 0..shard_count {
-            let engine: TkcmEngine = read_snapshot_file(&shard_snapshot_path(dir, shard))?;
-            if engine.window().width() != manifest.partition.members(shard).len() {
-                return Err(TsError::invalid(
-                    "engine",
-                    format!(
-                        "shard {shard} snapshot width {} does not match the manifest partition",
-                        engine.window().width()
-                    ),
-                ));
-            }
-            if engine.window().current_time().is_some_and(|t| t > time) {
-                return Err(TsError::invalid(
-                    "engine",
-                    format!(
-                        "shard {shard} snapshot is already at {:?}, past the requested recovery \
-                         time {time:?}; snapshots cannot be rewound — recover from an older \
-                         checkpoint directory",
-                        engine.window().current_time()
-                    ),
-                ));
-            }
-            let entries = if manifest.wal {
-                read_wal(&shard_wal_path(dir, shard))?
-            } else {
-                Vec::new()
-            };
-            engines.push(engine);
-            logs.push(entries);
-        }
-
-        // The recovery point: the newest tick with time <= `time` that
-        // *every* shard reached (same reconciliation rule as full recovery,
-        // with the requested time as an additional ceiling).
-        let reachable = engines
-            .iter()
-            .zip(&logs)
-            .map(|(engine, entries)| {
-                entries
-                    .iter()
-                    .rev()
-                    .map(|e| e.tick.time)
-                    .find(|t| *t <= time)
-                    .max(engine.window().current_time())
-            })
-            .min()
-            .flatten();
-        for (shard, (engine, entries)) in engines.iter_mut().zip(&logs).enumerate() {
-            if let Some(limit) = reachable {
-                if engine.window().current_time().is_some_and(|t| t > limit) {
+            let snapshot: ShardSnapshot =
+                read_snapshot_file(&shard_snapshot_path(dir, shard, version))?;
+            validate_shard_snapshot(&partition, shard, &snapshot)?;
+            for (component, engine) in &snapshot.engines {
+                if engine.window().current_time().is_some_and(|t| t > time) {
                     return Err(TsError::invalid(
                         "engine",
                         format!(
-                            "shard {shard} snapshot is ahead of the fleet-wide recovery point \
-                             {limit}; the checkpoint directory is inconsistent"
+                            "component {component} on shard {shard} is snapshotted at {:?}, past \
+                             the requested recovery time {time:?}; snapshots cannot be rewound — \
+                             recover from an older checkpoint directory",
+                            engine.window().current_time()
                         ),
                     ));
                 }
-                for entry in entries.iter().filter(|e| e.tick.time <= limit) {
-                    engine.apply_wal_entry(entry)?;
-                }
             }
-            if engine.window().current_time() != reachable {
-                return Err(TsError::invalid(
-                    "engine",
-                    format!(
-                        "shard {shard} recovered to {:?} instead of the fleet-wide {reachable:?}",
-                        engine.window().current_time()
-                    ),
-                ));
-            }
+            let records = if manifest.wal {
+                read_wal(&shard_wal_path(dir, shard, version))?
+            } else {
+                Vec::new()
+            };
+            validate_shard_records(&partition, shard, &records)?;
+            shards.push(snapshot);
+            logs.push(records);
         }
 
-        let tick_count = engines.first().map(|e| e.ticks_processed()).unwrap_or(0);
-        if engines.iter().any(|e| e.ticks_processed() != tick_count) {
-            return Err(TsError::invalid(
-                "engine",
-                "recovered shards disagree on the number of processed ticks",
-            ));
-        }
-        let imputation_count = engines.iter().map(|e| e.imputations_performed()).sum();
-        let workers = engines
+        // The recovery point: the newest tick with time <= `time` that
+        // *every* component reached (same reconciliation rule as full
+        // recovery, with the requested time as an additional ceiling).
+        let reachable = shards
+            .iter()
+            .zip(&logs)
+            .flat_map(|(snapshot, records)| {
+                snapshot.engines.iter().map(move |(component, engine)| {
+                    records
+                        .iter()
+                        .rev()
+                        .filter(|r| r.component == *component)
+                        .map(|r| r.entry.tick.time)
+                        .find(|t| *t <= time)
+                        .max(engine.window().current_time())
+                })
+            })
+            .min()
+            .flatten();
+        replay_shards(&mut shards, &logs, reachable)?;
+
+        let tick_count = fleet_tick_count(&shards)?;
+        let imputation_count = shards
+            .iter()
+            .flat_map(|s| s.engines.iter())
+            .map(|(_, e)| e.imputations_performed())
+            .sum();
+        let workers = shards
             .into_iter()
-            .map(|engine| spawn_worker(engine, None, SyncPolicy::Never))
+            .map(|snapshot| spawn_worker(snapshot, None, SyncPolicy::Never))
             .collect();
+        let loads = LoadTracker::new(&partition);
         Ok(ShardedEngine {
-            partition: manifest.partition,
+            partition,
             workers,
             tick_count,
             imputation_count,
             poisoned: false,
             durable: None,
+            pipeline_depth: 1,
+            in_flight: VecDeque::new(),
+            ready: Vec::new(),
+            submitted_count: tick_count,
+            rebalance: None,
+            loads,
+            pending_migrations: VecDeque::new(),
         })
     }
 
-    /// Checkpoints the fleet into `dir`: barriers every worker, writes one
-    /// snapshot file per shard (atomically) plus the manifest, and — when
-    /// `dir` is this engine's durability directory — truncates the WALs the
-    /// snapshots now cover.  The engine keeps running afterwards; this is a
-    /// rotation point, not a shutdown.
+    /// Checkpoints the fleet into `dir`: drains the pipeline, executes any
+    /// queued migrations, barriers every worker, writes one snapshot file
+    /// per shard (atomically, at the partition's current live-mapping
+    /// version) plus the manifest, and — when `dir` is this engine's
+    /// durability directory — truncates the WALs the snapshots now cover
+    /// and removes files of superseded versions.  The engine keeps running
+    /// afterwards; this is a rotation point, not a shutdown.  Outcomes the
+    /// drain completed are returned by the next `submit_batch`/`drain`.
     pub fn checkpoint(&mut self, dir: &Path) -> Result<CheckpointStats, TsError> {
         if self.poisoned {
-            return Err(TsError::invalid(
-                "engine",
-                "a previous tick failed on one shard; the fleet is out of sync",
-            ));
+            return Err(poisoned_error());
         }
+        self.drain_in_flight()?;
+        self.run_pending_migrations()?;
+        self.checkpoint_inner(dir)
+    }
+
+    /// The barriered snapshot write itself; callers hold the pipeline
+    /// drained.  Does *not* poison on failure: checkpointing never mutates
+    /// engine state, so the in-memory fleet stays consistent and the
+    /// caller may retry (migration commits wrap this and poison there).
+    fn checkpoint_inner(&mut self, dir: &Path) -> Result<CheckpointStats, TsError> {
+        debug_assert!(self.in_flight.is_empty());
         let start = Instant::now();
         std::fs::create_dir_all(dir)
             .map_err(|e| TsError::Io(format!("creating {}: {e}", dir.display())))?;
@@ -580,12 +787,13 @@ impl ShardedEngine {
             .durable
             .as_ref()
             .is_some_and(|d| same_directory(&d.dir, dir));
+        let version = self.partition.version();
         for (shard, worker) in self.workers.iter().enumerate() {
             worker
                 .jobs
                 .send(Job::Checkpoint {
-                    snapshot_path: shard_snapshot_path(dir, shard),
-                    reset_wal: resets_wal.then(|| shard_wal_path(dir, shard)),
+                    snapshot_path: shard_snapshot_path(dir, shard, version),
+                    reset_wal: resets_wal.then(|| shard_wal_path(dir, shard, version)),
                 })
                 .map_err(|_| worker_died())?;
         }
@@ -604,16 +812,17 @@ impl ShardedEngine {
             }
         }
         if let Some(e) = first_error {
-            // The in-memory fleet is still consistent (checkpointing does
-            // not mutate engine state), so the engine is *not* poisoned; the
-            // on-disk directory may hold a mix of old and new snapshots but
-            // every file is individually consistent.
+            // The on-disk directory may hold a mix of old and new snapshot
+            // files but every file is individually consistent, and the
+            // manifest still points at a complete old set.
             return Err(e);
         }
         // Only the durable engine's own directory carries WALs; a checkpoint
         // into a foreign directory (an out-of-band backup) is snapshot-only
         // and must recover as such — its manifest records no WAL and no
-        // rotation interval, whatever this engine's settings are.
+        // rotation interval, whatever this engine's settings are.  The
+        // manifest rename is the commit point: after it, recovery reads the
+        // just-written version-suffixed files.
         write_snapshot_file(
             &manifest_path(dir),
             &Manifest {
@@ -638,6 +847,13 @@ impl ShardedEngine {
                 },
             },
         )?;
+        if resets_wal {
+            // Superseded-version files are garbage now that the manifest
+            // moved on; cleanup is best-effort (a crash here is repaired by
+            // the same call at recovery).  Foreign directories are left
+            // untouched — their stale files belong to someone else.
+            remove_stale_shard_files(dir, version);
+        }
         Ok(CheckpointStats {
             shard_snapshot_bytes,
             seconds: start.elapsed().as_secs_f64(),
@@ -649,7 +865,8 @@ impl ShardedEngine {
         self.durable.as_ref().map(|d| d.dir.as_path())
     }
 
-    /// The fleet partition the engine runs with.
+    /// The fleet partition the engine runs with (its live mapping: version
+    /// and migration log included).
     pub fn partition(&self) -> &FleetPartition {
         &self.partition
     }
@@ -659,12 +876,13 @@ impl ShardedEngine {
         self.workers.len()
     }
 
-    /// Number of fleet-wide ticks processed.
+    /// Number of fleet-wide ticks fully processed (completed, not merely
+    /// submitted).
     pub fn ticks_processed(&self) -> usize {
         self.tick_count
     }
 
-    /// Number of values imputed across all shards.
+    /// Number of values imputed across all shards (completed batches).
     pub fn imputations_performed(&self) -> usize {
         self.imputation_count
     }
@@ -680,42 +898,53 @@ impl ShardedEngine {
         Ok(outcomes.pop().expect("one outcome per processed tick"))
     }
 
-    /// Processes a batch of fleet-wide ticks, in order, returning one merged
-    /// [`EngineOutcome`] per tick (imputations and skips sorted by global
-    /// id).
-    ///
-    /// The whole batch crosses each shard's channel **once**: one fan-out of
-    /// per-shard sub-tick batches, one barrier on the per-shard outcome
-    /// vectors (received in shard order, so the merge never depends on
-    /// thread scheduling).  Durable fleets append the batch's WAL records
-    /// with a single buffered write per shard and apply the group-commit
-    /// [`SyncPolicy`] at the batch boundary.  The outcomes are
-    /// **bit-identical** to `N` sequential [`ShardedEngine::process_tick`]
-    /// calls — batching amortises channel, syscall and fsync overhead
-    /// without changing a single imputed bit (the property
-    /// `tests/batching.rs` pins, including across crash/recovery).
-    ///
-    /// Snapshot rotation runs at batch boundaries only, *before* the batch
-    /// is dispatched: whenever the previous batch carried the fleet across a
-    /// multiple of `snapshot_interval` ticks, the snapshots are rewritten
-    /// and the WALs truncated first, so a rotation failure surfaces before
-    /// any tick of this batch is processed — no outcome is lost and the
-    /// caller can safely retry the same batch (which retries the rotation
-    /// first).
+    /// Processes a batch of fleet-wide ticks synchronously: submit, then
+    /// drain the pipeline, returning every completed outcome (one merged
+    /// [`EngineOutcome`] per tick, imputations and skips sorted by global
+    /// id).  At pipeline depth 1 — the default — this is exactly the
+    /// classic barrier-per-batch path: the returned outcomes are this
+    /// batch's, **bit-identical** to `N` sequential
+    /// [`ShardedEngine::process_tick`] calls (the property
+    /// `tests/batching.rs` pins, including across crash/recovery).  At
+    /// deeper pipelines the result also carries any outcomes an earlier
+    /// `submit_batch` left in flight.
     ///
     /// An error from any shard — a bad tick mid-batch, a WAL append or
     /// group-commit fsync failure — poisons the engine, because the shards
     /// (and the prefix of the batch each of them committed) may no longer
     /// agree; subsequent calls keep failing.  An empty batch is a no-op.
     pub fn process_batch(&mut self, ticks: &[StreamTick]) -> Result<Vec<EngineOutcome>, TsError> {
+        let mut outcomes = self.submit_batch(ticks)?;
+        outcomes.extend(self.drain()?);
+        Ok(outcomes)
+    }
+
+    /// Submits a batch of fleet-wide ticks into the pipeline and returns
+    /// whatever outcomes have *completed* so far (possibly none, possibly
+    /// earlier batches'), in submission order.
+    ///
+    /// The whole batch crosses each shard's channel **once**: one fan-out
+    /// of per-component sub-tick batches.  Up to
+    /// [`ShardedEngine::pipeline_depth`] batches ride the channels
+    /// concurrently; the oldest is completed (barriered, merged, load-
+    /// accounted) whenever the depth would overflow.  Durable fleets
+    /// append each batch's WAL records with a single buffered write per
+    /// shard and apply the group-commit [`SyncPolicy`] at the batch
+    /// boundary.
+    ///
+    /// Snapshot rotation and queued component migrations run *before* the
+    /// batch is dispatched, at a fully-drained pipeline boundary: whenever
+    /// the submitted-tick count crossed a multiple of `snapshot_interval`,
+    /// or a migration is pending, the pipeline drains first — so a
+    /// rotation failure surfaces before any tick of this batch is
+    /// processed, no outcome is lost, and the caller can safely retry the
+    /// same batch.
+    pub fn submit_batch(&mut self, ticks: &[StreamTick]) -> Result<Vec<EngineOutcome>, TsError> {
         if self.poisoned {
-            return Err(TsError::invalid(
-                "engine",
-                "a previous tick failed on one shard; the fleet is out of sync",
-            ));
+            return Err(poisoned_error());
         }
         if ticks.is_empty() {
-            return Ok(Vec::new());
+            return Ok(std::mem::take(&mut self.ready));
         }
         for tick in ticks {
             if tick.width() != self.partition.width() {
@@ -726,57 +955,133 @@ impl ShardedEngine {
                 });
             }
         }
-        // Snapshot rotation at the batch boundary: rotate when the processed
-        // tick count crossed a rotation interval since the last rotation
-        // (for per-tick ingestion this fires exactly at the multiples, as it
-        // always did; a large batch that jumps several multiples rotates
-        // once).  Rotation bounds recovery time and log growth to
-        // `snapshot_interval + batch` ticks.
-        if let Some(durable) = &self.durable {
-            let interval = durable.snapshot_interval;
-            if interval > 0 && self.tick_count / interval > durable.last_rotation / interval {
-                let dir = durable.dir.clone();
-                self.checkpoint(&dir)?;
-                let rotated = self.tick_count;
-                if let Some(durable) = &mut self.durable {
-                    durable.last_rotation = rotated;
+        // Pipeline boundary work first, before this batch dispatches:
+        // queued migrations, then snapshot rotation (which the migrations'
+        // own commit checkpoint may have just satisfied).  Rotation bounds
+        // recovery time and log growth to `snapshot_interval + depth ×
+        // batch` ticks.
+        if !self.pending_migrations.is_empty() || self.rotation_due() {
+            self.drain_in_flight()?;
+            self.run_pending_migrations()?;
+            if self.rotation_due() {
+                if let Some(dir) = self.durable.as_ref().map(|d| d.dir.clone()) {
+                    self.checkpoint_inner(&dir)?;
+                    let rotated = self.submitted_count;
+                    if let Some(durable) = &mut self.durable {
+                        durable.last_rotation = rotated;
+                    }
                 }
             }
         }
         for (shard, worker) in self.workers.iter().enumerate() {
-            let sub: Vec<StreamTick> = ticks
-                .iter()
-                .map(|tick| self.partition.project_tick(shard, tick))
+            let payload: Vec<(usize, Vec<StreamTick>)> = self
+                .partition
+                .components_on(shard)
+                .into_iter()
+                .map(|component| {
+                    let sub = ticks
+                        .iter()
+                        .map(|tick| self.partition.project_component_tick(component, tick))
+                        .collect();
+                    (component, sub)
+                })
                 .collect();
             worker
                 .jobs
-                .send(Job::Batch(sub))
+                .send(Job::Batch(payload))
                 .map_err(|_| worker_died())?;
         }
-        // Barrier: exactly one reply per worker, received in shard order so
-        // the merge below never depends on scheduling.
-        let mut merged: Vec<EngineOutcome> =
-            ticks.iter().map(|_| EngineOutcome::default()).collect();
+        self.in_flight.push_back(ticks.len());
+        self.submitted_count += ticks.len();
+        while self.in_flight.len() > self.pipeline_depth {
+            self.complete_oldest()?;
+        }
+        Ok(std::mem::take(&mut self.ready))
+    }
+
+    /// Completes every batch still in flight, executes any queued
+    /// migrations and returns all completed-but-unreturned outcomes in
+    /// submission order.  After `drain` the pipeline is empty —
+    /// `ticks_processed` equals the submitted count.
+    pub fn drain(&mut self) -> Result<Vec<EngineOutcome>, TsError> {
+        if self.poisoned {
+            return Err(poisoned_error());
+        }
+        self.drain_in_flight()?;
+        self.run_pending_migrations()?;
+        Ok(std::mem::take(&mut self.ready))
+    }
+
+    /// Whether the submitted-tick count crossed a rotation interval since
+    /// the last rotation (for per-tick ingestion this fires exactly at the
+    /// multiples; a large batch that jumps several multiples rotates once).
+    fn rotation_due(&self) -> bool {
+        self.durable.as_ref().is_some_and(|d| {
+            d.snapshot_interval > 0
+                && self.submitted_count / d.snapshot_interval
+                    > d.last_rotation / d.snapshot_interval
+        })
+    }
+
+    fn drain_in_flight(&mut self) -> Result<(), TsError> {
+        while !self.in_flight.is_empty() {
+            self.complete_oldest()?;
+        }
+        Ok(())
+    }
+
+    /// Barriers on the oldest in-flight batch: exactly one reply per
+    /// worker, received in shard order so the merge never depends on
+    /// scheduling.  Merged outcomes land in `ready`; load reports feed the
+    /// EWMAs and, when rebalancing is on, may queue a migration for the
+    /// next pipeline boundary.
+    fn complete_oldest(&mut self) -> Result<(), TsError> {
+        let Some(len) = self.in_flight.pop_front() else {
+            return Ok(());
+        };
+        let mut replies = Vec::with_capacity(self.workers.len());
+        for worker in &self.workers {
+            match worker.results.recv() {
+                Ok(reply) => replies.push(reply),
+                Err(_) => {
+                    self.poisoned = true;
+                    return Err(worker_died());
+                }
+            }
+        }
+        let mut merged: Vec<EngineOutcome> = (0..len).map(|_| EngineOutcome::default()).collect();
+        let mut loads: Vec<ShardLoad> = Vec::with_capacity(self.workers.len());
         let mut first_error = None;
-        for (shard, worker) in self.workers.iter().enumerate() {
-            let outcomes = match worker.results.recv().map_err(|_| worker_died())? {
-                Reply::Batch(outcomes) => outcomes,
+        for reply in replies {
+            match reply {
+                Reply::Batch(Ok((per_component, load))) => {
+                    if first_error.is_none() {
+                        for (component, outcomes) in per_component {
+                            if outcomes.len() != len {
+                                self.poisoned = true;
+                                return Err(TsError::invalid(
+                                    "engine",
+                                    "worker protocol violation: wrong outcome count for a batch",
+                                ));
+                            }
+                            for (pos, outcome) in outcomes.into_iter().enumerate() {
+                                self.merge_component_outcome(component, outcome, &mut merged[pos]);
+                            }
+                        }
+                    }
+                    loads.push(load);
+                }
+                Reply::Batch(Err(e)) => {
+                    first_error = first_error.or(Some(e));
+                    loads.push(ShardLoad::default());
+                }
                 _ => {
+                    self.poisoned = true;
                     return Err(TsError::invalid(
                         "engine",
                         "worker protocol violation: non-batch reply to a batch",
-                    ))
+                    ));
                 }
-            };
-            match outcomes {
-                Ok(outcomes) => {
-                    if first_error.is_none() {
-                        for (pos, outcome) in outcomes.into_iter().enumerate() {
-                            self.merge_outcome(shard, outcome, &mut merged[pos]);
-                        }
-                    }
-                }
-                Err(e) => first_error = Some(e),
             }
         }
         if let Some(e) = first_error {
@@ -788,8 +1093,235 @@ impl ShardedEngine {
             outcome.skipped.sort_unstable();
             self.imputation_count += outcome.imputations.len();
         }
-        self.tick_count += ticks.len();
-        Ok(merged)
+        self.tick_count += len;
+        self.ready.extend(merged);
+        self.observe_loads(&loads, len);
+        self.maybe_queue_migration();
+        Ok(())
+    }
+
+    /// Folds the batch's load reports into the EWMAs and throughput
+    /// accumulators.
+    fn observe_loads(&mut self, loads: &[ShardLoad], ticks: usize) {
+        if ticks == 0 || loads.len() != self.loads.shard_ewma.len() {
+            return;
+        }
+        let alpha = self
+            .rebalance
+            .as_ref()
+            .map(|o| o.ewma_alpha)
+            .unwrap_or(DEFAULT_EWMA_ALPHA);
+        let mut max_nanos = 0u64;
+        let mut sum_nanos = 0u128;
+        for (shard, load) in loads.iter().enumerate() {
+            max_nanos = max_nanos.max(load.nanos);
+            sum_nanos += u128::from(load.nanos);
+            ewma_update(
+                &mut self.loads.shard_ewma[shard],
+                alpha,
+                load.nanos as f64 / ticks as f64,
+            );
+            for (component, nanos) in &load.component_nanos {
+                if let Some(slot) = self.loads.component_ewma.get_mut(*component) {
+                    ewma_update(slot, alpha, *nanos as f64 / ticks as f64);
+                }
+            }
+        }
+        self.loads.critical_path_nanos += u128::from(max_nanos);
+        self.loads.busy_nanos += sum_nanos;
+    }
+
+    /// The stealing trigger, evaluated once per completed batch: sustained
+    /// hot/median imbalance queues one whole-component migration from the
+    /// hottest to the coldest shard, picking the heaviest component whose
+    /// weight fits strictly inside the hot/cold gap (so the move improves
+    /// the balance rather than merely relocating the hotspot).
+    fn maybe_queue_migration(&mut self) {
+        let Some(options) = self.rebalance else {
+            return;
+        };
+        if self.workers.len() < 2 || !self.pending_migrations.is_empty() {
+            return;
+        }
+        if self.loads.cooldown > 0 {
+            self.loads.cooldown -= 1;
+            return;
+        }
+        let Some(ewmas) = self
+            .loads
+            .shard_ewma
+            .iter()
+            .copied()
+            .collect::<Option<Vec<f64>>>()
+        else {
+            return; // not every shard has reported yet
+        };
+        let mut sorted = ewmas.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("load EWMAs are finite"));
+        // Lower median: robust to one hot outlier even at 2 shards.
+        let median = sorted[(sorted.len() - 1) / 2];
+        if median <= 0.0 {
+            return;
+        }
+        let (hot, hot_ewma) = ewmas
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("load EWMAs are finite"))
+            .expect("at least two shards");
+        if hot_ewma / median < options.latency_ratio {
+            self.loads.hot_streak = 0;
+            return;
+        }
+        self.loads.hot_streak += 1;
+        if self.loads.hot_streak < options.patience {
+            return;
+        }
+        self.loads.hot_streak = 0;
+        let (cold, cold_ewma) = ewmas
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("load EWMAs are finite"))
+            .expect("at least two shards");
+        if hot == cold {
+            return;
+        }
+        let gap = hot_ewma - cold_ewma;
+        let donors = self.partition.components_on(hot);
+        if donors.len() < 2 {
+            return; // never steal a shard's last component
+        }
+        // Heaviest component strictly lighter than the gap; iterating
+        // ascending with a strict `>` keeps the smallest id on ties.
+        let mut best: Option<(usize, f64)> = None;
+        for component in donors {
+            let Some(weight) = self.loads.component_ewma[component] else {
+                continue;
+            };
+            if weight <= 0.0 || weight >= gap {
+                continue;
+            }
+            if best.is_none_or(|(_, bw)| weight > bw) {
+                best = Some((component, weight));
+            }
+        }
+        if let Some((component, _)) = best {
+            if std::env::var_os("TKCM_DEBUG_REBALANCE").is_some() {
+                eprintln!(
+                    "rebalance: batch={} move component {component} ({:?}) {hot}->{cold} ewmas={ewmas:?}",
+                    self.submitted_count,
+                    self.loads.component_ewma[component],
+                );
+            }
+            self.pending_migrations.push_back((component, cold));
+            self.loads.cooldown = options.cooldown_batches;
+        }
+    }
+
+    fn run_pending_migrations(&mut self) -> Result<(), TsError> {
+        debug_assert!(self.in_flight.is_empty());
+        while let Some((component, to_shard)) = self.pending_migrations.pop_front() {
+            self.execute_migration(component, to_shard)?;
+        }
+        Ok(())
+    }
+
+    /// Moves one component's engine from its current shard to `to_shard`
+    /// through the job channels (snapshot codec, bit-exact), commits the
+    /// new live mapping into the partition (version bump + migration log)
+    /// and — for durable fleets — persists it with a checkpoint at the new
+    /// version, whose manifest rename is the commit point.  Any failure on
+    /// this path poisons the fleet: the engine may be neither here nor
+    /// there.
+    fn execute_migration(&mut self, component: usize, to_shard: usize) -> Result<(), TsError> {
+        let from = self.partition.shard_of_component(component);
+        if from == to_shard {
+            return Ok(());
+        }
+        let result = self.execute_migration_inner(component, from, to_shard);
+        if result.is_err() {
+            self.poisoned = true;
+        }
+        result
+    }
+
+    fn execute_migration_inner(
+        &mut self,
+        component: usize,
+        from: usize,
+        to_shard: usize,
+    ) -> Result<(), TsError> {
+        self.workers[from]
+            .jobs
+            .send(Job::Extract(component))
+            .map_err(|_| worker_died())?;
+        let bytes = match self.workers[from]
+            .results
+            .recv()
+            .map_err(|_| worker_died())?
+        {
+            Reply::Extracted(result) => result?,
+            _ => {
+                return Err(TsError::invalid(
+                    "engine",
+                    "worker protocol violation: non-extract reply to an extract",
+                ))
+            }
+        };
+        self.workers[to_shard]
+            .jobs
+            .send(Job::Install {
+                component,
+                engine: bytes,
+            })
+            .map_err(|_| worker_died())?;
+        match self.workers[to_shard]
+            .results
+            .recv()
+            .map_err(|_| worker_died())?
+        {
+            Reply::Installed(result) => result?,
+            _ => {
+                return Err(TsError::invalid(
+                    "engine",
+                    "worker protocol violation: non-install reply to an install",
+                ))
+            }
+        }
+        self.partition
+            .migrate(component, to_shard, self.submitted_count as u64)?;
+        // Carry the load history across the move: shift the component's
+        // estimated weight from the donor's EWMA to the receiver's, so the
+        // next trigger evaluation sees the post-migration balance instead
+        // of either pre-migration history (which would re-trigger on the
+        // hotspot that was just fixed) or a from-scratch reset (whose
+        // first samples are single-batch noise).  Without a weight
+        // estimate — forced migrations before any load report — only the
+        // two affected shards' estimates are discarded.
+        match self.loads.component_ewma.get(component).copied().flatten() {
+            Some(weight) => {
+                if let Some(donor) = self.loads.shard_ewma[from].as_mut() {
+                    *donor = (*donor - weight).max(0.0);
+                }
+                if let Some(receiver) = self.loads.shard_ewma[to_shard].as_mut() {
+                    *receiver += weight;
+                }
+            }
+            None => {
+                self.loads.shard_ewma[from] = None;
+                self.loads.shard_ewma[to_shard] = None;
+            }
+        }
+        self.loads.hot_streak = 0;
+        if let Some(dir) = self.durable.as_ref().map(|d| d.dir.clone()) {
+            self.checkpoint_inner(&dir)?;
+            let rotated = self.submitted_count;
+            if let Some(durable) = &mut self.durable {
+                durable.last_rotation = rotated;
+            }
+        }
+        Ok(())
     }
 
     /// Fault injection for the durability tests: every worker's subsequent
@@ -807,10 +1339,15 @@ impl ShardedEngine {
         }
     }
 
-    /// Folds one shard's outcome into the merged fleet outcome, remapping
-    /// every shard-local id back to global space.
-    fn merge_outcome(&self, shard: usize, outcome: EngineOutcome, merged: &mut EngineOutcome) {
-        let to_global = |local: SeriesId| self.partition.global_id(shard, local);
+    /// Folds one component's outcome into the merged fleet outcome,
+    /// remapping every component-local id back to global space.
+    fn merge_component_outcome(
+        &self,
+        component: usize,
+        outcome: EngineOutcome,
+        merged: &mut EngineOutcome,
+    ) {
+        let to_global = |local: SeriesId| self.partition.component_global_id(component, local);
         for mut imputation in outcome.imputations {
             imputation.series = to_global(imputation.series);
             imputation.detail.series = imputation.series;
@@ -843,6 +1380,153 @@ fn worker_died() -> TsError {
     TsError::invalid("engine", "a shard worker thread exited unexpectedly")
 }
 
+fn poisoned_error() -> TsError {
+    TsError::invalid(
+        "engine",
+        "a previous tick failed on one shard; the fleet is out of sync",
+    )
+}
+
+/// Builds one shard's worker payload at construction: one engine per
+/// component assigned to the shard, over the component-local catalog.
+fn build_shard(
+    partition: &FleetPartition,
+    shard: usize,
+    config: &TkcmConfig,
+    catalog: &Catalog,
+) -> Result<ShardSnapshot, TsError> {
+    let mut engines = Vec::new();
+    for component in partition.components_on(shard) {
+        let local_catalog = partition.component_catalog(component, catalog)?;
+        let engine = TkcmEngine::new(
+            partition.component_members(component).len(),
+            config.clone(),
+            local_catalog,
+        )?;
+        engines.push((component, engine));
+    }
+    Ok(ShardSnapshot { engines })
+}
+
+/// A shard snapshot must carry exactly the components the partition assigns
+/// to the shard, each engine at its component's width.
+fn validate_shard_snapshot(
+    partition: &FleetPartition,
+    shard: usize,
+    snapshot: &ShardSnapshot,
+) -> Result<(), TsError> {
+    let expected = partition.components_on(shard);
+    let got: Vec<usize> = snapshot.engines.iter().map(|(c, _)| *c).collect();
+    if got != expected {
+        return Err(TsError::invalid(
+            "engine",
+            format!(
+                "shard {shard} snapshot carries components {got:?} but the manifest assigns \
+                 {expected:?}"
+            ),
+        ));
+    }
+    for (component, engine) in &snapshot.engines {
+        if engine.window().width() != partition.component_members(*component).len() {
+            return Err(TsError::invalid(
+                "engine",
+                format!(
+                    "component {component} snapshot width {} does not match the manifest \
+                     partition",
+                    engine.window().width()
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Every WAL record must name a component the partition assigns to the
+/// shard whose log it sits in.
+fn validate_shard_records(
+    partition: &FleetPartition,
+    shard: usize,
+    records: &[ShardWalRecord],
+) -> Result<(), TsError> {
+    for record in records {
+        if record.component >= partition.component_count()
+            || partition.shard_of_component(record.component) != shard
+        {
+            return Err(TsError::invalid(
+                "engine",
+                format!(
+                    "shard {shard} WAL names component {} which the manifest does not assign to \
+                     it",
+                    record.component
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Replays every shard's records up to the fleet-wide recovery point,
+/// routing each record to its component's engine, and verifies every
+/// engine landed exactly there.
+fn replay_shards(
+    shards: &mut [ShardSnapshot],
+    logs: &[Vec<ShardWalRecord>],
+    reachable: Option<Timestamp>,
+) -> Result<(), TsError> {
+    for (shard, (snapshot, records)) in shards.iter_mut().zip(logs).enumerate() {
+        if let Some(limit) = reachable {
+            for (component, engine) in &snapshot.engines {
+                if engine.window().current_time().is_some_and(|t| t > limit) {
+                    return Err(TsError::invalid(
+                        "engine",
+                        format!(
+                            "component {component} on shard {shard} is snapshotted ahead of the \
+                             fleet-wide recovery point {limit}; the checkpoint directory is \
+                             inconsistent"
+                        ),
+                    ));
+                }
+            }
+            for record in records.iter().filter(|r| r.entry.tick.time <= limit) {
+                let engine = snapshot
+                    .engines
+                    .iter_mut()
+                    .find(|(c, _)| *c == record.component)
+                    .map(|(_, e)| e)
+                    .expect("record components were validated against the assignment");
+                engine.apply_wal_entry(&record.entry)?;
+            }
+        }
+        for (component, engine) in &snapshot.engines {
+            if engine.window().current_time() != reachable {
+                return Err(TsError::invalid(
+                    "engine",
+                    format!(
+                        "component {component} on shard {shard} recovered to {:?} instead of the \
+                         fleet-wide {reachable:?}",
+                        engine.window().current_time()
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Every recovered engine must agree on the number of processed ticks;
+/// that shared count is the fleet's.
+fn fleet_tick_count(shards: &[ShardSnapshot]) -> Result<usize, TsError> {
+    let mut engines = shards.iter().flat_map(|s| s.engines.iter().map(|(_, e)| e));
+    let tick_count = engines.next().map(|e| e.ticks_processed()).unwrap_or(0);
+    if engines.any(|e| e.ticks_processed() != tick_count) {
+        return Err(TsError::invalid(
+            "engine",
+            "recovered components disagree on the number of processed ticks",
+        ));
+    }
+    Ok(tick_count)
+}
+
 /// Whether two paths name the same directory (resolving symlinks/`..`; falls
 /// back to lexical equality while either does not exist yet).
 fn same_directory(a: &Path, b: &Path) -> bool {
@@ -852,49 +1536,117 @@ fn same_directory(a: &Path, b: &Path) -> bool {
     }
 }
 
-/// Processes a batch of ticks on the worker's engine and, for durable
-/// fleets, logs every processed tick together with its write-backs — the
-/// whole batch framed into one buffered WAL append — before reporting the
-/// outcomes: once `process_batch` returns on the fleet engine, the records
-/// are on disk (and fsynced, when the group-commit policy said so).
+/// Nanoseconds of CPU time the calling thread has accumulated, from the
+/// kernel's per-thread scheduler accounting (`schedstat` field 1).
+/// Unlike wall-clock timing this excludes time spent preempted by other
+/// runnable threads, so per-shard load reports stay meaningful when the
+/// fleet has more workers than cores.  `None` where the accounting file
+/// is unavailable (non-Linux, schedstats compiled out); callers keep
+/// their wall-clock sums.
+fn thread_cpu_nanos() -> Option<u64> {
+    let stat = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
+    stat.split_whitespace().next()?.parse().ok()
+}
+
+/// Processes a batch of per-component sub-ticks on the worker's engines
+/// and, for durable fleets, logs every processed `(component, tick)` pair
+/// tick-major — the whole batch framed into one buffered WAL append —
+/// before reporting the outcomes: once the fleet barriers on this batch,
+/// the records are on disk (and fsynced, when the group-commit policy said
+/// so).
 ///
 /// A tick that fails mid-batch stops processing there; the records of the
-/// committed prefix are still appended (exactly what the per-tick path
-/// would have logged before hitting the same error) and the engine error is
-/// reported, poisoning the fleet.  That prefix is real, durable history: a
-/// later recovery resumes *after* it, just as if the same ticks had been
-/// fed per-tick before the failure — only the in-memory fleet is poisoned.
+/// committed prefix (all components of earlier ticks, plus the components
+/// that completed the failing tick before the error) are still appended —
+/// exactly what the per-tick path would have logged — and the engine error
+/// is reported, poisoning the fleet.  That prefix is real, durable
+/// history: recovery's per-component reconciliation resumes *after* it.
 /// On that path the engine error is the root cause the fleet reports; a
 /// secondary append/sync failure while logging the prefix does not shadow
 /// it, and the policy sync is skipped.
 fn worker_batch(
-    engine: &mut TkcmEngine,
+    engines: &mut [(usize, TkcmEngine)],
     wal: &mut Option<WalWriter>,
     sync: &mut SyncState,
-    ticks: &[StreamTick],
-) -> Result<Vec<EngineOutcome>, TsError> {
-    let mut outcomes = Vec::with_capacity(ticks.len());
+    batch: &[(usize, Vec<StreamTick>)],
+) -> Result<BatchReply, TsError> {
+    if batch.len() != engines.len()
+        || batch
+            .iter()
+            .zip(engines.iter())
+            .any(|((bc, _), (ec, _))| bc != ec)
+    {
+        return Err(TsError::invalid(
+            "engine",
+            "batch components do not match the worker's engines",
+        ));
+    }
+    let ticks = batch.first().map(|(_, sub)| sub.len()).unwrap_or(0);
+    if batch.iter().any(|(_, sub)| sub.len() != ticks) {
+        return Err(TsError::invalid(
+            "engine",
+            "batch sub-tick vectors differ in length",
+        ));
+    }
+    let mut outcomes: Vec<(usize, Vec<EngineOutcome>)> = engines
+        .iter()
+        .map(|(c, _)| (*c, Vec::with_capacity(ticks)))
+        .collect();
+    let mut records: Vec<ShardWalRecord> = Vec::with_capacity(ticks * engines.len());
+    let mut load = ShardLoad {
+        nanos: 0,
+        component_nanos: engines.iter().map(|(c, _)| (*c, 0u64)).collect(),
+        imputations: 0,
+    };
+    let cpu_started = thread_cpu_nanos();
     let mut failure = None;
-    for tick in ticks {
-        match engine.process_tick(tick) {
-            Ok(outcome) => outcomes.push(outcome),
-            Err(e) => {
-                failure = Some(e);
-                break;
+    'ticks: for t in 0..ticks {
+        for (idx, (component, engine)) in engines.iter_mut().enumerate() {
+            let tick = &batch[idx].1[t];
+            let started = Instant::now();
+            match engine.process_tick(tick) {
+                Ok(outcome) => {
+                    let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    load.component_nanos[idx].1 += nanos;
+                    load.nanos += nanos;
+                    load.imputations += outcome.imputations.len() as u64;
+                    records.push(ShardWalRecord {
+                        component: *component,
+                        entry: WalEntry::from_outcome(tick, &outcome),
+                    });
+                    outcomes[idx].1.push(outcome);
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break 'ticks;
+                }
             }
         }
     }
+    // Re-base the load report on the thread's CPU time for the whole tick
+    // loop: the per-tick wall clocks above keep the *relative* component
+    // shares, but their sum also counts time this thread spent preempted —
+    // on a host with more workers than cores (CI runners, single-core
+    // boxes) that noise dwarfs the real skew and the rebalancer would
+    // chase scheduling ghosts.  Where the kernel offers no per-thread
+    // accounting, the wall sums stand as measured.
+    if let (Some(started), Some(ended), false) = (cpu_started, thread_cpu_nanos(), load.nanos == 0)
+    {
+        let cpu = ended.saturating_sub(started);
+        if cpu > 0 {
+            let scale = cpu as f64 / load.nanos as f64;
+            for (_, nanos) in &mut load.component_nanos {
+                *nanos = (*nanos as f64 * scale) as u64;
+            }
+            load.nanos = cpu;
+        }
+    }
     if let Some(wal) = wal {
-        let entries: Vec<WalEntry> = ticks
-            .iter()
-            .zip(&outcomes)
-            .map(|(tick, outcome)| WalEntry::from_outcome(tick, outcome))
-            .collect();
         let logged =
-            wal.append_batch(&entries)
+            wal.append_batch(&records)
                 .map_err(TsError::from)
                 .and_then(|_| match failure {
-                    None => sync.after_append(wal, entries.len() as u64),
+                    None => sync.after_append(wal, ticks as u64),
                     Some(_) => Ok(()),
                 });
         if failure.is_none() {
@@ -903,45 +1655,101 @@ fn worker_batch(
     }
     match failure {
         Some(e) => Err(e),
-        None => Ok(outcomes),
+        None => Ok((outcomes, load)),
     }
 }
 
 /// Writes the worker's snapshot and, when asked, truncates its WAL (only
 /// after the snapshot safely renamed into place — on a snapshot error the
-/// old log keeps growing and stale records are skipped at recovery).
+/// old log keeps growing and stale records are skipped at replay).
 fn worker_checkpoint(
-    engine: &TkcmEngine,
+    snapshot: &ShardSnapshot,
     wal: &mut Option<WalWriter>,
     snapshot_path: &Path,
     reset_wal: Option<&Path>,
 ) -> Result<u64, TsError> {
-    let bytes = write_snapshot_file(snapshot_path, engine)?;
+    let bytes = write_snapshot_file(snapshot_path, snapshot)?;
     if let Some(wal_path) = reset_wal {
         *wal = Some(WalWriter::create(wal_path)?);
     }
     Ok(bytes)
 }
 
-fn spawn_worker(mut engine: TkcmEngine, mut wal: Option<WalWriter>, policy: SyncPolicy) -> Worker {
+/// The donor half of a migration: serialise the component's engine through
+/// the snapshot codec (bit-exact) and hand it off, removing it from this
+/// worker.
+fn extract_component(
+    engines: &mut Vec<(usize, TkcmEngine)>,
+    component: usize,
+) -> Result<Vec<u8>, TsError> {
+    let pos = engines
+        .iter()
+        .position(|(c, _)| *c == component)
+        .ok_or_else(|| {
+            TsError::invalid(
+                "engine",
+                format!("component {component} is not on this shard"),
+            )
+        })?;
+    let bytes = encode_to_vec(&engines[pos].1)?;
+    engines.remove(pos);
+    Ok(bytes)
+}
+
+/// The receiver half of a migration: decode and adopt the engine, keeping
+/// the component list strictly ascending.
+fn install_component(
+    engines: &mut Vec<(usize, TkcmEngine)>,
+    component: usize,
+    bytes: &[u8],
+) -> Result<(), TsError> {
+    if engines.iter().any(|(c, _)| *c == component) {
+        return Err(TsError::invalid(
+            "engine",
+            format!("component {component} is already on this shard"),
+        ));
+    }
+    let engine: TkcmEngine = decode_from_slice(bytes)?;
+    let pos = engines
+        .iter()
+        .position(|(c, _)| *c > component)
+        .unwrap_or(engines.len());
+    engines.insert(pos, (component, engine));
+    Ok(())
+}
+
+fn spawn_worker(
+    mut snapshot: ShardSnapshot,
+    mut wal: Option<WalWriter>,
+    policy: SyncPolicy,
+) -> Worker {
     let (jobs, job_rx) = channel::<Job>();
     let (result_tx, results) = channel();
     let handle = std::thread::spawn(move || {
         let mut sync = SyncState::new(policy);
         loop {
             let reply = match job_rx.recv() {
-                Ok(Job::Batch(ticks)) => {
-                    Reply::Batch(worker_batch(&mut engine, &mut wal, &mut sync, &ticks))
-                }
+                Ok(Job::Batch(batch)) => Reply::Batch(worker_batch(
+                    &mut snapshot.engines,
+                    &mut wal,
+                    &mut sync,
+                    &batch,
+                )),
                 Ok(Job::Checkpoint {
                     snapshot_path,
                     reset_wal,
                 }) => Reply::Checkpoint(worker_checkpoint(
-                    &engine,
+                    &snapshot,
                     &mut wal,
                     &snapshot_path,
                     reset_wal.as_deref(),
                 )),
+                Ok(Job::Extract(component)) => {
+                    Reply::Extracted(extract_component(&mut snapshot.engines, component))
+                }
+                Ok(Job::Install { component, engine }) => {
+                    Reply::Installed(install_component(&mut snapshot.engines, component, &engine))
+                }
                 #[cfg(test)]
                 Ok(Job::InjectSyncFailures) => {
                     if let Some(wal) = &mut wal {
@@ -1072,6 +1880,113 @@ mod tests {
             ShardedEngine::new(2, small_config(), Catalog::ring_neighbours(2), 1).unwrap();
         assert!(engine.process_batch(&[]).unwrap().is_empty());
         assert_eq!(engine.ticks_processed(), 0);
+    }
+
+    #[test]
+    fn pipelined_submission_matches_the_synchronous_path() {
+        let width = 6usize;
+        let catalog = Catalog::ring_neighbours(width);
+        let tick = |t: usize| {
+            let values = (0..width)
+                .map(|s| {
+                    if t >= 70 && t.is_multiple_of(7) && s.is_multiple_of(3) {
+                        None
+                    } else {
+                        Some(((t + 5 * s) as f64 * 0.31).sin())
+                    }
+                })
+                .collect();
+            StreamTick::new(Timestamp::new(t as i64), values)
+        };
+        let mut sync_fleet = ShardedEngine::new(width, small_config(), catalog.clone(), 2).unwrap();
+        let mut piped = ShardedEngine::new(width, small_config(), catalog, 2).unwrap();
+        piped.set_pipeline_depth(2);
+        assert_eq!(piped.pipeline_depth(), 2);
+
+        let mut expected = Vec::new();
+        let mut got = Vec::new();
+        let mut t = 0usize;
+        for batch_len in [1usize, 4, 3, 8, 2, 8, 5] {
+            let batch: Vec<StreamTick> = (t..t + batch_len).map(tick).collect();
+            t += batch_len;
+            expected.extend(sync_fleet.process_batch(&batch).unwrap());
+            got.extend(piped.submit_batch(&batch).unwrap());
+        }
+        got.extend(piped.drain().unwrap());
+        assert_eq!(piped.ticks_processed(), t);
+        assert_eq!(expected.len(), got.len());
+        for (a, b) in expected.iter().zip(&got) {
+            assert_eq!(a.timing_stripped(), b.timing_stripped());
+        }
+        assert_eq!(
+            sync_fleet.imputations_performed(),
+            piped.imputations_performed()
+        );
+        let stats = piped.load_stats();
+        assert!(stats.critical_path_seconds > 0.0);
+        assert!(stats.busy_seconds >= stats.critical_path_seconds);
+        assert!(stats.shard_ewma_nanos.iter().all(|e| e.is_some()));
+    }
+
+    #[test]
+    fn forced_migrations_move_components_without_changing_outcomes() {
+        let width = 8usize;
+        // Four pair-components over two shards.
+        let mut catalog = Catalog::new();
+        for pair in 0..4usize {
+            let a = SeriesId::from(2 * pair);
+            let b = SeriesId::from(2 * pair + 1);
+            catalog.set_candidates(a, vec![b]).unwrap();
+            catalog.set_candidates(b, vec![a]).unwrap();
+        }
+        let tick = |t: usize| {
+            let values = (0..width)
+                .map(|s| {
+                    if t >= 70 && t.is_multiple_of(5) && s.is_multiple_of(2) {
+                        None
+                    } else {
+                        Some(((t + 2 * s) as f64 * 0.27).sin())
+                    }
+                })
+                .collect();
+            StreamTick::new(Timestamp::new(t as i64), values)
+        };
+        let mut static_fleet =
+            ShardedEngine::new(width, small_config(), catalog.clone(), 2).unwrap();
+        let mut elastic = ShardedEngine::new(width, small_config(), catalog, 2).unwrap();
+        elastic.set_pipeline_depth(2);
+
+        let mut expected = Vec::new();
+        let mut got = Vec::new();
+        for chunk in 0..20usize {
+            let batch: Vec<StreamTick> = (chunk * 5..chunk * 5 + 5).map(tick).collect();
+            expected.extend(static_fleet.process_batch(&batch).unwrap());
+            got.extend(elastic.submit_batch(&batch).unwrap());
+            if chunk == 7 {
+                // Move component 0 off shard 0 mid-stream...
+                elastic.force_migration(0, 1).unwrap();
+            }
+            if chunk == 13 {
+                // ...and back.
+                elastic.force_migration(0, 0).unwrap();
+            }
+        }
+        got.extend(elastic.drain().unwrap());
+        assert_eq!(elastic.migrations_performed(), 2);
+        assert_eq!(elastic.partition().shard_of_component(0), 0);
+        assert_eq!(elastic.partition().version(), 2);
+        assert_eq!(expected.len(), got.len());
+        for (a, b) in expected.iter().zip(&got) {
+            assert_eq!(a.timing_stripped(), b.timing_stripped());
+        }
+        // Migrating a component already in place is a queue-free no-op.
+        elastic
+            .force_migration(1, elastic.partition().shard_of_component(1))
+            .unwrap();
+        assert_eq!(elastic.migrations_performed(), 2);
+        // Unknown ids are rejected eagerly.
+        assert!(elastic.force_migration(99, 0).is_err());
+        assert!(elastic.force_migration(0, 99).is_err());
     }
 
     #[test]

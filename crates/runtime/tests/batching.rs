@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use proptest::prelude::*;
 
-use tkcm_core::{EngineOutcome, PhaseBreakdown, TkcmConfig};
+use tkcm_core::{EngineOutcome, TkcmConfig};
 use tkcm_runtime::{DurabilityOptions, ShardedEngine, SyncPolicy};
 use tkcm_timeseries::{Catalog, SeriesId, StreamTick, Timestamp};
 
@@ -71,24 +71,17 @@ fn stream_of(width: usize, ticks: usize) -> Vec<StreamTick> {
     (0..ticks).map(|t| tick_at(width, t)).collect()
 }
 
-fn strip_timing(outcome: &mut EngineOutcome) {
-    for imputation in &mut outcome.imputations {
-        imputation.detail.breakdown = PhaseBreakdown::default();
-    }
-}
-
 /// Asserts two outcome sequences are bit-identical modulo wall-clock phase
 /// timings (`PartialEq` covers imputed values bit-for-bit, anchors,
 /// references, ordering and skips).
 fn assert_same_outcomes(
-    mut a: Vec<EngineOutcome>,
-    mut b: Vec<EngineOutcome>,
+    a: Vec<EngineOutcome>,
+    b: Vec<EngineOutcome>,
     context: &str,
 ) -> Result<(), String> {
     prop_assert_eq!(a.len(), b.len());
-    for (t, (x, y)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
-        strip_timing(x);
-        strip_timing(y);
+    for (t, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        let (x, y) = (x.timing_stripped(), y.timing_stripped());
         prop_assert!(
             x == y,
             "{context}: outcomes diverged at position {t}: {x:?} vs {y:?}"
@@ -223,6 +216,72 @@ proptest! {
             drop(recovered);
             let again = ShardedEngine::recover(&dir).unwrap();
             prop_assert_eq!(again.ticks_processed(), ticks);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+proptest! {
+    /// Double-buffered ingestion: submitting the stream through the
+    /// pipelined path (`submit_batch` + final `drain`) at depths 2 and 3
+    /// produces bit-identical outcomes, in the same order, as the
+    /// synchronous per-tick path — including for durable fleets, where
+    /// rotation only runs at drained pipeline boundaries.
+    #[test]
+    fn pipelined_ingestion_equals_per_tick(
+        clusters in 1usize..4,
+        cluster_size in 1usize..4,
+        ticks in 40usize..90,
+        batch_selector in 0usize..4,
+        depth in 2usize..4,
+        snapshot_interval in 0usize..20,
+    ) {
+        let width = clusters * cluster_size;
+        let catalog = cluster_catalog(clusters, cluster_size);
+        let stream = stream_of(width, ticks);
+        let batch = batch_size(batch_selector, ticks);
+        for shards in [1usize, 2, 4] {
+            let mut per_tick =
+                ShardedEngine::new(width, config(), catalog.clone(), shards).unwrap();
+            let mut reference = Vec::with_capacity(ticks);
+            for tick in &stream {
+                reference.push(per_tick.process_tick(tick).unwrap());
+            }
+
+            let dir = scratch_dir("pipeline");
+            let mut piped = ShardedEngine::with_durability(
+                width,
+                config(),
+                catalog.clone(),
+                shards,
+                &dir,
+                DurabilityOptions {
+                    snapshot_interval,
+                    sync_policy: SyncPolicy::Never,
+                },
+            )
+            .unwrap();
+            piped.set_pipeline_depth(depth);
+            let mut observed = Vec::with_capacity(ticks);
+            for chunk in stream.chunks(batch) {
+                observed.extend(piped.submit_batch(chunk).unwrap());
+            }
+            observed.extend(piped.drain().unwrap());
+
+            prop_assert_eq!(piped.ticks_processed(), ticks);
+            prop_assert_eq!(
+                piped.imputations_performed(),
+                per_tick.imputations_performed()
+            );
+            let context = format!(
+                "{clusters}x{cluster_size} fleet, {shards} shard(s), batch {batch}, \
+                 depth {depth}, rotation every {snapshot_interval}"
+            );
+            assert_same_outcomes(observed, reference, &context)?;
+            // The drained directory recovers to the full stream.
+            drop(piped);
+            let recovered = ShardedEngine::recover(&dir).unwrap();
+            prop_assert_eq!(recovered.ticks_processed(), ticks);
             let _ = std::fs::remove_dir_all(&dir);
         }
     }

@@ -6,8 +6,8 @@
 
 use proptest::prelude::*;
 
-use tkcm_core::{EngineOutcome, PhaseBreakdown, TkcmConfig, TkcmEngine};
-use tkcm_runtime::ShardedEngine;
+use tkcm_core::{EngineOutcome, TkcmConfig, TkcmEngine};
+use tkcm_runtime::{RebalanceOptions, ShardedEngine};
 use tkcm_timeseries::{Catalog, FleetPartition, SeriesId, StreamTick, Timestamp};
 
 fn config() -> TkcmConfig {
@@ -70,12 +70,6 @@ impl SequentialFleet {
     }
 }
 
-fn strip_timing(outcome: &mut EngineOutcome) {
-    for imputation in &mut outcome.imputations {
-        imputation.detail.breakdown = PhaseBreakdown::default();
-    }
-}
-
 /// Deterministic pseudo-random value for series `s` at tick `t` — shared by
 /// both runs so the comparison is over identical inputs.
 fn value_at(width: usize, s: usize, t: usize) -> Option<f64> {
@@ -104,12 +98,10 @@ fn assert_equivalent(
     for t in 0..ticks {
         let values: Vec<Option<f64>> = (0..width).map(|s| value_at(width, s, t)).collect();
         let tick = StreamTick::new(Timestamp::new(t as i64), values);
-        let mut parallel = sharded.process_tick(&tick).unwrap();
-        let mut reference = sequential.process_tick(&tick);
         // Wall-clock phase timings legitimately differ between runs; zero
         // them so the comparison is over the imputation payload only.
-        strip_timing(&mut parallel);
-        strip_timing(&mut reference);
+        let parallel = sharded.process_tick(&tick).unwrap().timing_stripped();
+        let reference = sequential.process_tick(&tick).timing_stripped();
         // PartialEq over EngineOutcome covers imputed values bit-for-bit,
         // anchor sets, references, ordering and skips.
         prop_assert!(
@@ -158,6 +150,120 @@ proptest! {
             assert_equivalent(width, &catalog, shards, ticks)?;
         }
     }
+
+    /// The elastic tentpole property: a fleet with the double-buffered
+    /// pipeline on, the component stealer armed with a hair trigger *and*
+    /// random forced migrations sprinkled through the stream is still
+    /// bit-identical to the sequential reference — at 1/2/4 shards, under
+    /// skewed outages that keep one cluster's shard hot.  Migrating a
+    /// whole component can change where an imputation is computed, never
+    /// what it computes.
+    #[test]
+    fn elastic_pipelined_fleet_equals_sequential_under_random_migrations(
+        clusters in 2usize..5,
+        cluster_size in 1usize..4,
+        ticks in 60usize..110,
+        seed in 0u64..u64::MAX,
+    ) {
+        let width = clusters * cluster_size;
+        let mut catalog = Catalog::new();
+        for c in 0..clusters {
+            let base = c * cluster_size;
+            for i in 0..cluster_size {
+                let ranked: Vec<SeriesId> = (1..cluster_size)
+                    .map(|step| SeriesId::from(base + (i + step) % cluster_size))
+                    .collect();
+                catalog.set_candidates(SeriesId::from(base + i), ranked).unwrap();
+            }
+        }
+        // Skewed outages: cluster 0 loses values far more often than the
+        // rest, so its component dominates the load — the storm shape the
+        // rebalancer exists for.
+        let value = |s: usize, t: usize| -> Option<f64> {
+            let outage = if s < cluster_size {
+                (t + 3 * s).is_multiple_of(5)
+            } else {
+                (t + 7 * s).is_multiple_of(23)
+            };
+            if outage && t > 30 {
+                None
+            } else {
+                Some(((t as f64 + 2.0 * s as f64) / (8.0 + (s % 3) as f64) * 0.9).sin())
+            }
+        };
+        for shards in [1usize, 2, 4] {
+            let mut elastic =
+                ShardedEngine::new(width, config(), catalog.clone(), shards).unwrap();
+            elastic.set_pipeline_depth(2);
+            elastic.set_rebalancing(Some(RebalanceOptions {
+                latency_ratio: 1.01,
+                patience: 1,
+                ewma_alpha: 0.5,
+                cooldown_batches: 0,
+            }));
+            let mut sequential = SequentialFleet::new(width, config(), &catalog, shards);
+            let mut rng = seed ^ shards as u64;
+            let mut reference = Vec::with_capacity(ticks);
+            let mut observed = Vec::with_capacity(ticks);
+            let mut t = 0usize;
+            let mut batch_index = 0usize;
+            while t < ticks {
+                let len = (1 + lcg(&mut rng) % 7).min((ticks - t) as u64) as usize;
+                let batch: Vec<StreamTick> = (t..t + len)
+                    .map(|i| {
+                        StreamTick::new(
+                            Timestamp::new(i as i64),
+                            (0..width).map(|s| value(s, i)).collect(),
+                        )
+                    })
+                    .collect();
+                for tick in &batch {
+                    reference.push(sequential.process_tick(tick));
+                }
+                observed.extend(elastic.submit_batch(&batch).unwrap());
+                if batch_index % 3 == 2 {
+                    // A forced migration point: any component to any shard
+                    // (possibly emptying the donor; possibly a no-op).
+                    let component =
+                        lcg(&mut rng) as usize % elastic.partition().component_count();
+                    let to_shard = lcg(&mut rng) as usize % elastic.shard_count();
+                    elastic.force_migration(component, to_shard).unwrap();
+                }
+                t += len;
+                batch_index += 1;
+            }
+            observed.extend(elastic.drain().unwrap());
+            prop_assert_eq!(elastic.ticks_processed(), ticks);
+            prop_assert_eq!(observed.len(), reference.len());
+            for (pos, (a, b)) in observed.iter().zip(&reference).enumerate() {
+                let (a, b) = (a.timing_stripped(), b.timing_stripped());
+                prop_assert!(
+                    a == b,
+                    "elastic fleet diverged at tick {pos} with {shards} shards after {} \
+                     migrations: {a:?} vs {b:?}",
+                    elastic.migrations_performed()
+                );
+            }
+            // The migration log is the deterministic audit trail: version
+            // equals its length and every entry names a real move.
+            let partition = elastic.partition();
+            prop_assert_eq!(partition.version(), partition.migration_log().len() as u64);
+            for m in partition.migration_log() {
+                prop_assert!(m.from != m.to);
+                prop_assert_eq!(partition.shard_of_component(m.component) , partition.assignment()[m.component]);
+            }
+        }
+    }
+}
+
+/// Linear-congruential pseudo-random step for deterministic migration
+/// points — no RNG crates on the test path, reproducible from the proptest
+/// seed alone.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
 }
 
 /// The signature-pruned candidate path (PR 7) must be bit-identical to the
@@ -197,10 +303,8 @@ fn pruned_fleet_is_bit_identical_to_exhaustive_fleet_across_shard_counts() {
                 })
                 .collect();
             let tick = StreamTick::new(Timestamp::new(t as i64), values);
-            let mut a = pruned.process_tick(&tick).unwrap();
-            let mut b = exhaustive.process_tick(&tick).unwrap();
-            strip_timing(&mut a);
-            strip_timing(&mut b);
+            let a = pruned.process_tick(&tick).unwrap().timing_stripped();
+            let b = exhaustive.process_tick(&tick).unwrap().timing_stripped();
             assert!(
                 a == b,
                 "pruned fleet diverged at tick {t} with {shards} shards: {a:?} vs {b:?}"

@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use proptest::prelude::*;
 
-use tkcm_core::{EngineOutcome, PhaseBreakdown, TkcmConfig};
+use tkcm_core::{EngineOutcome, TkcmConfig};
 use tkcm_runtime::{DurabilityOptions, ShardedEngine};
 use tkcm_timeseries::{Catalog, SeriesId, StreamTick, Timestamp};
 
@@ -71,24 +71,17 @@ fn tick_at(width: usize, t: usize) -> StreamTick {
     )
 }
 
-fn strip_timing(outcome: &mut EngineOutcome) {
-    for imputation in &mut outcome.imputations {
-        imputation.detail.breakdown = PhaseBreakdown::default();
-    }
-}
-
 /// Asserts two outcome sequences are bit-identical modulo wall-clock phase
 /// timings (`PartialEq` covers imputed values bit-for-bit, anchors,
 /// references, ordering and skips).
 fn assert_same_outcomes(
-    mut a: Vec<EngineOutcome>,
-    mut b: Vec<EngineOutcome>,
+    a: Vec<EngineOutcome>,
+    b: Vec<EngineOutcome>,
     context: &str,
 ) -> Result<(), String> {
     prop_assert_eq!(a.len(), b.len());
-    for (t, (x, y)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
-        strip_timing(x);
-        strip_timing(y);
+    for (t, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        let (x, y) = (x.timing_stripped(), y.timing_stripped());
         prop_assert!(
             x == y,
             "{context}: outcomes diverged at position {t}: {x:?} vs {y:?}"
@@ -578,4 +571,183 @@ fn recovered_fleet_reports_its_durability_dir_and_keeps_logging() {
     let twice = ShardedEngine::recover(&dir).unwrap();
     assert_eq!(twice.ticks_processed(), before + 1);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Flat copy of a checkpoint directory (manifest + shard files).
+fn copy_dir(from: &std::path::Path, to: &std::path::Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+    }
+}
+
+/// A crash *during* a migration must recover the last committed assignment
+/// and continue bit-identically.  The manifest rename is the commit point:
+/// a crash after the new version's shard files hit disk but before the
+/// rename recovers the *pre*-migration mapping from the old manifest (and
+/// sweeps the orphaned files); a crash right after the rename recovers the
+/// migrated mapping.  Either way the outcome stream matches an
+/// uninterrupted run — migrations move computation, not results.
+#[test]
+fn crash_during_migration_recovers_the_last_committed_assignment() {
+    let clusters = 3;
+    let cluster_size = 2;
+    let width = clusters * cluster_size;
+    let catalog = cluster_catalog(clusters, cluster_size);
+    let ticks = 80usize;
+    let migrate_at = 40usize;
+
+    // Uninterrupted reference run.
+    let mut continuous = ShardedEngine::new(width, config(), catalog.clone(), 2).unwrap();
+    let mut reference: Vec<EngineOutcome> = Vec::with_capacity(ticks);
+    for t in 0..ticks {
+        reference.push(continuous.process_tick(&tick_at(width, t)).unwrap());
+    }
+
+    // Durable run up to the migration point.
+    let dir = scratch_dir("mid-migration");
+    let mut durable = ShardedEngine::with_durability(
+        width,
+        config(),
+        catalog,
+        2,
+        &dir,
+        DurabilityOptions {
+            snapshot_interval: 10,
+            ..DurabilityOptions::default()
+        },
+    )
+    .unwrap();
+    for t in 0..migrate_at {
+        durable.process_tick(&tick_at(width, t)).unwrap();
+    }
+    // The pre-migration committed state, frozen before the migration runs.
+    let pre_rename = scratch_dir("mid-migration-prerename");
+    copy_dir(&dir, &pre_rename);
+
+    // Commit a migration: component 0 moves to shard 1 (version 0 → 1).
+    let donor = durable.partition().shard_of_component(0);
+    assert_eq!(donor, 0);
+    durable.force_migration(0, 1).unwrap();
+    durable.drain().unwrap();
+    assert_eq!(durable.partition().version(), 1);
+    assert_eq!(durable.migrations_performed(), 1);
+    drop(durable); // crash right after the commit
+
+    // Craft the pre-rename crash state: the new version's shard files are
+    // on disk, but the manifest still points at version 0.
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let entry = entry.unwrap();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.contains("-v1.") {
+            std::fs::copy(entry.path(), pre_rename.join(entry.file_name())).unwrap();
+        }
+    }
+
+    // Crash after the rename: the migrated assignment recovers.
+    let mut committed = ShardedEngine::recover(&dir).unwrap();
+    assert_eq!(committed.ticks_processed(), migrate_at);
+    assert_eq!(committed.partition().version(), 1);
+    assert_eq!(committed.partition().shard_of_component(0), 1);
+    assert_eq!(committed.partition().migration_log().len(), 1);
+
+    // Crash before the rename: the pre-migration assignment recovers, and
+    // the orphaned version-1 files are swept.
+    let mut crashed = ShardedEngine::recover(&pre_rename).unwrap();
+    assert_eq!(crashed.ticks_processed(), migrate_at);
+    assert_eq!(crashed.partition().version(), 0);
+    assert_eq!(crashed.partition().shard_of_component(0), 0);
+    assert!(
+        std::fs::read_dir(&pre_rename).unwrap().all(|e| !e
+            .unwrap()
+            .file_name()
+            .to_string_lossy()
+            .contains("-v1.")),
+        "recovery must sweep shard files of the uncommitted version"
+    );
+
+    // Both continue bit-identically to the uninterrupted run.
+    for (t, expected) in reference.iter().enumerate().skip(migrate_at) {
+        let tick = tick_at(width, t);
+        let a = committed.process_tick(&tick).unwrap().timing_stripped();
+        let b = crashed.process_tick(&tick).unwrap().timing_stripped();
+        let r = expected.timing_stripped();
+        assert!(a == r, "post-rename recovery diverged at tick {t}");
+        assert!(b == r, "pre-rename recovery diverged at tick {t}");
+    }
+    // The post-rename directory keeps its migrated layout across another
+    // crash/recover cycle (versioned WAL reopened, counters advanced).
+    drop(committed);
+    let again = ShardedEngine::recover(&dir).unwrap();
+    assert_eq!(again.ticks_processed(), ticks);
+    assert_eq!(again.partition().version(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&pre_rename);
+}
+
+/// Elastic recovery property: a durable pipelined fleet with random forced
+/// migrations, crashed at a random batch boundary and recovered, continues
+/// bit-identically to an uninterrupted plain run — at 1, 2 and 4 shards.
+#[test]
+fn elastic_crash_recovery_is_bit_identical_across_shard_counts() {
+    let clusters = 3;
+    let cluster_size = 2;
+    let width = clusters * cluster_size;
+    let ticks = 72usize;
+    for (shards, crash_at, migration_point) in
+        [(1usize, 31usize, 12usize), (2, 45, 24), (4, 58, 36)]
+    {
+        let catalog = cluster_catalog(clusters, cluster_size);
+        let mut continuous = ShardedEngine::new(width, config(), catalog.clone(), shards).unwrap();
+        let mut reference: Vec<EngineOutcome> = Vec::with_capacity(ticks);
+        for t in 0..ticks {
+            reference.push(continuous.process_tick(&tick_at(width, t)).unwrap());
+        }
+
+        let dir = scratch_dir("elastic-prop");
+        let mut durable = ShardedEngine::with_durability(
+            width,
+            config(),
+            catalog,
+            shards,
+            &dir,
+            DurabilityOptions {
+                snapshot_interval: 15,
+                ..DurabilityOptions::default()
+            },
+        )
+        .unwrap();
+        durable.set_pipeline_depth(2);
+        let mut observed: Vec<EngineOutcome> = Vec::with_capacity(ticks);
+        let mut t = 0usize;
+        while t < crash_at {
+            let len = (4).min(crash_at - t);
+            let batch: Vec<StreamTick> = (t..t + len).map(|i| tick_at(width, i)).collect();
+            observed.extend(durable.submit_batch(&batch).unwrap());
+            if t <= migration_point && migration_point < t + len && shards > 1 {
+                durable.force_migration(0, shards - 1).unwrap();
+                durable.force_migration(2, 0).unwrap();
+            }
+            t += len;
+        }
+        observed.extend(durable.drain().unwrap());
+        let migrations = durable.migrations_performed();
+        drop(durable); // crash
+
+        let mut recovered = ShardedEngine::recover(&dir).unwrap();
+        assert_eq!(recovered.ticks_processed(), crash_at);
+        assert_eq!(recovered.migrations_performed(), migrations);
+        for t in crash_at..ticks {
+            observed.push(recovered.process_tick(&tick_at(width, t)).unwrap());
+        }
+        assert_eq!(observed.len(), reference.len());
+        for (pos, (a, b)) in observed.iter().zip(&reference).enumerate() {
+            assert!(
+                a.timing_stripped() == b.timing_stripped(),
+                "elastic recovery diverged at tick {pos} with {shards} shard(s)"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

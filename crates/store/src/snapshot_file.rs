@@ -30,8 +30,10 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"TKCMSNAP";
 /// Version history: 1 — initial layout (PR 4); 2 — the runtime's checkpoint
 /// manifest grew a group-commit sync-policy field (batched ingestion PR);
 /// 3 — the engine snapshot grew an optional signature index and the config
-/// grew the `pruning` flag (candidate-pruning PR).
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 3;
+/// grew the `pruning` flag (candidate-pruning PR); 4 — the fleet partition
+/// became a versioned component/assignment mapping with a migration log and
+/// per-shard snapshots became per-component engine sets (elastic-fleet PR).
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 4;
 
 /// Serialises `value` and writes it as a snapshot file at `path`
 /// (atomically, via `<path>.tmp` + rename).  Returns the file size in

@@ -31,7 +31,13 @@ use crate::error::StoreError;
 pub const WAL_MAGIC: [u8; 8] = *b"TKCMWAL0";
 
 /// The only WAL layout this build writes and reads.
-pub const WAL_FORMAT_VERSION: u32 = 1;
+///
+/// Version history: 1 — one [`crate::Snapshot`]-framed `WalEntry` per
+/// processed tick (PR 4); 2 — records are component-tagged
+/// (`ShardWalRecord`: component id + entry), one per component per tick,
+/// so a shard's log can be replayed into its per-component engines
+/// (elastic-fleet PR).
+pub const WAL_FORMAT_VERSION: u32 = 2;
 
 const HEADER_LEN: usize = 12;
 

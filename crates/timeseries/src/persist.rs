@@ -221,61 +221,71 @@ impl Snapshot for Catalog {
 
 impl Snapshot for FleetPartition {
     fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        enc.u32(crate::partition::PARTITION_FORMAT_VERSION);
         enc.usize(self.width);
-        enc.usize(self.shards.len());
-        for members in &self.shards {
+        enc.usize(self.shard_count);
+        enc.u64(self.version);
+        enc.usize(self.components.len());
+        for members in &self.components {
             members.write_into(enc)?;
+        }
+        for &shard in &self.assignment {
+            enc.usize(shard);
+        }
+        enc.usize(self.log.len());
+        for migration in &self.log {
+            enc.usize(migration.component);
+            enc.usize(migration.from);
+            enc.usize(migration.to);
+            enc.u64(migration.at_tick);
         }
         Ok(())
     }
 
     fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        let layout = dec.u32()?;
+        if layout != crate::partition::PARTITION_FORMAT_VERSION {
+            return Err(StoreError::invalid(format!(
+                "partition layout {layout} is not the supported {}",
+                crate::partition::PARTITION_FORMAT_VERSION
+            )));
+        }
         let width = dec.usize()?;
-        // Every one of the `width` series must appear in some member list
+        // Every one of the `width` series must appear in some component
         // (4 encoded bytes each), so a width beyond the remaining payload is
-        // structurally impossible — reject before allocating `locate`.
+        // structurally impossible — reject before allocating.
         if width > dec.remaining() {
             return Err(StoreError::corrupt(format!(
                 "partition claims width {width} but only {} byte(s) remain",
                 dec.remaining()
             )));
         }
-        let shard_count = dec.seq_len()?;
-        let mut shards = Vec::with_capacity(shard_count);
-        for _ in 0..shard_count {
-            shards.push(Vec::<SeriesId>::read_from(dec)?);
+        let shard_count = dec.usize()?;
+        let version = dec.u64()?;
+        let component_count = dec.seq_len()?;
+        let mut components = Vec::with_capacity(component_count);
+        for _ in 0..component_count {
+            components.push(Vec::<SeriesId>::read_from(dec)?);
         }
-        // Rebuild the reverse mapping, demanding that every series of the
-        // fleet is assigned exactly once.
-        let mut locate = vec![(usize::MAX, usize::MAX); width];
-        let mut assigned = 0usize;
-        for (s, members) in shards.iter().enumerate() {
-            for (i, id) in members.iter().enumerate() {
-                let idx = id.index();
-                let slot = locate.get_mut(idx).ok_or_else(|| {
-                    StoreError::invalid(format!(
-                        "partition references series {id} outside width {width}"
-                    ))
-                })?;
-                if slot.0 != usize::MAX {
-                    return Err(StoreError::invalid(format!(
-                        "series {id} assigned to more than one shard"
-                    )));
-                }
-                *slot = (s, i);
-                assigned += 1;
-            }
+        let mut assignment = Vec::with_capacity(component_count);
+        for _ in 0..component_count {
+            assignment.push(dec.usize()?);
         }
-        if assigned != width {
-            return Err(StoreError::invalid(format!(
-                "partition assigns {assigned} of {width} series"
-            )));
+        let log_len = dec.seq_len()?;
+        let mut log = Vec::with_capacity(log_len);
+        for _ in 0..log_len {
+            log.push(crate::partition::Migration {
+                component: dec.usize()?,
+                from: dec.usize()?,
+                to: dec.usize()?,
+                at_tick: dec.u64()?,
+            });
         }
-        Ok(FleetPartition {
-            width,
-            shards,
-            locate,
-        })
+        // Route through the validating constructor so a decoded partition
+        // obeys the same invariants (every series assigned exactly once, in
+        // range) as one built through the public API.
+        FleetPartition::from_parts(width, components, assignment, shard_count, version, log)
+            .map_err(|e| StoreError::invalid(e.to_string()))
     }
 }
 
@@ -388,27 +398,55 @@ mod tests {
         );
     }
 
+    /// Hand-encodes a partition payload in the current layout: components,
+    /// then one shard index per component, then an empty migration log.
+    fn encode_partition(width: usize, shard_count: usize, components: &[Vec<SeriesId>]) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.u32(crate::partition::PARTITION_FORMAT_VERSION);
+        enc.usize(width);
+        enc.usize(shard_count);
+        enc.u64(0); // live-mapping version
+        enc.usize(components.len());
+        for members in components {
+            members.write_into(&mut enc).unwrap();
+        }
+        for _ in components {
+            enc.usize(0); // everything on shard 0
+        }
+        enc.usize(0); // empty migration log
+        enc.into_bytes()
+    }
+
     #[test]
     fn partition_decode_rejects_bad_assignments() {
         // Series assigned twice.
-        let mut enc = Encoder::new();
-        enc.usize(2);
-        enc.usize(2);
-        vec![SeriesId(0)].write_into(&mut enc).unwrap();
-        vec![SeriesId(0)].write_into(&mut enc).unwrap();
-        assert!(decode_from_slice::<FleetPartition>(&enc.into_bytes()).is_err());
+        let twice = encode_partition(2, 1, &[vec![SeriesId(0)], vec![SeriesId(0)]]);
+        assert!(decode_from_slice::<FleetPartition>(&twice).is_err());
         // Series outside the width.
-        let mut enc = Encoder::new();
-        enc.usize(1);
-        enc.usize(1);
-        vec![SeriesId(7)].write_into(&mut enc).unwrap();
-        assert!(decode_from_slice::<FleetPartition>(&enc.into_bytes()).is_err());
+        let outside = encode_partition(1, 1, &[vec![SeriesId(7)]]);
+        assert!(decode_from_slice::<FleetPartition>(&outside).is_err());
         // Unassigned series.
+        let missing = encode_partition(2, 1, &[vec![SeriesId(0)]]);
+        assert!(decode_from_slice::<FleetPartition>(&missing).is_err());
+        // Unknown layout tag.
         let mut enc = Encoder::new();
-        enc.usize(2);
-        enc.usize(1);
-        vec![SeriesId(0)].write_into(&mut enc).unwrap();
+        enc.u32(crate::partition::PARTITION_FORMAT_VERSION + 1);
         assert!(decode_from_slice::<FleetPartition>(&enc.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn partition_round_trips_migration_log_and_version() {
+        let mut c = Catalog::new();
+        c.set_candidates(SeriesId(0), vec![SeriesId(1)]).unwrap();
+        c.set_candidates(SeriesId(2), vec![SeriesId(3)]).unwrap();
+        let mut p = FleetPartition::new(4, &c, 2).unwrap();
+        p.migrate(1, 0, 12).unwrap();
+        p.migrate(1, 1, 30).unwrap();
+        let back = round_trip(&p);
+        assert_eq!(back, p);
+        assert_eq!(back.version(), 2);
+        assert_eq!(back.migration_log(), p.migration_log());
+        assert_eq!(back.assignment(), p.assignment());
     }
 
     #[test]

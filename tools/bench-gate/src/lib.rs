@@ -181,22 +181,29 @@ pub fn parse_trend(json: &str) -> Result<BTreeMap<String, f64>, String> {
 /// One gate-evaluation problem, already formatted for display.
 pub type Failure = String;
 
+/// A non-fatal gate-evaluation note, already formatted for display.
+pub type Warning = String;
+
 /// Observed trend metrics per gate name (`gate → metric → value`).
 pub type ObservedTrends = BTreeMap<String, BTreeMap<String, f64>>;
 
 /// Evaluates every gate of `profile` against the results files under `dir`.
-/// Returns the list of failures (empty = the gate passes) and the observed
-/// trend per gate (for `--bless` and `--append-history`).
+/// Returns the list of failures (empty = the gate passes), the list of
+/// warnings (a floor whose metric is absent from its results file — e.g. a
+/// renamed trend key — warns instead of silently un-gating, but does not
+/// fail the run) and the observed trend per gate (for `--bless` and
+/// `--append-history`).
 pub fn evaluate(
     thresholds: &Thresholds,
     profile: &str,
     dir: &Path,
-) -> Result<(Vec<Failure>, ObservedTrends), String> {
+) -> Result<(Vec<Failure>, Vec<Warning>, ObservedTrends), String> {
     let gates = thresholds
         .profiles
         .get(profile)
         .ok_or_else(|| format!("profile `{profile}` is not in the thresholds file"))?;
     let mut failures = Vec::new();
+    let mut warnings = Vec::new();
     let mut observed = BTreeMap::new();
     for gate in gates {
         let path = dir.join(&gate.file);
@@ -220,8 +227,9 @@ pub fn evaluate(
         };
         for (metric, min) in &gate.minimums {
             match trend.get(metric) {
-                None => failures.push(format!(
-                    "[{profile}.{}] {} has no `{metric}` in its trend object",
+                None => warnings.push(format!(
+                    "[{profile}.{}] {} has no `{metric}` in its trend object — this floor \
+                     currently gates nothing (renamed trend key? update the thresholds file)",
                     gate.name, gate.file
                 )),
                 Some(value) if value < min => failures.push(format!(
@@ -233,7 +241,7 @@ pub fn evaluate(
         }
         observed.insert(gate.name.clone(), trend);
     }
-    Ok((failures, observed))
+    Ok((failures, warnings, observed))
 }
 
 /// Rewrites each gated metric's floor to `observed x 0.7` (rounded to three
@@ -331,6 +339,33 @@ speedup_vs_exhaustive = 1.5\n";
         assert!(parse_trend("{\"no_trend\":{}}").is_err());
         assert!(parse_trend("{\"trend\":{\"a\":}").is_err());
         assert_eq!(parse_trend("{\"trend\":{}}").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn a_floor_without_its_metric_warns_instead_of_failing() {
+        let dir =
+            std::env::temp_dir().join(format!("tkcm-bench-gate-lib-warn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let thresholds = Thresholds::parse(
+            "[quick.fleet]\nfile = \"r.json\"\nold_name = 1.0\nhealthy = 1.0\nbad = 5.0\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("r.json"),
+            "{\"trend\":{\"healthy\":2.0,\"bad\":1.0,\"new_name\":9.0}}",
+        )
+        .unwrap();
+        let (failures, warnings, observed) = evaluate(&thresholds, "quick", &dir).unwrap();
+        // The renamed key warns (it must not silently un-gate)…
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("`old_name`"), "{}", warnings[0]);
+        assert!(warnings[0].contains("gates nothing"), "{}", warnings[0]);
+        // …while real regressions still fail, and healthy metrics pass.
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("bad = 1"), "{}", failures[0]);
+        assert_eq!(observed["fleet"]["new_name"], 9.0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //! ```
 //!
 //! Exit codes: 0 = every gated metric is at or above its floor, 1 = a
-//! metric regressed (or its results file / trend field is missing), 2 =
-//! usage or I/O error.  `--bless` re-floors every gated metric at
+//! metric regressed (or its results file is missing), 2 = usage or I/O
+//! error.  A floor whose metric is absent from the results JSON (a renamed
+//! trend key) prints a stderr warning but exits 0 — visible, not fatal.
+//! `--bless` re-floors every gated metric at
 //! observed x 0.7 and rewrites the thresholds file instead of gating;
 //! `--append-history` appends one JSONL line of all observed trend metrics
 //! (nightly runs accumulate these into a rolling artifact).
@@ -60,7 +62,7 @@ fn parse_args() -> Result<Args, String> {
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
     let mut thresholds = Thresholds::load(&args.thresholds)?;
-    let (failures, observed) = evaluate(&thresholds, &args.profile, &args.dir)?;
+    let (failures, warnings, observed) = evaluate(&thresholds, &args.profile, &args.dir)?;
 
     if let Some(history) = &args.append_history {
         let label = args.label.clone().unwrap_or_else(|| args.profile.clone());
@@ -78,9 +80,14 @@ fn run() -> Result<bool, String> {
     if args.bless {
         // Blessing needs complete observations: a missing file or trend
         // field must not be floored away.
-        if !failures.iter().all(|f| f.contains("below the floor")) {
-            for failure in failures.iter().filter(|f| !f.contains("below the floor")) {
-                eprintln!("bench-gate: {failure}");
+        let incomplete: Vec<&String> = failures
+            .iter()
+            .filter(|f| !f.contains("below the floor"))
+            .chain(warnings.iter())
+            .collect();
+        if !incomplete.is_empty() {
+            for problem in incomplete {
+                eprintln!("bench-gate: {problem}");
             }
             return Err("cannot bless from incomplete benchmark results".to_string());
         }
@@ -95,6 +102,9 @@ fn run() -> Result<bool, String> {
         return Ok(true);
     }
 
+    for warning in &warnings {
+        eprintln!("bench-gate: WARN {warning}");
+    }
     for failure in &failures {
         eprintln!("bench-gate: FAIL {failure}");
     }

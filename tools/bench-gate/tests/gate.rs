@@ -95,6 +95,33 @@ fn a_missing_results_file_fails_with_exit_one() {
 }
 
 #[test]
+fn a_threshold_key_missing_from_the_results_warns_but_passes() {
+    let dir = scratch("renamed-key");
+    write(&dir, "BENCH_THRESHOLDS.toml", THRESHOLDS);
+    let [fleet, _] = results(3.1, 2.4, 0.8);
+    write(&dir, "BENCH_results_fleet.json", &fleet);
+    // The pruning results file exists but its trend keys were renamed: the
+    // floors in the TOML no longer match anything.  That must be *visible*
+    // (stderr note) without failing the run.
+    write(
+        &dir,
+        "BENCH_results_pruning.json",
+        "{\"scale\":\"Quick\",\"trend\":{\"pruned_share\":0.8,\"speedup\":2.4},\"experiments\":[]}",
+    );
+    let out = run_gate(&dir, &[]);
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("WARN"), "stderr: {stderr}");
+    assert!(stderr.contains("`pruned_fraction`"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("`speedup_vs_exhaustive`"),
+        "stderr: {stderr}"
+    );
+    // Blessing from that state would floor away the stale keys — refuse.
+    assert_eq!(run_gate(&dir, &["--bless"]).status.code(), Some(2));
+}
+
+#[test]
 fn an_unknown_profile_is_a_usage_error() {
     let dir = scratch("usage");
     write(&dir, "BENCH_THRESHOLDS.toml", THRESHOLDS);
