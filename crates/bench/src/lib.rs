@@ -25,21 +25,32 @@ pub fn scale_from_args<I: IntoIterator<Item = String>>(args: I) -> Scale {
     }
 }
 
-/// Parses the `--json <path>` argument of `run_all_experiments`: the path the
-/// machine-readable `BENCH_results.json` is written to.  `--json` without a
-/// following path defaults to `BENCH_results.json` in the working directory.
-pub fn json_path_from_args<I: IntoIterator<Item = String>>(args: I) -> Option<String> {
+/// Parses one `--flag [path]` argument pair: `None` when the flag is
+/// absent, `default` when it is present without a following path (the next
+/// argument being another flag does not count as a path).
+pub fn path_flag_from_args<I: IntoIterator<Item = String>>(
+    args: I,
+    flag: &str,
+    default: &str,
+) -> Option<String> {
     let mut args = args.into_iter();
     while let Some(a) = args.next() {
-        if a == "--json" {
+        if a == flag {
             return Some(
                 args.next()
                     .filter(|p| !p.starts_with("--"))
-                    .unwrap_or_else(|| "BENCH_results.json".to_string()),
+                    .unwrap_or_else(|| default.to_string()),
             );
         }
     }
     None
+}
+
+/// Parses the `--json <path>` argument of `run_all_experiments`: the path the
+/// machine-readable `BENCH_results.json` is written to.  `--json` without a
+/// following path defaults to `BENCH_results.json` in the working directory.
+pub fn json_path_from_args<I: IntoIterator<Item = String>>(args: I) -> Option<String> {
+    path_flag_from_args(args, "--json", "BENCH_results.json")
 }
 
 /// Serialises a set of timed experiment reports as the `BENCH_results.json`
@@ -67,12 +78,15 @@ pub fn bench_results_json(scale: Scale, timed: &[(f64, tkcm_eval::Report)]) -> S
 /// scaling fields (`ticks_per_second_at_N`, `speedup_vs_1_shard_at_N`,
 /// `dropped_edges_at_N`), the batched durable-ingestion fields
 /// (`ticks_per_second_at_batch_N`, `speedup_vs_batch_1_at_batch_N`) and the
-/// skewed-outage-storm fields (`storm_ticks_per_second_at_N` and
-/// `migrations_at_N` from the elastic rows, plus the headline
-/// `storm_recovery_ratio` — elastic over static critical-path throughput at
-/// the widest fleet) flattened out of the result tables.  Nightly artifacts
-/// accumulate these; once enough data points exist, CI can gate on a
-/// `speedup_vs_1_shard_at_4`, `speedup_vs_batch_1_at_batch_64` or
+/// skewed-outage-storm fields (`storm_ticks_per_second_at_N`,
+/// `migrations_at_N` and the per-batch latency percentiles
+/// `storm_batch_p50_ms_at_N` / `storm_batch_p99_ms_at_N` from the elastic
+/// rows, plus the headline `storm_recovery_ratio` — elastic over static
+/// critical-path throughput at the widest fleet) and the observability
+/// A/B field `obs_overhead_ratio` (instrumented over uninstrumented
+/// ticks/s, gated ≥ 0.9) flattened out of the result tables.  Nightly
+/// artifacts accumulate these; once enough data points exist, CI can gate
+/// on a `speedup_vs_1_shard_at_4`, `speedup_vs_batch_1_at_batch_64` or
 /// `storm_recovery_ratio` regression without parsing nested tables.
 pub fn fleet_results_json(scale: Scale, elapsed: f64, report: &tkcm_eval::Report) -> String {
     let number = |v: f64| {
@@ -118,6 +132,8 @@ pub fn fleet_results_json(scale: Scale, elapsed: f64, report: &tkcm_eval::Report
         for (metric, name) in [
             ("ticks_per_second", "storm_ticks_per_second"),
             ("migrations", "migrations"),
+            ("batch_p50_ms", "storm_batch_p50_ms"),
+            ("batch_p99_ms", "storm_batch_p99_ms"),
         ] {
             let values = table.column(metric).unwrap_or_default();
             for ((shard, mode), value) in shards.iter().zip(modes.iter()).zip(values.iter()) {
@@ -141,6 +157,11 @@ pub fn fleet_results_json(scale: Scale, elapsed: f64, report: &tkcm_eval::Report
                     trend.push(format!("\"storm_recovery_ratio\":{}", number(*ratio)));
                 }
             }
+        }
+    }
+    if let Some(table) = report.table("Observability overhead") {
+        if let Some(ratio) = table.cell("obs on", "ratio_vs_obs_off") {
+            trend.push(format!("\"obs_overhead_ratio\":{}", number(ratio)));
         }
     }
     format!(
@@ -267,6 +288,30 @@ mod tests {
     }
 
     #[test]
+    fn path_flag_parsing() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(path_flag_from_args(args(&[]), "--metrics", "d.json"), None);
+        assert_eq!(
+            path_flag_from_args(args(&["--metrics"]), "--metrics", "d.json"),
+            Some("d.json".to_string())
+        );
+        assert_eq!(
+            path_flag_from_args(args(&["--metrics", "m.json"]), "--metrics", "d.json"),
+            Some("m.json".to_string())
+        );
+        // Independent flags coexist in one command line.
+        let cli = args(&["--json", "r.json", "--metrics", "--prometheus", "p.prom"]);
+        assert_eq!(
+            path_flag_from_args(cli.clone(), "--metrics", "d.json"),
+            Some("d.json".to_string())
+        );
+        assert_eq!(
+            path_flag_from_args(cli, "--prometheus", "d.prom"),
+            Some("p.prom".to_string())
+        );
+    }
+
+    #[test]
     fn fleet_results_json_flattens_the_trend_fields() {
         let mut report = tkcm_eval::Report::new("fleet");
         let mut t = tkcm_eval::Table::new(
@@ -305,6 +350,8 @@ mod tests {
                 "shards".into(),
                 "rebalancing".into(),
                 "wall_seconds".into(),
+                "batch_p50_ms".into(),
+                "batch_p99_ms".into(),
                 "critical_path_seconds".into(),
                 "ticks_per_second".into(),
                 "imputations".into(),
@@ -314,21 +361,35 @@ mod tests {
         );
         s.push_row(
             "static 2 shard(s)",
-            vec![2.0, 0.0, 3.0, 2.0, 400.0, 9.0, 0.0, 1.0],
+            vec![2.0, 0.0, 3.0, 5.0, 40.0, 2.0, 400.0, 9.0, 0.0, 1.0],
         );
         s.push_row(
             "elastic 2 shard(s)",
-            vec![2.0, 1.0, 2.0, 1.0, 800.0, 9.0, 1.0, 2.0],
+            vec![2.0, 1.0, 2.0, 4.0, 20.0, 1.0, 800.0, 9.0, 1.0, 2.0],
         );
         s.push_row(
             "static 4 shard(s)",
-            vec![4.0, 0.0, 3.0, 1.8, 440.0, 9.0, 0.0, 1.0],
+            vec![4.0, 0.0, 3.0, 4.5, 38.0, 1.8, 440.0, 9.0, 0.0, 1.0],
         );
         s.push_row(
             "elastic 4 shard(s)",
-            vec![4.0, 1.0, 1.9, 0.9, 880.0, 9.0, 2.0, 1.8],
+            vec![4.0, 1.0, 1.9, 3.5, 18.0, 0.9, 880.0, 9.0, 2.0, 1.8],
         );
         report.add_table(s);
+        let mut o = tkcm_eval::Table::new(
+            "Observability overhead",
+            vec![
+                "config".into(),
+                "obs_enabled".into(),
+                "wall_seconds".into(),
+                "ticks_per_second".into(),
+                "imputations".into(),
+                "ratio_vs_obs_off".into(),
+            ],
+        );
+        o.push_row("obs off", vec![0.0, 1.0, 1000.0, 9.0, 1.0]);
+        o.push_row("obs on", vec![1.0, 1.05, 952.0, 9.0, 0.952]);
+        report.add_table(o);
         let json = fleet_results_json(Scale::Paper, 2.8, &report);
         assert!(json.contains("\"trend\":{"));
         assert!(json.contains("\"speedup_vs_1_shard_at_4\":2.5"));
@@ -343,6 +404,15 @@ mod tests {
         assert!(json.contains("\"migrations_at_4\":2"));
         assert!(json.contains("\"storm_recovery_ratio\":1.8"));
         assert!(!json.contains("storm_ticks_per_second_at_2\":400"));
+        // Batch-latency percentiles: elastic rows only, like the other
+        // storm fields.
+        assert!(json.contains("\"storm_batch_p50_ms_at_2\":4"));
+        assert!(json.contains("\"storm_batch_p99_ms_at_2\":20"));
+        assert!(json.contains("\"storm_batch_p50_ms_at_4\":3.5"));
+        assert!(json.contains("\"storm_batch_p99_ms_at_4\":18"));
+        assert!(!json.contains("storm_batch_p99_ms_at_2\":40"));
+        // The obs A/B ratio comes from the on-row of the overhead table.
+        assert!(json.contains("\"obs_overhead_ratio\":0.952"));
         assert!(json.contains("\"wall_time_seconds\":2.8"));
         // A report without the fleet table still serialises (empty trend).
         let bare = fleet_results_json(Scale::Quick, 0.1, &tkcm_eval::Report::new("x"));

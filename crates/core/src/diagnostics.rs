@@ -6,8 +6,37 @@
 //! parameters PE accounts for ~92 % of the runtime; raising `k` to 300 pushes
 //! PS to ~25 %.  [`PhaseTimer`] collects the same breakdown for our
 //! implementation so the experiment harness can reproduce that analysis.
+//!
+//! Every closed phase span is additionally *recorded* (never read back —
+//! the `obs-read-only` policy) into the process-global `tkcm-obs` metrics
+//! registry as `tkcm_core_phase_nanos_total{phase=…}`, so fleet-wide phase
+//! totals survive even when an individual breakdown is discarded.
 
+use std::sync::LazyLock;
 use std::time::{Duration, Instant};
+
+/// Per-phase nano counters in the global metrics registry, in [`Phase`]
+/// declaration order.
+static PHASE_NANOS: LazyLock<[tkcm_obs::Counter; 4]> = LazyLock::new(|| {
+    ["extraction", "selection", "imputation", "maintenance"].map(|phase| {
+        tkcm_obs::registry().counter("tkcm_core_phase_nanos_total", &[("phase", phase)])
+    })
+});
+
+/// Total imputations timed, fleet-wide.
+static IMPUTATIONS: LazyLock<tkcm_obs::Counter> =
+    LazyLock::new(|| tkcm_obs::registry().counter("tkcm_core_imputations_total", &[]));
+
+/// Records `elapsed` in `phase`'s global nano counter (record-only).
+pub(crate) fn record_phase_nanos(phase: Phase, elapsed: Duration) {
+    let index = match phase {
+        Phase::Extraction => 0,
+        Phase::Selection => 1,
+        Phase::Imputation => 2,
+        Phase::Maintenance => 3,
+    };
+    PHASE_NANOS[index].add(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+}
 
 /// Accumulated wall-clock time per TKCM phase.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -87,6 +116,11 @@ impl PhaseBreakdown {
 }
 
 /// Stopwatch that attributes elapsed time to the TKCM phases.
+///
+/// Dropping a timer mid-phase closes the open span first (see
+/// [`PhaseTimer::stop`]): a panic between `start` and `stop` used to
+/// silently discard the in-flight time, which made crash-path phase totals
+/// in the metrics registry under-count exactly the interesting runs.
 #[derive(Debug)]
 pub struct PhaseTimer {
     breakdown: PhaseBreakdown,
@@ -122,7 +156,8 @@ impl PhaseTimer {
         self.started = Some((phase, Instant::now()));
     }
 
-    /// Stops the currently running phase, attributing its elapsed time.
+    /// Stops the currently running phase, attributing its elapsed time to
+    /// the breakdown and to the global per-phase metrics counter.
     pub fn stop(&mut self) {
         if let Some((phase, at)) = self.started.take() {
             let elapsed = at.elapsed();
@@ -132,6 +167,7 @@ impl PhaseTimer {
                 Phase::Imputation => self.breakdown.imputation += elapsed,
                 Phase::Maintenance => self.breakdown.maintenance += elapsed,
             }
+            record_phase_nanos(phase, elapsed);
         }
     }
 
@@ -139,6 +175,7 @@ impl PhaseTimer {
     pub fn finish_imputation(&mut self) {
         self.stop();
         self.breakdown.imputations += 1;
+        IMPUTATIONS.inc();
     }
 
     /// The breakdown accumulated so far.
@@ -150,6 +187,15 @@ impl PhaseTimer {
 impl Default for PhaseTimer {
     fn default() -> Self {
         PhaseTimer::new()
+    }
+}
+
+impl Drop for PhaseTimer {
+    /// Closes a span left open by an early return or a panic, so its
+    /// in-flight time still reaches the metrics registry instead of being
+    /// silently discarded with the timer.
+    fn drop(&mut self) {
+        self.stop();
     }
 }
 
@@ -215,5 +261,55 @@ mod tests {
         let mut timer = PhaseTimer::default();
         timer.stop();
         assert_eq!(timer.breakdown(), PhaseBreakdown::default());
+    }
+
+    /// The global counter only ever grows, so "grew by at least my own
+    /// sleep" holds even with other tests recording concurrently.
+    fn selection_nanos() -> u64 {
+        match tkcm_obs::registry()
+            .snapshot()
+            .into_iter()
+            .find(|m| {
+                m.name == "tkcm_core_phase_nanos_total"
+                    && m.labels == vec![("phase", "selection".to_string())]
+            })
+            .map(|m| m.value)
+        {
+            Some(tkcm_obs::metrics::SnapshotValue::Counter(v)) => v,
+            _ => 0,
+        }
+    }
+
+    #[test]
+    fn dropping_a_timer_mid_phase_closes_the_open_span() {
+        let before = selection_nanos();
+        {
+            let mut timer = PhaseTimer::new();
+            timer.start(Phase::Selection);
+            std::thread::sleep(Duration::from_millis(2));
+            // Dropped mid-phase: no stop(), as on a panic path.
+        }
+        let after = selection_nanos();
+        assert!(
+            after >= before + 1_000_000,
+            "Drop must attribute the in-flight span: before {before}, after {after}"
+        );
+    }
+
+    #[test]
+    fn a_panic_between_start_and_stop_still_records_the_span() {
+        let before = selection_nanos();
+        let outcome = std::panic::catch_unwind(|| {
+            let mut timer = PhaseTimer::new();
+            timer.start(Phase::Selection);
+            std::thread::sleep(Duration::from_millis(2));
+            panic!("simulated mid-phase failure");
+        });
+        assert!(outcome.is_err());
+        let after = selection_nanos();
+        assert!(
+            after >= before + 1_000_000,
+            "unwinding must close the span: before {before}, after {after}"
+        );
     }
 }

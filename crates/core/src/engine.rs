@@ -17,6 +17,7 @@
 //! state alive costs one advance per tick ≈ a rebuild every `l` ticks, so
 //! idle states are dropped after `2l` unused ticks and rebuilt on demand).
 
+use std::sync::LazyLock;
 use std::time::Instant;
 
 use tkcm_timeseries::{Catalog, SeriesId, StreamTick, StreamingWindow, Timestamp, TsError};
@@ -26,6 +27,20 @@ use crate::diagnostics::PhaseBreakdown;
 use crate::imputer::{ImputationDetail, PruneStats, TkcmImputer};
 use crate::incremental::IncrementalDissimilarity;
 use crate::signature::SignatureIndex;
+
+/// Fleet-wide pruning totals in the global metrics registry, in the same
+/// candidates/shortlisted/pruned split as [`PruneStats`].  Record-only: the
+/// imputation path never reads these back (`obs-read-only` policy).
+static PRUNE_TOTALS: LazyLock<[tkcm_obs::Counter; 3]> = LazyLock::new(|| {
+    ["candidates", "shortlisted", "pruned"]
+        .map(|path| tkcm_obs::registry().counter("tkcm_core_prune_total", &[("path", path)]))
+});
+
+/// Maintainer lifecycle counters (created / evicted), record-only.
+static MAINTAINERS_CREATED: LazyLock<tkcm_obs::Counter> =
+    LazyLock::new(|| tkcm_obs::registry().counter("tkcm_core_maintainer_created_total", &[]));
+static MAINTAINERS_EVICTED: LazyLock<tkcm_obs::Counter> =
+    LazyLock::new(|| tkcm_obs::registry().counter("tkcm_core_maintainer_evicted_total", &[]));
 
 /// One imputation performed by the engine at a tick.
 #[derive(Clone, Debug, PartialEq)]
@@ -265,6 +280,7 @@ impl TkcmEngine {
             state,
             last_used: self.tick_count,
         });
+        MAINTAINERS_CREATED.inc();
         Ok(self.maintainers.len() - 1)
     }
 
@@ -303,6 +319,24 @@ impl TkcmEngine {
                 self.prune_totals.candidates += stats.candidates;
                 self.prune_totals.shortlisted += stats.shortlisted;
                 self.prune_totals.pruned += stats.pruned;
+                PRUNE_TOTALS[0].add(stats.candidates as u64);
+                PRUNE_TOTALS[1].add(stats.shortlisted as u64);
+                PRUNE_TOTALS[2].add(stats.pruned as u64);
+                tkcm_obs::recorder().record(
+                    "prune_summary",
+                    vec![
+                        ("series", tkcm_obs::FieldValue::U64(u64::from(target.0))),
+                        (
+                            "candidates",
+                            tkcm_obs::FieldValue::U64(stats.candidates as u64),
+                        ),
+                        (
+                            "shortlisted",
+                            tkcm_obs::FieldValue::U64(stats.shortlisted as u64),
+                        ),
+                        ("pruned", tkcm_obs::FieldValue::U64(stats.pruned as u64)),
+                    ],
+                );
                 (detail, None)
             } else if incremental {
                 let start = Instant::now();
@@ -373,8 +407,10 @@ impl TkcmEngine {
             let start = Instant::now();
             let tick_count = self.tick_count;
             let ttl = self.maintainer_ttl();
+            let before_eviction = self.maintainers.len();
             self.maintainers
                 .retain(|m| tick_count.saturating_sub(m.last_used) <= ttl);
+            MAINTAINERS_EVICTED.add((before_eviction - self.maintainers.len()) as u64);
             for m in &mut self.maintainers {
                 m.state.advance(&self.window)?;
             }

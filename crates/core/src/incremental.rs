@@ -42,9 +42,16 @@
 //! Floating-point drift from the add/subtract cycle is bounded by rebuilding
 //! from scratch every `L` ticks (amortised `O(l·d)` per tick, negligible).
 
+use std::sync::LazyLock;
+
 use tkcm_timeseries::{SeriesId, StreamingWindow, Timestamp, TsError};
 
 use crate::dissimilarity::l2_from_components;
+
+/// From-scratch maintainer rebuilds (first use, de-sync fallback and the
+/// periodic drift wash-out), fleet-wide.  Record-only (`obs-read-only`).
+static REBUILDS: LazyLock<tkcm_obs::Counter> =
+    LazyLock::new(|| tkcm_obs::registry().counter("tkcm_core_maintainer_rebuilds_total", &[]));
 
 /// Sliding-aggregate state for the dissimilarity array `D` of Algorithm 1,
 /// maintained per reference set (Section 6.2).
@@ -150,6 +157,7 @@ impl IncrementalDissimilarity {
     /// `O(L·l·d)`.  Called on first use, after a de-sync, and periodically to
     /// wash out floating-point drift.
     pub fn rebuild(&mut self, window: &StreamingWindow) -> Result<(), TsError> {
+        REBUILDS.inc();
         let now = window
             .current_time()
             .ok_or_else(|| TsError::invalid("window", "no tick has been pushed yet"))?;

@@ -317,6 +317,14 @@ pub struct StormRun {
     pub rebalancing: bool,
     /// Wall-clock seconds for the full replay.
     pub wall_seconds: f64,
+    /// Median per-shard batch processing latency in milliseconds, read as
+    /// this run's delta of the `tkcm_runtime_shard_batch_nanos` histograms
+    /// merged across shards.
+    pub batch_p50_ms: f64,
+    /// 99th-percentile per-shard batch latency in milliseconds (same
+    /// histogram delta): the storm's hot-shard tail, which rebalancing is
+    /// supposed to shrink.
+    pub batch_p99_ms: f64,
     /// Barrier-bound critical path: the sum over batches of the slowest
     /// shard's processing time.  On a single-core host this — not wall
     /// clock — is what an N-core deployment's throughput follows, so the
@@ -386,6 +394,19 @@ pub fn run_storm_benchmark_with(
                 // so the default trigger works unmodified.
                 engine.set_rebalancing(Some(RebalanceOptions::default()));
             }
+            // The registry is process-global and cumulative, so this run's
+            // batch-latency percentiles are a checkpoint delta of the
+            // per-shard histograms the runtime records into.
+            let batch_hists: Vec<tkcm_obs::Histogram> = (0..shards)
+                .map(|shard| {
+                    tkcm_obs::registry().histogram(
+                        "tkcm_runtime_shard_batch_nanos",
+                        &[("shard", &shard.to_string())],
+                    )
+                })
+                .collect();
+            let baselines: Vec<tkcm_obs::HistogramCheckpoint> =
+                batch_hists.iter().map(|h| h.checkpoint()).collect();
             let start = Instant::now();
             if rebalancing {
                 for chunk in ticks.chunks(STORM_BATCH) {
@@ -398,6 +419,10 @@ pub fn run_storm_benchmark_with(
                 }
             }
             let wall = start.elapsed().as_secs_f64();
+            let mut batch_delta = tkcm_obs::HistogramDelta::default();
+            for (hist, base) in batch_hists.iter().zip(&baselines) {
+                batch_delta.merge(&hist.delta_since(base));
+            }
             let stats = engine.load_stats();
             let critical = stats.critical_path_seconds;
             let imputations = engine.imputations_performed();
@@ -411,6 +436,8 @@ pub fn run_storm_benchmark_with(
                 shards,
                 rebalancing,
                 wall_seconds: wall,
+                batch_p50_ms: batch_delta.quantile(0.5) as f64 / 1e6,
+                batch_p99_ms: batch_delta.quantile(0.99) as f64 / 1e6,
                 critical_path_seconds: critical,
                 ticks_per_second: ticks.len() as f64 / critical,
                 imputations,
@@ -434,6 +461,88 @@ pub fn run_storm_benchmark(scale: Scale) -> Vec<StormRun> {
     run_storm_benchmark_with(&storm_shape(scale, 2024), scale, &STORM_SHARD_COUNTS)
 }
 
+/// One measured replay of the observability-overhead A/B sweep.
+#[derive(Clone, Debug)]
+pub struct OverheadRun {
+    /// Whether metric/event recording was on for this replay.
+    pub obs_enabled: bool,
+    /// Wall-clock seconds for the full replay (best of the passes).
+    pub wall_seconds: f64,
+    /// Fleet-wide ticks per second.
+    pub ticks_per_second: f64,
+    /// Total values imputed — identical across modes, because
+    /// observability is strictly read-side.
+    pub imputations: usize,
+    /// This mode's throughput over the obs-off baseline (1.0 for the
+    /// baseline itself); the gated `obs_overhead_ratio` trend key.
+    pub ratio_vs_obs_off: f64,
+}
+
+/// Replays the fleet with recording off and on — interleaved passes, best
+/// wall time per mode, so scheduler noise cannot masquerade as
+/// instrumentation cost — and reports the throughput ratio.  Runs at one
+/// shard on the per-tick path, where the fixed per-tick instrumentation is
+/// proportionally largest; the recording switch is restored afterwards.
+pub fn run_overhead_benchmark_on(workload: &FleetWorkload, scale: Scale) -> Vec<OverheadRun> {
+    let width = workload.dataset.width();
+    let tkcm = fleet_tkcm_config(scale, workload.dataset.len());
+    let stream = workload.dataset.to_stream();
+    let ticks: Vec<_> = stream.ticks().collect();
+    let passes = match scale {
+        Scale::Quick => 2,
+        // One pass per mode at paper proportions: the replay is long enough
+        // to average its own noise, and the nightly pays for each pass.
+        Scale::Paper => 1,
+    };
+
+    let was_enabled = tkcm_obs::enabled();
+    let mut best: [Option<(f64, usize)>; 2] = [None, None];
+    for _pass in 0..passes {
+        for (slot, on) in [(0usize, false), (1, true)] {
+            tkcm_obs::set_enabled(on);
+            let mut engine = ShardedEngine::new(width, tkcm.clone(), workload.catalog.clone(), 1)
+                .expect("overhead fleet construction");
+            let start = Instant::now();
+            for tick in &ticks {
+                engine.process_tick(tick).expect("overhead tick");
+            }
+            let wall = start.elapsed().as_secs_f64();
+            let imputations = engine.imputations_performed();
+            if best[slot].is_none_or(|(w, _)| wall < w) {
+                best[slot] = Some((wall, imputations));
+            }
+        }
+    }
+    tkcm_obs::set_enabled(was_enabled);
+
+    let (off_wall, off_imputations) = best[0].expect("obs-off pass ran");
+    let (on_wall, on_imputations) = best[1].expect("obs-on pass ran");
+    // Read-side means read-side: toggling recording must not change what
+    // was imputed, or the ratio compares different work.
+    assert_eq!(
+        off_imputations, on_imputations,
+        "toggling observability changed the imputation count"
+    );
+    let off_tps = ticks.len() as f64 / off_wall;
+    let on_tps = ticks.len() as f64 / on_wall;
+    vec![
+        OverheadRun {
+            obs_enabled: false,
+            wall_seconds: off_wall,
+            ticks_per_second: off_tps,
+            imputations: off_imputations,
+            ratio_vs_obs_off: 1.0,
+        },
+        OverheadRun {
+            obs_enabled: true,
+            wall_seconds: on_wall,
+            ticks_per_second: on_tps,
+            imputations: on_imputations,
+            ratio_vs_obs_off: on_tps / off_tps,
+        },
+    ]
+}
+
 /// Runs the fleet throughput experiment and renders the report.
 pub fn run(scale: Scale) -> Report {
     let config = fleet_config(scale, 2024);
@@ -442,7 +551,15 @@ pub fn run(scale: Scale) -> Report {
     let sweep_workload = batch_sweep_config(scale, 2024).generate();
     let batched = run_batched_benchmark_on(&sweep_workload, scale);
     let storms = run_storm_benchmark(scale);
-    report_from(&config, workload.missing, &runs, &batched, &storms)
+    let overhead = run_overhead_benchmark_on(&workload, scale);
+    report_from(
+        &config,
+        workload.missing,
+        &runs,
+        &batched,
+        &storms,
+        &overhead,
+    )
 }
 
 /// Renders the measured runs as the experiment report.
@@ -452,6 +569,7 @@ fn report_from(
     runs: &[FleetRun],
     batched: &[BatchedRun],
     storms: &[StormRun],
+    overhead: &[OverheadRun],
 ) -> Report {
     let mut report = Report::new("Fleet throughput: sharded runtime over a wide fleet");
     report.note(format!(
@@ -528,6 +646,8 @@ fn report_from(
                 "shards".to_string(),
                 "rebalancing".to_string(),
                 "wall_seconds".to_string(),
+                "batch_p50_ms".to_string(),
+                "batch_p99_ms".to_string(),
                 "critical_path_seconds".to_string(),
                 "ticks_per_second".to_string(),
                 "imputations".to_string(),
@@ -543,6 +663,8 @@ fn report_from(
                     run.shards as f64,
                     if run.rebalancing { 1.0 } else { 0.0 },
                     run.wall_seconds,
+                    run.batch_p50_ms,
+                    run.batch_p99_ms,
                     run.critical_path_seconds,
                     run.ticks_per_second,
                     run.imputations as f64,
@@ -559,8 +681,44 @@ fn report_from(
              barrier-bound sum of each batch's slowest shard — which is what an N-core \
              deployment's throughput follows; `recovery_ratio` is the elastic (pipeline depth 2 \
              + component stealing) critical-path throughput over the static baseline at the \
-             same shard count.  Both modes impute identical values."
+             same shard count.  Both modes impute identical values.  `batch_p50_ms` / \
+             `batch_p99_ms` are this run's per-shard batch-latency percentiles, read as a \
+             checkpoint delta of the runtime's `tkcm_runtime_shard_batch_nanos` histograms."
         ));
+    }
+    if !overhead.is_empty() {
+        let mut table = Table::new(
+            "Observability overhead",
+            vec![
+                "config".to_string(),
+                "obs_enabled".to_string(),
+                "wall_seconds".to_string(),
+                "ticks_per_second".to_string(),
+                "imputations".to_string(),
+                "ratio_vs_obs_off".to_string(),
+            ],
+        );
+        for run in overhead {
+            let mode = if run.obs_enabled { "obs on" } else { "obs off" };
+            table.push_row(
+                mode.to_string(),
+                vec![
+                    if run.obs_enabled { 1.0 } else { 0.0 },
+                    run.wall_seconds,
+                    run.ticks_per_second,
+                    run.imputations as f64,
+                    run.ratio_vs_obs_off,
+                ],
+            );
+        }
+        report.add_table(table);
+        report.note(
+            "Observability overhead: the same 1-shard per-tick replay with metric/event \
+             recording off vs on (interleaved passes, best wall time per mode); \
+             `ratio_vs_obs_off` is the gated `obs_overhead_ratio` trend key, expected ≥ 0.9.  \
+             Imputations are asserted identical — observability is read-side only."
+                .to_string(),
+        );
     }
     // Cross-shard reference loss, named: the nightly artifact records which
     // candidate edges a giant-component split cost, not just how many.
@@ -623,7 +781,7 @@ mod tests {
         // what the CI `fleet_throughput` binary runs in release mode.
         let workload = mini_workload();
         let runs = run_fleet_benchmark_on(&workload, Scale::Quick);
-        let report = report_from(&mini_config(), workload.missing, &runs, &[], &[]);
+        let report = report_from(&mini_config(), workload.missing, &runs, &[], &[], &[]);
         let table = report.table("Fleet throughput by shard count").unwrap();
         assert_eq!(table.rows.len(), SHARD_COUNTS.len());
         assert_eq!(table.headers.len(), 7);
@@ -654,7 +812,7 @@ mod tests {
         assert!(four.dropped_edges > 0);
         assert!(!four.dropped_sample.is_empty());
         assert!(four.dropped_sample.len() <= DROPPED_EDGE_SAMPLE);
-        let report = report_from(&config, workload.missing, &runs, &[], &[]);
+        let report = report_from(&config, workload.missing, &runs, &[], &[], &[]);
         assert!(
             report.notes.iter().any(|n| n.contains("dropped")),
             "report should name the dropped edges: {:?}",
@@ -680,7 +838,7 @@ mod tests {
         // (speedup assertions live in the recorded trend JSON, not in tests
         // — single-core machines cannot observe them reliably).
         let runs = run_fleet_benchmark_on(&workload, Scale::Quick);
-        let report = report_from(&mini_config(), workload.missing, &runs, &batched, &[]);
+        let report = report_from(&mini_config(), workload.missing, &runs, &batched, &[], &[]);
         let table = report
             .table("Batched durable ingestion by batch size")
             .unwrap();
@@ -702,6 +860,7 @@ mod tests {
             outage_length: 4,
             storm: None,
         };
+        let _guard = obs_toggle_lock();
         let storms = run_storm_benchmark_with(&shape, Scale::Quick, &[2]);
         assert_eq!(storms.len(), 2);
         let (baseline, elastic) = (&storms[0], &storms[1]);
@@ -721,15 +880,56 @@ mod tests {
             assert!(run.critical_path_seconds <= run.wall_seconds * 2.0);
             assert!(run.ticks_per_second.is_finite() && run.ticks_per_second > 0.0);
             assert!(run.recovery_ratio.is_finite() && run.recovery_ratio > 0.0);
+            // Every batch processed, so the histogram delta must hold real
+            // latencies with an ordered median and tail.
+            assert!(run.batch_p50_ms > 0.0, "empty batch-latency delta");
+            assert!(run.batch_p99_ms >= run.batch_p50_ms);
         }
 
-        let report = report_from(&shape, 0, &[], &[], &storms);
+        let report = report_from(&shape, 0, &[], &[], &storms, &[]);
         let table = report.table("Skewed-outage storm by shard count").unwrap();
         assert_eq!(table.rows.len(), 2);
-        assert_eq!(table.headers.len(), 9);
+        assert_eq!(table.headers.len(), 11);
         assert_eq!(table.cell("static 2 shard(s)", "rebalancing"), Some(0.0));
         assert_eq!(table.cell("elastic 2 shard(s)", "rebalancing"), Some(1.0));
         assert!(report.notes.iter().any(|n| n.contains("critical-path")));
+    }
+
+    /// The overhead A/B sweep toggles the process-global recording switch;
+    /// tests that read metrics (the storm percentiles) must not interleave
+    /// with it.
+    fn obs_toggle_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn overhead_sweep_compares_identical_work_and_restores_recording() {
+        let _guard = obs_toggle_lock();
+        assert!(tkcm_obs::enabled(), "recording starts on");
+        let workload = mini_workload();
+        let overhead = run_overhead_benchmark_on(&workload, Scale::Quick);
+        assert!(tkcm_obs::enabled(), "the sweep must restore the switch");
+        assert_eq!(overhead.len(), 2);
+        let (off, on) = (&overhead[0], &overhead[1]);
+        assert!(!off.obs_enabled && on.obs_enabled);
+        assert_eq!(off.ratio_vs_obs_off, 1.0);
+        assert!(off.imputations > 0);
+        assert_eq!(on.imputations, off.imputations);
+        // The ratio itself is gated in CI, not asserted here: a loaded
+        // single-core test machine cannot observe it reliably.
+        assert!(on.ratio_vs_obs_off.is_finite() && on.ratio_vs_obs_off > 0.0);
+
+        let report = report_from(&mini_config(), workload.missing, &[], &[], &[], &overhead);
+        let table = report.table("Observability overhead").unwrap();
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.cell("obs off", "obs_enabled"), Some(0.0));
+        assert_eq!(table.cell("obs on", "obs_enabled"), Some(1.0));
+        assert_eq!(
+            table.cell("obs on", "ratio_vs_obs_off"),
+            Some(on.ratio_vs_obs_off)
+        );
+        assert!(report.notes.iter().any(|n| n.contains("read-side")));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Workspace invariant linter: the standing policies of ROADMAP.md,
 //! mechanized as a dependency-free static-analysis pass that gates CI.
 //!
-//! Four rule families (see [`rules`]):
+//! Five rule families (see [`rules`]):
 //!
 //! 1. **`snapshot-fingerprint`** — every `impl Snapshot for T` in the
 //!    persistence file set is fingerprinted (type layout + encode/decode
@@ -19,6 +19,10 @@
 //!    `panic!`-family macros, no indexing, no bare `as` numeric casts.
 //! 4. **`single-definition`** — the on-disk magic literals and the
 //!    format-version constants are each defined exactly once.
+//! 5. **`obs-read-only`** — shipping code in the imputation core may
+//!    record into the tkcm-obs layer but never read values back from it
+//!    (`.value()`, `.quantile()`, snapshots, exports): outcomes must not
+//!    depend on observability state.
 //!
 //! The crate is a library (so the fixture tests can drive synthetic
 //! workspaces) plus the `tkcm-lint` binary CI runs.  It has **zero
@@ -56,6 +60,9 @@ pub struct LintConfig {
     pub magic_literals: Vec<String>,
     /// Format-version constant names that must be defined exactly once.
     pub version_consts: Vec<String>,
+    /// Root-relative path prefixes whose shipping code must treat the
+    /// tkcm-obs layer as write-only (the `obs-read-only` rule).
+    pub obs_read_only_paths: Vec<String>,
 }
 
 impl LintConfig {
@@ -93,6 +100,7 @@ impl LintConfig {
             ]
             .map(String::from)
             .to_vec(),
+            obs_read_only_paths: ["crates/core/src/"].map(String::from).to_vec(),
         }
     }
 }
@@ -128,7 +136,7 @@ impl Report {
     }
 }
 
-/// Runs all four rules and returns the report.
+/// Runs all five rules and returns the report.
 pub fn run(cfg: &LintConfig) -> Result<Report, String> {
     let files = scan_workspace(&cfg.root)?;
     let manifest = Manifest::load(&cfg.manifest_path)?;
@@ -137,6 +145,7 @@ pub fn run(cfg: &LintConfig) -> Result<Report, String> {
     findings.extend(rules::check_cadence(&files, cfg));
     findings.extend(rules::check_decode_hygiene(&files, cfg));
     findings.extend(rules::check_single_definition(&files, cfg));
+    findings.extend(rules::check_obs_read_only(&files, cfg));
     findings.sort_by(|a, b| {
         (a.rule, &a.file, a.line, &a.message).cmp(&(b.rule, &b.file, b.line, &b.message))
     });

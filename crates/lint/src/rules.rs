@@ -1,4 +1,4 @@
-//! The four rule families.
+//! The five rule families.
 //!
 //! Every rule works on the lexed token streams from [`crate::scan`], skips
 //! `#[cfg(test)]` regions (policies govern shipping code; tests may
@@ -21,6 +21,8 @@ pub const RULE_CADENCE: &str = "cadence";
 pub const RULE_DECODE: &str = "decode-hygiene";
 /// Rule name: single-definition constants.
 pub const RULE_SINGLE_DEF: &str = "single-definition";
+/// Rule name: observability is record-only inside the imputation core.
+pub const RULE_OBS_READ_ONLY: &str = "obs-read-only";
 
 fn finding(rule: &'static str, file: &str, line: u32, message: String) -> Finding {
     Finding {
@@ -116,6 +118,78 @@ pub fn check_cadence(files: &[SourceFile], cfg: &LintConfig) -> Vec<Finding> {
                     out.push(finding(RULE_CADENCE, &file.rel_path, t.line, message));
                 }
             }
+        }
+    }
+    out
+}
+
+/// Method names that read a value *back out* of the tkcm-obs metrics
+/// registry or flight recorder.  The obs API deliberately gives its read
+/// methods distinctive names (`observed_count`, not `count`) so this token
+/// list stays collision-free against ordinary core code.
+const OBS_READ_METHODS: &[&str] = &[
+    "value",
+    "quantile",
+    "snapshot",
+    "render_prometheus",
+    "render_json",
+    "events",
+];
+
+/// Rule 5 — obs-read-only: inside the configured core paths, shipping code
+/// may *record* observability values but never read them back.
+///
+/// The workspace's bit-identity equivalence properties (threaded vs
+/// sequential, before vs after recovery, pruned vs exhaustive) hold only
+/// because imputation and maintenance decisions never depend on metrics,
+/// spans or recorder state.  A single `.value()` read in a pruning
+/// heuristic would make outcomes a function of what else the process
+/// observed — unreproducible by construction.  Reads belong in export /
+/// report layers (the runtime's `observability_report`, the eval harness);
+/// reviewed exceptions use `tkcm-lint: allow(obs-read-only)`.
+pub fn check_obs_read_only(files: &[SourceFile], cfg: &LintConfig) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in files {
+        if !cfg
+            .obs_read_only_paths
+            .iter()
+            .any(|prefix| file.rel_path.starts_with(prefix.as_str()))
+        {
+            continue;
+        }
+        let tokens = file.tokens();
+        for i in 0..tokens.len() {
+            if file.test_mask.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            if !tokens[i].is_punct(".") {
+                continue;
+            }
+            let Some(name) = tokens.get(i + 1) else {
+                continue;
+            };
+            if name.kind != TokKind::Ident || !OBS_READ_METHODS.iter().any(|m| name.text == *m) {
+                continue;
+            }
+            if !tokens.get(i + 2).is_some_and(|p| p.is_punct("(")) {
+                continue;
+            }
+            if file.lexed.is_allowed(RULE_OBS_READ_ONLY, name.line) {
+                continue;
+            }
+            out.push(finding(
+                RULE_OBS_READ_ONLY,
+                &file.rel_path,
+                name.line,
+                format!(
+                    "`.{}(...)` reads an observability value inside the imputation core; the \
+                     obs-read-only policy says this code may record metrics but never read \
+                     them back (outcomes would silently depend on observability state) — \
+                     move the read to an export/report layer, or mark a reviewed exception \
+                     with `tkcm-lint: allow(obs-read-only)`",
+                    name.text
+                ),
+            ));
         }
     }
     out

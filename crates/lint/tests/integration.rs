@@ -383,6 +383,103 @@ fn duplicated_magic_and_version_constants_fire() {
 }
 
 // ---------------------------------------------------------------------------
+// Rule 5 — obs-read-only: firing, suppressions, and path scoping.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn obs_read_only_fires_in_core_and_respects_suppressions() {
+    let root = workspace("obs-read");
+    let cfg = LintConfig::for_repo(&root);
+    fs::create_dir_all(root.join("crates/core/src")).unwrap();
+    let engine = root.join("crates/core/src/engine.rs");
+
+    // Firing: shipping core code reading metric values back.
+    fs::write(
+        &engine,
+        "pub fn tune(h: &tkcm_obs::Histogram, c: &tkcm_obs::Counter) -> f64 {\n\
+         \x20   let _ = c.value();\n\
+         \x20   h.quantile(0.99)\n\
+         }\n",
+    )
+    .unwrap();
+    let report = run(&cfg).unwrap();
+    let findings = findings_for(&report, "obs-read-only");
+    assert_eq!(findings.len(), 2, "{:?}", report.findings);
+    assert!(
+        findings.iter().any(|f| f.message.contains("`.value(...)`")),
+        "{findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("`.quantile(...)`")),
+        "{findings:?}"
+    );
+
+    // Non-firing: record-side calls are exactly what core code should do.
+    fs::write(
+        &engine,
+        "pub fn work(h: &tkcm_obs::Histogram, c: &tkcm_obs::Counter, g: &tkcm_obs::Gauge) {\n\
+         \x20   c.inc();\n\
+         \x20   g.set(3);\n\
+         \x20   h.record(17);\n\
+         }\n",
+    )
+    .unwrap();
+    let report = run(&cfg).unwrap();
+    assert!(
+        findings_for(&report, "obs-read-only").is_empty(),
+        "record-side calls must not fire: {:?}",
+        report.findings
+    );
+
+    // Non-firing: reads inside a #[cfg(test)] module (assertions on metrics).
+    fs::write(
+        &engine,
+        "#[cfg(test)]\nmod tests {\n    fn check(c: &tkcm_obs::Counter) { assert_eq!(c.value(), 1); }\n}\n",
+    )
+    .unwrap();
+    let report = run(&cfg).unwrap();
+    assert!(
+        findings_for(&report, "obs-read-only").is_empty(),
+        "test region: {:?}",
+        report.findings
+    );
+
+    // Non-firing: an inline allow marker for a reviewed exception.
+    fs::write(
+        &engine,
+        "pub fn reviewed(c: &tkcm_obs::Counter) -> u64 {\n\
+         \x20   // tkcm-lint: allow(obs-read-only)\n\
+         \x20   c.value()\n\
+         }\n",
+    )
+    .unwrap();
+    let report = run(&cfg).unwrap();
+    assert!(
+        findings_for(&report, "obs-read-only").is_empty(),
+        "inline allow: {:?}",
+        report.findings
+    );
+
+    // Non-firing: the same read outside the configured path prefixes
+    // (export/report layers are where reads belong).
+    fs::remove_file(&engine).unwrap();
+    fs::write(
+        root.join("crates/timeseries/src/report.rs"),
+        "pub fn p99(h: &tkcm_obs::Histogram) -> f64 { h.quantile(0.99) }\n",
+    )
+    .unwrap();
+    let report = run(&cfg).unwrap();
+    assert!(
+        findings_for(&report, "obs-read-only").is_empty(),
+        "out-of-scope path: {:?}",
+        report.findings
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+// ---------------------------------------------------------------------------
 // The real repository is clean (the same invocation CI gates on).
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,205 @@
+//! Export encoders: Prometheus-style text exposition and hand-rolled JSON.
+//!
+//! Both encoders render a [`Registry`] snapshot; they are pure functions of
+//! the snapshot (encode-only, deterministic order — the registry map is a
+//! `BTreeMap`), so successive scrapes of an idle process are byte-identical.
+
+use crate::metrics::{MetricSnapshot, Registry, SnapshotValue};
+
+/// Renders the registry as Prometheus text exposition: one `# TYPE` line
+/// per metric name, counters/gauges as plain samples, histograms as
+/// summary-style quantile samples plus `_sum` / `_count`.
+pub fn render_prometheus(registry: &Registry) -> String {
+    let snapshot = registry.snapshot();
+    let mut out = String::new();
+    let mut last_name = "";
+    for metric in &snapshot {
+        if metric.name != last_name {
+            let kind = match metric.value {
+                SnapshotValue::Counter(_) => "counter",
+                SnapshotValue::Gauge(_) => "gauge",
+                SnapshotValue::Histogram(_) => "summary",
+            };
+            out.push_str(&format!("# TYPE {} {kind}\n", metric.name));
+            last_name = metric.name;
+        }
+        match &metric.value {
+            SnapshotValue::Counter(v) => {
+                out.push_str(&format!(
+                    "{}{} {v}\n",
+                    metric.name,
+                    label_block(metric, None)
+                ));
+            }
+            SnapshotValue::Gauge(v) => {
+                out.push_str(&format!(
+                    "{}{} {v}\n",
+                    metric.name,
+                    label_block(metric, None)
+                ));
+            }
+            SnapshotValue::Histogram(h) => {
+                for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                    out.push_str(&format!(
+                        "{}{} {v}\n",
+                        metric.name,
+                        label_block(metric, Some(q))
+                    ));
+                }
+                out.push_str(&format!(
+                    "{}_sum{} {}\n",
+                    metric.name,
+                    label_block(metric, None),
+                    h.sum
+                ));
+                out.push_str(&format!(
+                    "{}_count{} {}\n",
+                    metric.name,
+                    label_block(metric, None),
+                    h.count
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The `{key="value",…}` label block of a sample, with an optional
+/// `quantile` label appended; empty string when there are no labels.
+fn label_block(metric: &MetricSnapshot, quantile: Option<&str>) -> String {
+    let mut pairs: Vec<String> = metric
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    if let Some(q) = quantile {
+        pairs.push(format!("quantile=\"{q}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Renders the registry as a JSON document:
+/// `{"metrics": [{"name": …, "labels": {…}, "kind": …, …}, …]}`.
+pub fn render_json(registry: &Registry) -> String {
+    let snapshot = registry.snapshot();
+    let mut out = String::from("{\n  \"metrics\": [\n");
+    for (i, metric) in snapshot.iter().enumerate() {
+        let labels: Vec<String> = metric
+            .labels
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": \"{}\"", escape(v)))
+            .collect();
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"labels\": {{{}}}, ",
+            metric.name,
+            labels.join(", ")
+        ));
+        match &metric.value {
+            SnapshotValue::Counter(v) => {
+                out.push_str(&format!("\"kind\": \"counter\", \"value\": {v}}}"));
+            }
+            SnapshotValue::Gauge(v) if v.is_finite() => {
+                out.push_str(&format!("\"kind\": \"gauge\", \"value\": {v}}}"));
+            }
+            SnapshotValue::Gauge(_) => {
+                out.push_str("\"kind\": \"gauge\", \"value\": null}");
+            }
+            SnapshotValue::Histogram(h) => {
+                out.push_str(&format!(
+                    "\"kind\": \"histogram\", \"count\": {}, \"sum\": {}, \
+                     \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                    h.count, h.sum, h.p50, h.p90, h.p99
+                ));
+            }
+        }
+        if i + 1 < snapshot.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Escapes a label value for both exposition formats (quote, backslash,
+/// newline — the shared subset of the two grammars).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let registry = Registry::new();
+        registry
+            .counter("tkcm_test_batches_total", &[("shard", "0")])
+            .add(5);
+        registry
+            .counter("tkcm_test_batches_total", &[("shard", "1")])
+            .add(7);
+        registry.gauge("tkcm_test_ewma_nanos", &[]).set(1250.5);
+        let h = registry.histogram("tkcm_test_latency_nanos", &[]);
+        for v in [1u64, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        registry
+    }
+
+    #[test]
+    fn prometheus_exposition_has_types_labels_and_quantiles() {
+        let _guard = crate::tests::enabled_lock();
+        let text = render_prometheus(&sample_registry());
+        assert!(text.contains("# TYPE tkcm_test_batches_total counter"));
+        // One TYPE line even with two label sets.
+        assert_eq!(text.matches("# TYPE tkcm_test_batches_total").count(), 1);
+        assert!(text.contains("tkcm_test_batches_total{shard=\"0\"} 5"));
+        assert!(text.contains("tkcm_test_batches_total{shard=\"1\"} 7"));
+        assert!(text.contains("# TYPE tkcm_test_ewma_nanos gauge"));
+        assert!(text.contains("tkcm_test_ewma_nanos 1250.5"));
+        assert!(text.contains("# TYPE tkcm_test_latency_nanos summary"));
+        assert!(text.contains("tkcm_test_latency_nanos{quantile=\"0.5\"} 3"));
+        assert!(text.contains("tkcm_test_latency_nanos_count 5"));
+        assert!(text.contains("tkcm_test_latency_nanos_sum 110"));
+    }
+
+    #[test]
+    fn json_export_carries_kinds_and_percentiles() {
+        let _guard = crate::tests::enabled_lock();
+        let json = render_json(&sample_registry());
+        assert!(json.contains(
+            "{\"name\": \"tkcm_test_batches_total\", \"labels\": {\"shard\": \"0\"}, \
+             \"kind\": \"counter\", \"value\": 5}"
+        ));
+        assert!(json.contains("\"kind\": \"gauge\", \"value\": 1250.5"));
+        assert!(json.contains("\"kind\": \"histogram\", \"count\": 5, \"sum\": 110"));
+        assert!(json.contains("\"p50\": 3"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let _guard = crate::tests::enabled_lock();
+        let registry = Registry::new();
+        registry
+            .counter("tkcm_test_esc_total", &[("path", "a\"b\\c")])
+            .inc();
+        let text = render_prometheus(&registry);
+        assert!(text.contains("path=\"a\\\"b\\\\c\""), "{text}");
+        let json = render_json(&registry);
+        assert!(json.contains("\"path\": \"a\\\"b\\\\c\""), "{json}");
+    }
+}

@@ -1,0 +1,573 @@
+//! The metrics registry: counters, gauges and log-scale histograms.
+//!
+//! Registration (`registry.counter(name, labels)`) takes a mutex once and
+//! hands back a cheap cloneable handle; every subsequent recording is one
+//! relaxed atomic RMW, so the hot paths of the engine, the fleet and the
+//! store never contend on a lock.  Reads (`value`, `quantile`, `snapshot`)
+//! are relaxed atomic loads — approximate under concurrent writers, exact
+//! once writers quiesce — and never stop recording.
+//!
+//! Histograms use fixed log-scale buckets: values 0–7 get exact buckets,
+//! larger values are bucketed by octave with 8 sub-buckets each, giving a
+//! worst-case relative quantile error of 12.5 % over the full `u64` range
+//! with a constant 496-slot footprint.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Exact buckets for values below `1 << EXACT_BITS`.
+const EXACT_BITS: usize = 3;
+/// Sub-buckets per octave above the exact range.
+const SUB_BUCKETS: usize = 1 << EXACT_BITS;
+/// Total bucket count: 8 exact + 8 per octave for octaves 3..=63.
+pub const HISTOGRAM_BUCKETS: usize = SUB_BUCKETS + (64 - EXACT_BITS) * SUB_BUCKETS;
+
+/// Bucket index of `value` (total order, stable across processes).
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        value as usize
+    } else {
+        let msb = 63 - value.leading_zeros() as usize;
+        let sub = ((value >> (msb - EXACT_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+        SUB_BUCKETS + (msb - EXACT_BITS) * SUB_BUCKETS + sub
+    }
+}
+
+/// `[low, high)` value bounds of bucket `index`.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUB_BUCKETS {
+        (index as u64, index as u64 + 1)
+    } else {
+        let octave = (index - SUB_BUCKETS) / SUB_BUCKETS + EXACT_BITS;
+        let sub = ((index - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+        let step = 1u64 << (octave - EXACT_BITS);
+        let low = (1u64 << octave) + sub * step;
+        (low, low.saturating_add(step))
+    }
+}
+
+/// Representative value reported for bucket `index` (its midpoint).
+fn bucket_representative(index: usize) -> u64 {
+    let (low, high) = bucket_bounds(index);
+    low + (high - low - 1) / 2
+}
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `n`; a no-op while recording is disabled.
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (read-side; never called from imputation logic).
+    pub fn value(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Sets the gauge; a no-op while recording is disabled.
+    pub fn set(&self, value: f64) {
+        if crate::enabled() {
+            self.bits.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (read-side; never called from imputation logic).
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket log-scale histogram of `u64` samples (typically
+/// nanoseconds or bytes).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    cells: Arc<HistogramCells>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            cells: Arc::new(HistogramCells {
+                buckets: (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample; a no-op while recording is disabled.
+    pub fn record(&self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.cells.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.cells.count.fetch_add(1, Ordering::Relaxed);
+        self.cells.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration as whole nanoseconds (saturating).
+    pub fn record_duration(&self, duration: std::time::Duration) {
+        self.record(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded samples (read-side).
+    pub fn observed_count(&self) -> u64 {
+        self.cells.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (read-side).
+    pub fn observed_sum(&self) -> u64 {
+        self.cells.sum.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of the recorded samples, as the
+    /// midpoint of the bucket the quantile falls in — within 12.5 % of the
+    /// exact order statistic.  Returns 0 with no samples.  Read-side:
+    /// concurrent writers make the answer approximate, never wrong by more
+    /// than the in-flight samples.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let loaded: Vec<u64> = self
+            .cells
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        quantile_of(&loaded, q)
+    }
+
+    /// A point-in-time copy of the bucket counts, for later
+    /// [`delta_since`](Histogram::checkpoint) arithmetic.  The registry is
+    /// process-global and cumulative, so per-interval quantiles (one bench
+    /// run, one report window) need a baseline to subtract; this is it.
+    pub fn checkpoint(&self) -> HistogramCheckpoint {
+        HistogramCheckpoint {
+            buckets: self
+                .cells
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// The samples recorded since `base` was checkpointed from this same
+    /// histogram (read-side; approximate under concurrent writers).
+    pub fn delta_since(&self, base: &HistogramCheckpoint) -> HistogramDelta {
+        let mut count = 0u64;
+        let buckets: Vec<u64> = self
+            .cells
+            .buckets
+            .iter()
+            .zip(&base.buckets)
+            .map(|(now, then)| {
+                let d = now.load(Ordering::Relaxed).saturating_sub(*then);
+                count += d;
+                d
+            })
+            .collect();
+        HistogramDelta { buckets, count }
+    }
+}
+
+/// The `q`-quantile over plain bucket counts (midpoint-of-bucket, like
+/// [`Histogram::quantile`]).  Returns 0 when the counts are all zero.
+fn quantile_of(buckets: &[u64], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    let mut cumulative = 0u64;
+    let mut last_nonempty = 0usize;
+    for (index, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        cumulative += n;
+        last_nonempty = index;
+        if cumulative >= target {
+            return bucket_representative(index);
+        }
+    }
+    bucket_representative(last_nonempty)
+}
+
+/// A point-in-time copy of one histogram's bucket counts — the baseline
+/// for per-interval quantiles over the cumulative global registry.
+#[derive(Clone, Debug)]
+pub struct HistogramCheckpoint {
+    buckets: Vec<u64>,
+}
+
+/// Samples a histogram gained since a [`HistogramCheckpoint`], mergeable
+/// across histograms (e.g. every shard of one fleet run) before taking a
+/// quantile.  Strictly read-side, like every other metric read.
+#[derive(Clone, Debug)]
+pub struct HistogramDelta {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl Default for HistogramDelta {
+    fn default() -> Self {
+        HistogramDelta {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+        }
+    }
+}
+
+impl HistogramDelta {
+    /// Number of samples in the delta.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds another delta's samples into this one.
+    pub fn merge(&mut self, other: &HistogramDelta) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+        self.count += other.count;
+    }
+
+    /// The `q`-quantile of the delta, bucket-midpoint like
+    /// [`Histogram::quantile`]; 0 when the delta is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_of(&self.buckets, q)
+    }
+}
+
+/// One label: static key, owned value (`("shard", "2")`).
+pub type Label = (&'static str, String);
+
+/// A point-in-time view of one registered metric.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricSnapshot {
+    /// Metric name.
+    pub name: &'static str,
+    /// Label set, sorted by key.
+    pub labels: Vec<Label>,
+    /// The metric's value at snapshot time.
+    pub value: SnapshotValue,
+}
+
+/// The value half of a [`MetricSnapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SnapshotValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram summary.
+    Histogram(HistogramSnapshot),
+}
+
+/// Summary of a histogram at snapshot time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Sample count.
+    pub count: u64,
+    /// Sample sum.
+    pub sum: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+#[derive(Clone, Debug)]
+enum MetricHandle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl MetricHandle {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricHandle::Counter(_) => "counter",
+            MetricHandle::Gauge(_) => "gauge",
+            MetricHandle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The metrics registry: `(name, labels) → metric`, with the map behind a
+/// mutex (touched at registration and snapshot time only — recording goes
+/// through the atomic handles).
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<(&'static str, Vec<Label>), MetricHandle>>,
+}
+
+impl Registry {
+    /// An empty registry (tests; production code uses [`crate::registry`]).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<(&'static str, Vec<Label>), MetricHandle>> {
+        // Mutex poisoning cannot corrupt a map of atomic handles; recover.
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn owned_labels(labels: &[(&'static str, &str)]) -> Vec<Label> {
+        let mut owned: Vec<Label> = labels.iter().map(|(k, v)| (*k, v.to_string())).collect();
+        owned.sort();
+        owned
+    }
+
+    /// Registers (or retrieves) the counter `name` + `labels`.
+    ///
+    /// # Panics
+    /// If the same name + labels was registered as a different metric kind —
+    /// a programming error, caught at registration (the cold path).
+    pub fn counter(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Counter {
+        let key = (name, Self::owned_labels(labels));
+        let mut map = self.lock();
+        let handle = map
+            .entry(key)
+            .or_insert_with(|| MetricHandle::Counter(Counter::default()));
+        match handle {
+            MetricHandle::Counter(c) => c.clone(),
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) the gauge `name` + `labels` (panics on a
+    /// kind mismatch, like [`Registry::counter`]).
+    pub fn gauge(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Gauge {
+        let key = (name, Self::owned_labels(labels));
+        let mut map = self.lock();
+        let handle = map
+            .entry(key)
+            .or_insert_with(|| MetricHandle::Gauge(Gauge::default()));
+        match handle {
+            MetricHandle::Gauge(g) => g.clone(),
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) the histogram `name` + `labels` (panics on a
+    /// kind mismatch, like [`Registry::counter`]).
+    pub fn histogram(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Histogram {
+        let key = (name, Self::owned_labels(labels));
+        let mut map = self.lock();
+        let handle = map
+            .entry(key)
+            .or_insert_with(|| MetricHandle::Histogram(Histogram::default()));
+        match handle {
+            MetricHandle::Histogram(h) => h.clone(),
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// A point-in-time view of every registered metric, sorted by name then
+    /// labels (read-side; feeds the export encoders).
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let map = self.lock();
+        map.iter()
+            .map(|((name, labels), handle)| MetricSnapshot {
+                name,
+                labels: labels.clone(),
+                value: match handle {
+                    MetricHandle::Counter(c) => SnapshotValue::Counter(c.value()),
+                    MetricHandle::Gauge(g) => SnapshotValue::Gauge(g.value()),
+                    MetricHandle::Histogram(h) => SnapshotValue::Histogram(HistogramSnapshot {
+                        count: h.observed_count(),
+                        sum: h.observed_sum(),
+                        p50: h.quantile(0.50),
+                        p90: h.quantile(0.90),
+                        p99: h.quantile(0.99),
+                    }),
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_index_and_bounds_partition_u64() {
+        // Exact low range.
+        for v in 0..8u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v + 1));
+        }
+        // Bucket bounds tile the space: each bucket's high is the next low.
+        let mut previous_high = 0u64;
+        for index in 0..HISTOGRAM_BUCKETS {
+            let (low, high) = bucket_bounds(index);
+            assert_eq!(low, previous_high, "gap before bucket {index}");
+            assert!(high > low || high == u64::MAX);
+            previous_high = high;
+        }
+        // Every probe value maps into a bucket whose bounds contain it.
+        for exp in 0..64 {
+            for delta in [0i64, 1, -1, 3] {
+                let v = (1u128 << exp).wrapping_add_signed(delta as i128);
+                let Ok(v) = u64::try_from(v) else { continue };
+                let (low, high) = bucket_bounds(bucket_index(v));
+                assert!(low <= v && (v < high || high == u64::MAX), "{v}");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_are_within_the_bucket_resolution() {
+        let _guard = crate::tests::enabled_lock();
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.observed_count(), 1000);
+        assert_eq!(h.observed_sum(), 500_500);
+        for (q, exact) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0)] {
+            let got = h.quantile(q) as f64;
+            let err = (got - exact).abs() / exact;
+            assert!(err <= 0.125, "q{q}: got {got}, exact {exact}");
+        }
+        assert_eq!(Histogram::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn registry_reuses_handles_and_snapshots_sorted() {
+        let _guard = crate::tests::enabled_lock();
+        let registry = Registry::new();
+        let a = registry.counter("tkcm_test_b_total", &[("shard", "1")]);
+        let b = registry.counter("tkcm_test_b_total", &[("shard", "1")]);
+        a.add(2);
+        b.inc();
+        assert_eq!(a.value(), 3);
+        registry.gauge("tkcm_test_a_gauge", &[]).set(1.5);
+        registry.histogram("tkcm_test_c_nanos", &[]).record(7);
+        let snapshot = registry.snapshot();
+        let names: Vec<&str> = snapshot.iter().map(|m| m.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "tkcm_test_a_gauge",
+                "tkcm_test_b_total",
+                "tkcm_test_c_nanos"
+            ]
+        );
+        assert_eq!(snapshot[1].value, SnapshotValue::Counter(3));
+        assert_eq!(snapshot[1].labels, vec![("shard", "1".to_string())]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics_at_registration() {
+        let registry = Registry::new();
+        registry.counter("tkcm_test_kind", &[]);
+        registry.gauge("tkcm_test_kind", &[]);
+    }
+
+    /// Satellite: 8 threads hammer one counter and one histogram; totals
+    /// must sum exactly (atomics lose nothing).
+    #[test]
+    fn eight_thread_stress_sums_exactly() {
+        let _guard = crate::tests::enabled_lock();
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 50_000;
+        let registry = Arc::new(Registry::new());
+        let counter = registry.counter("tkcm_test_stress_total", &[]);
+        let histogram = registry.histogram("tkcm_test_stress_nanos", &[]);
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let counter = counter.clone();
+                let histogram = histogram.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        counter.inc();
+                        histogram.record(t * PER_THREAD + i);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(counter.value(), THREADS * PER_THREAD);
+        assert_eq!(histogram.observed_count(), THREADS * PER_THREAD);
+        // Sum of 0..400_000.
+        let n = THREADS * PER_THREAD;
+        assert_eq!(histogram.observed_sum(), n * (n - 1) / 2);
+    }
+
+    /// Checkpoint/delta arithmetic isolates one interval of a cumulative
+    /// histogram and merges across histograms, as the bench sweeps use it.
+    #[test]
+    fn checkpoint_deltas_isolate_intervals_and_merge() {
+        let _guard = crate::tests::enabled_lock();
+        let registry = Registry::new();
+        let a = registry.histogram("tkcm_test_delta_nanos", &[("shard", "0")]);
+        let b = registry.histogram("tkcm_test_delta_nanos", &[("shard", "1")]);
+        // A polluting earlier interval: huge samples that must not leak
+        // into the measured window.
+        for _ in 0..100 {
+            a.record(1_000_000);
+        }
+        let base_a = a.checkpoint();
+        let base_b = b.checkpoint();
+        for _ in 0..30 {
+            a.record(100);
+        }
+        for _ in 0..10 {
+            b.record(6_400);
+        }
+        let mut delta = a.delta_since(&base_a);
+        assert_eq!(delta.count(), 30);
+        // The old million-nanosecond samples are gone from the window.
+        assert!(delta.quantile(0.99) < 200, "{}", delta.quantile(0.99));
+        delta.merge(&b.delta_since(&base_b));
+        assert_eq!(delta.count(), 40);
+        // p50 stays in the 100-cluster, p99 lands in the 6400-cluster
+        // (bucket midpoints, so compare with the 12.5 % bucket tolerance).
+        let p50 = delta.quantile(0.5);
+        let p99 = delta.quantile(0.99);
+        assert!((90..=115).contains(&p50), "{p50}");
+        assert!((5_600..=7_200).contains(&p99), "{p99}");
+        // An empty delta reports zero.
+        assert_eq!(b.delta_since(&b.checkpoint()).quantile(0.5), 0);
+        assert_eq!(HistogramDelta::default().count(), 0);
+    }
+}

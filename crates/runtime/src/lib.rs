@@ -99,6 +99,7 @@ pub mod durability;
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::LazyLock;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -118,6 +119,62 @@ pub use durability::{CheckpointStats, DurabilityOptions, RecoveryOptions, SyncPo
 /// EWMA smoothing used for load accounting when rebalancing is off (the
 /// stats are still collected for [`ShardedEngine::load_stats`]).
 const DEFAULT_EWMA_ALPHA: f64 = 0.3;
+
+// == fleet-wide metric handles (record-only; the `obs-read-only` policy) ==
+
+/// Time the fleet thread spends blocked on worker replies at each barrier.
+static BARRIER_WAIT_NANOS: LazyLock<tkcm_obs::Histogram> =
+    LazyLock::new(|| tkcm_obs::registry().histogram("tkcm_runtime_barrier_wait_nanos", &[]));
+
+/// Batches currently in flight (pipeline occupancy, last fleet to update
+/// wins — a per-process indicator, not a per-fleet ledger).
+static PIPELINE_IN_FLIGHT: LazyLock<tkcm_obs::Gauge> =
+    LazyLock::new(|| tkcm_obs::registry().gauge("tkcm_runtime_pipeline_in_flight", &[]));
+
+/// Migrations the rebalancer queued (committed or not).
+static MIGRATIONS_TRIGGERED: LazyLock<tkcm_obs::Counter> =
+    LazyLock::new(|| tkcm_obs::registry().counter("tkcm_runtime_migrations_triggered_total", &[]));
+
+/// Migrations that committed (partition version bumped; for durable fleets,
+/// manifest renamed).
+static MIGRATIONS_COMMITTED: LazyLock<tkcm_obs::Counter> =
+    LazyLock::new(|| tkcm_obs::registry().counter("tkcm_runtime_migrations_committed_total", &[]));
+
+/// Per-shard metric handles, registered once per fleet construction.
+/// Handles are cheap `Arc` clones onto the process-global registry, so two
+/// fleets with the same shard count share the same underlying cells — the
+/// labels identify the shard *index*, not a fleet instance.
+struct FleetObs {
+    /// Per-shard batch processing latency (the worker's load-report nanos).
+    batch_nanos: Vec<tkcm_obs::Histogram>,
+    /// Per-shard EWMA of processing nanos per fleet tick, mirrored from the
+    /// load tracker after every completed batch.
+    ewma_nanos: Vec<tkcm_obs::Gauge>,
+}
+
+impl FleetObs {
+    fn new(shards: usize) -> FleetObs {
+        let registry = tkcm_obs::registry();
+        FleetObs {
+            batch_nanos: (0..shards)
+                .map(|shard| {
+                    registry.histogram(
+                        "tkcm_runtime_shard_batch_nanos",
+                        &[("shard", &shard.to_string())],
+                    )
+                })
+                .collect(),
+            ewma_nanos: (0..shards)
+                .map(|shard| {
+                    registry.gauge(
+                        "tkcm_runtime_shard_ewma_nanos_per_tick",
+                        &[("shard", &shard.to_string())],
+                    )
+                })
+                .collect(),
+        }
+    }
+}
 
 enum Job {
     /// A batch of per-component sub-tick vectors, `(component id, one
@@ -349,6 +406,8 @@ pub struct ShardedEngine {
     loads: LoadTracker,
     /// Migrations queued for the next pipeline boundary.
     pending_migrations: VecDeque<(usize, usize)>,
+    /// Per-shard metric handles (see [`FleetObs`]).
+    obs: FleetObs,
 }
 
 impl ShardedEngine {
@@ -368,6 +427,7 @@ impl ShardedEngine {
             workers.push(spawn_worker(snapshot, None, SyncPolicy::Never));
         }
         let loads = LoadTracker::new(&partition);
+        let obs = FleetObs::new(partition.shard_count());
         Ok(ShardedEngine {
             partition,
             workers,
@@ -382,6 +442,7 @@ impl ShardedEngine {
             rebalance: None,
             loads,
             pending_migrations: VecDeque::new(),
+            obs,
         })
     }
 
@@ -410,6 +471,7 @@ impl ShardedEngine {
             workers.push(spawn_worker(snapshot, Some(wal), options.sync_policy));
         }
         let loads = LoadTracker::new(&partition);
+        let obs = FleetObs::new(partition.shard_count());
         let mut fleet = ShardedEngine {
             partition,
             workers,
@@ -429,6 +491,7 @@ impl ShardedEngine {
             rebalance: None,
             loads,
             pending_migrations: VecDeque::new(),
+            obs,
         };
         // Initial checkpoint: manifest + empty-engine snapshots, so a crash
         // before the first rotation still recovers (by replaying the WAL
@@ -532,6 +595,24 @@ impl ShardedEngine {
     /// fresh snapshot + truncated log; interior corruption (a checksum
     /// mismatch on any complete record) still fails either way.
     pub fn recover_with(dir: &Path, options: RecoveryOptions) -> Result<Self, TsError> {
+        let result = Self::recover_with_inner(dir, options);
+        if let Err(error) = &result {
+            // A failed recovery is one of the two moments the flight
+            // recorder exists for; the dump goes to the temp directory —
+            // never into a checkpoint directory we just failed to read.
+            tkcm_obs::recorder().record(
+                "recovery_failed",
+                vec![
+                    ("dir", tkcm_obs::FieldValue::Text(dir.display().to_string())),
+                    ("error", tkcm_obs::FieldValue::Text(error.to_string())),
+                ],
+            );
+            let _ = tkcm_obs::recorder().dump_to_dir(&std::env::temp_dir(), "recovery-failed");
+        }
+        result
+    }
+
+    fn recover_with_inner(dir: &Path, options: RecoveryOptions) -> Result<Self, TsError> {
         let manifest: Manifest = read_snapshot_file(&manifest_path(dir))?;
         // The manifest records explicitly whether this directory carries
         // WALs; a durable engine's out-of-band backup into a foreign
@@ -562,6 +643,17 @@ impl ShardedEngine {
                 (read_wal(&shard_wal_path(dir, shard, version))?, false)
             };
             validate_shard_records(&partition, shard, &records)?;
+            tkcm_obs::recorder().record(
+                "recovery_step",
+                vec![
+                    ("stage", tkcm_obs::FieldValue::Text("shard_loaded".into())),
+                    ("shard", tkcm_obs::FieldValue::U64(shard as u64)),
+                    (
+                        "wal_records",
+                        tkcm_obs::FieldValue::U64(records.len() as u64),
+                    ),
+                ],
+            );
             shards.push(snapshot);
             logs.push(records);
             torn.push(tail_torn);
@@ -589,6 +681,13 @@ impl ShardedEngine {
         replay_shards(&mut shards, &logs, reachable)?;
 
         let tick_count = fleet_tick_count(&shards)?;
+        tkcm_obs::recorder().record(
+            "recovery_step",
+            vec![
+                ("stage", tkcm_obs::FieldValue::Text("replayed".into())),
+                ("tick_count", tkcm_obs::FieldValue::U64(tick_count as u64)),
+            ],
+        );
         let imputation_count = shards
             .iter()
             .flat_map(|s| s.engines.iter())
@@ -628,6 +727,7 @@ impl ShardedEngine {
         }
 
         let loads = LoadTracker::new(&partition);
+        let obs = FleetObs::new(partition.shard_count());
         Ok(ShardedEngine {
             partition,
             workers: fleet_workers,
@@ -655,6 +755,7 @@ impl ShardedEngine {
             rebalance: None,
             loads,
             pending_migrations: VecDeque::new(),
+            obs,
         })
     }
 
@@ -740,6 +841,7 @@ impl ShardedEngine {
             .map(|snapshot| spawn_worker(snapshot, None, SyncPolicy::Never))
             .collect();
         let loads = LoadTracker::new(&partition);
+        let obs = FleetObs::new(partition.shard_count());
         Ok(ShardedEngine {
             partition,
             workers,
@@ -754,6 +856,7 @@ impl ShardedEngine {
             rebalance: None,
             loads,
             pending_migrations: VecDeque::new(),
+            obs,
         })
     }
 
@@ -774,11 +877,44 @@ impl ShardedEngine {
         self.checkpoint_inner(dir)
     }
 
+    /// [`ShardedEngine::checkpoint_write`] plus its observability: success
+    /// lands a `checkpoint` event; failure lands a `checkpoint_failed`
+    /// event and dumps the flight recorder to the temp directory (not into
+    /// `dir`, which just demonstrated it cannot be written reliably).
+    fn checkpoint_inner(&mut self, dir: &Path) -> Result<CheckpointStats, TsError> {
+        let result = self.checkpoint_write(dir);
+        match &result {
+            Ok(stats) => tkcm_obs::recorder().record(
+                "checkpoint",
+                vec![
+                    (
+                        "bytes",
+                        tkcm_obs::FieldValue::U64(stats.shard_snapshot_bytes.iter().sum()),
+                    ),
+                    ("seconds", tkcm_obs::FieldValue::F64(stats.seconds)),
+                    (
+                        "ticks_submitted",
+                        tkcm_obs::FieldValue::U64(self.submitted_count as u64),
+                    ),
+                ],
+            ),
+            Err(error) => {
+                tkcm_obs::recorder().record(
+                    "checkpoint_failed",
+                    vec![("error", tkcm_obs::FieldValue::Text(error.to_string()))],
+                );
+                let _ =
+                    tkcm_obs::recorder().dump_to_dir(&std::env::temp_dir(), "checkpoint-failed");
+            }
+        }
+        result
+    }
+
     /// The barriered snapshot write itself; callers hold the pipeline
     /// drained.  Does *not* poison on failure: checkpointing never mutates
     /// engine state, so the in-memory fleet stays consistent and the
     /// caller may retry (migration commits wrap this and poison there).
-    fn checkpoint_inner(&mut self, dir: &Path) -> Result<CheckpointStats, TsError> {
+    fn checkpoint_write(&mut self, dir: &Path) -> Result<CheckpointStats, TsError> {
         debug_assert!(self.in_flight.is_empty());
         let start = Instant::now();
         std::fs::create_dir_all(dir)
@@ -853,6 +989,16 @@ impl ShardedEngine {
             // the same call at recovery).  Foreign directories are left
             // untouched — their stale files belong to someone else.
             remove_stale_shard_files(dir, version);
+            tkcm_obs::recorder().record(
+                "wal_rotation",
+                vec![
+                    ("version", tkcm_obs::FieldValue::U64(version)),
+                    (
+                        "ticks_submitted",
+                        tkcm_obs::FieldValue::U64(self.submitted_count as u64),
+                    ),
+                ],
+            );
         }
         Ok(CheckpointStats {
             shard_snapshot_bytes,
@@ -993,6 +1139,17 @@ impl ShardedEngine {
         }
         self.in_flight.push_back(ticks.len());
         self.submitted_count += ticks.len();
+        PIPELINE_IN_FLIGHT.set(self.in_flight.len() as f64);
+        tkcm_obs::recorder().record(
+            "batch_submitted",
+            vec![
+                ("ticks", tkcm_obs::FieldValue::U64(ticks.len() as u64)),
+                (
+                    "in_flight",
+                    tkcm_obs::FieldValue::U64(self.in_flight.len() as u64),
+                ),
+            ],
+        );
         while self.in_flight.len() > self.pipeline_depth {
             self.complete_oldest()?;
         }
@@ -1039,16 +1196,18 @@ impl ShardedEngine {
         let Some(len) = self.in_flight.pop_front() else {
             return Ok(());
         };
+        let wait_started = Instant::now();
         let mut replies = Vec::with_capacity(self.workers.len());
         for worker in &self.workers {
             match worker.results.recv() {
                 Ok(reply) => replies.push(reply),
                 Err(_) => {
-                    self.poisoned = true;
+                    self.mark_poisoned("a shard worker thread exited unexpectedly");
                     return Err(worker_died());
                 }
             }
         }
+        BARRIER_WAIT_NANOS.record_duration(wait_started.elapsed());
         let mut merged: Vec<EngineOutcome> = (0..len).map(|_| EngineOutcome::default()).collect();
         let mut loads: Vec<ShardLoad> = Vec::with_capacity(self.workers.len());
         let mut first_error = None;
@@ -1058,7 +1217,9 @@ impl ShardedEngine {
                     if first_error.is_none() {
                         for (component, outcomes) in per_component {
                             if outcomes.len() != len {
-                                self.poisoned = true;
+                                self.mark_poisoned(
+                                    "worker protocol violation: wrong outcome count for a batch",
+                                );
                                 return Err(TsError::invalid(
                                     "engine",
                                     "worker protocol violation: wrong outcome count for a batch",
@@ -1076,7 +1237,7 @@ impl ShardedEngine {
                     loads.push(ShardLoad::default());
                 }
                 _ => {
-                    self.poisoned = true;
+                    self.mark_poisoned("worker protocol violation: non-batch reply to a batch");
                     return Err(TsError::invalid(
                         "engine",
                         "worker protocol violation: non-batch reply to a batch",
@@ -1085,7 +1246,7 @@ impl ShardedEngine {
             }
         }
         if let Some(e) = first_error {
-            self.poisoned = true;
+            self.mark_poisoned(&e.to_string());
             return Err(e);
         }
         for outcome in &mut merged {
@@ -1096,6 +1257,17 @@ impl ShardedEngine {
         self.tick_count += len;
         self.ready.extend(merged);
         self.observe_loads(&loads, len);
+        PIPELINE_IN_FLIGHT.set(self.in_flight.len() as f64);
+        tkcm_obs::recorder().record(
+            "batch_drained",
+            vec![
+                ("ticks", tkcm_obs::FieldValue::U64(len as u64)),
+                (
+                    "in_flight",
+                    tkcm_obs::FieldValue::U64(self.in_flight.len() as u64),
+                ),
+            ],
+        );
         self.maybe_queue_migration();
         Ok(())
     }
@@ -1121,6 +1293,14 @@ impl ShardedEngine {
                 alpha,
                 load.nanos as f64 / ticks as f64,
             );
+            if let Some(histogram) = self.obs.batch_nanos.get(shard) {
+                histogram.record(load.nanos);
+            }
+            if let (Some(gauge), Some(ewma)) =
+                (self.obs.ewma_nanos.get(shard), self.loads.shard_ewma[shard])
+            {
+                gauge.set(ewma);
+            }
             for (component, nanos) in &load.component_nanos {
                 if let Some(slot) = self.loads.component_ewma.get_mut(*component) {
                     ewma_update(slot, alpha, *nanos as f64 / ticks as f64);
@@ -1214,6 +1394,15 @@ impl ShardedEngine {
                     self.loads.component_ewma[component],
                 );
             }
+            MIGRATIONS_TRIGGERED.inc();
+            tkcm_obs::recorder().record(
+                "migration_triggered",
+                vec![
+                    ("component", tkcm_obs::FieldValue::U64(component as u64)),
+                    ("from", tkcm_obs::FieldValue::U64(hot as u64)),
+                    ("to", tkcm_obs::FieldValue::U64(cold as u64)),
+                ],
+            );
             self.pending_migrations.push_back((component, cold));
             self.loads.cooldown = options.cooldown_batches;
         }
@@ -1240,8 +1429,11 @@ impl ShardedEngine {
             return Ok(());
         }
         let result = self.execute_migration_inner(component, from, to_shard);
-        if result.is_err() {
-            self.poisoned = true;
+        if let Err(error) = &result {
+            self.mark_poisoned(&format!(
+                "migration of component {component} from shard {from} to {to_shard} failed: \
+                 {error}"
+            ));
         }
         result
     }
@@ -1321,6 +1513,19 @@ impl ShardedEngine {
                 durable.last_rotation = rotated;
             }
         }
+        MIGRATIONS_COMMITTED.inc();
+        tkcm_obs::recorder().record(
+            "migration_committed",
+            vec![
+                ("component", tkcm_obs::FieldValue::U64(component as u64)),
+                ("from", tkcm_obs::FieldValue::U64(from as u64)),
+                ("to", tkcm_obs::FieldValue::U64(to_shard as u64)),
+                (
+                    "version",
+                    tkcm_obs::FieldValue::U64(self.partition.version()),
+                ),
+            ],
+        );
         Ok(())
     }
 
@@ -1337,6 +1542,61 @@ impl ShardedEngine {
                 Reply::SyncFailuresInjected
             ));
         }
+    }
+
+    /// Poisons the fleet and captures the crash context: a `fleet_poisoned`
+    /// event plus a flight-recorder dump — into the durability directory
+    /// when there is one (next to the data whose last moments it narrates),
+    /// the OS temp directory otherwise.  Dump failures are swallowed: the
+    /// poison path must stay infallible, and the poison itself is already
+    /// the primary signal.
+    fn mark_poisoned(&mut self, reason: &str) {
+        if self.poisoned {
+            return;
+        }
+        self.poisoned = true;
+        tkcm_obs::recorder().record(
+            "fleet_poisoned",
+            vec![
+                ("reason", tkcm_obs::FieldValue::Text(reason.to_string())),
+                (
+                    "ticks_processed",
+                    tkcm_obs::FieldValue::U64(self.tick_count as u64),
+                ),
+                (
+                    "ticks_submitted",
+                    tkcm_obs::FieldValue::U64(self.submitted_count as u64),
+                ),
+            ],
+        );
+        let dir = self
+            .durable
+            .as_ref()
+            .map(|d| d.dir.clone())
+            .unwrap_or_else(std::env::temp_dir);
+        let _ = tkcm_obs::recorder().dump_to_dir(&dir, "poisoned");
+    }
+
+    /// A point-in-time observability report as a single JSON document:
+    /// fleet shape and counters, every metric in the process-global
+    /// registry, and the flight recorder's recent events.  Strictly
+    /// read-side (rendering never mutates engine state) and deliberately
+    /// callable on a poisoned fleet — that is when it is most useful.
+    pub fn observability_report(&self) -> String {
+        format!(
+            "{{\"fleet\":{{\"shards\":{},\"components\":{},\"ticks_processed\":{},\
+             \"imputations\":{},\"migrations\":{},\"pipeline_depth\":{},\"poisoned\":{}}},\
+             \"metrics\":{},\"flight_recorder\":{}}}",
+            self.workers.len(),
+            self.partition.component_count(),
+            self.tick_count,
+            self.imputation_count,
+            self.migrations_performed(),
+            self.pipeline_depth,
+            self.poisoned,
+            tkcm_obs::export::render_json(tkcm_obs::registry()),
+            tkcm_obs::recorder().render_json(),
+        )
     }
 
     /// Folds one component's outcome into the merged fleet outcome,
@@ -1729,12 +1989,19 @@ fn spawn_worker(
         let mut sync = SyncState::new(policy);
         loop {
             let reply = match job_rx.recv() {
-                Ok(Job::Batch(batch)) => Reply::Batch(worker_batch(
-                    &mut snapshot.engines,
-                    &mut wal,
-                    &mut sync,
-                    &batch,
-                )),
+                Ok(Job::Batch(batch)) => {
+                    // The span closes (and lands in the flight recorder)
+                    // before the reply is sent, so a poison dump always
+                    // contains the spans of the batches that preceded —
+                    // and, for a WAL failure, caused — the crash.
+                    let _span = tkcm_obs::span("worker_batch");
+                    Reply::Batch(worker_batch(
+                        &mut snapshot.engines,
+                        &mut wal,
+                        &mut sync,
+                        &batch,
+                    ))
+                }
                 Ok(Job::Checkpoint {
                     snapshot_path,
                     reset_wal,
@@ -2068,5 +2335,83 @@ mod tests {
         }
         assert_eq!(engine.ticks_processed(), 8);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The flight-recorder acceptance path: killing a durable fleet through
+    /// fsync fault-injection must leave a crash dump in its durability
+    /// directory holding the failing fsync event, the poison marker and the
+    /// `worker_batch` spans that preceded the crash.
+    #[test]
+    fn poisoning_dumps_the_flight_recorder_with_the_failing_fsync_and_batch_spans() {
+        let dir = std::env::temp_dir().join(format!("tkcm-poison-dump-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut engine = ShardedEngine::with_durability(
+            4,
+            small_config(),
+            Catalog::ring_neighbours(4),
+            2,
+            &dir,
+            DurabilityOptions {
+                snapshot_interval: 0,
+                sync_policy: SyncPolicy::EveryBatch,
+            },
+        )
+        .unwrap();
+        let batch = |base: i64| -> Vec<StreamTick> {
+            (base..base + 4)
+                .map(|t| StreamTick::new(Timestamp::new(t), vec![Some(1.0); 4]))
+                .collect()
+        };
+        // A healthy batch first, so the ring holds spans *preceding* the
+        // failure when the poison dump is taken.
+        engine.process_batch(&batch(0)).unwrap();
+        engine.inject_sync_failures();
+        assert!(engine.process_batch(&batch(4)).is_err());
+
+        let dumps: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|path| {
+                path.file_name()
+                    .and_then(|name| name.to_str())
+                    .is_some_and(|name| name.starts_with("flight-recorder-poisoned-"))
+            })
+            .collect();
+        assert!(
+            !dumps.is_empty(),
+            "poisoning a durable fleet must dump the flight recorder into its directory"
+        );
+        let dump = std::fs::read_to_string(&dumps[0]).unwrap();
+        assert!(
+            dump.contains("\"kind\": \"wal_fsync_failed\""),
+            "dump must carry the failing fsync event"
+        );
+        assert!(
+            dump.contains("\"kind\": \"fleet_poisoned\""),
+            "dump must carry the poison marker"
+        );
+        assert!(
+            dump.contains("worker_batch"),
+            "dump must carry the batch spans preceding the crash"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn observability_report_is_json_with_fleet_metrics_and_events() {
+        let mut engine =
+            ShardedEngine::new(4, small_config(), Catalog::ring_neighbours(4), 2).unwrap();
+        for t in 0..4i64 {
+            engine
+                .process_tick(&StreamTick::new(Timestamp::new(t), vec![Some(1.0); 4]))
+                .unwrap();
+        }
+        let report = engine.observability_report();
+        assert!(report.starts_with("{\"fleet\":{\"shards\":2,"), "{report}");
+        assert!(report.contains("\"poisoned\":false"));
+        assert!(report.contains("\"metrics\":{"));
+        assert!(report.contains("tkcm_runtime_shard_batch_nanos"));
+        assert!(report.contains("\"flight_recorder\":{"));
+        assert!(report.contains("\"events\": ["));
     }
 }

@@ -112,6 +112,23 @@ fn assert_equivalent(
     Ok(())
 }
 
+/// The bit-identity property with observability explicitly enabled: the
+/// metrics/span/flight-recorder instrumentation is strictly record-only
+/// (the `obs-read-only` policy), so the fleet's outcomes are unchanged by
+/// it at any shard count.  Pinned separately so the property can never
+/// silently become "tested only with recording off".
+#[test]
+fn observability_enabled_fleets_stay_bit_identical_across_shard_counts() {
+    assert!(
+        tkcm_obs::enabled(),
+        "recording is on by default; this test pins the equivalence property under it"
+    );
+    let catalog = Catalog::ring_neighbours(8);
+    for shards in [1usize, 2, 4] {
+        assert_equivalent(8, &catalog, shards, 60).unwrap();
+    }
+}
+
 proptest! {
     /// Random fleet shapes (width, component structure) replayed through the
     /// threaded runtime and the sequential reference at 1/2/4 shards.

@@ -16,10 +16,21 @@
 
 use std::fs;
 use std::path::Path;
+use std::sync::LazyLock;
+use std::time::Instant;
 
 use crate::checksum::crc32;
 use crate::codec::{decode_from_slice, encode_to_vec, Snapshot};
 use crate::error::StoreError;
+
+/// Bytes written across every snapshot/checkpoint file this process
+/// produces (record-only; the `obs-read-only` policy).
+static CHECKPOINT_BYTES: LazyLock<tkcm_obs::Counter> =
+    LazyLock::new(|| tkcm_obs::registry().counter("tkcm_store_checkpoint_bytes_total", &[]));
+
+/// End-to-end snapshot write latency (encode + write + rename), nanoseconds.
+static CHECKPOINT_WRITE_NANOS: LazyLock<tkcm_obs::Histogram> =
+    LazyLock::new(|| tkcm_obs::registry().histogram("tkcm_store_checkpoint_write_nanos", &[]));
 
 /// Magic bytes identifying a snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"TKCMSNAP";
@@ -39,6 +50,7 @@ pub const SNAPSHOT_FORMAT_VERSION: u32 = 4;
 /// (atomically, via `<path>.tmp` + rename).  Returns the file size in
 /// bytes, so callers can report snapshot sizes without a second stat.
 pub fn write_snapshot_file<T: Snapshot>(path: &Path, value: &T) -> Result<u64, StoreError> {
+    let started = Instant::now();
     let payload = encode_to_vec(value)?;
     let mut file = Vec::with_capacity(payload.len() + 24);
     file.extend_from_slice(&SNAPSHOT_MAGIC);
@@ -53,6 +65,8 @@ pub fn write_snapshot_file<T: Snapshot>(path: &Path, value: &T) -> Result<u64, S
     fs::write(&tmp, &file).map_err(|e| StoreError::io(format!("writing {}", tmp.display()), &e))?;
     fs::rename(&tmp, path)
         .map_err(|e| StoreError::io(format!("renaming {} into place", tmp.display()), &e))?;
+    CHECKPOINT_BYTES.add(file.len() as u64);
+    CHECKPOINT_WRITE_NANOS.record_duration(started.elapsed());
     Ok(file.len() as u64)
 }
 

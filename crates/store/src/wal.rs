@@ -22,10 +22,37 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::LazyLock;
+use std::time::Instant;
 
 use crate::checksum::crc32;
 use crate::codec::{decode_from_slice, encode_to_vec, Snapshot};
 use crate::error::StoreError;
+
+/// Bytes appended across every WAL this process writes (record-only; the
+/// `obs-read-only` policy — durability logic never reads these back).
+static WAL_APPENDED_BYTES: LazyLock<tkcm_obs::Counter> =
+    LazyLock::new(|| tkcm_obs::registry().counter("tkcm_store_wal_appended_bytes_total", &[]));
+
+/// WAL files created (initial creation and every post-checkpoint rotation
+/// both go through [`WalWriter::create`]).
+static WAL_CREATED: LazyLock<tkcm_obs::Counter> =
+    LazyLock::new(|| tkcm_obs::registry().counter("tkcm_store_wal_created_total", &[]));
+
+/// `fsync` latency distribution, in nanoseconds.
+static WAL_FSYNC_NANOS: LazyLock<tkcm_obs::Histogram> =
+    LazyLock::new(|| tkcm_obs::registry().histogram("tkcm_store_wal_fsync_nanos", &[]));
+
+/// Failed `fsync` calls (real or injected); each one also lands a
+/// `wal_fsync_failed` event in the flight recorder, since a failed sync is
+/// exactly the kind of terminal moment the crash dump exists for.
+static WAL_FSYNC_FAILURES: LazyLock<tkcm_obs::Counter> =
+    LazyLock::new(|| tkcm_obs::registry().counter("tkcm_store_wal_fsync_failures_total", &[]));
+
+/// Complete, checksum-verified records handed to replay across every WAL
+/// read; recovery progress at fleet granularity.
+static WAL_RECORDS_READ: LazyLock<tkcm_obs::Counter> =
+    LazyLock::new(|| tkcm_obs::registry().counter("tkcm_store_wal_records_read_total", &[]));
 
 /// Magic bytes identifying a WAL file.
 pub const WAL_MAGIC: [u8; 8] = *b"TKCMWAL0";
@@ -69,6 +96,7 @@ impl WalWriter {
             .append(true)
             .open(path)
             .map_err(|e| StoreError::io(format!("opening {} for append", path.display()), &e))?;
+        WAL_CREATED.inc();
         Ok(WalWriter {
             file,
             path: path.to_path_buf(),
@@ -127,6 +155,7 @@ impl WalWriter {
         self.file
             .write_all(frames)
             .map_err(|e| StoreError::io(format!("appending to {}", self.path.display()), &e))?;
+        WAL_APPENDED_BYTES.add(frames.len() as u64);
         Ok(frames.len() as u64)
     }
 
@@ -135,15 +164,34 @@ impl WalWriter {
     /// checkpoint boundaries or whenever the deployment needs
     /// power-failure durability rather than process-crash durability.
     pub fn sync(&mut self) -> Result<(), StoreError> {
-        if self.fail_syncs {
-            return Err(StoreError::Io {
+        let outcome = if self.fail_syncs {
+            Err(StoreError::Io {
                 context: format!("syncing {}", self.path.display()),
                 message: "injected sync failure".to_string(),
-            });
+            })
+        } else {
+            let started = Instant::now();
+            let result = self
+                .file
+                .sync_data()
+                .map_err(|e| StoreError::io(format!("syncing {}", self.path.display()), &e));
+            WAL_FSYNC_NANOS.record_duration(started.elapsed());
+            result
+        };
+        if let Err(error) = &outcome {
+            WAL_FSYNC_FAILURES.inc();
+            tkcm_obs::recorder().record(
+                "wal_fsync_failed",
+                vec![
+                    (
+                        "path",
+                        tkcm_obs::FieldValue::Text(self.path.display().to_string()),
+                    ),
+                    ("error", tkcm_obs::FieldValue::Text(error.to_string())),
+                ],
+            );
         }
-        self.file
-            .sync_data()
-            .map_err(|e| StoreError::io(format!("syncing {}", self.path.display()), &e))
+        outcome
     }
 
     /// Fault injection for durability tests: makes every subsequent
@@ -242,6 +290,16 @@ fn read_le_u32(bytes: &[u8], at: usize) -> Option<u32> {
 /// mismatches on complete records always error; every byte access is
 /// checked, so no input can panic the reader.
 fn read_frames(path: &Path) -> Result<(Vec<Vec<u8>>, Option<String>), StoreError> {
+    let outcome = scan_frames(path);
+    if let Ok((records, _)) = &outcome {
+        // Counted in the wrapper so the torn-tail early returns inside the
+        // scan are covered too — every record handed to replay is counted.
+        WAL_RECORDS_READ.add(u64::try_from(records.len()).unwrap_or(u64::MAX));
+    }
+    outcome
+}
+
+fn scan_frames(path: &Path) -> Result<(Vec<Vec<u8>>, Option<String>), StoreError> {
     read_header(path)?;
     let bytes = std::fs::read(path)
         .map_err(|e| StoreError::io(format!("reading {}", path.display()), &e))?;

@@ -9,6 +9,7 @@
 //!
 //! | module | crate | contents |
 //! |--------|-------|----------|
+//! | [`obs`] | `tkcm-obs` | observability: metrics registry, span tracing, crash flight recorder |
 //! | [`store`] | `tkcm-store` | durability: deterministic snapshots, write-ahead logs, checksums |
 //! | [`timeseries`] | `tkcm-timeseries` | series, ring buffers, streaming windows, catalogs |
 //! | [`matrix`] | `tkcm-matrix` | dense linear algebra (SVD, centroid decomposition, RLS, online PCA) |
@@ -64,6 +65,10 @@ pub use tkcm_eval as eval;
 
 /// Dense linear-algebra substrate (re-export of `tkcm-matrix`).
 pub use tkcm_matrix as matrix;
+
+/// Observability substrate: metrics registry, span tracing and the crash
+/// flight recorder (re-export of `tkcm-obs`).
+pub use tkcm_obs as obs;
 
 /// Durable engine state: snapshots + write-ahead logs (re-export of
 /// `tkcm-store`).
