@@ -1,7 +1,9 @@
-//! Criterion benchmark for the signature-index candidate pruning (PR 7):
-//! the same punctured periodic stream replayed through one engine per
-//! candidate path — exhaustive recompute, incremental maintenance
-//! (Section 6.2) and the signature-pruned shortlist.
+//! Criterion benchmark for the signature-index candidate pruning (PR 7)
+//! and the composed pruning-plus-maintenance path: the same punctured
+//! periodic stream replayed through one engine per candidate path —
+//! exhaustive recompute, incremental maintenance (Section 6.2), the
+//! signature-pruned shortlist alone, and the composed path (maintained
+//! shortlist seeding + level-1 run prefilter + signature bounds).
 //!
 //! Each iteration replays the full stream through a fresh engine, so the
 //! numbers are whole-pipeline (construction and per-tick index maintenance
@@ -58,8 +60,9 @@ fn bench_pruning(c: &mut Criterion) {
 
     for (name, incremental, pruning) in [
         ("exhaustive", false, false),
-        ("incremental", true, false),
-        ("pruned", true, true),
+        ("maintained", true, false),
+        ("pruned", false, true),
+        ("composed", true, true),
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {

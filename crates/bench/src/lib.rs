@@ -174,9 +174,12 @@ pub fn fleet_results_json(scale: Scale, elapsed: f64, report: &tkcm_eval::Report
 /// Serialises the candidate-pruning report like [`fleet_results_json`]: the
 /// full report plus a flat top-level `"trend"` object carrying the gateable
 /// fields — per-mode throughput (`ticks_per_second_<mode>`), the pruned
-/// path's speedups over both baselines and the fraction of candidates the
+/// path's speedups over both baselines, the fraction of candidates the
 /// signature lower bound eliminated (`pruned_fraction`, expected ≥ 0.5 at
-/// paper proportions).
+/// paper proportions), plus the composed path's headline speedup
+/// (`composed_speedup_vs_exhaustive`, expected ≥ 3 at paper proportions)
+/// and its level-1/maintenance coverage fractions
+/// (`level1_skipped_fraction`, `maintained_lag_fraction`).
 pub fn pruning_results_json(scale: Scale, elapsed: f64, report: &tkcm_eval::Report) -> String {
     let number = |v: f64| {
         if v.is_finite() {
@@ -187,7 +190,7 @@ pub fn pruning_results_json(scale: Scale, elapsed: f64, report: &tkcm_eval::Repo
     };
     let mut trend = Vec::new();
     if let Some(table) = report.table("Candidate pruning by mode") {
-        for mode in ["exhaustive", "incremental", "pruned"] {
+        for mode in ["exhaustive", "incremental", "pruned", "composed"] {
             if let Some(v) = table.cell(mode, "ticks_per_second") {
                 trend.push(format!("\"ticks_per_second_{mode}\":{}", number(v)));
             }
@@ -199,6 +202,16 @@ pub fn pruning_results_json(scale: Scale, elapsed: f64, report: &tkcm_eval::Repo
         ] {
             if let Some(v) = table.cell("pruned", metric) {
                 trend.push(format!("\"{metric}\":{}", number(v)));
+            }
+        }
+        for (mode_metric, key) in [
+            ("speedup_vs_exhaustive", "composed_speedup_vs_exhaustive"),
+            ("speedup_vs_incremental", "composed_speedup_vs_incremental"),
+            ("level1_skipped_fraction", "level1_skipped_fraction"),
+            ("maintained_lag_fraction", "maintained_lag_fraction"),
+        ] {
+            if let Some(v) = table.cell("composed", mode_metric) {
+                trend.push(format!("\"{key}\":{}", number(v)));
             }
         }
     }
@@ -432,19 +445,30 @@ mod tests {
                 "speedup_vs_exhaustive".into(),
                 "speedup_vs_incremental".into(),
                 "pruned_fraction".into(),
+                "level1_skipped_fraction".into(),
+                "maintained_lag_fraction".into(),
             ],
         );
-        t.push_row("exhaustive", vec![4.0, 250.0, 9.0, 1.0, 0.5, 0.0]);
-        t.push_row("incremental", vec![2.0, 500.0, 9.0, 2.0, 1.0, 0.0]);
-        t.push_row("pruned", vec![1.0, 1000.0, 9.0, 4.0, 2.0, 0.75]);
+        t.push_row("exhaustive", vec![4.0, 250.0, 9.0, 1.0, 0.5, 0.0, 0.0, 0.0]);
+        t.push_row(
+            "incremental",
+            vec![2.0, 500.0, 9.0, 2.0, 1.0, 0.0, 0.0, 0.0],
+        );
+        t.push_row("pruned", vec![1.0, 1000.0, 9.0, 4.0, 2.0, 0.75, 0.0, 0.0]);
+        t.push_row("composed", vec![0.8, 1250.0, 9.0, 5.0, 2.5, 0.8, 0.4, 0.1]);
         report.add_table(t);
         let json = pruning_results_json(Scale::Paper, 7.0, &report);
         assert!(json.contains("\"trend\":{"));
         assert!(json.contains("\"ticks_per_second_pruned\":1000"));
         assert!(json.contains("\"ticks_per_second_exhaustive\":250"));
+        assert!(json.contains("\"ticks_per_second_composed\":1250"));
         assert!(json.contains("\"speedup_vs_exhaustive\":4"));
         assert!(json.contains("\"speedup_vs_incremental\":2"));
         assert!(json.contains("\"pruned_fraction\":0.75"));
+        assert!(json.contains("\"composed_speedup_vs_exhaustive\":5"));
+        assert!(json.contains("\"composed_speedup_vs_incremental\":2.5"));
+        assert!(json.contains("\"level1_skipped_fraction\":0.4"));
+        assert!(json.contains("\"maintained_lag_fraction\":0.1"));
         assert!(json.contains("\"wall_time_seconds\":7"));
         let bare = pruning_results_json(Scale::Quick, 0.1, &tkcm_eval::Report::new("x"));
         assert!(bare.contains("\"trend\":{}"));

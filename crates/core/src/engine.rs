@@ -25,15 +25,24 @@ use tkcm_timeseries::{Catalog, SeriesId, StreamTick, StreamingWindow, Timestamp,
 use crate::config::TkcmConfig;
 use crate::diagnostics::PhaseBreakdown;
 use crate::imputer::{ImputationDetail, PruneStats, TkcmImputer};
-use crate::incremental::IncrementalDissimilarity;
+use crate::incremental::{IncrementalDissimilarity, ShortlistMaintainer};
 use crate::signature::SignatureIndex;
 
 /// Fleet-wide pruning totals in the global metrics registry, in the same
-/// candidates/shortlisted/pruned split as [`PruneStats`].  Record-only: the
-/// imputation path never reads these back (`obs-read-only` policy).
-static PRUNE_TOTALS: LazyLock<[tkcm_obs::Counter; 3]> = LazyLock::new(|| {
-    ["candidates", "shortlisted", "pruned"]
-        .map(|path| tkcm_obs::registry().counter("tkcm_core_prune_total", &[("path", path)]))
+/// split as [`PruneStats`] (the composed-path counters — level-1 run skips,
+/// maintained-bound prunes, live shortlist sizes — ride as extra paths).
+/// Record-only: the imputation path never reads these back (`obs-read-only`
+/// policy).
+static PRUNE_TOTALS: LazyLock<[tkcm_obs::Counter; 6]> = LazyLock::new(|| {
+    [
+        "candidates",
+        "shortlisted",
+        "pruned",
+        "level1_skipped",
+        "maintained_pruned",
+        "maintained_lags",
+    ]
+    .map(|path| tkcm_obs::registry().counter("tkcm_core_prune_total", &[("path", path)]))
 });
 
 /// Maintainer lifecycle counters (created / evicted), record-only.
@@ -97,6 +106,13 @@ pub(crate) struct Maintainer {
     pub(crate) last_used: usize,
 }
 
+/// One shortlist maintainer (composed path) plus the tick it last served.
+/// (`pub(crate)` for the snapshot codec in `persist`.)
+pub(crate) struct Shortlist {
+    pub(crate) state: ShortlistMaintainer,
+    pub(crate) last_used: usize,
+}
+
 /// Continuous TKCM imputation engine over a fixed set of streams.
 pub struct TkcmEngine {
     // Fields are `pub(crate)` so the snapshot codec (`persist`) can persist
@@ -116,9 +132,19 @@ pub struct TkcmEngine {
     /// by `advance_tick`/`commit_write_back` and persisted in snapshots so a
     /// recovered engine prunes with bit-identical envelopes.
     pub(crate) signatures: Option<SignatureIndex>,
-    /// Running totals of the per-imputation [`PruneStats`] — diagnostics
-    /// only, deliberately *not* persisted (they restart at zero after
-    /// recovery, like the phase wall-clock durations).
+    /// Sparse shortlist maintainers, one per reference set that recently
+    /// served a *composed* imputation ([`TkcmEngine::is_composed`]); kept in
+    /// lock-step with the window like the dense maintainers and persisted in
+    /// snapshots so a recovered engine keeps its certified bounds.
+    pub(crate) shortlists: Vec<Shortlist>,
+    /// Level-1 run length of the composed path, fixed at construction from
+    /// config geometry ([`crate::signature::level1_run_len`] — static per
+    /// run, no obs read-back).
+    pub(crate) level1_run_len: usize,
+    /// Running totals of the per-imputation [`PruneStats`].  Persisted in
+    /// snapshots (format v5) so diagnostics survive a crash — unlike the
+    /// phase wall-clock durations, these are exact event counts with no
+    /// legitimate reason to reset on recovery.
     pub(crate) prune_totals: PruneStats,
 }
 
@@ -152,6 +178,7 @@ impl TkcmEngine {
         let window = StreamingWindow::new(width, config.window_length);
         let imputer = TkcmImputer::new(config)?;
         let signatures = signature_for(width, &imputer)?;
+        let level1_run_len = crate::signature::level1_run_len(imputer.config().pattern_length);
         Ok(TkcmEngine {
             imputer,
             window,
@@ -161,6 +188,8 @@ impl TkcmEngine {
             tick_count: 0,
             maintainers: Vec::new(),
             signatures,
+            shortlists: Vec::new(),
+            level1_run_len,
             prune_totals: PruneStats::default(),
         })
     }
@@ -176,6 +205,7 @@ impl TkcmEngine {
         }
         let window = StreamingWindow::new(width, imputer.config().window_length);
         let signatures = signature_for(width, &imputer)?;
+        let level1_run_len = crate::signature::level1_run_len(imputer.config().pattern_length);
         Ok(TkcmEngine {
             imputer,
             window,
@@ -185,6 +215,8 @@ impl TkcmEngine {
             tick_count: 0,
             maintainers: Vec::new(),
             signatures,
+            shortlists: Vec::new(),
+            level1_run_len,
             prune_totals: PruneStats::default(),
         })
     }
@@ -220,10 +252,11 @@ impl TkcmEngine {
         self.breakdown
     }
 
-    /// Whether the engine maintains `D` incrementally (the configuration
-    /// flag is on *and* the dissimilarity measure decomposes *and* pruning
-    /// is not active — the pruned path replaces the per-candidate
-    /// maintainers with the signature index entirely).
+    /// Whether the engine maintains *dense* `D` aggregates incrementally
+    /// (the configuration flag is on *and* the dissimilarity measure
+    /// decomposes *and* pruning is not active — with pruning on, the
+    /// incremental flag selects the composed path's sparse shortlist
+    /// maintainers instead; see [`TkcmEngine::is_composed`]).
     pub fn is_incremental(&self) -> bool {
         self.imputer.config().incremental
             && self.imputer.supports_incremental()
@@ -235,6 +268,36 @@ impl TkcmEngine {
     /// decomposable (L2) dissimilarity.
     pub fn is_pruned(&self) -> bool {
         self.signatures.is_some()
+    }
+
+    /// Whether the *composed* path — signature pruning layered with sparse
+    /// shortlist maintenance — is active: both the `pruning` and
+    /// `incremental` opt-ins, on an imputer that admits pruning.  This is
+    /// the default dispatch (both flags default to on); `pruning` without
+    /// `incremental` selects the PR-7 pruned-only path, `incremental`
+    /// without `pruning` the PR-2 dense-maintainer path.
+    pub fn is_composed(&self) -> bool {
+        self.is_pruned() && self.imputer.config().incremental
+    }
+
+    /// The composed path's level-1 run length (candidate lags per coarse
+    /// envelope bound), fixed at construction.
+    pub fn level1_run_len(&self) -> usize {
+        self.level1_run_len
+    }
+
+    /// Number of live shortlist maintainers (composed path; 0 otherwise).
+    pub fn shortlist_count(&self) -> usize {
+        self.shortlists.len()
+    }
+
+    /// Total lags currently carrying maintained shortlist entries, summed
+    /// over all live shortlist maintainers.
+    pub fn shortlisted_lag_count(&self) -> usize {
+        self.shortlists
+            .iter()
+            .map(|s| s.state.maintained_lags())
+            .sum()
     }
 
     /// Running totals of the pruning counters across all imputations so far
@@ -284,6 +347,80 @@ impl TkcmEngine {
         Ok(self.maintainers.len() - 1)
     }
 
+    /// Index of the shortlist maintainer for `references`, creating one
+    /// (synced to the window, entries empty — they seed lazily from the
+    /// imputation's own exact evaluations) if this reference set has no live
+    /// state yet.
+    fn shortlist_for(&mut self, references: &[SeriesId]) -> Result<usize, TsError> {
+        if let Some(idx) = self
+            .shortlists
+            .iter()
+            .position(|s| s.state.references() == references)
+        {
+            return Ok(idx);
+        }
+        let config = self.imputer.config();
+        let mut state = ShortlistMaintainer::new(
+            references.to_vec(),
+            config.pattern_length,
+            config.window_length,
+            config.allow_missing_in_patterns,
+        )?;
+        // One advance syncs the fresh state to the window (a cold advance
+        // has no entries to slide, so this is O(d)).
+        state.advance(&self.window)?;
+        self.shortlists.push(Shortlist {
+            state,
+            last_used: self.tick_count,
+        });
+        MAINTAINERS_CREATED.inc();
+        Ok(self.shortlists.len() - 1)
+    }
+
+    /// Folds one imputation's [`PruneStats`] into the engine totals, the
+    /// fleet-wide metrics registry and the flight recorder (record-only).
+    fn record_prune_stats(&mut self, target: SeriesId, stats: &PruneStats) {
+        self.prune_totals.candidates += stats.candidates;
+        self.prune_totals.shortlisted += stats.shortlisted;
+        self.prune_totals.pruned += stats.pruned;
+        self.prune_totals.level1_skipped += stats.level1_skipped;
+        self.prune_totals.maintained_pruned += stats.maintained_pruned;
+        self.prune_totals.maintained_lags += stats.maintained_lags;
+        PRUNE_TOTALS[0].add(stats.candidates as u64);
+        PRUNE_TOTALS[1].add(stats.shortlisted as u64);
+        PRUNE_TOTALS[2].add(stats.pruned as u64);
+        PRUNE_TOTALS[3].add(stats.level1_skipped as u64);
+        PRUNE_TOTALS[4].add(stats.maintained_pruned as u64);
+        PRUNE_TOTALS[5].add(stats.maintained_lags as u64);
+        tkcm_obs::recorder().record(
+            "prune_summary",
+            vec![
+                ("series", tkcm_obs::FieldValue::U64(u64::from(target.0))),
+                (
+                    "candidates",
+                    tkcm_obs::FieldValue::U64(stats.candidates as u64),
+                ),
+                (
+                    "shortlisted",
+                    tkcm_obs::FieldValue::U64(stats.shortlisted as u64),
+                ),
+                ("pruned", tkcm_obs::FieldValue::U64(stats.pruned as u64)),
+                (
+                    "level1_skipped",
+                    tkcm_obs::FieldValue::U64(stats.level1_skipped as u64),
+                ),
+                (
+                    "maintained_pruned",
+                    tkcm_obs::FieldValue::U64(stats.maintained_pruned as u64),
+                ),
+                (
+                    "maintained_lags",
+                    tkcm_obs::FieldValue::U64(stats.maintained_lags as u64),
+                ),
+            ],
+        );
+    }
+
     /// Processes one arriving tick: pushes it into the window, advances the
     /// incremental dissimilarity states, imputes every missing series and
     /// writes the imputed values back into the window (patching the states).
@@ -309,34 +446,33 @@ impl TkcmEngine {
                 outcome.skipped.push(target);
                 continue;
             }
-            let (detail, maintainer) = if let Some(index) = self.signatures.as_ref() {
+            let (detail, maintainer) = if self.is_composed() {
+                let start = Instant::now();
+                let sidx = self.shortlist_for(&selection.references)?;
+                self.shortlists[sidx].last_used = self.tick_count;
+                self.breakdown.maintenance += start.elapsed();
+                let run_len = self.level1_run_len;
+                let index = self.signatures.as_ref().ok_or_else(|| {
+                    TsError::invalid("signature", "composed path without a signature index")
+                })?;
+                let (detail, stats) = self.imputer.impute_composed(
+                    &self.window,
+                    target,
+                    &selection.references,
+                    index,
+                    &mut self.shortlists[sidx].state,
+                    run_len,
+                )?;
+                self.record_prune_stats(target, &stats);
+                (detail, None)
+            } else if let Some(index) = self.signatures.as_ref() {
                 let (detail, stats) = self.imputer.impute_pruned(
                     &self.window,
                     target,
                     &selection.references,
                     index,
                 )?;
-                self.prune_totals.candidates += stats.candidates;
-                self.prune_totals.shortlisted += stats.shortlisted;
-                self.prune_totals.pruned += stats.pruned;
-                PRUNE_TOTALS[0].add(stats.candidates as u64);
-                PRUNE_TOTALS[1].add(stats.shortlisted as u64);
-                PRUNE_TOTALS[2].add(stats.pruned as u64);
-                tkcm_obs::recorder().record(
-                    "prune_summary",
-                    vec![
-                        ("series", tkcm_obs::FieldValue::U64(u64::from(target.0))),
-                        (
-                            "candidates",
-                            tkcm_obs::FieldValue::U64(stats.candidates as u64),
-                        ),
-                        (
-                            "shortlisted",
-                            tkcm_obs::FieldValue::U64(stats.shortlisted as u64),
-                        ),
-                        ("pruned", tkcm_obs::FieldValue::U64(stats.pruned as u64)),
-                    ],
-                );
+                self.record_prune_stats(target, &stats);
                 (detail, None)
             } else if incremental {
                 let start = Instant::now();
@@ -416,6 +552,22 @@ impl TkcmEngine {
             }
             self.breakdown.maintenance += start.elapsed();
         }
+        if self.is_composed() && !self.shortlists.is_empty() {
+            // Same lifecycle as the dense maintainers: evict whole states
+            // idle past the TTL, slide the survivors (each is O(entries·d),
+            // and entries self-TTL inside `ShortlistMaintainer::advance`).
+            let start = Instant::now();
+            let tick_count = self.tick_count;
+            let ttl = self.maintainer_ttl();
+            let before_eviction = self.shortlists.len();
+            self.shortlists
+                .retain(|s| tick_count.saturating_sub(s.last_used) <= ttl);
+            MAINTAINERS_EVICTED.add((before_eviction - self.shortlists.len()) as u64);
+            for s in &mut self.shortlists {
+                s.state.advance(&self.window)?;
+            }
+            self.breakdown.maintenance += start.elapsed();
+        }
         Ok(())
     }
 
@@ -445,10 +597,24 @@ impl TkcmEngine {
         maintainer: Option<usize>,
     ) -> Result<(), TsError> {
         let incremental = self.is_incremental();
+        let composed = self.is_composed();
         if incremental && maintainer.is_none() {
             let start = Instant::now();
             let idx = self.maintainer_for(references)?;
             self.maintainers[idx].last_used = self.tick_count;
+            self.breakdown.maintenance += start.elapsed();
+        }
+        if composed {
+            // Mirror the live path's creation timing on WAL replay: the
+            // shortlist state for this reference set is created (synced,
+            // entries empty) before the write lands.  On the live path this
+            // finds the state `process_tick` already resolved.  Replayed
+            // engines do not re-run imputations, so their entries re-seed
+            // lazily — which only affects *pruning effectiveness*, never
+            // imputed bits (every `D` is exact either way).
+            let start = Instant::now();
+            let idx = self.shortlist_for(references)?;
+            self.shortlists[idx].last_used = self.tick_count;
             self.breakdown.maintenance += start.elapsed();
         }
         self.window.write_imputed(target, 0, value)?;
@@ -463,6 +629,15 @@ impl TkcmEngine {
             for m in &mut self.maintainers {
                 if m.state.references().contains(&target) {
                     m.state.on_write(&self.window, target, 0, None)?;
+                }
+            }
+            self.breakdown.maintenance += start.elapsed();
+        }
+        if composed {
+            let start = Instant::now();
+            for s in &mut self.shortlists {
+                if s.state.references().contains(&target) {
+                    s.state.on_write(&self.window, target, 0, None)?;
                 }
             }
             self.breakdown.maintenance += start.elapsed();
@@ -816,10 +991,13 @@ mod tests {
                 .unwrap();
             TkcmEngine::new(width, config, catalog_for(width)).unwrap()
         };
-        let mut pruned = mk(true, true);
+        // The four dispatch corners: (pruning, incremental).
+        let mut composed = mk(true, true);
+        let mut pruned = mk(true, false);
         let mut incremental = mk(false, true);
         let mut exhaustive = mk(false, false);
-        assert!(pruned.is_pruned() && !pruned.is_incremental());
+        assert!(composed.is_pruned() && composed.is_composed() && !composed.is_incremental());
+        assert!(pruned.is_pruned() && !pruned.is_composed() && !pruned.is_incremental());
         assert!(!incremental.is_pruned() && incremental.is_incremental());
         assert!(!exhaustive.is_pruned() && !exhaustive.is_incremental());
 
@@ -834,6 +1012,7 @@ mod tests {
                 Timestamp::new(t as i64),
                 vec![s0, Some(saw(t, 31)), Some(saw(t, 67))],
             );
+            let m = composed.process_tick(&tick).unwrap();
             let a = pruned.process_tick(&tick).unwrap();
             let b = incremental.process_tick(&tick).unwrap();
             let c = exhaustive.process_tick(&tick).unwrap();
@@ -841,6 +1020,13 @@ mod tests {
             assert_eq!(a.skipped, c.skipped, "tick {t}");
             assert_eq!(a.imputations.len(), b.imputations.len(), "tick {t}");
             assert_eq!(a.imputations.len(), c.imputations.len(), "tick {t}");
+            // Composed vs exhaustive: fully bit-identical outcomes (both
+            // evaluate the exact D of every anchor; bounds only skip losers).
+            assert_eq!(
+                m.timing_stripped(),
+                c.timing_stripped(),
+                "tick {t}: composed diverged from exhaustive"
+            );
             for ((x, y), z) in a
                 .imputations
                 .iter()
@@ -867,6 +1053,22 @@ mod tests {
             totals.pruned > 0,
             "expected some pruning on a periodic signal: {totals:?}"
         );
+        assert_eq!(
+            totals.maintained_lags, 0,
+            "pruned-only path has no shortlists"
+        );
+        let ctotals = composed.prune_totals();
+        assert_eq!(ctotals.candidates, totals.candidates);
+        assert!(
+            ctotals.pruned > 0,
+            "expected composed pruning on a periodic signal: {ctotals:?}"
+        );
+        assert!(
+            ctotals.maintained_lags > 0,
+            "composed path should carry shortlist entries: {ctotals:?}"
+        );
+        assert!(composed.shortlist_count() > 0);
+        assert_eq!(pruned.shortlist_count(), 0);
         assert_eq!(incremental.prune_totals(), PruneStats::default());
     }
 

@@ -21,7 +21,7 @@ use crate::config::{AnchorAggregation, TkcmConfig};
 use crate::consistency::ConsistencyReport;
 use crate::diagnostics::{Phase, PhaseBreakdown, PhaseTimer};
 use crate::dissimilarity::{l2_from_components, Dissimilarity, L2Distance};
-use crate::incremental::IncrementalDissimilarity;
+use crate::incremental::{IncrementalDissimilarity, ShortlistMaintainer};
 use crate::pattern::{extract_pattern_at_age, extract_query_pattern, Pattern};
 use crate::selection::{select_anchors, SelectionStrategy};
 use crate::signature::{SignatureIndex, SignatureQuery};
@@ -79,7 +79,7 @@ impl ImputationDetail {
 }
 
 /// Counters from one signature-pruned imputation
-/// ([`TkcmImputer::impute_pruned`]).
+/// ([`TkcmImputer::impute_pruned`] / [`TkcmImputer::impute_composed`]).
 ///
 /// Kept *outside* [`ImputationDetail`] so pruned and exhaustive results stay
 /// structurally comparable in the equivalence tests.
@@ -90,10 +90,51 @@ pub struct PruneStats {
     pub candidates: usize,
     /// Candidates whose exact dissimilarity was evaluated.
     pub shortlisted: usize,
-    /// Candidates the signature index disposed of without an exact
-    /// evaluation: lower bound above the threshold, or a proven missing
-    /// reference slot in strict mode.
+    /// Candidates disposed of without an exact evaluation: lower bound above
+    /// the threshold, or a proven missing reference slot in strict mode.
     pub pruned: usize,
+    /// Of `pruned` (composed path only): candidates skipped wholesale by the
+    /// level-1 run prefilter — no per-lag lower bound was even computed.
+    /// Counts every unresolved candidate of a skipped run, including ones
+    /// anchor provenance would have disqualified anyway (the whole point is
+    /// not to look at them individually).
+    pub level1_skipped: usize,
+    /// Of `pruned` (composed path only): candidates disposed of by a
+    /// maintained shortlist entry's certified bound or its strict-mode pair
+    /// count, before any signature lookup.
+    pub maintained_pruned: usize,
+    /// Lags carrying a maintained shortlist entry when the imputation began
+    /// (0 for the pruned-only path).
+    pub maintained_lags: usize,
+}
+
+impl std::ops::AddAssign for PruneStats {
+    fn add_assign(&mut self, rhs: PruneStats) {
+        self.candidates += rhs.candidates;
+        self.shortlisted += rhs.shortlisted;
+        self.pruned += rhs.pruned;
+        self.level1_skipped += rhs.level1_skipped;
+        self.maintained_pruned += rhs.maintained_pruned;
+        self.maintained_lags += rhs.maintained_lags;
+    }
+}
+
+impl PruneStats {
+    /// Field-wise `self − earlier`, saturating at zero — the per-interval
+    /// delta between two cumulative totals (saturating so a caller holding
+    /// a stale "earlier" across an engine swap reports zero, not a panic).
+    pub fn saturating_delta(&self, earlier: &PruneStats) -> PruneStats {
+        PruneStats {
+            candidates: self.candidates.saturating_sub(earlier.candidates),
+            shortlisted: self.shortlisted.saturating_sub(earlier.shortlisted),
+            pruned: self.pruned.saturating_sub(earlier.pruned),
+            level1_skipped: self.level1_skipped.saturating_sub(earlier.level1_skipped),
+            maintained_pruned: self
+                .maintained_pruned
+                .saturating_sub(earlier.maintained_pruned),
+            maintained_lags: self.maintained_lags.saturating_sub(earlier.maintained_lags),
+        }
+    }
 }
 
 /// TKCM imputation of a single missing value over a streaming window.
@@ -370,6 +411,31 @@ impl TkcmImputer {
         query: &Pattern,
         age: usize,
     ) -> Result<f64, TsError> {
+        Ok(
+            match self.exact_candidate_components(window, references, query, age)? {
+                Some((sum_sq, observed)) => l2_from_components(
+                    sum_sq,
+                    observed,
+                    references.len() * self.config.pattern_length,
+                ),
+                None => f64::INFINITY,
+            },
+        )
+    }
+
+    /// The raw components of [`Self::exact_candidate`]'s fold: `Ok(None)`
+    /// when strict extraction fails (a missing candidate slot with
+    /// `allow_missing = false` ⇒ `D = +∞` with no components), else the
+    /// accumulator and pair count whose [`l2_from_components`] fold *is* the
+    /// candidate's exact `D`.  Exposed separately so the composed path can
+    /// seed [`ShortlistMaintainer`] entries from the fold's own bits.
+    fn exact_candidate_components(
+        &self,
+        window: &StreamingWindow,
+        references: &[SeriesId],
+        query: &Pattern,
+        age: usize,
+    ) -> Result<Option<(f64, usize)>, TsError> {
         let l = self.config.pattern_length;
         let allow_missing = self.config.allow_missing_in_patterns;
         let mut sum_sq = 0.0f64;
@@ -381,7 +447,7 @@ impl TkcmImputer {
                 let x = window.value_recent(r, age + (l - 1 - col))?;
                 if x.is_none() && !allow_missing {
                     // Strict extraction would return `None` ⇒ `D = +∞`.
-                    return Ok(f64::INFINITY);
+                    return Ok(None);
                 }
                 if let (Some(x), Some(y)) = (x, q_slot) {
                     sum_sq += (x - y) * (x - y);
@@ -389,7 +455,33 @@ impl TkcmImputer {
                 }
             }
         }
-        Ok(l2_from_components(sum_sq, observed, references.len() * l))
+        Ok(Some((sum_sq, observed)))
+    }
+
+    /// Exact-evaluates a candidate and (re-)seeds its shortlist entry from
+    /// the fold's own `(sum_sq, observed)` components — re-admission of a
+    /// previously pruned lag therefore costs nothing beyond the exact
+    /// evaluation, and the re-seeded aggregates are bit-identical to the
+    /// exact fold by construction (the shortlist-maintenance invariant).
+    fn evaluate_and_seed(
+        &self,
+        window: &StreamingWindow,
+        references: &[SeriesId],
+        query: &Pattern,
+        age: usize,
+        shortlist: &mut ShortlistMaintainer,
+    ) -> Result<f64, TsError> {
+        match self.exact_candidate_components(window, references, query, age)? {
+            Some((sum_sq, observed)) => {
+                shortlist.seed(age, sum_sq, observed as u32);
+                Ok(l2_from_components(
+                    sum_sq,
+                    observed,
+                    references.len() * self.config.pattern_length,
+                ))
+            }
+            None => Ok(f64::INFINITY),
+        }
     }
 
     /// Imputes like [`TkcmImputer::impute`], but uses the signature `index`
@@ -636,6 +728,502 @@ impl TkcmImputer {
                             evaluated[idx] = true;
                             stats.shortlisted += 1;
                         }
+                    }
+                }
+            }
+        }
+
+        let detail = self.select_and_impute(
+            window,
+            target,
+            references,
+            now,
+            &candidate_ages,
+            &dissimilarities,
+            timer,
+        )?;
+        Ok((detail, stats))
+    }
+
+    /// Imputes like [`TkcmImputer::impute_pruned`], but *composes* pruning
+    /// with incremental maintenance.  Three layers run before any exact
+    /// evaluation, cheapest first:
+    ///
+    /// 1. **Maintained-first τ-seeding** — the [`ShortlistMaintainer`]'s
+    ///    entries, ordered by their approximate sums, nominate the feasible
+    ///    k-solution; usually k exact evaluations replace the pruned path's
+    ///    O(J·d·l/B) seeding sweep.  A cold maintainer falls back to the
+    ///    PR-7 lower-bound-sweep seeding (and re-seeds itself in passing).
+    /// 2. **Level-1 run prefilter** — one
+    ///    [`SignatureIndex::run_lower_bound_sq_with_query`] bound per run of
+    ///    `run_len` consecutive lags skips whole runs above the threshold,
+    ///    cutting the O(J) per-lag sweep itself.
+    /// 3. **Per-survivor bounds** — a maintained entry's certified bound
+    ///    (near-exact, catching candidates whose envelopes overlap the
+    ///    query) and then the level-0 signature bound; only candidates that
+    ///    survive all three are exact-evaluated, and every evaluation
+    ///    re-seeds the maintainer for the next imputation.
+    ///
+    /// All bounds are admissible and every `D` entering selection comes from
+    /// the exact fold, so the result is **bit-identical** to
+    /// [`TkcmImputer::impute`] by the same argument as the pruned path.
+    /// `run_len` is the level-1 run width, picked once at engine
+    /// construction from config geometry
+    /// ([`crate::signature::level1_run_len`]).
+    pub fn impute_composed(
+        &self,
+        window: &StreamingWindow,
+        target: SeriesId,
+        references: &[SeriesId],
+        index: &SignatureIndex,
+        shortlist: &mut ShortlistMaintainer,
+        run_len: usize,
+    ) -> Result<(ImputationDetail, PruneStats), TsError> {
+        self.impute_composed_impl(
+            window, target, references, index, shortlist, run_len, 1.0, 1.0,
+        )
+    }
+
+    /// Test-only entry: like [`TkcmImputer::impute_composed`] but inflating
+    /// the level-0 per-lag bounds by `inflate0` and the level-1 run bounds
+    /// by `inflate1` — deliberately *inadmissible* for factors > 1, so the
+    /// equivalence suite can prove over-pruning at either level is caught.
+    /// Never call it with factors != 1.0 outside tests.
+    #[doc(hidden)]
+    #[allow(clippy::too_many_arguments)]
+    pub fn impute_composed_with_inflation(
+        &self,
+        window: &StreamingWindow,
+        target: SeriesId,
+        references: &[SeriesId],
+        index: &SignatureIndex,
+        shortlist: &mut ShortlistMaintainer,
+        run_len: usize,
+        inflate0: f64,
+        inflate1: f64,
+    ) -> Result<(ImputationDetail, PruneStats), TsError> {
+        self.impute_composed_impl(
+            window, target, references, index, shortlist, run_len, inflate0, inflate1,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn impute_composed_impl(
+        &self,
+        window: &StreamingWindow,
+        target: SeriesId,
+        references: &[SeriesId],
+        index: &SignatureIndex,
+        shortlist: &mut ShortlistMaintainer,
+        run_len: usize,
+        inflate0: f64,
+        inflate1: f64,
+    ) -> Result<(ImputationDetail, PruneStats), TsError> {
+        if self.config.selection != SelectionStrategy::DynamicProgramming {
+            return Err(TsError::invalid(
+                "selection",
+                "signature pruning is only admissible for the dynamic-programming \
+                 sum objective; greedy/overlapping selection must run exhaustively",
+            ));
+        }
+        if !self.supports_incremental() {
+            return Err(TsError::invalid(
+                "dissimilarity",
+                "the composed path requires the decomposable L2 measure",
+            ));
+        }
+        if !index.is_synced(window) || index.width() != window.width() {
+            return Err(TsError::invalid(
+                "signature",
+                "signature index is not in lock-step with the window",
+            ));
+        }
+        if run_len == 0 {
+            return Err(TsError::invalid(
+                "run_len",
+                "level-1 run length must be positive",
+            ));
+        }
+        shortlist.ensure_compatible(
+            window,
+            references,
+            self.config.pattern_length,
+            self.config.allow_missing_in_patterns,
+        )?;
+        let now = window
+            .current_time()
+            .ok_or_else(|| TsError::invalid("window", "no tick has been pushed yet"))?;
+        if references.is_empty() {
+            return Err(TsError::invalid(
+                "references",
+                "TKCM needs at least one reference series",
+            ));
+        }
+        let l = self.config.pattern_length;
+        let k = self.config.anchor_count;
+        let mut timer = PhaseTimer::new();
+
+        // -------- Step 1: pattern extraction, composed --------
+        timer.start(Phase::Extraction);
+        let filled = window.filled();
+        let mut dissimilarities: Vec<f64> = Vec::new();
+        let mut candidate_ages: Vec<usize> = Vec::new();
+        let mut stats = PruneStats {
+            maintained_lags: shortlist.maintained_lags(),
+            ..PruneStats::default()
+        };
+        if filled >= 2 * l {
+            let oldest_age = filled - l;
+            let newest_age = l;
+            for age in (newest_age..=oldest_age).rev() {
+                candidate_ages.push(age);
+            }
+            let j = candidate_ages.len();
+            stats.candidates = j;
+            dissimilarities = vec![f64::INFINITY; j];
+            let query = extract_query_pattern(
+                window,
+                references,
+                l,
+                self.config.allow_missing_in_patterns,
+            )?;
+            if let Some(ref q) = query {
+                let rows: Vec<&[Option<f64>]> = (0..references.len()).map(|ri| q.row(ri)).collect();
+                let sig_query = SignatureQuery::new(&rows);
+                let strict = !self.config.allow_missing_in_patterns;
+                // `resolved[idx]`: D[idx] is final — exact-evaluated, pruned
+                // (stays +∞) or provenance-disqualified; the sweeps below
+                // skip it.
+                let mut resolved = vec![false; j];
+
+                // ---- Seed a feasible k-solution, maintained-first ----
+                // The maintainer orders its lags by approximate sum, so the
+                // greedy walk usually certifies k tight seeds after exactly
+                // k exact evaluations — no O(J) sweep.  The candidate lag
+                // *is* the window age of its anchor (`lag = t_n − t_j`).
+                let mut seed: Vec<usize> = Vec::new();
+                for lag in shortlist.lags_by_sum() {
+                    if seed.len() == k {
+                        break;
+                    }
+                    if lag < newest_age || lag > oldest_age {
+                        continue;
+                    }
+                    let idx = oldest_age - lag;
+                    if seed.iter().any(|&p| idx.abs_diff(p) < l) {
+                        continue;
+                    }
+                    if window.slot_recent(target, lag)?.state != SlotState::Observed {
+                        continue;
+                    }
+                    if !resolved[idx] {
+                        dissimilarities[idx] =
+                            self.evaluate_and_seed(window, references, q, lag, shortlist)?;
+                        resolved[idx] = true;
+                        stats.shortlisted += 1;
+                    }
+                    if dissimilarities[idx].is_finite() {
+                        seed.push(idx);
+                    }
+                }
+                if seed.len() < k {
+                    // Cold start / post-desync: too few maintained entries
+                    // to certify a k-solution.  Fall back to the pruned
+                    // path's seeding — one level-0 lower-bound sweep,
+                    // smallest-LB pool first, then earliest-end greedy.
+                    // This is the one place the composed path pays the O(J)
+                    // per-lag sweep; every evaluation re-seeds the
+                    // maintainer, so the next imputation will not.
+                    let mut lb = vec![0.0f64; j];
+                    let mut open = vec![true; j];
+                    for (idx, &age) in candidate_ages.iter().enumerate() {
+                        if resolved[idx] {
+                            if dissimilarities[idx].is_finite() {
+                                // Already exact: its D is its own tightest
+                                // "lower bound" for pool ordering.
+                                lb[idx] = dissimilarities[idx];
+                            } else {
+                                open[idx] = false;
+                            }
+                            continue;
+                        }
+                        if window.slot_recent(target, age)?.state != SlotState::Observed {
+                            open[idx] = false;
+                            continue;
+                        }
+                        let (lb_sq, certain_missing) =
+                            index.lower_bound_sq_with_query(references, age, l, &sig_query);
+                        if certain_missing && strict {
+                            open[idx] = false;
+                            resolved[idx] = true;
+                            stats.pruned += 1;
+                            continue;
+                        }
+                        lb[idx] = (lb_sq * inflate0).max(0.0).sqrt();
+                    }
+                    let mut order: Vec<usize> = (0..j).filter(|&i| open[i]).collect();
+                    let pool = (4 * k * l).max(256);
+                    if order.len() > pool {
+                        order.select_nth_unstable_by(pool, |&a, &b| {
+                            lb[a].total_cmp(&lb[b]).then(a.cmp(&b))
+                        });
+                        order.truncate(pool);
+                    }
+                    order.sort_by(|&a, &b| lb[a].total_cmp(&lb[b]).then(a.cmp(&b)));
+                    seed.clear();
+                    for &idx in &order {
+                        if seed.len() == k {
+                            break;
+                        }
+                        if seed.iter().any(|&p| idx.abs_diff(p) < l) {
+                            continue;
+                        }
+                        if !resolved[idx] {
+                            dissimilarities[idx] = self.evaluate_and_seed(
+                                window,
+                                references,
+                                q,
+                                candidate_ages[idx],
+                                shortlist,
+                            )?;
+                            resolved[idx] = true;
+                            stats.shortlisted += 1;
+                        }
+                        if dissimilarities[idx].is_finite() {
+                            seed.push(idx);
+                        }
+                    }
+                    if seed.len() < k {
+                        seed.clear();
+                        let mut next_free = 0usize;
+                        for idx in 0..j {
+                            if seed.len() == k {
+                                break;
+                            }
+                            if idx < next_free || !open[idx] {
+                                continue;
+                            }
+                            if !resolved[idx] {
+                                dissimilarities[idx] = self.evaluate_and_seed(
+                                    window,
+                                    references,
+                                    q,
+                                    candidate_ages[idx],
+                                    shortlist,
+                                )?;
+                                resolved[idx] = true;
+                                stats.shortlisted += 1;
+                            }
+                            if dissimilarities[idx].is_finite() {
+                                seed.push(idx);
+                                next_free = idx + l;
+                            }
+                        }
+                    }
+                }
+                if seed.len() >= k {
+                    // τ: the float value the DP assigns to the seed subset,
+                    // folded in ascending index order — the DP's take-step
+                    // order; see impute_pruned_impl for the bit-level
+                    // admissibility argument, which is unchanged here.
+                    seed.sort_unstable();
+                    let mut tau = 0.0f64;
+                    for &idx in &seed {
+                        #[allow(clippy::assign_op_pattern)]
+                        {
+                            tau = dissimilarities[idx] + tau;
+                        }
+                    }
+                    let threshold = tau * (1.0 + 1e-9);
+
+                    // ---- Pass 1: level-1 run prefilter + per-lag bounds ----
+                    // Exactly the pruned path's per-candidate test (`bound >
+                    // threshold` proves the candidate outside every optimal
+                    // selection), but survivors keep their tightest bound for
+                    // pass 2 instead of being exact-evaluated on the spot.
+                    let mut survivors: Vec<(usize, f64)> = Vec::new();
+                    let mut s = 0usize;
+                    while s < j {
+                        let e = (s + run_len).min(j);
+                        // Candidate index ascends oldest-first, so the run's
+                        // smallest lag is its *last* candidate.
+                        let lag_lo = candidate_ages[e - 1];
+                        let run_sq = index.run_lower_bound_sq_with_query(
+                            references,
+                            lag_lo,
+                            e - s,
+                            l,
+                            &sig_query,
+                        );
+                        if (run_sq * inflate1).max(0.0).sqrt() > threshold {
+                            // Every lag in the run is provably outside any
+                            // optimal selection — skip it wholesale.  (A run
+                            // holding a finite seed can never trip this: the
+                            // admissible run bound is ≤ that seed's D ≤ τ.)
+                            for slot in resolved[s..e].iter_mut() {
+                                if !*slot {
+                                    *slot = true;
+                                    stats.pruned += 1;
+                                    stats.level1_skipped += 1;
+                                }
+                            }
+                            s = e;
+                            continue;
+                        }
+                        for idx in s..e {
+                            if resolved[idx] {
+                                continue;
+                            }
+                            let age = candidate_ages[idx];
+                            if window.slot_recent(target, age)?.state != SlotState::Observed {
+                                resolved[idx] = true;
+                                continue;
+                            }
+                            // Maintained certified bound first: near-exact
+                            // and cheapest, and it catches exactly the
+                            // candidates whose envelopes overlap the query —
+                            // where the signature bound is weakest.
+                            let mut lb = 0.0f64;
+                            if let Some(b) = shortlist.bound(age) {
+                                if b.certain_missing {
+                                    // The integer pair count proves a missing
+                                    // pair: strict extraction yields D = +∞
+                                    // *exactly*, same as the exact path.
+                                    shortlist.touch(age);
+                                    resolved[idx] = true;
+                                    stats.pruned += 1;
+                                    stats.maintained_pruned += 1;
+                                    continue;
+                                }
+                                lb = b.lb_sq.sqrt();
+                                if lb > threshold {
+                                    shortlist.touch(age);
+                                    resolved[idx] = true;
+                                    stats.pruned += 1;
+                                    stats.maintained_pruned += 1;
+                                    continue;
+                                }
+                            }
+                            let (lb_sq, certain_missing) =
+                                index.lower_bound_sq_with_query(references, age, l, &sig_query);
+                            if certain_missing && strict {
+                                resolved[idx] = true;
+                                stats.pruned += 1;
+                                continue;
+                            }
+                            let sig_lb = (lb_sq * inflate0).max(0.0).sqrt();
+                            if sig_lb > threshold {
+                                resolved[idx] = true;
+                                stats.pruned += 1;
+                                continue;
+                            }
+                            // The max of two admissible bounds is admissible.
+                            survivors.push((idx, lb.max(sig_lb)));
+                        }
+                        s = e;
+                    }
+
+                    // ---- Pass 2: ascending-bound sweep under a tightening
+                    // per-candidate threshold ----
+                    //
+                    // Candidate j can sit in a k-anchor selection of value
+                    // ≤ τ only if D[j] ≤ τ − Σ(the other k−1 members' Ds).
+                    // Each member's D is at least its entry in a *pool* that
+                    // assigns every potentially selectable candidate a value
+                    // ≤ its exact D — the exact D where one was computed, the
+                    // admissible bound otherwise — so Σ(others) is at least
+                    // the sum S of the k−1 smallest pool values, and
+                    // `bound > threshold − S` proves j outside every optimal
+                    // selection: pass 1's test with a sharper right-hand side
+                    // (S converges toward the k−1 best exact Ds, so the bar
+                    // falls from the k-sum τ toward the k-th best D).  Pass-1
+                    // prunes are safely absent from the pool: admissibility
+                    // puts them in no optimal selection, and their bounds
+                    // exceed τ ≥ every seed D so they can never be among the
+                    // k−1 smallest anyway.  Walking survivors in ascending
+                    // bound order makes S monotone non-decreasing (an
+                    // evaluation replaces a pool bound with the larger exact
+                    // D; the walk pointer moves onto later, larger bounds),
+                    // so the first survivor over the bar proves every
+                    // remaining one out wholesale.
+                    //
+                    // Float slop: `threshold` already carries the 1e-9
+                    // inflation of the pruned path's proof; S is a ≤(k−1)-term
+                    // fold of non-negative floats deflated by 1e-9, which
+                    // dwarfs its relative rounding, and the final subtraction
+                    // adds at most one ulp of τ — absorbed by the same
+                    // margins.
+                    survivors.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                    // Evaluated-value pool: every exact D computed so far
+                    // (seeds plus seeding-walk evaluations that missed the
+                    // seed set), trimmed to the k−1 smallest — larger values
+                    // can never enter the k−1 smallest of a merge.
+                    let keep = k.saturating_sub(1);
+                    let mut best: Vec<f64> = (0..j)
+                        .filter(|&i| resolved[i] && dissimilarities[i].is_finite())
+                        .map(|i| dissimilarities[i])
+                        .collect();
+                    best.sort_unstable_by(f64::total_cmp);
+                    best.truncate(keep);
+                    for pos in 0..survivors.len() {
+                        let (idx, lb) = survivors[pos];
+                        // S: the k−1 smallest of (evaluated pool ∪ remaining
+                        // bounds); both sides are sorted, so merge the heads.
+                        // Including j's own bound only lowers S — safe.
+                        let mut sum = 0.0f64;
+                        let (mut bi, mut si) = (0usize, pos);
+                        for _ in 0..keep {
+                            let b_v = best.get(bi).copied().unwrap_or(f64::INFINITY);
+                            let s_v = survivors.get(si).map_or(f64::INFINITY, |t| t.1);
+                            if b_v <= s_v {
+                                sum += b_v;
+                                bi += 1;
+                            } else {
+                                sum += s_v;
+                                si += 1;
+                            }
+                        }
+                        let budget = threshold - sum * (1.0 - 1e-9);
+                        if lb > budget {
+                            for &(ridx, _) in &survivors[pos..] {
+                                resolved[ridx] = true;
+                                stats.pruned += 1;
+                            }
+                            break;
+                        }
+                        dissimilarities[idx] = self.evaluate_and_seed(
+                            window,
+                            references,
+                            q,
+                            candidate_ages[idx],
+                            shortlist,
+                        )?;
+                        resolved[idx] = true;
+                        stats.shortlisted += 1;
+                        let d = dissimilarities[idx];
+                        if d.is_finite() {
+                            let at = best.partition_point(|&v| v <= d);
+                            if at < keep {
+                                best.insert(at, d);
+                                best.truncate(keep);
+                            }
+                        }
+                    }
+                } else {
+                    // No feasible k-solution certified: exhaustive sweep
+                    // (rare — degenerate windows).
+                    for idx in 0..j {
+                        if resolved[idx] {
+                            continue;
+                        }
+                        let age = candidate_ages[idx];
+                        if window.slot_recent(target, age)?.state != SlotState::Observed {
+                            continue;
+                        }
+                        dissimilarities[idx] =
+                            self.evaluate_and_seed(window, references, q, age, shortlist)?;
+                        resolved[idx] = true;
+                        stats.shortlisted += 1;
                     }
                 }
             }

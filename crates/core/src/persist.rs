@@ -24,9 +24,9 @@ use tkcm_timeseries::{Catalog, SeriesId, StreamTick, StreamingWindow, Timestamp}
 use crate::config::{AnchorAggregation, TkcmConfig};
 use crate::diagnostics::PhaseBreakdown;
 use crate::dissimilarity::{Dissimilarity, L2Distance};
-use crate::engine::{Maintainer, TkcmEngine};
-use crate::imputer::TkcmImputer;
-use crate::incremental::IncrementalDissimilarity;
+use crate::engine::{Maintainer, Shortlist, TkcmEngine};
+use crate::imputer::{PruneStats, TkcmImputer};
+use crate::incremental::{IncrementalDissimilarity, ShortlistEntry, ShortlistMaintainer};
 use crate::selection::SelectionStrategy;
 use crate::signature::{BlockSummary, SignatureIndex, SIGNATURE_BLOCK_LEN};
 
@@ -275,6 +275,149 @@ impl Snapshot for IncrementalDissimilarity {
     }
 }
 
+impl Snapshot for ShortlistMaintainer {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        self.references.write_into(enc)?;
+        enc.usize(self.pattern_length);
+        enc.usize(self.window_length);
+        enc.bool(self.allow_missing);
+        // BTreeMap iteration is ascending by lag, so the encoding (and the
+        // snapshot fingerprint) is deterministic.
+        enc.usize(self.entries.len());
+        for (&lag, entry) in &self.entries {
+            enc.u32(lag);
+            enc.f64(entry.sum_sq);
+            enc.f64(entry.err);
+            enc.u32(entry.observed);
+            enc.u64(entry.last_hit);
+        }
+        self.prev_oldest.write_into(enc)?;
+        match self.last_time {
+            Some(t) => {
+                enc.bool(true);
+                t.write_into(enc)?;
+            }
+            None => enc.bool(false),
+        }
+        enc.u64(self.ticks);
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        let references: Vec<SeriesId> = Vec::read_from(dec)?;
+        let pattern_length = dec.usize()?;
+        let window_length = dec.usize()?;
+        let allow_missing = dec.bool()?;
+        // Same overflow-safe dimension check as the dense maintainer:
+        // decoded sizes are untrusted.
+        if references.is_empty() || pattern_length == 0 || window_length / 2 < pattern_length {
+            return Err(StoreError::invalid(
+                "shortlist maintainer snapshot dimensions are inconsistent",
+            ));
+        }
+        let entry_count = dec.seq_len()?;
+        let mut entries = std::collections::BTreeMap::new();
+        let lag_min = u64::try_from(pattern_length)
+            .map_err(|_| StoreError::invalid("shortlist pattern length overflows u64"))?;
+        let lag_max = u64::try_from(window_length - pattern_length)
+            .map_err(|_| StoreError::invalid("shortlist window length overflows u64"))?;
+        let total_pairs = u64::try_from(references.len().saturating_mul(pattern_length))
+            .map_err(|_| StoreError::invalid("shortlist pair count overflows u64"))?;
+        for _ in 0..entry_count {
+            let lag = dec.u32()?;
+            let sum_sq = dec.f64()?;
+            let err = dec.f64()?;
+            let observed = dec.u32()?;
+            let last_hit = dec.u64()?;
+            if u64::from(lag) < lag_min || u64::from(lag) > lag_max {
+                return Err(StoreError::invalid(format!(
+                    "shortlist entry lag {lag} is outside the candidate range"
+                )));
+            }
+            // A NaN sum or a negative/NaN radius would corrupt every bound
+            // derived from the entry; refuse rather than carry it.
+            if sum_sq.is_nan() || err.is_nan() || err < 0.0 {
+                return Err(StoreError::invalid(
+                    "shortlist entry carries a NaN sum or invalid error radius",
+                ));
+            }
+            if u64::from(observed) > total_pairs {
+                return Err(StoreError::invalid(format!(
+                    "shortlist entry observed count {observed} exceeds the pair total"
+                )));
+            }
+            if entries
+                .insert(
+                    lag,
+                    ShortlistEntry {
+                        sum_sq,
+                        err,
+                        observed,
+                        last_hit,
+                    },
+                )
+                .is_some()
+            {
+                return Err(StoreError::invalid(format!(
+                    "duplicate shortlist entry for lag {lag}"
+                )));
+            }
+        }
+        let prev_oldest: Vec<Option<f64>> = Vec::read_from(dec)?;
+        let last_time = if dec.bool()? {
+            Some(Timestamp::read_from(dec)?)
+        } else {
+            None
+        };
+        let ticks = dec.u64()?;
+        if prev_oldest.len() != references.len() {
+            return Err(StoreError::invalid(
+                "shortlist maintainer snapshot dimensions are inconsistent",
+            ));
+        }
+        for entry in entries.values() {
+            if entry.last_hit > ticks {
+                return Err(StoreError::invalid(
+                    "shortlist entry last-hit tick is ahead of the maintainer clock",
+                ));
+            }
+        }
+        Ok(ShortlistMaintainer {
+            references,
+            pattern_length,
+            window_length,
+            allow_missing,
+            entries,
+            prev_oldest,
+            last_time,
+            ticks,
+        })
+    }
+}
+
+impl Snapshot for PruneStats {
+    fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
+        enc.usize(self.candidates);
+        enc.usize(self.shortlisted);
+        enc.usize(self.pruned);
+        enc.usize(self.level1_skipped);
+        enc.usize(self.maintained_pruned);
+        enc.usize(self.maintained_lags);
+        Ok(())
+    }
+
+    fn read_from(dec: &mut Decoder<'_>) -> Result<Self, StoreError> {
+        Ok(PruneStats {
+            candidates: dec.usize()?,
+            shortlisted: dec.usize()?,
+            pruned: dec.usize()?,
+            level1_skipped: dec.usize()?,
+            maintained_pruned: dec.usize()?,
+            maintained_lags: dec.usize()?,
+        })
+    }
+}
+
 impl Snapshot for BlockSummary {
     fn write_into(&self, enc: &mut Encoder) -> Result<(), StoreError> {
         enc.f64(self.min);
@@ -405,6 +548,12 @@ impl Snapshot for TkcmEngine {
             }
             None => enc.bool(false),
         }
+        enc.usize(self.shortlists.len());
+        for s in &self.shortlists {
+            s.state.write_into(enc)?;
+            enc.usize(s.last_used);
+        }
+        self.prune_totals.write_into(enc)?;
         Ok(())
     }
 
@@ -450,6 +599,21 @@ impl Snapshot for TkcmEngine {
         } else {
             None
         };
+        let shortlist_count = dec.seq_len()?;
+        let mut shortlists = Vec::with_capacity(shortlist_count);
+        for _ in 0..shortlist_count {
+            let state = ShortlistMaintainer::read_from(dec)?;
+            let last_used = dec.usize()?;
+            if state.window_length() != config.window_length
+                || state.pattern_length() != config.pattern_length
+            {
+                return Err(StoreError::invalid(
+                    "shortlist maintainer geometry does not match the engine configuration",
+                ));
+            }
+            shortlists.push(Shortlist { state, last_used });
+        }
+        let prune_totals = PruneStats::read_from(dec)?;
         let imputer = TkcmImputer::new(config).map_err(|e| StoreError::invalid(e.to_string()))?;
         // Presence of the index must agree with what this configuration
         // activates — a pruned engine recovered without its index (or the
@@ -462,6 +626,14 @@ impl Snapshot for TkcmEngine {
                 "signature index presence does not match the engine configuration",
             ));
         }
+        // Shortlist maintainers only exist on the composed path.
+        let composes = expects_index && imputer.config().incremental;
+        if !shortlists.is_empty() && !composes {
+            return Err(StoreError::invalid(
+                "shortlist maintainers present but the configuration does not compose",
+            ));
+        }
+        let level1_run_len = crate::signature::level1_run_len(imputer.config().pattern_length);
         Ok(TkcmEngine {
             imputer,
             window,
@@ -471,7 +643,9 @@ impl Snapshot for TkcmEngine {
             tick_count,
             maintainers,
             signatures,
-            prune_totals: crate::imputer::PruneStats::default(),
+            shortlists,
+            level1_run_len,
+            prune_totals,
         })
     }
 }
@@ -626,6 +800,72 @@ mod tests {
         enc.f64(1.0);
         enc.u32(0);
         assert!(decode_from_slice::<BlockSummary>(&enc.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn shortlist_maintainer_round_trips_and_rejects_corruption() {
+        // The default configuration composes, so a driven engine carries
+        // live shortlist maintainers with seeded entries.
+        let engine = run_engine(120);
+        assert!(engine.is_composed());
+        assert!(engine.shortlist_count() > 0);
+        let state = &engine.shortlists[0].state;
+        assert!(state.maintained_lags() > 0, "entries should have seeded");
+        let restored = round_trip(state);
+        // No PartialEq on the maintainer; the Debug form covers every field
+        // including the per-entry bits.
+        assert_eq!(format!("{restored:?}"), format!("{state:?}"));
+
+        // An entry lag outside the candidate range is refused.
+        let mut enc = Encoder::new();
+        vec![SeriesId(1)].write_into(&mut enc).unwrap();
+        enc.usize(3); // l
+        enc.usize(64); // L
+        enc.bool(false);
+        enc.usize(1);
+        enc.u32(1); // lag < l
+        enc.f64(0.0);
+        enc.f64(0.0);
+        enc.u32(0);
+        enc.u64(0);
+        let prev: Vec<Option<f64>> = vec![None];
+        prev.write_into(&mut enc).unwrap();
+        enc.bool(false);
+        enc.u64(0);
+        assert!(decode_from_slice::<ShortlistMaintainer>(&enc.into_bytes()).is_err());
+
+        // A negative error radius is refused (it would inflate the bound).
+        let mut enc = Encoder::new();
+        vec![SeriesId(1)].write_into(&mut enc).unwrap();
+        enc.usize(3);
+        enc.usize(64);
+        enc.bool(false);
+        enc.usize(1);
+        enc.u32(5);
+        enc.f64(1.0);
+        enc.f64(-1.0);
+        enc.u32(3);
+        enc.u64(0);
+        let prev: Vec<Option<f64>> = vec![None];
+        prev.write_into(&mut enc).unwrap();
+        enc.bool(false);
+        enc.u64(0);
+        assert!(decode_from_slice::<ShortlistMaintainer>(&enc.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn prune_totals_survive_snapshot_recovery() {
+        // The running prune diagnostics are part of the snapshot (format
+        // v5): a recovered engine continues the totals instead of silently
+        // resetting them to zero.
+        let engine = run_engine(120);
+        let totals = engine.prune_totals();
+        assert!(
+            totals.candidates > 0,
+            "the driven engine pruned: {totals:?}"
+        );
+        let restored: TkcmEngine = round_trip(&engine);
+        assert_eq!(restored.prune_totals(), totals);
     }
 
     #[test]

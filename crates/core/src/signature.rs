@@ -52,6 +52,19 @@ use tkcm_timeseries::{SeriesId, StreamingWindow, TsError};
 /// `SNAPSHOT_FORMAT_VERSION` bump.
 pub const SIGNATURE_BLOCK_LEN: u32 = 16;
 
+/// Picks the level-1 run length (in candidate lags) for the composed
+/// imputation path from config geometry, block-aligned and static per run.
+///
+/// The run bound's cost is ~one block walk per `SIGNATURE_BLOCK_LEN`-chunk
+/// of the pattern, so wider runs amortize better for longer patterns; but a
+/// run's union envelope loosens as it widens, so the width is capped at 8
+/// blocks.  Short patterns (where the per-lag sweep is cheap anyway) get a
+/// single block.
+pub fn level1_run_len(pattern_length: usize) -> usize {
+    let b = SIGNATURE_BLOCK_LEN as usize;
+    (pattern_length / b).clamp(1, 8) * b
+}
+
 /// Summary of one block of [`SIGNATURE_BLOCK_LEN`] consecutive ticks of one
 /// series: an outward-only min/max envelope over the observed values, the
 /// number of missing slots, and the running sum of the observed values.
@@ -480,6 +493,105 @@ impl SignatureIndex {
         (sum, certain_missing)
     }
 
+    /// Level-1 *run* bound: an admissible lower bound on the squared,
+    /// unscaled L2 dissimilarity of **every** candidate lag in
+    /// `lag_lo .. lag_lo + run_len`, computed from coarse block-envelope
+    /// unions — one bound for a whole run of consecutive lags, so the
+    /// per-imputation sweep can skip the run wholesale when the bound
+    /// already exceeds the pruning threshold.
+    ///
+    /// For a chunk of `B = SIGNATURE_BLOCK_LEN` query positions `[p_s, p_e]`
+    /// the candidate ordinals paired with it across the run sweep the region
+    /// `[start(lag_hi) + p_s, start(lag_lo) + p_e]` (length
+    /// `chunk_len + run_len − 1`).  The union envelope of the blocks covering
+    /// that region contains every candidate value any lag in the run pairs
+    /// with the chunk, and the summed block missing counts over-count any
+    /// single lag's missing pairs, so with `g` the gap between the union
+    /// envelope and the exact query-chunk envelope,
+    /// `g² · max(0, chunk_len − q_missing − region_missing)` lower-bounds
+    /// each lag's contribution.  Per reference the cost is
+    /// `O((l/B) · (run_len/B + 2))` block reads for `run_len` lags — versus
+    /// `O(run_len · l/B)` for per-lag level-0 bounds.
+    ///
+    /// Unlike the per-lag bound there is no certain-missing signal here: a
+    /// missing slot in the region need not lie inside any particular lag's
+    /// range.  Returns `0.0` (the vacuous bound) whenever a region is not
+    /// fully resolvable, so the caller never over-prunes.
+    pub fn run_lower_bound_sq_with_query(
+        &self,
+        references: &[SeriesId],
+        lag_lo: usize,
+        run_len: usize,
+        l: usize,
+        query: &SignatureQuery,
+    ) -> f64 {
+        if self.ticks_seen == 0
+            || l == 0
+            || run_len == 0
+            || query.length != l
+            || query.refs.len() != references.len()
+        {
+            return 0.0;
+        }
+        let lag_hi = lag_lo + (run_len - 1);
+        let need = l as u64 + lag_hi as u64;
+        if self.ticks_seen < need {
+            return 0.0;
+        }
+        // Oldest and newest candidate start ordinals across the run: larger
+        // lag ⇒ older candidate, so lag_hi anchors the region's left edge.
+        let start_hi = self.ticks_seen - need;
+        let start_lo = self.ticks_seen - l as u64 - lag_lo as u64;
+        let block_len = SIGNATURE_BLOCK_LEN as u64;
+
+        let mut sum = 0.0_f64;
+        for (r, qref) in references.iter().zip(query.refs.iter()) {
+            let series = r.index();
+            let mut p_s = 0usize;
+            while p_s < l {
+                let p_e = (p_s + SIGNATURE_BLOCK_LEN as usize - 1).min(l - 1);
+                let region_start = start_hi + p_s as u64;
+                let region_end = start_lo + p_e as u64;
+                if region_start >= self.base_ordinal {
+                    let mut c_min = f64::INFINITY;
+                    let mut c_max = f64::NEG_INFINITY;
+                    let mut region_missing = 0u64;
+                    let mut resolved = true;
+                    let mut b = region_start & !(block_len - 1);
+                    while b <= region_end {
+                        match self.block_at(series, b) {
+                            Some(blk) => {
+                                c_min = c_min.min(blk.min);
+                                c_max = c_max.max(blk.max);
+                                region_missing += u64::from(blk.missing);
+                            }
+                            None => {
+                                resolved = false;
+                                break;
+                            }
+                        }
+                        b += block_len;
+                    }
+                    if resolved {
+                        let chunk_len = (p_e - p_s + 1) as u64;
+                        let q_missing =
+                            u64::from(qref.prefix_missing[p_e + 1] - qref.prefix_missing[p_s]);
+                        let uncertain = q_missing + region_missing;
+                        if chunk_len > uncertain {
+                            let (q_min, q_max) = qref.range_min_max(p_s, p_e);
+                            let g = (q_min - c_max).max(c_min - q_max).max(0.0);
+                            if g > 0.0 && g.is_finite() {
+                                sum += g * g * (chunk_len - uncertain) as f64;
+                            }
+                        }
+                    }
+                }
+                p_s = p_e + 1;
+            }
+        }
+        sum
+    }
+
     /// Gap-aware lower bound on the *squared, unscaled* L2 dissimilarity of
     /// the candidate anchored `lag` ticks in the past, over the given
     /// reference series with pattern length `l` — i.e. a lower bound on the
@@ -737,6 +849,108 @@ mod tests {
         assert!(ix.blocks[0].len() <= cap.div_ceil(b) + 1);
         // The oldest retained block still covers the oldest window slot.
         assert!(ix.base_ordinal <= (ix.ticks_seen - cap as u64));
+    }
+
+    /// Exact unscaled `sum_sq` of the candidate at `lag`, for checking the
+    /// run bound's admissibility against ground truth.
+    fn exact_sum_sq(w: &StreamingWindow, lag: usize, l: usize) -> Option<f64> {
+        let mut sum = 0.0;
+        for col in 0..l {
+            let q = w.value_recent(SeriesId(0), l - 1 - col).unwrap();
+            let c = w.value_recent(SeriesId(0), lag + l - 1 - col).unwrap();
+            match (q, c) {
+                (Some(q), Some(c)) => sum += (q - c) * (q - c),
+                _ => return None,
+            }
+        }
+        Some(sum)
+    }
+
+    #[test]
+    fn run_bound_is_admissible_for_every_lag_in_the_run() {
+        let cap = 128;
+        let mut w = StreamingWindow::new(1, cap);
+        let mut ix = SignatureIndex::new(1, cap).unwrap();
+        for t in 0..(cap as i64 + 40) {
+            let v = if t % 11 == 5 {
+                None
+            } else {
+                Some((t as f64 * 0.37).sin() * 3.0 + if t % 29 == 0 { 50.0 } else { 0.0 })
+            };
+            push(&mut w, &mut ix, t, vec![v]);
+        }
+        let l = 16usize;
+        let rows: Vec<Option<f64>> = (0..l)
+            .map(|col| w.value_recent(SeriesId(0), l - 1 - col).unwrap())
+            .collect();
+        let query = SignatureQuery::new(&[&rows]);
+        for run_len in [1usize, 4, 16, 32] {
+            let mut lag_lo = l;
+            while lag_lo + run_len - 1 <= cap - l {
+                let rb =
+                    ix.run_lower_bound_sq_with_query(&[SeriesId(0)], lag_lo, run_len, l, &query);
+                for lag in lag_lo..lag_lo + run_len {
+                    // Admissible vs the exact sum, and never above the
+                    // per-lag level-0 bound's target either.
+                    if let Some(exact) = exact_sum_sq(&w, lag, l) {
+                        assert!(
+                            rb <= exact + 1e-9,
+                            "run [{lag_lo}, +{run_len}) lag {lag}: {rb} > {exact}"
+                        );
+                    }
+                }
+                lag_lo += run_len;
+            }
+        }
+    }
+
+    #[test]
+    fn run_bound_separates_a_level_shifted_region() {
+        let cap = 96;
+        let mut w = StreamingWindow::new(1, cap);
+        let mut ix = SignatureIndex::new(1, cap).unwrap();
+        // Old half near 100, recent half (query region) near 0.
+        for t in 0..cap as i64 {
+            let v = if t < 48 {
+                100.0 + (t % 3) as f64
+            } else {
+                (t % 3) as f64 * 0.1
+            };
+            push(&mut w, &mut ix, t, vec![Some(v)]);
+        }
+        let l = 16usize;
+        let rows: Vec<Option<f64>> = (0..l)
+            .map(|col| w.value_recent(SeriesId(0), l - 1 - col).unwrap())
+            .collect();
+        let query = SignatureQuery::new(&[&rows]);
+        // A run wholly inside the far (level-100) region must get a large
+        // positive bound.
+        let rb = ix.run_lower_bound_sq_with_query(&[SeriesId(0)], 64, 8, l, &query);
+        assert!(rb > 16.0 * 90.0 * 90.0, "rb = {rb}");
+        // A run overlapping the query-like recent region must stay vacuous
+        // or tiny (the union envelope includes near-query values).
+        let rb_near = ix.run_lower_bound_sq_with_query(&[SeriesId(0)], l, 8, l, &query);
+        assert!(rb_near <= rb, "near {rb_near} vs far {rb}");
+    }
+
+    #[test]
+    fn run_bound_is_vacuous_when_the_region_is_unresolvable() {
+        let mut w = StreamingWindow::new(1, 32);
+        let mut ix = SignatureIndex::new(1, 32).unwrap();
+        for t in 0..8i64 {
+            push(&mut w, &mut ix, t, vec![Some(t as f64)]);
+        }
+        let rows: Vec<Option<f64>> = vec![Some(0.0); 4];
+        let query = SignatureQuery::new(&[&rows]);
+        // Not enough history for lag 30 — must not invent a bound.
+        assert_eq!(
+            ix.run_lower_bound_sq_with_query(&[SeriesId(0)], 30, 4, 4, &query),
+            0.0
+        );
+        assert_eq!(
+            ix.run_lower_bound_sq_with_query(&[SeriesId(0)], 4, 0, 4, &query),
+            0.0
+        );
     }
 
     #[test]

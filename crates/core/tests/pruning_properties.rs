@@ -20,8 +20,8 @@
 use proptest::prelude::*;
 
 use tkcm_core::{
-    extract_pattern, extract_query_pattern, Dissimilarity, L2Distance, SignatureIndex,
-    SignatureQuery, TkcmConfig, TkcmEngine, TkcmImputer,
+    extract_pattern, extract_query_pattern, level1_run_len, Dissimilarity, L2Distance,
+    ShortlistMaintainer, SignatureIndex, SignatureQuery, TkcmConfig, TkcmEngine, TkcmImputer,
 };
 use tkcm_timeseries::{Catalog, SeriesId, StreamTick, StreamingWindow, Timestamp};
 
@@ -78,9 +78,15 @@ proptest! {
                 .unwrap();
             TkcmEngine::new(width, config, Catalog::ring_neighbours(width)).unwrap()
         };
-        let mut pruned = mk(true, true);
+        // (pruning, incremental): (true, true) is the *composed* path —
+        // level-1 prefilter + shortlist maintainers + level-0 bounds —
+        // (true, false) the PR-7 pruned-only path.  Both must match the
+        // exhaustive engine bit for bit.
+        let mut composed = mk(true, true);
+        let mut pruned = mk(true, false);
         let mut exhaustive = mk(false, false);
-        prop_assert!(pruned.is_pruned());
+        prop_assert!(composed.is_pruned() && composed.is_composed());
+        prop_assert!(pruned.is_pruned() && !pruned.is_composed());
         prop_assert!(!exhaustive.is_pruned());
 
         let saw = |t: usize, shift: u64| ((t as u64 + shift) % period) as f64;
@@ -95,17 +101,25 @@ proptest! {
                     Some(saw(t, shift2)),
                 ],
             );
+            let m = composed.process_tick(&tick).unwrap();
             let a = pruned.process_tick(&tick).unwrap();
             let b = exhaustive.process_tick(&tick).unwrap();
 
             prop_assert_eq!(&a.skipped, &b.skipped);
+            prop_assert_eq!(&m.skipped, &b.skipped);
             prop_assert_eq!(a.imputations.len(), b.imputations.len());
-            for (x, y) in a.imputations.iter().zip(b.imputations.iter()) {
+            prop_assert_eq!(m.imputations.len(), b.imputations.len());
+            for (x, y) in a
+                .imputations
+                .iter()
+                .chain(m.imputations.iter())
+                .zip(b.imputations.iter().chain(b.imputations.iter()))
+            {
                 prop_assert_eq!(x.series, y.series);
                 prop_assert_eq!(x.time, y.time);
                 prop_assert!(
                     x.value.to_bits() == y.value.to_bits(),
-                    "tick {}: pruned {} vs exhaustive {}",
+                    "tick {}: pruned/composed {} vs exhaustive {}",
                     t,
                     x.value,
                     y.value
@@ -119,7 +133,15 @@ proptest! {
             pruned.imputations_performed(),
             exhaustive.imputations_performed()
         );
+        prop_assert_eq!(
+            composed.imputations_performed(),
+            exhaustive.imputations_performed()
+        );
         prop_assert_eq!(pruned.prune_totals().candidates > 0, pruned.imputations_performed() > 0);
+        prop_assert_eq!(
+            composed.prune_totals().candidates,
+            pruned.prune_totals().candidates
+        );
     }
 
     /// Admissibility of the bound itself: for every candidate lag the
@@ -210,6 +232,125 @@ proptest! {
                         lag,
                         strict
                     );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Write-back widening across ring wrap-around *combined with*
+    /// block-boundary-straddling imputed runs (the suite previously covered
+    /// wrap and write-back separately): streams run past two full windows so
+    /// the ring wraps, then contiguous imputed runs are written at ages
+    /// chosen to straddle `SIGNATURE_BLOCK_LEN` boundaries.  Afterwards both
+    /// per-lag bound variants *and* the composed path's level-1 run bound
+    /// must stay admissible for every candidate lag and run width.
+    #[test]
+    fn write_back_runs_straddling_blocks_stay_admissible_after_wrap(
+        period in 8u64..60,
+        capacity in 48usize..96,
+        l in 3usize..9,
+        runs in proptest::collection::vec((0usize..96, 3usize..20, -40.0f64..40.0), 1..5),
+        run_len_choice in 0usize..3,
+    ) {
+        let width = 3;
+        let refs = vec![SeriesId(1), SeriesId(2)];
+        let mut window = StreamingWindow::new(width, capacity);
+        let mut index = SignatureIndex::new(width, capacity).unwrap();
+
+        // Wrap the ring at least twice; sprinkle missing slots so the
+        // write-backs hit both observed overwrites (NaN-poisoned sums) and
+        // missing-slot fills (missing-count decrements).
+        let total = capacity * 2 + 17;
+        for t in 0..total {
+            let gap = t % 13 == 5 || t % 7 == 3;
+            let mk = |shift: u64| {
+                if gap && shift != 0 {
+                    None
+                } else {
+                    Some(((t as u64 + shift) % period) as f64)
+                }
+            };
+            let values = vec![Some(t as f64 * 0.5), mk(3), mk(11)];
+            window
+                .push_tick(&StreamTick::new(Timestamp::new(t as i64), values.clone()))
+                .expect("tick accepted");
+            index.on_push(&values).expect("push accepted");
+        }
+
+        // Imputed runs: contiguous age spans.  A span of length ≥ 3 starting
+        // at an arbitrary age straddles a block boundary whenever it crosses
+        // a multiple of the block length in ordinal space, which the random
+        // starts guarantee across cases.
+        for &(start, span, value) in &runs {
+            let start = start % (capacity - 1);
+            let end = (start + span).min(capacity - 1);
+            for age in start..end {
+                for id in &refs {
+                    let old = window.value_recent(*id, age).expect("valid age");
+                    window.write_imputed(*id, age, value).expect("write accepted");
+                    index.on_write(*id, age, value, old.is_none());
+                }
+            }
+        }
+        prop_assert!(index.is_synced(&window));
+
+        let filled = window.filled();
+        if filled >= 2 * l {
+            let query = extract_query_pattern(&window, &refs, l, true).expect("valid geometry");
+            let sig_query = query.as_ref().map(|q| {
+                let rows: Vec<&[Option<f64>]> = (0..refs.len()).map(|ri| q.row(ri)).collect();
+                SignatureQuery::new(&rows)
+            });
+            let j = filled - 2 * l + 1;
+            let run_len = [1usize, 4, 16][run_len_choice];
+            for lag in l..=(filled - l) {
+                let (lb_env_sq, _) = index.lower_bound_sq(&refs, lag, l);
+                let (lb_query_sq, _) = match &sig_query {
+                    Some(sq) => index.lower_bound_sq_with_query(&refs, lag, l, sq),
+                    None => (0.0, false),
+                };
+                for lb_sq in [lb_env_sq, lb_query_sq] {
+                    prop_assert!(lb_sq.is_finite() && lb_sq >= 0.0);
+                    let exact = from_scratch_d(&window, &refs, l, lag, true);
+                    if exact.is_finite() {
+                        prop_assert!(
+                            lb_sq <= exact * exact * (1.0 + 1e-12),
+                            "lag {}: lower bound {} exceeds exact D² {}",
+                            lag,
+                            lb_sq,
+                            exact * exact
+                        );
+                    }
+                }
+            }
+            // Level-1 run bound: admissible for *every* lag inside the run.
+            if let Some(sq) = &sig_query {
+                let oldest_age = filled - l;
+                let mut s = 0usize;
+                while s < j {
+                    let e = (s + run_len).min(j);
+                    let lag_lo = oldest_age - (e - 1);
+                    let run_sq =
+                        index.run_lower_bound_sq_with_query(&refs, lag_lo, e - s, l, sq);
+                    prop_assert!(run_sq.is_finite() && run_sq >= 0.0);
+                    for idx in s..e {
+                        let lag = oldest_age - idx;
+                        let exact = from_scratch_d(&window, &refs, l, lag, true);
+                        if exact.is_finite() {
+                            prop_assert!(
+                                run_sq <= exact * exact * (1.0 + 1e-12),
+                                "run [{}, {}) lag {}: run bound {} exceeds exact D² {}",
+                                s,
+                                e,
+                                lag,
+                                run_sq,
+                                exact * exact
+                            );
+                        }
+                    }
+                    s = e;
                 }
             }
         }
@@ -311,5 +452,97 @@ fn inflated_bounds_are_caught_by_the_equivalence_check() {
         inflated.value.to_bits(),
         exact.value.to_bits(),
         "…and a different imputed value"
+    );
+}
+
+/// The composed path's negative control, at both bound levels.  On the same
+/// fixture: (1) with admissible bounds the composed path — cold shortlist
+/// *and* warm shortlist — reproduces the exhaustive answer bitwise; (2) an
+/// inflated level-1 *run* bound prunes the whole run holding the true
+/// nearest candidate, which the equivalence comparison catches; (3) so does
+/// an inflated level-0 bound.  This proves over-pruning at either level of
+/// the composed cascade is observable, not silently absorbed.
+#[test]
+fn inflated_level1_union_bounds_are_caught_by_the_equivalence_check() {
+    let (window, index, imputer) = inadmissible_fixture();
+    let target = SeriesId(0);
+    let refs = vec![SeriesId(1)];
+    let l = imputer.config().pattern_length;
+    let run_len = level1_run_len(l);
+    let mk_shortlist = || {
+        let mut s =
+            ShortlistMaintainer::new(refs.clone(), l, imputer.config().window_length, false)
+                .unwrap();
+        s.advance(&window).unwrap();
+        s
+    };
+
+    let exact = imputer.impute(&window, target, &refs).unwrap();
+
+    // Positive control, cold then warm: the first composed call seeds the
+    // shortlist from its own exact evaluations; the second call runs the
+    // maintained-first seeding path.  Both must match exhaustive bitwise.
+    let mut shortlist = mk_shortlist();
+    for pass in ["cold", "warm"] {
+        let (composed, _) = imputer
+            .impute_composed(&window, target, &refs, &index, &mut shortlist, run_len)
+            .unwrap();
+        assert_eq!(
+            composed.value.to_bits(),
+            exact.value.to_bits(),
+            "{pass} composed pass must reproduce the exhaustive answer bitwise"
+        );
+        assert_eq!(composed.anchors, exact.anchors, "{pass} pass anchors");
+    }
+    assert!(shortlist.maintained_lags() > 0, "evaluations seed entries");
+
+    // Negative control at level 1: inflating only the *run* bound prunes
+    // the run containing the true nearest candidate wholesale.
+    let mut shortlist = mk_shortlist();
+    let (inflated, stats) = imputer
+        .impute_composed_with_inflation(
+            &window,
+            target,
+            &refs,
+            &index,
+            &mut shortlist,
+            run_len,
+            1.0,
+            1e6,
+        )
+        .unwrap();
+    assert!(
+        stats.level1_skipped > 0,
+        "the inflated run bound must skip whole runs: {stats:?}"
+    );
+    assert_ne!(
+        inflated.anchors, exact.anchors,
+        "an inadmissible level-1 union bound prunes the true nearest run, so \
+         the equivalence check must observe a different anchor set"
+    );
+    assert_ne!(inflated.value.to_bits(), exact.value.to_bits());
+
+    // Negative control at level 0: same fixture, inflation on the per-lag
+    // bound instead.
+    let mut shortlist = mk_shortlist();
+    let (inflated0, stats0) = imputer
+        .impute_composed_with_inflation(
+            &window,
+            target,
+            &refs,
+            &index,
+            &mut shortlist,
+            run_len,
+            1e6,
+            1.0,
+        )
+        .unwrap();
+    assert!(
+        stats0.pruned > 0,
+        "inflated level-0 bounds prune: {stats0:?}"
+    );
+    assert_ne!(
+        inflated0.anchors, exact.anchors,
+        "an inadmissible level-0 bound is caught through the composed path too"
     );
 }

@@ -1,7 +1,8 @@
-//! Candidate pruning: the signature-index shortlist path (PR 7) against the
-//! exhaustive and incremental candidate sweeps, on one engine.
+//! Candidate pruning: the signature-index shortlist path (PR 7) and the
+//! composed pruning-plus-maintenance path against the exhaustive and
+//! incremental candidate sweeps, on one engine.
 //!
-//! The same SBR-like workload is replayed through three engines that differ
+//! The same SBR-like workload is replayed through four engines that differ
 //! only in the candidate path:
 //!
 //! * **exhaustive** — every candidate pattern is re-extracted and scored
@@ -9,20 +10,26 @@
 //! * **incremental** — the Section 6.2 maintained dissimilarity array
 //!   (`O(L)` sweep), the PR-2 path;
 //! * **pruned** — the quantized signature index shortlists candidates by an
-//!   admissible lower bound and only the shortlist is scored exactly.
+//!   admissible lower bound and only the shortlist is scored exactly;
+//! * **composed** — the default path: maintained shortlist entries seed the
+//!   threshold and certify cheap prunes, a level-1 run prefilter skips whole
+//!   blocks of candidates, and the signature bounds catch the rest.
 //!
-//! Pruning is *admissible*, so the pruned run must impute **bit-identical**
-//! values to the exhaustive run — the replay asserts that on every tick,
-//! which keeps the speedup column honest: a faster number can never come
-//! from silently different answers.  The incremental run is only
-//! tolerance-equivalent to exact (its own property suite covers that), so
-//! here only its imputation count is asserted.
+//! Pruning is *admissible*, so the pruned and composed runs must impute
+//! **bit-identical** values to the exhaustive run — the replay asserts that
+//! on every tick, which keeps the speedup columns honest: a faster number
+//! can never come from silently different answers.  The incremental run is
+//! only tolerance-equivalent to exact (its own property suite covers that),
+//! so here only its imputation count is asserted.
 //!
-//! The headline trend fields are the pruned-vs-exhaustive speedup and the
-//! fraction of candidates pruned (`pruned_fraction`); at paper proportions
-//! (l = 72 against a window over months of 5-minute data) the signature
-//! blocks are much shorter than the pattern, which is the regime where the
-//! envelope bounds separate candidates well.
+//! The headline trend fields are the composed-vs-exhaustive speedup, the
+//! fraction of candidates pruned (`pruned_fraction`), the fraction skipped
+//! wholesale by the level-1 prefilter (`level1_skipped_fraction`) and the
+//! average fraction of candidates carrying a maintained shortlist entry
+//! (`maintained_lag_fraction`); at paper proportions (l = 72 against a
+//! window over months of 5-minute data) the signature blocks are much
+//! shorter than the pattern, which is the regime where the envelope bounds
+//! separate candidates well.
 
 use std::time::Instant;
 
@@ -34,8 +41,8 @@ use crate::report::{Report, Table};
 
 use super::{dataset_for, Scale};
 
-/// The three candidate paths, in presentation (and baseline) order.
-pub const MODES: [&str; 3] = ["exhaustive", "incremental", "pruned"];
+/// The four candidate paths, in presentation (and baseline) order.
+pub const MODES: [&str; 4] = ["exhaustive", "incremental", "pruned", "composed"];
 
 /// Length of each injected outage in ticks (the SBR generator produces
 /// complete data; the sweep punctures it with rotating outages like the
@@ -91,8 +98,8 @@ fn pruning_config(scale: Scale, len: usize, mode: &str) -> TkcmConfig {
         .pattern_length(l)
         .anchor_count(k)
         .reference_count(scale.default_reference_count())
-        .incremental(mode != "exhaustive")
-        .pruning(mode == "pruned")
+        .incremental(mode == "incremental" || mode == "composed")
+        .pruning(mode == "pruned" || mode == "composed")
         .build()
         .expect("pruning sweep configuration is valid")
 }
@@ -115,6 +122,12 @@ pub struct PruningRun {
     /// Fraction of candidates the signature lower bound pruned away without
     /// an exact evaluation (0 for the non-pruned modes).
     pub pruned_fraction: f64,
+    /// Fraction of candidates skipped wholesale by the level-1 run
+    /// prefilter (composed mode only; 0 elsewhere).
+    pub level1_skipped_fraction: f64,
+    /// Average fraction of candidates carrying a live maintained shortlist
+    /// entry when an imputation began (composed mode only; 0 elsewhere).
+    pub maintained_lag_fraction: f64,
 }
 
 /// Replays the default workload through all three modes.
@@ -139,7 +152,8 @@ pub fn run_pruning_benchmark_on(dataset: &Dataset, scale: Scale) -> Vec<PruningR
         let config = pruning_config(scale, len, mode);
         let mut engine = TkcmEngine::new(width, config, catalog.clone())
             .expect("pruning sweep engine construction");
-        assert_eq!(engine.is_pruned(), mode == "pruned");
+        assert_eq!(engine.is_pruned(), mode == "pruned" || mode == "composed");
+        assert_eq!(engine.is_composed(), mode == "composed");
         let mut imputed: Vec<(u32, i64, u64)> = Vec::new();
         let start = Instant::now();
         for tick in &ticks {
@@ -160,12 +174,12 @@ pub fn run_pruning_benchmark_on(dataset: &Dataset, scale: Scale) -> Vec<PruningR
             imputed.len(),
             "{mode} mode changed the imputation count"
         );
-        if mode == "pruned" {
+        if mode == "pruned" || mode == "composed" {
             // Admissibility in action: the shortlist path must reproduce the
             // exhaustive answers exactly, down to the value bits.
             assert_eq!(
                 *baseline, imputed,
-                "pruned mode diverged from the exhaustive reference"
+                "{mode} mode diverged from the exhaustive reference"
             );
         }
 
@@ -180,6 +194,16 @@ pub fn run_pruning_benchmark_on(dataset: &Dataset, scale: Scale) -> Vec<PruningR
             speedup_vs_incremental: walls.get(1).copied().unwrap_or(wall) / wall,
             pruned_fraction: if totals.candidates > 0 {
                 totals.pruned as f64 / totals.candidates as f64
+            } else {
+                0.0
+            },
+            level1_skipped_fraction: if totals.candidates > 0 {
+                totals.level1_skipped as f64 / totals.candidates as f64
+            } else {
+                0.0
+            },
+            maintained_lag_fraction: if totals.candidates > 0 {
+                totals.maintained_lags as f64 / totals.candidates as f64
             } else {
                 0.0
             },
@@ -200,7 +224,7 @@ fn report_from(dataset: &Dataset, scale: Scale, runs: &[PruningRun]) -> Report {
     let mut report = Report::new("Candidate pruning: signature shortlist vs exhaustive sweep");
     report.note(format!(
         "{} series x {} ticks (SBR-like), l = {}, k = {}, d = {}; identical imputations \
-         asserted across modes (pruned vs exhaustive: bit-identical).",
+         asserted across modes (pruned and composed vs exhaustive: bit-identical).",
         dataset.width(),
         dataset.len(),
         pruning_pattern_length(scale),
@@ -217,6 +241,8 @@ fn report_from(dataset: &Dataset, scale: Scale, runs: &[PruningRun]) -> Report {
             "speedup_vs_exhaustive".to_string(),
             "speedup_vs_incremental".to_string(),
             "pruned_fraction".to_string(),
+            "level1_skipped_fraction".to_string(),
+            "maintained_lag_fraction".to_string(),
         ],
     );
     for run in runs {
@@ -229,6 +255,8 @@ fn report_from(dataset: &Dataset, scale: Scale, runs: &[PruningRun]) -> Report {
                 run.speedup_vs_exhaustive,
                 run.speedup_vs_incremental,
                 run.pruned_fraction,
+                run.level1_skipped_fraction,
+                run.maintained_lag_fraction,
             ],
         );
     }
@@ -255,7 +283,7 @@ mod tests {
     }
 
     #[test]
-    fn all_modes_do_identical_work_and_the_pruned_path_prunes() {
+    fn all_modes_do_identical_work_and_the_pruned_paths_prune() {
         let runs = run_pruning_benchmark_on(&mini_dataset(), Scale::Quick);
         assert_eq!(runs.len(), MODES.len());
         let imputations = runs[0].imputations;
@@ -268,14 +296,29 @@ mod tests {
         }
         assert_eq!(runs[0].speedup_vs_exhaustive, 1.0);
         assert_eq!(runs[1].speedup_vs_incremental, 1.0);
-        assert_eq!(runs[0].pruned_fraction, 0.0);
-        assert_eq!(runs[1].pruned_fraction, 0.0);
+        for baseline in &runs[..2] {
+            assert_eq!(baseline.pruned_fraction, 0.0);
+            assert_eq!(baseline.level1_skipped_fraction, 0.0);
+            assert_eq!(baseline.maintained_lag_fraction, 0.0);
+        }
         let pruned = &runs[2];
         assert_eq!(pruned.mode, "pruned");
         assert!(
             pruned.pruned_fraction > 0.0 && pruned.pruned_fraction <= 1.0,
             "signature index pruned nothing: {pruned:?}"
         );
+        assert_eq!(pruned.maintained_lag_fraction, 0.0);
+        let composed = &runs[3];
+        assert_eq!(composed.mode, "composed");
+        assert!(
+            composed.pruned_fraction > 0.0 && composed.pruned_fraction <= 1.0,
+            "composed path pruned nothing: {composed:?}"
+        );
+        assert!(
+            composed.maintained_lag_fraction > 0.0,
+            "composed path kept no maintained shortlist entries: {composed:?}"
+        );
+        assert!(composed.level1_skipped_fraction >= 0.0);
     }
 
     #[test]
@@ -285,8 +328,10 @@ mod tests {
         let report = report_from(&dataset, Scale::Quick, &runs);
         let table = report.table("Candidate pruning by mode").unwrap();
         assert_eq!(table.rows.len(), MODES.len());
-        assert_eq!(table.headers.len(), 7);
+        assert_eq!(table.headers.len(), 9);
         assert!(table.cell("pruned", "pruned_fraction").unwrap() > 0.0);
+        assert!(table.cell("composed", "pruned_fraction").unwrap() > 0.0);
+        assert!(table.cell("composed", "maintained_lag_fraction").unwrap() > 0.0);
         assert!(table.cell("exhaustive", "speedup_vs_exhaustive").unwrap() == 1.0);
         assert!(report.notes.iter().any(|n| n.contains("bit-identical")));
     }

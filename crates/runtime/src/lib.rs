@@ -103,7 +103,7 @@ use std::sync::LazyLock;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use tkcm_core::{EngineOutcome, TkcmConfig, TkcmEngine, WalEntry};
+use tkcm_core::{EngineOutcome, PruneStats, TkcmConfig, TkcmEngine, WalEntry};
 use tkcm_store::{
     decode_from_slice, encode_to_vec, read_snapshot_file, read_wal,
     read_wal_records_tolerating_torn_tail, write_snapshot_file, WalWriter,
@@ -217,6 +217,10 @@ struct ShardLoad {
     component_nanos: Vec<(usize, u64)>,
     /// Imputations performed across the batch.
     imputations: u64,
+    /// Cumulative [`TkcmEngine::prune_totals`] summed across the worker's
+    /// engines *after* the batch — a level, not a delta, so the fleet can
+    /// both track its running total and derive per-batch deltas.
+    prune: PruneStats,
 }
 
 /// Per-component outcome vectors (one outcome per processed tick) plus the
@@ -408,6 +412,12 @@ pub struct ShardedEngine {
     pending_migrations: VecDeque<(usize, usize)>,
     /// Per-shard metric handles (see [`FleetObs`]).
     obs: FleetObs,
+    /// Latest cumulative [`PruneStats`] reported per shard (seeded from the
+    /// snapshots at construction/recovery, refreshed by every completed
+    /// batch).  Per-shard splits can lag a migration by one batch, but the
+    /// fleet-wide *sum* is invariant under migrations — engine bytes carry
+    /// their totals — so [`ShardedEngine::prune_totals`] stays exact.
+    shard_prune: Vec<PruneStats>,
 }
 
 impl ShardedEngine {
@@ -428,6 +438,7 @@ impl ShardedEngine {
         }
         let loads = LoadTracker::new(&partition);
         let obs = FleetObs::new(partition.shard_count());
+        let shard_prune = vec![PruneStats::default(); partition.shard_count()];
         Ok(ShardedEngine {
             partition,
             workers,
@@ -443,6 +454,7 @@ impl ShardedEngine {
             loads,
             pending_migrations: VecDeque::new(),
             obs,
+            shard_prune,
         })
     }
 
@@ -472,6 +484,7 @@ impl ShardedEngine {
         }
         let loads = LoadTracker::new(&partition);
         let obs = FleetObs::new(partition.shard_count());
+        let shard_prune = vec![PruneStats::default(); partition.shard_count()];
         let mut fleet = ShardedEngine {
             partition,
             workers,
@@ -492,6 +505,7 @@ impl ShardedEngine {
             loads,
             pending_migrations: VecDeque::new(),
             obs,
+            shard_prune,
         };
         // Initial checkpoint: manifest + empty-engine snapshots, so a crash
         // before the first rotation still recovers (by replaying the WAL
@@ -694,6 +708,7 @@ impl ShardedEngine {
             .map(|(_, e)| e.imputations_performed())
             .sum();
 
+        let shard_prune: Vec<PruneStats> = shards.iter().map(shard_prune_totals).collect();
         let mut fleet_workers = Vec::with_capacity(shard_count);
         for (shard, snapshot) in shards.into_iter().enumerate() {
             let wal = if durable {
@@ -756,6 +771,7 @@ impl ShardedEngine {
             loads,
             pending_migrations: VecDeque::new(),
             obs,
+            shard_prune,
         })
     }
 
@@ -836,6 +852,7 @@ impl ShardedEngine {
             .flat_map(|s| s.engines.iter())
             .map(|(_, e)| e.imputations_performed())
             .sum();
+        let shard_prune: Vec<PruneStats> = shards.iter().map(shard_prune_totals).collect();
         let workers = shards
             .into_iter()
             .map(|snapshot| spawn_worker(snapshot, None, SyncPolicy::Never))
@@ -857,6 +874,7 @@ impl ShardedEngine {
             loads,
             pending_migrations: VecDeque::new(),
             obs,
+            shard_prune,
         })
     }
 
@@ -1031,6 +1049,20 @@ impl ShardedEngine {
     /// Number of values imputed across all shards (completed batches).
     pub fn imputations_performed(&self) -> usize {
         self.imputation_count
+    }
+
+    /// Fleet-wide running totals of the pruning counters: the field-wise sum
+    /// of every component engine's [`TkcmEngine::prune_totals`], as of the
+    /// last completed batch.  Seeded from the persisted per-engine totals at
+    /// construction and recovery, so a recovered fleet continues its
+    /// pre-crash counts rather than restarting from zero.  All zero when
+    /// pruning is off.
+    pub fn prune_totals(&self) -> PruneStats {
+        let mut total = PruneStats::default();
+        for shard in &self.shard_prune {
+            total += *shard;
+        }
+        total
     }
 
     /// Processes one fleet-wide tick: the batch path at batch size 1 (see
@@ -1257,6 +1289,15 @@ impl ShardedEngine {
         self.tick_count += len;
         self.ready.extend(merged);
         self.observe_loads(&loads, len);
+        // Fold the shards' cumulative prune totals into the fleet's running
+        // view and derive this batch's delta for the flight recorder.
+        let before = self.prune_totals();
+        for (shard, load) in loads.iter().enumerate() {
+            if let Some(slot) = self.shard_prune.get_mut(shard) {
+                *slot = load.prune;
+            }
+        }
+        let prune_delta = self.prune_totals().saturating_delta(&before);
         PIPELINE_IN_FLIGHT.set(self.in_flight.len() as f64);
         tkcm_obs::recorder().record(
             "batch_drained",
@@ -1265,6 +1306,22 @@ impl ShardedEngine {
                 (
                     "in_flight",
                     tkcm_obs::FieldValue::U64(self.in_flight.len() as u64),
+                ),
+                (
+                    "shortlisted",
+                    tkcm_obs::FieldValue::U64(prune_delta.shortlisted as u64),
+                ),
+                (
+                    "pruned",
+                    tkcm_obs::FieldValue::U64(prune_delta.pruned as u64),
+                ),
+                (
+                    "level1_skipped",
+                    tkcm_obs::FieldValue::U64(prune_delta.level1_skipped as u64),
+                ),
+                (
+                    "maintained_lags",
+                    tkcm_obs::FieldValue::U64(prune_delta.maintained_lags as u64),
                 ),
             ],
         );
@@ -1857,6 +1914,7 @@ fn worker_batch(
         nanos: 0,
         component_nanos: engines.iter().map(|(c, _)| (*c, 0u64)).collect(),
         imputations: 0,
+        prune: PruneStats::default(),
     };
     let cpu_started = thread_cpu_nanos();
     let mut failure = None;
@@ -1912,6 +1970,9 @@ fn worker_batch(
         if failure.is_none() {
             logged?;
         }
+    }
+    for (_, engine) in engines.iter() {
+        load.prune += engine.prune_totals();
     }
     match failure {
         Some(e) => Err(e),
@@ -1976,6 +2037,16 @@ fn install_component(
         .unwrap_or(engines.len());
     engines.insert(pos, (component, engine));
     Ok(())
+}
+
+/// Sum of a shard snapshot's persisted per-engine prune totals — the seed
+/// for the fleet's running totals at construction and recovery.
+fn shard_prune_totals(snapshot: &ShardSnapshot) -> PruneStats {
+    let mut total = PruneStats::default();
+    for (_, engine) in &snapshot.engines {
+        total += engine.prune_totals();
+    }
+    total
 }
 
 fn spawn_worker(

@@ -283,31 +283,34 @@ fn lcg(state: &mut u64) -> u64 {
     *state >> 33
 }
 
-/// The signature-pruned candidate path (PR 7) must be bit-identical to the
-/// exhaustive exact path through the *sharded* runtime too: same fleet, same
-/// stream, 1/2/4 shards, one fleet with pruning on (the default) and one
-/// with both pruning and incremental maintenance off.  Integer sawtooths
-/// keep the arithmetic bit-reproducible and the envelopes informative.
+/// The bounded candidate paths must be bit-identical to the exhaustive
+/// exact path through the *sharded* runtime too: same fleet, same stream,
+/// 1/2/4 shards, three fleets — the *composed* path (pruning + shortlist
+/// maintenance, the default), the PR-7 pruned-only path, and the exhaustive
+/// reference.  Integer sawtooths keep the arithmetic bit-reproducible and
+/// the envelopes informative.
 #[test]
 fn pruned_fleet_is_bit_identical_to_exhaustive_fleet_across_shard_counts() {
     let width = 6;
     let catalog = Catalog::ring_neighbours(width);
-    let mk_config = |pruning: bool| {
+    let mk_config = |pruning: bool, incremental: bool| {
         TkcmConfig::builder()
             .window_length(320)
             .pattern_length(16)
             .anchor_count(2)
             .reference_count(2)
-            .incremental(pruning)
+            .incremental(incremental)
             .pruning(pruning)
             .build()
             .unwrap()
     };
     for shards in [1usize, 2, 4] {
+        let mut composed =
+            ShardedEngine::new(width, mk_config(true, true), catalog.clone(), shards).unwrap();
         let mut pruned =
-            ShardedEngine::new(width, mk_config(true), catalog.clone(), shards).unwrap();
+            ShardedEngine::new(width, mk_config(true, false), catalog.clone(), shards).unwrap();
         let mut exhaustive =
-            ShardedEngine::new(width, mk_config(false), catalog.clone(), shards).unwrap();
+            ShardedEngine::new(width, mk_config(false, false), catalog.clone(), shards).unwrap();
         let saw = |t: usize, shift: usize| ((t + shift * 29) % 128) as f64;
         for t in 0..500usize {
             let values: Vec<Option<f64>> = (0..width)
@@ -320,11 +323,16 @@ fn pruned_fleet_is_bit_identical_to_exhaustive_fleet_across_shard_counts() {
                 })
                 .collect();
             let tick = StreamTick::new(Timestamp::new(t as i64), values);
+            let m = composed.process_tick(&tick).unwrap().timing_stripped();
             let a = pruned.process_tick(&tick).unwrap().timing_stripped();
             let b = exhaustive.process_tick(&tick).unwrap().timing_stripped();
             assert!(
                 a == b,
                 "pruned fleet diverged at tick {t} with {shards} shards: {a:?} vs {b:?}"
+            );
+            assert!(
+                m == b,
+                "composed fleet diverged at tick {t} with {shards} shards: {m:?} vs {b:?}"
             );
         }
     }

@@ -174,6 +174,71 @@ proptest! {
     }
 }
 
+/// The pruning counters are diagnostics, but they feed the benchmark gates
+/// and dashboards — a recovery that silently zeroed them would fake a
+/// "cheap" warm-up.  Crash exactly on a checkpoint boundary (empty WAL), so
+/// the recovered totals must equal the crashed fleet's bit-for-bit, then
+/// keep accumulating in lockstep with an uninterrupted run.
+#[test]
+fn prune_totals_continue_across_a_crash() {
+    let width = 4;
+    let catalog = cluster_catalog(2, 2);
+    let dir = scratch_dir("prune-totals");
+    let mut durable = ShardedEngine::with_durability(
+        width,
+        config(),
+        catalog.clone(),
+        2,
+        &dir,
+        DurabilityOptions {
+            snapshot_interval: 25,
+            ..DurabilityOptions::default()
+        },
+    )
+    .unwrap();
+    for t in 0..60 {
+        durable.process_tick(&tick_at(width, t)).unwrap();
+    }
+    durable.checkpoint(&dir).unwrap();
+    let at_crash = durable.prune_totals();
+    assert!(
+        at_crash.candidates > 0,
+        "fixture never imputed: {at_crash:?}"
+    );
+    assert!(
+        at_crash.maintained_lags > 0,
+        "default config runs the composed path; expected live maintainers: {at_crash:?}"
+    );
+    drop(durable); // crash: the checkpoint is all that survives
+
+    let mut recovered = ShardedEngine::recover(&dir).unwrap();
+    assert_eq!(
+        recovered.prune_totals(),
+        at_crash,
+        "prune totals reset across crash/recovery"
+    );
+
+    let mut continuous = ShardedEngine::new(width, config(), catalog, 2).unwrap();
+    for t in 0..60 {
+        continuous.process_tick(&tick_at(width, t)).unwrap();
+    }
+    for t in 60..90 {
+        recovered.process_tick(&tick_at(width, t)).unwrap();
+        continuous.process_tick(&tick_at(width, t)).unwrap();
+    }
+    let resumed = recovered.prune_totals();
+    assert!(
+        resumed.candidates > at_crash.candidates,
+        "totals stopped accumulating after recovery"
+    );
+    assert_eq!(
+        resumed,
+        continuous.prune_totals(),
+        "recovered fleet's totals diverged from the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Builds a small durable fleet, runs it, crashes it, and returns the
 /// checkpoint directory (left on disk for corruption experiments).
 fn crashed_fleet_dir(tag: &str) -> PathBuf {

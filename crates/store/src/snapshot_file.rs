@@ -43,8 +43,10 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"TKCMSNAP";
 /// 3 — the engine snapshot grew an optional signature index and the config
 /// grew the `pruning` flag (candidate-pruning PR); 4 — the fleet partition
 /// became a versioned component/assignment mapping with a migration log and
-/// per-shard snapshots became per-component engine sets (elastic-fleet PR).
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 4;
+/// per-shard snapshots became per-component engine sets (elastic-fleet PR);
+/// 5 — the engine snapshot grew the composed path's shortlist maintainers
+/// and the persisted prune totals (composed-pruning PR).
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 5;
 
 /// Serialises `value` and writes it as a snapshot file at `path`
 /// (atomically, via `<path>.tmp` + rename).  Returns the file size in

@@ -274,6 +274,35 @@ pub fn bless(
     Ok(())
 }
 
+/// Flattens a thresholds tree into its `(profile, gate, metric)` floor
+/// keys, rendered `profile.gate.metric`, plus a `profile.gate.file` entry
+/// per gate — the complete set of things the file gates.
+pub fn floor_keys(thresholds: &Thresholds) -> std::collections::BTreeSet<String> {
+    let mut keys = std::collections::BTreeSet::new();
+    for (profile, gates) in &thresholds.profiles {
+        for gate in gates {
+            keys.insert(format!("{profile}.{}.file", gate.name));
+            for metric in gate.minimums.keys() {
+                keys.insert(format!("{profile}.{}.{metric}", gate.name));
+            }
+        }
+    }
+    keys
+}
+
+/// The floor keys present in `before` but absent from `after` — non-empty
+/// means a thresholds rewrite would silently stop gating something.
+/// `--bless` refuses to write in that case: retiring a floor (e.g. after a
+/// trend-key rename) must be an explicit hand edit, never a side effect of
+/// re-flooring.
+pub fn dropped_floor_keys(before: &Thresholds, after: &Thresholds) -> Vec<String> {
+    let kept = floor_keys(after);
+    floor_keys(before)
+        .into_iter()
+        .filter(|key| !kept.contains(key))
+        .collect()
+}
+
 /// Renders one rolling-history line: a self-contained JSON object with the
 /// label, the profile and every observed trend metric namespaced by gate
 /// (`"pruning.pruned_fraction"`).  Appended to `BENCH_trend_history.jsonl`
@@ -397,6 +426,47 @@ speedup_vs_exhaustive = 1.5\n";
             .unwrap()
             .remove("pruned_fraction");
         assert!(bless(&mut thresholds, "quick", &observed).is_err());
+    }
+
+    #[test]
+    fn dropped_floor_keys_spots_removed_metrics_gates_and_profiles() {
+        let before = Thresholds::parse(SAMPLE).unwrap();
+        // A faithful bless round-trip (render + parse, floors re-numbered)
+        // drops nothing.
+        let mut blessed = before.clone();
+        let observed = BTreeMap::from([
+            (
+                "fleet".to_string(),
+                BTreeMap::from([("speedup_vs_1_shard_at_4".to_string(), 3.0)]),
+            ),
+            (
+                "pruning".to_string(),
+                BTreeMap::from([
+                    ("pruned_fraction".to_string(), 0.9),
+                    ("speedup_vs_exhaustive".to_string(), 4.0),
+                ]),
+            ),
+        ]);
+        bless(&mut blessed, "quick", &observed).unwrap();
+        let reparsed = Thresholds::parse(&blessed.render()).unwrap();
+        assert!(dropped_floor_keys(&before, &reparsed).is_empty());
+
+        // Removing a metric, a whole gate or a whole profile is detected.
+        let mut lossy = before.clone();
+        lossy.profiles.get_mut("quick").unwrap()[1]
+            .minimums
+            .remove("pruned_fraction");
+        assert_eq!(
+            dropped_floor_keys(&before, &lossy),
+            vec!["quick.pruning.pruned_fraction".to_string()]
+        );
+        let mut gateless = before.clone();
+        gateless.profiles.get_mut("quick").unwrap().remove(1);
+        let dropped = dropped_floor_keys(&before, &gateless);
+        assert!(dropped.contains(&"quick.pruning.file".to_string()));
+        assert!(dropped.contains(&"quick.pruning.pruned_fraction".to_string()));
+        let empty = Thresholds::default();
+        assert_eq!(dropped_floor_keys(&before, &empty).len(), 5);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use tkcm_bench_gate::{bless, evaluate, history_line, Thresholds};
+use tkcm_bench_gate::{bless, dropped_floor_keys, evaluate, history_line, Thresholds};
 
 struct Args {
     profile: String,
@@ -91,8 +91,27 @@ fn run() -> Result<bool, String> {
             }
             return Err("cannot bless from incomplete benchmark results".to_string());
         }
+        let on_disk = Thresholds::load(&args.thresholds)?;
         bless(&mut thresholds, &args.profile, &observed)?;
-        std::fs::write(&args.thresholds, thresholds.render())
+        // Belt-and-braces: the rewrite must gate exactly what the on-disk
+        // file gated.  Re-parse the rendering (so render/parse lossiness is
+        // caught too) and refuse if any floor key would vanish — dropping a
+        // gate is a hand edit, never a `--bless` side effect.
+        let rendered = thresholds.render();
+        let reparsed = Thresholds::parse(&rendered)?;
+        let dropped = dropped_floor_keys(&on_disk, &reparsed);
+        if !dropped.is_empty() {
+            for key in &dropped {
+                eprintln!("bench-gate: blessing would drop the floor `{key}`");
+            }
+            return Err(format!(
+                "refusing to bless: {} floor key(s) would drop from {} — retire floors by hand \
+                 if that is intended",
+                dropped.len(),
+                args.thresholds.display()
+            ));
+        }
+        std::fs::write(&args.thresholds, rendered)
             .map_err(|e| format!("writing {}: {e}", args.thresholds.display()))?;
         println!(
             "blessed `{}` floors in {} from observed x 0.7",
